@@ -1,0 +1,203 @@
+// Beyond the paper's figures: three extension studies enabled by this
+// codebase.
+//
+//  1. Prefetch taxonomy (Srinivasan et al. [17]) — how much pollution
+//     hides inside the paper's two-way good/bad classification, and what
+//     the filter does to each of the four classes.
+//  2. Prefetcher zoo — the paper's NSP+SDP pair against the stride (RPT),
+//     stream-buffer and Markov prefetchers, each with and without the PC
+//     filter ("encompass several prefetching techniques altogether with
+//     dynamic filtering", per the paper's conclusion).
+//  3. Dead-block gate (Lai et al. [11]) — the related-work alternative
+//     that polices the *victim* instead of the prefetch.
+//  4. Structural alternatives — prefetch-to-L2-only and a Jouppi victim
+//     cache — against the filter, plus their combinations.
+//  5. In-order sensitivity — the paper's intro motivates prefetching with
+//     static (in-order) machines; how much more does filtering matter
+//     when every miss stalls the pipe?
+#include "bench_common.hpp"
+#include "sim/taxonomy.hpp"
+
+using namespace ppf;
+
+namespace {
+
+void taxonomy_study(const sim::SimConfig& base) {
+  std::cout << "1) Prefetch taxonomy under no filtering vs the PA filter\n\n";
+  sim::Table t({"benchmark", "useful", "useful-pol", "polluting", "useless",
+                "polluting (PA)", "useless (PA)"});
+  for (const std::string& name : workload::benchmark_names()) {
+    sim::SimConfig cfg = base;
+    cfg.filter = filter::FilterKind::None;
+    const sim::SimResult r0 = sim::run_benchmark(cfg, name);
+    cfg.filter = filter::FilterKind::Pa;
+    const sim::SimResult r1 = sim::run_benchmark(cfg, name);
+    t.add_row({name, sim::fmt_u64(r0.taxonomy.useful),
+               sim::fmt_u64(r0.taxonomy.useful_polluting),
+               sim::fmt_u64(r0.taxonomy.polluting),
+               sim::fmt_u64(r0.taxonomy.useless),
+               sim::fmt_u64(r1.taxonomy.polluting),
+               sim::fmt_u64(r1.taxonomy.useless)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe paper's 'bad' = polluting + useless; only the "
+               "polluting part costs misses,\nwhich is why small caches "
+               "(high live fraction) gain most from filtering.\n\n";
+}
+
+void prefetcher_zoo(const sim::SimConfig& base) {
+  std::cout << "2) Prefetcher zoo (mean IPC over all benchmarks, with and "
+               "without the PC filter)\n\n";
+  struct Variant {
+    const char* label;
+    bool nsp, sdp, stride, stream, markov;
+  };
+  const Variant variants[] = {
+      {"none (no prefetching)", false, false, false, false, false},
+      {"NSP + SDP (paper)", true, true, false, false, false},
+      {"stride (RPT) only", false, false, true, false, false},
+      {"stream buffers only", false, false, false, true, false},
+      {"markov only", false, false, false, false, true},
+      {"everything", true, true, true, true, true},
+  };
+  sim::Table t({"prefetchers", "IPC unfiltered", "IPC + PC filter",
+                "bad frac unfiltered"});
+  const auto& names = workload::benchmark_names();
+  for (const Variant& v : variants) {
+    double ipc0 = 0, ipc1 = 0, badfrac = 0;
+    int bad_n = 0;
+    for (const std::string& name : names) {
+      sim::SimConfig cfg = base;
+      cfg.enable_nsp = v.nsp;
+      cfg.enable_sdp = v.sdp;
+      cfg.enable_stride = v.stride;
+      cfg.enable_stream_buffer = v.stream;
+      cfg.enable_markov = v.markov;
+      cfg.enable_sw_prefetch = false;  // isolate the hardware engines
+      cfg.filter = filter::FilterKind::None;
+      const sim::SimResult r0 = sim::run_benchmark(cfg, name);
+      cfg.filter = filter::FilterKind::Pc;
+      const sim::SimResult r1 = sim::run_benchmark(cfg, name);
+      ipc0 += r0.ipc();
+      ipc1 += r1.ipc();
+      const std::uint64_t tot = r0.good_total() + r0.bad_total();
+      if (tot > 0) {
+        badfrac += static_cast<double>(r0.bad_total()) /
+                   static_cast<double>(tot);
+        ++bad_n;
+      }
+    }
+    t.add_row({v.label, sim::fmt(ipc0 / names.size()),
+               sim::fmt(ipc1 / names.size()),
+               bad_n == 0 ? "-" : sim::fmt_pct(badfrac / bad_n)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void deadblock_study(const sim::SimConfig& base) {
+  std::cout << "3) Dead-block victim gate [11] vs the paper's history-table "
+               "filters (mean over all benchmarks)\n\n";
+  sim::Table t({"scheme", "mean IPC", "mean bad/good", "rejection rate"});
+  for (auto kind : {filter::FilterKind::None, filter::FilterKind::Pa,
+                    filter::FilterKind::Pc, filter::FilterKind::DeadBlock}) {
+    double ipc = 0, bg = 0, rej = 0;
+    const auto& names = workload::benchmark_names();
+    for (const std::string& name : names) {
+      sim::SimConfig cfg = base;
+      cfg.filter = kind;
+      const sim::SimResult r = sim::run_benchmark(cfg, name);
+      ipc += r.ipc();
+      bg += r.bad_good_ratio();
+      const std::uint64_t decisions = r.filter_admitted + r.filter_rejected;
+      rej += decisions == 0 ? 0.0
+                            : static_cast<double>(r.filter_rejected) /
+                                  static_cast<double>(decisions);
+    }
+    t.add_row({filter::to_string(kind), sim::fmt(ipc / names.size()),
+               sim::fmt(bg / names.size()),
+               sim::fmt_pct(rej / names.size())});
+  }
+  t.print(std::cout);
+}
+
+void structural_study(const sim::SimConfig& base) {
+  std::cout << "\n4) Structural pollution control vs the PC filter "
+               "(mean over all benchmarks)\n\n";
+  struct Variant {
+    const char* label;
+    filter::FilterKind filter;
+    bool l2_only;
+    std::size_t victim;
+  };
+  const Variant variants[] = {
+      {"no control (baseline)", filter::FilterKind::None, false, 0},
+      {"PC filter", filter::FilterKind::Pc, false, 0},
+      {"prefetch into L2 only", filter::FilterKind::None, true, 0},
+      {"prefetch into L2 + PC filter", filter::FilterKind::Pc, true, 0},
+      {"victim cache (16)", filter::FilterKind::None, false, 16},
+      {"victim cache + PC filter", filter::FilterKind::Pc, false, 16},
+  };
+  sim::Table t({"scheme", "mean IPC", "mean L1D miss", "mean load lat"});
+  const auto& names = workload::benchmark_names();
+  for (const Variant& v : variants) {
+    double ipc = 0, miss = 0, lat = 0;
+    for (const std::string& name : names) {
+      sim::SimConfig cfg = base;
+      cfg.filter = v.filter;
+      cfg.prefetch_to_l2 = v.l2_only;
+      cfg.victim_cache_entries = v.victim;
+      const sim::SimResult r = sim::run_benchmark(cfg, name);
+      ipc += r.ipc();
+      miss += r.l1d_miss_rate();
+      lat += r.avg_load_latency;
+    }
+    t.add_row({v.label, sim::fmt(ipc / names.size()),
+               sim::fmt_pct(miss / names.size(), 2),
+               sim::fmt(lat / names.size(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void inorder_study(const sim::SimConfig& base) {
+  std::cout << "5) In-order (static-machine) sensitivity: filter gains vs "
+               "the OoO core\n\n";
+  sim::Table t({"core", "IPC none", "IPC PC", "PC gain"});
+  for (bool in_order : {false, true}) {
+    double ipc0 = 0, ipc1 = 0;
+    const auto& names = workload::benchmark_names();
+    for (const std::string& name : names) {
+      sim::SimConfig cfg = base;
+      if (in_order) {
+        cfg.core.width = 1;
+        cfg.core.rob_entries = 1;
+        cfg.core.lsq_entries = 1;
+      }
+      cfg.filter = filter::FilterKind::None;
+      ipc0 += sim::run_benchmark(cfg, name).ipc();
+      cfg.filter = filter::FilterKind::Pc;
+      ipc1 += sim::run_benchmark(cfg, name).ipc();
+    }
+    const double n = names.size();
+    t.add_row({in_order ? "in-order (width 1, blocking)" : "8-wide OoO",
+               sim::fmt(ipc0 / n), sim::fmt(ipc1 / n),
+               sim::fmt_pct(ipc1 / ipc0 - 1.0)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::SimConfig cfg = bench::base_config(argc, argv);
+  sim::print_experiment_header(
+      std::cout, "Extras",
+      "taxonomy, prefetcher zoo, dead-block gate, structural, in-order");
+  taxonomy_study(cfg);
+  prefetcher_zoo(cfg);
+  deadblock_study(cfg);
+  structural_study(cfg);
+  inorder_study(cfg);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 10 — number of good prefetches vs history-table size (PA
+// filter), normalised to the default 4096-entry table.
+// Paper: good prefetches increase with longer tables, with some
+// benchmarks (gap, gzip, mcf) nearly insensitive.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+  base.filter = filter::FilterKind::Pa;
+  const std::vector<std::size_t> sizes = {1024, 2048, 4096, 8192, 16384};
+
+  sim::print_experiment_header(
+      std::cout, "Figure 10",
+      "good prefetches vs history-table size (PA, normalised to 4K)");
+  sim::Table t({"benchmark", "1K", "2K", "4K", "8K", "16K"});
+  for (const std::string& name : workload::benchmark_names()) {
+    std::vector<double> good;
+    for (std::size_t entries : sizes) {
+      sim::SimConfig cfg = base;
+      cfg.history.entries = entries;
+      good.push_back(
+          static_cast<double>(sim::run_benchmark(cfg, name).good_total()));
+    }
+    const double ref = good[2] == 0 ? 1.0 : good[2];
+    t.add_row({name, sim::fmt(good[0] / ref), sim::fmt(good[1] / ref),
+               sim::fmt(good[2] / ref), sim::fmt(good[3] / ref),
+               sim::fmt(good[4] / ref)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 11 — number of bad prefetches vs history-table size (PA filter),
+// normalised to the default 4096-entry table.
+// Paper: counts are small; some benchmarks *increase* with longer tables
+// (first-touch entries are assumed good), and mid-size tables can be best.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+  base.filter = filter::FilterKind::Pa;
+  const std::vector<std::size_t> sizes = {1024, 2048, 4096, 8192, 16384};
+
+  sim::print_experiment_header(
+      std::cout, "Figure 11",
+      "bad prefetches vs history-table size (PA, normalised to 4K)");
+  sim::Table t({"benchmark", "1K", "2K", "4K", "8K", "16K"});
+  for (const std::string& name : workload::benchmark_names()) {
+    std::vector<double> bad;
+    for (std::size_t entries : sizes) {
+      sim::SimConfig cfg = base;
+      cfg.history.entries = entries;
+      bad.push_back(
+          static_cast<double>(sim::run_benchmark(cfg, name).bad_total()));
+    }
+    const double ref = bad[2] == 0 ? 1.0 : bad[2];
+    t.add_row({name, sim::fmt(bad[0] / ref), sim::fmt(bad[1] / ref),
+               sim::fmt(bad[2] / ref), sim::fmt(bad[3] / ref),
+               sim::fmt(bad[4] / ref)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 12 — IPC vs history-table size (PA filter).
+// Paper: IPC rises slightly with table size (~6% from 2048 to 4096
+// entries); beyond 4096 entries the gain is within ~1% — choose the table
+// by cost budget, 4K entries = 1KB of storage.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+  base.filter = filter::FilterKind::Pa;
+  const std::vector<std::size_t> sizes = {1024, 2048, 4096, 8192, 16384};
+
+  sim::print_experiment_header(std::cout, "Figure 12",
+                               "IPC vs history-table size (PA filter)");
+  sim::Table t({"benchmark", "1K", "2K", "4K", "8K", "16K"});
+  std::vector<double> mean(sizes.size(), 0.0);
+  const auto& names = workload::benchmark_names();
+  for (const std::string& name : names) {
+    std::vector<std::string> row{name};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      sim::SimConfig cfg = base;
+      cfg.history.entries = sizes[i];
+      const double ipc = sim::run_benchmark(cfg, name).ipc();
+      mean[i] += ipc;
+      row.push_back(sim::fmt(ipc));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> mrow{"MEAN"};
+  for (double m : mean) mrow.push_back(sim::fmt(m / names.size()));
+  t.add_row(std::move(mrow));
+  t.print(std::cout);
+  return 0;
+}

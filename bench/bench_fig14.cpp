@@ -1,0 +1,35 @@
+// Figure 14 — IPC vs number of L1 ports (PA filter).
+// Paper: ~4% speedup from 3 to 4 ports, <1% from 4 to 5 — additional
+// ports pay off only until their longer access latency eats the gain.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+  base.filter = filter::FilterKind::Pa;
+  const unsigned ports[] = {3, 4, 5};
+
+  sim::print_experiment_header(
+      std::cout, "Figure 14",
+      "IPC vs L1 ports (PA filter; latency 1/2/3 cycles)");
+  sim::Table t({"benchmark", "3 ports", "4 ports", "5 ports"});
+  double mean[3] = {0, 0, 0};
+  const auto& names = workload::benchmark_names();
+  for (const std::string& name : names) {
+    std::vector<std::string> row{name};
+    for (int i = 0; i < 3; ++i) {
+      sim::SimConfig cfg = base;
+      cfg.set_l1d_ports(ports[i]);
+      const double ipc = sim::run_benchmark(cfg, name).ipc();
+      mean[i] += ipc;
+      row.push_back(sim::fmt(ipc));
+    }
+    t.add_row(std::move(row));
+  }
+  t.add_row({"MEAN", sim::fmt(mean[0] / names.size()),
+             sim::fmt(mean[1] / names.size()),
+             sim::fmt(mean[2] / names.size())});
+  t.print(std::cout);
+  return 0;
+}

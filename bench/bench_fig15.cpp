@@ -1,0 +1,30 @@
+// Figure 15 — bad/good prefetch ratio with and without a dedicated
+// 16-entry fully-associative prefetch buffer, for PA and PC filters.
+// Paper: adding the buffer degrades the filters' effectiveness in most
+// programs.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+
+  sim::print_experiment_header(
+      std::cout, "Figure 15",
+      "bad/good ratio: PA/PC filters with and without a prefetch buffer");
+  sim::Table t({"benchmark", "PA", "PA+buf", "PC", "PC+buf"});
+  for (const std::string& name : workload::benchmark_names()) {
+    std::vector<std::string> row{name};
+    for (auto kind : {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+      for (bool buf : {false, true}) {
+        sim::SimConfig cfg = base;
+        cfg.filter = kind;
+        cfg.use_prefetch_buffer = buf;
+        row.push_back(sim::fmt(sim::run_benchmark(cfg, name).bad_good_ratio()));
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 2 — traffic distribution of the L1 cache: prefetch-induced line
+// traffic vs normal (demand) traffic, no filtering.
+// Paper: prefetch:normal ratio averages 0.41 (max 0.57 ijpeg, min 0.29
+// gzip), i.e. roughly 2/7 of all L1 traffic is prefetches.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig cfg = bench::base_config(argc, argv);
+  cfg.filter = filter::FilterKind::None;
+
+  sim::print_experiment_header(std::cout, "Figure 2",
+                               "traffic distribution of the L1 cache");
+  sim::Table t({"benchmark", "normal traffic", "prefetch traffic",
+                "pf:normal ratio", "pf share of bus"});
+  double ratio_sum = 0.0;
+  const auto& names = workload::benchmark_names();
+  for (const std::string& name : names) {
+    const sim::SimResult r = sim::run_benchmark(cfg, name);
+    ratio_sum += r.prefetch_traffic_ratio();
+    t.add_row({name, sim::fmt_u64(r.l1_normal_traffic),
+               sim::fmt_u64(r.l1_prefetch_traffic),
+               sim::fmt(r.prefetch_traffic_ratio()),
+               sim::fmt_pct(r.bus_transfers == 0
+                                ? 0.0
+                                : static_cast<double>(
+                                      r.bus_prefetch_transfers) /
+                                      static_cast<double>(r.bus_transfers))});
+  }
+  t.print(std::cout);
+  std::cout << "\nmean prefetch:normal traffic ratio: "
+            << sim::fmt(ratio_sum / names.size())
+            << "   (paper: 0.41 mean, 0.29-0.57 range)\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 5 — bad/good prefetch ratios for the 8KB D-cache.
+// Paper: the ratio drops by ~70% with the PA filter and ~91% with PC.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig cfg = bench::base_config(argc, argv);
+  sim::print_experiment_header(std::cout, "Figure 5",
+                               "bad/good prefetch ratios, 8KB D-cache");
+  bench::print_bad_good_ratio_figure(cfg);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 8 — bad/good prefetch ratios with a 32KB D-cache.
+// Paper: ratio reduced ~75% (PA) and ~93% (PC), slightly better than 8KB.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig cfg = bench::base_config(argc, argv);
+  cfg.set_l1d_size_kb(32);
+  sim::print_experiment_header(std::cout, "Figure 8",
+                               "bad/good prefetch ratios, 32KB D-cache");
+  bench::print_bad_good_ratio_figure(cfg);
+  return 0;
+}

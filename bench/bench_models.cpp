@@ -1,0 +1,46 @@
+// Timing-model cross-check: the occupancy core (statistical dependences,
+// the calibrated default) against the register-dataflow core (true
+// dependences from the trace's architectural registers).
+//
+// Two things to read off this table: (1) how sensitive the paper's
+// conclusions are to the dependence model — the filter's IPC delta
+// should have the same sign under both cores on the pollution-bound
+// benchmarks; (2) where the models themselves diverge (pointer-chase
+// workloads: occupancy serialises all chase streams through one chain,
+// dataflow separates them per pointer register).
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  const sim::SimConfig base = bench::base_config(argc, argv);
+
+  sim::print_experiment_header(
+      std::cout, "Models", "occupancy vs dataflow timing model");
+  sim::Table t({"benchmark", "occ IPC", "df IPC", "occ PC-gain",
+                "df PC-gain"});
+  double occ_gain = 0, df_gain = 0;
+  const auto& names = workload::benchmark_names();
+  for (const std::string& name : names) {
+    double ipc[2][2];  // [model][filter]
+    for (int m = 0; m < 2; ++m) {
+      sim::SimConfig cfg = base;
+      cfg.core_model =
+          m == 0 ? sim::CoreModel::Occupancy : sim::CoreModel::Dataflow;
+      cfg.filter = filter::FilterKind::None;
+      ipc[m][0] = sim::run_benchmark(cfg, name).ipc();
+      cfg.filter = filter::FilterKind::Pc;
+      ipc[m][1] = sim::run_benchmark(cfg, name).ipc();
+    }
+    const double g_occ = ipc[0][1] / ipc[0][0] - 1.0;
+    const double g_df = ipc[1][1] / ipc[1][0] - 1.0;
+    occ_gain += g_occ;
+    df_gain += g_df;
+    t.add_row({name, sim::fmt(ipc[0][0]), sim::fmt(ipc[1][0]),
+               sim::fmt_pct(g_occ), sim::fmt_pct(g_df)});
+  }
+  t.print(std::cout);
+  std::printf("\nmean PC-filter IPC gain: occupancy %+.1f%%, dataflow %+.1f%%\n",
+              100 * occ_gain / names.size(), 100 * df_gain / names.size());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Seed-stability study: the headline metrics across independent workload
+// seeds, reported as mean +/- stddev. Guards every conclusion in
+// EXPERIMENTS.md against being an artifact of one particular synthetic
+// trace instance.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+namespace {
+
+struct Series {
+  std::vector<double> xs;
+  void add(double x) { xs.push_back(x); }
+  [[nodiscard]] double mean() const {
+    if (xs.empty()) return 0.0;
+    double s = 0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+  }
+  [[nodiscard]] double stddev() const {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return std::sqrt(s / (xs.size() - 1));
+  }
+  [[nodiscard]] std::string fmt_pm(int precision = 3) const {
+    return sim::fmt(mean(), precision) + " ± " + sim::fmt(stddev(), precision);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SimConfig base = bench::base_config(argc, argv);
+  const std::uint64_t seeds[] = {42, 1001, 2002, 3003, 4004};
+
+  sim::print_experiment_header(
+      std::cout, "Seeds", "headline metrics across 5 workload seeds");
+
+  sim::Table t({"metric", "mean ± stddev over seeds"});
+  Series bad_frac, pa_bad_removed, pc_good_kept, pc_ipc_gain_em3d,
+      energy_saving;
+  for (std::uint64_t seed : seeds) {
+    sim::SimConfig cfg = base;
+    cfg.seed = seed;
+    double bf = 0;
+    int n = 0;
+    for (const std::string& name : workload::benchmark_names()) {
+      sim::SimConfig c0 = cfg;
+      c0.filter = filter::FilterKind::None;
+      const sim::SimResult r = sim::run_benchmark(c0, name);
+      const double tot = static_cast<double>(r.good_total() + r.bad_total());
+      if (tot > 0) {
+        bf += r.bad_total() / tot;
+        ++n;
+      }
+    }
+    bad_frac.add(bf / n);
+
+    const sim::ScenarioResults em = sim::run_filter_scenarios(cfg, "em3d");
+    pa_bad_removed.add(1.0 - static_cast<double>(em.pa.bad_total()) /
+                                 static_cast<double>(em.none.bad_total()));
+    pc_good_kept.add(static_cast<double>(em.pc.good_total()) /
+                     static_cast<double>(em.none.good_total()));
+    pc_ipc_gain_em3d.add(em.pc.ipc() / em.none.ipc() - 1.0);
+    energy_saving.add(1.0 - em.pc.energy.total_nj() /
+                                em.none.energy.total_nj());
+  }
+  t.add_row({"mean bad fraction (no filter, 10 benchmarks)",
+             bad_frac.fmt_pm()});
+  t.add_row({"em3d: bad removed by PA", pa_bad_removed.fmt_pm()});
+  t.add_row({"em3d: good kept by PC", pc_good_kept.fmt_pm()});
+  t.add_row({"em3d: PC IPC gain", pc_ipc_gain_em3d.fmt_pm()});
+  t.add_row({"em3d: PC energy saving", energy_saving.fmt_pm()});
+  t.print(std::cout);
+  std::cout << "\nAll headline shapes should hold with small spread; a "
+               "large stddev flags a\nconclusion that leans on one "
+               "particular trace instance.\n";
+  return 0;
+}

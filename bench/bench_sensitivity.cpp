@@ -1,0 +1,95 @@
+// Sensitivity of the pollution filter's value to machine parameters the
+// paper holds fixed: cache line size, main-memory latency, and L1
+// associativity. Each sweep reports mean IPC without filtering and the
+// PC filter's relative gain.
+//
+// Expected shapes:
+//  * line size   — longer lines make each bad prefetch displace more and
+//    cost more bandwidth: the filter's gain grows with line size.
+//  * memory wall — higher DRAM latency raises the price of every useless
+//    fetch that reaches memory.
+//  * associativity — a set-associative L1 absorbs conflict pollution
+//    (LRU keeps hot lines), shrinking the filter's advantage; the
+//    paper's direct-mapped L1 is its best case.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+namespace {
+
+struct SweepPoint {
+  double ipc_none = 0;
+  double ipc_pc = 0;
+};
+
+SweepPoint run_point(const sim::SimConfig& cfg) {
+  SweepPoint p;
+  const auto& names = workload::benchmark_names();
+  for (const std::string& name : names) {
+    sim::SimConfig c = cfg;
+    c.filter = filter::FilterKind::None;
+    p.ipc_none += sim::run_benchmark(c, name).ipc();
+    c.filter = filter::FilterKind::Pc;
+    p.ipc_pc += sim::run_benchmark(c, name).ipc();
+  }
+  p.ipc_none /= names.size();
+  p.ipc_pc /= names.size();
+  return p;
+}
+
+void add_point(sim::Table& t, const std::string& label,
+               const sim::SimConfig& cfg) {
+  const SweepPoint p = run_point(cfg);
+  t.add_row({label, sim::fmt(p.ipc_none), sim::fmt(p.ipc_pc),
+             sim::fmt_pct(p.ipc_pc / p.ipc_none - 1.0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::SimConfig base = bench::base_config(argc, argv);
+
+  sim::print_experiment_header(
+      std::cout, "Sensitivity",
+      "filter value vs line size, memory latency, L1 associativity");
+
+  {
+    std::cout << "line size (L1+L2, fixed 8KB/512KB capacities):\n";
+    sim::Table t({"line bytes", "IPC none", "IPC PC", "PC gain"});
+    for (std::uint32_t lb : {16u, 32u, 64u}) {
+      sim::SimConfig cfg = base;
+      cfg.l1d.line_bytes = lb;
+      cfg.l1i.line_bytes = lb;
+      cfg.l2.line_bytes = lb;
+      cfg.core.ifetch_line_bytes = lb;
+      add_point(t, std::to_string(lb) + "B", cfg);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "main-memory latency (paper: 150 cycles):\n";
+    sim::Table t({"latency", "IPC none", "IPC PC", "PC gain"});
+    for (Cycle lat : {75u, 150u, 300u}) {
+      sim::SimConfig cfg = base;
+      cfg.dram.latency = lat;
+      add_point(t, std::to_string(lat) + "cy", cfg);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "L1 associativity (paper: direct-mapped):\n";
+    sim::Table t({"ways", "IPC none", "IPC PC", "PC gain"});
+    for (std::uint32_t ways : {1u, 2u, 4u}) {
+      sim::SimConfig cfg = base;
+      cfg.l1d.associativity = ways;
+      add_point(t, ways == 1 ? "direct-mapped" : std::to_string(ways) + "-way",
+                cfg);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 2 — properties of the benchmark programs: L1/L2 demand miss
+// rates with all prefetching turned off, next to the paper's numbers.
+#include "bench_common.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  sim::SimConfig cfg = bench::base_config(argc, argv);
+  cfg.enable_nsp = false;
+  cfg.enable_sdp = false;
+  cfg.enable_sw_prefetch = false;
+
+  sim::print_experiment_header(std::cout, "Table 2",
+                               "benchmark properties (prefetch off)");
+  sim::Table t({"benchmark", "L1 miss% (sim)", "L1 miss% (paper)",
+                "L2 miss% (sim)", "L2 miss% (paper)", "IPC"});
+  for (const std::string& name : workload::benchmark_names()) {
+    const sim::SimResult r = sim::run_benchmark(cfg, name);
+    const auto p = workload::paper_miss_rates(name);
+    t.add_row({name, sim::fmt_pct(r.l1d_miss_rate(), 2), sim::fmt_pct(p.l1, 2),
+               sim::fmt_pct(r.l2_miss_rate(), 2), sim::fmt_pct(p.l2, 2),
+               sim::fmt(r.ipc())});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: synthetic workloads land in the same miss-rate"
+               " regime per benchmark\n(the paper ran the real programs for"
+               " 300M instructions on real inputs).\n";
+  return 0;
+}

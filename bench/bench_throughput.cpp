@@ -1,0 +1,77 @@
+// Simulator throughput microbenchmarks (google-benchmark): how fast the
+// model itself runs. Useful when scaling runs toward the paper's 300M
+// instructions.
+#include <benchmark/benchmark.h>
+
+#include "filter/filter.hpp"
+#include "mem/cache.hpp"
+#include "sim/experiment.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+namespace {
+
+void BM_SimulatorEndToEnd(benchmark::State& state,
+                          const std::string& bench_name) {
+  sim::SimConfig cfg;
+  cfg.max_instructions = 200'000;
+  cfg.warmup_instructions = 0;
+  cfg.filter = filter::FilterKind::Pa;
+  for (auto _ : state) {
+    const sim::SimResult r = sim::run_benchmark(cfg, bench_name);
+    benchmark::DoNotOptimize(r.core.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.max_instructions));
+}
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(mem::CacheConfig{}, 1);
+  Xorshift rng(7);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const Addr a = rng.below(1 << 20) * 32;
+    sink += cache.access(a, AccessType::Load).hit ? 1 : 0;
+    if (!cache.contains(a)) cache.fill(a, mem::FillInfo{});
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FilterDecision(benchmark::State& state) {
+  filter::PaFilter f{filter::HistoryTableConfig{}};
+  Xorshift rng(9);
+  std::uint64_t admitted = 0;
+  for (auto _ : state) {
+    const filter::PrefetchCandidate c{rng.below(1 << 22), 0x400000,
+                                      PrefetchSource::NextSequence};
+    admitted += f.admit(c) ? 1 : 0;
+    f.feedback(filter::FilterFeedback{c.line, c.trigger_pc,
+                                      (c.line & 1) != 0, c.source});
+  }
+  benchmark::DoNotOptimize(admitted);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto bench = workload::make_benchmark("mcf", 42);
+  workload::TraceRecord r;
+  for (auto _ : state) {
+    bench->next(r);
+    benchmark::DoNotOptimize(r.addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, em3d, std::string("em3d"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, gcc, std::string("gcc"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_FilterDecision);
+BENCHMARK(BM_TraceGeneration);
+
+BENCHMARK_MAIN();

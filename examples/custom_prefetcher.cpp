@@ -1,0 +1,143 @@
+// Custom prefetcher: the library's pieces — Cache, Prefetcher interface,
+// PollutionFilter — compose outside the full simulator. This example
+// implements a Markov (correlation) prefetcher from scratch, drives it
+// with a pointer-chasing workload at cache level (no timing model), and
+// shows how a PA pollution filter cleans up its mispredictions.
+//
+//   ./custom_prefetcher [accesses=300000]
+#include <iostream>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "filter/filter.hpp"
+#include "mem/cache.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/report.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+namespace {
+
+/// Markov-1 prefetcher: remembers, per missed line, the next line that
+/// missed after it, and prefetches that successor on the next miss.
+/// (Correlation prefetching in the spirit of Charney & Reeves [2].)
+class MarkovPrefetcher final : public prefetch::Prefetcher {
+ public:
+  void on_l1_demand(Pc pc, Addr addr, const mem::AccessResult& result,
+                    std::vector<prefetch::PrefetchRequest>& out) override {
+    if (result.hit) return;
+    const LineAddr line = addr >> 5;
+    if (has_last_) {
+      successor_[last_miss_] = line;
+    }
+    const auto it = successor_.find(line);
+    if (it != successor_.end()) {
+      out.push_back(prefetch::PrefetchRequest{it->second, pc,
+                                              PrefetchSource::Stride});
+      count_emitted();
+    }
+    last_miss_ = line;
+    has_last_ = true;
+  }
+  void on_l2_demand(Pc, Addr, bool,
+                    std::vector<prefetch::PrefetchRequest>&) override {}
+  void on_prefetch_fill(LineAddr, PrefetchSource) override {}
+  void on_prefetch_used(LineAddr, PrefetchSource) override {}
+  [[nodiscard]] const char* name() const override { return "markov"; }
+
+ private:
+  std::unordered_map<LineAddr, LineAddr> successor_;
+  LineAddr last_miss_ = 0;
+  bool has_last_ = false;
+};
+
+struct Outcome {
+  std::uint64_t demand_misses = 0;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Cache-level evaluation loop: demand stream + prefetcher + filter.
+Outcome evaluate(workload::TraceSource& trace, std::uint64_t accesses,
+                 filter::PollutionFilter& filt) {
+  mem::Cache l1(mem::CacheConfig{}, 1);
+  MarkovPrefetcher markov;
+  Outcome out;
+  std::vector<prefetch::PrefetchRequest> cands;
+
+  auto classify = [&](const mem::Eviction& ev) {
+    if (!ev.pib) return;
+    (ev.rib ? out.good : out.bad) += 1;
+    filt.feedback(
+        filter::FilterFeedback{ev.line, ev.trigger_pc, ev.rib, ev.source});
+  };
+
+  workload::TraceRecord rec;
+  std::uint64_t seen = 0;
+  while (seen < accesses && trace.next(rec)) {
+    if (rec.kind != workload::InstKind::Load &&
+        rec.kind != workload::InstKind::Store)
+      continue;
+    ++seen;
+    cands.clear();
+    const mem::AccessResult r = l1.access(
+        rec.addr, rec.kind == workload::InstKind::Store ? AccessType::Store
+                                                        : AccessType::Load);
+    markov.on_l1_demand(rec.pc, rec.addr, r, cands);
+    if (!r.hit) {
+      ++out.demand_misses;
+      if (auto ev = l1.fill(rec.addr, mem::FillInfo{})) classify(*ev);
+    }
+    for (const prefetch::PrefetchRequest& c : cands) {
+      if (l1.contains(l1.base_of(c.line))) continue;
+      if (!filt.admit(filter::PrefetchCandidate{c.line, c.trigger_pc,
+                                                c.source})) {
+        ++out.rejected;
+        continue;
+      }
+      if (auto ev = l1.fill(l1.base_of(c.line),
+                            mem::FillInfo{true, c.trigger_pc, c.source})) {
+        classify(*ev);
+      }
+    }
+  }
+  for (const mem::Eviction& ev : l1.drain()) classify(ev);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ParamMap params = ParamMap::from_args(argc, argv);
+  const std::uint64_t accesses = params.get_u64("accesses", 300'000);
+
+  std::cout << "Markov prefetcher on 'perimeter' (pointer chasing), "
+               "cache-level evaluation\n\n";
+
+  filter::NullFilter none;
+  auto t1 = workload::make_benchmark("perimeter", 42);
+  const Outcome raw = evaluate(*t1, accesses, none);
+
+  filter::PaFilter pa{filter::HistoryTableConfig{}};
+  auto t2 = workload::make_benchmark("perimeter", 42);
+  const Outcome filtered = evaluate(*t2, accesses, pa);
+
+  sim::Table t({"metric", "markov alone", "markov + PA filter"});
+  t.add_row({"demand misses", sim::fmt_u64(raw.demand_misses),
+             sim::fmt_u64(filtered.demand_misses)});
+  t.add_row({"good prefetches", sim::fmt_u64(raw.good),
+             sim::fmt_u64(filtered.good)});
+  t.add_row({"bad prefetches", sim::fmt_u64(raw.bad),
+             sim::fmt_u64(filtered.bad)});
+  t.add_row({"rejected by filter", sim::fmt_u64(raw.rejected),
+             sim::fmt_u64(filtered.rejected)});
+  t.print(std::cout);
+
+  std::cout << "\nA correlation prefetcher learns repeating miss chains "
+               "(the quadtree walk)\nbut mispredicts on transitions; the "
+               "filter strips those without the\nprefetcher knowing it is "
+               "being policed.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Filter tuning: explore the pollution-filter design space for one
+// workload — scheme (PA/PC/adaptive), table size, counter width, and
+// index hash — and print a ranked summary.
+//
+//   ./filter_tuning [bench=em3d] [instructions=500000]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  sim::SimConfig cfg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ParamMap params = ParamMap::from_args(argc, argv);
+  const std::string bench = params.get_string("bench", "em3d");
+
+  sim::SimConfig base = sim::SimConfig::paper_default();
+  base.max_instructions = params.get_u64("instructions", 500'000);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"no filter", base};
+    v.cfg.filter = filter::FilterKind::None;
+    variants.push_back(v);
+  }
+  for (auto kind : {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+    for (std::size_t entries : {1024u, 4096u, 16384u}) {
+      Variant v{std::string(to_string(kind)) + " / " +
+                    std::to_string(entries) + " entries",
+                base};
+      v.cfg.filter = kind;
+      v.cfg.history.entries = entries;
+      variants.push_back(v);
+    }
+  }
+  {
+    Variant v{"pa / 4096 / fold-xor hash", base};
+    v.cfg.filter = filter::FilterKind::Pa;
+    v.cfg.history.hash = HashKind::FoldXor;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"pa / 4096 / 3-bit counters", base};
+    v.cfg.filter = filter::FilterKind::Pa;
+    v.cfg.history.counter_bits = 3;
+    v.cfg.history.init_value = 4;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"adaptive (accuracy-gated pa)", base};
+    v.cfg.filter = filter::FilterKind::Adaptive;
+    variants.push_back(v);
+  }
+
+  struct Row {
+    std::string label;
+    double ipc;
+    double bad_good;
+    std::size_t storage;
+  };
+  std::vector<Row> rows;
+  for (const Variant& v : variants) {
+    const sim::SimResult r = sim::run_benchmark(v.cfg, bench);
+    const std::size_t storage =
+        v.cfg.filter == filter::FilterKind::None
+            ? 0
+            : v.cfg.history.entries * v.cfg.history.counter_bits / 8;
+    rows.push_back(Row{v.label, r.ipc(), r.bad_good_ratio(), storage});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ipc > b.ipc; });
+
+  std::cout << "filter design space for '" << bench << "' (ranked by IPC):\n\n";
+  sim::Table t({"variant", "IPC", "bad/good ratio", "table bytes"});
+  for (const Row& r : rows) {
+    t.add_row({r.label, sim::fmt(r.ipc), sim::fmt(r.bad_good),
+               std::to_string(r.storage)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Multiprogrammed run: two programs sharing the machine with context
+// switches, showing how the pollution filter behaves through working-set
+// changes — and how the adaptive (accuracy-gated) filter engages only
+// when prefetching misbehaves.
+//
+//   ./multiprogram [a=em3d] [b=gzip] [slice=100000] [instructions=800000]
+#include <iostream>
+#include <memory>
+
+#include "common/config.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/interleaved.hpp"
+
+using namespace ppf;
+
+namespace {
+
+std::unique_ptr<workload::InterleavedTrace> make_mix(const std::string& a,
+                                                     const std::string& b,
+                                                     std::uint64_t slice,
+                                                     std::uint64_t seed) {
+  std::vector<std::unique_ptr<workload::TraceSource>> v;
+  v.push_back(workload::make_benchmark(a, seed));
+  v.push_back(workload::make_benchmark(b, seed + 1));
+  return std::make_unique<workload::InterleavedTrace>(std::move(v), slice);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ParamMap params = ParamMap::from_args(argc, argv);
+  const std::string a = params.get_string("a", "em3d");
+  const std::string b = params.get_string("b", "gzip");
+  const std::uint64_t slice = params.get_u64("slice", 100'000);
+
+  sim::SimConfig cfg = sim::SimConfig::paper_default();
+  cfg.max_instructions = params.get_u64("instructions", 800'000);
+  cfg.warmup_instructions = 200'000;
+
+  std::cout << "time-sliced mix of '" << a << "' and '" << b << "' ("
+            << slice << "-instruction slices)\n\n";
+
+  sim::Table t({"filter", "IPC", "good pf", "bad pf", "rejected",
+                "energy uJ"});
+  for (auto kind :
+       {filter::FilterKind::None, filter::FilterKind::Pa,
+        filter::FilterKind::Pc, filter::FilterKind::Adaptive}) {
+    cfg.filter = kind;
+    auto mix = make_mix(a, b, slice, cfg.seed);
+    sim::Simulator sim(cfg);
+    const sim::SimResult r = sim.run(*mix);
+    t.add_row({filter::to_string(kind), sim::fmt(r.ipc()),
+               sim::fmt_u64(r.good_total()), sim::fmt_u64(r.bad_total()),
+               sim::fmt_u64(r.filter_rejected),
+               sim::fmt(r.energy.total_nj() / 1000.0, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEach context switch replaces the working set; the "
+               "history table is shared, so the\nfilter relearns — the "
+               "situation where the paper argues dynamic beats static.\n";
+  return 0;
+}

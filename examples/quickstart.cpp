@@ -1,0 +1,61 @@
+// Quickstart: simulate one workload on the paper's default machine, with
+// and without the pollution filter, and print what the filter changed.
+//
+//   ./quickstart [bench=mcf] [instructions=1000000] [filter=pc]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+int main(int argc, char** argv) {
+  const ParamMap params = ParamMap::from_args(argc, argv);
+  const std::string bench = params.get_string("bench", "mcf");
+  const std::string filter_name = params.get_string("filter", "pc");
+
+  // 1. Start from the paper's Table 1 machine: 8-wide OoO core, 8KB
+  //    direct-mapped L1 with 3 ports, 512KB L2, 150-cycle memory, NSP +
+  //    SDP hardware prefetchers plus software prefetches.
+  sim::SimConfig cfg = sim::SimConfig::paper_default();
+  cfg.max_instructions = params.get_u64("instructions", 1'000'000);
+
+  // 2. Run without pollution control.
+  cfg.filter = filter::FilterKind::None;
+  const sim::SimResult base = sim::run_benchmark(cfg, bench);
+
+  // 3. Run with the selected pollution filter.
+  cfg.filter = filter_name == "pa" ? filter::FilterKind::Pa
+             : filter_name == "adaptive" ? filter::FilterKind::Adaptive
+                                         : filter::FilterKind::Pc;
+  const sim::SimResult filt = sim::run_benchmark(cfg, bench);
+
+  std::cout << "workload: " << bench << "  (filter: " << filt.filter_name
+            << ")\n\n";
+  sim::Table t({"metric", "no filter", "filtered"});
+  t.add_row({"IPC", sim::fmt(base.ipc()), sim::fmt(filt.ipc())});
+  t.add_row({"L1D miss rate", sim::fmt_pct(base.l1d_miss_rate(), 2),
+             sim::fmt_pct(filt.l1d_miss_rate(), 2)});
+  t.add_row({"good prefetches", sim::fmt_u64(base.good_total()),
+             sim::fmt_u64(filt.good_total())});
+  t.add_row({"bad prefetches", sim::fmt_u64(base.bad_total()),
+             sim::fmt_u64(filt.bad_total())});
+  t.add_row({"prefetches rejected", sim::fmt_u64(base.filter_rejected),
+             sim::fmt_u64(filt.filter_rejected)});
+  t.add_row({"bus transfers", sim::fmt_u64(base.bus_transfers),
+             sim::fmt_u64(filt.bus_transfers)});
+  t.print(std::cout);
+
+  std::cout << "\nIPC change: "
+            << sim::fmt_pct(filt.ipc() / base.ipc() - 1.0) << ", bad "
+            << "prefetches removed: "
+            << sim::fmt_pct(base.bad_total() == 0
+                                ? 0.0
+                                : 1.0 - static_cast<double>(filt.bad_total()) /
+                                            static_cast<double>(
+                                                base.bad_total()))
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace ppf {
+
+const char* to_string(AccessType t) {
+  switch (t) {
+    case AccessType::Load: return "load";
+    case AccessType::Store: return "store";
+    case AccessType::Prefetch: return "prefetch";
+    case AccessType::InstFetch: return "ifetch";
+  }
+  return "?";
+}
+
+const char* to_string(PrefetchSource s) {
+  switch (s) {
+    case PrefetchSource::Software: return "sw";
+    case PrefetchSource::NextSequence: return "nsp";
+    case PrefetchSource::ShadowDirectory: return "sdp";
+    case PrefetchSource::Stride: return "stride";
+    case PrefetchSource::StreamBuffer: return "stream";
+    case PrefetchSource::Markov: return "markov";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void assert_fail(std::string_view expr, std::string_view file, int line,
+                 std::string_view msg) {
+  std::fprintf(stderr, "ppf: assertion failed: %.*s at %.*s:%d %.*s\n",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace ppf

@@ -1,0 +1,26 @@
+// Lightweight contract checks, active in all build types.
+//
+// The simulator is deterministic; a violated invariant means a modelling
+// bug, so we always fail fast rather than compile the checks out.
+#pragma once
+
+#include <string_view>
+
+namespace ppf::detail {
+
+[[noreturn]] void assert_fail(std::string_view expr, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace ppf::detail
+
+#define PPF_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::ppf::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define PPF_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::ppf::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

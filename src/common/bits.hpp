@@ -1,0 +1,32 @@
+// Bit-manipulation helpers for cache/table geometry.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ppf {
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power-of-two value.
+constexpr unsigned log2_exact(std::uint64_t v) {
+  PPF_ASSERT(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Extract bits [lo, lo+n) of v.
+constexpr std::uint64_t bits(std::uint64_t v, unsigned lo, unsigned n) {
+  PPF_ASSERT(n <= 64);
+  const std::uint64_t mask = (n >= 64) ? ~0ULL : ((1ULL << n) - 1);
+  return (v >> lo) & mask;
+}
+
+/// Mask with the low n bits set.
+constexpr std::uint64_t low_mask(unsigned n) {
+  return (n >= 64) ? ~0ULL : ((1ULL << n) - 1);
+}
+
+}  // namespace ppf

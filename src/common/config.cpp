@@ -1,0 +1,83 @@
+#include "common/config.hpp"
+
+#include <stdexcept>
+
+namespace ppf {
+namespace {
+
+std::string bad_value(std::string_view key, const std::string& value) {
+  std::string m = "malformed value for parameter '";
+  m.append(key);
+  m += "': '";
+  m += value;
+  m += "'";
+  return m;
+}
+
+}  // namespace
+
+ParamMap ParamMap::from_args(int argc, const char* const* argv) {
+  ParamMap p;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view tok(argv[i]);
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got '" +
+                                  std::string(tok) + "'");
+    }
+    p.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+  }
+  return p;
+}
+
+void ParamMap::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ParamMap::has(std::string_view key) const {
+  return entries_.find(std::string(key)) != entries_.end();
+}
+
+std::uint64_t ParamMap::get_u64(std::string_view key,
+                                std::uint64_t fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(it->second, &pos, 0);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(bad_value(key, it->second));
+  }
+}
+
+double ParamMap::get_double(std::string_view key, double fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(bad_value(key, it->second));
+  }
+}
+
+bool ParamMap::get_bool(std::string_view key, bool fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument(bad_value(key, v));
+}
+
+std::string ParamMap::get_string(std::string_view key,
+                                 std::string fallback) const {
+  const auto it = entries_.find(std::string(key));
+  return it == entries_.end() ? fallback : it->second;
+}
+
+}  // namespace ppf

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// std::mt19937 would work but is heavyweight for the inner loops of trace
+// generation; xorshift128+ gives us speed, determinism across platforms,
+// and a tiny state we can embed per-pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ppf {
+
+/// xorshift128+ generator. Deterministic for a given seed on all platforms.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Zipf-distributed index sampler over [0, n) with exponent `s`.
+///
+/// Used to model hot/cold working-set skew in the synthetic benchmarks.
+/// Precomputes the CDF once; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw an index in [0, n); index 0 is the most popular.
+  std::size_t sample(Xorshift& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Produces a random cyclic permutation of [0, n) — a single ring that
+/// visits every element. Used to build pointer-chase patterns whose next
+/// address is unpredictable to stride/next-line prefetchers.
+std::vector<std::uint32_t> make_chase_ring(std::size_t n, Xorshift& rng);
+
+}  // namespace ppf

@@ -1,0 +1,54 @@
+// Saturating up/down counter, the storage element of the history table
+// and of the bimodal branch predictor.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ppf {
+
+/// An n-bit saturating counter (n in [1, 8]).
+///
+/// The "taken"/"good" prediction convention matches 2-bit branch
+/// predictors: the counter predicts positive when its value is in the
+/// upper half of its range.
+class SaturatingCounter {
+ public:
+  /// Constructs an n-bit counter with the given initial value (clamped).
+  explicit SaturatingCounter(unsigned bits = 2, std::uint8_t init = 2)
+      : max_(static_cast<std::uint8_t>((1U << bits) - 1)),
+        value_(init > max_ ? max_ : init) {
+    PPF_ASSERT(bits >= 1 && bits <= 8);
+  }
+
+  /// Increment toward saturation.
+  void increment() {
+    if (value_ < max_) ++value_;
+  }
+
+  /// Decrement toward zero.
+  void decrement() {
+    if (value_ > 0) --value_;
+  }
+
+  /// Move toward (true) or away from (false) the positive prediction.
+  void update(bool positive) { positive ? increment() : decrement(); }
+
+  /// True when the counter is in the upper half of its range.
+  [[nodiscard]] bool predicts_positive() const {
+    return value_ > max_ / 2;
+  }
+
+  [[nodiscard]] std::uint8_t value() const { return value_; }
+  [[nodiscard]] std::uint8_t max() const { return max_; }
+
+  /// Reset to a specific value (clamped to range).
+  void set(std::uint8_t v) { value_ = v > max_ ? max_ : v; }
+
+ private:
+  std::uint8_t max_;
+  std::uint8_t value_;
+};
+
+}  // namespace ppf

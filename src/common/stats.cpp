@@ -1,0 +1,65 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ppf {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width), buckets_(num_buckets, 0) {
+  PPF_ASSERT(bucket_width > 0);
+  PPF_ASSERT(num_buckets > 0);
+}
+
+void Histogram::record(std::uint64_t sample) {
+  const std::size_t idx = static_cast<std::size_t>(sample / bucket_width_);
+  if (idx < buckets_.size())
+    ++buckets_[idx];
+  else
+    ++overflow_;
+  ++count_;
+  sum_ += sample;
+  if (sample > max_seen_) max_seen_ = sample;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  PPF_ASSERT(i < buckets_.size());
+  return buckets_[i];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  max_seen_ = 0;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    PPF_ASSERT(x > 0.0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace ppf

@@ -1,0 +1,57 @@
+// Statistics primitives: named counters, ratios, and histograms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppf {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets), with an
+/// overflow bucket. Used for latency and queue-occupancy distributions.
+class Histogram {
+ public:
+  Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+  void record(std::uint64_t sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t max_seen() const { return max_seen_; }
+
+  void reset();
+
+ private:
+  std::uint64_t bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+/// Safe ratio: returns 0 when the denominator is 0.
+double ratio(std::uint64_t num, std::uint64_t den);
+
+/// Arithmetic mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of a vector of positive values (0 for empty input).
+double geomean_of(const std::vector<double>& xs);
+
+}  // namespace ppf

@@ -1,0 +1,45 @@
+// Fundamental types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppf {
+
+/// Byte address in the simulated address space.
+using Addr = std::uint64_t;
+
+/// Cache-line-granular address (byte address >> line-offset bits).
+using LineAddr = std::uint64_t;
+
+/// Simulated core clock cycle.
+using Cycle = std::uint64_t;
+
+/// Simulated program counter.
+using Pc = std::uint64_t;
+
+/// Kinds of accesses presented to a cache.
+enum class AccessType : std::uint8_t {
+  Load,
+  Store,
+  Prefetch,
+  InstFetch,
+};
+
+/// Where a prefetch request originated.
+enum class PrefetchSource : std::uint8_t {
+  Software,         ///< compiler-inserted prefetch instruction
+  NextSequence,     ///< NSP hardware prefetcher
+  ShadowDirectory,  ///< SDP hardware prefetcher
+  Stride,           ///< stride/RPT prefetcher (extension)
+  StreamBuffer,     ///< Jouppi-style stream buffers (extension)
+  Markov,           ///< correlation/Markov prefetcher (extension)
+};
+
+/// Number of distinct PrefetchSource values (for per-source stat arrays).
+inline constexpr std::size_t kNumPrefetchSources = 6;
+
+const char* to_string(AccessType t);
+const char* to_string(PrefetchSource s);
+
+}  // namespace ppf

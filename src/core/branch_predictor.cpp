@@ -1,0 +1,34 @@
+#include "core/branch_predictor.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ppf::core {
+
+BimodalPredictor::BimodalPredictor(BimodalConfig cfg) : cfg_(cfg) {
+  PPF_ASSERT(is_pow2(cfg_.entries));
+  PPF_ASSERT(is_pow2(cfg_.inst_bytes));
+  index_bits_ = log2_exact(cfg_.entries);
+  pc_shift_ = log2_exact(cfg_.inst_bytes);
+  // Initialise weakly-taken, matching common bimodal setups.
+  table_.assign(cfg_.entries, SaturatingCounter(cfg_.counter_bits, 2));
+}
+
+std::size_t BimodalPredictor::index_of(Pc pc) const {
+  return static_cast<std::size_t>((pc >> pc_shift_) & low_mask(index_bits_));
+}
+
+bool BimodalPredictor::predict(Pc pc) const {
+  predictions_.add();
+  return table_[index_of(pc)].predicts_positive();
+}
+
+void BimodalPredictor::update(Pc pc, bool taken) {
+  table_[index_of(pc)].update(taken);
+}
+
+void BimodalPredictor::note_outcome(bool correct) {
+  if (!correct) mispredictions_.add();
+}
+
+}  // namespace ppf::core

@@ -1,0 +1,47 @@
+// Bimodal branch direction predictor (2-bit counters, PC-indexed), the
+// paper's configured predictor (2048 entries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::core {
+
+struct BimodalConfig {
+  std::size_t entries = 2048;  ///< power of two
+  unsigned counter_bits = 2;
+  unsigned inst_bytes = 4;  ///< PC is shifted by log2 of this before indexing
+};
+
+class BimodalPredictor {
+ public:
+  explicit BimodalPredictor(BimodalConfig cfg);
+
+  [[nodiscard]] bool predict(Pc pc) const;
+  void update(Pc pc, bool taken);
+
+  [[nodiscard]] std::uint64_t predictions() const {
+    return predictions_.value();
+  }
+  [[nodiscard]] std::uint64_t mispredictions() const {
+    return mispredictions_.value();
+  }
+  /// Record outcome bookkeeping for one resolved prediction.
+  void note_outcome(bool correct);
+
+ private:
+  [[nodiscard]] std::size_t index_of(Pc pc) const;
+
+  BimodalConfig cfg_;
+  unsigned index_bits_;
+  unsigned pc_shift_;
+  std::vector<SaturatingCounter> table_;
+  mutable Counter predictions_;
+  Counter mispredictions_;
+};
+
+}  // namespace ppf::core

@@ -1,0 +1,123 @@
+// Register-dataflow out-of-order core.
+//
+// Where OooCore approximates dependences statistically, this model
+// builds them from the trace's architectural registers: every
+// instruction waits for its source registers' producers, loads issue
+// out of order as their addresses become ready (port-limited), and a
+// mispredicted branch redirects the front end only when its sources
+// resolve. It is the higher-fidelity (and slower) of the two timing
+// models; select it with SimConfig::core_model = CoreModel::Dataflow.
+//
+// Scheduling is implemented with a producer/consumer wakeup graph: an
+// instruction whose producer's completion time is still unknown (a load
+// waiting for a port or for its address) parks on that producer and is
+// re-evaluated when the producer's time materialises.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/branch_predictor.hpp"
+#include "core/btb.hpp"
+#include "core/memory_iface.hpp"
+#include "core/ooo_core.hpp"  // CoreConfig, CoreResult
+#include "workload/trace.hpp"
+
+namespace ppf::core {
+
+class DataflowCore {
+ public:
+  DataflowCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem);
+
+  /// Same contract as OooCore::run.
+  CoreResult run(workload::TraceSource& trace, std::uint64_t max_instructions,
+                 std::uint64_t warmup_instructions = 0,
+                 const std::function<void()>& on_warmup_end = {});
+
+  [[nodiscard]] const BimodalPredictor& predictor() const { return bp_; }
+
+ private:
+  static constexpr Cycle kUnknown = std::numeric_limits<Cycle>::max();
+  static constexpr std::size_t kNumRegs = 32;
+
+  struct RobEntry {
+    Cycle done = kUnknown;   ///< completion; kUnknown while unresolved
+    bool is_mem = false;
+    bool retired_ok = true;  // (reserved)
+  };
+
+  /// A load/store whose address register is ready, waiting for a port.
+  struct ReadyMem {
+    std::uint64_t seq;
+    Pc pc;
+    Addr addr;
+    bool is_store;
+    Cycle addr_ready;
+  };
+
+  /// A load/store whose address register is NOT yet ready.
+  struct WaitingMem {
+    std::uint64_t seq;
+    Pc pc;
+    Addr addr;
+    bool is_store;
+    std::uint64_t producer_seq;  ///< rob seq computing the address
+    std::uint8_t other_src;      ///< second source register, if any
+  };
+
+  /// A non-memory instruction parked on an unresolved producer.
+  struct WaitingAlu {
+    std::uint64_t seq;
+    std::uint64_t producer_seq;
+    std::uint8_t dst;
+    Cycle other_ready;  ///< readiness of the already-resolved source
+    bool is_branch;
+    bool mispredicted;
+  };
+
+  RobEntry& rob_at(std::uint64_t seq);
+  [[nodiscard]] bool rob_full() const { return rob_count_ == cfg_.rob_entries; }
+  std::uint64_t alloc_rob(bool is_mem);
+  void retire(Cycle now);
+  void issue_ready_mem(Cycle now);
+  /// Producer `seq` now completes at `done`: wake its dependents.
+  void resolve(std::uint64_t seq, Cycle done, Cycle now);
+  void complete_alu(const WaitingAlu& w, Cycle src_ready, Cycle now);
+
+  CoreConfig cfg_;
+  DataMemory& dmem_;
+  InstMemory& imem_;
+  BimodalPredictor bp_;
+  Btb btb_;
+
+  std::vector<RobEntry> rob_;
+  std::uint64_t rob_head_seq_ = 0;
+  std::uint64_t rob_next_seq_ = 0;
+  unsigned rob_count_ = 0;
+  unsigned lsq_count_ = 0;
+
+  /// Per-register state: either a ready time, or the producing seq.
+  struct RegState {
+    Cycle ready = 0;
+    std::uint64_t producer = kNoProducer;  ///< kNoProducer = value ready
+  };
+  static constexpr std::uint64_t kNoProducer =
+      std::numeric_limits<std::uint64_t>::max();
+  std::vector<RegState> regs_{kNumRegs};
+
+  std::deque<ReadyMem> ready_mem_;
+  std::vector<WaitingMem> waiting_mem_;
+  std::vector<WaitingAlu> waiting_alu_;
+
+  /// Mispredicted branch whose resolve time is still unknown.
+  bool redirect_pending_ = false;
+  std::uint64_t redirect_seq_ = 0;
+  Cycle redirect_until_ = 0;
+
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace ppf::core

@@ -1,0 +1,46 @@
+// Narrow interfaces between the timing core and the memory hierarchy.
+//
+// The core owns the cycle loop; the hierarchy owns cache/bus/queue state.
+// Port arbitration follows the paper's model: all L1 data ports are
+// universal, demand accesses have priority, and the prefetch queue uses
+// whatever ports are left in the cycle (end_cycle).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ppf::core {
+
+class DataMemory {
+ public:
+  virtual ~DataMemory() = default;
+
+  /// Start-of-cycle: reset this cycle's L1 port budget.
+  virtual void begin_cycle(Cycle now) = 0;
+
+  /// Reserve one L1 data port for a demand access this cycle.
+  virtual bool try_reserve_port(Cycle now) = 0;
+
+  /// Perform a demand access whose port was already reserved.
+  /// Returns the cycle at which the data is available (loads) or the
+  /// access is globally performed (stores).
+  virtual Cycle demand_access(Cycle now, Pc pc, Addr addr, bool is_store) = 0;
+
+  /// A software prefetch instruction from the LSQ; routed through the
+  /// pollution filter, does not consume a port until it issues from the
+  /// prefetch queue.
+  virtual void software_prefetch(Cycle now, Pc pc, Addr addr) = 0;
+
+  /// End-of-cycle: spend leftover ports on the prefetch queue.
+  virtual void end_cycle(Cycle now) = 0;
+};
+
+class InstMemory {
+ public:
+  virtual ~InstMemory() = default;
+
+  /// Fetch the instruction line containing `pc`; returns the cycle the
+  /// line is available (== now when it hits in the L1 I-cache).
+  virtual Cycle fetch(Cycle now, Pc pc) = 0;
+};
+
+}  // namespace ppf::core

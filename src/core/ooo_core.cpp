@@ -1,0 +1,275 @@
+#include "core/ooo_core.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace ppf::core {
+namespace {
+
+constexpr Cycle kNotDone = std::numeric_limits<Cycle>::max();
+
+}  // namespace
+
+OooCore::OooCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem)
+    : cfg_(cfg),
+      dmem_(dmem),
+      imem_(imem),
+      bp_(cfg.bimodal),
+      btb_(cfg.btb),
+      rng_(cfg.seed) {
+  PPF_ASSERT(cfg_.width >= 1);
+  PPF_ASSERT(cfg_.rob_entries >= cfg_.width);
+  PPF_ASSERT(cfg_.lsq_entries >= 1);
+  rob_.resize(cfg_.rob_entries);
+}
+
+OooCore::RobEntry& OooCore::rob_at(std::uint64_t seq) {
+  return rob_[seq % cfg_.rob_entries];
+}
+
+std::uint64_t OooCore::alloc_rob(bool is_mem) {
+  PPF_ASSERT(!rob_full());
+  const std::uint64_t seq = rob_next_seq_++;
+  rob_at(seq) = RobEntry{kNotDone, is_mem, true};
+  ++rob_count_;
+  if (is_mem) ++lsq_count_;
+  return seq;
+}
+
+void OooCore::retire(Cycle now) {
+  unsigned n = 0;
+  while (rob_count_ > 0 && n < cfg_.width) {
+    RobEntry& head = rob_at(rob_head_seq_);
+    if (!head.issued || head.done > now) break;
+    if (head.is_mem) {
+      PPF_ASSERT(lsq_count_ > 0);
+      --lsq_count_;
+    }
+    ++rob_head_seq_;
+    --rob_count_;
+    ++n;
+  }
+}
+
+void OooCore::do_issue(Cycle now, const PendingMem& p, bool serial) {
+  const Cycle completion = dmem_.demand_access(now, p.pc, p.addr, p.is_store);
+  RobEntry& e = rob_at(p.seq);
+  e.issued = true;
+  e.done = p.is_store ? now + 1 : completion;
+  if (!p.is_store) {
+    last_load_done_ = e.done;
+    last_load_known_ = true;
+    if (serial) serial_chain_ready_ = completion;
+  }
+}
+
+void OooCore::issue_pending(Cycle now) {
+  // Serial (pointer-chase) accesses go first: the chain head has been
+  // waiting longest and everything behind it is address-dependent.
+  while (!pending_serial_.empty() && serial_chain_ready_ <= now &&
+         dmem_.try_reserve_port(now)) {
+    const PendingMem p = pending_serial_.front();
+    pending_serial_.pop_front();
+    do_issue(now, p, /*serial=*/true);
+  }
+  while (!pending_mem_.empty() && dmem_.try_reserve_port(now)) {
+    const PendingMem p = pending_mem_.front();
+    pending_mem_.pop_front();
+    do_issue(now, p, /*serial=*/false);
+  }
+}
+
+namespace {
+
+/// Subtract the warmup-window counters so `res` covers only measurement.
+void subtract_snapshot(CoreResult& res, const CoreResult& snap) {
+  res.instructions -= snap.instructions;
+  res.loads -= snap.loads;
+  res.stores -= snap.stores;
+  res.branches -= snap.branches;
+  res.sw_prefetches -= snap.sw_prefetches;
+  res.mispredictions -= snap.mispredictions;
+  res.rob_full_stall_cycles -= snap.rob_full_stall_cycles;
+  res.lsq_full_stall_cycles -= snap.lsq_full_stall_cycles;
+  res.fetch_stall_cycles -= snap.fetch_stall_cycles;
+}
+
+}  // namespace
+
+CoreResult OooCore::run(workload::TraceSource& trace,
+                        std::uint64_t max_instructions,
+                        std::uint64_t warmup_instructions,
+                        const std::function<void()>& on_warmup_end) {
+  CoreResult res;
+  Cycle now = 0;
+  bool in_warmup = warmup_instructions > 0;
+  CoreResult warm_snapshot;
+  Cycle warmup_end_cycle = 0;
+
+  workload::TraceRecord rec;
+  bool have_rec = trace.next(rec);
+  std::uint64_t dispatched = 0;
+
+  Cycle fetch_ready = 0;
+  Cycle redirect_until = 0;
+  // Fetch-line tracking: charge one I-fetch per new 32-byte line.
+  Addr cur_fetch_line = std::numeric_limits<Addr>::max();
+  const unsigned line_shift = [&] {
+    unsigned s = 0;
+    for (unsigned v = cfg_.ifetch_line_bytes; v > 1; v >>= 1) ++s;
+    return s;
+  }();
+
+  // Livelock guard: the model must always make forward progress.
+  const Cycle cycle_limit =
+      (max_instructions + 1024) * 512 + 10'000'000ULL;
+
+  while (true) {
+    const bool trace_active = have_rec && dispatched < max_instructions;
+    if (!trace_active && rob_count_ == 0 && pending_mem_.empty() &&
+        pending_serial_.empty())
+      break;
+    PPF_ASSERT_MSG(now < cycle_limit, "timing model livelock");
+
+    dmem_.begin_cycle(now);
+    retire(now);
+    issue_pending(now);
+
+    const bool was_rob_full = rob_full();
+    const bool fetch_stalled = now < fetch_ready || now < redirect_until;
+
+    unsigned slots = cfg_.width;
+    bool lsq_blocked = false;
+    while (slots > 0 && have_rec && dispatched < max_instructions) {
+      if (now < fetch_ready || now < redirect_until) break;
+      if (rob_full()) break;
+
+      // Instruction fetch: crossing into a new I-line probes the L1I.
+      const Addr line = rec.pc >> line_shift;
+      if (line != cur_fetch_line) {
+        const Cycle ready = imem_.fetch(now, rec.pc);
+        cur_fetch_line = line;
+        if (ready > now) {
+          fetch_ready = ready;
+          break;
+        }
+      }
+
+      const bool is_mem = rec.kind == workload::InstKind::Load ||
+                          rec.kind == workload::InstKind::Store;
+      if (is_mem && lsq_count_ >= cfg_.lsq_entries) {
+        lsq_blocked = true;
+        break;
+      }
+
+      const std::uint64_t seq = alloc_rob(is_mem);
+      RobEntry& e = rob_at(seq);
+      Cycle done = now + cfg_.exec_latency;
+      // Statistical dataflow: consume the youngest load with prob p.
+      if (lsq_count_ > (is_mem ? 1U : 0U) &&
+          rng_.chance(cfg_.dep_on_load_prob)) {
+        if (last_load_known_ && last_load_done_ > done) done = last_load_done_;
+      }
+
+      switch (rec.kind) {
+        case workload::InstKind::Op:
+          e.done = done;
+          break;
+        case workload::InstKind::SwPrefetch:
+          ++res.sw_prefetches;
+          dmem_.software_prefetch(now, rec.pc, rec.addr);
+          e.done = done;
+          break;
+        case workload::InstKind::Branch: {
+          ++res.branches;
+          const bool pred_taken = bp_.predict(rec.pc);
+          const auto pred_target = btb_.lookup(rec.pc);
+          bool correct = pred_taken == rec.taken;
+          if (correct && rec.taken) {
+            correct = pred_target.has_value() && *pred_target == rec.target;
+          }
+          bp_.update(rec.pc, rec.taken);
+          if (rec.taken) btb_.update(rec.pc, rec.target);
+          bp_.note_outcome(correct);
+          e.done = done;
+          if (!correct) {
+            ++res.mispredictions;
+            redirect_until = done + cfg_.mispredict_penalty;
+          }
+          if (rec.taken) {
+            // Control transfer: the next line fetched is the target's.
+            cur_fetch_line = std::numeric_limits<Addr>::max();
+          }
+          break;
+        }
+        case workload::InstKind::Load:
+        case workload::InstKind::Store: {
+          const bool is_store = rec.kind == workload::InstKind::Store;
+          if (is_store)
+            ++res.stores;
+          else
+            ++res.loads;
+          const PendingMem pm{seq, rec.pc, rec.addr, is_store};
+          if (rec.serial) {
+            // Pointer chase: issue in chain order, gated on the previous
+            // serial load's data.
+            if (pending_serial_.empty() && serial_chain_ready_ <= now &&
+                dmem_.try_reserve_port(now)) {
+              do_issue(now, pm, /*serial=*/true);
+            } else {
+              e.issued = false;
+              e.done = kNotDone;
+              pending_serial_.push_back(pm);
+              if (!is_store) last_load_known_ = false;
+            }
+          } else if (dmem_.try_reserve_port(now)) {
+            do_issue(now, pm, /*serial=*/false);
+          } else {
+            e.issued = false;
+            e.done = kNotDone;
+            pending_mem_.push_back(pm);
+            if (!is_store) last_load_known_ = false;
+          }
+          break;
+        }
+      }
+
+      ++dispatched;
+      ++res.instructions;
+      --slots;
+      if (in_warmup && dispatched >= warmup_instructions) {
+        in_warmup = false;
+        warm_snapshot = res;
+        warmup_end_cycle = now;
+        if (on_warmup_end) on_warmup_end();
+      }
+      have_rec = trace.next(rec);
+      if (now < redirect_until) break;  // stop after a mispredicted branch
+    }
+
+    if (trace_active && slots == cfg_.width) {
+      // Nothing dispatched this cycle: attribute the stall.
+      if (was_rob_full)
+        ++res.rob_full_stall_cycles;
+      else if (lsq_blocked)
+        ++res.lsq_full_stall_cycles;
+      else if (fetch_stalled)
+        ++res.fetch_stall_cycles;
+    }
+
+    dmem_.end_cycle(now);
+    ++now;
+  }
+
+  if (warmup_instructions > 0) {
+    PPF_ASSERT_MSG(!in_warmup, "warmup longer than the whole run");
+    subtract_snapshot(res, warm_snapshot);
+    res.cycles = now - warmup_end_cycle;
+  } else {
+    res.cycles = now;
+  }
+  return res;
+}
+
+}  // namespace ppf::core

@@ -1,0 +1,36 @@
+#include "filter/adaptive_filter.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::filter {
+
+AdaptiveFilter::AdaptiveFilter(std::unique_ptr<PollutionFilter> inner,
+                               AdaptiveConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  PPF_ASSERT(inner_ != nullptr);
+  PPF_ASSERT(cfg_.window > 0);
+  PPF_ASSERT(cfg_.release_threshold >= cfg_.accuracy_threshold);
+}
+
+bool AdaptiveFilter::decide(const PrefetchCandidate& c) {
+  // Keep the inner filter's own admit/reject statistics meaningful by
+  // always consulting it; only honour its rejection while engaged.
+  const bool inner_says = inner_->admit(c);
+  return engaged_ ? inner_says : true;
+}
+
+void AdaptiveFilter::feedback(const FilterFeedback& f) {
+  inner_->feedback(f);
+  ++window_events_;
+  if (f.referenced) ++window_good_;
+  if (window_events_ >= cfg_.window) {
+    accuracy_ =
+        static_cast<double>(window_good_) / static_cast<double>(window_events_);
+    window_events_ = 0;
+    window_good_ = 0;
+    if (!engaged_ && accuracy_ < cfg_.accuracy_threshold) engaged_ = true;
+    if (engaged_ && accuracy_ > cfg_.release_threshold) engaged_ = false;
+  }
+}
+
+}  // namespace ppf::filter

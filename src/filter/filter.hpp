@@ -1,0 +1,143 @@
+// Pollution filter interface and the paper's two dynamic schemes.
+//
+// The filter sees every in-flight prefetch (hardware-generated or software)
+// before it reaches the prefetch queue and decides whether to admit it;
+// feedback arrives when a prefetched line leaves the L1 (or the dedicated
+// prefetch buffer) with its PIB/RIB bits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "filter/history_table.hpp"
+
+namespace ppf::filter {
+
+/// A prefetch presented to the filter for an admit/reject decision.
+struct PrefetchCandidate {
+  LineAddr line = 0;
+  Pc trigger_pc = 0;
+  PrefetchSource source = PrefetchSource::Software;
+};
+
+/// Outcome of one prefetch, reported on eviction of the prefetched line.
+struct FilterFeedback {
+  LineAddr line = 0;
+  Pc trigger_pc = 0;
+  bool referenced = false;  ///< RIB at eviction time
+  PrefetchSource source = PrefetchSource::Software;
+};
+
+class PollutionFilter {
+ public:
+  virtual ~PollutionFilter() = default;
+
+  /// Decide whether this prefetch may be issued.
+  bool admit(const PrefetchCandidate& c);
+
+  /// Deliver PIB/RIB feedback from an evicted prefetched line.
+  virtual void feedback(const FilterFeedback& f) = 0;
+
+  /// Recovery feedback: a demand miss hit a line this filter recently
+  /// rejected — decisive evidence the rejection was wrong. Defaults to
+  /// ordinary feedback; table-based filters saturate the counter.
+  virtual void recover(const FilterFeedback& f) { feedback(f); }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_.value(); }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_.value(); }
+
+  /// Reset the admit/reject counters (e.g. at end of warmup); the
+  /// learned predictor state is deliberately kept.
+  void reset_stats() {
+    admitted_.reset();
+    rejected_.reset();
+  }
+
+ protected:
+  /// Scheme-specific decision; admit() wraps it with bookkeeping.
+  virtual bool decide(const PrefetchCandidate& c) = 0;
+
+ private:
+  Counter admitted_;
+  Counter rejected_;
+};
+
+/// Pass-through baseline: the "no filtering" configuration.
+class NullFilter final : public PollutionFilter {
+ public:
+  void feedback(const FilterFeedback&) override {}
+  [[nodiscard]] const char* name() const override { return "none"; }
+
+ protected:
+  bool decide(const PrefetchCandidate&) override { return true; }
+};
+
+/// Per-Address filter: history table indexed by the prefetched line
+/// address (cache-line offset already stripped by LineAddr).
+class PaFilter final : public PollutionFilter {
+ public:
+  explicit PaFilter(HistoryTableConfig cfg);
+
+  void feedback(const FilterFeedback& f) override;
+  void recover(const FilterFeedback& f) override;
+  [[nodiscard]] const char* name() const override { return "pa"; }
+  [[nodiscard]] const HistoryTable& table() const { return table_; }
+
+ protected:
+  bool decide(const PrefetchCandidate& c) override;
+
+ private:
+  HistoryTable table_;
+};
+
+/// Program-Counter filter: history table indexed by the PC of the
+/// instruction that triggered the prefetch, scaled by the instruction
+/// size so consecutive instructions map to consecutive entries.
+class PcFilter final : public PollutionFilter {
+ public:
+  /// `inst_bytes` is the fixed instruction size of the simulated ISA
+  /// (4 for Alpha, the paper's target).
+  explicit PcFilter(HistoryTableConfig cfg, unsigned inst_bytes = 4);
+
+  void feedback(const FilterFeedback& f) override;
+  void recover(const FilterFeedback& f) override;
+  [[nodiscard]] const char* name() const override { return "pc"; }
+  [[nodiscard]] const HistoryTable& table() const { return table_; }
+
+ protected:
+  bool decide(const PrefetchCandidate& c) override;
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(Pc pc) const;
+
+  HistoryTable table_;
+  unsigned pc_shift_;
+};
+
+/// Filter scheme selector used by SimConfig and the experiment driver.
+enum class FilterKind : std::uint8_t {
+  None,
+  Pa,
+  Pc,
+  Static,     ///< profile-driven (Srinivasan et al. [18]) — related work
+  Adaptive,   ///< accuracy-gated PA filter — the paper's "advanced feature"
+  DeadBlock,  ///< victim-liveness gate (Lai et al. [11]) — related work
+};
+
+inline const char* to_string(FilterKind k) {
+  switch (k) {
+    case FilterKind::None: return "none";
+    case FilterKind::Pa: return "pa";
+    case FilterKind::Pc: return "pc";
+    case FilterKind::Static: return "static";
+    case FilterKind::Adaptive: return "adaptive";
+    case FilterKind::DeadBlock: return "deadblock";
+  }
+  return "?";
+}
+
+}  // namespace ppf::filter

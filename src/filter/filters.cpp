@@ -1,0 +1,52 @@
+#include "filter/filter.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::filter {
+
+bool PollutionFilter::admit(const PrefetchCandidate& c) {
+  const bool ok = decide(c);
+  if (ok)
+    admitted_.add();
+  else
+    rejected_.add();
+  return ok;
+}
+
+PaFilter::PaFilter(HistoryTableConfig cfg) : table_(cfg) {}
+
+bool PaFilter::decide(const PrefetchCandidate& c) {
+  return table_.predict_good(c.line, c.source);
+}
+
+void PaFilter::feedback(const FilterFeedback& f) {
+  table_.update(f.line, f.referenced, f.source);
+}
+
+void PaFilter::recover(const FilterFeedback& f) {
+  table_.update_strong(f.line, f.referenced, f.source);
+}
+
+PcFilter::PcFilter(HistoryTableConfig cfg, unsigned inst_bytes)
+    : table_(cfg) {
+  PPF_ASSERT_MSG(inst_bytes > 0 && (inst_bytes & (inst_bytes - 1)) == 0,
+                 "instruction size must be a power of two");
+  pc_shift_ = 0;
+  for (unsigned v = inst_bytes; v > 1; v >>= 1) ++pc_shift_;
+}
+
+std::uint64_t PcFilter::key_of(Pc pc) const { return pc >> pc_shift_; }
+
+bool PcFilter::decide(const PrefetchCandidate& c) {
+  return table_.predict_good(key_of(c.trigger_pc), c.source);
+}
+
+void PcFilter::feedback(const FilterFeedback& f) {
+  table_.update(key_of(f.trigger_pc), f.referenced, f.source);
+}
+
+void PcFilter::recover(const FilterFeedback& f) {
+  table_.update_strong(key_of(f.trigger_pc), f.referenced, f.source);
+}
+
+}  // namespace ppf::filter

@@ -1,0 +1,78 @@
+#include "filter/history_table.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ppf::filter {
+
+HistoryTable::HistoryTable(HistoryTableConfig cfg) : cfg_(cfg) {
+  PPF_ASSERT_MSG(is_pow2(cfg_.entries), "history table entries must be 2^n");
+  PPF_ASSERT(cfg_.counter_bits >= 1 && cfg_.counter_bits <= 8);
+  index_bits_ = log2_exact(cfg_.entries);
+  counters_.assign(cfg_.entries,
+                   SaturatingCounter(cfg_.counter_bits, cfg_.init_value));
+  touched_.assign(cfg_.entries, false);
+}
+
+std::size_t HistoryTable::index_of(std::uint64_t key,
+                                   PrefetchSource source) const {
+  std::size_t idx =
+      static_cast<std::size_t>(table_index(cfg_.hash, key, index_bits_));
+  if (cfg_.source_separated) {
+    // Rotate the whole table by a per-source offset: every source still
+    // addresses all entries (no capacity loss) and neighbouring keys
+    // stay in neighbouring entries (locality preserved), but one key's
+    // counters differ across engines.
+    const std::size_t offset =
+        static_cast<std::size_t>(source) * (counters_.size() / 8);
+    idx = (idx + offset) & ((1ULL << index_bits_) - 1);
+  }
+  return idx;
+}
+
+bool HistoryTable::predict_good(std::uint64_t key,
+                                PrefetchSource source) const {
+  lookups_.add();
+  return counters_[index_of(key, source)].predicts_positive();
+}
+
+void HistoryTable::update(std::uint64_t key, bool good,
+                          PrefetchSource source) {
+  const std::size_t i = index_of(key, source);
+  counters_[i].update(good);
+  touched_[i] = true;
+  updates_.add();
+}
+
+void HistoryTable::update_strong(std::uint64_t key, bool good,
+                                 PrefetchSource source) {
+  const std::size_t i = index_of(key, source);
+  counters_[i].set(good ? counters_[i].max() : 0);
+  touched_[i] = true;
+  updates_.add();
+}
+
+std::uint8_t HistoryTable::counter_value(std::size_t index) const {
+  PPF_ASSERT(index < counters_.size());
+  return counters_[index].value();
+}
+
+std::size_t HistoryTable::storage_bytes() const {
+  return (counters_.size() * cfg_.counter_bits + 7) / 8;
+}
+
+double HistoryTable::touched_fraction() const {
+  std::size_t n = 0;
+  for (bool t : touched_) n += t ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(touched_.size());
+}
+
+void HistoryTable::reset() {
+  counters_.assign(cfg_.entries,
+                   SaturatingCounter(cfg_.counter_bits, cfg_.init_value));
+  touched_.assign(cfg_.entries, false);
+  lookups_.reset();
+  updates_.reset();
+}
+
+}  // namespace ppf::filter

@@ -1,0 +1,37 @@
+#include "filter/static_filter.hpp"
+
+namespace ppf::filter {
+
+StaticFilter::StaticFilter(bool use_pc_keys) : use_pc_keys_(use_pc_keys) {}
+
+std::uint64_t StaticFilter::key_of(LineAddr line, Pc pc) const {
+  return use_pc_keys_ ? pc : line;
+}
+
+bool StaticFilter::decide(const PrefetchCandidate& c) {
+  if (!frozen_) return true;  // profiling phase admits everything
+  const auto it = profile_.find(key_of(c.line, c.trigger_pc));
+  if (it == profile_.end()) return true;  // unseen site: admit
+  return it->second.good >= it->second.bad;
+}
+
+void StaticFilter::feedback(const FilterFeedback& f) {
+  if (frozen_) return;  // no runtime adaptation once deployed
+  Outcome& o = profile_[key_of(f.line, f.trigger_pc)];
+  if (f.referenced)
+    ++o.good;
+  else
+    ++o.bad;
+}
+
+void StaticFilter::freeze() { frozen_ = true; }
+
+std::size_t StaticFilter::rejected_keys() const {
+  std::size_t n = 0;
+  for (const auto& [k, o] : profile_) {
+    if (o.bad > o.good) ++n;
+  }
+  return n;
+}
+
+}  // namespace ppf::filter

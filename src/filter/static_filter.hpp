@@ -1,0 +1,50 @@
+// Profile-driven static filter modelled after Srinivasan, Tyson & Davidson,
+// "A Static Filter for Reducing Prefetch Traffic" (UM CSE-TR-400-99) — the
+// main comparison point in the paper's Related Work section.
+//
+// Usage is two-phase: a profiling run admits everything while recording
+// per-key good/bad outcomes; freeze() then fixes the reject set, and the
+// measurement run filters against that frozen profile with no runtime
+// adaptation (exactly the property the paper criticises).
+#pragma once
+
+#include <unordered_map>
+
+#include "filter/filter.hpp"
+
+namespace ppf::filter {
+
+class StaticFilter final : public PollutionFilter {
+ public:
+  /// `use_pc_keys` selects PC keys (like the original static filter, which
+  /// annotates prefetch sites); false keys by line address.
+  explicit StaticFilter(bool use_pc_keys = true);
+
+  void feedback(const FilterFeedback& f) override;
+  [[nodiscard]] const char* name() const override { return "static"; }
+
+  /// End the profiling phase: keys whose observed bad count exceeds their
+  /// good count are rejected from now on, and feedback stops adapting.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] std::size_t profiled_keys() const { return profile_.size(); }
+  [[nodiscard]] std::size_t rejected_keys() const;
+
+ protected:
+  bool decide(const PrefetchCandidate& c) override;
+
+ private:
+  struct Outcome {
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  [[nodiscard]] std::uint64_t key_of(LineAddr line, Pc pc) const;
+
+  bool use_pc_keys_;
+  bool frozen_ = false;
+  std::unordered_map<std::uint64_t, Outcome> profile_;
+};
+
+}  // namespace ppf::filter

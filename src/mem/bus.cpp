@@ -1,0 +1,35 @@
+#include "mem/bus.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::mem {
+
+Bus::Bus(BusConfig cfg) : cfg_(cfg) {
+  PPF_ASSERT(cfg_.width_bytes > 0);
+  PPF_ASSERT(cfg_.cycles_per_beat > 0);
+}
+
+Cycle Bus::transfer(Cycle now, std::uint32_t bytes, bool is_prefetch) {
+  PPF_ASSERT(bytes > 0);
+  const std::uint64_t beats =
+      (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
+  const Cycle duration = beats * cfg_.cycles_per_beat;
+  const Cycle start = now > next_free_ ? now : next_free_;
+  queue_delay_.add(start - now);
+  next_free_ = start + duration;
+  transfers_.add();
+  if (is_prefetch) prefetch_transfers_.add();
+  bytes_.add(bytes);
+  busy_.add(duration);
+  return next_free_;
+}
+
+void Bus::reset_stats() {
+  transfers_.reset();
+  prefetch_transfers_.reset();
+  bytes_.reset();
+  busy_.reset();
+  queue_delay_.reset();
+}
+
+}  // namespace ppf::mem

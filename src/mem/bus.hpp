@@ -1,0 +1,58 @@
+// Occupancy model of the memory bus between the L2 and main memory.
+//
+// The paper's configuration has a single 64-byte-wide bus; excessive
+// prefetch traffic queues behind demand traffic here, which is one of the
+// two mechanisms (with cache pollution) by which bad prefetches hurt IPC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::mem {
+
+struct BusConfig {
+  std::uint32_t width_bytes = 64;  ///< bytes moved per bus beat (Table 1)
+  /// Core cycles per bus beat. The paper targets a 2 GHz core over a
+  /// c.2003 front-side bus (~3 GB/s): one 64-byte beat every ~12 core
+  /// cycles. This is what makes excessive prefetch traffic throttle the
+  /// memory system, per the paper's motivation.
+  std::uint32_t cycles_per_beat = 12;
+};
+
+class Bus {
+ public:
+  explicit Bus(BusConfig cfg);
+
+  /// Reserve the bus for a transfer of `bytes` starting no earlier than
+  /// `now`. Returns the cycle at which the transfer completes (the data
+  /// has fully crossed the bus).
+  Cycle transfer(Cycle now, std::uint32_t bytes, bool is_prefetch);
+
+  /// Cycle at which the bus next becomes free.
+  [[nodiscard]] Cycle next_free() const { return next_free_; }
+
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_.value(); }
+  [[nodiscard]] std::uint64_t prefetch_transfers() const {
+    return prefetch_transfers_.value();
+  }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_.value(); }
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_.value(); }
+  [[nodiscard]] std::uint64_t queue_delay_cycles() const {
+    return queue_delay_.value();
+  }
+
+  void reset_stats();
+
+ private:
+  BusConfig cfg_;
+  Cycle next_free_ = 0;
+  Counter transfers_;
+  Counter prefetch_transfers_;
+  Counter bytes_;
+  Counter busy_;
+  Counter queue_delay_;
+};
+
+}  // namespace ppf::mem

@@ -1,0 +1,216 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ppf::mem {
+
+Cache::Cache(CacheConfig cfg, std::uint64_t rng_seed)
+    : cfg_(std::move(cfg)), rng_(rng_seed) {
+  PPF_ASSERT_MSG(is_pow2(cfg_.line_bytes), "line size must be a power of two");
+  PPF_ASSERT_MSG(cfg_.size_bytes % cfg_.line_bytes == 0,
+                 "cache size must be a multiple of the line size");
+  offset_bits_ = log2_exact(cfg_.line_bytes);
+  const std::uint64_t num_lines = cfg_.num_lines();
+  PPF_ASSERT(num_lines > 0);
+  ways_ = cfg_.associativity == 0 ? num_lines : cfg_.associativity;
+  PPF_ASSERT_MSG(num_lines % ways_ == 0,
+                 "line count must be a multiple of associativity");
+  const std::uint64_t sets = num_lines / ways_;
+  PPF_ASSERT_MSG(is_pow2(sets), "set count must be a power of two");
+  set_bits_ = log2_exact(sets);
+  lines_.resize(num_lines);
+}
+
+std::uint64_t Cache::set_index(LineAddr line) const {
+  return bits(line, 0, set_bits_);
+}
+
+std::uint64_t Cache::tag_of(LineAddr line) const { return line >> set_bits_; }
+
+LineAddr Cache::line_from(std::uint64_t set, std::uint64_t tag) const {
+  return (tag << set_bits_) | set;
+}
+
+Cache::Line* Cache::find(LineAddr line) {
+  const std::uint64_t set = set_index(line);
+  const std::uint64_t tag = tag_of(line);
+  Line* base = &lines_[set * ways_];
+  for (std::uint64_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(LineAddr line) const {
+  return const_cast<Cache*>(this)->find(line);
+}
+
+AccessResult Cache::access(Addr addr, AccessType type) {
+  const LineAddr line = line_of(addr);
+  const auto t = static_cast<std::size_t>(type);
+  AccessResult r;
+  if (Line* l = find(line)) {
+    r.hit = true;
+    r.hit_nsp_tagged = l->nsp_tag;
+    if (type != AccessType::Prefetch) {
+      // Demand touch: consume the NSP tag and mark the prefetched line as
+      // referenced (PIB/RIB protocol from Section 4 of the paper).
+      l->nsp_tag = false;
+      if (l->pib && !l->rib) {
+        l->rib = true;
+        r.first_use_of_prefetch = true;
+        r.source = l->source;
+      }
+      if (type == AccessType::Store) l->dirty = true;
+      l->last_use = ++stamp_;
+    }
+    hits_[t].add();
+  } else {
+    misses_[t].add();
+  }
+  return r;
+}
+
+bool Cache::contains(Addr addr) const { return find(line_of(addr)) != nullptr; }
+
+Eviction Cache::make_eviction(std::uint64_t set, const Line& l) const {
+  Eviction ev;
+  ev.line = line_from(set, l.tag);
+  ev.dirty = l.dirty;
+  ev.pib = l.pib;
+  ev.rib = l.rib;
+  ev.trigger_pc = l.trigger_pc;
+  ev.source = l.source;
+  return ev;
+}
+
+std::optional<Eviction> Cache::fill(Addr addr, const FillInfo& info) {
+  const LineAddr line = line_of(addr);
+  const std::uint64_t set = set_index(line);
+  Line* base = &lines_[set * ways_];
+
+  // A racing fill for the same line (e.g. demand miss merging with an
+  // in-flight prefetch) just refreshes the existing line.
+  if (Line* existing = find(line)) {
+    existing->last_use = ++stamp_;
+    return std::nullopt;
+  }
+
+  std::vector<WayState> view(ways_);
+  for (std::uint64_t w = 0; w < ways_; ++w) {
+    view[w] = WayState{base[w].valid, base[w].last_use, base[w].fill_seq};
+  }
+  const std::size_t victim =
+      choose_victim(std::span<const WayState>(view), cfg_.replacement, rng_);
+
+  std::optional<Eviction> ev;
+  Line& v = base[victim];
+  if (v.valid) {
+    ev = make_eviction(set, v);
+    evictions_.add();
+    // Pollution proxy: a prefetch fill displacing a line that was actually
+    // in use (demand-fetched, or a prefetched line that was referenced).
+    if (info.is_prefetch && (!v.pib || v.rib)) prefetch_displacements_.add();
+  }
+
+  v = Line{};
+  v.valid = true;
+  v.dirty = info.dirty;
+  v.tag = tag_of(line);
+  v.pib = info.is_prefetch;
+  v.rib = false;
+  v.nsp_tag = false;
+  v.trigger_pc = info.trigger_pc;
+  v.source = info.source;
+  v.last_use = ++stamp_;
+  v.fill_seq = stamp_;
+  fills_.add();
+  return ev;
+}
+
+std::optional<Eviction> Cache::invalidate(Addr addr) {
+  const LineAddr line = line_of(addr);
+  if (Line* l = find(line)) {
+    Eviction ev = make_eviction(set_index(line), *l);
+    l->valid = false;
+    evictions_.add();
+    return ev;
+  }
+  return std::nullopt;
+}
+
+std::vector<Eviction> Cache::drain() {
+  std::vector<Eviction> out;
+  for (std::uint64_t set = 0; set < (1ULL << set_bits_); ++set) {
+    for (std::uint64_t w = 0; w < ways_; ++w) {
+      Line& l = lines_[set * ways_ + w];
+      if (l.valid) {
+        out.push_back(make_eviction(set, l));
+        l.valid = false;
+      }
+    }
+  }
+  return out;
+}
+
+void Cache::set_nsp_tag(Addr addr, bool value) {
+  if (Line* l = find(line_of(addr))) l->nsp_tag = value;
+}
+
+ShadowEntry* Cache::shadow_entry(Addr addr) {
+  Line* l = find(line_of(addr));
+  return l == nullptr ? nullptr : &l->shadow;
+}
+
+std::optional<std::uint64_t> Cache::victim_age(Addr addr) const {
+  const LineAddr line = line_of(addr);
+  const std::uint64_t set = set_index(line);
+  const Line* base = &lines_[set * ways_];
+  std::vector<WayState> view(ways_);
+  for (std::uint64_t w = 0; w < ways_; ++w) {
+    view[w] = WayState{base[w].valid, base[w].last_use, base[w].fill_seq};
+  }
+  // Random replacement makes the victim non-deterministic; report the
+  // LRU way's age as the representative (the gate is advisory anyway).
+  Xorshift probe_rng(1);
+  const ReplacementKind kind = cfg_.replacement == ReplacementKind::Random
+                                   ? ReplacementKind::Lru
+                                   : cfg_.replacement;
+  const std::size_t victim =
+      choose_victim(std::span<const WayState>(view), kind, probe_rng);
+  if (!base[victim].valid) return std::nullopt;
+  return stamp_ - base[victim].last_use;
+}
+
+std::uint64_t Cache::hits(AccessType t) const {
+  return hits_[static_cast<std::size_t>(t)].value();
+}
+
+std::uint64_t Cache::misses(AccessType t) const {
+  return misses_[static_cast<std::size_t>(t)].value();
+}
+
+std::uint64_t Cache::total_hits() const {
+  std::uint64_t s = 0;
+  for (const auto& c : hits_) s += c.value();
+  return s;
+}
+
+std::uint64_t Cache::total_misses() const {
+  std::uint64_t s = 0;
+  for (const auto& c : misses_) s += c.value();
+  return s;
+}
+
+void Cache::reset_stats() {
+  for (auto& c : hits_) c.reset();
+  for (auto& c : misses_) c.reset();
+  fills_.reset();
+  evictions_.reset();
+  prefetch_displacements_.reset();
+}
+
+}  // namespace ppf::mem

@@ -1,0 +1,180 @@
+// Set-associative cache model with the pollution-filter feedback bits.
+//
+// Every line carries the two control bits the paper adds to the L1 tag
+// array: the Prefetch Indication Bit (PIB — "this line was brought in by a
+// prefetch") and the Reference Indication Bit (RIB — "this prefetched line
+// was referenced at least once"). The NSP prefetcher's per-line tag bit and
+// the SDP's per-L2-line shadow directory state also live here so the cache
+// remains the single tag array, as in real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/replacement.hpp"
+
+namespace ppf::mem {
+
+struct CacheConfig {
+  std::string name = "L1D";
+  std::uint64_t size_bytes = 8 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t associativity = 1;  ///< 0 means fully associative
+  Cycle latency = 1;
+  std::uint32_t ports = 3;
+  ReplacementKind replacement = ReplacementKind::Lru;
+
+  [[nodiscard]] std::uint64_t num_lines() const {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::uint64_t num_sets() const {
+    const std::uint64_t ways =
+        associativity == 0 ? num_lines() : associativity;
+    return num_lines() / ways;
+  }
+};
+
+/// Metadata describing how a fill was produced, recorded into the line.
+struct FillInfo {
+  bool is_prefetch = false;
+  Pc trigger_pc = 0;                ///< PC of the instruction that caused it
+  PrefetchSource source = PrefetchSource::Software;
+  bool dirty = false;               ///< restore-dirty (victim-cache recall)
+};
+
+/// Result of a demand (or prefetch-probe) lookup.
+struct AccessResult {
+  bool hit = false;
+  /// Line had PIB set and this is the first demand touch (RIB flipped 0->1).
+  bool first_use_of_prefetch = false;
+  /// Line carried the NSP tag bit at the time of access (trigger condition).
+  bool hit_nsp_tagged = false;
+  /// Valid when first_use_of_prefetch: who prefetched the line.
+  PrefetchSource source = PrefetchSource::Software;
+};
+
+/// Record of an evicted line, handed to the pollution filter and the
+/// prefetch classifier.
+struct Eviction {
+  LineAddr line = 0;
+  bool dirty = false;
+  bool pib = false;
+  bool rib = false;
+  Pc trigger_pc = 0;
+  PrefetchSource source = PrefetchSource::Software;
+};
+
+/// Per-L2-line shadow directory entry used by the SDP prefetcher.
+struct ShadowEntry {
+  bool shadow_valid = false;
+  LineAddr shadow = 0;
+  bool confirmation = false;  ///< was the shadow prefetch ever used
+  bool tried = false;         ///< a prefetch of this shadow was issued
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg, std::uint64_t rng_seed = 1);
+
+  // --- geometry ------------------------------------------------------
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] LineAddr line_of(Addr a) const { return a >> offset_bits_; }
+  [[nodiscard]] Addr base_of(LineAddr l) const { return l << offset_bits_; }
+
+  // --- access path ---------------------------------------------------
+
+  /// Demand lookup: updates replacement state and the RIB on hit, records
+  /// hit/miss statistics. Does NOT allocate on miss; call fill() when the
+  /// data returns from the next level.
+  AccessResult access(Addr addr, AccessType type);
+
+  /// Probe without any side effects (no stats, no LRU update).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Allocate a line for addr, evicting as needed.
+  /// Returns the eviction record when a valid line was displaced.
+  std::optional<Eviction> fill(Addr addr, const FillInfo& info);
+
+  /// Invalidate a line if present; returns its eviction record.
+  std::optional<Eviction> invalidate(Addr addr);
+
+  /// Drain every valid line (end-of-simulation classification).
+  [[nodiscard]] std::vector<Eviction> drain();
+
+  // --- per-line prefetcher state --------------------------------------
+
+  /// NSP tag bit: set on prefetch fill, cleared on demand touch.
+  void set_nsp_tag(Addr addr, bool value);
+
+  /// Shadow-directory entry for the set/way holding addr (SDP, L2 only).
+  /// Returns nullptr when the line is not resident.
+  ShadowEntry* shadow_entry(Addr addr);
+
+  /// Recency information about the way a fill for `addr` would displace:
+  /// nullopt when an invalid way exists (a "free" fill), otherwise the
+  /// age of the victim in touch-sequence steps (current stamp minus the
+  /// victim's last use). Used by the dead-block prefetch gate.
+  [[nodiscard]] std::optional<std::uint64_t> victim_age(Addr addr) const;
+
+  /// Monotone touch/fill sequence counter (units of victim_age).
+  [[nodiscard]] std::uint64_t current_stamp() const { return stamp_; }
+
+  // --- statistics ------------------------------------------------------
+  [[nodiscard]] std::uint64_t hits(AccessType t) const;
+  [[nodiscard]] std::uint64_t misses(AccessType t) const;
+  [[nodiscard]] std::uint64_t total_hits() const;
+  [[nodiscard]] std::uint64_t total_misses() const;
+  [[nodiscard]] std::uint64_t fills() const { return fills_.value(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_.value(); }
+  /// Demand misses whose victim was an unreferenced prefetched line would
+  /// not be pollution; pollution_evictions counts evictions of *referenced
+  /// demand-fetched or referenced* lines displaced by prefetch fills.
+  [[nodiscard]] std::uint64_t prefetch_displacements() const {
+    return prefetch_displacements_.value();
+  }
+
+  void reset_stats();
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    bool pib = false;
+    bool rib = false;
+    bool nsp_tag = false;
+    Pc trigger_pc = 0;
+    PrefetchSource source = PrefetchSource::Software;
+    std::uint64_t last_use = 0;
+    std::uint64_t fill_seq = 0;
+    ShadowEntry shadow;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(LineAddr line) const;
+  [[nodiscard]] std::uint64_t tag_of(LineAddr line) const;
+  [[nodiscard]] LineAddr line_from(std::uint64_t set, std::uint64_t tag) const;
+  Line* find(LineAddr line);
+  [[nodiscard]] const Line* find(LineAddr line) const;
+  Eviction make_eviction(std::uint64_t set, const Line& l) const;
+
+  CacheConfig cfg_;
+  unsigned offset_bits_;
+  unsigned set_bits_;
+  std::uint64_t ways_;
+  std::vector<Line> lines_;  ///< sets * ways, row-major by set
+  std::uint64_t stamp_ = 0;  ///< monotone touch/fill sequence
+  Xorshift rng_;
+
+  Counter hits_[4];
+  Counter misses_[4];
+  Counter fills_;
+  Counter evictions_;
+  Counter prefetch_displacements_;
+};
+
+}  // namespace ppf::mem

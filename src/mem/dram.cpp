@@ -1,0 +1,19 @@
+#include "mem/dram.hpp"
+
+namespace ppf::mem {
+
+Cycle Dram::read(Cycle now, bool is_prefetch) {
+  reads_.add();
+  if (is_prefetch) prefetch_reads_.add();
+  return now + cfg_.latency;
+}
+
+void Dram::writeback() { writebacks_.add(); }
+
+void Dram::reset_stats() {
+  reads_.reset();
+  prefetch_reads_.reset();
+  writebacks_.reset();
+}
+
+}  // namespace ppf::mem

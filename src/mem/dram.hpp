@@ -1,0 +1,42 @@
+// Main-memory latency model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::mem {
+
+struct DramConfig {
+  Cycle latency = 150;  ///< core cycles from request to first data
+};
+
+class Dram {
+ public:
+  explicit Dram(DramConfig cfg) : cfg_(cfg) {}
+
+  /// Issue a read at `now`; returns the cycle the line is available.
+  Cycle read(Cycle now, bool is_prefetch);
+
+  /// Writebacks are posted (buffered) — they cost bus bandwidth but do not
+  /// delay the requester; we still count them.
+  void writeback();
+
+  [[nodiscard]] const DramConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_.value(); }
+  [[nodiscard]] std::uint64_t prefetch_reads() const {
+    return prefetch_reads_.value();
+  }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_.value(); }
+
+  void reset_stats();
+
+ private:
+  DramConfig cfg_;
+  Counter reads_;
+  Counter prefetch_reads_;
+  Counter writebacks_;
+};
+
+}  // namespace ppf::mem

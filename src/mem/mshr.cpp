@@ -1,0 +1,50 @@
+#include "mem/mshr.hpp"
+
+#include <algorithm>
+
+namespace ppf::mem {
+
+MshrFile::MshrFile(std::size_t entries) : entries_(entries) {}
+
+void MshrFile::prune(Cycle now) {
+  completions_.erase(
+      std::remove_if(completions_.begin(), completions_.end(),
+                     [now](Cycle c) { return c <= now; }),
+      completions_.end());
+}
+
+Cycle MshrFile::earliest_issue(Cycle now) {
+  if (entries_ == 0) return now;
+  prune(now);
+  if (completions_.size() < entries_) return now;
+  const Cycle oldest =
+      *std::min_element(completions_.begin(), completions_.end());
+  stalls_.add();
+  stall_cycles_.add(oldest - now);
+  return oldest;
+}
+
+void MshrFile::occupy(Cycle done) {
+  if (entries_ == 0) return;
+  // prune happened in earliest_issue; bound growth defensively anyway.
+  if (completions_.size() >= entries_) {
+    const auto oldest =
+        std::min_element(completions_.begin(), completions_.end());
+    *oldest = done;
+    return;
+  }
+  completions_.push_back(done);
+}
+
+std::size_t MshrFile::in_flight(Cycle now) const {
+  std::size_t n = 0;
+  for (Cycle c : completions_) n += c > now ? 1 : 0;
+  return n;
+}
+
+void MshrFile::reset_stats() {
+  stalls_.reset();
+  stall_cycles_.reset();
+}
+
+}  // namespace ppf::mem

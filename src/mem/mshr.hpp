@@ -1,0 +1,48 @@
+// Miss Status Holding Registers: the bound on outstanding misses to the
+// next level. When every MSHR is busy, a new miss must wait for the
+// oldest outstanding fill to complete before it can even be issued —
+// the paper-era limit on memory-level parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::mem {
+
+class MshrFile {
+ public:
+  /// `entries` == 0 disables the limit (infinite MSHRs).
+  explicit MshrFile(std::size_t entries);
+
+  /// Reserve an MSHR for a miss issued at `now` whose fill completes at
+  /// a caller-computed time (the caller recomputes with the returned
+  /// start). Returns the earliest cycle at which the miss may issue:
+  /// `now` when a register is free, otherwise the completion time of the
+  /// oldest outstanding fill.
+  Cycle earliest_issue(Cycle now);
+
+  /// Commit the reservation: record that a fill completes at `done`.
+  void occupy(Cycle done);
+
+  [[nodiscard]] std::size_t capacity() const { return entries_; }
+  [[nodiscard]] std::size_t in_flight(Cycle now) const;
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_.value(); }
+  [[nodiscard]] std::uint64_t stall_cycles() const {
+    return stall_cycles_.value();
+  }
+
+  void reset_stats();
+
+ private:
+  void prune(Cycle now);
+
+  std::size_t entries_;
+  std::vector<Cycle> completions_;  ///< outstanding fill completion times
+  Counter stalls_;
+  Counter stall_cycles_;
+};
+
+}  // namespace ppf::mem

@@ -1,0 +1,97 @@
+#include "mem/prefetch_buffer.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::mem {
+
+PrefetchBuffer::PrefetchBuffer(std::size_t entries) : slots_(entries) {
+  PPF_ASSERT(entries > 0);
+}
+
+Eviction PrefetchBuffer::make_eviction(const Slot& s, bool referenced) const {
+  Eviction ev;
+  ev.line = s.line;
+  ev.dirty = false;
+  ev.pib = true;  // everything in the buffer arrived via prefetch
+  ev.rib = referenced;
+  ev.trigger_pc = s.trigger_pc;
+  ev.source = s.source;
+  return ev;
+}
+
+std::optional<Eviction> PrefetchBuffer::probe_and_remove(LineAddr line) {
+  probes_.add();
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) {
+      hits_.add();
+      Eviction ev = make_eviction(s, /*referenced=*/true);
+      s.valid = false;
+      return ev;
+    }
+  }
+  return std::nullopt;
+}
+
+bool PrefetchBuffer::contains(LineAddr line) const {
+  for (const Slot& s : slots_) {
+    if (s.valid && s.line == line) return true;
+  }
+  return false;
+}
+
+std::optional<Eviction> PrefetchBuffer::insert(LineAddr line, Pc trigger_pc,
+                                               PrefetchSource source) {
+  inserts_.add();
+  Slot* victim = nullptr;
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) {
+      // Duplicate prefetch: refresh recency only.
+      s.last_use = ++stamp_;
+      return std::nullopt;
+    }
+    if (!s.valid) {
+      if (victim == nullptr || victim->valid) victim = &s;
+    } else if (victim == nullptr ||
+               (victim->valid && s.last_use < victim->last_use)) {
+      victim = &s;
+    }
+  }
+  PPF_ASSERT(victim != nullptr);
+
+  std::optional<Eviction> ev;
+  if (victim->valid) {
+    // Displaced without ever being demanded — an ineffective prefetch.
+    ev = make_eviction(*victim, /*referenced=*/false);
+  }
+  victim->valid = true;
+  victim->line = line;
+  victim->trigger_pc = trigger_pc;
+  victim->source = source;
+  victim->last_use = ++stamp_;
+  return ev;
+}
+
+std::vector<Eviction> PrefetchBuffer::drain() {
+  std::vector<Eviction> out;
+  for (Slot& s : slots_) {
+    if (s.valid) {
+      out.push_back(make_eviction(s, /*referenced=*/false));
+      s.valid = false;
+    }
+  }
+  return out;
+}
+
+std::size_t PrefetchBuffer::size() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+void PrefetchBuffer::reset_stats() {
+  probes_.reset();
+  hits_.reset();
+  inserts_.reset();
+}
+
+}  // namespace ppf::mem

@@ -1,0 +1,64 @@
+// Dedicated fully-associative prefetch buffer (Chen et al. [5]), used by
+// the Section 5.5 comparison. When enabled, prefetched lines land here
+// instead of the L1; demand accesses probe it in parallel with the L1 and
+// a buffer hit promotes the line into the L1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace ppf::mem {
+
+class PrefetchBuffer {
+ public:
+  explicit PrefetchBuffer(std::size_t entries);
+
+  /// Demand probe. On hit the entry is removed (it is promoted into the
+  /// L1 by the hierarchy) and returned with rib=true — the prefetch was
+  /// referenced, i.e. "good".
+  std::optional<Eviction> probe_and_remove(LineAddr line);
+
+  /// Probe without removal or LRU update.
+  [[nodiscard]] bool contains(LineAddr line) const;
+
+  /// Insert a prefetched line; returns the LRU entry it displaced, whose
+  /// rib reports whether that prefetch was ever referenced.
+  std::optional<Eviction> insert(LineAddr line, Pc trigger_pc,
+                                 PrefetchSource source);
+
+  /// Remove all entries (end-of-run classification).
+  [[nodiscard]] std::vector<Eviction> drain();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  [[nodiscard]] std::uint64_t probes() const { return probes_.value(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
+  [[nodiscard]] std::uint64_t inserts() const { return inserts_.value(); }
+
+  void reset_stats();
+
+ private:
+  struct Slot {
+    bool valid = false;
+    LineAddr line = 0;
+    Pc trigger_pc = 0;
+    PrefetchSource source = PrefetchSource::Software;
+    std::uint64_t last_use = 0;
+  };
+
+  Eviction make_eviction(const Slot& s, bool referenced) const;
+
+  std::vector<Slot> slots_;
+  std::uint64_t stamp_ = 0;
+  Counter probes_;
+  Counter hits_;
+  Counter inserts_;
+};
+
+}  // namespace ppf::mem

@@ -1,0 +1,55 @@
+#include "mem/prefetch_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ppf::mem {
+
+PrefetchQueue::PrefetchQueue(std::size_t capacity) : capacity_(capacity) {
+  PPF_ASSERT(capacity > 0);
+}
+
+bool PrefetchQueue::push(const PrefetchQueueEntry& e) {
+  const bool dup = std::any_of(
+      q_.begin(), q_.end(),
+      [&](const PrefetchQueueEntry& x) { return x.line == e.line; });
+  if (dup) {
+    squashed_dup_.add();
+    return false;
+  }
+  if (q_.size() >= capacity_) {
+    dropped_full_.add();
+    return false;
+  }
+  q_.push_back(e);
+  pushed_.add();
+  return true;
+}
+
+std::optional<PrefetchQueueEntry> PrefetchQueue::pop(Cycle now) {
+  if (q_.empty()) return std::nullopt;
+  PrefetchQueueEntry e = q_.front();
+  q_.pop_front();
+  popped_.add();
+  PPF_ASSERT(now >= e.enqueue_cycle);
+  wait_.add(now - e.enqueue_cycle);
+  return e;
+}
+
+void PrefetchQueue::squash_line(LineAddr line) {
+  q_.erase(std::remove_if(
+               q_.begin(), q_.end(),
+               [&](const PrefetchQueueEntry& x) { return x.line == line; }),
+           q_.end());
+}
+
+void PrefetchQueue::reset_stats() {
+  pushed_.reset();
+  squashed_dup_.reset();
+  dropped_full_.reset();
+  popped_.reset();
+  wait_.reset();
+}
+
+}  // namespace ppf::mem

@@ -1,0 +1,65 @@
+// The prefetch queue that sits between the pollution filter and the L1
+// ports (64 entries in the paper's configuration). Admitted prefetches
+// wait here and consume L1 ports left over after demand accesses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::mem {
+
+struct PrefetchQueueEntry {
+  LineAddr line = 0;
+  Pc trigger_pc = 0;
+  PrefetchSource source = PrefetchSource::Software;
+  Cycle enqueue_cycle = 0;
+};
+
+class PrefetchQueue {
+ public:
+  explicit PrefetchQueue(std::size_t capacity);
+
+  /// Enqueue a prefetch. Duplicates of a queued line are squashed with no
+  /// penalty (as in the paper's setup); a full queue drops the request.
+  /// Returns true when the entry was actually queued.
+  bool push(const PrefetchQueueEntry& e);
+
+  /// Pop the oldest entry, if any.
+  std::optional<PrefetchQueueEntry> pop(Cycle now);
+
+  /// Drop any queued prefetch for this line (e.g. a demand miss to the
+  /// same line has already fetched it).
+  void squash_line(LineAddr line);
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_.value(); }
+  [[nodiscard]] std::uint64_t squashed_duplicates() const {
+    return squashed_dup_.value();
+  }
+  [[nodiscard]] std::uint64_t dropped_full() const {
+    return dropped_full_.value();
+  }
+  [[nodiscard]] std::uint64_t popped() const { return popped_.value(); }
+  /// Total cycles entries spent waiting for an L1 port.
+  [[nodiscard]] std::uint64_t wait_cycles() const { return wait_.value(); }
+
+  void reset_stats();
+
+ private:
+  std::size_t capacity_;
+  std::deque<PrefetchQueueEntry> q_;
+  Counter pushed_;
+  Counter squashed_dup_;
+  Counter dropped_full_;
+  Counter popped_;
+  Counter wait_;
+};
+
+}  // namespace ppf::mem

@@ -1,0 +1,34 @@
+#include "mem/replacement.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::mem {
+
+std::size_t choose_victim(std::span<const WayState> ways, ReplacementKind kind,
+                          Xorshift& rng) {
+  PPF_ASSERT(!ways.empty());
+  for (std::size_t i = 0; i < ways.size(); ++i) {
+    if (!ways[i].valid) return i;
+  }
+  switch (kind) {
+    case ReplacementKind::Lru: {
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < ways.size(); ++i) {
+        if (ways[i].last_use < ways[victim].last_use) victim = i;
+      }
+      return victim;
+    }
+    case ReplacementKind::Fifo: {
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < ways.size(); ++i) {
+        if (ways[i].fill_seq < ways[victim].fill_seq) victim = i;
+      }
+      return victim;
+    }
+    case ReplacementKind::Random:
+      return static_cast<std::size_t>(rng.below(ways.size()));
+  }
+  return 0;
+}
+
+}  // namespace ppf::mem

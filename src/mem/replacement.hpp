@@ -1,0 +1,42 @@
+// Replacement policies for set-associative caches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace ppf::mem {
+
+enum class ReplacementKind : std::uint8_t {
+  Lru,     ///< least-recently-used (default, what the paper assumes)
+  Fifo,    ///< oldest fill first
+  Random,  ///< uniform random way
+};
+
+inline const char* to_string(ReplacementKind k) {
+  switch (k) {
+    case ReplacementKind::Lru: return "lru";
+    case ReplacementKind::Fifo: return "fifo";
+    case ReplacementKind::Random: return "random";
+  }
+  return "?";
+}
+
+/// Per-way state the victim chooser needs. The cache keeps richer state;
+/// this narrow view keeps the policy decoupled from tag-array layout.
+struct WayState {
+  bool valid = false;
+  std::uint64_t last_use = 0;  ///< stamp of most recent touch
+  std::uint64_t fill_seq = 0;  ///< stamp of fill
+};
+
+/// Pick the victim way within one set.
+///
+/// Invalid ways are always preferred (lowest index first). `rng` is only
+/// consulted for ReplacementKind::Random.
+std::size_t choose_victim(std::span<const WayState> ways, ReplacementKind kind,
+                          Xorshift& rng);
+
+}  // namespace ppf::mem

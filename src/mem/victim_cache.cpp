@@ -1,0 +1,63 @@
+#include "mem/victim_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::mem {
+
+VictimCache::VictimCache(std::size_t entries) : slots_(entries) {
+  PPF_ASSERT(entries > 0);
+}
+
+void VictimCache::insert(const Eviction& ev) {
+  inserts_.add();
+  Slot* victim = &slots_[0];
+  for (Slot& s : slots_) {
+    if (s.valid && s.record.line == ev.line) {
+      // Refresh an existing entry (same line re-evicted).
+      s.record = ev;
+      s.stamp = ++stamp_;
+      return;
+    }
+    if (!s.valid) {
+      if (victim->valid) victim = &s;
+    } else if (victim->valid && s.stamp < victim->stamp) {
+      victim = &s;
+    }
+  }
+  victim->valid = true;
+  victim->record = ev;
+  victim->stamp = ++stamp_;
+}
+
+std::optional<Eviction> VictimCache::recall(LineAddr line) {
+  probes_.add();
+  for (Slot& s : slots_) {
+    if (s.valid && s.record.line == line) {
+      hits_.add();
+      s.valid = false;
+      return s.record;
+    }
+  }
+  return std::nullopt;
+}
+
+bool VictimCache::contains(LineAddr line) const {
+  for (const Slot& s : slots_) {
+    if (s.valid && s.record.line == line) return true;
+  }
+  return false;
+}
+
+std::size_t VictimCache::size() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+void VictimCache::reset_stats() {
+  probes_.reset();
+  hits_.reset();
+  inserts_.reset();
+}
+
+}  // namespace ppf::mem

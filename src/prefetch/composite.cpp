@@ -1,0 +1,38 @@
+#include "prefetch/composite.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::prefetch {
+
+void CompositePrefetcher::add(std::unique_ptr<Prefetcher> p) {
+  PPF_ASSERT(p != nullptr);
+  children_.push_back(std::move(p));
+}
+
+const Prefetcher& CompositePrefetcher::child(std::size_t i) const {
+  PPF_ASSERT(i < children_.size());
+  return *children_[i];
+}
+
+void CompositePrefetcher::on_l1_demand(Pc pc, Addr addr,
+                                       const mem::AccessResult& result,
+                                       std::vector<PrefetchRequest>& out) {
+  for (auto& c : children_) c->on_l1_demand(pc, addr, result, out);
+}
+
+void CompositePrefetcher::on_l2_demand(Pc pc, Addr addr, bool hit,
+                                       std::vector<PrefetchRequest>& out) {
+  for (auto& c : children_) c->on_l2_demand(pc, addr, hit, out);
+}
+
+void CompositePrefetcher::on_prefetch_fill(LineAddr line,
+                                           PrefetchSource source) {
+  for (auto& c : children_) c->on_prefetch_fill(line, source);
+}
+
+void CompositePrefetcher::on_prefetch_used(LineAddr line,
+                                           PrefetchSource source) {
+  for (auto& c : children_) c->on_prefetch_used(line, source);
+}
+
+}  // namespace ppf::prefetch

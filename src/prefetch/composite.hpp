@@ -1,0 +1,35 @@
+// Fan-out container running several prefetchers side by side, as the
+// paper's default configuration does (NSP + SDP + software prefetches).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace ppf::prefetch {
+
+class CompositePrefetcher final : public Prefetcher {
+ public:
+  CompositePrefetcher() = default;
+
+  /// Add a child prefetcher. Children are invoked in insertion order.
+  void add(std::unique_ptr<Prefetcher> p);
+
+  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+  [[nodiscard]] const Prefetcher& child(std::size_t i) const;
+
+  void on_l1_demand(Pc pc, Addr addr, const mem::AccessResult& result,
+                    std::vector<PrefetchRequest>& out) override;
+  void on_l2_demand(Pc pc, Addr addr, bool hit,
+                    std::vector<PrefetchRequest>& out) override;
+  void on_prefetch_fill(LineAddr line, PrefetchSource source) override;
+  void on_prefetch_used(LineAddr line, PrefetchSource source) override;
+
+  [[nodiscard]] const char* name() const override { return "composite"; }
+
+ private:
+  std::vector<std::unique_ptr<Prefetcher>> children_;
+};
+
+}  // namespace ppf::prefetch

@@ -1,0 +1,5 @@
+#include "prefetch/prefetcher.hpp"
+
+// The interface is header-only; this TU anchors the vtable.
+
+namespace ppf::prefetch {}  // namespace ppf::prefetch

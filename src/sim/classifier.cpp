@@ -1,0 +1,11 @@
+#include "sim/classifier.hpp"
+
+#include "common/stats.hpp"
+
+namespace ppf::sim {
+
+double PrefetchClassifier::bad_good_ratio() const {
+  return ratio(bad_.total(), good_.total());
+}
+
+}  // namespace ppf::sim

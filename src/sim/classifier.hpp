@@ -1,0 +1,80 @@
+// Prefetch effectiveness accounting.
+//
+// The paper's two-way taxonomy (Section 3): a prefetch is *good* if the
+// prefetched line is demand-referenced before it leaves the cache, *bad*
+// if it is never referenced during its lifetime. Classification happens
+// when the line's PIB/RIB bits are sampled — at eviction, at promotion
+// out of the prefetch buffer, or in the end-of-run drain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ppf::sim {
+
+struct SourceBreakdown {
+  std::uint64_t sw = 0;
+  std::uint64_t nsp = 0;
+  std::uint64_t sdp = 0;
+  std::uint64_t stride = 0;
+  std::uint64_t stream = 0;
+  std::uint64_t markov = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return sw + nsp + sdp + stride + stream + markov;
+  }
+};
+
+class PrefetchClassifier {
+ public:
+  /// A prefetch passed the filter and was issued to the memory system.
+  void record_issued(PrefetchSource s) { ++at(issued_, s); }
+
+  /// A prefetch was rejected by the pollution filter.
+  void record_filtered(PrefetchSource s) { ++at(filtered_, s); }
+
+  /// A candidate was squashed because the line was already resident,
+  /// in flight, or queued (no cost, per the paper's setup).
+  void record_squashed() { ++squashed_; }
+
+  /// Final PIB/RIB verdict for one issued prefetch.
+  void record_outcome(PrefetchSource s, bool referenced) {
+    ++at(referenced ? good_ : bad_, s);
+  }
+
+  [[nodiscard]] const SourceBreakdown& issued() const { return issued_; }
+  [[nodiscard]] const SourceBreakdown& filtered() const { return filtered_; }
+  [[nodiscard]] const SourceBreakdown& good() const { return good_; }
+  [[nodiscard]] const SourceBreakdown& bad() const { return bad_; }
+  [[nodiscard]] std::uint64_t squashed() const { return squashed_; }
+
+  /// bad/good ratio (the paper's Figure 5/8/13/15 metric).
+  [[nodiscard]] double bad_good_ratio() const;
+
+  /// Zero all counters (end-of-warmup reset).
+  void reset() { *this = PrefetchClassifier{}; }
+
+ private:
+  static std::uint64_t& at(SourceBreakdown& b, PrefetchSource s) {
+    switch (s) {
+      case PrefetchSource::Software: return b.sw;
+      case PrefetchSource::NextSequence: return b.nsp;
+      case PrefetchSource::ShadowDirectory: return b.sdp;
+      case PrefetchSource::Stride: return b.stride;
+      case PrefetchSource::StreamBuffer: return b.stream;
+      case PrefetchSource::Markov: return b.markov;
+    }
+    return b.sw;
+  }
+
+  SourceBreakdown issued_;
+  SourceBreakdown filtered_;
+  SourceBreakdown good_;
+  SourceBreakdown bad_;
+  std::uint64_t squashed_ = 0;
+};
+
+}  // namespace ppf::sim

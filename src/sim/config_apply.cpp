@@ -1,0 +1,191 @@
+#include "sim/config_apply.hpp"
+
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace ppf::sim {
+
+filter::FilterKind parse_filter_kind(const std::string& name) {
+  if (name == "none") return filter::FilterKind::None;
+  if (name == "pa") return filter::FilterKind::Pa;
+  if (name == "pc") return filter::FilterKind::Pc;
+  if (name == "static") return filter::FilterKind::Static;
+  if (name == "adaptive") return filter::FilterKind::Adaptive;
+  if (name == "deadblock") return filter::FilterKind::DeadBlock;
+  throw std::invalid_argument("unknown filter kind: " + name);
+}
+
+HashKind parse_hash_kind(const std::string& name) {
+  if (name == "modulo") return HashKind::Modulo;
+  if (name == "fold-xor" || name == "foldxor") return HashKind::FoldXor;
+  if (name == "fibonacci") return HashKind::Fibonacci;
+  if (name == "mix64") return HashKind::Mix64;
+  throw std::invalid_argument("unknown hash kind: " + name);
+}
+
+const std::vector<OverrideDoc>& override_docs() {
+  static const std::vector<OverrideDoc> docs = {
+      {"instructions", "measured instructions per run"},
+      {"warmup", "warmup instructions before the statistics reset"},
+      {"seed", "master seed (workload + all randomized state)"},
+      {"filter", "pollution filter: none|pa|pc|static|adaptive|deadblock"},
+      {"history_entries", "history table entries (power of two)"},
+      {"history_bits", "history counter width in bits"},
+      {"history_init", "history counter initial value"},
+      {"history_hash", "table index hash: modulo|fold-xor|fibonacci|mix64"},
+      {"source_separated", "tag table index with the prefetch source (bool)"},
+      {"recovery_entries", "rejected-prefetch recovery buffer (0 disables)"},
+      {"l1d_kb", "L1 D-cache size in KB (8/16/32, sets paper latency)"},
+      {"l1d_ports", "L1 D-cache ports (3/4/5, sets paper latency)"},
+      {"l2_kb", "L2 size in KB"},
+      {"line_bytes", "cache line size in bytes (all levels)"},
+      {"mem_latency", "main memory latency in core cycles"},
+      {"bus_cycles_per_beat", "core cycles per 64-byte bus beat"},
+      {"queue_entries", "prefetch queue capacity"},
+      {"mshr", "outstanding DRAM fills (0 = unlimited)"},
+      {"victim_entries", "victim cache entries (0 = none)"},
+      {"prefetch_l2", "prefetch into the L2 only (bool)"},
+      {"prefetch_buffer", "use the dedicated 16-entry prefetch buffer (bool)"},
+      {"nsp", "enable next-sequence prefetching (bool)"},
+      {"nsp_degree", "NSP lines per trigger"},
+      {"sdp", "enable shadow-directory prefetching (bool)"},
+      {"stride", "enable the stride (RPT) prefetcher (bool)"},
+      {"stream_buffer", "enable Jouppi-style stream buffers (bool)"},
+      {"markov", "enable the Markov/correlation prefetcher (bool)"},
+      {"taxonomy", "track the Srinivasan prefetch taxonomy (bool)"},
+      {"swpf", "honour software prefetch instructions (bool)"},
+      {"core_model", "timing model: occupancy|dataflow"},
+      {"width", "core dispatch/retire width"},
+      {"rob", "reorder buffer entries"},
+      {"lsq", "load/store queue entries"},
+      {"dep_prob", "statistical load-dependence probability"},
+  };
+  return docs;
+}
+
+void apply_overrides(SimConfig& cfg, const ParamMap& params) {
+  static const std::set<std::string> known = [] {
+    std::set<std::string> k;
+    for (const OverrideDoc& d : override_docs()) k.insert(d.key);
+    return k;
+  }();
+  for (const auto& [key, value] : params.entries()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("unknown configuration key: " + key);
+    }
+  }
+
+  cfg.max_instructions = params.get_u64("instructions", cfg.max_instructions);
+  cfg.warmup_instructions = params.get_u64("warmup", cfg.warmup_instructions);
+  cfg.seed = params.get_u64("seed", cfg.seed);
+  cfg.core.seed = cfg.seed;
+
+  if (params.has("filter")) {
+    cfg.filter = parse_filter_kind(params.get_string("filter", ""));
+  }
+  cfg.history.entries =
+      params.get_u64("history_entries", cfg.history.entries);
+  cfg.history.counter_bits = static_cast<unsigned>(
+      params.get_u64("history_bits", cfg.history.counter_bits));
+  cfg.history.init_value = static_cast<std::uint8_t>(
+      params.get_u64("history_init", cfg.history.init_value));
+  if (params.has("history_hash")) {
+    cfg.history.hash = parse_hash_kind(params.get_string("history_hash", ""));
+  }
+  cfg.history.source_separated =
+      params.get_bool("source_separated", cfg.history.source_separated);
+  cfg.filter_recovery_entries =
+      params.get_u64("recovery_entries", cfg.filter_recovery_entries);
+
+  if (params.has("l1d_kb")) {
+    cfg.set_l1d_size_kb(
+        static_cast<unsigned>(params.get_u64("l1d_kb", 8)));
+  }
+  if (params.has("l1d_ports")) {
+    cfg.set_l1d_ports(
+        static_cast<unsigned>(params.get_u64("l1d_ports", 3)));
+  }
+  if (params.has("l2_kb")) {
+    cfg.l2.size_bytes = params.get_u64("l2_kb", 512) * 1024;
+  }
+  if (params.has("line_bytes")) {
+    const std::uint32_t lb =
+        static_cast<std::uint32_t>(params.get_u64("line_bytes", 32));
+    cfg.l1d.line_bytes = lb;
+    cfg.l1i.line_bytes = lb;
+    cfg.l2.line_bytes = lb;
+    cfg.core.ifetch_line_bytes = lb;
+  }
+  cfg.dram.latency = params.get_u64("mem_latency", cfg.dram.latency);
+  cfg.bus.cycles_per_beat = static_cast<std::uint32_t>(
+      params.get_u64("bus_cycles_per_beat", cfg.bus.cycles_per_beat));
+  cfg.prefetch_queue_entries =
+      params.get_u64("queue_entries", cfg.prefetch_queue_entries);
+  cfg.mshr_entries = params.get_u64("mshr", cfg.mshr_entries);
+  cfg.victim_cache_entries =
+      params.get_u64("victim_entries", cfg.victim_cache_entries);
+  cfg.prefetch_to_l2 = params.get_bool("prefetch_l2", cfg.prefetch_to_l2);
+  cfg.use_prefetch_buffer =
+      params.get_bool("prefetch_buffer", cfg.use_prefetch_buffer);
+
+  cfg.enable_nsp = params.get_bool("nsp", cfg.enable_nsp);
+  cfg.nsp_degree =
+      static_cast<unsigned>(params.get_u64("nsp_degree", cfg.nsp_degree));
+  cfg.enable_sdp = params.get_bool("sdp", cfg.enable_sdp);
+  cfg.enable_stride = params.get_bool("stride", cfg.enable_stride);
+  cfg.enable_stream_buffer =
+      params.get_bool("stream_buffer", cfg.enable_stream_buffer);
+  cfg.enable_markov = params.get_bool("markov", cfg.enable_markov);
+  cfg.enable_taxonomy = params.get_bool("taxonomy", cfg.enable_taxonomy);
+  cfg.enable_sw_prefetch = params.get_bool("swpf", cfg.enable_sw_prefetch);
+
+  if (params.has("core_model")) {
+    const std::string m = params.get_string("core_model", "");
+    if (m == "occupancy") {
+      cfg.core_model = CoreModel::Occupancy;
+    } else if (m == "dataflow") {
+      cfg.core_model = CoreModel::Dataflow;
+    } else {
+      throw std::invalid_argument("unknown core model: " + m);
+    }
+  }
+  cfg.core.width =
+      static_cast<unsigned>(params.get_u64("width", cfg.core.width));
+  cfg.core.rob_entries =
+      static_cast<unsigned>(params.get_u64("rob", cfg.core.rob_entries));
+  cfg.core.lsq_entries =
+      static_cast<unsigned>(params.get_u64("lsq", cfg.core.lsq_entries));
+  cfg.core.dep_on_load_prob =
+      params.get_double("dep_prob", cfg.core.dep_on_load_prob);
+}
+
+void print_config(std::ostream& os, const SimConfig& cfg) {
+  os << "machine: " << cfg.core.width << "-wide OoO, ROB "
+     << cfg.core.rob_entries << ", LSQ " << cfg.core.lsq_entries << "\n"
+     << "L1D: " << cfg.l1d.size_bytes / 1024 << "KB "
+     << (cfg.l1d.associativity == 1
+             ? std::string("direct-mapped")
+             : std::to_string(cfg.l1d.associativity) + "-way")
+     << ", " << cfg.l1d.line_bytes << "B lines, " << cfg.l1d.latency
+     << "cy, " << cfg.l1d.ports << " ports\n"
+     << "L2: " << cfg.l2.size_bytes / 1024 << "KB, " << cfg.l2.latency
+     << "cy; memory " << cfg.dram.latency << "cy; bus "
+     << cfg.bus.width_bytes << "B/" << cfg.bus.cycles_per_beat << "cy\n"
+     << "prefetch: nsp(" << (cfg.enable_nsp ? "on" : "off") << ",deg "
+     << cfg.nsp_degree << ") sdp(" << (cfg.enable_sdp ? "on" : "off")
+     << ") stride(" << (cfg.enable_stride ? "on" : "off") << ") sw("
+     << (cfg.enable_sw_prefetch ? "on" : "off") << "), queue "
+     << cfg.prefetch_queue_entries
+     << (cfg.use_prefetch_buffer ? ", dedicated buffer" : "") << "\n"
+     << "filter: " << filter::to_string(cfg.filter) << ", table "
+     << cfg.history.entries << " x " << cfg.history.counter_bits
+     << "b (init " << static_cast<unsigned>(cfg.history.init_value)
+     << ", " << to_string(cfg.history.hash) << ", src-sep "
+     << (cfg.history.source_separated ? "on" : "off") << "), recovery "
+     << cfg.filter_recovery_entries << "\n"
+     << "run: " << cfg.max_instructions << " instructions after "
+     << cfg.warmup_instructions << " warmup, seed " << cfg.seed << "\n";
+}
+
+}  // namespace ppf::sim

@@ -1,0 +1,37 @@
+// Apply string key=value overrides (CLI / config file) onto a SimConfig.
+//
+// This is what makes every bench and example binary fully scriptable:
+//   ./bench_fig6 l1d_kb=32 filter=pc history_entries=8192
+// Unknown keys throw, so typos fail loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ppf::sim {
+
+/// Apply every recognised key in `params` onto `cfg`.
+/// Throws std::invalid_argument on unknown keys or unparsable values.
+void apply_overrides(SimConfig& cfg, const ParamMap& params);
+
+/// The recognised override keys, with one-line help (for --help output).
+struct OverrideDoc {
+  std::string key;
+  std::string help;
+};
+const std::vector<OverrideDoc>& override_docs();
+
+/// Render the effective configuration as human-readable text.
+void print_config(std::ostream& os, const SimConfig& cfg);
+
+/// Parse a filter name ("none", "pa", "pc", "static", "adaptive").
+filter::FilterKind parse_filter_kind(const std::string& name);
+
+/// Parse a hash name ("modulo", "fold-xor", "fibonacci", "mix64").
+HashKind parse_hash_kind(const std::string& name);
+
+}  // namespace ppf::sim

@@ -1,0 +1,16 @@
+#include "sim/energy.hpp"
+
+namespace ppf::sim {
+
+EnergyBreakdown compute_energy(const EnergyConfig& cfg,
+                               const EnergyEvents& ev) {
+  EnergyBreakdown b;
+  b.l1_nj = cfg.l1_access * static_cast<double>(ev.l1_accesses);
+  b.l2_nj = cfg.l2_access * static_cast<double>(ev.l2_accesses);
+  b.dram_nj = cfg.dram_access * static_cast<double>(ev.dram_accesses);
+  b.bus_nj = cfg.bus_beat * static_cast<double>(ev.bus_beats);
+  b.table_nj = cfg.table_lookup * static_cast<double>(ev.table_ops);
+  return b;
+}
+
+}  // namespace ppf::sim

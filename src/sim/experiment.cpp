@@ -1,0 +1,52 @@
+#include "sim/experiment.hpp"
+
+#include "filter/static_filter.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::sim {
+
+SimResult run_benchmark(const SimConfig& cfg, const std::string& bench) {
+  auto trace = workload::make_benchmark(bench, cfg.seed);
+  Simulator sim(cfg);
+  return sim.run(*trace);
+}
+
+std::vector<SimResult> run_all_benchmarks(const SimConfig& cfg) {
+  std::vector<SimResult> out;
+  for (const std::string& name : workload::benchmark_names()) {
+    out.push_back(run_benchmark(cfg, name));
+  }
+  return out;
+}
+
+SimResult run_static_filter(const SimConfig& cfg, const std::string& bench) {
+  filter::StaticFilter filt;
+
+  // Phase 1: profile (admits everything, records outcomes).
+  {
+    auto trace = workload::make_benchmark(bench, cfg.seed);
+    Simulator sim(cfg);
+    (void)sim.run(*trace, &filt);
+  }
+  filt.freeze();
+
+  // Phase 2: measure the same program under the frozen profile.
+  auto trace = workload::make_benchmark(bench, cfg.seed);
+  Simulator sim(cfg);
+  return sim.run(*trace, &filt);
+}
+
+ScenarioResults run_filter_scenarios(const SimConfig& base,
+                                     const std::string& bench) {
+  ScenarioResults r;
+  SimConfig cfg = base;
+  cfg.filter = filter::FilterKind::None;
+  r.none = run_benchmark(cfg, bench);
+  cfg.filter = filter::FilterKind::Pa;
+  r.pa = run_benchmark(cfg, bench);
+  cfg.filter = filter::FilterKind::Pc;
+  r.pc = run_benchmark(cfg, bench);
+  return r;
+}
+
+}  // namespace ppf::sim

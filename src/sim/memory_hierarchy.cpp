@@ -1,0 +1,428 @@
+#include "sim/memory_hierarchy.hpp"
+
+#include "common/assert.hpp"
+#include "filter/deadblock_filter.hpp"
+#include "filter/static_filter.hpp"
+#include "prefetch/markov.hpp"
+#include "prefetch/nsp.hpp"
+#include "prefetch/sdp.hpp"
+#include "prefetch/stream_buffer.hpp"
+#include "prefetch/stride.hpp"
+
+namespace ppf::sim {
+
+std::unique_ptr<filter::PollutionFilter> make_filter(const SimConfig& cfg,
+                                                     const mem::Cache& l1) {
+  using filter::FilterKind;
+  switch (cfg.filter) {
+    case FilterKind::None:
+      return std::make_unique<filter::NullFilter>();
+    case FilterKind::Pa:
+      return std::make_unique<filter::PaFilter>(cfg.history);
+    case FilterKind::Pc:
+      return std::make_unique<filter::PcFilter>(cfg.history,
+                                                cfg.core.inst_bytes);
+    case FilterKind::Static:
+      return std::make_unique<filter::StaticFilter>();
+    case FilterKind::Adaptive:
+      return std::make_unique<filter::AdaptiveFilter>(
+          std::make_unique<filter::PaFilter>(cfg.history), cfg.adaptive);
+    case FilterKind::DeadBlock:
+      return std::make_unique<filter::DeadBlockFilter>(l1, cfg.deadblock);
+  }
+  return std::make_unique<filter::NullFilter>();
+}
+
+MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg,
+                                 filter::PollutionFilter* external_filter)
+    : cfg_(cfg),
+      l1d_(cfg.l1d, cfg.seed + 1),
+      l1i_(cfg.l1i, cfg.seed + 2),
+      l2_(cfg.l2, cfg.seed + 3),
+      bus_(cfg.bus),
+      dram_(cfg.dram),
+      pq_(cfg.prefetch_queue_entries),
+      mshr_(cfg.mshr_entries) {
+  if (external_filter != nullptr) {
+    active_filter_ = external_filter;
+  } else {
+    owned_filter_ = make_filter(cfg, l1d_);
+    active_filter_ = owned_filter_.get();
+  }
+  if (cfg.use_prefetch_buffer) {
+    buffer_ = std::make_unique<mem::PrefetchBuffer>(cfg.prefetch_buffer_entries);
+  }
+  if (cfg.victim_cache_entries > 0) {
+    victim_ = std::make_unique<mem::VictimCache>(cfg.victim_cache_entries);
+  }
+  if (cfg.enable_nsp) {
+    prefetcher_.add(std::make_unique<prefetch::NextSequencePrefetcher>(
+        l1d_, cfg.nsp_degree));
+  }
+  if (cfg.enable_sdp) {
+    prefetcher_.add(std::make_unique<prefetch::ShadowDirectoryPrefetcher>(l2_));
+  }
+  if (cfg.enable_stride) {
+    prefetcher_.add(std::make_unique<prefetch::StridePrefetcher>(
+        l1d_, prefetch::StrideConfig{}));
+  }
+  if (cfg.enable_stream_buffer) {
+    prefetcher_.add(std::make_unique<prefetch::StreamBufferPrefetcher>(
+        l1d_, prefetch::StreamBufferConfig{}));
+  }
+  if (cfg.enable_markov) {
+    prefetcher_.add(std::make_unique<prefetch::MarkovPrefetcher>(
+        l1d_, prefetch::MarkovConfig{}));
+  }
+}
+
+void MemoryHierarchy::begin_cycle(Cycle) {
+  // Ports spent on prefetch issue in the previous cycle are still busy
+  // when this cycle's demand accesses arrive — this is the port
+  // competition between the prefetch queue and normal references.
+  const std::uint32_t borrowed =
+      ports_borrowed_ > cfg_.l1d.ports ? cfg_.l1d.ports : ports_borrowed_;
+  ports_left_ = cfg_.l1d.ports - borrowed;
+  ports_borrowed_ = 0;
+}
+
+bool MemoryHierarchy::try_reserve_port(Cycle) {
+  if (ports_left_ == 0) return false;
+  --ports_left_;
+  return true;
+}
+
+bool MemoryHierarchy::line_resident(LineAddr line) const {
+  if (l1d_.contains(l1d_.base_of(line))) return true;
+  if (buffer_ != nullptr && buffer_->contains(line)) return true;
+  return false;
+}
+
+bool MemoryHierarchy::line_in_flight(Cycle now, LineAddr line) {
+  const auto it = in_flight_.find(line);
+  if (it == in_flight_.end()) return false;
+  if (it->second <= now) {
+    in_flight_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+Cycle MemoryHierarchy::inflight_ready(Cycle now, LineAddr line) {
+  const auto it = in_flight_.find(line);
+  if (it == in_flight_.end()) return now;
+  if (it->second <= now) {
+    in_flight_.erase(it);
+    return now;
+  }
+  return it->second;
+}
+
+void MemoryHierarchy::handle_eviction(const mem::Eviction& ev) {
+  if (ev.pib) {
+    if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_evicted(ev.line);
+    classifier_.record_outcome(ev.source, ev.rib);
+    active_filter_->feedback(
+        filter::FilterFeedback{ev.line, ev.trigger_pc, ev.rib, ev.source});
+  }
+  if (victim_ != nullptr) {
+    // The PIB/RIB verdict above is final; the victim cache just gives the
+    // data a second chance, so a recalled line returns as demand data.
+    // Dirty data is written back eagerly so a silent LRU drop from the
+    // victim cache can never lose it (the recall path restores dirty).
+    victim_->insert(ev);
+  }
+  if (ev.dirty) {
+    // Posted writeback: consumes bus bandwidth, does not stall anyone.
+    bus_.transfer(bus_.next_free(), cfg_.l1d.line_bytes,
+                  /*is_prefetch=*/false);
+    dram_.writeback();
+  }
+}
+
+Cycle MemoryHierarchy::fetch_from_l2(Cycle now, Pc pc, Addr addr,
+                                     bool is_prefetch, bool fill_l1,
+                                     const mem::FillInfo& info,
+                                     AccessType type) {
+  // Single L2 port: back-to-back requests serialise.
+  const Cycle start = now > l2_next_free_ ? now : l2_next_free_;
+  l2_next_free_ = start + 1;
+
+  const mem::AccessResult r2 = l2_.access(addr, type);
+  if (!is_prefetch && type != AccessType::InstFetch) {
+    prefetcher_.on_l2_demand(pc, addr, r2.hit, scratch_cands_);
+  }
+
+  Cycle ready;
+  if (r2.hit) {
+    ready = start + cfg_.l2.latency;
+  } else {
+    // Miss known after the lookup; a free MSHR is needed to go further.
+    const Cycle req = mshr_.earliest_issue(start + cfg_.l2.latency);
+    const Cycle mem_ready = dram_.read(req, is_prefetch);
+    ready = bus_.transfer(mem_ready, cfg_.l2.line_bytes, is_prefetch);
+    mshr_.occupy(ready);
+    // Allocate in L2 (inclusive hierarchy). PIB/RIB normally live in the
+    // L1; in prefetch-to-L2 mode the L2 line carries them instead.
+    const mem::FillInfo l2_info =
+        (is_prefetch && cfg_.prefetch_to_l2) ? info : mem::FillInfo{};
+    if (auto ev2 = l2_.fill(addr, l2_info)) {
+      if (ev2->pib) {
+        classifier_.record_outcome(ev2->source, ev2->rib);
+        active_filter_->feedback(filter::FilterFeedback{
+            ev2->line, ev2->trigger_pc, ev2->rib, ev2->source});
+      }
+      if (ev2->dirty) {
+        bus_.transfer(bus_.next_free(), cfg_.l2.line_bytes, false);
+        dram_.writeback();
+      }
+    }
+  }
+
+  if (fill_l1) {
+    mem::Cache& target = type == AccessType::InstFetch ? l1i_ : l1d_;
+    const auto ev = target.fill(addr, info);
+    if (ev.has_value()) handle_eviction(*ev);
+    if (is_prefetch && cfg_.enable_taxonomy &&
+        type != AccessType::InstFetch) {
+      // The victim counts as "live" if it was demand data or a
+      // referenced prefetch; displacing dead speculation is free.
+      const bool victim_live =
+          ev.has_value() && (!ev->pib || ev->rib);
+      taxonomy_.on_prefetch_fill(
+          l1d_.line_of(addr),
+          ev.has_value() ? std::optional<LineAddr>(ev->line) : std::nullopt,
+          victim_live);
+    }
+    if (type != AccessType::InstFetch) {
+      const double interval =
+          static_cast<double>(now > last_l1_fill_cycle_
+                                  ? now - last_l1_fill_cycle_
+                                  : 0);
+      ema_fill_interval_ += 0.002 * (interval - ema_fill_interval_);
+      last_l1_fill_cycle_ = now;
+      in_flight_[l1d_.line_of(addr)] = ready;
+      if (is_prefetch) {
+        ++prefetch_l1_fills_;
+        prefetcher_.on_prefetch_fill(l1d_.line_of(addr), info.source);
+      }
+    }
+  }
+  return ready;
+}
+
+Cycle MemoryHierarchy::demand_access(Cycle now, Pc pc, Addr addr,
+                                     bool is_store) {
+  ++demand_accesses_;
+  scratch_cands_.clear();
+  const AccessType type = is_store ? AccessType::Store : AccessType::Load;
+  const mem::AccessResult r = l1d_.access(addr, type);
+  prefetcher_.on_l1_demand(pc, addr, r, scratch_cands_);
+
+  Cycle result;
+  if (r.hit) {
+    if (r.first_use_of_prefetch) {
+      prefetcher_.on_prefetch_used(l1d_.line_of(addr), r.source);
+      if (cfg_.enable_taxonomy) {
+        taxonomy_.on_prefetch_used(l1d_.line_of(addr));
+      }
+    }
+    // A line still in flight (e.g. prefetched but not yet arrived) delays
+    // the "hit" until the data is actually there.
+    const Cycle data_at = inflight_ready(now, l1d_.line_of(addr));
+    result = (data_at > now ? data_at : now) + cfg_.l1d.latency;
+  } else {
+    const LineAddr line = l1d_.line_of(addr);
+    // A demand miss supersedes any queued prefetch of the same line.
+    pq_.squash_line(line);
+    check_recovery(now, line);
+    if (cfg_.enable_taxonomy) taxonomy_.on_demand_miss(line);
+
+    // Victim-cache probe: a recent conflict eviction comes straight back.
+    if (victim_ != nullptr) {
+      if (const auto vc = victim_->recall(line)) {
+        mem::FillInfo back;
+        back.dirty = vc->dirty || is_store;
+        if (auto ev = l1d_.fill(addr, back)) handle_eviction(*ev);
+        const Cycle done = now + cfg_.l1d.latency + 1;
+        if (!is_store) load_latency_.record(done - now);
+        route_candidates(now, scratch_cands_);
+        return done;
+      }
+    }
+
+    std::optional<mem::Eviction> promoted;
+    if (buffer_ != nullptr) promoted = buffer_->probe_and_remove(line);
+    if (promoted.has_value()) {
+      // Prefetch-buffer hit: the prefetch proved good; promote into L1 as
+      // a demand-resident line.
+      classifier_.record_outcome(promoted->source, true);
+      active_filter_->feedback(filter::FilterFeedback{
+          promoted->line, promoted->trigger_pc, true, promoted->source});
+      prefetcher_.on_prefetch_used(line, promoted->source);
+      if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_used(line);
+      if (auto ev = l1d_.fill(addr, mem::FillInfo{})) handle_eviction(*ev);
+      result = now + cfg_.l1d.latency;
+    } else {
+      const Cycle l1_probe_done = now + cfg_.l1d.latency;
+      // Write-allocate: a store miss leaves the freshly filled line dirty.
+      mem::FillInfo demand_info;
+      demand_info.dirty = is_store;
+      result = fetch_from_l2(l1_probe_done, pc, addr, /*is_prefetch=*/false,
+                             /*fill_l1=*/true, demand_info, type);
+    }
+  }
+
+  if (!is_store) load_latency_.record(result - now);
+  route_candidates(now, scratch_cands_);
+  return result;
+}
+
+void MemoryHierarchy::software_prefetch(Cycle now, Pc pc, Addr addr) {
+  if (!cfg_.enable_sw_prefetch) return;
+  const prefetch::PrefetchRequest req{l1d_.line_of(addr), pc,
+                                      PrefetchSource::Software};
+  route_candidates(now, {req});
+}
+
+Cycle MemoryHierarchy::estimated_residence() const {
+  const double cycles =
+      ema_fill_interval_ * static_cast<double>(cfg_.l1d.num_lines());
+  return static_cast<Cycle>(cycles);
+}
+
+void MemoryHierarchy::note_rejected(Cycle now,
+                                    const filter::PrefetchCandidate& c) {
+  if (cfg_.filter_recovery_entries == 0) return;
+  auto [it, inserted] = rejected_.try_emplace(
+      c.line, RejectedEntry{c.trigger_pc, c.source, now});
+  if (!inserted) {
+    it->second = RejectedEntry{c.trigger_pc, c.source, now};
+    return;  // already tracked; keep its FIFO position
+  }
+  rejected_fifo_.push_back(c.line);
+  while (rejected_fifo_.size() > cfg_.filter_recovery_entries) {
+    rejected_.erase(rejected_fifo_.front());
+    rejected_fifo_.pop_front();
+  }
+}
+
+void MemoryHierarchy::check_recovery(Cycle now, LineAddr line) {
+  if (cfg_.filter_recovery_entries == 0) return;
+  const auto it = rejected_.find(line);
+  if (it == rejected_.end()) return;
+  const bool within_residence =
+      now - it->second.reject_cycle <= estimated_residence();
+  if (within_residence) {
+    // The program demanded a line the filter refused to prefetch, soon
+    // enough that the prefetched line would still have been resident:
+    // train the table back toward "good" so the stream resumes.
+    active_filter_->recover(filter::FilterFeedback{
+        line, it->second.trigger_pc, true, it->second.source});
+    ++recovered_;
+  }
+  rejected_.erase(it);
+}
+
+void MemoryHierarchy::route_candidates(
+    Cycle now, const std::vector<prefetch::PrefetchRequest>& cands) {
+  for (const prefetch::PrefetchRequest& c : cands) {
+    // Duplicate squash: line already resident or being fetched (no cost).
+    if (line_resident(c.line) || line_in_flight(now, c.line)) {
+      classifier_.record_squashed();
+      continue;
+    }
+    const filter::PrefetchCandidate fc{c.line, c.trigger_pc, c.source};
+    if (!active_filter_->admit(fc)) {
+      classifier_.record_filtered(c.source);
+      note_rejected(now, fc);
+      continue;
+    }
+    pq_.push(mem::PrefetchQueueEntry{c.line, c.trigger_pc, c.source, now});
+  }
+}
+
+void MemoryHierarchy::end_cycle(Cycle now) {
+  while (ports_left_ > 0 && !pq_.empty()) {
+    --ports_left_;
+    ++ports_borrowed_;
+    const auto e = pq_.pop(now);
+    PPF_ASSERT(e.has_value());
+    // The L1 probe happens at issue; a resident/in-flight line squashes
+    // the prefetch (the port was still consumed by the probe). In
+    // L2-target mode an L2-resident line is equally redundant.
+    if (line_resident(e->line) || line_in_flight(now, e->line) ||
+        (cfg_.prefetch_to_l2 && l2_.contains(l1d_.base_of(e->line)))) {
+      classifier_.record_squashed();
+      continue;
+    }
+    const Addr addr = l1d_.base_of(e->line);
+    classifier_.record_issued(e->source);
+    const mem::FillInfo info{/*is_prefetch=*/true, e->trigger_pc, e->source};
+    if (cfg_.prefetch_to_l2) {
+      // Structural pollution avoidance: stage the data in the L2 only.
+      fetch_from_l2(now, e->trigger_pc, addr, /*is_prefetch=*/true,
+                    /*fill_l1=*/false, info, AccessType::Prefetch);
+    } else if (buffer_ != nullptr) {
+      // Dedicated-buffer mode: fetch the data but fill the buffer.
+      fetch_from_l2(now, e->trigger_pc, addr, /*is_prefetch=*/true,
+                    /*fill_l1=*/false, info, AccessType::Prefetch);
+      if (auto ev = buffer_->insert(e->line, e->trigger_pc, e->source)) {
+        handle_eviction(*ev);
+      }
+    } else {
+      fetch_from_l2(now, e->trigger_pc, addr, /*is_prefetch=*/true,
+                    /*fill_l1=*/true, info, AccessType::Prefetch);
+    }
+  }
+}
+
+Cycle MemoryHierarchy::fetch(Cycle now, Pc pc) {
+  const mem::AccessResult r = l1i_.access(pc, AccessType::InstFetch);
+  if (r.hit) return now;  // single-cycle fetch folded into the pipeline
+  return fetch_from_l2(now + cfg_.l1i.latency, pc, pc, /*is_prefetch=*/false,
+                       /*fill_l1=*/true, mem::FillInfo{},
+                       AccessType::InstFetch);
+}
+
+void MemoryHierarchy::reset_stats() {
+  l1d_.reset_stats();
+  l1i_.reset_stats();
+  l2_.reset_stats();
+  bus_.reset_stats();
+  dram_.reset_stats();
+  pq_.reset_stats();
+  if (buffer_ != nullptr) buffer_->reset_stats();
+  classifier_.reset();
+  taxonomy_.reset();
+  mshr_.reset_stats();
+  if (victim_ != nullptr) victim_->reset_stats();
+  load_latency_.reset();
+  active_filter_->reset_stats();
+  demand_accesses_ = 0;
+  prefetch_l1_fills_ = 0;
+}
+
+void MemoryHierarchy::finalize() {
+  PPF_ASSERT_MSG(!finalized_, "finalize() called twice");
+  finalized_ = true;
+  for (const mem::Eviction& ev : l1d_.drain()) {
+    if (ev.pib) {
+      if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_evicted(ev.line);
+      classifier_.record_outcome(ev.source, ev.rib);
+    }
+  }
+  if (cfg_.enable_taxonomy) taxonomy_.finalize();
+  if (buffer_ != nullptr) {
+    for (const mem::Eviction& ev : buffer_->drain()) {
+      classifier_.record_outcome(ev.source, ev.rib);
+    }
+  }
+  if (cfg_.prefetch_to_l2) {
+    for (const mem::Eviction& ev : l2_.drain()) {
+      if (ev.pib) classifier_.record_outcome(ev.source, ev.rib);
+    }
+  }
+}
+
+}  // namespace ppf::sim

@@ -1,0 +1,179 @@
+// The full memory system of Figure 3: L1 I/D, unified L2, memory bus,
+// DRAM, the hardware prefetch generators, the prefetch queue, the
+// optional dedicated prefetch buffer, and — between the prefetch sources
+// and the queue — the cache pollution filter.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_iface.hpp"
+#include "filter/filter.hpp"
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "common/stats.hpp"
+#include "mem/mshr.hpp"
+#include "mem/prefetch_buffer.hpp"
+#include "mem/prefetch_queue.hpp"
+#include "mem/victim_cache.hpp"
+#include "prefetch/composite.hpp"
+#include "sim/classifier.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/taxonomy.hpp"
+
+namespace ppf::sim {
+
+class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
+ public:
+  /// `external_filter` (non-owning, may be null) replaces the
+  /// config-selected filter — used by flows where the filter must outlive
+  /// one run, e.g. the static filter's profile-then-measure phases.
+  explicit MemoryHierarchy(const SimConfig& cfg,
+                           filter::PollutionFilter* external_filter = nullptr);
+
+  // --- core::DataMemory ------------------------------------------------
+  void begin_cycle(Cycle now) override;
+  bool try_reserve_port(Cycle now) override;
+  Cycle demand_access(Cycle now, Pc pc, Addr addr, bool is_store) override;
+  void software_prefetch(Cycle now, Pc pc, Addr addr) override;
+  void end_cycle(Cycle now) override;
+
+  // --- core::InstMemory --------------------------------------------------
+  Cycle fetch(Cycle now, Pc pc) override;
+
+  /// End of run: drain caches/buffer so still-resident prefetches are
+  /// classified, exactly once. Safe to call once only.
+  void finalize();
+
+  /// End-of-warmup statistics reset. Cache contents, the filter's history
+  /// table, and prefetcher state are all kept warm; only counters clear.
+  void reset_stats();
+
+  // --- observers ---------------------------------------------------------
+  [[nodiscard]] const mem::Cache& l1d() const { return l1d_; }
+  [[nodiscard]] const mem::Cache& l1i() const { return l1i_; }
+  [[nodiscard]] const mem::Cache& l2() const { return l2_; }
+  [[nodiscard]] const mem::Bus& bus() const { return bus_; }
+  [[nodiscard]] const mem::Dram& dram() const { return dram_; }
+  [[nodiscard]] const mem::PrefetchQueue& prefetch_queue() const { return pq_; }
+  [[nodiscard]] const mem::PrefetchBuffer* prefetch_buffer() const {
+    return buffer_.get();
+  }
+  [[nodiscard]] const mem::VictimCache* victim_cache() const {
+    return victim_.get();
+  }
+  [[nodiscard]] const mem::MshrFile& mshr() const { return mshr_; }
+  /// Demand-load latency distribution (16-cycle buckets).
+  [[nodiscard]] const Histogram& load_latency() const {
+    return load_latency_;
+  }
+  [[nodiscard]] const PrefetchClassifier& classifier() const {
+    return classifier_;
+  }
+  [[nodiscard]] const TaxonomyTracker& taxonomy() const { return taxonomy_; }
+  [[nodiscard]] const filter::PollutionFilter& filter() const {
+    return *active_filter_;
+  }
+  [[nodiscard]] filter::PollutionFilter& mutable_filter() {
+    return *active_filter_;
+  }
+  [[nodiscard]] std::uint64_t demand_l1_accesses() const {
+    return demand_accesses_;
+  }
+  [[nodiscard]] std::uint64_t prefetch_l1_fills() const {
+    return prefetch_l1_fills_;
+  }
+  /// Rejected prefetches later proven useful by a demand miss.
+  [[nodiscard]] std::uint64_t filter_recoveries() const { return recovered_; }
+
+ private:
+  /// Fetch a line through the L2 (and memory beyond); optionally fill the
+  /// L1. Returns the cycle the data is available.
+  Cycle fetch_from_l2(Cycle now, Pc pc, Addr addr, bool is_prefetch,
+                      bool fill_l1, const mem::FillInfo& info,
+                      AccessType type);
+
+  /// Route prefetch candidates through the pollution filter into the queue.
+  void route_candidates(Cycle now,
+                        const std::vector<prefetch::PrefetchRequest>& cands);
+
+  /// Process one L1/buffer eviction: classify, feed the filter, write back.
+  void handle_eviction(const mem::Eviction& ev);
+
+  /// True if the line is resident anywhere a prefetch would be redundant.
+  [[nodiscard]] bool line_resident(LineAddr line) const;
+
+  /// Resolve in-flight fill timing for a line that hit in the L1.
+  Cycle inflight_ready(Cycle now, LineAddr line);
+
+  /// True while a fill for this line is still outstanding. Erases stale
+  /// (completed) entries as a side effect so the map cannot grow without
+  /// bound and completed fills do not squash later prefetches.
+  bool line_in_flight(Cycle now, LineAddr line);
+
+  SimConfig cfg_;
+  mem::Cache l1d_;
+  mem::Cache l1i_;
+  mem::Cache l2_;
+  mem::Bus bus_;
+  mem::Dram dram_;
+  mem::PrefetchQueue pq_;
+  std::unique_ptr<mem::PrefetchBuffer> buffer_;
+  std::unique_ptr<mem::VictimCache> victim_;
+  mem::MshrFile mshr_;
+  Histogram load_latency_{16, 32};
+  prefetch::CompositePrefetcher prefetcher_;
+  std::unique_ptr<filter::PollutionFilter> owned_filter_;
+  filter::PollutionFilter* active_filter_;  ///< owned_filter_ or external
+  PrefetchClassifier classifier_;
+  TaxonomyTracker taxonomy_;
+
+  /// Record a rejected prefetch for possible recovery; check a demand
+  /// miss against the recovery buffer.
+  void note_rejected(Cycle now, const filter::PrefetchCandidate& c);
+  void check_recovery(Cycle now, LineAddr line);
+
+  /// Estimated L1D residence time of a line, from the fill-interval EMA.
+  [[nodiscard]] Cycle estimated_residence() const;
+
+  /// Lines whose fill has been initiated but whose data arrives later.
+  std::unordered_map<LineAddr, Cycle> in_flight_;
+
+  /// FIFO buffer of recently rejected prefetches (line -> candidate).
+  /// Entries are also bounded in *time*: a rejection only counts as
+  /// "wrongly filtered" if the demand miss arrives within the line's
+  /// estimated would-have-been L1 residence time — a demand that arrives
+  /// later would have found the prefetched line already evicted, i.e. the
+  /// prefetch really was bad.
+  struct RejectedEntry {
+    Pc trigger_pc = 0;
+    PrefetchSource source = PrefetchSource::Software;
+    Cycle reject_cycle = 0;
+  };
+  std::unordered_map<LineAddr, RejectedEntry> rejected_;
+  std::deque<LineAddr> rejected_fifo_;
+  std::uint64_t recovered_ = 0;
+  Cycle last_l1_fill_cycle_ = 0;
+  double ema_fill_interval_ = 16.0;
+  Cycle l2_next_free_ = 0;
+
+  std::uint32_t ports_left_ = 0;
+  std::uint32_t ports_borrowed_ = 0;  ///< ports prefetches occupy next cycle
+
+  std::uint64_t demand_accesses_ = 0;
+  std::uint64_t prefetch_l1_fills_ = 0;
+  bool finalized_ = false;
+
+  std::vector<prefetch::PrefetchRequest> scratch_cands_;
+};
+
+/// Build the pollution filter selected by the config. `l1` is needed by
+/// victim-probing filters (FilterKind::DeadBlock) and must outlive the
+/// returned filter.
+std::unique_ptr<filter::PollutionFilter> make_filter(const SimConfig& cfg,
+                                                     const mem::Cache& l1);
+
+}  // namespace ppf::sim

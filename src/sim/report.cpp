@@ -1,0 +1,145 @@
+#include "sim/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppf::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PPF_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+void csv_field(std::ostream& os, const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) {
+    os << f;
+    return;
+  }
+  os << '"';
+  for (char c : f) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) os << ',';
+    csv_field(os, row[i]);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  csv_row(os, headers_);
+  for (const auto& row : rows_) csv_row(os, row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+void print_result(std::ostream& os, const SimResult& r) {
+  Table t({"metric", "value"});
+  t.add_row({"workload", r.workload});
+  t.add_row({"filter", r.filter_name});
+  t.add_row({"instructions", fmt_u64(r.core.instructions)});
+  t.add_row({"cycles", fmt_u64(r.core.cycles)});
+  t.add_row({"IPC", fmt(r.ipc())});
+  t.add_row({"loads / stores",
+             fmt_u64(r.core.loads) + " / " + fmt_u64(r.core.stores)});
+  t.add_row({"branches (mispredicted)",
+             fmt_u64(r.core.branches) + " (" +
+                 fmt_u64(r.core.mispredictions) + ")"});
+  t.add_row({"L1D miss rate", fmt_pct(r.l1d_miss_rate(), 2)});
+  t.add_row({"L2 miss rate", fmt_pct(r.l2_miss_rate(), 2)});
+  t.add_row({"ROB-full stall cycles", fmt_u64(r.core.rob_full_stall_cycles)});
+  t.add_row({"prefetches issued", fmt_u64(r.prefetch_issued.total())});
+  t.add_row({"  by source (sw/nsp/sdp/stride/stream/markov)",
+             fmt_u64(r.prefetch_issued.sw) + "/" +
+                 fmt_u64(r.prefetch_issued.nsp) + "/" +
+                 fmt_u64(r.prefetch_issued.sdp) + "/" +
+                 fmt_u64(r.prefetch_issued.stride) + "/" +
+                 fmt_u64(r.prefetch_issued.stream) + "/" +
+                 fmt_u64(r.prefetch_issued.markov)});
+  t.add_row({"good / bad prefetches",
+             fmt_u64(r.good_total()) + " / " + fmt_u64(r.bad_total())});
+  t.add_row({"bad/good ratio", fmt(r.bad_good_ratio())});
+  t.add_row({"filtered (rejected)", fmt_u64(r.filter_rejected)});
+  t.add_row({"filter recoveries", fmt_u64(r.filter_recoveries)});
+  t.add_row({"squashed (resident/in-flight)", fmt_u64(r.prefetch_squashed)});
+  if (r.taxonomy.total() > 0) {
+    t.add_row({"taxonomy useful / useful-pol",
+               fmt_u64(r.taxonomy.useful) + " / " +
+                   fmt_u64(r.taxonomy.useful_polluting)});
+    t.add_row({"taxonomy polluting / useless",
+               fmt_u64(r.taxonomy.polluting) + " / " +
+                   fmt_u64(r.taxonomy.useless)});
+  }
+  t.add_row({"bus transfers (prefetch)",
+             fmt_u64(r.bus_transfers) + " (" +
+                 fmt_u64(r.bus_prefetch_transfers) + ")"});
+  t.add_row({"avg demand-load latency", fmt(r.avg_load_latency, 1)});
+  t.add_row({"MSHR-full stalls", fmt_u64(r.mshr_stalls)});
+  if (r.victim_hits > 0) {
+    t.add_row({"victim-cache hits", fmt_u64(r.victim_hits)});
+  }
+  t.print(os);
+}
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& what) {
+  os << "\n=== " << id << " — " << what << " ===\n";
+  os << "(reproduction of Zhuang & Lee, ICPP 2003; shapes, not absolute "
+        "numbers, are the comparison target)\n\n";
+}
+
+}  // namespace ppf::sim

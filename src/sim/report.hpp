@@ -1,0 +1,45 @@
+// Plain-text table formatting for the bench binaries, which print the
+// same rows/series as the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppf::sim {
+
+/// Fixed-width text table: headers plus string rows, auto-sized columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Machine-readable output: RFC-4180-style CSV with a header row.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt(double v, int precision = 3);
+std::string fmt_pct(double v, int precision = 1);  ///< 0.082 -> "8.2%"
+std::string fmt_u64(std::uint64_t v);
+
+/// Banner printed at the top of every bench binary.
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& what);
+
+struct SimResult;  // simulator.hpp
+
+/// Full human-readable dump of one simulation result (used by the CLI
+/// driver and the examples).
+void print_result(std::ostream& os, const SimResult& r);
+
+}  // namespace ppf::sim

@@ -1,0 +1,31 @@
+#include "sim/sim_config.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::sim {
+
+SimConfig SimConfig::paper_default() { return SimConfig{}; }
+
+void SimConfig::set_l1d_size_kb(unsigned kb) {
+  l1d.size_bytes = static_cast<std::uint64_t>(kb) * 1024;
+  switch (kb) {
+    case 8: l1d.latency = 1; break;
+    case 16: l1d.latency = 2; break;
+    case 32: l1d.latency = 4; break;  // Section 5.2.2
+    default:
+      PPF_ASSERT_MSG(false, "unsupported L1 size for the paper's study");
+  }
+}
+
+void SimConfig::set_l1d_ports(unsigned ports) {
+  l1d.ports = ports;
+  switch (ports) {
+    case 3: l1d.latency = 1; break;
+    case 4: l1d.latency = 2; break;  // Section 5.4
+    case 5: l1d.latency = 3; break;
+    default:
+      PPF_ASSERT_MSG(false, "unsupported port count for the paper's study");
+  }
+}
+
+}  // namespace ppf::sim

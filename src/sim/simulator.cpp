@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include "common/stats.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace ppf::sim {
+
+double SimResult::l1d_miss_rate() const {
+  return ratio(l1d_demand_misses, l1d_demand_accesses);
+}
+
+double SimResult::l2_miss_rate() const {
+  return ratio(l2_demand_misses, l2_demand_accesses);
+}
+
+double SimResult::bad_good_ratio() const {
+  return ratio(bad_total(), good_total());
+}
+
+double SimResult::prefetch_traffic_ratio() const {
+  return ratio(l1_prefetch_traffic, l1_normal_traffic);
+}
+
+Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {}
+
+SimResult Simulator::run(workload::TraceSource& trace,
+                         filter::PollutionFilter* external_filter) {
+  MemoryHierarchy mem(cfg_, external_filter);
+
+  SimResult res;
+  res.workload = trace.name();
+  res.filter_name = mem.filter().name();
+  const std::uint64_t warmup =
+      cfg_.warmup_instructions < cfg_.max_instructions
+          ? cfg_.warmup_instructions
+          : 0;
+  const auto on_warmup = [&mem] { mem.reset_stats(); };
+  if (cfg_.core_model == CoreModel::Dataflow) {
+    core::DataflowCore cpu(cfg_.core, mem, mem);
+    res.core =
+        cpu.run(trace, cfg_.max_instructions + warmup, warmup, on_warmup);
+  } else {
+    core::OooCore cpu(cfg_.core, mem, mem);
+    res.core =
+        cpu.run(trace, cfg_.max_instructions + warmup, warmup, on_warmup);
+  }
+  mem.finalize();
+
+  const mem::Cache& l1d = mem.l1d();
+  res.l1d_demand_accesses = l1d.hits(AccessType::Load) +
+                            l1d.hits(AccessType::Store) +
+                            l1d.misses(AccessType::Load) +
+                            l1d.misses(AccessType::Store);
+  res.l1d_demand_misses =
+      l1d.misses(AccessType::Load) + l1d.misses(AccessType::Store);
+
+  const mem::Cache& l2 = mem.l2();
+  res.l2_demand_accesses = l2.hits(AccessType::Load) +
+                           l2.hits(AccessType::Store) +
+                           l2.misses(AccessType::Load) +
+                           l2.misses(AccessType::Store);
+  res.l2_demand_misses =
+      l2.misses(AccessType::Load) + l2.misses(AccessType::Store);
+
+  const PrefetchClassifier& cls = mem.classifier();
+  res.prefetch_issued = cls.issued();
+  res.prefetch_filtered = cls.filtered();
+  res.prefetch_good = cls.good();
+  res.prefetch_bad = cls.bad();
+  res.prefetch_squashed = cls.squashed();
+
+  res.l1_normal_traffic = mem.demand_l1_accesses();
+  res.l1_prefetch_traffic = mem.prefetch_l1_fills();
+  res.bus_transfers = mem.bus().transfers();
+  res.bus_prefetch_transfers = mem.bus().prefetch_transfers();
+  res.bus_busy_cycles = mem.bus().busy_cycles();
+
+  res.filter_admitted = mem.filter().admitted();
+  res.filter_rejected = mem.filter().rejected();
+  res.filter_recoveries = mem.filter_recoveries();
+  res.taxonomy = mem.taxonomy().counts();
+  {
+    EnergyEvents ev;
+    ev.l1_accesses = mem.l1d().total_hits() + mem.l1d().total_misses() +
+                     mem.l1d().fills() + mem.l1i().total_hits() +
+                     mem.l1i().total_misses() + mem.l1i().fills();
+    ev.l2_accesses =
+        mem.l2().total_hits() + mem.l2().total_misses() + mem.l2().fills();
+    ev.dram_accesses = mem.dram().reads() + mem.dram().writebacks();
+    ev.bus_beats = mem.bus().busy_cycles() / cfg_.bus.cycles_per_beat;
+    ev.table_ops = mem.filter().admitted() + mem.filter().rejected() +
+                   mem.classifier().good().total() +
+                   mem.classifier().bad().total() + mem.filter_recoveries();
+    res.energy = compute_energy(cfg_.energy, ev);
+  }
+  res.avg_load_latency = mem.load_latency().mean();
+  res.mshr_stalls = mem.mshr().stalls();
+  res.victim_hits =
+      mem.victim_cache() == nullptr ? 0 : mem.victim_cache()->hits();
+  return res;
+}
+
+}  // namespace ppf::sim

@@ -1,0 +1,80 @@
+#include "sim/taxonomy.hpp"
+
+#include <algorithm>
+
+namespace ppf::sim {
+
+void TaxonomyTracker::on_prefetch_fill(LineAddr p,
+                                       std::optional<LineAddr> victim,
+                                       bool victim_was_live) {
+  // A racing refill of a line already tracked keeps the original entry.
+  if (live_.find(p) != live_.end()) return;
+  Pending e;
+  e.prefetched = p;
+  if (victim.has_value() && victim_was_live) {
+    e.victim = *victim;
+    e.has_victim = true;
+    victims_[*victim].push_back(p);
+  }
+  live_.emplace(p, e);
+}
+
+void TaxonomyTracker::on_demand_miss(LineAddr line) {
+  const auto it = victims_.find(line);
+  if (it == victims_.end()) return;
+  // The displaced line came back as a demand miss: every prefetch that
+  // displaced it (still in flight) is chargeable with that miss.
+  for (LineAddr p : it->second) {
+    const auto pit = live_.find(p);
+    if (pit != live_.end()) pit->second.victim_remissed = true;
+  }
+  victims_.erase(it);
+}
+
+void TaxonomyTracker::on_prefetch_used(LineAddr p) {
+  const auto it = live_.find(p);
+  if (it != live_.end()) it->second.used = true;
+}
+
+void TaxonomyTracker::classify(const Pending& e) {
+  if (e.used) {
+    if (e.victim_remissed)
+      ++counts_.useful_polluting;
+    else
+      ++counts_.useful;
+  } else {
+    if (e.victim_remissed)
+      ++counts_.polluting;
+    else
+      ++counts_.useless;
+  }
+}
+
+void TaxonomyTracker::on_prefetch_evicted(LineAddr p) {
+  const auto it = live_.find(p);
+  if (it == live_.end()) return;
+  classify(it->second);
+  if (it->second.has_victim) {
+    const auto vit = victims_.find(it->second.victim);
+    if (vit != victims_.end()) {
+      auto& v = vit->second;
+      v.erase(std::remove(v.begin(), v.end(), p), v.end());
+      if (v.empty()) victims_.erase(vit);
+    }
+  }
+  live_.erase(it);
+}
+
+void TaxonomyTracker::finalize() {
+  for (const auto& [p, e] : live_) classify(e);
+  live_.clear();
+  victims_.clear();
+}
+
+void TaxonomyTracker::reset() {
+  live_.clear();
+  victims_.clear();
+  counts_ = TaxonomyCounts{};
+}
+
+}  // namespace ppf::sim

@@ -1,0 +1,47 @@
+#include "workload/interleaved.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::workload {
+namespace {
+
+/// Distinct-address-space tag: program i lives at i << 40.
+constexpr unsigned kAsidShift = 40;
+
+}  // namespace
+
+InterleavedTrace::InterleavedTrace(
+    std::vector<std::unique_ptr<TraceSource>> sources,
+    std::uint64_t switch_interval)
+    : sources_(std::move(sources)), switch_interval_(switch_interval) {
+  PPF_ASSERT(!sources_.empty());
+  PPF_ASSERT(switch_interval_ > 0);
+  name_ = "interleaved(";
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    PPF_ASSERT(sources_[i] != nullptr);
+    if (i != 0) name_ += "+";
+    name_ += sources_[i]->name();
+  }
+  name_ += ")";
+}
+
+bool InterleavedTrace::next(TraceRecord& out) {
+  if (issued_in_slice_ >= switch_interval_) {
+    issued_in_slice_ = 0;
+    current_ = (current_ + 1) % sources_.size();
+    ++switches_;
+  }
+  if (!sources_[current_]->next(out)) return false;
+  ++issued_in_slice_;
+
+  const Addr tag = static_cast<Addr>(current_) << kAsidShift;
+  out.pc |= tag;
+  if (out.kind == InstKind::Load || out.kind == InstKind::Store ||
+      out.kind == InstKind::SwPrefetch) {
+    out.addr |= tag;
+  }
+  if (out.kind == InstKind::Branch) out.target |= tag;
+  return true;
+}
+
+}  // namespace ppf::workload

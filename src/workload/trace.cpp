@@ -1,0 +1,75 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppf::workload {
+
+VectorTrace::VectorTrace(std::vector<TraceRecord> records, std::string name)
+    : records_(std::move(records)), name_(std::move(name)) {}
+
+bool VectorTrace::next(TraceRecord& out) {
+  if (pos_ >= records_.size()) return false;
+  out = records_[pos_++];
+  return true;
+}
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "ppftrace v2 " << records.size() << "\n";
+  for (const TraceRecord& r : records) {
+    os << std::hex << r.pc << ' ' << std::dec
+       << static_cast<unsigned>(r.kind) << ' ' << std::hex << r.addr << ' '
+       << r.target << ' ' << std::dec << (r.taken ? 1 : 0) << ' '
+       << (r.serial ? 1 : 0) << ' ' << static_cast<unsigned>(r.dst) << ' '
+       << static_cast<unsigned>(r.src1) << ' '
+       << static_cast<unsigned>(r.src2) << "\n";
+  }
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "ppftrace" ||
+      version != "v2") {
+    throw std::runtime_error("not a ppftrace v2 stream");
+  }
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    unsigned kind = 0;
+    int taken = 0;
+    int serial = 0;
+    unsigned dst = 0, src1 = 0, src2 = 0;
+    if (!(is >> std::hex >> r.pc >> std::dec >> kind >> std::hex >> r.addr >>
+          r.target >> std::dec >> taken >> serial >> dst >> src1 >> src2)) {
+      throw std::runtime_error("truncated ppftrace stream");
+    }
+    if (dst > 31 || src1 > 31 || src2 > 31) {
+      throw std::runtime_error("invalid register in trace");
+    }
+    r.serial = serial != 0;
+    r.dst = static_cast<std::uint8_t>(dst);
+    r.src1 = static_cast<std::uint8_t>(src1);
+    r.src2 = static_cast<std::uint8_t>(src2);
+    if (kind > static_cast<unsigned>(InstKind::SwPrefetch)) {
+      throw std::runtime_error("invalid instruction kind in trace");
+    }
+    r.kind = static_cast<InstKind>(kind);
+    r.taken = taken != 0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> collect(TraceSource& src, std::size_t max_records) {
+  std::vector<TraceRecord> out;
+  out.reserve(max_records);
+  TraceRecord r;
+  while (out.size() < max_records && src.next(r)) out.push_back(r);
+  return out;
+}
+
+}  // namespace ppf::workload

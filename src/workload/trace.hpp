@@ -1,0 +1,98 @@
+// Instruction-trace representation.
+//
+// The paper drives SimpleScalar with Alpha binaries; we drive the timing
+// model with deterministic instruction traces produced by the synthetic
+// workload generators (or loaded from a file). The record format carries
+// exactly what the timing model and the prefetch machinery need: PC,
+// instruction kind, the effective address for memory operations, and the
+// direction/target for branches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppf::workload {
+
+enum class InstKind : std::uint8_t {
+  Op,          ///< non-memory, non-branch instruction
+  Load,        ///< demand load
+  Store,       ///< demand store
+  Branch,      ///< conditional or unconditional control transfer
+  SwPrefetch,  ///< compiler-inserted non-binding prefetch
+};
+
+inline const char* to_string(InstKind k) {
+  switch (k) {
+    case InstKind::Op: return "op";
+    case InstKind::Load: return "load";
+    case InstKind::Store: return "store";
+    case InstKind::Branch: return "branch";
+    case InstKind::SwPrefetch: return "swpf";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  Pc pc = 0;
+  InstKind kind = InstKind::Op;
+  Addr addr = 0;    ///< effective address (Load/Store/SwPrefetch)
+  Addr target = 0;  ///< branch target (Branch, when taken)
+  bool taken = false;
+  /// Load whose address depends on the previous serial load (pointer
+  /// chasing): it cannot issue until that load's data returns. Used by
+  /// the occupancy core; the dataflow core derives the same chain from
+  /// the register fields below.
+  bool serial = false;
+
+  /// Architectural registers (0 = none, 1..31 usable). The occupancy
+  /// core ignores these; core::DataflowCore builds true dependences
+  /// from them.
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Pull-based instruction stream.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next record; false when the stream is exhausted.
+  virtual bool next(TraceRecord& out) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Replays a fixed vector of records (tests, file-based traces).
+class VectorTrace final : public TraceSource {
+ public:
+  explicit VectorTrace(std::vector<TraceRecord> records,
+                       std::string name = "vector");
+
+  bool next(TraceRecord& out) override;
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+  void rewind() { pos_ = 0; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialise records to a compact text form (one record per line) and back.
+/// Used by the trace-capture example and the round-trip tests.
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records);
+std::vector<TraceRecord> read_trace(std::istream& is);
+
+/// Materialise up to `max_records` records from a source.
+std::vector<TraceRecord> collect(TraceSource& src, std::size_t max_records);
+
+}  // namespace ppf::workload

@@ -1,0 +1,36 @@
+// Compact binary trace format ("ppfb"), the storage format for long
+// captures. Records are delta/varint encoded: PCs and addresses in real
+// traces move in small steps, so a 300M-instruction capture shrinks by
+// roughly an order of magnitude versus the v1 text format.
+//
+// Layout: 8-byte magic "ppfbtr02", varint record count, then per record:
+//   byte 0: kind (3 bits) | taken (1) | serial (1) | has-regs (1)
+//   varint: zigzag(pc delta from previous record's pc)
+//   [has-regs]     three raw bytes: dst, src1, src2
+//   [mem kinds]    varint zigzag(addr delta from previous mem addr)
+//   [branch kind]  varint zigzag(target delta from pc)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace ppf::workload {
+
+/// Serialise records in the compact binary format.
+void write_trace_binary(std::ostream& os,
+                        const std::vector<TraceRecord>& records);
+
+/// Parse a compact binary trace. Throws std::runtime_error on malformed
+/// input (bad magic, truncation, invalid kind).
+std::vector<TraceRecord> read_trace_binary(std::istream& is);
+
+// Exposed for unit tests: LEB128 varint and zigzag primitives.
+void put_varint(std::ostream& os, std::uint64_t v);
+std::uint64_t get_varint(std::istream& is);
+std::uint64_t zigzag_encode(std::int64_t v);
+std::int64_t zigzag_decode(std::uint64_t v);
+
+}  // namespace ppf::workload

@@ -1,0 +1,41 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(log2_exact(1ULL << 63), 63u);
+}
+
+TEST(Bits, ExtractField) {
+  EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+  EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+  EXPECT_EQ(bits(0xF0, 4, 4), 0xFu);
+  EXPECT_EQ(bits(0x12345678, 8, 0), 0u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+  EXPECT_EQ(low_mask(65), ~0ULL);
+}
+
+}  // namespace
+}  // namespace ppf

@@ -1,0 +1,78 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppf {
+namespace {
+
+ParamMap parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ParamMap::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParamMap, ParsesKeyValueTokens) {
+  const ParamMap p = parse({"alpha=1", "beta=hello"});
+  EXPECT_TRUE(p.has("alpha"));
+  EXPECT_TRUE(p.has("beta"));
+  EXPECT_FALSE(p.has("gamma"));
+}
+
+TEST(ParamMap, RejectsMalformedTokens) {
+  EXPECT_THROW(parse({"no_equals"}), std::invalid_argument);
+  EXPECT_THROW(parse({"=value"}), std::invalid_argument);
+}
+
+TEST(ParamMap, U64ParsingAndFallback) {
+  const ParamMap p = parse({"n=42", "hexed=0x10"});
+  EXPECT_EQ(p.get_u64("n", 0), 42u);
+  EXPECT_EQ(p.get_u64("hexed", 0), 16u);  // base-0 parsing accepts 0x
+  EXPECT_EQ(p.get_u64("missing", 7), 7u);
+}
+
+TEST(ParamMap, U64RejectsGarbage) {
+  const ParamMap p = parse({"n=12abc", "m=xyz"});
+  EXPECT_THROW((void)p.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64("m", 0), std::invalid_argument);
+}
+
+TEST(ParamMap, DoubleParsing) {
+  const ParamMap p = parse({"x=0.25"});
+  EXPECT_DOUBLE_EQ(p.get_double("x", 0), 0.25);
+  EXPECT_DOUBLE_EQ(p.get_double("missing", 1.5), 1.5);
+  const ParamMap bad = parse({"x=1.2.3"});
+  EXPECT_THROW((void)bad.get_double("x", 0), std::invalid_argument);
+}
+
+TEST(ParamMap, BoolParsing) {
+  const ParamMap p =
+      parse({"a=1", "b=true", "c=off", "d=no", "e=yes", "f=0"});
+  EXPECT_TRUE(p.get_bool("a", false));
+  EXPECT_TRUE(p.get_bool("b", false));
+  EXPECT_FALSE(p.get_bool("c", true));
+  EXPECT_FALSE(p.get_bool("d", true));
+  EXPECT_TRUE(p.get_bool("e", false));
+  EXPECT_FALSE(p.get_bool("f", true));
+  EXPECT_TRUE(p.get_bool("missing", true));
+  const ParamMap bad = parse({"x=maybe"});
+  EXPECT_THROW((void)bad.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(ParamMap, StringAndSet) {
+  ParamMap p;
+  p.set("k", "v");
+  EXPECT_EQ(p.get_string("k", ""), "v");
+  EXPECT_EQ(p.get_string("other", "dflt"), "dflt");
+  p.set("k", "v2");  // overwrite
+  EXPECT_EQ(p.get_string("k", ""), "v2");
+}
+
+TEST(ParamMap, ValueMayContainEquals) {
+  const ParamMap p = parse({"expr=a=b"});
+  EXPECT_EQ(p.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace ppf

@@ -1,0 +1,83 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ppf {
+namespace {
+
+TEST(Hash, FoldXorStaysInRange) {
+  for (unsigned bits : {1u, 4u, 12u, 20u, 32u}) {
+    for (std::uint64_t k : {0ULL, 1ULL, 0xDEADBEEFULL, ~0ULL}) {
+      EXPECT_LT(fold_xor(k, bits), 1ULL << bits);
+    }
+  }
+}
+
+TEST(Hash, FoldXorUsesHighBits) {
+  // Two keys differing only above the index width must map differently
+  // for at least some pairs — that is the point of folding.
+  const unsigned bits = 12;
+  int diffs = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::uint64_t a = fold_xor(k, bits);
+    const std::uint64_t b = fold_xor(k | (k << 40), bits);
+    if (a != b) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Hash, ModuloKeepsLowBits) {
+  EXPECT_EQ(table_index(HashKind::Modulo, 0x12345, 8), 0x45u);
+  EXPECT_EQ(table_index(HashKind::Modulo, 0xFFF, 12), 0xFFFu);
+}
+
+TEST(Hash, ModuloMapsConsecutiveKeysToConsecutiveEntries) {
+  // Spatial separation property the default filter indexing relies on.
+  for (std::uint64_t k = 100; k < 110; ++k) {
+    EXPECT_EQ(table_index(HashKind::Modulo, k + 1, 12),
+              (table_index(HashKind::Modulo, k, 12) + 1) & 0xFFF);
+  }
+}
+
+TEST(Hash, FibonacciStaysInRange) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_LT(fibonacci_hash(k * 977, 10), 1024u);
+  }
+}
+
+TEST(Hash, Mix64IsBijectiveOnSample) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t k = 0; k < 4096; ++k) outs.insert(mix64(k));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+TEST(Hash, StrongHashesSpreadSequentialKeys) {
+  // Sequential keys should fill most buckets under the mixing hashes.
+  for (HashKind kind : {HashKind::Fibonacci, HashKind::Mix64}) {
+    std::set<std::uint64_t> buckets;
+    for (std::uint64_t k = 0; k < 4096; ++k) {
+      buckets.insert(table_index(kind, k, 8));
+    }
+    EXPECT_EQ(buckets.size(), 256u) << to_string(kind);
+  }
+}
+
+TEST(Hash, Deterministic) {
+  for (HashKind kind : {HashKind::Modulo, HashKind::FoldXor,
+                        HashKind::Fibonacci, HashKind::Mix64}) {
+    EXPECT_EQ(table_index(kind, 0xABCDEF, 12), table_index(kind, 0xABCDEF, 12));
+  }
+}
+
+TEST(Hash, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(HashKind::Modulo), "modulo");
+  EXPECT_STREQ(to_string(HashKind::FoldXor), "fold-xor");
+  EXPECT_STREQ(to_string(HashKind::Fibonacci), "fibonacci");
+  EXPECT_STREQ(to_string(HashKind::Mix64), "mix64");
+}
+
+}  // namespace
+}  // namespace ppf

@@ -1,0 +1,128 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ppf {
+namespace {
+
+TEST(Xorshift, DeterministicForSameSeed) {
+  Xorshift a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift, DifferentSeedsDiverge) {
+  Xorshift a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xorshift, BelowRespectsBound) {
+  Xorshift r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Xorshift, BelowOneIsAlwaysZero) {
+  Xorshift r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Xorshift, BetweenIsInclusive) {
+  Xorshift r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = r.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Xorshift, UniformInUnitInterval) {
+  Xorshift r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xorshift, ChanceExtremes) {
+  Xorshift r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Xorshift, ChanceMatchesProbability) {
+  Xorshift r(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler z(100, 0.9);
+  Xorshift r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(r), 100u);
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+  ZipfSampler z(1000, 1.0);
+  Xorshift r(29);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t s = z.sample(r);
+    if (s < 10) ++head;
+    if (s >= 990) ++tail;
+  }
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  ZipfSampler z(10, 0.0);
+  Xorshift r(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(r)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 450);
+}
+
+TEST(ChaseRing, IsAPermutation) {
+  Xorshift r(37);
+  const auto ring = make_chase_ring(257, r);
+  std::set<std::uint32_t> targets(ring.begin(), ring.end());
+  EXPECT_EQ(targets.size(), 257u);
+}
+
+TEST(ChaseRing, SingleCycleVisitsAllNodes) {
+  Xorshift r(41);
+  const auto ring = make_chase_ring(64, r);
+  std::set<std::uint32_t> visited;
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    cur = ring[cur];
+    visited.insert(cur);
+  }
+  EXPECT_EQ(visited.size(), 64u);  // full cycle, no short loops
+  EXPECT_EQ(cur, 0u);              // back at the start after n hops
+}
+
+TEST(ChaseRing, SingletonRing) {
+  Xorshift r(43);
+  const auto ring = make_chase_ring(1, r);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0], 0u);
+}
+
+}  // namespace
+}  // namespace ppf

@@ -1,0 +1,86 @@
+#include "common/sat_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf {
+namespace {
+
+TEST(SatCounter, DefaultIsTwoBitWeaklyPositive) {
+  SaturatingCounter c;
+  EXPECT_EQ(c.value(), 2);
+  EXPECT_EQ(c.max(), 3);
+  EXPECT_TRUE(c.predicts_positive());
+}
+
+TEST(SatCounter, InitClampsToRange) {
+  SaturatingCounter c(2, 9);
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, IncrementSaturatesAtMax) {
+  SaturatingCounter c(2, 3);
+  c.increment();
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, DecrementSaturatesAtZero) {
+  SaturatingCounter c(2, 0);
+  c.decrement();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounter, UpdateMovesTowardOutcome) {
+  SaturatingCounter c(2, 2);
+  c.update(false);
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_FALSE(c.predicts_positive());
+  c.update(true);
+  c.update(true);
+  EXPECT_EQ(c.value(), 3);
+  EXPECT_TRUE(c.predicts_positive());
+}
+
+TEST(SatCounter, SetClampsToRange) {
+  SaturatingCounter c(3, 0);
+  c.set(200);
+  EXPECT_EQ(c.value(), 7);
+  c.set(5);
+  EXPECT_EQ(c.value(), 5);
+}
+
+TEST(SatCounter, OneBitBehavesLikeLastOutcome) {
+  SaturatingCounter c(1, 1);
+  EXPECT_TRUE(c.predicts_positive());
+  c.update(false);
+  EXPECT_FALSE(c.predicts_positive());
+  c.update(true);
+  EXPECT_TRUE(c.predicts_positive());
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatCounterWidth, ThresholdIsUpperHalf) {
+  const unsigned bits = GetParam();
+  const std::uint8_t max = static_cast<std::uint8_t>((1u << bits) - 1);
+  for (unsigned v = 0; v <= max; ++v) {
+    SaturatingCounter c(bits, static_cast<std::uint8_t>(v));
+    EXPECT_EQ(c.predicts_positive(), v > max / 2u)
+        << "bits=" << bits << " value=" << v;
+  }
+}
+
+TEST_P(SatCounterWidth, FullSweepUpAndDown) {
+  const unsigned bits = GetParam();
+  const std::uint8_t max = static_cast<std::uint8_t>((1u << bits) - 1);
+  SaturatingCounter c(bits, 0);
+  for (unsigned i = 0; i < (1u << bits) + 3; ++i) c.increment();
+  EXPECT_EQ(c.value(), max);
+  for (unsigned i = 0; i < (1u << bits) + 3; ++i) c.decrement();
+  EXPECT_EQ(c.value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+}  // namespace
+}  // namespace ppf

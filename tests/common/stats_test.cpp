@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppf {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsSamplesByWidth) {
+  Histogram h(10, 4);  // buckets [0,10) [10,20) [20,30) [30,40)
+  h.record(0);
+  h.record(9);
+  h.record(10);
+  h.record(35);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeSamples) {
+  Histogram h(10, 2);
+  h.record(100);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MeanAndMax) {
+  Histogram h(1, 8);
+  h.record(2);
+  h.record(4);
+  h.record(6);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.max_seen(), 6u);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  Histogram h(1, 4);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(5, 3);
+  h.record(7);
+  h.record(999);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_EQ(h.max_seen(), 0u);
+}
+
+TEST(Ratio, HandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+}
+
+TEST(Means, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+TEST(Means, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geomean_of({}), 0.0);
+  EXPECT_NEAR(geomean_of({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean_of({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppf

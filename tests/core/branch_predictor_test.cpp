@@ -1,0 +1,75 @@
+#include "core/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::core {
+namespace {
+
+BimodalConfig small() {
+  BimodalConfig c;
+  c.entries = 16;
+  return c;
+}
+
+TEST(Bimodal, StartsWeaklyTaken) {
+  BimodalPredictor bp(small());
+  EXPECT_TRUE(bp.predict(0x400000));
+}
+
+TEST(Bimodal, LearnsNotTaken) {
+  BimodalPredictor bp(small());
+  bp.update(0x400000, false);
+  EXPECT_FALSE(bp.predict(0x400000));
+  bp.update(0x400000, false);
+  bp.update(0x400000, true);  // one taken does not flip a saturated entry
+  EXPECT_FALSE(bp.predict(0x400000));
+}
+
+TEST(Bimodal, HysteresisNeedsTwoFlips) {
+  BimodalPredictor bp(small());
+  bp.update(0x400000, true);  // saturate at 3
+  bp.update(0x400000, false);
+  EXPECT_TRUE(bp.predict(0x400000));  // 2: still taken
+  bp.update(0x400000, false);
+  EXPECT_FALSE(bp.predict(0x400000));  // 1: now not-taken
+}
+
+TEST(Bimodal, DistinctPcsTrainIndependently) {
+  BimodalPredictor bp(small());
+  bp.update(0x400000, false);
+  bp.update(0x400000, false);
+  EXPECT_FALSE(bp.predict(0x400000));
+  EXPECT_TRUE(bp.predict(0x400004));
+}
+
+TEST(Bimodal, AliasingWrapsAtTableSize) {
+  BimodalPredictor bp(small());  // 16 entries, pc>>2 indexing
+  bp.update(0x400000, false);
+  bp.update(0x400000, false);
+  // 16 instructions later: same entry.
+  EXPECT_FALSE(bp.predict(0x400000 + 16 * 4));
+}
+
+TEST(Bimodal, MispredictionAccounting) {
+  BimodalPredictor bp(small());
+  (void)bp.predict(0);
+  bp.note_outcome(false);
+  bp.note_outcome(true);
+  (void)bp.predict(4);
+  EXPECT_EQ(bp.predictions(), 2u);
+  EXPECT_EQ(bp.mispredictions(), 1u);
+}
+
+TEST(Bimodal, BiasedBranchIsLearnedQuickly) {
+  BimodalPredictor bp(BimodalConfig{});  // paper config: 2048 entries
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool taken = i % 10 != 9;  // 90% taken loop branch
+    if (bp.predict(0x400100) == taken) ++correct;
+    bp.update(0x400100, taken);
+  }
+  EXPECT_GT(correct, 85);
+}
+
+}  // namespace
+}  // namespace ppf::core

@@ -1,0 +1,69 @@
+#include "core/btb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::core {
+namespace {
+
+BtbConfig small() {
+  BtbConfig c;
+  c.sets = 4;
+  c.ways = 2;
+  return c;
+}
+
+TEST(Btb, MissOnColdLookup) {
+  Btb btb(small());
+  EXPECT_FALSE(btb.lookup(0x400000).has_value());
+}
+
+TEST(Btb, InstallThenHit) {
+  Btb btb(small());
+  btb.update(0x400000, 0x400800);
+  const auto t = btb.lookup(0x400000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x400800u);
+}
+
+TEST(Btb, TargetUpdateOverwrites) {
+  Btb btb(small());
+  btb.update(0x400000, 0x400800);
+  btb.update(0x400000, 0x400900);  // indirect branch changed target
+  EXPECT_EQ(*btb.lookup(0x400000), 0x400900u);
+}
+
+TEST(Btb, LruEvictionWithinSet) {
+  Btb btb(small());  // 4 sets x 2 ways; pc>>2 mod 4 selects the set
+  const Pc a = 0x400000;           // set 0
+  const Pc b = 0x400000 + 4 * 4;   // set 0 (16 bytes later)
+  const Pc c = 0x400000 + 8 * 4;   // set 0
+  btb.update(a, 1);
+  btb.update(b, 2);
+  (void)btb.lookup(a);  // refresh a
+  btb.update(c, 3);     // evicts b (LRU)
+  EXPECT_TRUE(btb.lookup(a).has_value());
+  EXPECT_FALSE(btb.lookup(b).has_value());
+  EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+TEST(Btb, DifferentSetsDoNotInterfere) {
+  Btb btb(small());
+  btb.update(0x400000, 1);  // set 0
+  btb.update(0x400004, 2);  // set 1
+  btb.update(0x400008, 3);  // set 2
+  EXPECT_EQ(*btb.lookup(0x400000), 1u);
+  EXPECT_EQ(*btb.lookup(0x400004), 2u);
+  EXPECT_EQ(*btb.lookup(0x400008), 3u);
+}
+
+TEST(Btb, HitRateStatistics) {
+  Btb btb(small());
+  (void)btb.lookup(0x400000);  // miss
+  btb.update(0x400000, 9);
+  (void)btb.lookup(0x400000);  // hit
+  EXPECT_EQ(btb.lookups(), 2u);
+  EXPECT_EQ(btb.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace ppf::core

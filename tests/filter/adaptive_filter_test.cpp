@@ -1,0 +1,89 @@
+#include "filter/adaptive_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::filter {
+namespace {
+
+HistoryTableConfig table_cfg() {
+  HistoryTableConfig c;
+  c.entries = 64;
+  c.hash = HashKind::Modulo;
+  return c;
+}
+
+AdaptiveConfig fast_window() {
+  AdaptiveConfig c;
+  c.accuracy_threshold = 0.5;
+  c.release_threshold = 0.6;
+  c.window = 10;
+  return c;
+}
+
+PrefetchCandidate cand(LineAddr line) {
+  return PrefetchCandidate{line, 0x400000, PrefetchSource::NextSequence};
+}
+
+FilterFeedback fb(LineAddr line, bool referenced) {
+  return FilterFeedback{line, 0x400000, referenced,
+                        PrefetchSource::NextSequence};
+}
+
+std::unique_ptr<AdaptiveFilter> make_filter() {
+  return std::make_unique<AdaptiveFilter>(
+      std::make_unique<PaFilter>(table_cfg()), fast_window());
+}
+
+TEST(AdaptiveFilter, StartsDisengagedAndAdmitsDespiteInnerRejection) {
+  auto f = make_filter();
+  // Train the inner PA table to reject line 5...
+  f->feedback(fb(5, true));  // keep accuracy high: no engagement
+  for (int i = 0; i < 3; ++i) f->feedback(fb(5, false));
+  // ...but since prefetching is "accurate enough", nothing is filtered.
+  // (window not yet closed with low accuracy: 4 events < 10)
+  EXPECT_FALSE(f->engaged());
+  EXPECT_TRUE(f->admit(cand(5)));
+}
+
+TEST(AdaptiveFilter, EngagesWhenAccuracyDropsBelowThreshold) {
+  auto f = make_filter();
+  for (int i = 0; i < 10; ++i) f->feedback(fb(5, i < 2));  // 20% accuracy
+  EXPECT_TRUE(f->engaged());
+  EXPECT_NEAR(f->last_window_accuracy(), 0.2, 1e-9);
+  // Now the inner filter's learned rejection takes effect.
+  EXPECT_FALSE(f->admit(cand(5)));
+  // Untrained lines still pass even while engaged.
+  EXPECT_TRUE(f->admit(cand(6)));
+}
+
+TEST(AdaptiveFilter, ReleasesWithHysteresis) {
+  auto f = make_filter();
+  for (int i = 0; i < 10; ++i) f->feedback(fb(50 + i, false));
+  ASSERT_TRUE(f->engaged());
+  // A window at 55% accuracy is above engage (50%) but below release
+  // (60%): the filter must stay engaged.
+  for (int i = 0; i < 10; ++i) f->feedback(fb(100 + i, i < 6));
+  EXPECT_TRUE(f->engaged());
+  // A clearly accurate window releases it.
+  for (int i = 0; i < 10; ++i) f->feedback(fb(200 + i, true));
+  EXPECT_FALSE(f->engaged());
+}
+
+TEST(AdaptiveFilter, FeedbackAlwaysReachesInnerTable) {
+  auto f = make_filter();
+  // While disengaged, the inner table still learns (stays warm).
+  for (int i = 0; i < 3; ++i) f->feedback(fb(7, false));
+  for (int i = 0; i < 10; ++i) f->feedback(fb(300 + i, false));  // engage
+  ASSERT_TRUE(f->engaged());
+  EXPECT_FALSE(f->admit(cand(7)));  // learned during the calm period
+}
+
+TEST(AdaptiveFilter, RejectsInvalidConfig) {
+  AdaptiveConfig bad = fast_window();
+  bad.release_threshold = 0.3;  // below accuracy_threshold
+  EXPECT_DEATH(AdaptiveFilter(std::make_unique<PaFilter>(table_cfg()), bad),
+               "release_threshold");
+}
+
+}  // namespace
+}  // namespace ppf::filter

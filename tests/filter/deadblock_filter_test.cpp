@@ -1,0 +1,77 @@
+#include "filter/deadblock_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::filter {
+namespace {
+
+mem::CacheConfig tiny() {
+  mem::CacheConfig c;
+  c.size_bytes = 256;  // 8 lines, direct-mapped
+  c.line_bytes = 32;
+  c.associativity = 1;
+  return c;
+}
+
+PrefetchCandidate cand(const mem::Cache& l1, Addr target) {
+  return PrefetchCandidate{l1.line_of(target), 0x400000,
+                           PrefetchSource::NextSequence};
+}
+
+TEST(DeadBlockFilter, AdmitsIntoEmptyWays) {
+  mem::Cache l1(tiny());
+  DeadBlockFilter f(l1, DeadBlockConfig{});
+  EXPECT_TRUE(f.admit(cand(l1, 0x1000)));
+}
+
+TEST(DeadBlockFilter, RejectsWhenVictimIsHot) {
+  mem::Cache l1(tiny());
+  DeadBlockFilter f(l1, DeadBlockConfig{});
+  l1.fill(0x000, mem::FillInfo{});
+  l1.access(0x000, AccessType::Load);  // victim is fresh
+  // 0x100 maps onto the same set: the fill would displace hot data.
+  EXPECT_FALSE(f.admit(cand(l1, 0x100)));
+}
+
+TEST(DeadBlockFilter, AdmitsWhenVictimWentCold) {
+  mem::Cache l1(tiny());
+  DeadBlockFilter f(l1, DeadBlockConfig{1.0});  // threshold: 8 touches
+  l1.fill(0x000, mem::FillInfo{});
+  // Age the victim: touch other sets more than a full turnover.
+  for (int i = 0; i < 12; ++i) {
+    l1.fill(0x20 + i * 0x20 % 0xE0 + 0x20, mem::FillInfo{});
+    l1.access(0x20 + i * 0x20 % 0xE0 + 0x20, AccessType::Load);
+  }
+  EXPECT_TRUE(f.admit(cand(l1, 0x100)));
+}
+
+TEST(DeadBlockFilter, ThresholdScalesWithConfig) {
+  mem::Cache l1(tiny());
+  DeadBlockFilter strict(l1, DeadBlockConfig{4.0});  // 32 touches needed
+  l1.fill(0x000, mem::FillInfo{});  // victim-to-be, last_use = stamp 1
+  l1.fill(0x020, mem::FillInfo{});  // another set to age the victim with
+  for (int i = 0; i < 12; ++i) {
+    l1.access(0x020, AccessType::Load);
+  }
+  // Victim age is now ~13 touches: dead for the 1x gate (8), alive for
+  // the 4x gate (32).
+  DeadBlockFilter lax(l1, DeadBlockConfig{1.0});
+  EXPECT_TRUE(lax.admit(cand(l1, 0x100)));
+  EXPECT_FALSE(strict.admit(cand(l1, 0x100)));
+}
+
+TEST(DeadBlockFilter, FeedbackIsIgnoredStateless) {
+  mem::Cache l1(tiny());
+  DeadBlockFilter f(l1, DeadBlockConfig{});
+  l1.fill(0x000, mem::FillInfo{});
+  l1.access(0x000, AccessType::Load);
+  ASSERT_FALSE(f.admit(cand(l1, 0x100)));
+  for (int i = 0; i < 10; ++i) {
+    f.feedback(FilterFeedback{l1.line_of(0x100), 0, true,
+                              PrefetchSource::NextSequence});
+  }
+  EXPECT_FALSE(f.admit(cand(l1, 0x100)));  // still gated by the victim
+}
+
+}  // namespace
+}  // namespace ppf::filter

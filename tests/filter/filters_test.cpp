@@ -1,0 +1,124 @@
+#include "filter/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::filter {
+namespace {
+
+HistoryTableConfig small_table() {
+  HistoryTableConfig c;
+  c.entries = 256;
+  c.hash = HashKind::Modulo;
+  return c;
+}
+
+PrefetchCandidate cand(LineAddr line, Pc pc = 0x400000,
+                       PrefetchSource src = PrefetchSource::NextSequence) {
+  return PrefetchCandidate{line, pc, src};
+}
+
+FilterFeedback fb(LineAddr line, bool referenced, Pc pc = 0x400000,
+                  PrefetchSource src = PrefetchSource::NextSequence) {
+  return FilterFeedback{line, pc, referenced, src};
+}
+
+TEST(NullFilter, AdmitsEverythingAndCounts) {
+  NullFilter f;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(f.admit(cand(i)));
+  EXPECT_EQ(f.admitted(), 5u);
+  EXPECT_EQ(f.rejected(), 0u);
+  EXPECT_STREQ(f.name(), "none");
+}
+
+TEST(PaFilter, FirstTouchIsAdmitted) {
+  PaFilter f(small_table());
+  EXPECT_TRUE(f.admit(cand(42)));
+}
+
+TEST(PaFilter, LearnsPerLineOutcome) {
+  PaFilter f(small_table());
+  f.feedback(fb(42, false));
+  EXPECT_FALSE(f.admit(cand(42)));
+  EXPECT_TRUE(f.admit(cand(43)));  // neighbouring line unaffected
+  f.feedback(fb(42, true));
+  f.feedback(fb(42, true));
+  EXPECT_TRUE(f.admit(cand(42)));
+}
+
+TEST(PaFilter, RecoverRestoresAdmissionOutright) {
+  PaFilter f(small_table());
+  f.feedback(fb(42, false));
+  f.feedback(fb(42, false));
+  ASSERT_FALSE(f.admit(cand(42)));
+  f.recover(fb(42, true));  // wrongly-filtered evidence: saturate good
+  EXPECT_TRUE(f.admit(cand(42)));
+}
+
+TEST(PaFilter, SourceSeparationIsolatesEngines) {
+  PaFilter f(small_table());
+  // NSP keeps prefetching line 42 uselessly...
+  f.feedback(fb(42, false, 0x400000, PrefetchSource::NextSequence));
+  EXPECT_FALSE(f.admit(cand(42, 0x400000, PrefetchSource::NextSequence)));
+  // ...but SDP's prefetch of the very same line is judged separately.
+  EXPECT_TRUE(f.admit(cand(42, 0x400000, PrefetchSource::ShadowDirectory)));
+}
+
+TEST(PaFilter, SharedCounterWithoutSourceSeparation) {
+  HistoryTableConfig c = small_table();
+  c.source_separated = false;
+  PaFilter f(c);
+  f.feedback(fb(42, false, 0x400000, PrefetchSource::NextSequence));
+  EXPECT_FALSE(f.admit(cand(42, 0x400000, PrefetchSource::ShadowDirectory)));
+}
+
+TEST(PcFilter, KeysByTriggerPcNotByLine) {
+  PcFilter f(small_table());
+  f.feedback(fb(10, false, 0x400104));
+  // A different line from the same trigger instruction is rejected...
+  EXPECT_FALSE(f.admit(cand(999, 0x400104)));
+  // ...while the same line from another instruction is admitted.
+  EXPECT_TRUE(f.admit(cand(10, 0x400108)));
+}
+
+TEST(PcFilter, AdjacentInstructionsGetDistinctEntries) {
+  PcFilter f(small_table(), /*inst_bytes=*/4);
+  f.feedback(fb(1, false, 0x400000));
+  f.feedback(fb(1, false, 0x400000));
+  EXPECT_FALSE(f.admit(cand(1, 0x400000)));
+  EXPECT_TRUE(f.admit(cand(1, 0x400004)));  // next instruction
+}
+
+TEST(PcFilter, RecoverWorksOnPcKey) {
+  PcFilter f(small_table());
+  f.feedback(fb(1, false, 0x400100));
+  f.feedback(fb(1, false, 0x400100));
+  ASSERT_FALSE(f.admit(cand(7, 0x400100)));
+  f.recover(fb(7, true, 0x400100));
+  EXPECT_TRUE(f.admit(cand(8, 0x400100)));
+}
+
+TEST(Filters, AdmitRejectAccounting) {
+  PaFilter f(small_table());
+  f.feedback(fb(5, false));
+  (void)f.admit(cand(5));   // rejected
+  (void)f.admit(cand(6));   // admitted
+  (void)f.admit(cand(7));   // admitted
+  EXPECT_EQ(f.admitted(), 2u);
+  EXPECT_EQ(f.rejected(), 1u);
+  f.reset_stats();
+  EXPECT_EQ(f.admitted(), 0u);
+  EXPECT_EQ(f.rejected(), 0u);
+  // Learned state survives the stats reset.
+  EXPECT_FALSE(f.admit(cand(5)));
+}
+
+TEST(Filters, KindToString) {
+  EXPECT_STREQ(to_string(FilterKind::None), "none");
+  EXPECT_STREQ(to_string(FilterKind::Pa), "pa");
+  EXPECT_STREQ(to_string(FilterKind::Pc), "pc");
+  EXPECT_STREQ(to_string(FilterKind::Static), "static");
+  EXPECT_STREQ(to_string(FilterKind::Adaptive), "adaptive");
+}
+
+}  // namespace
+}  // namespace ppf::filter

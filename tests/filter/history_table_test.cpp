@@ -1,0 +1,132 @@
+#include "filter/history_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::filter {
+namespace {
+
+HistoryTableConfig cfg(std::size_t entries = 64, unsigned bits = 2,
+                       std::uint8_t init = 2) {
+  HistoryTableConfig c;
+  c.entries = entries;
+  c.counter_bits = bits;
+  c.init_value = init;
+  c.hash = HashKind::Modulo;
+  return c;
+}
+
+TEST(HistoryTable, FreshTablePredictsGood) {
+  HistoryTable t(cfg());
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(t.predict_good(k));
+}
+
+TEST(HistoryTable, InitValueZeroPredictsBad) {
+  HistoryTable t(cfg(64, 2, 0));
+  EXPECT_FALSE(t.predict_good(7));
+}
+
+TEST(HistoryTable, LearnsBadAfterTwoStrikes) {
+  HistoryTable t(cfg());
+  t.update(5, false);
+  EXPECT_FALSE(t.predict_good(5));  // 2 -> 1: now predicts bad
+  t.update(5, true);
+  t.update(5, true);
+  EXPECT_TRUE(t.predict_good(5));  // back to 3
+}
+
+TEST(HistoryTable, UpdateStrongSaturates) {
+  HistoryTable t(cfg());
+  t.update_strong(9, false);
+  EXPECT_EQ(t.counter_value(9), 0u);
+  t.update_strong(9, true);
+  EXPECT_EQ(t.counter_value(9), 3u);
+}
+
+TEST(HistoryTable, AliasedKeysShareOneCounter) {
+  HistoryTable t(cfg(64));
+  t.update(3, false);
+  t.update(3 + 64, false);  // same modulo index
+  EXPECT_FALSE(t.predict_good(3));
+  EXPECT_FALSE(t.predict_good(3 + 128));
+  EXPECT_EQ(t.counter_value(3), 0u);
+}
+
+TEST(HistoryTable, DistinctIndicesAreIndependent) {
+  HistoryTable t(cfg(64));
+  t.update(3, false);
+  t.update(3, false);
+  EXPECT_FALSE(t.predict_good(3));
+  EXPECT_TRUE(t.predict_good(4));
+}
+
+TEST(HistoryTable, StorageBytesMatchesPaperBudget) {
+  // The paper's default: 4096 entries x 2 bits = 1KB.
+  HistoryTable t(cfg(4096, 2));
+  EXPECT_EQ(t.storage_bytes(), 1024u);
+  HistoryTable t2(cfg(1024, 2));
+  EXPECT_EQ(t2.storage_bytes(), 256u);
+  HistoryTable t3(cfg(64, 3));
+  EXPECT_EQ(t3.storage_bytes(), 24u);
+}
+
+TEST(HistoryTable, TouchedFractionTracksOccupancy) {
+  HistoryTable t(cfg(64));
+  EXPECT_DOUBLE_EQ(t.touched_fraction(), 0.0);
+  for (std::uint64_t k = 0; k < 16; ++k) t.update(k, true);
+  EXPECT_DOUBLE_EQ(t.touched_fraction(), 0.25);
+}
+
+TEST(HistoryTable, LookupAndUpdateCounters) {
+  HistoryTable t(cfg());
+  (void)t.predict_good(1);
+  (void)t.predict_good(2);
+  t.update(1, true);
+  EXPECT_EQ(t.lookups(), 2u);
+  EXPECT_EQ(t.updates(), 1u);
+}
+
+TEST(HistoryTable, ResetRestoresInitialState) {
+  HistoryTable t(cfg());
+  t.update(5, false);
+  t.update(5, false);
+  t.reset();
+  EXPECT_TRUE(t.predict_good(5));
+  EXPECT_EQ(t.updates(), 0u);
+  EXPECT_DOUBLE_EQ(t.touched_fraction(), 0.0);
+}
+
+class HistoryTableHash : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HistoryTableHash, PredictionConsistentWithUpdateUnderAnyHash) {
+  HistoryTableConfig c = cfg(256);
+  c.hash = GetParam();
+  HistoryTable t(c);
+  // Whatever the hash, the key we trained must be the key we read back.
+  for (std::uint64_t k : {0ULL, 17ULL, 0xDEADBEEFULL, ~0ULL >> 1}) {
+    t.update(k, false);
+    t.update(k, false);
+    EXPECT_FALSE(t.predict_good(k)) << to_string(GetParam()) << " key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashes, HistoryTableHash,
+                         ::testing::Values(HashKind::Modulo, HashKind::FoldXor,
+                                           HashKind::Fibonacci,
+                                           HashKind::Mix64));
+
+class HistoryTableWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistoryTableWidth, SaturationBoundsRespected) {
+  const unsigned bits = GetParam();
+  HistoryTable t(cfg(16, bits, 0));
+  for (int i = 0; i < 300; ++i) t.update(3, true);
+  EXPECT_EQ(t.counter_value(3), (1u << bits) - 1);
+  for (int i = 0; i < 300; ++i) t.update(3, false);
+  EXPECT_EQ(t.counter_value(3), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HistoryTableWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace ppf::filter

@@ -1,0 +1,76 @@
+#include "filter/static_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::filter {
+namespace {
+
+PrefetchCandidate cand(LineAddr line, Pc pc) {
+  return PrefetchCandidate{line, pc, PrefetchSource::Software};
+}
+
+FilterFeedback fb(LineAddr line, Pc pc, bool referenced) {
+  return FilterFeedback{line, pc, referenced, PrefetchSource::Software};
+}
+
+TEST(StaticFilter, ProfilingPhaseAdmitsEverything) {
+  StaticFilter f;
+  f.feedback(fb(1, 0x100, false));
+  f.feedback(fb(1, 0x100, false));
+  EXPECT_TRUE(f.admit(cand(1, 0x100)));  // still profiling
+  EXPECT_FALSE(f.frozen());
+}
+
+TEST(StaticFilter, FrozenProfileRejectsBadMajoritySites) {
+  StaticFilter f;  // PC keys by default
+  f.feedback(fb(1, 0x100, false));
+  f.feedback(fb(2, 0x100, false));
+  f.feedback(fb(3, 0x100, true));  // 2 bad vs 1 good at site 0x100
+  f.feedback(fb(4, 0x200, true));  // all good at site 0x200
+  f.freeze();
+  EXPECT_TRUE(f.frozen());
+  EXPECT_FALSE(f.admit(cand(9, 0x100)));
+  EXPECT_TRUE(f.admit(cand(9, 0x200)));
+  EXPECT_EQ(f.profiled_keys(), 2u);
+  EXPECT_EQ(f.rejected_keys(), 1u);
+}
+
+TEST(StaticFilter, TieGoesToAdmission) {
+  StaticFilter f;
+  f.feedback(fb(1, 0x100, true));
+  f.feedback(fb(2, 0x100, false));
+  f.freeze();
+  EXPECT_TRUE(f.admit(cand(3, 0x100)));
+}
+
+TEST(StaticFilter, UnseenSitesAreAdmitted) {
+  StaticFilter f;
+  f.feedback(fb(1, 0x100, false));
+  f.feedback(fb(1, 0x100, false));
+  f.freeze();
+  EXPECT_TRUE(f.admit(cand(1, 0x999)));
+}
+
+TEST(StaticFilter, NoAdaptationAfterFreeze) {
+  // The paper's core criticism of [18]: the frozen profile cannot react
+  // to a working-set change.
+  StaticFilter f;
+  f.feedback(fb(1, 0x100, false));
+  f.feedback(fb(2, 0x100, false));
+  f.freeze();
+  ASSERT_FALSE(f.admit(cand(1, 0x100)));
+  for (int i = 0; i < 50; ++i) f.feedback(fb(1, 0x100, true));
+  EXPECT_FALSE(f.admit(cand(1, 0x100)));  // still rejecting
+}
+
+TEST(StaticFilter, AddressKeyedVariant) {
+  StaticFilter f(/*use_pc_keys=*/false);
+  f.feedback(fb(7, 0x100, false));
+  f.feedback(fb(7, 0x200, false));  // same line, different PCs
+  f.freeze();
+  EXPECT_FALSE(f.admit(cand(7, 0x300)));  // line 7 is the key
+  EXPECT_TRUE(f.admit(cand(8, 0x100)));
+}
+
+}  // namespace
+}  // namespace ppf::filter

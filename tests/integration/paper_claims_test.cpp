@@ -1,0 +1,182 @@
+// The paper's headline claims, checked as *shapes* at test scale (runs
+// here are ~40x shorter than the benches and ~1000x shorter than the
+// paper's 300M-instruction simulations, so thresholds are deliberately
+// conservative versions of the published numbers).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::sim {
+namespace {
+
+SimConfig claims_cfg() {
+  SimConfig cfg;
+  cfg.max_instructions = 500'000;
+  cfg.warmup_instructions = 300'000;
+  return cfg;
+}
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  // Scenario results are expensive; compute once for the suite.
+  static const std::vector<ScenarioResults>& all() {
+    static const std::vector<ScenarioResults> results = [] {
+      std::vector<ScenarioResults> out;
+      for (const std::string& name : workload::benchmark_names()) {
+        out.push_back(run_filter_scenarios(claims_cfg(), name));
+      }
+      return out;
+    }();
+    return results;
+  }
+};
+
+TEST_F(PaperClaims, Motivation_ManyPrefetchesAreBad) {
+  // Figure 1: ~48% of prefetches are ineffective on average and more
+  // than half in several benchmarks.
+  double bad_frac_sum = 0;
+  int above_half = 0;
+  for (const auto& r : all()) {
+    const double total =
+        static_cast<double>(r.none.good_total() + r.none.bad_total());
+    ASSERT_GT(total, 0);
+    const double frac = r.none.bad_total() / total;
+    bad_frac_sum += frac;
+    if (frac > 0.5) ++above_half;
+  }
+  EXPECT_GT(bad_frac_sum / all().size(), 0.35);
+  EXPECT_GE(above_half, 3);
+}
+
+TEST_F(PaperClaims, Motivation_PrefetchTrafficIsSignificant) {
+  // Figure 2: prefetch traffic is a sizable share of L1 traffic
+  // (paper mean ratio 0.41).
+  double ratio_sum = 0;
+  for (const auto& r : all()) ratio_sum += r.none.prefetch_traffic_ratio();
+  EXPECT_GT(ratio_sum / all().size(), 0.10);
+}
+
+TEST_F(PaperClaims, Filters_RemoveMostBadPrefetches) {
+  // Figure 4: the filters eliminate the bulk of the bad prefetches
+  // (paper: 97-98%).
+  double pa_removed = 0, pc_removed = 0;
+  for (const auto& r : all()) {
+    ASSERT_GT(r.none.bad_total(), 0u);
+    pa_removed += 1.0 - static_cast<double>(r.pa.bad_total()) /
+                            static_cast<double>(r.none.bad_total());
+    pc_removed += 1.0 - static_cast<double>(r.pc.bad_total()) /
+                            static_cast<double>(r.none.bad_total());
+  }
+  EXPECT_GT(pa_removed / all().size(), 0.45);
+  EXPECT_GT(pc_removed / all().size(), 0.45);
+}
+
+TEST_F(PaperClaims, Filters_KeepAUsefulShareOfGoodPrefetches) {
+  // Figure 4's flip side: about half the good prefetches survive
+  // (paper: 49% PA / 52% PC kept).
+  double pa_kept = 0, pc_kept = 0;
+  for (const auto& r : all()) {
+    ASSERT_GT(r.none.good_total(), 0u);
+    pa_kept += static_cast<double>(r.pa.good_total()) /
+               static_cast<double>(r.none.good_total());
+    pc_kept += static_cast<double>(r.pc.good_total()) /
+               static_cast<double>(r.none.good_total());
+  }
+  EXPECT_GT(pa_kept / all().size(), 0.25);
+  EXPECT_GT(pc_kept / all().size(), 0.25);
+}
+
+TEST_F(PaperClaims, Filters_ReduceBadGoodRatioAlmostEverywhere) {
+  // Figure 5: the bad/good ratio falls under filtering.
+  int pa_improved = 0, pc_improved = 0;
+  for (const auto& r : all()) {
+    if (r.pa.bad_good_ratio() <= r.none.bad_good_ratio()) ++pa_improved;
+    if (r.pc.bad_good_ratio() <= r.none.bad_good_ratio()) ++pc_improved;
+  }
+  EXPECT_GE(pa_improved, 8);
+  EXPECT_GE(pc_improved, 8);
+}
+
+TEST_F(PaperClaims, Filters_CutPrefetchBandwidth) {
+  // Section 5.2.1: large reduction in prefetch traffic (paper: ~75%).
+  double pa_cut = 0;
+  for (const auto& r : all()) {
+    ASSERT_GT(r.none.l1_prefetch_traffic, 0u);
+    pa_cut += 1.0 - static_cast<double>(r.pa.l1_prefetch_traffic) /
+                        static_cast<double>(r.none.l1_prefetch_traffic);
+  }
+  EXPECT_GT(pa_cut / all().size(), 0.35);
+}
+
+TEST_F(PaperClaims, Ipc_FilteringHelpsPollutionBoundWorkloads) {
+  // Figure 6's strongest instances: on the pollution-dominated pointer
+  // workload (em3d, 65%+ bad prefetches) both filters must win.
+  const auto& names = workload::benchmark_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] != "em3d") continue;
+    const auto& r = all()[i];
+    EXPECT_GT(r.pa.ipc(), r.none.ipc());
+    EXPECT_GT(r.pc.ipc(), r.none.ipc());
+  }
+}
+
+TEST_F(PaperClaims, Ipc_FilteringIsNotCatastrophicInAggregate) {
+  // The paper reports gains everywhere; our synthetic workloads land
+  // within a few percent of break-even at bench scale (documented in
+  // EXPERIMENTS.md). At this short test scale individual benchmarks are
+  // still in the filter's learning transient, so the guard is on the
+  // aggregate: mean filtered IPC within a few percent of unfiltered.
+  double mean_ratio = 0;
+  for (const auto& r : all()) mean_ratio += r.pc.ipc() / r.none.ipc();
+  mean_ratio /= static_cast<double>(all().size());
+  EXPECT_GT(mean_ratio, 0.90);
+}
+
+TEST(PaperClaimsScaled, FilterConvergence_WorstCaseApproachesBreakEven) {
+  // perimeter is this suite's hardest case for the filter (its good
+  // prefetches repair ring pollution and take the longest to relearn).
+  // At bench scale the PC filter must converge to near break-even.
+  SimConfig cfg;
+  cfg.max_instructions = 1'000'000;
+  cfg.warmup_instructions = 500'000;
+  const ScenarioResults r = run_filter_scenarios(cfg, "perimeter");
+  EXPECT_GT(r.pc.ipc(), r.none.ipc() * 0.95);
+  EXPECT_GT(r.pa.ipc(), r.none.ipc() * 0.95);
+  const ScenarioResults g = run_filter_scenarios(cfg, "gap");
+  EXPECT_GT(g.pc.ipc(), g.none.ipc() * 0.95);
+}
+
+TEST(PaperClaimsScaled, TableTwo_MissRateRegimesMatch) {
+  // Table 2 shape: each synthetic benchmark lands in the right regime.
+  SimConfig cfg = claims_cfg();
+  cfg.enable_nsp = cfg.enable_sdp = cfg.enable_sw_prefetch = false;
+  cfg.max_instructions = 400'000;
+
+  const SimResult em3d = run_benchmark(cfg, "em3d");
+  const SimResult bh = run_benchmark(cfg, "bh");
+  const SimResult gzip = run_benchmark(cfg, "gzip");
+  const SimResult mcf = run_benchmark(cfg, "mcf");
+
+  // em3d has by far the highest L1 miss rate of the suite.
+  EXPECT_GT(em3d.l1d_miss_rate(), 0.12);
+  EXPECT_GT(em3d.l1d_miss_rate(), 2 * bh.l1d_miss_rate());
+  // em3d lives in the L2; gzip and mcf stream far beyond it.
+  EXPECT_LT(em3d.l2_miss_rate(), 0.02);
+  EXPECT_GT(gzip.l2_miss_rate(), 0.10);
+  EXPECT_GT(mcf.l2_miss_rate(), 0.10);
+}
+
+TEST(PaperClaimsScaled, Sec55_PrefetchBufferDoesNotHelpTheFilter) {
+  // Figure 15/16 shape: adding the dedicated buffer on top of the filter
+  // is not an improvement on pollution-bound workloads.
+  SimConfig cfg = claims_cfg();
+  cfg.filter = filter::FilterKind::Pa;
+  const SimResult plain = run_benchmark(cfg, "em3d");
+  cfg.use_prefetch_buffer = true;
+  const SimResult buffered = run_benchmark(cfg, "em3d");
+  EXPECT_LE(buffered.ipc(), plain.ipc() * 1.10);
+}
+
+}  // namespace
+}  // namespace ppf::sim

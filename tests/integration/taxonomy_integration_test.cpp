@@ -1,0 +1,62 @@
+// The Srinivasan-taxonomy tracker against the paper's good/bad
+// classifier on full simulations: both observe the same prefetch
+// population through different bookkeeping, so their totals must agree.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::sim {
+namespace {
+
+SimConfig cfg_no_warmup() {
+  SimConfig cfg;
+  cfg.max_instructions = 80'000;
+  cfg.warmup_instructions = 0;  // strict accounting (no boundary slack)
+  return cfg;
+}
+
+class TaxonomyIntegration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TaxonomyIntegration, AgreesWithGoodBadClassifier) {
+  const SimResult r = run_benchmark(cfg_no_warmup(), GetParam());
+  // Same population...
+  EXPECT_EQ(r.taxonomy.total(), r.good_total() + r.bad_total());
+  // ...same two-way split: used-before-eviction is exactly "good".
+  EXPECT_EQ(r.taxonomy.good(), r.good_total());
+  EXPECT_EQ(r.taxonomy.bad(), r.bad_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TaxonomyIntegration,
+                         ::testing::Values("em3d", "gzip", "mcf", "wave5"));
+
+TEST(TaxonomyIntegrationExtras, PollutionShowsUpWherePaperSaysItHurts) {
+  // em3d's bad prefetches overwhelmingly displace live data (that is the
+  // paper's motivation for filtering it); a meaningful share must be
+  // classified "polluting" rather than merely "useless".
+  const SimResult r = run_benchmark(cfg_no_warmup(), "em3d");
+  ASSERT_GT(r.taxonomy.bad(), 0u);
+  EXPECT_GT(static_cast<double>(r.taxonomy.polluting) /
+                static_cast<double>(r.taxonomy.bad()),
+            0.10);
+}
+
+TEST(TaxonomyIntegrationExtras, FilterCutsPollutingShareHardest) {
+  SimConfig cfg = cfg_no_warmup();
+  const SimResult none = run_benchmark(cfg, "em3d");
+  cfg.filter = filter::FilterKind::Pa;
+  const SimResult pa = run_benchmark(cfg, "em3d");
+  // The filter's purpose: fewer polluting prefetches in absolute terms.
+  EXPECT_LT(pa.taxonomy.polluting, none.taxonomy.polluting);
+}
+
+TEST(TaxonomyIntegrationExtras, DisabledTrackerCostsNothingAndCountsNothing) {
+  SimConfig cfg = cfg_no_warmup();
+  cfg.enable_taxonomy = false;
+  const SimResult r = run_benchmark(cfg, "em3d");
+  EXPECT_EQ(r.taxonomy.total(), 0u);
+  EXPECT_GT(r.good_total() + r.bad_total(), 0u);  // classifier unaffected
+}
+
+}  // namespace
+}  // namespace ppf::sim

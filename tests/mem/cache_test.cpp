@@ -1,0 +1,237 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::mem {
+namespace {
+
+CacheConfig small_dm() {
+  CacheConfig c;
+  c.name = "t";
+  c.size_bytes = 256;  // 8 lines of 32B, direct-mapped
+  c.line_bytes = 32;
+  c.associativity = 1;
+  return c;
+}
+
+CacheConfig small_assoc(std::uint32_t ways) {
+  CacheConfig c = small_dm();
+  c.associativity = ways;
+  return c;
+}
+
+TEST(Cache, GeometryDerivation) {
+  Cache c(small_dm());
+  EXPECT_EQ(c.config().num_lines(), 8u);
+  EXPECT_EQ(c.config().num_sets(), 8u);
+  EXPECT_EQ(c.line_of(0x40), 2u);
+  EXPECT_EQ(c.base_of(2), 0x40u);
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache c(small_dm());
+  EXPECT_FALSE(c.access(0x100, AccessType::Load).hit);
+  EXPECT_FALSE(c.fill(0x100, FillInfo{}).has_value());  // no victim yet
+  EXPECT_TRUE(c.access(0x100, AccessType::Load).hit);
+  EXPECT_TRUE(c.access(0x11F, AccessType::Load).hit);   // same line
+  EXPECT_FALSE(c.access(0x120, AccessType::Load).hit);  // next line
+}
+
+TEST(Cache, DirectMappedConflictEvicts) {
+  Cache c(small_dm());
+  c.fill(0x000, FillInfo{});
+  // 0x100 maps to the same set (8 lines * 32B = 256B period).
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0u);
+  EXPECT_FALSE(c.contains(0x000));
+  EXPECT_TRUE(c.contains(0x100));
+}
+
+TEST(Cache, LruReplacementInSet) {
+  Cache c(small_assoc(2));  // 4 sets x 2 ways
+  // Three lines in set 0 (period = 4 sets * 32B = 128B).
+  c.fill(0x000, FillInfo{});
+  c.fill(0x080, FillInfo{});
+  c.access(0x000, AccessType::Load);  // make 0x000 MRU
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, c.line_of(0x080));  // LRU way evicted
+  EXPECT_TRUE(c.contains(0x000));
+}
+
+TEST(Cache, FullyAssociativeUsesWholeCapacity) {
+  CacheConfig cfg = small_dm();
+  cfg.associativity = 0;  // fully associative
+  Cache c(cfg);
+  for (Addr a = 0; a < 8; ++a) c.fill(a * 0x1000, FillInfo{});
+  for (Addr a = 0; a < 8; ++a) EXPECT_TRUE(c.contains(a * 0x1000));
+  const auto ev = c.fill(0x9000, FillInfo{});
+  EXPECT_TRUE(ev.has_value());  // 9th distinct line evicts
+}
+
+TEST(Cache, PibRibProtocol) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{/*is_prefetch=*/true, /*trigger_pc=*/0x400100,
+                        PrefetchSource::NextSequence});
+  // First demand touch flips RIB and reports it once.
+  AccessResult r = c.access(0x40, AccessType::Load);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(r.first_use_of_prefetch);
+  EXPECT_EQ(r.source, PrefetchSource::NextSequence);
+  r = c.access(0x40, AccessType::Load);
+  EXPECT_FALSE(r.first_use_of_prefetch);  // only the first touch reports
+
+  // Eviction carries PIB/RIB and the trigger PC for filter feedback.
+  const auto ev = c.fill(0x40 + 256, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->pib);
+  EXPECT_TRUE(ev->rib);
+  EXPECT_EQ(ev->trigger_pc, 0x400100u);
+  EXPECT_EQ(ev->source, PrefetchSource::NextSequence);
+}
+
+TEST(Cache, UnreferencedPrefetchEvictsWithRibClear) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{true, 0, PrefetchSource::ShadowDirectory});
+  const auto ev = c.fill(0x40 + 256, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->pib);
+  EXPECT_FALSE(ev->rib);  // never touched: a bad prefetch
+}
+
+TEST(Cache, PrefetchProbeDoesNotConsumeRibOrLru) {
+  Cache c(small_assoc(2));
+  c.fill(0x000, FillInfo{true, 0, PrefetchSource::Software});
+  const AccessResult r = c.access(0x000, AccessType::Prefetch);
+  EXPECT_TRUE(r.hit);
+  EXPECT_FALSE(r.first_use_of_prefetch);  // prefetch probes don't set RIB
+
+  // LRU untouched by the probe: 0x000 is still oldest and gets evicted.
+  c.fill(0x080, FillInfo{});
+  c.access(0x000, AccessType::Prefetch);
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0u);
+}
+
+TEST(Cache, StoreMarksDirtyAndEvictionReportsIt) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{});
+  c.access(0x40, AccessType::Store);
+  const auto ev = c.fill(0x40 + 256, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, RacingFillIsIdempotent) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{true, 1, PrefetchSource::Software});
+  const auto ev = c.fill(0x40, FillInfo{});  // same line again
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(c.fills(), 1u);  // second fill did not allocate
+}
+
+TEST(Cache, NspTagSetAndClearedByDemandTouch) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{true, 0, PrefetchSource::NextSequence});
+  c.set_nsp_tag(0x40, true);
+  AccessResult r = c.access(0x40, AccessType::Load);
+  EXPECT_TRUE(r.hit_nsp_tagged);
+  r = c.access(0x40, AccessType::Load);
+  EXPECT_FALSE(r.hit_nsp_tagged);  // demand touch consumed the tag
+}
+
+TEST(Cache, ShadowEntryLivesWithTheLine) {
+  Cache c(small_dm());
+  EXPECT_EQ(c.shadow_entry(0x40), nullptr);  // not resident
+  c.fill(0x40, FillInfo{});
+  ShadowEntry* e = c.shadow_entry(0x40);
+  ASSERT_NE(e, nullptr);
+  e->shadow_valid = true;
+  e->shadow = 99;
+  EXPECT_EQ(c.shadow_entry(0x40)->shadow, 99u);
+  c.fill(0x40 + 256, FillInfo{});  // evict
+  EXPECT_EQ(c.shadow_entry(0x40), nullptr);
+}
+
+TEST(Cache, InvalidateReturnsEvictionRecord) {
+  Cache c(small_dm());
+  c.fill(0x40, FillInfo{true, 7, PrefetchSource::Stride});
+  const auto ev = c.invalidate(0x40);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->pib);
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_FALSE(c.invalidate(0x40).has_value());
+}
+
+TEST(Cache, DrainReturnsAllValidLinesOnce) {
+  Cache c(small_dm());
+  c.fill(0x00, FillInfo{});
+  c.fill(0x20, FillInfo{true, 0, PrefetchSource::Software});
+  auto drained = c.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(c.drain().empty());
+  EXPECT_FALSE(c.contains(0x00));
+}
+
+TEST(Cache, PerTypeStatistics) {
+  Cache c(small_dm());
+  c.access(0x40, AccessType::Load);   // miss
+  c.fill(0x40, FillInfo{});
+  c.access(0x40, AccessType::Load);   // hit
+  c.access(0x40, AccessType::Store);  // hit
+  c.access(0x60, AccessType::Store);  // miss
+  EXPECT_EQ(c.hits(AccessType::Load), 1u);
+  EXPECT_EQ(c.misses(AccessType::Load), 1u);
+  EXPECT_EQ(c.hits(AccessType::Store), 1u);
+  EXPECT_EQ(c.misses(AccessType::Store), 1u);
+  EXPECT_EQ(c.total_hits(), 2u);
+  EXPECT_EQ(c.total_misses(), 2u);
+  c.reset_stats();
+  EXPECT_EQ(c.total_hits(), 0u);
+  EXPECT_EQ(c.total_misses(), 0u);
+}
+
+TEST(Cache, PrefetchDisplacementCounting) {
+  Cache c(small_dm());
+  c.fill(0x00, FillInfo{});
+  c.access(0x00, AccessType::Load);
+  // Prefetch displacing a demand-resident line counts as displacement.
+  c.fill(0x100, FillInfo{true, 0, PrefetchSource::NextSequence});
+  EXPECT_EQ(c.prefetch_displacements(), 1u);
+  // Prefetch displacing an unreferenced prefetched line does not.
+  c.fill(0x200, FillInfo{true, 0, PrefetchSource::NextSequence});
+  EXPECT_EQ(c.prefetch_displacements(), 1u);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(CacheGeometry, FillsToCapacityWithoutEvicting) {
+  const auto [size, ways] = GetParam();
+  CacheConfig cfg;
+  cfg.size_bytes = size;
+  cfg.line_bytes = 32;
+  cfg.associativity = ways;
+  Cache c(cfg);
+  const std::uint64_t lines = cfg.num_lines();
+  std::uint64_t evictions = 0;
+  // Sequential fill touches each set `ways` times: no evictions expected.
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    if (c.fill(i * 32, FillInfo{}).has_value()) ++evictions;
+  }
+  EXPECT_EQ(evictions, 0u);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.contains(i * 32));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWays, CacheGeometry,
+    ::testing::Combine(::testing::Values(512u, 8192u, 32768u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace ppf::mem

@@ -1,0 +1,83 @@
+#include "mem/prefetch_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::mem {
+namespace {
+
+TEST(PrefetchBuffer, InsertThenProbeRemoves) {
+  PrefetchBuffer b(4);
+  b.insert(10, 0x400000, PrefetchSource::Software);
+  EXPECT_TRUE(b.contains(10));
+  const auto hit = b.probe_and_remove(10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->pib);
+  EXPECT_TRUE(hit->rib);  // a probe hit means the prefetch was good
+  EXPECT_EQ(hit->trigger_pc, 0x400000u);
+  EXPECT_FALSE(b.contains(10));
+}
+
+TEST(PrefetchBuffer, MissReturnsNothing) {
+  PrefetchBuffer b(4);
+  EXPECT_FALSE(b.probe_and_remove(99).has_value());
+  EXPECT_EQ(b.probes(), 1u);
+  EXPECT_EQ(b.hits(), 0u);
+}
+
+TEST(PrefetchBuffer, LruEvictionReportsUnreferenced) {
+  PrefetchBuffer b(2);
+  b.insert(1, 0, PrefetchSource::NextSequence);
+  b.insert(2, 0, PrefetchSource::NextSequence);
+  const auto ev = b.insert(3, 0, PrefetchSource::NextSequence);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 1u);    // oldest entry displaced
+  EXPECT_FALSE(ev->rib);      // never referenced: a bad prefetch
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(3));
+}
+
+TEST(PrefetchBuffer, DuplicateInsertRefreshesRecency) {
+  PrefetchBuffer b(2);
+  b.insert(1, 0, PrefetchSource::Software);
+  b.insert(2, 0, PrefetchSource::Software);
+  EXPECT_FALSE(b.insert(1, 0, PrefetchSource::Software).has_value());
+  // 1 is now MRU, so 2 is the victim.
+  const auto ev = b.insert(3, 0, PrefetchSource::Software);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 2u);
+}
+
+TEST(PrefetchBuffer, DrainReturnsResidueAsUnreferenced) {
+  PrefetchBuffer b(4);
+  b.insert(1, 0, PrefetchSource::Software);
+  b.insert(2, 0, PrefetchSource::ShadowDirectory);
+  const auto drained = b.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  for (const Eviction& ev : drained) EXPECT_FALSE(ev.rib);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.drain().empty());
+}
+
+TEST(PrefetchBuffer, SizeAndCapacity) {
+  PrefetchBuffer b(16);
+  EXPECT_EQ(b.capacity(), 16u);
+  EXPECT_EQ(b.size(), 0u);
+  for (LineAddr l = 0; l < 20; ++l) b.insert(l, 0, PrefetchSource::Software);
+  EXPECT_EQ(b.size(), 16u);  // bounded by capacity
+}
+
+TEST(PrefetchBuffer, StatsAndReset) {
+  PrefetchBuffer b(4);
+  b.insert(1, 0, PrefetchSource::Software);
+  b.probe_and_remove(1);
+  b.probe_and_remove(1);
+  EXPECT_EQ(b.inserts(), 1u);
+  EXPECT_EQ(b.probes(), 2u);
+  EXPECT_EQ(b.hits(), 1u);
+  b.reset_stats();
+  EXPECT_EQ(b.inserts(), 0u);
+  EXPECT_EQ(b.probes(), 0u);
+}
+
+}  // namespace
+}  // namespace ppf::mem

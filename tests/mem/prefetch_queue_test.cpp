@@ -1,0 +1,73 @@
+#include "mem/prefetch_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::mem {
+namespace {
+
+PrefetchQueueEntry entry(LineAddr line, Cycle when = 0) {
+  return PrefetchQueueEntry{line, 0x400000, PrefetchSource::NextSequence,
+                            when};
+}
+
+TEST(PrefetchQueue, FifoOrder) {
+  PrefetchQueue q(8);
+  EXPECT_TRUE(q.push(entry(1)));
+  EXPECT_TRUE(q.push(entry(2)));
+  EXPECT_TRUE(q.push(entry(3)));
+  EXPECT_EQ(q.pop(0)->line, 1u);
+  EXPECT_EQ(q.pop(0)->line, 2u);
+  EXPECT_EQ(q.pop(0)->line, 3u);
+  EXPECT_FALSE(q.pop(0).has_value());
+}
+
+TEST(PrefetchQueue, DuplicateLineSquashed) {
+  PrefetchQueue q(8);
+  EXPECT_TRUE(q.push(entry(5)));
+  EXPECT_FALSE(q.push(entry(5)));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.squashed_duplicates(), 1u);
+}
+
+TEST(PrefetchQueue, FullQueueDrops) {
+  PrefetchQueue q(2);
+  EXPECT_TRUE(q.push(entry(1)));
+  EXPECT_TRUE(q.push(entry(2)));
+  EXPECT_FALSE(q.push(entry(3)));
+  EXPECT_EQ(q.dropped_full(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(PrefetchQueue, SquashLineRemovesQueuedEntry) {
+  PrefetchQueue q(8);
+  q.push(entry(1));
+  q.push(entry(2));
+  q.push(entry(3));
+  q.squash_line(2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(0)->line, 1u);
+  EXPECT_EQ(q.pop(0)->line, 3u);
+}
+
+TEST(PrefetchQueue, WaitCyclesTracked) {
+  PrefetchQueue q(8);
+  q.push(entry(1, /*when=*/10));
+  q.push(entry(2, /*when=*/10));
+  (void)q.pop(15);
+  (void)q.pop(25);
+  EXPECT_EQ(q.wait_cycles(), 5u + 15u);
+  EXPECT_EQ(q.popped(), 2u);
+}
+
+TEST(PrefetchQueue, StatsResetKeepsContents) {
+  PrefetchQueue q(8);
+  q.push(entry(1));
+  q.push(entry(1));  // dup
+  q.reset_stats();
+  EXPECT_EQ(q.pushed(), 0u);
+  EXPECT_EQ(q.squashed_duplicates(), 0u);
+  EXPECT_EQ(q.size(), 1u);  // entry still queued
+}
+
+}  // namespace
+}  // namespace ppf::mem

@@ -1,0 +1,77 @@
+#include "mem/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ppf::mem {
+namespace {
+
+TEST(Replacement, InvalidWayAlwaysPreferred) {
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  for (auto& w : ways) w.valid = true;
+  ways[2].valid = false;
+  for (ReplacementKind k :
+       {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random}) {
+    EXPECT_EQ(choose_victim(ways, k, rng), 2u) << to_string(k);
+  }
+}
+
+TEST(Replacement, FirstInvalidWins) {
+  Xorshift rng(1);
+  std::array<WayState, 3> ways{};  // all invalid
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Lru, rng), 0u);
+}
+
+TEST(Replacement, LruPicksOldestUse) {
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    ways[i].valid = true;
+    ways[i].last_use = 100 + i;
+  }
+  ways[3].last_use = 5;
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Lru, rng), 3u);
+}
+
+TEST(Replacement, FifoPicksOldestFill) {
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    ways[i].valid = true;
+    ways[i].fill_seq = 50 - i;  // way 3 filled earliest
+    ways[i].last_use = i;       // would mislead LRU
+  }
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Fifo, rng), 3u);
+}
+
+TEST(Replacement, RandomStaysInRangeAndVaries) {
+  Xorshift rng(7);
+  std::array<WayState, 8> ways{};
+  for (auto& w : ways) w.valid = true;
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 800; ++i) {
+    const std::size_t v = choose_victim(ways, ReplacementKind::Random, rng);
+    ASSERT_LT(v, 8u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);  // every way occasionally chosen
+}
+
+class ReplacementAllKinds : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(ReplacementAllKinds, SingleWayIsAlwaysVictim) {
+  Xorshift rng(3);
+  std::array<WayState, 1> ways{};
+  ways[0].valid = true;
+  EXPECT_EQ(choose_victim(ways, GetParam(), rng), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ReplacementAllKinds,
+                         ::testing::Values(ReplacementKind::Lru,
+                                           ReplacementKind::Fifo,
+                                           ReplacementKind::Random));
+
+}  // namespace
+}  // namespace ppf::mem

@@ -1,0 +1,75 @@
+#include "mem/victim_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::mem {
+namespace {
+
+Eviction ev(LineAddr line, bool dirty = false) {
+  Eviction e;
+  e.line = line;
+  e.dirty = dirty;
+  return e;
+}
+
+TEST(VictimCache, InsertThenRecall) {
+  VictimCache v(4);
+  v.insert(ev(10, true));
+  EXPECT_TRUE(v.contains(10));
+  const auto r = v.recall(10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->line, 10u);
+  EXPECT_TRUE(r->dirty);  // metadata preserved for the reinstall
+  EXPECT_FALSE(v.contains(10));
+}
+
+TEST(VictimCache, MissReturnsNothing) {
+  VictimCache v(4);
+  EXPECT_FALSE(v.recall(99).has_value());
+  EXPECT_EQ(v.probes(), 1u);
+  EXPECT_EQ(v.hits(), 0u);
+}
+
+TEST(VictimCache, LruDisplacement) {
+  VictimCache v(2);
+  v.insert(ev(1));
+  v.insert(ev(2));
+  v.insert(ev(3));  // displaces 1
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(VictimCache, ReinsertRefreshesRecency) {
+  VictimCache v(2);
+  v.insert(ev(1));
+  v.insert(ev(2));
+  v.insert(ev(1, true));  // refresh (and update metadata)
+  v.insert(ev(3));        // now 2 is LRU
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.contains(2));
+  EXPECT_TRUE(v.recall(1)->dirty);
+}
+
+TEST(VictimCache, SizeTracksOccupancy) {
+  VictimCache v(8);
+  EXPECT_EQ(v.size(), 0u);
+  for (LineAddr l = 0; l < 12; ++l) v.insert(ev(l));
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.capacity(), 8u);
+}
+
+TEST(VictimCache, StatsAndReset) {
+  VictimCache v(2);
+  v.insert(ev(1));
+  (void)v.recall(1);
+  (void)v.recall(1);
+  EXPECT_EQ(v.inserts(), 1u);
+  EXPECT_EQ(v.probes(), 2u);
+  EXPECT_EQ(v.hits(), 1u);
+  v.reset_stats();
+  EXPECT_EQ(v.probes(), 0u);
+}
+
+}  // namespace
+}  // namespace ppf::mem

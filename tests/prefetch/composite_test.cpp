@@ -1,0 +1,82 @@
+#include "prefetch/composite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::prefetch {
+namespace {
+
+/// Test double recording every hook invocation.
+class RecordingPrefetcher final : public Prefetcher {
+ public:
+  explicit RecordingPrefetcher(LineAddr emit_line) : emit_line_(emit_line) {}
+
+  void on_l1_demand(Pc, Addr, const mem::AccessResult&,
+                    std::vector<PrefetchRequest>& out) override {
+    ++l1_calls;
+    out.push_back(PrefetchRequest{emit_line_, 0, PrefetchSource::Stride});
+    count_emitted();
+  }
+  void on_l2_demand(Pc, Addr, bool,
+                    std::vector<PrefetchRequest>&) override {
+    ++l2_calls;
+  }
+  void on_prefetch_fill(LineAddr, PrefetchSource) override { ++fill_calls; }
+  void on_prefetch_used(LineAddr, PrefetchSource) override { ++used_calls; }
+  [[nodiscard]] const char* name() const override { return "recording"; }
+
+  int l1_calls = 0, l2_calls = 0, fill_calls = 0, used_calls = 0;
+
+ private:
+  LineAddr emit_line_;
+};
+
+TEST(Composite, FansOutToAllChildrenInOrder) {
+  CompositePrefetcher comp;
+  auto a = std::make_unique<RecordingPrefetcher>(111);
+  auto b = std::make_unique<RecordingPrefetcher>(222);
+  auto* pa = a.get();
+  auto* pb = b.get();
+  comp.add(std::move(a));
+  comp.add(std::move(b));
+  EXPECT_EQ(comp.num_children(), 2u);
+
+  std::vector<PrefetchRequest> out;
+  comp.on_l1_demand(0, 0, mem::AccessResult{}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].line, 111u);  // insertion order preserved
+  EXPECT_EQ(out[1].line, 222u);
+  EXPECT_EQ(pa->l1_calls, 1);
+  EXPECT_EQ(pb->l1_calls, 1);
+}
+
+TEST(Composite, ForwardsAllHooks) {
+  CompositePrefetcher comp;
+  auto child = std::make_unique<RecordingPrefetcher>(1);
+  auto* p = child.get();
+  comp.add(std::move(child));
+
+  std::vector<PrefetchRequest> out;
+  comp.on_l2_demand(0, 0, true, out);
+  comp.on_prefetch_fill(5, PrefetchSource::Software);
+  comp.on_prefetch_used(5, PrefetchSource::Software);
+  EXPECT_EQ(p->l2_calls, 1);
+  EXPECT_EQ(p->fill_calls, 1);
+  EXPECT_EQ(p->used_calls, 1);
+}
+
+TEST(Composite, EmptyCompositeIsInert) {
+  CompositePrefetcher comp;
+  std::vector<PrefetchRequest> out;
+  comp.on_l1_demand(0, 0, mem::AccessResult{}, out);
+  comp.on_l2_demand(0, 0, false, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Composite, ChildAccessor) {
+  CompositePrefetcher comp;
+  comp.add(std::make_unique<RecordingPrefetcher>(1));
+  EXPECT_STREQ(comp.child(0).name(), "recording");
+}
+
+}  // namespace
+}  // namespace ppf::prefetch

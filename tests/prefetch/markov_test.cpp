@@ -1,0 +1,100 @@
+#include "prefetch/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace ppf::prefetch {
+namespace {
+
+struct Fixture {
+  mem::Cache l1{mem::CacheConfig{}, 1};
+  MarkovPrefetcher pf{l1, MarkovConfig{1024, 2}};
+  std::vector<PrefetchRequest> out;
+
+  std::vector<PrefetchRequest> miss(Addr a) {
+    out.clear();
+    mem::AccessResult r;
+    pf.on_l1_demand(0x400000, a, r, out);
+    return out;
+  }
+};
+
+TEST(Markov, LearnsMissTransition) {
+  Fixture f;
+  f.miss(0x1000);
+  f.miss(0x5000);  // records 0x1000 -> 0x5000
+  EXPECT_EQ(f.pf.transitions_recorded(), 1u);
+  f.miss(0x9000);
+  const auto reqs = f.miss(0x1000);  // repeat the first miss
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].line, f.l1.line_of(0x5000));
+  EXPECT_EQ(reqs[0].source, PrefetchSource::Markov);
+}
+
+TEST(Markov, ColdMissesPredictNothing) {
+  Fixture f;
+  EXPECT_TRUE(f.miss(0x1000).empty());
+  EXPECT_TRUE(f.miss(0x2000).empty());
+}
+
+TEST(Markov, HitsAreIgnored) {
+  Fixture f;
+  mem::AccessResult hit;
+  hit.hit = true;
+  std::vector<PrefetchRequest> out;
+  f.pf.on_l1_demand(0, 0x1000, hit, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(f.pf.transitions_recorded(), 0u);
+}
+
+TEST(Markov, KeepsMultipleSuccessorsMruFirst) {
+  Fixture f;  // 2 successors per entry
+  f.miss(0x1000);
+  f.miss(0x5000);  // 0x1000 -> 0x5000
+  f.miss(0x1000);  // predicts 0x5000
+  f.miss(0x9000);  // 0x1000 -> 0x9000 (now MRU)
+  const auto reqs = f.miss(0x1000);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].line, f.l1.line_of(0x9000));  // MRU first
+  EXPECT_EQ(reqs[1].line, f.l1.line_of(0x5000));
+}
+
+TEST(Markov, SuccessorListIsBounded) {
+  Fixture f;  // max 2 successors
+  f.miss(0x1000);
+  f.miss(0x5000);
+  f.miss(0x1000);
+  f.miss(0x6000);
+  f.miss(0x1000);
+  f.miss(0x7000);  // third distinct successor: evicts the oldest
+  const auto reqs = f.miss(0x1000);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].line, f.l1.line_of(0x7000));
+  EXPECT_EQ(reqs[1].line, f.l1.line_of(0x6000));
+}
+
+TEST(Markov, RepeatedSameMissIsNotATransition) {
+  Fixture f;
+  f.miss(0x1000);
+  f.miss(0x1000);
+  EXPECT_EQ(f.pf.transitions_recorded(), 0u);
+}
+
+TEST(Markov, LearnsAPointerChaseRing) {
+  // The whole point of correlation prefetching: a repeating miss chain
+  // becomes fully predictable on the second lap.
+  Fixture f;
+  const Addr ring[] = {0x1000, 0x9000, 0x3000, 0xC000, 0x6000};
+  for (Addr a : ring) f.miss(a);  // lap 1: learn
+  std::size_t predicted = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto reqs = f.miss(ring[i]);
+    const LineAddr next = f.l1.line_of(ring[(i + 1) % 5]);
+    for (const auto& r : reqs) predicted += r.line == next ? 1 : 0;
+  }
+  EXPECT_GE(predicted, 4u);  // everything but the lap seam
+}
+
+}  // namespace
+}  // namespace ppf::prefetch

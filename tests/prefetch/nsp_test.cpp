@@ -1,0 +1,88 @@
+#include "prefetch/nsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace ppf::prefetch {
+namespace {
+
+mem::CacheConfig l1_cfg() {
+  mem::CacheConfig c;
+  c.size_bytes = 1024;
+  c.line_bytes = 32;
+  c.associativity = 1;
+  return c;
+}
+
+TEST(Nsp, TriggersOnMiss) {
+  mem::Cache l1(l1_cfg());
+  NextSequencePrefetcher nsp(l1);
+  std::vector<PrefetchRequest> out;
+  const mem::AccessResult miss = l1.access(0x1000, AccessType::Load);
+  ASSERT_FALSE(miss.hit);
+  nsp.on_l1_demand(0x400000, 0x1000, miss, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l1.line_of(0x1000) + 1);
+  EXPECT_EQ(out[0].trigger_pc, 0x400000u);
+  EXPECT_EQ(out[0].source, PrefetchSource::NextSequence);
+}
+
+TEST(Nsp, SilentOnPlainHit) {
+  mem::Cache l1(l1_cfg());
+  NextSequencePrefetcher nsp(l1);
+  l1.fill(0x1000, mem::FillInfo{});
+  std::vector<PrefetchRequest> out;
+  nsp.on_l1_demand(0, 0x1000, l1.access(0x1000, AccessType::Load), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Nsp, TaggedHitExtendsTheStream) {
+  mem::Cache l1(l1_cfg());
+  NextSequencePrefetcher nsp(l1);
+  // Line arrives via NSP prefetch: fill + on_prefetch_fill sets the tag.
+  l1.fill(0x1000, mem::FillInfo{true, 0, PrefetchSource::NextSequence});
+  nsp.on_prefetch_fill(l1.line_of(0x1000), PrefetchSource::NextSequence);
+
+  std::vector<PrefetchRequest> out;
+  const mem::AccessResult hit = l1.access(0x1000, AccessType::Load);
+  ASSERT_TRUE(hit.hit);
+  ASSERT_TRUE(hit.hit_nsp_tagged);
+  nsp.on_l1_demand(0, 0x1000, hit, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l1.line_of(0x1000) + 1);
+
+  // The demand touch consumed the tag: a second hit is silent.
+  out.clear();
+  nsp.on_l1_demand(0, 0x1000, l1.access(0x1000, AccessType::Load), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Nsp, FillFromOtherSourcesDoesNotTag) {
+  mem::Cache l1(l1_cfg());
+  NextSequencePrefetcher nsp(l1);
+  l1.fill(0x1000, mem::FillInfo{true, 0, PrefetchSource::ShadowDirectory});
+  nsp.on_prefetch_fill(l1.line_of(0x1000), PrefetchSource::ShadowDirectory);
+  const mem::AccessResult hit = l1.access(0x1000, AccessType::Load);
+  EXPECT_FALSE(hit.hit_nsp_tagged);
+}
+
+class NspDegree : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NspDegree, EmitsDegreeSequentialLines) {
+  const unsigned degree = GetParam();
+  mem::Cache l1(l1_cfg());
+  NextSequencePrefetcher nsp(l1, degree);
+  std::vector<PrefetchRequest> out;
+  nsp.on_l1_demand(0, 0x2000, l1.access(0x2000, AccessType::Load), out);
+  ASSERT_EQ(out.size(), degree);
+  for (unsigned d = 0; d < degree; ++d) {
+    EXPECT_EQ(out[d].line, l1.line_of(0x2000) + d + 1);
+  }
+  EXPECT_EQ(nsp.candidates_emitted(), degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NspDegree, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace ppf::prefetch

@@ -1,0 +1,121 @@
+#include "prefetch/sdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace ppf::prefetch {
+namespace {
+
+mem::CacheConfig l2_cfg() {
+  mem::CacheConfig c;
+  c.size_bytes = 4096;
+  c.line_bytes = 32;
+  c.associativity = 4;
+  return c;
+}
+
+/// Drive one L2 access through both the cache and the prefetcher.
+std::vector<PrefetchRequest> touch(mem::Cache& l2,
+                                   ShadowDirectoryPrefetcher& sdp, Addr a) {
+  std::vector<PrefetchRequest> out;
+  const bool hit = l2.access(a, AccessType::Load).hit;
+  if (!hit) l2.fill(a, mem::FillInfo{});
+  sdp.on_l2_demand(0x400000, a, hit, out);
+  return out;
+}
+
+TEST(Sdp, LearnsShadowFromMissSequence) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);  // miss, becomes "last accessed"
+  touch(l2, sdp, 0x5000);  // miss: 0x5000 becomes shadow of 0x1000
+  const mem::ShadowEntry* e = l2.shadow_entry(0x1000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->shadow_valid);
+  EXPECT_EQ(e->shadow, l2.line_of(0x5000));
+  EXPECT_EQ(sdp.shadow_updates(), 1u);
+}
+
+TEST(Sdp, HitOnLineWithShadowIssuesPrefetch) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x5000);
+  const auto out = touch(l2, sdp, 0x1000);  // hit: shadow fires
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l2.line_of(0x5000));
+  EXPECT_EQ(out[0].source, PrefetchSource::ShadowDirectory);
+}
+
+TEST(Sdp, UnconfirmedShadowIssuesOnlyOnce) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x5000);
+  EXPECT_EQ(touch(l2, sdp, 0x1000).size(), 1u);  // first hit fires
+  // The prefetch was never used: further hits are muted.
+  EXPECT_TRUE(touch(l2, sdp, 0x1000).empty());
+  EXPECT_TRUE(touch(l2, sdp, 0x1000).empty());
+}
+
+TEST(Sdp, ConfirmationReenablesTheShadow) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x5000);
+  auto out = touch(l2, sdp, 0x1000);
+  ASSERT_EQ(out.size(), 1u);
+  // The prefetched line was demand-used: confirm it.
+  sdp.on_prefetch_used(out[0].line, PrefetchSource::ShadowDirectory);
+  EXPECT_TRUE(l2.shadow_entry(0x1000)->confirmation);
+  // Confirmed shadows re-issue on subsequent hits.
+  out = touch(l2, sdp, 0x1000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l2.line_of(0x5000));
+}
+
+TEST(Sdp, ConfirmedShadowSurvivesNewMisses) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x5000);
+  auto out = touch(l2, sdp, 0x1000);
+  ASSERT_EQ(out.size(), 1u);
+  sdp.on_prefetch_used(out[0].line, PrefetchSource::ShadowDirectory);
+  // Another miss right after 0x1000 would normally replace the shadow,
+  // but a confirmed-useful shadow is kept.
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x9000);
+  EXPECT_EQ(l2.shadow_entry(0x1000)->shadow, l2.line_of(0x5000));
+}
+
+TEST(Sdp, UnconfirmedShadowIsReplacedByNewMiss) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  touch(l2, sdp, 0x5000);   // shadow(0x1000) = 0x5000 (unconfirmed)
+  touch(l2, sdp, 0x1000);   // hit; issues prefetch, still unconfirmed
+  touch(l2, sdp, 0x9000);   // miss after 0x1000: replaces the shadow
+  EXPECT_EQ(l2.shadow_entry(0x1000)->shadow, l2.line_of(0x9000));
+}
+
+TEST(Sdp, NoSelfShadowPrefetch) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  touch(l2, sdp, 0x1000);
+  // Evict and re-miss the same line: shadow(0x1000) would be itself.
+  touch(l2, sdp, 0x1000);  // hit — no shadow yet, nothing to issue
+  const auto out = touch(l2, sdp, 0x1000);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sdp, UsedNotificationForUnknownLineIsIgnored) {
+  mem::Cache l2(l2_cfg());
+  ShadowDirectoryPrefetcher sdp(l2);
+  sdp.on_prefetch_used(12345, PrefetchSource::ShadowDirectory);  // no crash
+  sdp.on_prefetch_used(12345, PrefetchSource::NextSequence);
+}
+
+}  // namespace
+}  // namespace ppf::prefetch

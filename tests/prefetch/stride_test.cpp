@@ -1,0 +1,111 @@
+#include "prefetch/stride.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace ppf::prefetch {
+namespace {
+
+struct Fixture {
+  mem::Cache l1{mem::CacheConfig{}, 1};
+  StridePrefetcher pf{l1, StrideConfig{}};
+  std::vector<PrefetchRequest> out;
+
+  std::size_t access(Pc pc, Addr a) {
+    out.clear();
+    pf.on_l1_demand(pc, a, mem::AccessResult{}, out);
+    return out.size();
+  }
+};
+
+TEST(Stride, LearnsConstantStrideAfterConfirmation) {
+  Fixture f;
+  EXPECT_EQ(f.access(0x400000, 1000), 0u);  // allocate entry
+  EXPECT_EQ(f.access(0x400000, 1064), 0u);  // stride=64 learned (Transient)
+  // Third access confirms: Initial->... state reaches Steady and fires.
+  EXPECT_GE(f.access(0x400000, 1128), 1u);
+  EXPECT_EQ(f.out[0].line, f.l1.line_of(1128 + 64));
+  EXPECT_EQ(f.out[0].source, PrefetchSource::Stride);
+}
+
+TEST(Stride, SteadyStateKeepsFiring) {
+  Fixture f;
+  f.access(0x400000, 0x8000);
+  f.access(0x400000, 0x8100);
+  f.access(0x400000, 0x8200);
+  EXPECT_EQ(f.access(0x400000, 0x8300), 1u);
+  EXPECT_EQ(f.access(0x400000, 0x8400), 1u);
+}
+
+TEST(Stride, NegativeStrideSupported) {
+  Fixture f;
+  f.access(0x400000, 0x9000);
+  f.access(0x400000, 0x8F00);
+  f.access(0x400000, 0x8E00);
+  ASSERT_GE(f.access(0x400000, 0x8D00), 1u);
+  EXPECT_EQ(f.out[0].line, f.l1.line_of(0x8D00 - 0x100));
+}
+
+TEST(Stride, RandomAddressesNeverConfirm) {
+  Fixture f;
+  Xorshift rng(5);
+  std::size_t emitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    emitted += f.access(0x400000, rng.below(1 << 24) * 8);
+  }
+  // An RPT should stay quiet on a patternless stream.
+  EXPECT_LT(emitted, 5u);
+}
+
+TEST(Stride, ZeroStrideNeverFires) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.access(0x400000, 0x7000), 0u);
+  }
+}
+
+TEST(Stride, DifferentPcsTrackIndependently) {
+  Fixture f;
+  f.access(0x400000, 100);
+  f.access(0x400100, 5000);  // different RPT entry
+  f.access(0x400000, 164);
+  f.access(0x400100, 5008);
+  f.access(0x400000, 228);   // pc A confirmed: stride 64
+  f.access(0x400100, 5016);  // pc B confirmed: stride 8
+  EXPECT_EQ(f.access(0x400000, 292), 1u);
+  const LineAddr a_target = f.out[0].line;
+  EXPECT_EQ(f.access(0x400100, 5024), 1u);
+  EXPECT_EQ(a_target, f.l1.line_of(292 + 64));
+  EXPECT_EQ(f.out[0].line, f.l1.line_of(5024 + 8));
+}
+
+TEST(Stride, StrideChangeBreaksSteadyState) {
+  Fixture f;
+  f.access(0x400000, 0);
+  f.access(0x400000, 64);
+  f.access(0x400000, 128);
+  EXPECT_EQ(f.access(0x400000, 192), 1u);  // steady
+  EXPECT_EQ(f.access(0x400000, 1000), 0u); // break: back to learning
+}
+
+TEST(Stride, DegreeMultipliesTargets) {
+  mem::Cache l1{mem::CacheConfig{}, 1};
+  StridePrefetcher pf{l1, StrideConfig{512, 3}};
+  std::vector<PrefetchRequest> out;
+  auto access = [&](Addr a) {
+    out.clear();
+    pf.on_l1_demand(0x400000, a, mem::AccessResult{}, out);
+  };
+  access(0);
+  access(128);
+  access(256);
+  access(384);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].line, l1.line_of(384 + 128));
+  EXPECT_EQ(out[1].line, l1.line_of(384 + 256));
+  EXPECT_EQ(out[2].line, l1.line_of(384 + 384));
+}
+
+}  // namespace
+}  // namespace ppf::prefetch

@@ -1,0 +1,64 @@
+#include "sim/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::sim {
+namespace {
+
+TEST(Classifier, CountsPerSource) {
+  PrefetchClassifier c;
+  c.record_issued(PrefetchSource::Software);
+  c.record_issued(PrefetchSource::NextSequence);
+  c.record_issued(PrefetchSource::NextSequence);
+  c.record_issued(PrefetchSource::ShadowDirectory);
+  c.record_issued(PrefetchSource::Stride);
+  EXPECT_EQ(c.issued().sw, 1u);
+  EXPECT_EQ(c.issued().nsp, 2u);
+  EXPECT_EQ(c.issued().sdp, 1u);
+  EXPECT_EQ(c.issued().stride, 1u);
+  EXPECT_EQ(c.issued().total(), 5u);
+}
+
+TEST(Classifier, OutcomesSplitGoodAndBad) {
+  PrefetchClassifier c;
+  c.record_outcome(PrefetchSource::NextSequence, true);
+  c.record_outcome(PrefetchSource::NextSequence, false);
+  c.record_outcome(PrefetchSource::Software, false);
+  EXPECT_EQ(c.good().total(), 1u);
+  EXPECT_EQ(c.bad().total(), 2u);
+  EXPECT_EQ(c.bad().sw, 1u);
+}
+
+TEST(Classifier, BadGoodRatio) {
+  PrefetchClassifier c;
+  EXPECT_DOUBLE_EQ(c.bad_good_ratio(), 0.0);  // no goods: safe zero
+  c.record_outcome(PrefetchSource::Software, true);
+  c.record_outcome(PrefetchSource::Software, false);
+  c.record_outcome(PrefetchSource::Software, false);
+  EXPECT_DOUBLE_EQ(c.bad_good_ratio(), 2.0);
+}
+
+TEST(Classifier, FilteredAndSquashed) {
+  PrefetchClassifier c;
+  c.record_filtered(PrefetchSource::ShadowDirectory);
+  c.record_squashed();
+  c.record_squashed();
+  EXPECT_EQ(c.filtered().sdp, 1u);
+  EXPECT_EQ(c.squashed(), 2u);
+}
+
+TEST(Classifier, ResetZeroesAll) {
+  PrefetchClassifier c;
+  c.record_issued(PrefetchSource::Software);
+  c.record_outcome(PrefetchSource::Software, true);
+  c.record_filtered(PrefetchSource::Software);
+  c.record_squashed();
+  c.reset();
+  EXPECT_EQ(c.issued().total(), 0u);
+  EXPECT_EQ(c.good().total(), 0u);
+  EXPECT_EQ(c.filtered().total(), 0u);
+  EXPECT_EQ(c.squashed(), 0u);
+}
+
+}  // namespace
+}  // namespace ppf::sim

@@ -1,0 +1,137 @@
+#include "sim/config_apply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppf::sim {
+namespace {
+
+ParamMap params(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ParamMap::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ConfigApply, BasicNumericOverrides) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"instructions=12345", "warmup=111",
+                               "seed=9", "rob=64", "width=4"}));
+  EXPECT_EQ(cfg.max_instructions, 12345u);
+  EXPECT_EQ(cfg.warmup_instructions, 111u);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_EQ(cfg.core.seed, 9u);  // core inherits the master seed
+  EXPECT_EQ(cfg.core.rob_entries, 64u);
+  EXPECT_EQ(cfg.core.width, 4u);
+}
+
+TEST(ConfigApply, FilterSelection) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"filter=pc"}));
+  EXPECT_EQ(cfg.filter, filter::FilterKind::Pc);
+  apply_overrides(cfg, params({"filter=deadblock"}));
+  EXPECT_EQ(cfg.filter, filter::FilterKind::DeadBlock);
+  EXPECT_THROW(apply_overrides(cfg, params({"filter=bogus"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigApply, PaperPairingsViaSizeAndPorts) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"l1d_kb=32"}));
+  EXPECT_EQ(cfg.l1d.size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.l1d.latency, 4u);
+  apply_overrides(cfg, params({"l1d_kb=8", "l1d_ports=5"}));
+  EXPECT_EQ(cfg.l1d.ports, 5u);
+  EXPECT_EQ(cfg.l1d.latency, 3u);
+}
+
+TEST(ConfigApply, HistoryTableKnobs) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"history_entries=8192", "history_bits=3",
+                               "history_init=4", "history_hash=fold-xor",
+                               "source_separated=0",
+                               "recovery_entries=0"}));
+  EXPECT_EQ(cfg.history.entries, 8192u);
+  EXPECT_EQ(cfg.history.counter_bits, 3u);
+  EXPECT_EQ(cfg.history.init_value, 4u);
+  EXPECT_EQ(cfg.history.hash, HashKind::FoldXor);
+  EXPECT_FALSE(cfg.history.source_separated);
+  EXPECT_EQ(cfg.filter_recovery_entries, 0u);
+}
+
+TEST(ConfigApply, PrefetcherToggles) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"nsp=0", "sdp=off", "stride=1",
+                               "stream_buffer=true", "markov=yes",
+                               "swpf=no", "nsp_degree=3"}));
+  EXPECT_FALSE(cfg.enable_nsp);
+  EXPECT_FALSE(cfg.enable_sdp);
+  EXPECT_TRUE(cfg.enable_stride);
+  EXPECT_TRUE(cfg.enable_stream_buffer);
+  EXPECT_TRUE(cfg.enable_markov);
+  EXPECT_FALSE(cfg.enable_sw_prefetch);
+  EXPECT_EQ(cfg.nsp_degree, 3u);
+}
+
+TEST(ConfigApply, UnknownKeyFailsLoudly) {
+  SimConfig cfg;
+  EXPECT_THROW(apply_overrides(cfg, params({"instrunctions=5"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigApply, LineBytesPropagatesEverywhere) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"line_bytes=64"}));
+  EXPECT_EQ(cfg.l1d.line_bytes, 64u);
+  EXPECT_EQ(cfg.l1i.line_bytes, 64u);
+  EXPECT_EQ(cfg.l2.line_bytes, 64u);
+  EXPECT_EQ(cfg.core.ifetch_line_bytes, 64u);
+}
+
+TEST(ConfigApply, EveryDocumentedKeyIsAccepted) {
+  // Property: the help list and the apply function stay in sync.
+  SimConfig cfg;
+  for (const OverrideDoc& d : override_docs()) {
+    ParamMap p;
+    // Pick a value that parses under any of the typed getters used.
+    // Pick a value that parses under the getter each key uses (bool
+    // keys reject plain integers above 1).
+    static const std::set<std::string> bool_keys = {
+        "source_separated", "prefetch_buffer", "nsp",  "sdp",
+        "stride",           "stream_buffer",   "markov", "swpf",
+        "taxonomy",         "prefetch_l2"};
+    p.set(d.key, d.key == "filter"         ? "pa"
+                 : d.key == "core_model"   ? "dataflow"
+                 : d.key == "history_hash" ? "modulo"
+                 : d.key == "dep_prob"     ? "0.3"
+                 : d.key == "l1d_ports"    ? "4"
+                 : d.key == "history_entries" ? "4096"
+                 : bool_keys.count(d.key)  ? "1"
+                                           : "8");
+    EXPECT_NO_THROW(apply_overrides(cfg, p)) << d.key;
+  }
+}
+
+TEST(ConfigApply, PrintConfigMentionsKeyFacts) {
+  SimConfig cfg;
+  cfg.filter = filter::FilterKind::Pa;
+  std::ostringstream os;
+  print_config(os, cfg);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("8KB direct-mapped"), std::string::npos);
+  EXPECT_NE(out.find("filter: pa"), std::string::npos);
+  EXPECT_NE(out.find("512KB"), std::string::npos);
+}
+
+TEST(ConfigApply, HashKindParsing) {
+  EXPECT_EQ(parse_hash_kind("modulo"), HashKind::Modulo);
+  EXPECT_EQ(parse_hash_kind("foldxor"), HashKind::FoldXor);
+  EXPECT_EQ(parse_hash_kind("fibonacci"), HashKind::Fibonacci);
+  EXPECT_EQ(parse_hash_kind("mix64"), HashKind::Mix64);
+  EXPECT_THROW(parse_hash_kind("sha256"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppf::sim

@@ -1,0 +1,230 @@
+#include "sim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppf::sim {
+namespace {
+
+SimConfig quiet_cfg() {
+  SimConfig cfg;  // Table 1 defaults
+  cfg.enable_nsp = false;
+  cfg.enable_sdp = false;
+  cfg.enable_sw_prefetch = false;
+  return cfg;
+}
+
+TEST(MemoryHierarchy, L1HitLatency) {
+  MemoryHierarchy mem(quiet_cfg());
+  mem.begin_cycle(0);
+  // Cold miss fills; then a hit costs exactly the L1 latency (after the
+  // in-flight window has passed).
+  const Cycle first = mem.demand_access(0, 0x400000, 0x1000, false);
+  EXPECT_GT(first, 100u);  // went to memory: >= 15 + 150 + bus
+  mem.begin_cycle(first + 10);
+  const Cycle second = mem.demand_access(first + 10, 0x400000, 0x1000, false);
+  EXPECT_EQ(second, first + 10 + 1);  // 1-cycle L1
+}
+
+TEST(MemoryHierarchy, L2HitIsFasterThanMemory) {
+  MemoryHierarchy mem(quiet_cfg());
+  mem.begin_cycle(0);
+  const Cycle cold = mem.demand_access(0, 0, 0x1000, false);
+  // Evict from L1 (direct-mapped, 8KB = 256 lines) but keep in L2.
+  const Cycle t1 = cold + 1;
+  mem.begin_cycle(t1);
+  (void)mem.demand_access(t1, 0, 0x1000 + 8 * 1024, false);
+  const Cycle t2 = t1 + 400;
+  mem.begin_cycle(t2);
+  const Cycle warm = mem.demand_access(t2, 0, 0x1000, false);
+  EXPECT_LT(warm - t2, 30u);   // L2 hit: ~1 + 15
+  EXPECT_GT(warm - t2, 10u);
+  EXPECT_GT(cold, 150u);       // memory: >= 150-cycle DRAM
+}
+
+TEST(MemoryHierarchy, PortBudgetPerCycle) {
+  MemoryHierarchy mem(quiet_cfg());  // 3 ports
+  mem.begin_cycle(0);
+  EXPECT_TRUE(mem.try_reserve_port(0));
+  EXPECT_TRUE(mem.try_reserve_port(0));
+  EXPECT_TRUE(mem.try_reserve_port(0));
+  EXPECT_FALSE(mem.try_reserve_port(0));
+  mem.begin_cycle(1);
+  EXPECT_TRUE(mem.try_reserve_port(1));
+}
+
+TEST(MemoryHierarchy, PrefetchIssueBorrowsNextCyclePort) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);  // issues the prefetch using a leftover port
+  // The port the prefetch used is busy in the next cycle.
+  mem.begin_cycle(1);
+  EXPECT_TRUE(mem.try_reserve_port(1));
+  EXPECT_TRUE(mem.try_reserve_port(1));
+  EXPECT_FALSE(mem.try_reserve_port(1));  // only 2 of 3 left
+}
+
+TEST(MemoryHierarchy, SoftwarePrefetchFillsWithPib) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  EXPECT_TRUE(mem.l1d().contains(0x2000));
+  EXPECT_EQ(mem.classifier().issued().sw, 1u);
+  // Demand use marks it good; the classifier sees it on finalize.
+  mem.begin_cycle(500);
+  (void)mem.demand_access(500, 0x400000, 0x2000, false);
+  mem.finalize();
+  EXPECT_EQ(mem.classifier().good().sw, 1u);
+}
+
+TEST(MemoryHierarchy, UnusedPrefetchClassifiedBadOnFinalize) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  mem.finalize();
+  EXPECT_EQ(mem.classifier().bad().sw, 1u);
+  EXPECT_EQ(mem.classifier().good().sw, 0u);
+}
+
+TEST(MemoryHierarchy, ResidentLineSquashesPrefetch) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  (void)mem.demand_access(0, 0, 0x2000, false);  // brings the line in
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  EXPECT_EQ(mem.classifier().squashed(), 1u);
+  EXPECT_EQ(mem.classifier().issued().sw, 0u);
+}
+
+TEST(MemoryHierarchy, NspTriggersOnDemandMiss) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_nsp = true;
+  cfg.nsp_degree = 1;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  (void)mem.demand_access(0, 0x400000, 0x2000, false);
+  mem.end_cycle(0);  // issues the next-line prefetch
+  EXPECT_TRUE(mem.l1d().contains(0x2020));
+  EXPECT_EQ(mem.classifier().issued().nsp, 1u);
+}
+
+TEST(MemoryHierarchy, FilterRejectionBlocksPrefetch) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  cfg.filter = filter::FilterKind::Pa;
+  MemoryHierarchy mem(cfg);
+  // Train the PA entry for line of 0x2000 to "bad".
+  mem.mutable_filter().feedback(filter::FilterFeedback{
+      mem.l1d().line_of(0x2000), 0x400000, false, PrefetchSource::Software});
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  EXPECT_FALSE(mem.l1d().contains(0x2000));
+  EXPECT_EQ(mem.classifier().filtered().sw, 1u);
+  EXPECT_EQ(mem.filter().rejected(), 1u);
+}
+
+TEST(MemoryHierarchy, EvictionFeedbackReachesTheFilter) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  cfg.filter = filter::FilterKind::Pa;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  ASSERT_TRUE(mem.l1d().contains(0x2000));
+  // Conflict-evict the unused prefetched line (8KB direct-mapped).
+  mem.begin_cycle(1000);
+  (void)mem.demand_access(1000, 0, 0x2000 + 8 * 1024, false);
+  // Now the same prefetch is rejected: the table learned "bad".
+  mem.software_prefetch(1000, 0x400000, 0x2000);
+  mem.end_cycle(1000);
+  EXPECT_EQ(mem.classifier().filtered().sw, 1u);
+}
+
+TEST(MemoryHierarchy, RecoveryRestoresWronglyFilteredStream) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  cfg.filter = filter::FilterKind::Pa;
+  MemoryHierarchy mem(cfg);
+  const LineAddr line = mem.l1d().line_of(0x2000);
+  mem.mutable_filter().feedback(
+      filter::FilterFeedback{line, 0x400000, false, PrefetchSource::Software});
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);  // rejected, tracked
+  mem.end_cycle(0);
+  ASSERT_EQ(mem.filter().rejected(), 1u);
+  // A demand miss to the rejected line soon after proves the filter
+  // wrong; the counter saturates back to good.
+  mem.begin_cycle(5);
+  (void)mem.demand_access(5, 0x400000, 0x2000, false);
+  EXPECT_EQ(mem.filter_recoveries(), 1u);
+  mem.begin_cycle(1000);
+  mem.software_prefetch(1000, 0x400000, 0x2000 + 64);
+  // (different line, same entry region — verify via admit counters)
+  mem.end_cycle(1000);
+  EXPECT_EQ(mem.filter().rejected(), 1u);  // no new rejection
+}
+
+TEST(MemoryHierarchy, PrefetchBufferModeKeepsL1Clean) {
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  cfg.use_prefetch_buffer = true;
+  MemoryHierarchy mem(cfg);
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0x400000, 0x2000);
+  mem.end_cycle(0);
+  EXPECT_FALSE(mem.l1d().contains(0x2000));  // went to the buffer
+  ASSERT_NE(mem.prefetch_buffer(), nullptr);
+  EXPECT_TRUE(mem.prefetch_buffer()->contains(mem.l1d().line_of(0x2000)));
+  // A demand access promotes it into the L1 and counts it good.
+  mem.begin_cycle(500);
+  (void)mem.demand_access(500, 0, 0x2000, false);
+  EXPECT_TRUE(mem.l1d().contains(0x2000));
+  EXPECT_EQ(mem.classifier().good().sw, 1u);
+}
+
+TEST(MemoryHierarchy, InstructionFetchUsesSeparateL1I) {
+  MemoryHierarchy mem(quiet_cfg());
+  const Cycle cold = mem.fetch(0, 0x400000);
+  EXPECT_GT(cold, 100u);  // I-miss goes through L2 + memory
+  const Cycle warm = mem.fetch(cold + 1, 0x400000);
+  EXPECT_EQ(warm, cold + 1);  // I-hit is free (folded into the pipeline)
+  EXPECT_FALSE(mem.l1d().contains(0x400000));  // never polluted the D-side
+}
+
+TEST(MemoryHierarchy, ResetStatsKeepsContents) {
+  MemoryHierarchy mem(quiet_cfg());
+  mem.begin_cycle(0);
+  (void)mem.demand_access(0, 0, 0x3000, false);
+  mem.reset_stats();
+  EXPECT_EQ(mem.l1d().total_misses(), 0u);
+  EXPECT_EQ(mem.demand_l1_accesses(), 0u);
+  EXPECT_TRUE(mem.l1d().contains(0x3000));  // contents survive
+}
+
+TEST(MemoryHierarchy, ExternalFilterIsUsedNotOwned) {
+  filter::NullFilter external;
+  SimConfig cfg = quiet_cfg();
+  cfg.enable_sw_prefetch = true;
+  cfg.filter = filter::FilterKind::Pa;  // would normally build a PA filter
+  MemoryHierarchy mem(cfg, &external);
+  EXPECT_STREQ(mem.filter().name(), "none");
+  mem.begin_cycle(0);
+  mem.software_prefetch(0, 0, 0x2000);
+  mem.end_cycle(0);
+  EXPECT_EQ(external.admitted(), 1u);
+}
+
+}  // namespace
+}  // namespace ppf::sim

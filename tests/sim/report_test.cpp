@@ -1,0 +1,104 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace ppf::sim {
+namespace {
+
+TEST(Report, TableAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Report, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, MismatchedRowWidthDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt(1.0, 1), "1.0");
+  EXPECT_EQ(fmt(-0.5, 2), "-0.50");
+}
+
+TEST(Report, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.082), "8.2%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(-0.05), "-5.0%");
+}
+
+TEST(Report, FmtU64) {
+  EXPECT_EQ(fmt_u64(0), "0");
+  EXPECT_EQ(fmt_u64(123456789ULL), "123456789");
+}
+
+TEST(Report, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quoted", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,note\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Report, CsvPlainValuesUnquoted) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2.5"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Report, PrintResultShowsHeadlineMetrics) {
+  SimResult r;
+  r.workload = "demo";
+  r.filter_name = "pc";
+  r.core.instructions = 1000;
+  r.core.cycles = 500;
+  r.prefetch_good.nsp = 7;
+  r.prefetch_bad.nsp = 3;
+  r.taxonomy.useful = 7;
+  r.taxonomy.useless = 3;
+  std::ostringstream os;
+  print_result(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);  // IPC
+  EXPECT_NE(out.find("7 / 3"), std::string::npos);  // good / bad
+  EXPECT_NE(out.find("taxonomy"), std::string::npos);
+}
+
+TEST(Report, ExperimentHeaderMentionsId) {
+  std::ostringstream os;
+  print_experiment_header(os, "Figure 6", "IPC comparison");
+  EXPECT_NE(os.str().find("Figure 6"), std::string::npos);
+  EXPECT_NE(os.str().find("IPC comparison"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppf::sim

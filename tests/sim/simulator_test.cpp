@@ -1,0 +1,128 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "filter/filter.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::sim {
+namespace {
+
+SimConfig quick_cfg() {
+  SimConfig cfg;
+  cfg.max_instructions = 100'000;
+  cfg.warmup_instructions = 20'000;
+  return cfg;
+}
+
+TEST(Simulator, ProducesConsistentTotals) {
+  auto trace = workload::make_benchmark("bh", 42);
+  Simulator sim(quick_cfg());
+  const SimResult r = sim.run(*trace);
+
+  EXPECT_EQ(r.workload, "bh");
+  EXPECT_EQ(r.core.instructions, 100'000u);
+  EXPECT_GT(r.core.cycles, 0u);
+  EXPECT_GT(r.ipc(), 0.0);
+  // 8-wide machine cannot exceed width IPC.
+  EXPECT_LE(r.ipc(), 8.0);
+  // Demand accesses at the L1 match the loads+stores the core issued up
+  // to warmup-boundary skew (ops dispatched before, issued after the
+  // statistics reset).
+  const double issued = static_cast<double>(r.core.loads + r.core.stores);
+  EXPECT_NEAR(static_cast<double>(r.l1d_demand_accesses), issued,
+              issued * 0.005 + 64);
+  EXPECT_LE(r.l1d_demand_misses, r.l1d_demand_accesses);
+  EXPECT_GE(r.l1d_miss_rate(), 0.0);
+  EXPECT_LE(r.l1d_miss_rate(), 1.0);
+  EXPECT_LE(r.l2_miss_rate(), 1.0);
+}
+
+TEST(Simulator, EveryIssuedPrefetchIsEventuallyClassified) {
+  // Strict accounting needs warmup off: with a warmup reset, prefetches
+  // issued before the boundary are classified after it.
+  SimConfig cfg = quick_cfg();
+  cfg.warmup_instructions = 0;
+  for (const char* name : {"em3d", "gzip"}) {
+    auto trace = workload::make_benchmark(name, 42);
+    Simulator sim(cfg);
+    const SimResult r = sim.run(*trace);
+    EXPECT_EQ(r.prefetch_issued.total(), r.good_total() + r.bad_total())
+        << name;
+    EXPECT_GT(r.prefetch_issued.total(), 0u) << name;
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  SimConfig cfg = quick_cfg();
+  cfg.filter = filter::FilterKind::Pc;
+  auto t1 = workload::make_benchmark("mcf", 7);
+  auto t2 = workload::make_benchmark("mcf", 7);
+  Simulator s1(cfg), s2(cfg);
+  const SimResult a = s1.run(*t1);
+  const SimResult b = s2.run(*t2);
+  EXPECT_EQ(a.core.cycles, b.core.cycles);
+  EXPECT_EQ(a.good_total(), b.good_total());
+  EXPECT_EQ(a.bad_total(), b.bad_total());
+  EXPECT_EQ(a.l1d_demand_misses, b.l1d_demand_misses);
+}
+
+TEST(Simulator, FilterNameReportsActiveScheme) {
+  SimConfig cfg = quick_cfg();
+  cfg.max_instructions = 20'000;
+  cfg.warmup_instructions = 0;
+  for (auto [kind, expect] :
+       {std::pair{filter::FilterKind::None, "none"},
+        {filter::FilterKind::Pa, "pa"},
+        {filter::FilterKind::Pc, "pc"},
+        {filter::FilterKind::Adaptive, "adaptive"}}) {
+    cfg.filter = kind;
+    auto trace = workload::make_benchmark("bh", 1);
+    Simulator sim(cfg);
+    EXPECT_EQ(sim.run(*trace).filter_name, expect);
+  }
+}
+
+TEST(Simulator, ExternalFilterOverridesConfig) {
+  SimConfig cfg = quick_cfg();
+  cfg.max_instructions = 20'000;
+  cfg.warmup_instructions = 0;
+  cfg.filter = filter::FilterKind::Pa;
+  filter::NullFilter external;
+  auto trace = workload::make_benchmark("bh", 1);
+  Simulator sim(cfg);
+  const SimResult r = sim.run(*trace, &external);
+  EXPECT_EQ(r.filter_name, "none");
+  EXPECT_GT(external.admitted(), 0u);
+}
+
+TEST(Simulator, WarmupShrinksColdMissEffects) {
+  // bh's data fits the L2: post-warmup its L2 miss rate must be tiny,
+  // while a cold run shows the compulsory misses.
+  SimConfig warm = quick_cfg();
+  warm.max_instructions = 400'000;
+  warm.warmup_instructions = 300'000;
+  SimConfig cold = warm;
+  cold.warmup_instructions = 0;
+  cold.max_instructions = 100'000;
+
+  auto t1 = workload::make_benchmark("bh", 42);
+  auto t2 = workload::make_benchmark("bh", 42);
+  Simulator s1(warm), s2(cold);
+  const double warm_l2 = s1.run(*t1).l2_miss_rate();
+  const double cold_l2 = s2.run(*t2).l2_miss_rate();
+  EXPECT_LT(warm_l2, cold_l2 * 0.5);
+}
+
+TEST(Simulator, WarmupLongerThanRunIsDisabled) {
+  SimConfig cfg = quick_cfg();
+  cfg.max_instructions = 10'000;
+  cfg.warmup_instructions = 1'000'000;  // silently disabled
+  auto trace = workload::make_benchmark("bh", 1);
+  Simulator sim(cfg);
+  const SimResult r = sim.run(*trace);
+  EXPECT_EQ(r.core.instructions, 10'000u);
+}
+
+}  // namespace
+}  // namespace ppf::sim

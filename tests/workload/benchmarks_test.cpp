@@ -1,0 +1,173 @@
+#include "workload/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace ppf::workload {
+namespace {
+
+struct Mix {
+  std::size_t total = 0;
+  std::size_t mem = 0;
+  std::size_t stores = 0;
+  std::size_t branches = 0;
+  std::size_t sw_prefetch = 0;
+  std::size_t serial_loads = 0;
+};
+
+Mix sample_mix(TraceSource& src, std::size_t n) {
+  Mix m;
+  TraceRecord r;
+  for (std::size_t i = 0; i < n && src.next(r); ++i) {
+    ++m.total;
+    switch (r.kind) {
+      case InstKind::Load:
+        ++m.mem;
+        if (r.serial) ++m.serial_loads;
+        break;
+      case InstKind::Store:
+        ++m.mem;
+        break;
+      case InstKind::Branch:
+        ++m.branches;
+        break;
+      case InstKind::SwPrefetch:
+        ++m.sw_prefetch;
+        break;
+      case InstKind::Op:
+        break;
+    }
+    if (r.kind == InstKind::Store) ++m.stores;
+  }
+  return m;
+}
+
+TEST(Benchmarks, TableTwoListsTenPrograms) {
+  EXPECT_EQ(benchmark_names().size(), 10u);
+  for (const std::string& name : benchmark_names()) {
+    EXPECT_NO_THROW({ auto b = make_benchmark(name, 1); });
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("spectral_norm", 1), std::invalid_argument);
+  EXPECT_THROW(paper_miss_rates("nope"), std::invalid_argument);
+}
+
+TEST(Benchmarks, PaperMissRatesMatchTableTwo) {
+  EXPECT_DOUBLE_EQ(paper_miss_rates("em3d").l1, 0.2161);
+  EXPECT_DOUBLE_EQ(paper_miss_rates("gzip").l2, 0.3176);
+  EXPECT_DOUBLE_EQ(paper_miss_rates("bh").l1, 0.0464);
+}
+
+TEST(Benchmarks, DeterministicForSameSeed) {
+  auto a = make_benchmark("mcf", 42);
+  auto b = make_benchmark("mcf", 42);
+  TraceRecord ra, rb;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(a->next(ra));
+    ASSERT_TRUE(b->next(rb));
+    ASSERT_EQ(ra, rb) << "diverged at record " << i;
+  }
+}
+
+TEST(Benchmarks, DifferentSeedsDiverge) {
+  auto a = make_benchmark("mcf", 1);
+  auto b = make_benchmark("mcf", 2);
+  TraceRecord ra, rb;
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    a->next(ra);
+    b->next(rb);
+    same += (ra == rb) ? 1 : 0;
+  }
+  EXPECT_LT(same, 900);
+}
+
+TEST(Benchmarks, StreamIsEffectivelyInfinite) {
+  auto b = make_benchmark("bh", 3);
+  TraceRecord r;
+  for (int i = 0; i < 200000; ++i) ASSERT_TRUE(b->next(r));
+}
+
+TEST(Benchmarks, PcKindBindingIsStable) {
+  // A given PC must always carry the same static instruction class
+  // (memory slots may alternate load/store, but an Op PC never becomes a
+  // branch etc.) — the property PC-indexed hardware relies on.
+  auto b = make_benchmark("gcc", 5);
+  std::map<Pc, int> klass;  // 0 = op, 1 = mem, 2 = branch, 3 = swpf
+  TraceRecord r;
+  for (int i = 0; i < 100000; ++i) {
+    b->next(r);
+    int k = 0;
+    if (r.kind == InstKind::Load || r.kind == InstKind::Store) k = 1;
+    if (r.kind == InstKind::Branch) k = 2;
+    if (r.kind == InstKind::SwPrefetch) k = 3;
+    const auto it = klass.find(r.pc);
+    if (it == klass.end()) {
+      klass[r.pc] = k;
+    } else {
+      ASSERT_EQ(it->second, k) << "pc " << std::hex << r.pc;
+    }
+  }
+  EXPECT_GT(klass.size(), 100u);  // non-trivial code footprint
+}
+
+TEST(Benchmarks, SoftwarePrefetchTargetsArriveAsLaterDemands) {
+  auto b = make_benchmark("wave5", 7);
+  TraceRecord r;
+  std::vector<TraceRecord> window;
+  for (int i = 0; i < 50000; ++i) {
+    b->next(r);
+    window.push_back(r);
+  }
+  // For each software prefetch, a demand access to the same line should
+  // appear shortly after (the compiler prefetches dist elements ahead).
+  int checked = 0, covered = 0;
+  for (std::size_t i = 0; i < window.size() && checked < 200; ++i) {
+    if (window[i].kind != InstKind::SwPrefetch) continue;
+    ++checked;
+    const Addr line = window[i].addr >> 5;
+    for (std::size_t j = i + 1; j < std::min(window.size(), i + 2000); ++j) {
+      if ((window[j].kind == InstKind::Load ||
+           window[j].kind == InstKind::Store) &&
+          (window[j].addr >> 5) == line) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(checked, 50);
+  // Software prefetches are accurate (the paper's premise).
+  EXPECT_GT(static_cast<double>(covered) / checked, 0.8);
+}
+
+TEST(Benchmarks, ChaseStreamsEmitSerialLoads) {
+  const Mix m = [&] {
+    auto b = make_benchmark("em3d", 11);
+    return sample_mix(*b, 100000);
+  }();
+  EXPECT_GT(m.serial_loads, 1000u);  // em3d is chase-heavy
+}
+
+class BenchmarkMix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkMix, InstructionMixIsPlausible) {
+  auto b = make_benchmark(GetParam(), 13);
+  const Mix m = sample_mix(*b, 100000);
+  const double mem_frac = static_cast<double>(m.mem) / m.total;
+  const double branch_frac = static_cast<double>(m.branches) / m.total;
+  EXPECT_GT(mem_frac, 0.15) << GetParam();
+  EXPECT_LT(mem_frac, 0.45) << GetParam();
+  EXPECT_GT(branch_frac, 0.02) << GetParam();
+  EXPECT_LT(branch_frac, 0.30) << GetParam();
+  EXPECT_GT(m.stores, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, BenchmarkMix,
+                         ::testing::ValuesIn(benchmark_names()));
+
+}  // namespace
+}  // namespace ppf::workload

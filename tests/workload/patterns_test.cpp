@@ -1,0 +1,156 @@
+#include "workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ppf::workload {
+namespace {
+
+TEST(StridedStream, SweepsAndWraps) {
+  StridedStream s(0x1000, 8, 4);
+  Xorshift rng(1);
+  EXPECT_EQ(s.next(rng), 0x1000u);
+  EXPECT_EQ(s.next(rng), 0x1008u);
+  EXPECT_EQ(s.next(rng), 0x1010u);
+  EXPECT_EQ(s.next(rng), 0x1018u);
+  EXPECT_EQ(s.next(rng), 0x1000u);  // wrapped
+}
+
+TEST(StridedStream, PeekMatchesFuture) {
+  StridedStream s(0, 32, 100);
+  Xorshift rng(1);
+  const auto ahead = s.peek(5);
+  ASSERT_TRUE(ahead.has_value());
+  for (int i = 0; i < 5; ++i) s.next(rng);
+  EXPECT_EQ(s.next(rng), *ahead);
+}
+
+TEST(PointerChase, VisitsEveryNodeOncePerLap) {
+  PointerChaseStream s(0x1000, 32, 64, 7);
+  Xorshift rng(1);
+  std::set<Addr> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(s.next(rng));
+  EXPECT_EQ(seen.size(), 64u);
+  for (Addr a : seen) {
+    EXPECT_GE(a, 0x1000u);
+    EXPECT_LT(a, 0x1000u + 64 * 32);
+    EXPECT_EQ((a - 0x1000) % 32, 0u);  // node-aligned
+  }
+}
+
+TEST(PointerChase, SequenceRepeatsEveryLap) {
+  PointerChaseStream s(0, 16, 32, 9);
+  Xorshift rng(1);
+  std::vector<Addr> lap1, lap2;
+  for (int i = 0; i < 32; ++i) lap1.push_back(s.next(rng));
+  for (int i = 0; i < 32; ++i) lap2.push_back(s.next(rng));
+  EXPECT_EQ(lap1, lap2);  // fixed ring: correlation prefetchers can learn it
+}
+
+TEST(PointerChase, PeekFollowsTheRing) {
+  PointerChaseStream s(0, 16, 32, 11);
+  Xorshift rng(1);
+  const auto two_ahead = s.peek(2);
+  ASSERT_TRUE(two_ahead.has_value());
+  s.next(rng);
+  EXPECT_EQ(s.next(rng), *two_ahead);
+}
+
+TEST(PointerChase, DifferentSeedsGiveDifferentRings) {
+  PointerChaseStream a(0, 16, 64, 1), b(0, 16, 64, 2);
+  Xorshift rng(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next(rng) == b.next(rng) ? 1 : 0;
+  EXPECT_LT(same, 16);
+}
+
+TEST(ZipfStream, StaysInRegionAtGranularity) {
+  ZipfStream s(0x8000, 4096, 64, 0.9);
+  Xorshift rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Addr a = s.next(rng);
+    EXPECT_GE(a, 0x8000u);
+    EXPECT_LT(a, 0x8000u + 4096u);
+    EXPECT_EQ((a - 0x8000) % 64, 0u);
+  }
+}
+
+TEST(ZipfStream, SkewConcentratesAccesses) {
+  ZipfStream s(0, 64 * 1024, 64, 1.2);
+  Xorshift rng(5);
+  std::map<Addr, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[s.next(rng)];
+  // The most popular granule should dwarf the median.
+  int max_count = 0;
+  for (const auto& [a, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 1000);
+  // But popularity is scattered, not packed at the region start.
+  auto hottest = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& x, const auto& y) { return x.second < y.second; });
+  EXPECT_NE(hottest->first, 0u);
+}
+
+TEST(ZipfStream, NoPeek) {
+  ZipfStream s(0, 4096, 64, 0.9);
+  EXPECT_FALSE(s.peek(4).has_value());
+}
+
+TEST(RandomStream, UniformOverRegion) {
+  RandomStream s(0x2000, 8192, 32);
+  Xorshift rng(7);
+  std::set<Addr> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const Addr a = s.next(rng);
+    EXPECT_GE(a, 0x2000u);
+    EXPECT_LT(a, 0x2000u + 8192u);
+    EXPECT_EQ((a - 0x2000) % 32, 0u);
+    seen.insert(a);
+  }
+  EXPECT_GT(seen.size(), 200u);  // most of the 256 granules touched
+  EXPECT_FALSE(s.peek(1).has_value());
+}
+
+TEST(Block2D, CoversWholeImageExactlyOncePerPass) {
+  // 4 rows of 64 bytes, 8-byte elements, 4x4 tiles: 32 elements total.
+  Block2DStream s(0x4000, 64, 4, 8, 4);
+  Xorshift rng(1);
+  std::set<Addr> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(s.next(rng));
+  EXPECT_EQ(seen.size(), 32u);
+  for (Addr a : seen) {
+    EXPECT_GE(a, 0x4000u);
+    EXPECT_LT(a, 0x4000u + 4 * 64);
+  }
+  // Second pass revisits the same addresses.
+  std::set<Addr> second;
+  for (int i = 0; i < 32; ++i) second.insert(s.next(rng));
+  EXPECT_EQ(seen, second);
+}
+
+TEST(Block2D, WalksTileRowMajor) {
+  Block2DStream s(0, 64, 4, 8, 4);
+  Xorshift rng(1);
+  // First tile: 4 elements of row 0, then 4 of row 1, ...
+  EXPECT_EQ(s.next(rng), 0u);
+  EXPECT_EQ(s.next(rng), 8u);
+  EXPECT_EQ(s.next(rng), 16u);
+  EXPECT_EQ(s.next(rng), 24u);
+  EXPECT_EQ(s.next(rng), 64u);  // next image row, same tile
+}
+
+TEST(Block2D, PeekConsistentWithNext) {
+  Block2DStream s(0, 64, 4, 8, 4);
+  Xorshift rng(1);
+  const auto ahead = s.peek(7);
+  ASSERT_TRUE(ahead.has_value());
+  for (int i = 0; i < 7; ++i) s.next(rng);
+  EXPECT_EQ(s.next(rng), *ahead);
+}
+
+}  // namespace
+}  // namespace ppf::workload

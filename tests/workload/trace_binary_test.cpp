@@ -1,0 +1,94 @@
+#include "workload/trace_binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/benchmarks.hpp"
+
+namespace ppf::workload {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          ~0ULL, 0xDEADBEEFCAFEULL}) {
+    std::stringstream ss;
+    put_varint(ss, v);
+    EXPECT_EQ(get_varint(ss), v);
+  }
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::stringstream ss;
+  ss.put(static_cast<char>(0x80));  // continuation bit with no next byte
+  EXPECT_THROW(get_varint(ss), std::runtime_error);
+}
+
+TEST(Zigzag, RoundTripsSignedValues) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 63LL, -64LL, 1LL << 40,
+                         -(1LL << 40)}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes encode small: the property the format relies on.
+  EXPECT_LE(zigzag_encode(-1), 2u);
+  EXPECT_LE(zigzag_encode(2), 4u);
+}
+
+TEST(BinaryTrace, RoundTripsRealWorkload) {
+  auto gen = make_benchmark("gcc", 11);
+  const std::vector<TraceRecord> original = collect(*gen, 20000);
+  std::stringstream ss;
+  write_trace_binary(ss, original);
+  const std::vector<TraceRecord> loaded = read_trace_binary(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(BinaryTrace, SubstantiallySmallerThanText) {
+  auto gen = make_benchmark("wave5", 5);
+  const std::vector<TraceRecord> records = collect(*gen, 20000);
+  std::stringstream text, binary;
+  write_trace(text, records);
+  write_trace_binary(binary, records);
+  EXPECT_LT(binary.str().size() * 3, text.str().size());
+}
+
+TEST(BinaryTrace, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace_binary(ss, {});
+  EXPECT_TRUE(read_trace_binary(ss).empty());
+}
+
+TEST(BinaryTrace, RejectsWrongMagic) {
+  std::stringstream ss("ppfbtr99XXXX");
+  EXPECT_THROW(read_trace_binary(ss), std::runtime_error);
+}
+
+TEST(BinaryTrace, RejectsTruncatedBody) {
+  auto gen = make_benchmark("bh", 2);
+  const std::vector<TraceRecord> records = collect(*gen, 100);
+  std::stringstream ss;
+  write_trace_binary(ss, records);
+  const std::string whole = ss.str();
+  std::stringstream cut(whole.substr(0, whole.size() / 2));
+  EXPECT_THROW(read_trace_binary(cut), std::runtime_error);
+}
+
+TEST(BinaryTrace, PreservesFlags) {
+  std::vector<TraceRecord> v;
+  TraceRecord serial{0x400000, InstKind::Load, 0x1000, 0, false};
+  serial.serial = true;
+  v.push_back(serial);
+  TraceRecord br{0x400004, InstKind::Branch, 0, 0x400020, true};
+  v.push_back(br);
+  std::stringstream ss;
+  write_trace_binary(ss, v);
+  const auto loaded = read_trace_binary(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded[0].serial);
+  EXPECT_TRUE(loaded[1].taken);
+  EXPECT_EQ(loaded[1].target, 0x400020u);
+}
+
+}  // namespace
+}  // namespace ppf::workload

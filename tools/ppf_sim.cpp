@@ -1,0 +1,122 @@
+// ppf_sim — the standalone simulator driver.
+//
+// Runs one workload (a named Table 2 benchmark or a captured .ppftrace
+// file) on a fully configurable machine and prints the complete result,
+// optionally as CSV for scripting.
+//
+//   ppf_sim bench=mcf filter=pc instructions=2000000
+//   ppf_sim trace=/tmp/app.ppftrace filter=pa csv=1
+//   ppf_sim help=1
+#include <fstream>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "sim/config_apply.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [bench=<name>|trace=<file>] "
+            << "[csv=0|1] [config=0|1] [key=value ...]\n\nworkloads:";
+  for (const std::string& n : workload::benchmark_names()) {
+    std::cerr << " " << n;
+  }
+  std::cerr << "\n\nmachine keys:\n";
+  for (const sim::OverrideDoc& d : sim::override_docs()) {
+    std::cerr << "  " << d.key << " — " << d.help << "\n";
+  }
+  return 2;
+}
+
+void write_csv_result(std::ostream& os, const sim::SimResult& r) {
+  sim::Table t({"workload", "filter", "instructions", "cycles", "ipc",
+                "l1d_miss_rate", "l2_miss_rate", "prefetch_good",
+                "prefetch_bad", "filtered", "recoveries", "bus_transfers"});
+  t.add_row({r.workload, r.filter_name, sim::fmt_u64(r.core.instructions),
+             sim::fmt_u64(r.core.cycles), sim::fmt(r.ipc(), 6),
+             sim::fmt(r.l1d_miss_rate(), 6), sim::fmt(r.l2_miss_rate(), 6),
+             sim::fmt_u64(r.good_total()), sim::fmt_u64(r.bad_total()),
+             sim::fmt_u64(r.filter_rejected),
+             sim::fmt_u64(r.filter_recoveries),
+             sim::fmt_u64(r.bus_transfers)});
+  t.write_csv(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParamMap params;
+  try {
+    params = ParamMap::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (params.has("help")) return usage(argv[0]);
+
+  const std::string bench = params.get_string("bench", "mcf");
+  const std::string trace_path = params.get_string("trace", "");
+  const bool csv = params.get_bool("csv", false);
+  const bool show_config = params.get_bool("config", true);
+
+  // Strip driver-only keys before handing the rest to the machine config.
+  ParamMap machine;
+  for (const auto& [k, v] : params.entries()) {
+    if (k != "bench" && k != "trace" && k != "csv" && k != "config" &&
+        k != "help") {
+      machine.set(k, v);
+    }
+  }
+
+  sim::SimConfig cfg = sim::SimConfig::paper_default();
+  cfg.max_instructions = 1'000'000;
+  try {
+    sim::apply_overrides(cfg, machine);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
+  std::unique_ptr<workload::TraceSource> source;
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::cerr << "cannot open trace file: " << trace_path << "\n";
+      return 1;
+    }
+    try {
+      source = std::make_unique<workload::VectorTrace>(
+          workload::read_trace(in), trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bad trace file: " << e.what() << "\n";
+      return 1;
+    }
+    cfg.warmup_instructions = 0;  // finite traces: measure everything
+  } else {
+    try {
+      source = workload::make_benchmark(bench, cfg.seed);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  sim::Simulator sim(cfg);
+  const sim::SimResult r = sim.run(*source);
+
+  if (csv) {
+    write_csv_result(std::cout, r);
+  } else {
+    if (show_config) {
+      sim::print_config(std::cout, cfg);
+      std::cout << "\n";
+    }
+    sim::print_result(std::cout, r);
+  }
+  return 0;
+}
