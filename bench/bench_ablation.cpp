@@ -6,6 +6,11 @@
 //   * NSP aggressiveness (degree 1 vs 2)
 // Each row reports the mean IPC and mean bad/good ratio across a
 // representative benchmark subset under the PA filter.
+//
+// The full (variant x benchmark) grid runs as one runlab batch; rows
+// aggregate the ordered results per variant.
+#include <map>
+
 #include "bench_common.hpp"
 
 using namespace ppf;
@@ -22,78 +27,70 @@ struct RowResult {
   double bad = 0;
 };
 
-RowResult run_row(const sim::SimConfig& cfg) {
-  RowResult rr;
-  for (const std::string& name : kSubset) {
-    const sim::SimResult r = sim::run_benchmark(cfg, name);
-    rr.ipc += r.ipc();
-    rr.bad_good += r.bad_good_ratio();
-    rr.good += static_cast<double>(r.good_total());
-    rr.bad += static_cast<double>(r.bad_total());
-  }
-  const double n = static_cast<double>(kSubset.size());
-  rr.ipc /= n;
-  rr.bad_good /= n;
-  return rr;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::SimConfig base = bench::base_config(argc, argv);
-  base.filter = filter::FilterKind::Pa;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  runlab::SweepSpec spec;
+  spec.base = cli.cfg;
+  spec.base.filter = filter::FilterKind::Pa;
+  spec.benchmarks = kSubset;
+
+  std::vector<std::string> order;
+  auto variant = [&](const std::string& label,
+                     std::function<void(sim::SimConfig&)> apply) {
+    order.push_back(label);
+    spec.variants.push_back({label, std::move(apply)});
+  };
+
+  variant("default (2-bit, init 2, modulo, src-sep, recovery)",
+          [](sim::SimConfig&) {});
+  for (unsigned bits : {1u, 3u}) {
+    variant("counter bits = " + std::to_string(bits),
+            [bits](sim::SimConfig& cfg) {
+              cfg.history.counter_bits = bits;
+              cfg.history.init_value = static_cast<std::uint8_t>(
+                  bits == 1 ? 1 : (1u << bits) / 2);
+            });
+  }
+  variant("init value = 3 (strongly good)",
+          [](sim::SimConfig& cfg) { cfg.history.init_value = 3; });
+  for (auto hk : {HashKind::FoldXor, HashKind::Fibonacci, HashKind::Mix64}) {
+    variant(std::string("hash = ") + to_string(hk),
+            [hk](sim::SimConfig& cfg) { cfg.history.hash = hk; });
+  }
+  variant("source separation OFF",
+          [](sim::SimConfig& cfg) { cfg.history.source_separated = false; });
+  variant("recovery buffer OFF (paper-literal filter)",
+          [](sim::SimConfig& cfg) { cfg.filter_recovery_entries = 0; });
+  variant("NSP degree 1 (less aggressive)",
+          [](sim::SimConfig& cfg) { cfg.nsp_degree = 1; });
+  variant("stride (RPT) prefetcher added",
+          [](sim::SimConfig& cfg) { cfg.enable_stride = true; });
+
+  const runlab::RunReport rep =
+      runlab::run_sweep(spec, runlab::with_workers(cli.jobs));
+  std::map<std::string, RowResult> rows;
+  for (const runlab::JobResult& jr : rep.results) {
+    RowResult& rr = rows[jr.job.variant];
+    rr.ipc += jr.result.ipc();
+    rr.bad_good += jr.result.bad_good_ratio();
+    rr.good += static_cast<double>(jr.result.good_total());
+    rr.bad += static_cast<double>(jr.result.bad_total());
+  }
 
   sim::print_experiment_header(
       std::cout, "Ablation",
       "filter design choices (PA filter, 5-benchmark subset)");
   sim::Table t({"variant", "mean IPC", "mean bad/good", "good total",
                 "bad total"});
-  auto row = [&](const std::string& label, const sim::SimConfig& cfg) {
-    const RowResult r = run_row(cfg);
-    t.add_row({label, sim::fmt(r.ipc), sim::fmt(r.bad_good),
+  const double n = static_cast<double>(kSubset.size());
+  for (const std::string& label : order) {
+    const RowResult& r = rows.at(label);
+    t.add_row({label, sim::fmt(r.ipc / n), sim::fmt(r.bad_good / n),
                sim::fmt(r.good, 0), sim::fmt(r.bad, 0)});
-  };
-
-  row("default (2-bit, init 2, modulo, src-sep, recovery)", base);
-
-  for (unsigned bits : {1u, 3u}) {
-    sim::SimConfig cfg = base;
-    cfg.history.counter_bits = bits;
-    cfg.history.init_value = static_cast<std::uint8_t>(
-        bits == 1 ? 1 : (1u << bits) / 2);
-    row("counter bits = " + std::to_string(bits), cfg);
   }
-  {
-    sim::SimConfig cfg = base;
-    cfg.history.init_value = 3;
-    row("init value = 3 (strongly good)", cfg);
-  }
-  for (auto hk : {HashKind::FoldXor, HashKind::Fibonacci, HashKind::Mix64}) {
-    sim::SimConfig cfg = base;
-    cfg.history.hash = hk;
-    row(std::string("hash = ") + to_string(hk), cfg);
-  }
-  {
-    sim::SimConfig cfg = base;
-    cfg.history.source_separated = false;
-    row("source separation OFF", cfg);
-  }
-  {
-    sim::SimConfig cfg = base;
-    cfg.filter_recovery_entries = 0;
-    row("recovery buffer OFF (paper-literal filter)", cfg);
-  }
-  {
-    sim::SimConfig cfg = base;
-    cfg.nsp_degree = 1;
-    row("NSP degree 1 (less aggressive)", cfg);
-  }
-  {
-    sim::SimConfig cfg = base;
-    cfg.enable_stride = true;
-    row("stride (RPT) prefetcher added", cfg);
-  }
-
   t.print(std::cout);
   std::cout << "\nReading guide: 'recovery OFF' shows why the filter needs "
                "a correction path —\nwithout it rejected entries freeze and "

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "runlab/runner.hpp"
 #include "sim/config_apply.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -22,26 +23,49 @@
 
 namespace ppf::bench {
 
-/// Parse CLI overrides and build the base (Table 1) configuration. Any
-/// key listed by `sim::override_docs()` is accepted; figure-specific
-/// settings (L1 size, ports, filter) are applied by each binary on top.
-inline sim::SimConfig base_config(int argc, char** argv) {
-  sim::SimConfig cfg = sim::SimConfig::paper_default();
-  cfg.max_instructions = 1'000'000;
-  cfg.warmup_instructions = 500'000;
+/// Everything a bench binary takes from the command line: the base
+/// (Table 1) machine plus the runlab worker count (`jobs=N`, 0 = one
+/// per hardware thread) for figures that batch their runs.
+struct CliOptions {
+  sim::SimConfig cfg;
+  std::size_t jobs = 0;
+};
+
+/// Parse CLI overrides. Any key listed by `sim::override_docs()` plus
+/// the driver key `jobs` is accepted; figure-specific settings (L1 size,
+/// ports, filter) are applied by each binary on top.
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  cli.cfg = sim::SimConfig::paper_default();
+  cli.cfg.max_instructions = 1'000'000;
+  cli.cfg.warmup_instructions = 500'000;
   try {
     const ParamMap params = ParamMap::from_args(argc, argv);
     if (params.has("help")) throw std::invalid_argument("help requested");
-    sim::apply_overrides(cfg, params);
+    const std::string unknown = sim::first_unknown_key(params, {"jobs"});
+    if (!unknown.empty()) {
+      throw std::invalid_argument("unknown key: " + unknown);
+    }
+    cli.jobs = params.get_u64("jobs", 0);
+    ParamMap machine;
+    for (const auto& [k, v] : params.entries()) {
+      if (k != "jobs") machine.set(k, v);
+    }
+    sim::apply_overrides(cli.cfg, machine);
   } catch (const std::exception& e) {
     std::cerr << "usage: " << argv[0] << " [key=value ...]\n"
-              << e.what() << "\n\nrecognised keys:\n";
+              << e.what() << "\n\nrecognised keys:\n"
+              << "  jobs — runlab worker threads (0 = hardware)\n";
     for (const sim::OverrideDoc& d : sim::override_docs()) {
       std::cerr << "  " << d.key << " — " << d.help << "\n";
     }
     std::exit(2);
   }
-  return cfg;
+  return cli;
+}
+
+inline sim::SimConfig base_config(int argc, char** argv) {
+  return parse_cli(argc, argv).cfg;
 }
 
 /// Mean of a metric across per-benchmark results.

@@ -1,35 +1,44 @@
 // Figure 1 — effectiveness of prefetches: good vs bad fraction of all
 // issued prefetches with NSP + SDP + software prefetching enabled and no
 // pollution filtering. Paper: ~48% of prefetches are bad on average.
+//
+// Runs the ten-benchmark grid through runlab (jobs=N picks the worker
+// count); results come back in benchmark order regardless of scheduling.
 #include "bench_common.hpp"
 
 using namespace ppf;
 
 int main(int argc, char** argv) {
-  sim::SimConfig cfg = bench::base_config(argc, argv);
-  cfg.filter = filter::FilterKind::None;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  runlab::SweepSpec spec;
+  spec.base = cli.cfg;
+  spec.base.filter = filter::FilterKind::None;
+  spec.benchmarks = workload::benchmark_names();
+  const runlab::RunReport rep =
+      runlab::run_sweep(spec, runlab::with_workers(cli.jobs));
 
   sim::print_experiment_header(std::cout, "Figure 1",
                                "effectiveness of prefetches (no filtering)");
   sim::Table t({"benchmark", "good", "bad", "good frac", "bad frac",
                 "sw", "nsp", "sdp"});
   double bad_frac_sum = 0.0;
-  const auto& names = workload::benchmark_names();
-  for (const std::string& name : names) {
-    const sim::SimResult r = sim::run_benchmark(cfg, name);
+  for (const runlab::JobResult& jr : rep.results) {
+    const sim::SimResult& r = jr.result;
     const double total =
         static_cast<double>(r.good_total() + r.bad_total());
     const double badf = total == 0 ? 0.0 : r.bad_total() / total;
     bad_frac_sum += badf;
-    t.add_row({name, sim::fmt_u64(r.good_total()), sim::fmt_u64(r.bad_total()),
-               sim::fmt_pct(1.0 - badf), sim::fmt_pct(badf),
-               sim::fmt_u64(r.prefetch_issued.sw),
+    t.add_row({jr.job.benchmark, sim::fmt_u64(r.good_total()),
+               sim::fmt_u64(r.bad_total()), sim::fmt_pct(1.0 - badf),
+               sim::fmt_pct(badf), sim::fmt_u64(r.prefetch_issued.sw),
                sim::fmt_u64(r.prefetch_issued.nsp),
                sim::fmt_u64(r.prefetch_issued.sdp)});
   }
   t.print(std::cout);
   std::cout << "\nmean bad fraction: "
-            << sim::fmt_pct(bad_frac_sum / names.size())
+            << sim::fmt_pct(bad_frac_sum /
+                            static_cast<double>(rep.results.size()))
             << "   (paper: 48% on average; >50% in 4 of 10 benchmarks)\n";
   return 0;
 }

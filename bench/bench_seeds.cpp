@@ -2,7 +2,12 @@
 // seeds, reported as mean +/- stddev. Guards every conclusion in
 // EXPERIMENTS.md against being an artifact of one particular synthetic
 // trace instance.
+//
+// Both grids (10 benchmarks x 5 seeds unfiltered; em3d x 5 seeds x 3
+// filters) run through runlab; per-seed aggregates are rebuilt from the
+// ordered results.
 #include <cmath>
+#include <map>
 
 #include "bench_common.hpp"
 
@@ -34,40 +39,62 @@ struct Series {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::SimConfig base = bench::base_config(argc, argv);
-  const std::uint64_t seeds[] = {42, 1001, 2002, 3003, 4004};
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const std::vector<std::uint64_t> seeds = {42, 1001, 2002, 3003, 4004};
+  const runlab::RunOptions opts = runlab::with_workers(cli.jobs);
+
+  // Grid 1: every benchmark, no filter, all seeds — the bad fraction.
+  runlab::SweepSpec all_spec;
+  all_spec.base = cli.cfg;
+  all_spec.base.filter = filter::FilterKind::None;
+  all_spec.benchmarks = workload::benchmark_names();
+  all_spec.seeds = seeds;
+  const runlab::RunReport all_rep = runlab::run_sweep(all_spec, opts);
+
+  // Grid 2: the em3d filter scenarios per seed.
+  runlab::SweepSpec em_spec;
+  em_spec.base = cli.cfg;
+  em_spec.benchmarks = {"em3d"};
+  em_spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa,
+                     filter::FilterKind::Pc};
+  em_spec.seeds = seeds;
+  const runlab::RunReport em_rep = runlab::run_sweep(em_spec, opts);
 
   sim::print_experiment_header(
       std::cout, "Seeds", "headline metrics across 5 workload seeds");
+
+  // Per-seed bad fraction over benchmarks with any prefetches.
+  std::map<std::uint64_t, std::pair<double, int>> bad_by_seed;
+  for (const runlab::JobResult& jr : all_rep.results) {
+    const sim::SimResult& r = jr.result;
+    const double tot = static_cast<double>(r.good_total() + r.bad_total());
+    if (tot > 0) {
+      bad_by_seed[jr.job.seed].first += r.bad_total() / tot;
+      bad_by_seed[jr.job.seed].second += 1;
+    }
+  }
+  // Per-seed em3d scenario results, keyed by filter name.
+  std::map<std::uint64_t, std::map<std::string, const sim::SimResult*>> em;
+  for (const runlab::JobResult& jr : em_rep.results) {
+    em[jr.job.seed][jr.job.filter_name] = &jr.result;
+  }
 
   sim::Table t({"metric", "mean ± stddev over seeds"});
   Series bad_frac, pa_bad_removed, pc_good_kept, pc_ipc_gain_em3d,
       energy_saving;
   for (std::uint64_t seed : seeds) {
-    sim::SimConfig cfg = base;
-    cfg.seed = seed;
-    double bf = 0;
-    int n = 0;
-    for (const std::string& name : workload::benchmark_names()) {
-      sim::SimConfig c0 = cfg;
-      c0.filter = filter::FilterKind::None;
-      const sim::SimResult r = sim::run_benchmark(c0, name);
-      const double tot = static_cast<double>(r.good_total() + r.bad_total());
-      if (tot > 0) {
-        bf += r.bad_total() / tot;
-        ++n;
-      }
-    }
+    const auto& [bf, n] = bad_by_seed.at(seed);
     bad_frac.add(bf / n);
 
-    const sim::ScenarioResults em = sim::run_filter_scenarios(cfg, "em3d");
-    pa_bad_removed.add(1.0 - static_cast<double>(em.pa.bad_total()) /
-                                 static_cast<double>(em.none.bad_total()));
-    pc_good_kept.add(static_cast<double>(em.pc.good_total()) /
-                     static_cast<double>(em.none.good_total()));
-    pc_ipc_gain_em3d.add(em.pc.ipc() / em.none.ipc() - 1.0);
-    energy_saving.add(1.0 - em.pc.energy.total_nj() /
-                                em.none.energy.total_nj());
+    const sim::SimResult& none = *em.at(seed).at("none");
+    const sim::SimResult& pa = *em.at(seed).at("pa");
+    const sim::SimResult& pc = *em.at(seed).at("pc");
+    pa_bad_removed.add(1.0 - static_cast<double>(pa.bad_total()) /
+                                 static_cast<double>(none.bad_total()));
+    pc_good_kept.add(static_cast<double>(pc.good_total()) /
+                     static_cast<double>(none.good_total()));
+    pc_ipc_gain_em3d.add(pc.ipc() / none.ipc() - 1.0);
+    energy_saving.add(1.0 - pc.energy.total_nj() / none.energy.total_nj());
   }
   t.add_row({"mean bad fraction (no filter, 10 benchmarks)",
              bad_frac.fmt_pm()});

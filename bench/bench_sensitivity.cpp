@@ -11,6 +11,11 @@
 //  * associativity — a set-associative L1 absorbs conflict pollution
 //    (LRU keeps hot lines), shrinking the filter's advantage; the
 //    paper's direct-mapped L1 is its best case.
+//
+// All 9 variants x 2 filters x 10 benchmarks run as one runlab batch
+// (jobs=N picks the worker count); rows aggregate by variant label.
+#include <map>
+
 #include "bench_common.hpp"
 
 using namespace ppf;
@@ -22,74 +27,79 @@ struct SweepPoint {
   double ipc_pc = 0;
 };
 
-SweepPoint run_point(const sim::SimConfig& cfg) {
-  SweepPoint p;
-  const auto& names = workload::benchmark_names();
-  for (const std::string& name : names) {
-    sim::SimConfig c = cfg;
-    c.filter = filter::FilterKind::None;
-    p.ipc_none += sim::run_benchmark(c, name).ipc();
-    c.filter = filter::FilterKind::Pc;
-    p.ipc_pc += sim::run_benchmark(c, name).ipc();
+void print_group(const std::string& title,
+                 const std::vector<std::string>& labels,
+                 const std::map<std::string, SweepPoint>& points,
+                 std::size_t n_benchmarks) {
+  std::cout << title << "\n";
+  sim::Table t({"variant", "IPC none", "IPC PC", "PC gain"});
+  for (const std::string& label : labels) {
+    SweepPoint p = points.at(label);
+    p.ipc_none /= static_cast<double>(n_benchmarks);
+    p.ipc_pc /= static_cast<double>(n_benchmarks);
+    t.add_row({label, sim::fmt(p.ipc_none), sim::fmt(p.ipc_pc),
+               sim::fmt_pct(p.ipc_pc / p.ipc_none - 1.0)});
   }
-  p.ipc_none /= names.size();
-  p.ipc_pc /= names.size();
-  return p;
-}
-
-void add_point(sim::Table& t, const std::string& label,
-               const sim::SimConfig& cfg) {
-  const SweepPoint p = run_point(cfg);
-  t.add_row({label, sim::fmt(p.ipc_none), sim::fmt(p.ipc_pc),
-             sim::fmt_pct(p.ipc_pc / p.ipc_none - 1.0)});
+  t.print(std::cout);
+  std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const sim::SimConfig base = bench::base_config(argc, argv);
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  std::vector<std::string> line_labels, mem_labels, assoc_labels;
+  runlab::SweepSpec spec;
+  spec.base = cli.cfg;
+  spec.benchmarks = workload::benchmark_names();
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pc};
+  for (std::uint32_t lb : {16u, 32u, 64u}) {
+    const std::string label = std::to_string(lb) + "B";
+    line_labels.push_back(label);
+    spec.variants.push_back({label, [lb](sim::SimConfig& cfg) {
+                               cfg.l1d.line_bytes = lb;
+                               cfg.l1i.line_bytes = lb;
+                               cfg.l2.line_bytes = lb;
+                               cfg.core.ifetch_line_bytes = lb;
+                             }});
+  }
+  for (Cycle lat : {75u, 150u, 300u}) {
+    const std::string label = std::to_string(lat) + "cy";
+    mem_labels.push_back(label);
+    spec.variants.push_back(
+        {label, [lat](sim::SimConfig& cfg) { cfg.dram.latency = lat; }});
+  }
+  for (std::uint32_t ways : {1u, 2u, 4u}) {
+    const std::string label =
+        ways == 1 ? "direct-mapped" : std::to_string(ways) + "-way";
+    assoc_labels.push_back(label);
+    spec.variants.push_back({label, [ways](sim::SimConfig& cfg) {
+                               cfg.l1d.associativity = ways;
+                             }});
+  }
+
+  const runlab::RunReport rep =
+      runlab::run_sweep(spec, runlab::with_workers(cli.jobs));
+  std::map<std::string, SweepPoint> points;
+  for (const runlab::JobResult& jr : rep.results) {
+    SweepPoint& p = points[jr.job.variant];
+    if (jr.job.config.filter == filter::FilterKind::None) {
+      p.ipc_none += jr.result.ipc();
+    } else {
+      p.ipc_pc += jr.result.ipc();
+    }
+  }
 
   sim::print_experiment_header(
       std::cout, "Sensitivity",
       "filter value vs line size, memory latency, L1 associativity");
-
-  {
-    std::cout << "line size (L1+L2, fixed 8KB/512KB capacities):\n";
-    sim::Table t({"line bytes", "IPC none", "IPC PC", "PC gain"});
-    for (std::uint32_t lb : {16u, 32u, 64u}) {
-      sim::SimConfig cfg = base;
-      cfg.l1d.line_bytes = lb;
-      cfg.l1i.line_bytes = lb;
-      cfg.l2.line_bytes = lb;
-      cfg.core.ifetch_line_bytes = lb;
-      add_point(t, std::to_string(lb) + "B", cfg);
-    }
-    t.print(std::cout);
-    std::cout << "\n";
-  }
-
-  {
-    std::cout << "main-memory latency (paper: 150 cycles):\n";
-    sim::Table t({"latency", "IPC none", "IPC PC", "PC gain"});
-    for (Cycle lat : {75u, 150u, 300u}) {
-      sim::SimConfig cfg = base;
-      cfg.dram.latency = lat;
-      add_point(t, std::to_string(lat) + "cy", cfg);
-    }
-    t.print(std::cout);
-    std::cout << "\n";
-  }
-
-  {
-    std::cout << "L1 associativity (paper: direct-mapped):\n";
-    sim::Table t({"ways", "IPC none", "IPC PC", "PC gain"});
-    for (std::uint32_t ways : {1u, 2u, 4u}) {
-      sim::SimConfig cfg = base;
-      cfg.l1d.associativity = ways;
-      add_point(t, ways == 1 ? "direct-mapped" : std::to_string(ways) + "-way",
-                cfg);
-    }
-    t.print(std::cout);
-  }
+  const std::size_t n = spec.benchmarks.size();
+  print_group("line size (L1+L2, fixed 8KB/512KB capacities):", line_labels,
+              points, n);
+  print_group("main-memory latency (paper: 150 cycles):", mem_labels, points,
+              n);
+  print_group("L1 associativity (paper: direct-mapped):", assoc_labels,
+              points, n);
   return 0;
 }

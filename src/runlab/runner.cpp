@@ -1,0 +1,95 @@
+#include "runlab/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "runlab/thread_pool.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace ppf::runlab {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+sim::SimResult execute_job(const Job& job) {
+  if (job.config.filter == filter::FilterKind::Static) {
+    return sim::run_static_filter(job.config, job.benchmark);
+  }
+  return sim::run_benchmark(job.config, job.benchmark);
+}
+
+RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
+  RunReport rep;
+  rep.results.resize(jobs.size());
+
+  ThreadPool pool(opts.workers);
+  rep.telemetry.workers = pool.workers();
+  rep.telemetry.total_jobs = jobs.size();
+
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+
+  const Clock::time_point batch_start = Clock::now();
+  pool.run(jobs.size(), [&](std::size_t i, std::size_t worker) {
+    JobResult& slot = rep.results[i];
+    slot.job = std::move(jobs[i]);
+    slot.worker = worker;
+    const Clock::time_point t0 = Clock::now();
+    try {
+      slot.result = execute_job(slot.job);
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.ok = false;
+      slot.error = e.what();
+    } catch (...) {
+      slot.ok = false;
+      slot.error = "unknown exception";
+    }
+    slot.wall_ms = ms_between(t0, Clock::now());
+    if (slot.ok && opts.job_timeout_ms > 0 &&
+        slot.wall_ms > opts.job_timeout_ms) {
+      slot.ok = false;
+      slot.error = "timeout: job took " + sim::fmt(slot.wall_ms, 1) +
+                   " ms (limit " + sim::fmt(opts.job_timeout_ms, 1) + " ms)";
+    }
+
+    std::lock_guard<std::mutex> lk(progress_mu);
+    ++done;
+    if (!slot.ok) ++failed;
+    if (opts.on_progress) {
+      Progress p;
+      p.done = done;
+      p.total = rep.results.size();
+      p.failed = failed;
+      p.last = &slot;
+      opts.on_progress(p);
+    }
+  });
+
+  RunTelemetry& t = rep.telemetry;
+  t.wall_ms = ms_between(batch_start, Clock::now());
+  t.failed_jobs = failed;
+  for (const JobResult& r : rep.results) t.busy_ms += r.wall_ms;
+  if (t.wall_ms > 0) {
+    t.jobs_per_sec = 1000.0 * static_cast<double>(t.total_jobs) / t.wall_ms;
+    t.utilization =
+        t.busy_ms / (static_cast<double>(t.workers) * t.wall_ms);
+  }
+  return rep;
+}
+
+RunReport run_sweep(const SweepSpec& spec, const RunOptions& opts) {
+  return run_jobs(spec.expand(), opts);
+}
+
+}  // namespace ppf::runlab

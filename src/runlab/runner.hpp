@@ -1,0 +1,85 @@
+// runlab: batch execution — runs an expanded job list on a worker pool,
+// one self-contained Simulator per job, and aggregates the results back
+// into submission order regardless of completion order.
+//
+// Failure capture: a job whose config or benchmark is broken (or that
+// exceeds the soft timeout) produces an error record in its slot; the
+// rest of the batch is unaffected.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runlab/sweep.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppf::runlab {
+
+/// Outcome of one job, in its submission slot.
+struct JobResult {
+  Job job;
+  bool ok = false;
+  std::string error;       ///< set when !ok (exception text or timeout)
+  sim::SimResult result;   ///< meaningful only when ok
+  double wall_ms = 0.0;    ///< job wall time (telemetry; not in the JSON)
+  std::size_t worker = 0;  ///< worker that ran it (telemetry)
+};
+
+/// Snapshot handed to the progress callback after each job completes.
+struct Progress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  const JobResult* last = nullptr;  ///< the job that just finished
+};
+
+struct RunOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t workers = 0;
+  /// Soft per-job timeout in ms; 0 disables. A job cannot be interrupted
+  /// mid-simulation, so an overrunning job completes but its slot is
+  /// recorded as an error. Timeouts depend on wall-clock load, so a
+  /// sweep using them is exempt from the byte-identical-output contract.
+  double job_timeout_ms = 0.0;
+  /// Called after every job completion, serialized across workers.
+  std::function<void(const Progress&)> on_progress;
+};
+
+/// Convenience: options with just the worker count set.
+[[nodiscard]] inline RunOptions with_workers(std::size_t n) {
+  RunOptions opts;
+  opts.workers = n;
+  return opts;
+}
+
+/// Run-level telemetry (reported out of band — never part of the
+/// deterministic JSON/CSV payload).
+struct RunTelemetry {
+  std::size_t total_jobs = 0;
+  std::size_t failed_jobs = 0;
+  std::size_t workers = 0;
+  double wall_ms = 0.0;       ///< whole-batch wall time
+  double busy_ms = 0.0;       ///< sum of per-job wall times
+  double jobs_per_sec = 0.0;
+  double utilization = 0.0;   ///< busy / (workers * wall)
+};
+
+struct RunReport {
+  std::vector<JobResult> results;  ///< submission order: results[i].job.index == i
+  RunTelemetry telemetry;
+};
+
+/// Execute one job synchronously on the calling thread. Static filters
+/// dispatch through the two-phase profile-then-measure flow; everything
+/// else is a plain Simulator::run. Throws on bad benchmark names etc.
+sim::SimResult execute_job(const Job& job);
+
+/// Run `jobs` on a pool and collect ordered results + telemetry.
+RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts = {});
+
+/// expand() + run_jobs in one call.
+RunReport run_sweep(const SweepSpec& spec, const RunOptions& opts = {});
+
+}  // namespace ppf::runlab

@@ -1,0 +1,121 @@
+#include "runlab/sinks.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace ppf::runlab {
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_metrics(std::ostream& os, const sim::SimResult& r) {
+  os << "{"
+     << "\"instructions\":" << r.core.instructions << ","
+     << "\"cycles\":" << r.core.cycles << ","
+     << "\"ipc\":" << sim::fmt(r.ipc(), 6) << ","
+     << "\"l1d_miss_rate\":" << sim::fmt(r.l1d_miss_rate(), 6) << ","
+     << "\"l2_miss_rate\":" << sim::fmt(r.l2_miss_rate(), 6) << ","
+     << "\"prefetch_issued\":" << r.prefetch_issued.total() << ","
+     << "\"prefetch_good\":" << r.good_total() << ","
+     << "\"prefetch_bad\":" << r.bad_total() << ","
+     << "\"filtered\":" << r.filter_rejected << ","
+     << "\"recoveries\":" << r.filter_recoveries << ","
+     << "\"squashed\":" << r.prefetch_squashed << ","
+     << "\"bus_transfers\":" << r.bus_transfers << ","
+     << "\"bus_prefetch_transfers\":" << r.bus_prefetch_transfers << ","
+     << "\"avg_load_latency\":" << sim::fmt(r.avg_load_latency, 3) << ","
+     << "\"energy_nj\":" << sim::fmt(r.energy.total_nj(), 3) << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const RunReport& rep) {
+  os << "{\"schema\":\"ppf.runlab.v1\",\"job_count\":" << rep.results.size()
+     << ",\"results\":[";
+  for (std::size_t i = 0; i < rep.results.size(); ++i) {
+    const JobResult& r = rep.results[i];
+    if (i != 0) os << ",";
+    os << "\n{\"index\":" << r.job.index << ",\"benchmark\":";
+    json_string(os, r.job.benchmark);
+    os << ",\"variant\":";
+    json_string(os, r.job.variant);
+    os << ",\"filter\":";
+    json_string(os, r.job.filter_name);
+    os << ",\"seed\":" << r.job.seed
+       << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.ok) {
+      os << ",\"metrics\":";
+      json_metrics(os, r.result);
+    } else {
+      os << ",\"error\":";
+      json_string(os, r.error);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string to_json(const RunReport& rep) {
+  std::ostringstream os;
+  write_json(os, rep);
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const RunReport& rep) {
+  std::vector<std::string> headers = {"index", "variant", "seed", "ok",
+                                      "error"};
+  const std::vector<std::string>& result_headers = sim::result_row_headers();
+  headers.insert(headers.end(), result_headers.begin(), result_headers.end());
+  sim::Table t(std::move(headers));
+  for (const JobResult& r : rep.results) {
+    std::vector<std::string> row = {std::to_string(r.job.index), r.job.variant,
+                                    std::to_string(r.job.seed),
+                                    r.ok ? "1" : "0", r.error};
+    std::vector<std::string> cells =
+        r.ok ? sim::result_row(r.result)
+             : std::vector<std::string>(result_headers.size());
+    if (!r.ok) {
+      // Keep the axis labels legible even for failed slots.
+      cells[0] = r.job.benchmark;
+      cells[1] = r.job.filter_name;
+    }
+    row.insert(row.end(), cells.begin(), cells.end());
+    t.add_row(std::move(row));
+  }
+  t.write_csv(os);
+}
+
+void print_telemetry(std::ostream& os, const RunTelemetry& t) {
+  os << "runlab: " << t.total_jobs << " jobs";
+  if (t.failed_jobs > 0) os << " (" << t.failed_jobs << " failed)";
+  os << " on " << t.workers << " workers in " << sim::fmt(t.wall_ms / 1000.0, 2)
+     << " s  |  " << sim::fmt(t.jobs_per_sec, 2) << " jobs/s, worker busy "
+     << sim::fmt(t.busy_ms / 1000.0, 2) << " s, utilization "
+     << sim::fmt_pct(t.utilization) << "\n";
+}
+
+}  // namespace ppf::runlab

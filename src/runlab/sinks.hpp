@@ -1,0 +1,28 @@
+// runlab: structured result sinks.
+//
+// The JSON and CSV payloads are deterministic: jobs appear in submission
+// order with fixed key order and fixed number formatting, and no
+// wall-clock field is included — the same sweep produces byte-identical
+// output whether it ran on 1 worker or 16. Telemetry (timings, worker
+// utilization) is reported separately via print_telemetry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runlab/runner.hpp"
+
+namespace ppf::runlab {
+
+/// Whole-report JSON document ("ppf.runlab.v1" schema).
+void write_json(std::ostream& os, const RunReport& rep);
+std::string to_json(const RunReport& rep);
+
+/// CSV: the sweep axes (index, variant, seed, ok, error) followed by the
+/// canonical sim::result_row columns.
+void write_csv(std::ostream& os, const RunReport& rep);
+
+/// Human-readable run telemetry (wall time, throughput, utilization).
+void print_telemetry(std::ostream& os, const RunTelemetry& t);
+
+}  // namespace ppf::runlab

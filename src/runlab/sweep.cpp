@@ -1,0 +1,62 @@
+#include "runlab/sweep.hpp"
+
+#include <stdexcept>
+
+namespace ppf::runlab {
+
+namespace {
+
+template <typename T>
+std::size_t axis_size(const std::vector<T>& axis) {
+  return axis.empty() ? 1 : axis.size();
+}
+
+}  // namespace
+
+std::size_t SweepSpec::job_count() const {
+  return axis_size(variants) * benchmarks.size() * axis_size(filters) *
+         axis_size(seeds);
+}
+
+std::vector<Job> SweepSpec::expand() const {
+  if (benchmarks.empty()) {
+    throw std::invalid_argument("SweepSpec: benchmarks axis is empty");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(job_count());
+
+  const std::size_t n_variants = axis_size(variants);
+  const std::size_t n_filters = axis_size(filters);
+  const std::size_t n_seeds = axis_size(seeds);
+
+  for (std::size_t v = 0; v < n_variants; ++v) {
+    sim::SimConfig variant_cfg = base;
+    std::string variant_label;
+    if (!variants.empty()) {
+      variant_label = variants[v].label;
+      if (variants[v].apply) variants[v].apply(variant_cfg);
+    }
+    for (const std::string& bench : benchmarks) {
+      for (std::size_t f = 0; f < n_filters; ++f) {
+        for (std::size_t s = 0; s < n_seeds; ++s) {
+          Job job;
+          job.index = jobs.size();
+          job.benchmark = bench;
+          job.variant = variant_label;
+          job.config = variant_cfg;
+          if (!filters.empty()) job.config.filter = filters[f];
+          if (!seeds.empty()) {
+            job.config.seed = seeds[s];
+            job.config.core.seed = seeds[s];
+          }
+          job.filter_name = filter::to_string(job.config.filter);
+          job.seed = job.config.seed;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace ppf::runlab

@@ -1,0 +1,62 @@
+// runlab: sweep expansion — turns "one simulation" into an ordered list
+// of fully-resolved jobs over a cartesian grid of benchmarks, filter
+// kinds, seeds, and arbitrary SimConfig variants.
+//
+// The expansion order is part of runlab's determinism contract: jobs are
+// numbered variant-major, then benchmark, then filter, then seed
+// (innermost), and every sink reports results in job order regardless of
+// the order workers complete them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "filter/filter.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ppf::runlab {
+
+/// One named point on an arbitrary configuration axis (line size, DRAM
+/// latency, history-table shape, ...). `apply` mutates a copy of the
+/// sweep's base config and must be a pure function of that config so a
+/// job's result is independent of which worker runs it.
+struct ConfigVariant {
+  std::string label;
+  std::function<void(sim::SimConfig&)> apply;
+};
+
+/// One fully-resolved unit of work: a benchmark name plus the exact
+/// SimConfig it runs under, with the axis labels kept for aggregation
+/// and the sinks.
+struct Job {
+  std::size_t index = 0;     ///< position in submission order
+  std::string benchmark;
+  std::string variant;       ///< "" when the sweep has no variant axis
+  std::string filter_name;   ///< resolved filter kind, for labels/sinks
+  std::uint64_t seed = 0;
+  sim::SimConfig config;     ///< base + variant + filter + seed applied
+};
+
+/// Cartesian sweep description. Empty axes collapse to the base config's
+/// value (an empty `filters` keeps `base.filter`, empty `seeds` keeps
+/// `base.seed`, empty `variants` means "just the base machine").
+/// `benchmarks` must be non-empty.
+struct SweepSpec {
+  sim::SimConfig base;
+  std::vector<std::string> benchmarks;
+  std::vector<filter::FilterKind> filters;
+  std::vector<std::uint64_t> seeds;
+  std::vector<ConfigVariant> variants;
+
+  [[nodiscard]] std::size_t job_count() const;
+
+  /// Expand the grid into jobs, ordered variant > benchmark > filter >
+  /// seed. The seed axis sets both the workload seed and the core's
+  /// statistical-sampling seed. Throws std::invalid_argument when
+  /// `benchmarks` is empty.
+  [[nodiscard]] std::vector<Job> expand() const;
+};
+
+}  // namespace ppf::runlab

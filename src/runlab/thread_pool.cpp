@@ -1,0 +1,74 @@
+#include "runlab/thread_pool.hpp"
+
+namespace ppf::runlab {
+
+namespace {
+
+std::size_t clamp_workers(std::size_t requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return requested;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = clamp_workers(workers);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run(std::size_t count, const IndexedFn& fn) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = threads_.size();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const IndexedFn* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(
+          lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    // Drain the cursor: one fetch_add per claimed job, no locks.
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(i, id);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ppf::runlab

@@ -1,0 +1,57 @@
+// runlab: fixed-size worker pool for index-addressed batches.
+//
+// The pool is built for runlab's access pattern — the whole job list is
+// known before execution starts — so the "queue" is just an atomic
+// cursor over [0, count): workers claim the next index with one
+// fetch_add and never touch a lock on the dequeue path. Locks are used
+// only to park idle workers between batches.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppf::runlab {
+
+class ThreadPool {
+ public:
+  /// `fn(job_index, worker_index)`; worker_index < workers().
+  using IndexedFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Spawns `workers` threads (clamped to >= 1; 0 means "one per
+  /// hardware thread"). Threads persist until destruction.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run fn(i, worker) once for every i in [0, count), distributing
+  /// indices over the workers; blocks until all indices completed.
+  /// `fn` must not throw — catch and record failures inside it.
+  void run(std::size_t count, const IndexedFn& fn);
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const IndexedFn* fn_ = nullptr;   // guarded by mu_ (read at batch start)
+  std::size_t count_ = 0;           // guarded by mu_ (read at batch start)
+  std::size_t active_ = 0;          // workers still inside current batch
+  std::uint64_t generation_ = 0;    // bumped once per run()
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_{0};  // the lock-free job cursor
+};
+
+}  // namespace ppf::runlab

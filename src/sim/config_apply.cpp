@@ -1,5 +1,6 @@
 #include "sim/config_apply.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -62,6 +63,21 @@ const std::vector<OverrideDoc>& override_docs() {
       {"dep_prob", "statistical load-dependence probability"},
   };
   return docs;
+}
+
+std::string first_unknown_key(const ParamMap& params,
+                              const std::vector<std::string>& extra) {
+  static const std::set<std::string> known = [] {
+    std::set<std::string> k;
+    for (const OverrideDoc& d : override_docs()) k.insert(d.key);
+    return k;
+  }();
+  for (const auto& [key, value] : params.entries()) {
+    if (known.find(key) != known.end()) continue;
+    if (std::find(extra.begin(), extra.end(), key) != extra.end()) continue;
+    return key;
+  }
+  return "";
 }
 
 void apply_overrides(SimConfig& cfg, const ParamMap& params) {

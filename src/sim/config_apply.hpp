@@ -25,6 +25,13 @@ struct OverrideDoc {
 };
 const std::vector<OverrideDoc>& override_docs();
 
+/// First key in `params` that is neither a machine-override key nor one
+/// of the driver-specific `extra` keys; "" when every key is known. CLIs
+/// use this to reject typos up front (named key, exit 2) instead of
+/// letting them slip through or fail mid-run.
+std::string first_unknown_key(const ParamMap& params,
+                              const std::vector<std::string>& extra);
+
 /// Render the effective configuration as human-readable text.
 void print_config(std::ostream& os, const SimConfig& cfg);
 

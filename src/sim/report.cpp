@@ -135,6 +135,35 @@ void print_result(std::ostream& os, const SimResult& r) {
   t.print(os);
 }
 
+const std::vector<std::string>& result_row_headers() {
+  static const std::vector<std::string> headers = {
+      "workload",      "filter",       "instructions", "cycles",
+      "ipc",           "l1d_miss_rate", "l2_miss_rate", "prefetch_good",
+      "prefetch_bad",  "filtered",     "recoveries",   "bus_transfers"};
+  return headers;
+}
+
+std::vector<std::string> result_row(const SimResult& r) {
+  return {r.workload,
+          r.filter_name,
+          fmt_u64(r.core.instructions),
+          fmt_u64(r.core.cycles),
+          fmt(r.ipc(), 6),
+          fmt(r.l1d_miss_rate(), 6),
+          fmt(r.l2_miss_rate(), 6),
+          fmt_u64(r.good_total()),
+          fmt_u64(r.bad_total()),
+          fmt_u64(r.filter_rejected),
+          fmt_u64(r.filter_recoveries),
+          fmt_u64(r.bus_transfers)};
+}
+
+Table result_table(const SimResult& r) {
+  Table t(result_row_headers());
+  t.add_row(result_row(r));
+  return t;
+}
+
 void print_experiment_header(std::ostream& os, const std::string& id,
                              const std::string& what) {
   os << "\n=== " << id << " — " << what << " ===\n";

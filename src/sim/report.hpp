@@ -42,4 +42,16 @@ struct SimResult;  // simulator.hpp
 /// driver and the examples).
 void print_result(std::ostream& os, const SimResult& r);
 
+/// Canonical per-run result columns, shared by every machine-readable
+/// output (ppf_sim csv=1, the runlab CSV/JSON sinks). One place to add a
+/// metric; every sink picks it up.
+const std::vector<std::string>& result_row_headers();
+
+/// One row of `result_row_headers()` cells for `r`, formatted with the
+/// fixed precisions the CSV outputs have always used.
+std::vector<std::string> result_row(const SimResult& r);
+
+/// One-row table of the canonical columns (ppf_sim's CSV output).
+Table result_table(const SimResult& r);
+
 }  // namespace ppf::sim

@@ -31,7 +31,16 @@ bool InterleavedTrace::next(TraceRecord& out) {
     current_ = (current_ + 1) % sources_.size();
     ++switches_;
   }
-  if (!sources_[current_]->next(out)) return false;
+  // A finite source exhausted mid-slice yields the remainder of its
+  // slice to the next program; the mix ends only when a full rotation
+  // finds every source dry.
+  std::size_t dry = 0;
+  while (!sources_[current_]->next(out)) {
+    if (++dry >= sources_.size()) return false;
+    issued_in_slice_ = 0;
+    current_ = (current_ + 1) % sources_.size();
+    ++switches_;
+  }
   ++issued_in_slice_;
 
   const Addr tag = static_cast<Addr>(current_) << kAsidShift;

@@ -23,6 +23,10 @@ class InterleavedTrace final : public TraceSource {
   /// the high bits with the program index (separate virtual address
   /// spaces); PCs are tagged the same way so predictor and filter state
   /// genuinely collide only through capacity, as on a real CPU.
+  ///
+  /// Finite sources: a program that runs out of instructions cedes the
+  /// rest of its slice to the next one (each handoff counts as a context
+  /// switch); the mix is exhausted only when every source is.
   InterleavedTrace(std::vector<std::unique_ptr<TraceSource>> sources,
                    std::uint64_t switch_interval);
 

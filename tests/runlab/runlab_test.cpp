@@ -1,0 +1,221 @@
+// runlab subsystem tests: sweep expansion, the thread pool, failure
+// capture, and the determinism contract (same sweep, any worker count,
+// byte-identical JSON). This binary carries the `runlab` CTest label so
+// the pool can be run under TSan in isolation (see CMakePresets.json).
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runlab/runner.hpp"
+#include "runlab/sinks.hpp"
+#include "runlab/sweep.hpp"
+#include "runlab/thread_pool.hpp"
+#include "sim/report.hpp"
+
+namespace ppf::runlab {
+namespace {
+
+sim::SimConfig tiny_config() {
+  sim::SimConfig cfg = sim::SimConfig::paper_default();
+  cfg.max_instructions = 20'000;
+  cfg.warmup_instructions = 0;
+  return cfg;
+}
+
+TEST(SweepSpec, EmptyAxesCollapseToBase) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.base.filter = filter::FilterKind::Pc;
+  spec.base.seed = 7;
+  spec.benchmarks = {"mcf"};
+  const std::vector<Job> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].index, 0u);
+  EXPECT_EQ(jobs[0].benchmark, "mcf");
+  EXPECT_EQ(jobs[0].variant, "");
+  EXPECT_EQ(jobs[0].filter_name, "pc");
+  EXPECT_EQ(jobs[0].seed, 7u);
+}
+
+TEST(SweepSpec, ExpansionOrderIsVariantBenchmarkFilterSeed) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "em3d"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.seeds = {1, 2};
+  spec.variants = {{"v0", nullptr},
+                   {"v1", [](sim::SimConfig& c) { c.nsp_degree = 1; }}};
+  ASSERT_EQ(spec.job_count(), 16u);
+  const std::vector<Job> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 16u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+  }
+  // Innermost axis: seed; then filter; then benchmark; variants outermost.
+  EXPECT_EQ(jobs[0].variant, "v0");
+  EXPECT_EQ(jobs[0].benchmark, "mcf");
+  EXPECT_EQ(jobs[0].filter_name, "none");
+  EXPECT_EQ(jobs[0].seed, 1u);
+  EXPECT_EQ(jobs[1].seed, 2u);
+  EXPECT_EQ(jobs[2].filter_name, "pa");
+  EXPECT_EQ(jobs[4].benchmark, "em3d");
+  EXPECT_EQ(jobs[8].variant, "v1");
+  // The variant mutation reached the job's config; the seed axis set
+  // both the workload and the core sampling seed.
+  EXPECT_EQ(jobs[8].config.nsp_degree, 1u);
+  EXPECT_EQ(jobs[0].config.nsp_degree, 2u);
+  EXPECT_EQ(jobs[1].config.core.seed, 2u);
+}
+
+TEST(SweepSpec, EmptyBenchmarksThrow) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  EXPECT_THROW(spec.expand(), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run(kCount, [&](std::size_t i, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, IsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.run(batch * 7 + 1, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 1 + 8 + 15 + 22 + 29);
+  pool.run(0, [](std::size_t, std::size_t) { FAIL(); });  // no-op batch
+}
+
+TEST(Runner, CapturesPerJobFailureWithoutKillingTheBatch) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "no-such-benchmark", "em3d"};
+  const RunReport rep = run_sweep(spec, with_workers(2));
+  ASSERT_EQ(rep.results.size(), 3u);
+  EXPECT_TRUE(rep.results[0].ok);
+  EXPECT_FALSE(rep.results[1].ok);
+  EXPECT_NE(rep.results[1].error.find("no-such-benchmark"),
+            std::string::npos);
+  EXPECT_TRUE(rep.results[2].ok);
+  EXPECT_EQ(rep.telemetry.failed_jobs, 1u);
+  EXPECT_EQ(rep.telemetry.total_jobs, 3u);
+}
+
+TEST(Runner, SoftTimeoutFlagsOverrunningJobs) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf"};
+  RunOptions opts;
+  opts.workers = 1;
+  opts.job_timeout_ms = 1e-6;  // any real simulation overruns this
+  const RunReport rep = run_sweep(spec, opts);
+  ASSERT_EQ(rep.results.size(), 1u);
+  EXPECT_FALSE(rep.results[0].ok);
+  EXPECT_NE(rep.results[0].error.find("timeout"), std::string::npos);
+}
+
+TEST(Runner, ProgressReportsEveryCompletionInOrder) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.base.max_instructions = 5'000;
+  spec.benchmarks = {"mcf", "em3d", "bh", "gzip"};
+  std::vector<std::size_t> done_counts;
+  RunOptions opts;
+  opts.workers = 4;
+  opts.on_progress = [&](const Progress& p) {
+    done_counts.push_back(p.done);
+    EXPECT_EQ(p.total, 4u);
+    EXPECT_NE(p.last, nullptr);
+  };
+  const RunReport rep = run_sweep(spec, opts);
+  EXPECT_EQ(rep.telemetry.workers, 4u);
+  // The callback is serialized, so `done` must count 1..4 exactly.
+  ASSERT_EQ(done_counts.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(done_counts[i], i + 1);
+}
+
+TEST(Runner, ResultsComeBackInSubmissionOrderForAnyWorkerCount) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "em3d", "bh"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.seeds = {1, 2};
+  const RunReport rep = run_sweep(spec, with_workers(8));
+  ASSERT_EQ(rep.results.size(), 12u);
+  for (std::size_t i = 0; i < rep.results.size(); ++i) {
+    EXPECT_EQ(rep.results[i].job.index, i);
+    EXPECT_TRUE(rep.results[i].ok);
+  }
+}
+
+// The determinism contract: the JSON payload of a sweep is byte-identical
+// whether it ran serially or on 8 workers.
+TEST(Runner, JsonIsByteIdenticalAcrossWorkerCounts) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "em3d", "bh"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.seeds = {1, 2};
+  const std::string serial = to_json(run_sweep(spec, with_workers(1)));
+  const std::string parallel = to_json(run_sweep(spec, with_workers(8)));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"schema\":\"ppf.runlab.v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"job_count\":12"), std::string::npos);
+}
+
+TEST(Sinks, CsvHasOneRowPerJobOnCanonicalColumns) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.base.max_instructions = 5'000;
+  spec.benchmarks = {"mcf", "no-such-benchmark"};
+  const RunReport rep = run_sweep(spec, with_workers(2));
+  std::ostringstream os;
+  write_csv(os, rep);
+  const std::string csv = os.str();
+  // Header + 2 data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("index,variant,seed,ok,error"), std::string::npos);
+  for (const std::string& col : sim::result_row_headers()) {
+    EXPECT_NE(csv.find(col), std::string::npos) << col;
+  }
+}
+
+TEST(Sinks, JsonEscapesErrorStrings) {
+  RunReport rep;
+  JobResult r;
+  r.job.benchmark = "x";
+  r.ok = false;
+  r.error = "line1\n\"quoted\"";
+  rep.results.push_back(r);
+  const std::string json = to_json(rep);
+  EXPECT_NE(json.find("line1\\n\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Report, CanonicalResultTableMatchesHeaders) {
+  sim::SimResult r;
+  r.workload = "w";
+  r.filter_name = "pc";
+  const std::vector<std::string> row = sim::result_row(r);
+  EXPECT_EQ(row.size(), sim::result_row_headers().size());
+  EXPECT_EQ(sim::result_table(r).rows(), 1u);
+}
+
+}  // namespace
+}  // namespace ppf::runlab

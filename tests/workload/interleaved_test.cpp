@@ -14,6 +14,15 @@ std::unique_ptr<InterleavedTrace> make_mix(std::uint64_t interval) {
   return std::make_unique<InterleavedTrace>(std::move(v), interval);
 }
 
+/// Finite source of `n` distinguishable records (pc = base + i).
+std::unique_ptr<VectorTrace> make_finite(std::size_t n, Pc base) {
+  std::vector<TraceRecord> recs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    recs[i].pc = base + static_cast<Pc>(i);
+  }
+  return std::make_unique<VectorTrace>(std::move(recs));
+}
+
 TEST(Interleaved, RoundRobinSwitchesAtInterval) {
   auto mix = make_mix(100);
   TraceRecord r;
@@ -74,6 +83,62 @@ TEST(Interleaved, BranchTargetsTagged) {
     }
   }
   EXPECT_TRUE(saw_branch);
+}
+
+TEST(Interleaved, SingleSourceRotatesToItself) {
+  // Degenerate mix of one program: every record comes through untagged
+  // (program 0), self-rotations at each interval are still counted, and
+  // exhaustion of the single source ends the mix.
+  std::vector<std::unique_ptr<TraceSource>> v;
+  v.push_back(make_finite(25, 100));
+  InterleavedTrace mix(std::move(v), 10);
+  TraceRecord r;
+  for (std::size_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(mix.next(r));
+    EXPECT_EQ(r.pc, 100 + i);  // tag is 0: records pass unchanged
+    EXPECT_EQ(mix.current_program(), 0u);
+  }
+  EXPECT_EQ(mix.switches(), 2u);  // after records 10 and 20
+  EXPECT_FALSE(mix.next(r));
+}
+
+TEST(Interleaved, SliceLargerThanRemainingCedesToNextSource) {
+  // Program 0 has 5 records but the slice is 10: once it runs dry the
+  // rest of its slice is handed to program 1 instead of ending the mix.
+  std::vector<std::unique_ptr<TraceSource>> v;
+  v.push_back(make_finite(5, 100));
+  v.push_back(make_finite(30, 200));
+  InterleavedTrace mix(std::move(v), 10);
+  TraceRecord r;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mix.next(r));
+    EXPECT_EQ(r.pc, 100 + i);
+  }
+  // The handoff is a context switch and starts a fresh full slice.
+  ASSERT_TRUE(mix.next(r));
+  EXPECT_EQ(r.pc, (Addr{1} << 40) | 200);
+  EXPECT_EQ(mix.current_program(), 1u);
+  EXPECT_EQ(mix.switches(), 1u);
+  for (std::size_t i = 1; i < 10; ++i) ASSERT_TRUE(mix.next(r));
+  EXPECT_EQ(mix.switches(), 1u);  // still inside program 1's slice
+}
+
+TEST(Interleaved, ExhaustedSourceRotationDrainsEveryRecord) {
+  // Unequal-length programs: the mix must deliver all records of both
+  // and only then report exhaustion, skipping the dry program on every
+  // later rotation.
+  std::vector<std::unique_ptr<TraceSource>> v;
+  v.push_back(make_finite(5, 100));
+  v.push_back(make_finite(30, 200));
+  InterleavedTrace mix(std::move(v), 10);
+  TraceRecord r;
+  std::size_t from_a = 0, from_b = 0;
+  while (mix.next(r)) {
+    ((r.pc >> 40) == 0 ? from_a : from_b)++;
+  }
+  EXPECT_EQ(from_a, 5u);
+  EXPECT_EQ(from_b, 30u);
+  EXPECT_FALSE(mix.next(r));  // stays exhausted
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// ppf_batch — parallel sweep driver on the runlab subsystem.
+//
+// Expands a (benchmark x filter x seed) grid over a fully configurable
+// machine, runs it on a worker pool, and writes the ordered results as
+// JSON (and optionally CSV). Output is byte-identical for any jobs=N;
+// telemetry and the live progress line go to stderr.
+//
+//   ppf_batch bench=mcf,em3d,gzip filter=none,pa,pc,adaptive seeds=4
+//             jobs=8 out=results.json  (one line)
+//   ppf_batch bench=all filter=none,pc csv=results.csv instructions=500000
+//   ppf_batch help=1
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "runlab/runner.hpp"
+#include "runlab/sinks.hpp"
+#include "sim/config_apply.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace ppf;
+
+namespace {
+
+const std::vector<std::string> kDriverKeys = {
+    "bench", "filter", "seeds",    "seed_list", "jobs",
+    "out",   "csv",    "progress", "timeout_ms", "help"};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [key=value ...]\n\n"
+      << "sweep keys:\n"
+      << "  bench=a,b,...   — benchmarks to run, or 'all' (default all)\n"
+      << "  filter=a,b,...  — filter kinds (default none,pa,pc)\n"
+      << "  seeds=N         — N seeds: base seed, base+1, ... (default 1)\n"
+      << "  seed_list=a,b   — explicit seed values (overrides seeds=)\n"
+      << "execution keys:\n"
+      << "  jobs=N          — worker threads (default: hardware threads)\n"
+      << "  timeout_ms=X    — soft per-job timeout; overruns become error "
+         "records\n"
+      << "  progress=0|1    — live progress line on stderr (default 1)\n"
+      << "output keys:\n"
+      << "  out=PATH|-      — ordered JSON results (default '-' = stdout)\n"
+      << "  csv=PATH        — also write CSV\n"
+      << "\nworkloads:";
+  for (const std::string& n : workload::benchmark_names()) {
+    std::cerr << " " << n;
+  }
+  std::cerr << "\n\nmachine keys:\n";
+  for (const sim::OverrideDoc& d : sim::override_docs()) {
+    std::cerr << "  " << d.key << " — " << d.help << "\n";
+  }
+  return 2;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParamMap params;
+  try {
+    params = ParamMap::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (params.has("help")) return usage(argv[0]);
+
+  const std::string unknown = sim::first_unknown_key(params, kDriverKeys);
+  if (!unknown.empty()) {
+    std::cerr << "unknown key: " << unknown << "\n\n";
+    return usage(argv[0]);
+  }
+
+  // Machine config: every non-driver key is an override on Table 1.
+  ParamMap machine;
+  for (const auto& [k, v] : params.entries()) {
+    if (std::find(kDriverKeys.begin(), kDriverKeys.end(), k) ==
+        kDriverKeys.end()) {
+      machine.set(k, v);
+    }
+  }
+  runlab::SweepSpec spec;
+  spec.base = sim::SimConfig::paper_default();
+  spec.base.max_instructions = 1'000'000;
+  try {
+    sim::apply_overrides(spec.base, machine);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
+  // Benchmark axis.
+  const std::string bench = params.get_string("bench", "all");
+  if (bench == "all") {
+    spec.benchmarks = workload::benchmark_names();
+  } else {
+    spec.benchmarks = split_list(bench);
+  }
+  if (spec.benchmarks.empty()) {
+    std::cerr << "bench= selected no benchmarks\n";
+    return usage(argv[0]);
+  }
+
+  // Filter axis.
+  try {
+    for (const std::string& f :
+         split_list(params.get_string("filter", "none,pa,pc"))) {
+      spec.filters.push_back(sim::parse_filter_kind(f));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
+  // Seed axis: explicit list wins over a count anchored at the base seed.
+  try {
+    if (params.has("seed_list")) {
+      for (const std::string& s :
+           split_list(params.get_string("seed_list", ""))) {
+        spec.seeds.push_back(std::stoull(s));
+      }
+    } else {
+      const std::uint64_t n = params.get_u64("seeds", 1);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        spec.seeds.push_back(spec.base.seed + i);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad seed list: " << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
+  runlab::RunOptions opts;
+  opts.workers = params.get_u64("jobs", 0);
+  opts.job_timeout_ms = params.get_double("timeout_ms", 0.0);
+  if (params.get_bool("progress", true)) {
+    opts.on_progress = [](const runlab::Progress& p) {
+      std::cerr << "\r[" << p.done << "/" << p.total << "] ";
+      if (p.failed > 0) std::cerr << p.failed << " failed, ";
+      std::cerr << "last: " << p.last->job.benchmark << "/"
+                << p.last->job.filter_name << "/s" << p.last->job.seed
+                << "          " << std::flush;
+      if (p.done == p.total) std::cerr << "\n";
+    };
+  }
+
+  const runlab::RunReport rep = runlab::run_sweep(spec, opts);
+  runlab::print_telemetry(std::cerr, rep.telemetry);
+
+  const std::string out = params.get_string("out", "-");
+  if (out == "-") {
+    runlab::write_json(std::cout, rep);
+  } else {
+    std::ofstream f(out);
+    if (!f) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 1;
+    }
+    runlab::write_json(f, rep);
+  }
+  const std::string csv = params.get_string("csv", "");
+  if (!csv.empty()) {
+    std::ofstream f(csv);
+    if (!f) {
+      std::cerr << "cannot open " << csv << " for writing\n";
+      return 1;
+    }
+    runlab::write_csv(f, rep);
+  }
+  return rep.telemetry.failed_jobs == 0 ? 0 : 1;
+}

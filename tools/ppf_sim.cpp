@@ -33,20 +33,6 @@ int usage(const char* argv0) {
   return 2;
 }
 
-void write_csv_result(std::ostream& os, const sim::SimResult& r) {
-  sim::Table t({"workload", "filter", "instructions", "cycles", "ipc",
-                "l1d_miss_rate", "l2_miss_rate", "prefetch_good",
-                "prefetch_bad", "filtered", "recoveries", "bus_transfers"});
-  t.add_row({r.workload, r.filter_name, sim::fmt_u64(r.core.instructions),
-             sim::fmt_u64(r.core.cycles), sim::fmt(r.ipc(), 6),
-             sim::fmt(r.l1d_miss_rate(), 6), sim::fmt(r.l2_miss_rate(), 6),
-             sim::fmt_u64(r.good_total()), sim::fmt_u64(r.bad_total()),
-             sim::fmt_u64(r.filter_rejected),
-             sim::fmt_u64(r.filter_recoveries),
-             sim::fmt_u64(r.bus_transfers)});
-  t.write_csv(os);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +44,15 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   if (params.has("help")) return usage(argv[0]);
+
+  // Reject typos up front, naming the offending key next to the full
+  // accepted list — a mistyped knob must never silently run the default.
+  const std::string unknown = sim::first_unknown_key(
+      params, {"bench", "trace", "csv", "config", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown key: " << unknown << "\n\n";
+    return usage(argv[0]);
+  }
 
   const std::string bench = params.get_string("bench", "mcf");
   const std::string trace_path = params.get_string("trace", "");
@@ -110,7 +105,7 @@ int main(int argc, char** argv) {
   const sim::SimResult r = sim.run(*source);
 
   if (csv) {
-    write_csv_result(std::cout, r);
+    sim::result_table(r).write_csv(std::cout);
   } else {
     if (show_config) {
       sim::print_config(std::cout, cfg);
