@@ -1,23 +1,66 @@
 // Simulator throughput microbenchmarks (google-benchmark): how fast the
 // model itself runs. Useful when scaling runs toward the paper's 300M
-// instructions.
+// instructions. Build with the release-bench preset (Release, NDEBUG)
+// so PPF_ASSERT costs nothing; RelWithDebInfo also defines NDEBUG.
+//
+// BM_SimulatorEndToEnd is parameterized over the filter kind and the
+// core model so a regression in one hot path (e.g. the filter lookup or
+// the dataflow scheduler) shows up in exactly one row. The arena
+// benchmarks isolate the workload layer: one-time materialization cost,
+// then cursor replay in single-record and batched form.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
 
 #include "filter/filter.hpp"
 #include "mem/cache.hpp"
 #include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
 #include "workload/benchmarks.hpp"
+#include "workload/materialized.hpp"
 
 using namespace ppf;
 
 namespace {
 
-void BM_SimulatorEndToEnd(benchmark::State& state,
-                          const std::string& bench_name) {
+constexpr std::uint64_t kInstructions = 200'000;
+
+sim::SimConfig end_to_end_config(filter::FilterKind filter,
+                                 sim::CoreModel model) {
   sim::SimConfig cfg;
-  cfg.max_instructions = 200'000;
+  cfg.max_instructions = kInstructions;
   cfg.warmup_instructions = 0;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = filter;
+  cfg.core_model = model;
+  return cfg;
+}
+
+void BM_SimulatorEndToEnd(benchmark::State& state,
+                          const std::string& bench_name,
+                          filter::FilterKind filter, sim::CoreModel model) {
+  const sim::SimConfig cfg = end_to_end_config(filter, model);
+  // Materialize once outside the timing loop: the arena is the shape the
+  // runlab hot path feeds the simulator, and it keeps the measurement
+  // about the machine model, not synthetic trace generation.
+  auto src = workload::make_benchmark(bench_name, cfg.seed);
+  const auto arena = workload::materialize(*src, cfg.max_instructions);
+  for (auto _ : state) {
+    workload::TraceCursor cursor(arena);
+    const sim::SimResult r = sim::Simulator(cfg).run(cursor);
+    benchmark::DoNotOptimize(r.core.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.max_instructions));
+}
+
+void BM_SimulatorStreaming(benchmark::State& state,
+                           const std::string& bench_name) {
+  // The pre-arena path: synthetic generation interleaved with the run,
+  // one virtual next() per record. The gap between this row and the
+  // matching BM_SimulatorEndToEnd row is the materialization win.
+  const sim::SimConfig cfg =
+      end_to_end_config(filter::FilterKind::Pa, sim::CoreModel::Occupancy);
   for (auto _ : state) {
     const sim::SimResult r = sim::run_benchmark(cfg, bench_name);
     benchmark::DoNotOptimize(r.core.cycles);
@@ -64,14 +107,80 @@ void BM_TraceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+void BM_TraceMaterialize(benchmark::State& state) {
+  // One-time arena build cost, amortized across every job sharing the
+  // (benchmark, seed) key in a sweep.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto bench = workload::make_benchmark("mcf", 42);
+    const auto arena = workload::materialize(*bench, count);
+    benchmark::DoNotOptimize(arena->size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_TraceCursorReplay(benchmark::State& state) {
+  auto bench = workload::make_benchmark("mcf", 42);
+  const auto arena = workload::materialize(*bench, 1 << 16);
+  workload::TraceRecord r;
+  for (auto _ : state) {
+    workload::TraceCursor cursor(arena);
+    while (cursor.next(r)) benchmark::DoNotOptimize(r.addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arena->size()));
+}
+
+void BM_TraceCursorBatchReplay(benchmark::State& state) {
+  // The batched gather the cores use: amortizes the virtual call and
+  // lets the SoA arena copy field-by-field.
+  auto bench = workload::make_benchmark("mcf", 42);
+  const auto arena = workload::materialize(*bench, 1 << 16);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<workload::TraceRecord> buf(batch);
+  for (auto _ : state) {
+    workload::TraceCursor cursor(arena);
+    std::size_t got;
+    while ((got = cursor.next_batch(buf.data(), batch)) != 0) {
+      benchmark::DoNotOptimize(buf[got - 1].addr);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arena->size()));
+}
+
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, em3d, std::string("em3d"))
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, gcc, std::string("gcc"))
+#define PPF_END_TO_END(bench, fkind, cmodel)                              \
+  BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, bench##_##fkind##_##cmodel,     \
+                    std::string(#bench), filter::FilterKind::fkind,       \
+                    sim::CoreModel::cmodel)                               \
+      ->Unit(benchmark::kMillisecond)
+
+// Filter-kind axis (occupancy core, em3d): the per-prefetch filter cost.
+PPF_END_TO_END(em3d, None, Occupancy);
+PPF_END_TO_END(em3d, Pa, Occupancy);
+PPF_END_TO_END(em3d, Pc, Occupancy);
+PPF_END_TO_END(em3d, Adaptive, Occupancy);
+PPF_END_TO_END(em3d, DeadBlock, Occupancy);
+// Core-model axis (Pa filter): occupancy vs dataflow scheduling cost.
+PPF_END_TO_END(em3d, Pa, Dataflow);
+PPF_END_TO_END(gcc, Pa, Occupancy);
+PPF_END_TO_END(gcc, Pa, Dataflow);
+
+#undef PPF_END_TO_END
+
+BENCHMARK_CAPTURE(BM_SimulatorStreaming, em3d, std::string("em3d"))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_FilterDecision);
 BENCHMARK(BM_TraceGeneration);
+BENCHMARK(BM_TraceMaterialize)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceCursorReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceCursorBatchReplay)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

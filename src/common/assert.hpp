@@ -1,7 +1,22 @@
-// Lightweight contract checks, active in all build types.
+// Contract checks, in two strengths.
 //
 // The simulator is deterministic; a violated invariant means a modelling
-// bug, so we always fail fast rather than compile the checks out.
+// bug, so we fail fast — but not all checks can afford to stay on:
+//
+//   PPF_CHECK / PPF_CHECK_MSG    — always active, in every build type.
+//       For construction-time configuration validation and once-per-run
+//       (or once-per-cycle) guards where the cost is irrelevant and a
+//       silent bad config would poison every number downstream.
+//
+//   PPF_ASSERT / PPF_ASSERT_MSG  — active unless NDEBUG is defined.
+//       For per-access / per-record hot-path invariants. Release and
+//       RelWithDebInfo builds define NDEBUG, so these compile to nothing
+//       on the simulation fast path; Debug (and the sanitizer presets)
+//       keep them armed.
+//
+// When compiled out, PPF_ASSERT does NOT evaluate its expression — never
+// put side effects in an assert. The sizeof trick keeps variables that
+// exist only for the check from triggering -Wunused warnings.
 #pragma once
 
 #include <string_view>
@@ -13,14 +28,29 @@ namespace ppf::detail {
 
 }  // namespace ppf::detail
 
-#define PPF_ASSERT(expr)                                              \
+#define PPF_CHECK(expr)                                               \
   do {                                                                \
     if (!(expr)) [[unlikely]]                                         \
       ::ppf::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
   } while (false)
 
-#define PPF_ASSERT_MSG(expr, msg)                                     \
+#define PPF_CHECK_MSG(expr, msg)                                      \
   do {                                                                \
     if (!(expr)) [[unlikely]]                                         \
       ::ppf::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
   } while (false)
+
+#ifdef NDEBUG
+#define PPF_ASSERT(expr) \
+  do {                   \
+    (void)sizeof(expr);  \
+  } while (false)
+#define PPF_ASSERT_MSG(expr, msg) \
+  do {                            \
+    (void)sizeof(expr);           \
+    (void)sizeof(msg);            \
+  } while (false)
+#else
+#define PPF_ASSERT(expr) PPF_CHECK(expr)
+#define PPF_ASSERT_MSG(expr, msg) PPF_CHECK_MSG(expr, msg)
+#endif

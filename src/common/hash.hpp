@@ -32,7 +32,7 @@ inline const char* to_string(HashKind k) {
 
 /// XOR-fold a 64-bit key down to `index_bits` bits.
 constexpr std::uint64_t fold_xor(std::uint64_t key, unsigned index_bits) {
-  PPF_ASSERT(index_bits >= 1 && index_bits <= 32);
+  PPF_CHECK(index_bits >= 1 && index_bits <= 32);
   std::uint64_t h = key;
   for (unsigned w = 64; w > index_bits; w = (w + 1) / 2) {
     const unsigned half = (w + 1) / 2;
@@ -43,7 +43,7 @@ constexpr std::uint64_t fold_xor(std::uint64_t key, unsigned index_bits) {
 
 /// Multiplicative hash using the 64-bit golden ratio constant.
 constexpr std::uint64_t fibonacci_hash(std::uint64_t key, unsigned index_bits) {
-  PPF_ASSERT(index_bits >= 1 && index_bits <= 32);
+  PPF_CHECK(index_bits >= 1 && index_bits <= 32);
   return (key * 0x9E3779B97F4A7C15ULL) >> (64 - index_bits);
 }
 

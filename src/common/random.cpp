@@ -50,7 +50,7 @@ bool Xorshift::chance(double p) {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) {
-  PPF_ASSERT(n > 0);
+  PPF_CHECK(n > 0);
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -75,7 +75,7 @@ std::size_t ZipfSampler::sample(Xorshift& rng) const {
 }
 
 std::vector<std::uint32_t> make_chase_ring(std::size_t n, Xorshift& rng) {
-  PPF_ASSERT(n >= 1);
+  PPF_CHECK(n >= 1);
   // Sattolo's algorithm: produces a uniformly random single-cycle
   // permutation, so the chase visits all n slots before repeating.
   std::vector<std::uint32_t> next(n);

@@ -19,7 +19,7 @@ class SaturatingCounter {
   explicit SaturatingCounter(unsigned bits = 2, std::uint8_t init = 2)
       : max_(static_cast<std::uint8_t>((1U << bits) - 1)),
         value_(init > max_ ? max_ : init) {
-    PPF_ASSERT(bits >= 1 && bits <= 8);
+    PPF_CHECK(bits >= 1 && bits <= 8);
   }
 
   /// Increment toward saturation.

@@ -8,8 +8,8 @@ namespace ppf {
 
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
     : bucket_width_(bucket_width), buckets_(num_buckets, 0) {
-  PPF_ASSERT(bucket_width > 0);
-  PPF_ASSERT(num_buckets > 0);
+  PPF_CHECK(bucket_width > 0);
+  PPF_CHECK(num_buckets > 0);
 }
 
 void Histogram::record(std::uint64_t sample) {

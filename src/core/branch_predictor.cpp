@@ -6,8 +6,8 @@
 namespace ppf::core {
 
 BimodalPredictor::BimodalPredictor(BimodalConfig cfg) : cfg_(cfg) {
-  PPF_ASSERT(is_pow2(cfg_.entries));
-  PPF_ASSERT(is_pow2(cfg_.inst_bytes));
+  PPF_CHECK(is_pow2(cfg_.entries));
+  PPF_CHECK(is_pow2(cfg_.inst_bytes));
   index_bits_ = log2_exact(cfg_.entries);
   pc_shift_ = log2_exact(cfg_.inst_bytes);
   // Initialise weakly-taken, matching common bimodal setups.

@@ -6,9 +6,9 @@
 namespace ppf::core {
 
 Btb::Btb(BtbConfig cfg) : cfg_(cfg) {
-  PPF_ASSERT(is_pow2(cfg_.sets));
-  PPF_ASSERT(cfg_.ways >= 1);
-  PPF_ASSERT(is_pow2(cfg_.inst_bytes));
+  PPF_CHECK(is_pow2(cfg_.sets));
+  PPF_CHECK(cfg_.ways >= 1);
+  PPF_CHECK(is_pow2(cfg_.inst_bytes));
   set_bits_ = log2_exact(cfg_.sets);
   pc_shift_ = log2_exact(cfg_.inst_bytes);
   entries_.resize(cfg_.sets * cfg_.ways);

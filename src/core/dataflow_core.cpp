@@ -5,13 +5,92 @@
 #include "common/assert.hpp"
 
 namespace ppf::core {
+namespace {
+
+unsigned shift_of(unsigned bytes) {
+  unsigned s = 0;
+  for (unsigned v = bytes; v > 1; v >>= 1) ++s;
+  return s;
+}
+
+/// Subtract the warmup-window counters so `res` covers only measurement.
+void subtract_snapshot(CoreResult& res, const CoreResult& snap) {
+  res.instructions -= snap.instructions;
+  res.loads -= snap.loads;
+  res.stores -= snap.stores;
+  res.branches -= snap.branches;
+  res.sw_prefetches -= snap.sw_prefetches;
+  res.mispredictions -= snap.mispredictions;
+  res.rob_full_stall_cycles -= snap.rob_full_stall_cycles;
+  res.lsq_full_stall_cycles -= snap.lsq_full_stall_cycles;
+  res.fetch_stall_cycles -= snap.fetch_stall_cycles;
+}
+
+}  // namespace
 
 DataflowCore::DataflowCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem)
-    : cfg_(cfg), dmem_(dmem), imem_(imem), bp_(cfg.bimodal), btb_(cfg.btb) {
-  PPF_ASSERT(cfg_.width >= 1);
-  PPF_ASSERT(cfg_.rob_entries >= cfg_.width);
-  PPF_ASSERT(cfg_.lsq_entries >= 1);
+    : cfg_(cfg),
+      dmem_(dmem),
+      imem_(imem),
+      bp_(cfg.bimodal),
+      btb_(cfg.btb),
+      line_shift_(shift_of(cfg.ifetch_line_bytes)) {
+  PPF_CHECK(cfg_.width >= 1);
+  PPF_CHECK(cfg_.rob_entries >= cfg_.width);
+  PPF_CHECK(cfg_.lsq_entries >= 1);
   rob_.resize(cfg_.rob_entries);
+}
+
+DataflowCore::DataflowCore(const DataflowCore& other, DataMemory& dmem,
+                           InstMemory& imem, workload::TraceSource& trace)
+    : cfg_(other.cfg_),
+      dmem_(dmem),
+      imem_(imem),
+      bp_(other.bp_),
+      btb_(other.btb_),
+      line_shift_(other.line_shift_) {
+  copy_run_state(other);
+  trace_ = &trace;
+}
+
+void DataflowCore::copy_run_state(const DataflowCore& o) {
+  rob_ = o.rob_;
+  rob_head_seq_ = o.rob_head_seq_;
+  rob_next_seq_ = o.rob_next_seq_;
+  rob_count_ = o.rob_count_;
+  lsq_count_ = o.lsq_count_;
+  regs_ = o.regs_;
+  ready_mem_ = o.ready_mem_;
+  waiting_mem_ = o.waiting_mem_;
+  waiting_alu_ = o.waiting_alu_;
+  redirect_pending_ = o.redirect_pending_;
+  redirect_seq_ = o.redirect_seq_;
+  redirect_until_ = o.redirect_until_;
+  retired_ = o.retired_;
+  fbuf_ = o.fbuf_;
+  fbuf_pos_ = o.fbuf_pos_;
+  fbuf_len_ = o.fbuf_len_;
+  trace_eof_ = o.trace_eof_;
+  dispatched_ = o.dispatched_;
+  pause_at_ = o.pause_at_;
+  res_ = o.res_;
+  window_snapshot_ = o.window_snapshot_;
+  window_start_ = o.window_start_;
+  now_ = o.now_;
+  cycle_limit_ = o.cycle_limit_;
+  fetch_ready_ = o.fetch_ready_;
+  cur_fetch_line_ = o.cur_fetch_line_;
+  mid_cycle_ = o.mid_cycle_;
+  cycle_trace_active_ = o.cycle_trace_active_;
+  was_rob_full_ = o.was_rob_full_;
+  fetch_stalled_ = o.fetch_stalled_;
+  lsq_blocked_ = o.lsq_blocked_;
+  slots_ = o.slots_;
+}
+
+std::unique_ptr<CoreEngine> DataflowCore::clone_rebound(
+    DataMemory& dmem, InstMemory& imem, workload::TraceSource& trace) const {
+  return std::unique_ptr<CoreEngine>(new DataflowCore(*this, dmem, imem, trace));
 }
 
 DataflowCore::RobEntry& DataflowCore::rob_at(std::uint64_t seq) {
@@ -109,212 +188,230 @@ void DataflowCore::issue_ready_mem(Cycle now) {
   }
 }
 
-CoreResult DataflowCore::run(workload::TraceSource& trace,
-                             std::uint64_t max_instructions,
-                             std::uint64_t warmup_instructions,
-                             const std::function<void()>& on_warmup_end) {
-  CoreResult res;
-  Cycle now = 0;
-  bool in_warmup = warmup_instructions > 0;
-  CoreResult warm_snapshot;
-  Cycle warmup_end_cycle = 0;
+DataflowCore::RegState DataflowCore::read_src(std::uint8_t r) const {
+  // Reads a source register's state at dispatch time. producer ==
+  // kNoProducer means `ready` is authoritative.
+  if (r == 0) return RegState{0, kNoProducer};
+  return regs_[r];
+}
 
-  workload::TraceRecord rec;
-  bool have_rec = trace.next(rec);
-  std::uint64_t dispatched = 0;
+void DataflowCore::refill() {
+  fbuf_len_ = static_cast<std::uint32_t>(
+      trace_eof_ ? 0 : trace_->next_batch(fbuf_.data(), kFetchBatch));
+  fbuf_pos_ = 0;
+  if (fbuf_len_ < kFetchBatch) trace_eof_ = true;
+}
 
-  Cycle fetch_ready = 0;
-  Addr cur_fetch_line = std::numeric_limits<Addr>::max();
-  const unsigned line_shift = [&] {
-    unsigned s = 0;
-    for (unsigned v = cfg_.ifetch_line_bytes; v > 1; v >>= 1) ++s;
-    return s;
-  }();
+void DataflowCore::advance() {
+  ++fbuf_pos_;
+  if (fbuf_pos_ >= fbuf_len_ && !trace_eof_) refill();
+}
 
-  const Cycle cycle_limit = (max_instructions + 1024) * 512 + 10'000'000ULL;
+void DataflowCore::bind(workload::TraceSource& trace) {
+  trace_ = &trace;
+  trace_eof_ = false;
+  refill();
+  dispatched_ = 0;
+  pause_at_ = 0;
+  res_ = CoreResult{};
+  window_snapshot_ = CoreResult{};
+  window_start_ = 0;
+  now_ = 0;
+  cycle_limit_ = 0;
+  fetch_ready_ = 0;
+  cur_fetch_line_ = std::numeric_limits<Addr>::max();
+  mid_cycle_ = false;
+}
 
-  // Reads a source register's state at dispatch time. Returns {ready,
-  // producer}: producer == kNoProducer means `ready` is authoritative.
-  auto read_src = [&](std::uint8_t r) -> RegState {
-    if (r == 0) return RegState{0, kNoProducer};
-    return regs_[r];
-  };
+void DataflowCore::begin_window() {
+  window_snapshot_ = res_;
+  window_start_ = now_;
+}
 
-  while (true) {
-    const bool trace_active = have_rec && dispatched < max_instructions;
-    if (!trace_active && rob_count_ == 0) break;
-    PPF_ASSERT_MSG(now < cycle_limit, "dataflow core livelock");
+bool DataflowCore::cycle(std::uint64_t limit) {
+  if (!mid_cycle_) {
+    cycle_trace_active_ = have_rec() && dispatched_ < limit;
+    if (!cycle_trace_active_ && rob_count_ == 0) return false;
+    PPF_CHECK_MSG(now_ < cycle_limit_, "dataflow core livelock");
 
-    dmem_.begin_cycle(now);
-    retire(now);
-    issue_ready_mem(now);
+    dmem_.begin_cycle(now_);
+    retire(now_);
+    issue_ready_mem(now_);
 
-    const bool was_rob_full = rob_full();
-    unsigned slots = cfg_.width;
-    bool lsq_blocked = false;
-    bool fetch_stalled = false;
-    while (slots > 0 && have_rec && dispatched < max_instructions) {
-      if (redirect_pending_ || now < redirect_until_ || now < fetch_ready) {
-        fetch_stalled = true;
-        break;
-      }
-      if (rob_full()) break;
-
-      const Addr line = rec.pc >> line_shift;
-      if (line != cur_fetch_line) {
-        const Cycle ready = imem_.fetch(now, rec.pc);
-        cur_fetch_line = line;
-        if (ready > now) {
-          fetch_ready = ready;
-          break;
-        }
-      }
-
-      const bool is_mem = rec.kind == workload::InstKind::Load ||
-                          rec.kind == workload::InstKind::Store;
-      if (is_mem && lsq_count_ >= cfg_.lsq_entries) {
-        lsq_blocked = true;
-        break;
-      }
-
-      const std::uint64_t seq = alloc_rob(is_mem);
-      const RegState s1 = read_src(rec.src1);
-      const RegState s2 = read_src(rec.src2);
-
-      switch (rec.kind) {
-        case workload::InstKind::Load:
-        case workload::InstKind::Store: {
-          const bool is_store = rec.kind == workload::InstKind::Store;
-          if (is_store)
-            ++res.stores;
-          else
-            ++res.loads;
-          // Loads produce into dst; consumers park on this seq.
-          if (!is_store && rec.dst != 0) {
-            regs_[rec.dst] = RegState{0, seq};
-          }
-          if (s1.producer == kNoProducer) {
-            ready_mem_.push_back(ReadyMem{seq, rec.pc, rec.addr, is_store,
-                                          std::max(now, s1.ready)});
-          } else {
-            waiting_mem_.push_back(
-                WaitingMem{seq, rec.pc, rec.addr, is_store, s1.producer, 0});
-          }
-          break;
-        }
-        case workload::InstKind::Branch: {
-          ++res.branches;
-          const bool pred_taken = bp_.predict(rec.pc);
-          const auto pred_target = btb_.lookup(rec.pc);
-          bool correct = pred_taken == rec.taken;
-          if (correct && rec.taken) {
-            correct = pred_target.has_value() && *pred_target == rec.target;
-          }
-          bp_.update(rec.pc, rec.taken);
-          if (rec.taken) btb_.update(rec.pc, rec.target);
-          bp_.note_outcome(correct);
-          if (!correct) {
-            ++res.mispredictions;
-            redirect_pending_ = true;
-            redirect_seq_ = seq;
-          }
-          WaitingAlu w{seq, 0, 0, now, true, !correct};
-          if (s1.producer != kNoProducer) {
-            w.producer_seq = s1.producer;
-            w.other_ready = std::max(now, s2.producer == kNoProducer
-                                              ? s2.ready
-                                              : now);
-            // A doubly-unresolved branch re-parks on s2 via complete_alu's
-            // caller; to keep it simple we conservatively wait on s1 then
-            // treat s2 as ready (second-source chains are rare for
-            // branches in our traces).
-            waiting_alu_.push_back(w);
-          } else if (s2.producer != kNoProducer) {
-            w.producer_seq = s2.producer;
-            w.other_ready = std::max(now, s1.ready);
-            waiting_alu_.push_back(w);
-          } else {
-            complete_alu(w, std::max({now, s1.ready, s2.ready}), now);
-          }
-          if (rec.taken) {
-            cur_fetch_line = std::numeric_limits<Addr>::max();
-          }
-          break;
-        }
-        case workload::InstKind::SwPrefetch:
-          ++res.sw_prefetches;
-          dmem_.software_prefetch(now, rec.pc, rec.addr);
-          [[fallthrough]];
-        case workload::InstKind::Op: {
-          if (rec.kind == workload::InstKind::Op &&
-              rec.dst != 0) {
-            // dst producer registered below once completion is known or
-            // parked; see after the dependence check.
-          }
-          WaitingAlu w{seq, 0, rec.dst, now, false, false};
-          if (s1.producer != kNoProducer) {
-            w.producer_seq = s1.producer;
-            w.other_ready =
-                std::max(now, s2.producer == kNoProducer ? s2.ready : now);
-            if (rec.dst != 0) regs_[rec.dst] = RegState{0, seq};
-            waiting_alu_.push_back(w);
-          } else if (s2.producer != kNoProducer) {
-            w.producer_seq = s2.producer;
-            w.other_ready = std::max(now, s1.ready);
-            if (rec.dst != 0) regs_[rec.dst] = RegState{0, seq};
-            waiting_alu_.push_back(w);
-          } else {
-            const Cycle done =
-                std::max({now, s1.ready, s2.ready}) + cfg_.exec_latency;
-            rob_at(seq).done = done;
-            if (rec.dst != 0) regs_[rec.dst] = RegState{done, kNoProducer};
-          }
-          break;
-        }
-      }
-
-      ++dispatched;
-      ++res.instructions;
-      --slots;
-      if (in_warmup && dispatched >= warmup_instructions) {
-        in_warmup = false;
-        warm_snapshot = res;
-        warmup_end_cycle = now;
-        if (on_warmup_end) on_warmup_end();
-      }
-      have_rec = trace.next(rec);
-      if (redirect_pending_ || now < redirect_until_) break;
-    }
-
-    if (trace_active && slots == cfg_.width) {
-      if (was_rob_full)
-        ++res.rob_full_stall_cycles;
-      else if (lsq_blocked)
-        ++res.lsq_full_stall_cycles;
-      else if (fetch_stalled)
-        ++res.fetch_stall_cycles;
-    }
-
-    dmem_.end_cycle(now);
-    ++now;
-  }
-
-  if (warmup_instructions > 0) {
-    PPF_ASSERT_MSG(!in_warmup, "warmup longer than the whole run");
-    res.instructions -= warm_snapshot.instructions;
-    res.loads -= warm_snapshot.loads;
-    res.stores -= warm_snapshot.stores;
-    res.branches -= warm_snapshot.branches;
-    res.sw_prefetches -= warm_snapshot.sw_prefetches;
-    res.mispredictions -= warm_snapshot.mispredictions;
-    res.rob_full_stall_cycles -= warm_snapshot.rob_full_stall_cycles;
-    res.lsq_full_stall_cycles -= warm_snapshot.lsq_full_stall_cycles;
-    res.fetch_stall_cycles -= warm_snapshot.fetch_stall_cycles;
-    res.cycles = now - warmup_end_cycle;
+    was_rob_full_ = rob_full();
+    slots_ = cfg_.width;
+    lsq_blocked_ = false;
+    fetch_stalled_ = false;
   } else {
-    res.cycles = now;
+    mid_cycle_ = false;
   }
-  return res;
+
+  while (slots_ > 0 && have_rec() && dispatched_ < limit) {
+    if (redirect_pending_ || now_ < redirect_until_ || now_ < fetch_ready_) {
+      fetch_stalled_ = true;
+      break;
+    }
+    if (rob_full()) break;
+    const workload::TraceRecord rec = fbuf_[fbuf_pos_];
+
+    const Addr line = rec.pc >> line_shift_;
+    if (line != cur_fetch_line_) {
+      const Cycle ready = imem_.fetch(now_, rec.pc);
+      cur_fetch_line_ = line;
+      if (ready > now_) {
+        fetch_ready_ = ready;
+        break;
+      }
+    }
+
+    const bool is_mem = rec.kind == workload::InstKind::Load ||
+                        rec.kind == workload::InstKind::Store;
+    if (is_mem && lsq_count_ >= cfg_.lsq_entries) {
+      lsq_blocked_ = true;
+      break;
+    }
+
+    const std::uint64_t seq = alloc_rob(is_mem);
+    const RegState s1 = read_src(rec.src1);
+    const RegState s2 = read_src(rec.src2);
+
+    switch (rec.kind) {
+      case workload::InstKind::Load:
+      case workload::InstKind::Store: {
+        const bool is_store = rec.kind == workload::InstKind::Store;
+        if (is_store)
+          ++res_.stores;
+        else
+          ++res_.loads;
+        // Loads produce into dst; consumers park on this seq.
+        if (!is_store && rec.dst != 0) {
+          regs_[rec.dst] = RegState{0, seq};
+        }
+        if (s1.producer == kNoProducer) {
+          ready_mem_.push_back(ReadyMem{seq, rec.pc, rec.addr, is_store,
+                                        std::max(now_, s1.ready)});
+        } else {
+          waiting_mem_.push_back(
+              WaitingMem{seq, rec.pc, rec.addr, is_store, s1.producer, 0});
+        }
+        break;
+      }
+      case workload::InstKind::Branch: {
+        ++res_.branches;
+        const bool pred_taken = bp_.predict(rec.pc);
+        const auto pred_target = btb_.lookup(rec.pc);
+        bool correct = pred_taken == rec.taken;
+        if (correct && rec.taken) {
+          correct = pred_target.has_value() && *pred_target == rec.target;
+        }
+        bp_.update(rec.pc, rec.taken);
+        if (rec.taken) btb_.update(rec.pc, rec.target);
+        bp_.note_outcome(correct);
+        if (!correct) {
+          ++res_.mispredictions;
+          redirect_pending_ = true;
+          redirect_seq_ = seq;
+        }
+        WaitingAlu w{seq, 0, 0, now_, true, !correct};
+        if (s1.producer != kNoProducer) {
+          w.producer_seq = s1.producer;
+          w.other_ready =
+              std::max(now_, s2.producer == kNoProducer ? s2.ready : now_);
+          // A doubly-unresolved branch re-parks on s2 via complete_alu's
+          // caller; to keep it simple we conservatively wait on s1 then
+          // treat s2 as ready (second-source chains are rare for
+          // branches in our traces).
+          waiting_alu_.push_back(w);
+        } else if (s2.producer != kNoProducer) {
+          w.producer_seq = s2.producer;
+          w.other_ready = std::max(now_, s1.ready);
+          waiting_alu_.push_back(w);
+        } else {
+          complete_alu(w, std::max({now_, s1.ready, s2.ready}), now_);
+        }
+        if (rec.taken) {
+          cur_fetch_line_ = std::numeric_limits<Addr>::max();
+        }
+        break;
+      }
+      case workload::InstKind::SwPrefetch:
+        ++res_.sw_prefetches;
+        dmem_.software_prefetch(now_, rec.pc, rec.addr);
+        [[fallthrough]];
+      case workload::InstKind::Op: {
+        WaitingAlu w{seq, 0, rec.dst, now_, false, false};
+        if (s1.producer != kNoProducer) {
+          w.producer_seq = s1.producer;
+          w.other_ready =
+              std::max(now_, s2.producer == kNoProducer ? s2.ready : now_);
+          if (rec.dst != 0) regs_[rec.dst] = RegState{0, seq};
+          waiting_alu_.push_back(w);
+        } else if (s2.producer != kNoProducer) {
+          w.producer_seq = s2.producer;
+          w.other_ready = std::max(now_, s1.ready);
+          if (rec.dst != 0) regs_[rec.dst] = RegState{0, seq};
+          waiting_alu_.push_back(w);
+        } else {
+          const Cycle done =
+              std::max({now_, s1.ready, s2.ready}) + cfg_.exec_latency;
+          rob_at(seq).done = done;
+          if (rec.dst != 0) regs_[rec.dst] = RegState{done, kNoProducer};
+        }
+        break;
+      }
+    }
+
+    ++dispatched_;
+    ++res_.instructions;
+    --slots_;
+    advance();
+    if (dispatched_ == pause_at_) {
+      // Pause exactly at the boundary, before finishing the cycle; the
+      // resumed (or cloned) core re-enters here with mid_cycle_ set.
+      mid_cycle_ = true;
+      return true;
+    }
+    if (redirect_pending_ || now_ < redirect_until_) break;
+  }
+
+  if (cycle_trace_active_ && slots_ == cfg_.width) {
+    // Nothing dispatched this cycle: attribute the stall.
+    if (was_rob_full_)
+      ++res_.rob_full_stall_cycles;
+    else if (lsq_blocked_)
+      ++res_.lsq_full_stall_cycles;
+    else if (fetch_stalled_)
+      ++res_.fetch_stall_cycles;
+  }
+
+  dmem_.end_cycle(now_);
+  ++now_;
+  return true;
+}
+
+void DataflowCore::run_until_dispatched(std::uint64_t target) {
+  PPF_CHECK(trace_ != nullptr);
+  if (dispatched_ >= target) return;
+  // Livelock guard: the model must always make forward progress.
+  cycle_limit_ = now_ + (target - dispatched_ + 1024) * 512 + 10'000'000ULL;
+  pause_at_ = target;
+  while (!mid_cycle_ && cycle(target)) {
+  }
+  pause_at_ = 0;
+}
+
+CoreResult DataflowCore::finish(std::uint64_t dispatch_limit) {
+  PPF_CHECK(trace_ != nullptr);
+  PPF_CHECK(dispatch_limit >= dispatched_);
+  cycle_limit_ =
+      now_ + (dispatch_limit - dispatched_ + 1024) * 512 + 10'000'000ULL;
+  pause_at_ = 0;
+  while (cycle(dispatch_limit)) {
+  }
+  CoreResult out = res_;
+  subtract_snapshot(out, window_snapshot_);
+  out.cycles = now_ - window_start_;
+  return out;
 }
 
 }  // namespace ppf::core

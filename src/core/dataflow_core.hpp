@@ -12,30 +12,45 @@
 // instruction whose producer's completion time is still unknown (a load
 // waiting for a port or for its address) parks on that producer and is
 // re-evaluated when the producer's time materialises.
+//
+// All run state lives in members so a run can pause at the warmup
+// boundary and resume (or be cloned and resumed per filter variant) —
+// see core/engine.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <vector>
 
 #include "core/branch_predictor.hpp"
 #include "core/btb.hpp"
+#include "core/engine.hpp"
 #include "core/memory_iface.hpp"
-#include "core/ooo_core.hpp"  // CoreConfig, CoreResult
 #include "workload/trace.hpp"
 
 namespace ppf::core {
 
-class DataflowCore {
+class DataflowCore final : public CoreEngine {
  public:
   DataflowCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem);
+  /// Rebinding copy: duplicate `other` (typically paused at the warmup
+  /// boundary) against a different memory system and trace. The caller
+  /// positions `trace` at the same record offset as other's trace.
+  DataflowCore(const DataflowCore& other, DataMemory& dmem, InstMemory& imem,
+               workload::TraceSource& trace);
 
-  /// Same contract as OooCore::run.
-  CoreResult run(workload::TraceSource& trace, std::uint64_t max_instructions,
-                 std::uint64_t warmup_instructions = 0,
-                 const std::function<void()>& on_warmup_end = {});
+  void bind(workload::TraceSource& trace) override;
+  void run_until_dispatched(std::uint64_t target) override;
+  void begin_window() override;
+  CoreResult finish(std::uint64_t dispatch_limit) override;
+  [[nodiscard]] std::uint64_t dispatched() const override {
+    return dispatched_;
+  }
+  [[nodiscard]] std::unique_ptr<CoreEngine> clone_rebound(
+      DataMemory& dmem, InstMemory& imem,
+      workload::TraceSource& trace) const override;
 
   [[nodiscard]] const BimodalPredictor& predictor() const { return bp_; }
 
@@ -87,11 +102,32 @@ class DataflowCore {
   void resolve(std::uint64_t seq, Cycle done, Cycle now);
   void complete_alu(const WaitingAlu& w, Cycle src_ready, Cycle now);
 
+  /// Per-register state: either a ready time, or the producing seq.
+  struct RegState {
+    Cycle ready = 0;
+    std::uint64_t producer;  ///< kNoProducer = value ready
+  };
+  [[nodiscard]] RegState read_src(std::uint8_t r) const;
+
+  // Fetch-buffer plumbing (batched trace consumption).
+  [[nodiscard]] bool have_rec() const { return fbuf_pos_ < fbuf_len_; }
+  void refill();
+  void advance();
+
+  /// Simulate one cycle (or resume the paused one). Returns false when
+  /// the trace is exhausted and the pipeline has drained. Pauses
+  /// mid-cycle (mid_cycle_ set, returns true) when dispatched_ reaches
+  /// pause_at_.
+  bool cycle(std::uint64_t limit);
+
+  void copy_run_state(const DataflowCore& other);
+
   CoreConfig cfg_;
   DataMemory& dmem_;
   InstMemory& imem_;
   BimodalPredictor bp_;
   Btb btb_;
+  unsigned line_shift_ = 0;
 
   std::vector<RobEntry> rob_;
   std::uint64_t rob_head_seq_ = 0;
@@ -99,14 +135,9 @@ class DataflowCore {
   unsigned rob_count_ = 0;
   unsigned lsq_count_ = 0;
 
-  /// Per-register state: either a ready time, or the producing seq.
-  struct RegState {
-    Cycle ready = 0;
-    std::uint64_t producer = kNoProducer;  ///< kNoProducer = value ready
-  };
   static constexpr std::uint64_t kNoProducer =
       std::numeric_limits<std::uint64_t>::max();
-  std::vector<RegState> regs_{kNumRegs};
+  std::vector<RegState> regs_{kNumRegs, RegState{0, kNoProducer}};
 
   std::deque<ReadyMem> ready_mem_;
   std::vector<WaitingMem> waiting_mem_;
@@ -118,6 +149,31 @@ class DataflowCore {
   Cycle redirect_until_ = 0;
 
   std::uint64_t retired_ = 0;
+
+  // --- per-run state (reset by bind) ---------------------------------
+  workload::TraceSource* trace_ = nullptr;
+  std::array<workload::TraceRecord, kFetchBatch> fbuf_;
+  std::uint32_t fbuf_pos_ = 0;
+  std::uint32_t fbuf_len_ = 0;
+  bool trace_eof_ = true;
+
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t pause_at_ = 0;  ///< 0 = no pause requested
+  CoreResult res_;
+  CoreResult window_snapshot_;
+  Cycle window_start_ = 0;
+  Cycle now_ = 0;
+  Cycle cycle_limit_ = 0;  ///< livelock guard, recomputed per segment
+  Cycle fetch_ready_ = 0;
+  Addr cur_fetch_line_ = std::numeric_limits<Addr>::max();
+
+  // Mid-cycle pause state (valid while mid_cycle_).
+  bool mid_cycle_ = false;
+  bool cycle_trace_active_ = false;
+  bool was_rob_full_ = false;
+  bool fetch_stalled_ = false;
+  bool lsq_blocked_ = false;
+  unsigned slots_ = 0;
 };
 
 }  // namespace ppf::core

@@ -1,0 +1,32 @@
+#include "core/engine.hpp"
+
+#include "common/assert.hpp"
+#include "core/dataflow_core.hpp"
+#include "core/ooo_core.hpp"
+
+namespace ppf::core {
+
+CoreResult CoreEngine::run(workload::TraceSource& trace,
+                           std::uint64_t max_instructions,
+                           std::uint64_t warmup_instructions,
+                           const std::function<void()>& on_warmup_end) {
+  bind(trace);
+  if (warmup_instructions > 0) {
+    run_until_dispatched(warmup_instructions);
+    PPF_CHECK_MSG(dispatched() >= warmup_instructions,
+                  "warmup longer than the whole run");
+    if (on_warmup_end) on_warmup_end();
+    begin_window();
+  }
+  return finish(max_instructions);
+}
+
+std::unique_ptr<CoreEngine> make_engine(EngineKind kind, const CoreConfig& cfg,
+                                        DataMemory& dmem, InstMemory& imem) {
+  if (kind == EngineKind::Dataflow) {
+    return std::make_unique<DataflowCore>(cfg, dmem, imem);
+  }
+  return std::make_unique<OooCore>(cfg, dmem, imem);
+}
+
+}  // namespace ppf::core

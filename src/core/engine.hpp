@@ -1,0 +1,117 @@
+// Segmented core-execution interface.
+//
+// Both timing models (OooCore, DataflowCore) run the same outer shape:
+// bind a trace, simulate cycles, dispatch up to `width` instructions per
+// cycle. Historically that loop lived inside a single run() call; the
+// warmup-snapshot optimisation needs to *pause* a core exactly at the
+// warmup boundary (mid-cycle, right after the boundary instruction
+// dispatches — the same point at which run() fired its warmup callback),
+// clone the paused machine per filter variant, and resume each clone
+// independently. The segmented API exposes those phases:
+//
+//   bind(trace)                  reset per-run state, prime the fetch buffer
+//   run_until_dispatched(n)      simulate until n instructions dispatched,
+//                                pausing mid-cycle at the boundary
+//   begin_window()               start the measurement window here
+//   finish(limit)                run to pipeline drain (dispatch capped at
+//                                `limit` total) and return window counters
+//   clone_rebound(...)           copy of the paused machine wired to a
+//                                different memory system and trace cursor
+//
+// The one-shot run() used everywhere else is a thin wrapper, so the cold
+// path and the snapshot path execute the identical cycle loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/branch_predictor.hpp"
+#include "core/btb.hpp"
+#include "core/memory_iface.hpp"
+#include "workload/trace.hpp"
+
+namespace ppf::core {
+
+struct CoreConfig {
+  unsigned width = 8;               ///< dispatch/retire width
+  unsigned rob_entries = 128;
+  unsigned lsq_entries = 64;
+  unsigned exec_latency = 1;        ///< simple-op execution latency
+  unsigned mispredict_penalty = 8;  ///< redirect bubble after resolve
+  unsigned inst_bytes = 4;          ///< Alpha-style fixed-size instructions
+  unsigned ifetch_line_bytes = 32;  ///< L1 I-line granularity for fetch
+  /// Probability that an instruction consumes the youngest in-flight
+  /// load's result and therefore cannot complete before it.
+  double dep_on_load_prob = 0.25;
+  std::uint64_t seed = 42;
+
+  BimodalConfig bimodal;
+  BtbConfig btb;
+};
+
+struct CoreResult {
+  Cycle cycles = 0;
+  /// Instructions dispatched in the measurement window (every dispatched
+  /// instruction also retires by the end of the run, so this equals the
+  /// retired count for a whole run).
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t sw_prefetches = 0;
+  std::uint64_t mispredictions = 0;
+  std::uint64_t rob_full_stall_cycles = 0;
+  std::uint64_t lsq_full_stall_cycles = 0;
+  std::uint64_t fetch_stall_cycles = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Records pulled from the trace per next_batch() call. Amortises the
+/// virtual dispatch that a per-record next() paid on every instruction.
+inline constexpr std::size_t kFetchBatch = 64;
+
+class CoreEngine {
+ public:
+  virtual ~CoreEngine() = default;
+
+  /// One-shot convenience: run `trace` until `max_instructions` have been
+  /// dispatched (warmup included) and the pipeline drains. When
+  /// `warmup_instructions` > 0, `on_warmup_end` fires once right after
+  /// the boundary instruction dispatches (so the memory system can reset
+  /// its statistics) and the returned counters cover only the
+  /// post-warmup window.
+  CoreResult run(workload::TraceSource& trace, std::uint64_t max_instructions,
+                 std::uint64_t warmup_instructions = 0,
+                 const std::function<void()>& on_warmup_end = {});
+
+  // --- segmented API (see file comment) ------------------------------
+
+  virtual void bind(workload::TraceSource& trace) = 0;
+  virtual void run_until_dispatched(std::uint64_t target) = 0;
+  virtual void begin_window() = 0;
+  virtual CoreResult finish(std::uint64_t dispatch_limit) = 0;
+  [[nodiscard]] virtual std::uint64_t dispatched() const = 0;
+
+  /// Copy of this (typically paused) core driving `dmem`/`imem` and
+  /// fetching from `trace`, which the caller must position at the same
+  /// record offset as the source core's trace.
+  [[nodiscard]] virtual std::unique_ptr<CoreEngine> clone_rebound(
+      DataMemory& dmem, InstMemory& imem,
+      workload::TraceSource& trace) const = 0;
+};
+
+enum class EngineKind { Occupancy, Dataflow };
+
+[[nodiscard]] std::unique_ptr<CoreEngine> make_engine(EngineKind kind,
+                                                      const CoreConfig& cfg,
+                                                      DataMemory& dmem,
+                                                      InstMemory& imem);
+
+}  // namespace ppf::core

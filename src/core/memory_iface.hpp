@@ -32,6 +32,12 @@ class DataMemory {
 
   /// End-of-cycle: spend leftover ports on the prefetch queue.
   virtual void end_cycle(Cycle now) = 0;
+
+  /// True when the hierarchy does nothing in a cycle with no core
+  /// activity (prefetch queue empty, no ports carried over) — the
+  /// license the core needs to fast-forward a pure stall. Defaults to
+  /// false so an implementation that doesn't opt in is never skipped.
+  [[nodiscard]] virtual bool quiescent() const { return false; }
 };
 
 class InstMemory {

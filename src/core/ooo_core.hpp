@@ -9,11 +9,16 @@
 // approximated statistically: each instruction depends on the youngest
 // in-flight load with a configurable probability, which reproduces the
 // load-use serialisation that makes cache pollution expensive.
+//
+// All run state lives in members so a run can pause at the warmup
+// boundary and resume (or be cloned and resumed per filter variant) —
+// see core/engine.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/random.hpp"
@@ -21,64 +26,31 @@
 #include "common/types.hpp"
 #include "core/branch_predictor.hpp"
 #include "core/btb.hpp"
+#include "core/engine.hpp"
 #include "core/memory_iface.hpp"
 #include "workload/trace.hpp"
 
 namespace ppf::core {
 
-struct CoreConfig {
-  unsigned width = 8;               ///< dispatch/retire width
-  unsigned rob_entries = 128;
-  unsigned lsq_entries = 64;
-  unsigned exec_latency = 1;        ///< simple-op execution latency
-  unsigned mispredict_penalty = 8;  ///< redirect bubble after resolve
-  unsigned inst_bytes = 4;          ///< Alpha-style fixed-size instructions
-  unsigned ifetch_line_bytes = 32;  ///< L1 I-line granularity for fetch
-  /// Probability that an instruction consumes the youngest in-flight
-  /// load's result and therefore cannot complete before it.
-  double dep_on_load_prob = 0.25;
-  std::uint64_t seed = 42;
-
-  BimodalConfig bimodal;
-  BtbConfig btb;
-};
-
-struct CoreResult {
-  Cycle cycles = 0;
-  /// Instructions dispatched in the measurement window (every dispatched
-  /// instruction also retires by the end of the run, so this equals the
-  /// retired count for a whole run).
-  std::uint64_t instructions = 0;
-  std::uint64_t loads = 0;
-  std::uint64_t stores = 0;
-  std::uint64_t branches = 0;
-  std::uint64_t sw_prefetches = 0;
-  std::uint64_t mispredictions = 0;
-  std::uint64_t rob_full_stall_cycles = 0;
-  std::uint64_t lsq_full_stall_cycles = 0;
-  std::uint64_t fetch_stall_cycles = 0;
-
-  [[nodiscard]] double ipc() const {
-    return cycles == 0 ? 0.0
-                       : static_cast<double>(instructions) /
-                             static_cast<double>(cycles);
-  }
-};
-
-class OooCore {
+class OooCore final : public CoreEngine {
  public:
   OooCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem);
+  /// Rebinding copy: duplicate `other` (typically paused at the warmup
+  /// boundary) against a different memory system and trace. The caller
+  /// positions `trace` at the same record offset as other's trace.
+  OooCore(const OooCore& other, DataMemory& dmem, InstMemory& imem,
+          workload::TraceSource& trace);
 
-  /// Run `trace` to exhaustion (or until max_instructions dispatched) and
-  /// drain the pipeline. Returns timing statistics.
-  ///
-  /// When `warmup_instructions` > 0, `on_warmup_end` fires once after that
-  /// many instructions have been dispatched (so the memory system can
-  /// reset its statistics) and the returned counters cover only the
-  /// post-warmup window.
-  CoreResult run(workload::TraceSource& trace, std::uint64_t max_instructions,
-                 std::uint64_t warmup_instructions = 0,
-                 const std::function<void()>& on_warmup_end = {});
+  void bind(workload::TraceSource& trace) override;
+  void run_until_dispatched(std::uint64_t target) override;
+  void begin_window() override;
+  CoreResult finish(std::uint64_t dispatch_limit) override;
+  [[nodiscard]] std::uint64_t dispatched() const override {
+    return dispatched_;
+  }
+  [[nodiscard]] std::unique_ptr<CoreEngine> clone_rebound(
+      DataMemory& dmem, InstMemory& imem,
+      workload::TraceSource& trace) const override;
 
   [[nodiscard]] const BimodalPredictor& predictor() const { return bp_; }
   [[nodiscard]] const Btb& btb() const { return btb_; }
@@ -106,13 +78,37 @@ class OooCore {
   void retire(Cycle now);
   void issue_pending(Cycle now);
 
+  // Fetch-buffer plumbing (batched trace consumption).
+  [[nodiscard]] bool have_rec() const { return fbuf_pos_ < fbuf_len_; }
+  void refill();
+  void advance();
+
+  /// Simulate one cycle (or resume the paused one). Returns false when
+  /// the trace is exhausted and the pipeline has drained. Pauses
+  /// mid-cycle (mid_cycle_ set, returns true) when dispatched_ reaches
+  /// pause_at_.
+  bool cycle(std::uint64_t limit);
+
+  /// Stall fast-forward: when provably nothing can happen this cycle —
+  /// memory quiescent, no issuable pending ops, dispatch blocked — jump
+  /// `now_` straight to the next event (head-of-ROB completion, serial
+  /// chain ready, fetch redirect done), batching the per-cycle stall
+  /// attribution. Result-identical to stepping the skipped cycles.
+  void fast_forward_stall();
+
+  void copy_run_state(const OooCore& other);
+
   CoreConfig cfg_;
   DataMemory& dmem_;
   InstMemory& imem_;
   BimodalPredictor bp_;
   Btb btb_;
   Xorshift rng_;
+  unsigned line_shift_ = 0;
 
+  /// rob_ storage is rounded up to a power of two so the ring index is a
+  /// mask, not a modulo; capacity checks still use cfg_.rob_entries.
+  std::uint64_t rob_mask_ = 0;
   std::vector<RobEntry> rob_;
   std::uint64_t rob_head_seq_ = 0;
   std::uint64_t rob_next_seq_ = 0;
@@ -126,6 +122,32 @@ class OooCore {
 
   Cycle last_load_done_ = 0;
   bool last_load_known_ = true;
+
+  // --- per-run state (reset by bind) ---------------------------------
+  workload::TraceSource* trace_ = nullptr;
+  std::array<workload::TraceRecord, kFetchBatch> fbuf_;
+  std::uint32_t fbuf_pos_ = 0;
+  std::uint32_t fbuf_len_ = 0;
+  bool trace_eof_ = true;
+
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t pause_at_ = 0;  ///< 0 = no pause requested
+  CoreResult res_;
+  CoreResult window_snapshot_;
+  Cycle window_start_ = 0;
+  Cycle now_ = 0;
+  Cycle cycle_limit_ = 0;  ///< livelock guard, recomputed per segment
+  Cycle fetch_ready_ = 0;
+  Cycle redirect_until_ = 0;
+  Addr cur_fetch_line_ = std::numeric_limits<Addr>::max();
+
+  // Mid-cycle pause state (valid while mid_cycle_).
+  bool mid_cycle_ = false;
+  bool cycle_trace_active_ = false;
+  bool was_rob_full_ = false;
+  bool fetch_stalled_ = false;
+  bool lsq_blocked_ = false;
+  unsigned slots_ = 0;
 };
 
 }  // namespace ppf::core

@@ -7,9 +7,9 @@ namespace ppf::filter {
 AdaptiveFilter::AdaptiveFilter(std::unique_ptr<PollutionFilter> inner,
                                AdaptiveConfig cfg)
     : inner_(std::move(inner)), cfg_(cfg) {
-  PPF_ASSERT(inner_ != nullptr);
-  PPF_ASSERT(cfg_.window > 0);
-  PPF_ASSERT(cfg_.release_threshold >= cfg_.accuracy_threshold);
+  PPF_CHECK(inner_ != nullptr);
+  PPF_CHECK(cfg_.window > 0);
+  PPF_CHECK(cfg_.release_threshold >= cfg_.accuracy_threshold);
 }
 
 bool AdaptiveFilter::decide(const PrefetchCandidate& c) {
@@ -31,6 +31,14 @@ void AdaptiveFilter::feedback(const FilterFeedback& f) {
     if (!engaged_ && accuracy_ < cfg_.accuracy_threshold) engaged_ = true;
     if (engaged_ && accuracy_ > cfg_.release_threshold) engaged_ = false;
   }
+}
+
+std::unique_ptr<PollutionFilter> AdaptiveFilter::clone_rebound(
+    const mem::Cache& l1) const {
+  auto inner = inner_->clone_rebound(l1);
+  if (!inner) return nullptr;
+  return std::unique_ptr<PollutionFilter>(
+      new AdaptiveFilter(*this, std::move(inner)));
 }
 
 }  // namespace ppf::filter

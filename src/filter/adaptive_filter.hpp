@@ -38,10 +38,24 @@ class AdaptiveFilter final : public PollutionFilter {
   [[nodiscard]] double last_window_accuracy() const { return accuracy_; }
   [[nodiscard]] const PollutionFilter& inner() const { return *inner_; }
 
+  /// Clones the wrapped inner filter too; nullptr if it is not cloneable.
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache& l1) const override;
+
  protected:
   bool decide(const PrefetchCandidate& c) override;
 
  private:
+  AdaptiveFilter(const AdaptiveFilter& o,
+                 std::unique_ptr<PollutionFilter> inner)
+      : PollutionFilter(o),
+        inner_(std::move(inner)),
+        cfg_(o.cfg_),
+        engaged_(o.engaged_),
+        accuracy_(o.accuracy_),
+        window_events_(o.window_events_),
+        window_good_(o.window_good_) {}
+
   std::unique_ptr<PollutionFilter> inner_;
   AdaptiveConfig cfg_;
   bool engaged_ = false;

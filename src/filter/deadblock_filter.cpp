@@ -9,7 +9,7 @@ DeadBlockFilter::DeadBlockFilter(const mem::Cache& l1, DeadBlockConfig cfg)
       age_threshold_(static_cast<std::uint64_t>(
           cfg.age_multiple *
           static_cast<double>(l1.config().num_lines()))) {
-  PPF_ASSERT(cfg.age_multiple > 0.0);
+  PPF_CHECK(cfg.age_multiple > 0.0);
 }
 
 bool DeadBlockFilter::decide(const PrefetchCandidate& c) {

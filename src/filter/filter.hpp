@@ -13,6 +13,10 @@
 #include "common/types.hpp"
 #include "filter/history_table.hpp"
 
+namespace ppf::mem {
+class Cache;
+}
+
 namespace ppf::filter {
 
 /// A prefetch presented to the filter for an admit/reject decision.
@@ -47,6 +51,16 @@ class PollutionFilter {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Copy of this filter with all learned state, any cache reference
+  /// rebound to `l1` (a cloned hierarchy's L1). Returns nullptr when the
+  /// filter does not support cloning — hierarchies holding such a filter
+  /// cannot be snapshotted for warmup reuse (they still simulate
+  /// normally). All in-tree filters are cloneable.
+  [[nodiscard]] virtual std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache& /*l1*/) const {
+    return nullptr;
+  }
+
   [[nodiscard]] std::uint64_t admitted() const { return admitted_.value(); }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_.value(); }
 
@@ -71,6 +85,10 @@ class NullFilter final : public PollutionFilter {
  public:
   void feedback(const FilterFeedback&) override {}
   [[nodiscard]] const char* name() const override { return "none"; }
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache&) const override {
+    return std::unique_ptr<PollutionFilter>(new NullFilter(*this));
+  }
 
  protected:
   bool decide(const PrefetchCandidate&) override { return true; }
@@ -86,6 +104,10 @@ class PaFilter final : public PollutionFilter {
   void recover(const FilterFeedback& f) override;
   [[nodiscard]] const char* name() const override { return "pa"; }
   [[nodiscard]] const HistoryTable& table() const { return table_; }
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache&) const override {
+    return std::unique_ptr<PollutionFilter>(new PaFilter(*this));
+  }
 
  protected:
   bool decide(const PrefetchCandidate& c) override;
@@ -107,6 +129,10 @@ class PcFilter final : public PollutionFilter {
   void recover(const FilterFeedback& f) override;
   [[nodiscard]] const char* name() const override { return "pc"; }
   [[nodiscard]] const HistoryTable& table() const { return table_; }
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache&) const override {
+    return std::unique_ptr<PollutionFilter>(new PcFilter(*this));
+  }
 
  protected:
   bool decide(const PrefetchCandidate& c) override;

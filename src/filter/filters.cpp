@@ -29,7 +29,7 @@ void PaFilter::recover(const FilterFeedback& f) {
 
 PcFilter::PcFilter(HistoryTableConfig cfg, unsigned inst_bytes)
     : table_(cfg) {
-  PPF_ASSERT_MSG(inst_bytes > 0 && (inst_bytes & (inst_bytes - 1)) == 0,
+  PPF_CHECK_MSG(inst_bytes > 0 && (inst_bytes & (inst_bytes - 1)) == 0,
                  "instruction size must be a power of two");
   pc_shift_ = 0;
   for (unsigned v = inst_bytes; v > 1; v >>= 1) ++pc_shift_;

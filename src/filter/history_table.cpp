@@ -6,8 +6,8 @@
 namespace ppf::filter {
 
 HistoryTable::HistoryTable(HistoryTableConfig cfg) : cfg_(cfg) {
-  PPF_ASSERT_MSG(is_pow2(cfg_.entries), "history table entries must be 2^n");
-  PPF_ASSERT(cfg_.counter_bits >= 1 && cfg_.counter_bits <= 8);
+  PPF_CHECK_MSG(is_pow2(cfg_.entries), "history table entries must be 2^n");
+  PPF_CHECK(cfg_.counter_bits >= 1 && cfg_.counter_bits <= 8);
   index_bits_ = log2_exact(cfg_.entries);
   counters_.assign(cfg_.entries,
                    SaturatingCounter(cfg_.counter_bits, cfg_.init_value));

@@ -31,6 +31,11 @@ class StaticFilter final : public PollutionFilter {
   [[nodiscard]] std::size_t profiled_keys() const { return profile_.size(); }
   [[nodiscard]] std::size_t rejected_keys() const;
 
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache&) const override {
+    return std::unique_ptr<PollutionFilter>(new StaticFilter(*this));
+  }
+
  protected:
   bool decide(const PrefetchCandidate& c) override;
 

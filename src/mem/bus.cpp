@@ -5,8 +5,8 @@
 namespace ppf::mem {
 
 Bus::Bus(BusConfig cfg) : cfg_(cfg) {
-  PPF_ASSERT(cfg_.width_bytes > 0);
-  PPF_ASSERT(cfg_.cycles_per_beat > 0);
+  PPF_CHECK(cfg_.width_bytes > 0);
+  PPF_CHECK(cfg_.cycles_per_beat > 0);
 }
 
 Cycle Bus::transfer(Cycle now, std::uint32_t bytes, bool is_prefetch) {

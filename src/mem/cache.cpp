@@ -9,63 +9,58 @@ namespace ppf::mem {
 
 Cache::Cache(CacheConfig cfg, std::uint64_t rng_seed)
     : cfg_(std::move(cfg)), rng_(rng_seed) {
-  PPF_ASSERT_MSG(is_pow2(cfg_.line_bytes), "line size must be a power of two");
-  PPF_ASSERT_MSG(cfg_.size_bytes % cfg_.line_bytes == 0,
+  PPF_CHECK_MSG(is_pow2(cfg_.line_bytes), "line size must be a power of two");
+  PPF_CHECK_MSG(cfg_.size_bytes % cfg_.line_bytes == 0,
                  "cache size must be a multiple of the line size");
   offset_bits_ = log2_exact(cfg_.line_bytes);
   const std::uint64_t num_lines = cfg_.num_lines();
-  PPF_ASSERT(num_lines > 0);
+  PPF_CHECK(num_lines > 0);
   ways_ = cfg_.associativity == 0 ? num_lines : cfg_.associativity;
-  PPF_ASSERT_MSG(num_lines % ways_ == 0,
+  PPF_CHECK_MSG(num_lines % ways_ == 0,
                  "line count must be a multiple of associativity");
   const std::uint64_t sets = num_lines / ways_;
-  PPF_ASSERT_MSG(is_pow2(sets), "set count must be a power of two");
+  PPF_CHECK_MSG(is_pow2(sets), "set count must be a power of two");
   set_bits_ = log2_exact(sets);
-  lines_.resize(num_lines);
+  set_mask_ = sets - 1;
+  tags_.resize(num_lines, 0);
+  meta_.resize(num_lines);
+  shadow_.resize(num_lines);
+  scratch_view_.resize(ways_);
 }
 
-std::uint64_t Cache::set_index(LineAddr line) const {
-  return bits(line, 0, set_bits_);
-}
-
-std::uint64_t Cache::tag_of(LineAddr line) const { return line >> set_bits_; }
-
-LineAddr Cache::line_from(std::uint64_t set, std::uint64_t tag) const {
-  return (tag << set_bits_) | set;
-}
-
-Cache::Line* Cache::find(LineAddr line) {
-  const std::uint64_t set = set_index(line);
+std::size_t Cache::find_way(LineAddr line) const {
   const std::uint64_t tag = tag_of(line);
-  Line* base = &lines_[set * ways_];
-  for (std::uint64_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
+  const std::size_t base = set_index(line) * ways_;
+  if (ways_ == 1) {
+    // Direct-mapped fast path (the paper's L1): no way loop at all.
+    return tags_[base] == tag && meta_[base].valid ? base : kNoWay;
   }
-  return nullptr;
-}
-
-const Cache::Line* Cache::find(LineAddr line) const {
-  return const_cast<Cache*>(this)->find(line);
+  for (std::uint64_t w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == tag && meta_[base + w].valid) return base + w;
+  }
+  return kNoWay;
 }
 
 AccessResult Cache::access(Addr addr, AccessType type) {
   const LineAddr line = line_of(addr);
   const auto t = static_cast<std::size_t>(type);
   AccessResult r;
-  if (Line* l = find(line)) {
+  const std::size_t idx = find_way(line);
+  if (idx != kNoWay) {
+    LineMeta& m = meta_[idx];
     r.hit = true;
-    r.hit_nsp_tagged = l->nsp_tag;
+    r.hit_nsp_tagged = m.nsp_tag;
     if (type != AccessType::Prefetch) {
       // Demand touch: consume the NSP tag and mark the prefetched line as
       // referenced (PIB/RIB protocol from Section 4 of the paper).
-      l->nsp_tag = false;
-      if (l->pib && !l->rib) {
-        l->rib = true;
+      m.nsp_tag = false;
+      if (m.pib && !m.rib) {
+        m.rib = true;
         r.first_use_of_prefetch = true;
-        r.source = l->source;
+        r.source = m.source;
       }
-      if (type == AccessType::Store) l->dirty = true;
-      l->last_use = ++stamp_;
+      if (type == AccessType::Store) m.dirty = true;
+      m.last_use = ++stamp_;
     }
     hits_[t].add();
   } else {
@@ -74,68 +69,76 @@ AccessResult Cache::access(Addr addr, AccessType type) {
   return r;
 }
 
-bool Cache::contains(Addr addr) const { return find(line_of(addr)) != nullptr; }
+bool Cache::contains(Addr addr) const {
+  return find_way(line_of(addr)) != kNoWay;
+}
 
-Eviction Cache::make_eviction(std::uint64_t set, const Line& l) const {
+Eviction Cache::make_eviction(std::uint64_t set, std::size_t idx) const {
+  const LineMeta& m = meta_[idx];
   Eviction ev;
-  ev.line = line_from(set, l.tag);
-  ev.dirty = l.dirty;
-  ev.pib = l.pib;
-  ev.rib = l.rib;
-  ev.trigger_pc = l.trigger_pc;
-  ev.source = l.source;
+  ev.line = line_from(set, tags_[idx]);
+  ev.dirty = m.dirty;
+  ev.pib = m.pib;
+  ev.rib = m.rib;
+  ev.trigger_pc = m.trigger_pc;
+  ev.source = m.source;
   return ev;
 }
 
 std::optional<Eviction> Cache::fill(Addr addr, const FillInfo& info) {
   const LineAddr line = line_of(addr);
   const std::uint64_t set = set_index(line);
-  Line* base = &lines_[set * ways_];
+  const std::size_t base = set * ways_;
 
   // A racing fill for the same line (e.g. demand miss merging with an
   // in-flight prefetch) just refreshes the existing line.
-  if (Line* existing = find(line)) {
-    existing->last_use = ++stamp_;
+  if (const std::size_t existing = find_way(line); existing != kNoWay) {
+    meta_[existing].last_use = ++stamp_;
     return std::nullopt;
   }
 
-  std::vector<WayState> view(ways_);
-  for (std::uint64_t w = 0; w < ways_; ++w) {
-    view[w] = WayState{base[w].valid, base[w].last_use, base[w].fill_seq};
+  std::size_t victim;
+  if (ways_ == 1) {
+    victim = 0;
+  } else {
+    for (std::uint64_t w = 0; w < ways_; ++w) {
+      const LineMeta& m = meta_[base + w];
+      scratch_view_[w] = WayState{m.valid, m.last_use, m.fill_seq};
+    }
+    victim = choose_victim(std::span<const WayState>(scratch_view_),
+                           cfg_.replacement, rng_);
   }
-  const std::size_t victim =
-      choose_victim(std::span<const WayState>(view), cfg_.replacement, rng_);
 
   std::optional<Eviction> ev;
-  Line& v = base[victim];
+  const std::size_t idx = base + victim;
+  LineMeta& v = meta_[idx];
   if (v.valid) {
-    ev = make_eviction(set, v);
+    ev = make_eviction(set, idx);
     evictions_.add();
     // Pollution proxy: a prefetch fill displacing a line that was actually
     // in use (demand-fetched, or a prefetched line that was referenced).
     if (info.is_prefetch && (!v.pib || v.rib)) prefetch_displacements_.add();
   }
 
-  v = Line{};
+  tags_[idx] = tag_of(line);
+  v = LineMeta{};
   v.valid = true;
   v.dirty = info.dirty;
-  v.tag = tag_of(line);
   v.pib = info.is_prefetch;
-  v.rib = false;
-  v.nsp_tag = false;
   v.trigger_pc = info.trigger_pc;
   v.source = info.source;
   v.last_use = ++stamp_;
   v.fill_seq = stamp_;
+  shadow_[idx] = ShadowEntry{};
   fills_.add();
   return ev;
 }
 
 std::optional<Eviction> Cache::invalidate(Addr addr) {
   const LineAddr line = line_of(addr);
-  if (Line* l = find(line)) {
-    Eviction ev = make_eviction(set_index(line), *l);
-    l->valid = false;
+  if (const std::size_t idx = find_way(line); idx != kNoWay) {
+    Eviction ev = make_eviction(set_index(line), idx);
+    meta_[idx].valid = false;
     evictions_.add();
     return ev;
   }
@@ -144,12 +147,12 @@ std::optional<Eviction> Cache::invalidate(Addr addr) {
 
 std::vector<Eviction> Cache::drain() {
   std::vector<Eviction> out;
-  for (std::uint64_t set = 0; set < (1ULL << set_bits_); ++set) {
+  for (std::uint64_t set = 0; set <= set_mask_; ++set) {
     for (std::uint64_t w = 0; w < ways_; ++w) {
-      Line& l = lines_[set * ways_ + w];
-      if (l.valid) {
-        out.push_back(make_eviction(set, l));
-        l.valid = false;
+      const std::size_t idx = set * ways_ + w;
+      if (meta_[idx].valid) {
+        out.push_back(make_eviction(set, idx));
+        meta_[idx].valid = false;
       }
     }
   }
@@ -157,21 +160,23 @@ std::vector<Eviction> Cache::drain() {
 }
 
 void Cache::set_nsp_tag(Addr addr, bool value) {
-  if (Line* l = find(line_of(addr))) l->nsp_tag = value;
+  if (const std::size_t idx = find_way(line_of(addr)); idx != kNoWay) {
+    meta_[idx].nsp_tag = value;
+  }
 }
 
 ShadowEntry* Cache::shadow_entry(Addr addr) {
-  Line* l = find(line_of(addr));
-  return l == nullptr ? nullptr : &l->shadow;
+  const std::size_t idx = find_way(line_of(addr));
+  return idx == kNoWay ? nullptr : &shadow_[idx];
 }
 
 std::optional<std::uint64_t> Cache::victim_age(Addr addr) const {
   const LineAddr line = line_of(addr);
-  const std::uint64_t set = set_index(line);
-  const Line* base = &lines_[set * ways_];
+  const std::size_t base = set_index(line) * ways_;
   std::vector<WayState> view(ways_);
   for (std::uint64_t w = 0; w < ways_; ++w) {
-    view[w] = WayState{base[w].valid, base[w].last_use, base[w].fill_seq};
+    const LineMeta& m = meta_[base + w];
+    view[w] = WayState{m.valid, m.last_use, m.fill_seq};
   }
   // Random replacement makes the victim non-deterministic; report the
   // LRU way's age as the representative (the gate is advisory anyway).
@@ -181,8 +186,8 @@ std::optional<std::uint64_t> Cache::victim_age(Addr addr) const {
                                    : cfg_.replacement;
   const std::size_t victim =
       choose_victim(std::span<const WayState>(view), kind, probe_rng);
-  if (!base[victim].valid) return std::nullopt;
-  return stamp_ - base[victim].last_use;
+  if (!meta_[base + victim].valid) return std::nullopt;
+  return stamp_ - meta_[base + victim].last_use;
 }
 
 std::uint64_t Cache::hits(AccessType t) const {

@@ -141,34 +141,52 @@ class Cache {
   void reset_stats();
 
  private:
-  struct Line {
+  // Tag/metadata split (SoA): the lookup loop in find_way() touches only
+  // the dense tags_ array (8 B per way) plus one byte-sized valid flag,
+  // instead of dragging a ~64 B Line struct through the data cache per
+  // probed way. Everything a hit or fill mutates lives in LineMeta;
+  // shadow-directory state (SDP, L2 only) is a third parallel array so
+  // it never pollutes the demand path's working set.
+  struct LineMeta {
     bool valid = false;
     bool dirty = false;
-    std::uint64_t tag = 0;
     bool pib = false;
     bool rib = false;
     bool nsp_tag = false;
-    Pc trigger_pc = 0;
     PrefetchSource source = PrefetchSource::Software;
+    Pc trigger_pc = 0;
     std::uint64_t last_use = 0;
     std::uint64_t fill_seq = 0;
-    ShadowEntry shadow;
   };
 
-  [[nodiscard]] std::uint64_t set_index(LineAddr line) const;
-  [[nodiscard]] std::uint64_t tag_of(LineAddr line) const;
-  [[nodiscard]] LineAddr line_from(std::uint64_t set, std::uint64_t tag) const;
-  Line* find(LineAddr line);
-  [[nodiscard]] const Line* find(LineAddr line) const;
-  Eviction make_eviction(std::uint64_t set, const Line& l) const;
+  static constexpr std::size_t kNoWay = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::uint64_t set_index(LineAddr line) const {
+    return line & set_mask_;
+  }
+  [[nodiscard]] std::uint64_t tag_of(LineAddr line) const {
+    return line >> set_bits_;
+  }
+  [[nodiscard]] LineAddr line_from(std::uint64_t set, std::uint64_t tag) const {
+    return (tag << set_bits_) | set;
+  }
+  /// Flat index of the way holding `line`, or kNoWay. The valid check
+  /// guards against a stale tag matching; there is no reserved tag value,
+  /// so any 64-bit address is representable.
+  [[nodiscard]] std::size_t find_way(LineAddr line) const;
+  Eviction make_eviction(std::uint64_t set, std::size_t idx) const;
 
   CacheConfig cfg_;
   unsigned offset_bits_;
   unsigned set_bits_;
+  std::uint64_t set_mask_;   ///< sets - 1, precomputed for set_index()
   std::uint64_t ways_;
-  std::vector<Line> lines_;  ///< sets * ways, row-major by set
+  std::vector<std::uint64_t> tags_;  ///< sets * ways, row-major by set
+  std::vector<LineMeta> meta_;       ///< parallel to tags_
+  std::vector<ShadowEntry> shadow_;  ///< parallel to tags_
   std::uint64_t stamp_ = 0;  ///< monotone touch/fill sequence
   Xorshift rng_;
+  std::vector<WayState> scratch_view_;  ///< reused by fill(); avoids allocs
 
   Counter hits_[4];
   Counter misses_[4];

@@ -5,7 +5,7 @@
 namespace ppf::mem {
 
 PrefetchBuffer::PrefetchBuffer(std::size_t entries) : slots_(entries) {
-  PPF_ASSERT(entries > 0);
+  PPF_CHECK(entries > 0);
 }
 
 Eviction PrefetchBuffer::make_eviction(const Slot& s, bool referenced) const {

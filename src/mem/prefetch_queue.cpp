@@ -7,7 +7,7 @@
 namespace ppf::mem {
 
 PrefetchQueue::PrefetchQueue(std::size_t capacity) : capacity_(capacity) {
-  PPF_ASSERT(capacity > 0);
+  PPF_CHECK(capacity > 0);
 }
 
 bool PrefetchQueue::push(const PrefetchQueueEntry& e) {

@@ -5,7 +5,7 @@
 namespace ppf::mem {
 
 VictimCache::VictimCache(std::size_t entries) : slots_(entries) {
-  PPF_ASSERT(entries > 0);
+  PPF_CHECK(entries > 0);
 }
 
 void VictimCache::insert(const Eviction& ev) {

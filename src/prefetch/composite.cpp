@@ -1,16 +1,33 @@
 #include "prefetch/composite.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace ppf::prefetch {
 
+CompositePrefetcher::CompositePrefetcher(const CompositePrefetcher& o,
+                                         mem::Cache& l1, mem::Cache& l2)
+    : Prefetcher(o) {
+  children_.reserve(o.children_.size());
+  for (const auto& c : o.children_) {
+    auto child = c->clone_rebound(l1, l2);
+    if (!child) {
+      throw std::runtime_error(std::string("prefetcher '") + c->name() +
+                               "' does not support clone_rebound");
+    }
+    children_.push_back(std::move(child));
+  }
+}
+
 void CompositePrefetcher::add(std::unique_ptr<Prefetcher> p) {
-  PPF_ASSERT(p != nullptr);
+  PPF_CHECK(p != nullptr);
   children_.push_back(std::move(p));
 }
 
 const Prefetcher& CompositePrefetcher::child(std::size_t i) const {
-  PPF_ASSERT(i < children_.size());
+  PPF_CHECK(i < children_.size());
   return *children_[i];
 }
 
@@ -33,6 +50,17 @@ void CompositePrefetcher::on_prefetch_fill(LineAddr line,
 void CompositePrefetcher::on_prefetch_used(LineAddr line,
                                            PrefetchSource source) {
   for (auto& c : children_) c->on_prefetch_used(line, source);
+}
+
+std::unique_ptr<Prefetcher> CompositePrefetcher::clone_rebound(
+    mem::Cache& l1, mem::Cache& l2) const {
+  auto copy = std::make_unique<CompositePrefetcher>();
+  for (const auto& c : children_) {
+    auto child = c->clone_rebound(l1, l2);
+    if (!child) return nullptr;
+    copy->children_.push_back(std::move(child));
+  }
+  return copy;
 }
 
 }  // namespace ppf::prefetch

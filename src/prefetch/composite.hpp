@@ -13,6 +13,11 @@ class CompositePrefetcher final : public Prefetcher {
  public:
   CompositePrefetcher() = default;
 
+  /// Rebinding copy: clones every child rebound to `l1`/`l2`. Throws
+  /// std::runtime_error if a child is not cloneable.
+  CompositePrefetcher(const CompositePrefetcher& o, mem::Cache& l1,
+                      mem::Cache& l2);
+
   /// Add a child prefetcher. Children are invoked in insertion order.
   void add(std::unique_ptr<Prefetcher> p);
 
@@ -27,6 +32,11 @@ class CompositePrefetcher final : public Prefetcher {
   void on_prefetch_used(LineAddr line, PrefetchSource source) override;
 
   [[nodiscard]] const char* name() const override { return "composite"; }
+
+  /// Clones every child rebound to the given caches; returns nullptr if
+  /// any child is not cloneable.
+  [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& l1, mem::Cache& l2) const override;
 
  private:
   std::vector<std::unique_ptr<Prefetcher>> children_;

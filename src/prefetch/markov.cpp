@@ -9,8 +9,8 @@ namespace ppf::prefetch {
 
 MarkovPrefetcher::MarkovPrefetcher(const mem::Cache& l1, MarkovConfig cfg)
     : l1_(l1), cfg_(cfg) {
-  PPF_ASSERT(is_pow2(cfg_.table_entries));
-  PPF_ASSERT(cfg_.successors >= 1 && cfg_.successors <= 4);
+  PPF_CHECK(is_pow2(cfg_.table_entries));
+  PPF_CHECK(cfg_.successors >= 1 && cfg_.successors <= 4);
   index_bits_ = log2_exact(cfg_.table_entries);
   table_.resize(cfg_.table_entries);
 }
@@ -52,6 +52,11 @@ void MarkovPrefetcher::on_l1_demand(Pc pc, Addr addr,
       count_emitted();
     }
   }
+}
+
+std::unique_ptr<Prefetcher> MarkovPrefetcher::clone_rebound(
+    mem::Cache& l1, mem::Cache& /*l2*/) const {
+  return std::unique_ptr<Prefetcher>(new MarkovPrefetcher(*this, l1));
 }
 
 }  // namespace ppf::prefetch

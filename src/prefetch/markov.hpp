@@ -33,6 +33,9 @@ class MarkovPrefetcher final : public Prefetcher {
     return recorded_.value();
   }
 
+  [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& l1, mem::Cache& l2) const override;
+
  private:
   struct Entry {
     bool valid = false;
@@ -41,6 +44,16 @@ class MarkovPrefetcher final : public Prefetcher {
   };
 
   [[nodiscard]] std::size_t index_of(LineAddr line) const;
+
+  MarkovPrefetcher(const MarkovPrefetcher& o, const mem::Cache& l1)
+      : Prefetcher(o),
+        l1_(l1),
+        cfg_(o.cfg_),
+        index_bits_(o.index_bits_),
+        table_(o.table_),
+        has_last_(o.has_last_),
+        last_miss_(o.last_miss_),
+        recorded_(o.recorded_) {}
 
   const mem::Cache& l1_;
   MarkovConfig cfg_;

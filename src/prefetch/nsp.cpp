@@ -6,7 +6,7 @@ namespace ppf::prefetch {
 
 NextSequencePrefetcher::NextSequencePrefetcher(mem::Cache& l1, unsigned degree)
     : l1_(l1), degree_(degree) {
-  PPF_ASSERT(degree >= 1);
+  PPF_CHECK(degree >= 1);
 }
 
 void NextSequencePrefetcher::on_l1_demand(Pc pc, Addr addr,
@@ -35,5 +35,10 @@ void NextSequencePrefetcher::on_prefetch_fill(LineAddr line,
 }
 
 void NextSequencePrefetcher::on_prefetch_used(LineAddr, PrefetchSource) {}
+
+std::unique_ptr<Prefetcher> NextSequencePrefetcher::clone_rebound(
+    mem::Cache& l1, mem::Cache& /*l2*/) const {
+  return std::unique_ptr<Prefetcher>(new NextSequencePrefetcher(*this, l1));
+}
 
 }  // namespace ppf::prefetch

@@ -26,7 +26,13 @@ class NextSequencePrefetcher final : public Prefetcher {
 
   [[nodiscard]] const char* name() const override { return "nsp"; }
 
+  [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& l1, mem::Cache& l2) const override;
+
  private:
+  NextSequencePrefetcher(const NextSequencePrefetcher& o, mem::Cache& l1)
+      : Prefetcher(o), l1_(l1), degree_(o.degree_) {}
+
   mem::Cache& l1_;
   unsigned degree_;
 };

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -41,6 +42,17 @@ class Prefetcher {
   virtual void on_prefetch_used(LineAddr line, PrefetchSource source) = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Copy of this prefetcher with every learned bit of state, its cache
+  /// references rebound to `l1`/`l2` (a cloned hierarchy's caches).
+  /// Returns nullptr when the prefetcher does not support cloning —
+  /// hierarchies containing such a prefetcher cannot be snapshotted for
+  /// warmup reuse (they still simulate normally). All in-tree
+  /// prefetchers are cloneable.
+  [[nodiscard]] virtual std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& /*l1*/, mem::Cache& /*l2*/) const {
+    return nullptr;
+  }
 
   [[nodiscard]] std::uint64_t candidates_emitted() const {
     return emitted_.value();

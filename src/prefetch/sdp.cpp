@@ -64,4 +64,9 @@ void ShadowDirectoryPrefetcher::on_prefetch_used(LineAddr line,
   pending_confirmation_.erase(it);
 }
 
+std::unique_ptr<Prefetcher> ShadowDirectoryPrefetcher::clone_rebound(
+    mem::Cache& /*l1*/, mem::Cache& l2) const {
+  return std::unique_ptr<Prefetcher>(new ShadowDirectoryPrefetcher(*this, l2));
+}
+
 }  // namespace ppf::prefetch

@@ -7,8 +7,8 @@ namespace ppf::prefetch {
 StreamBufferPrefetcher::StreamBufferPrefetcher(const mem::Cache& l1,
                                                StreamBufferConfig cfg)
     : l1_(l1), cfg_(cfg), streams_(cfg.num_streams) {
-  PPF_ASSERT(cfg_.num_streams >= 1);
-  PPF_ASSERT(cfg_.depth >= 1);
+  PPF_CHECK(cfg_.num_streams >= 1);
+  PPF_CHECK(cfg_.depth >= 1);
 }
 
 std::size_t StreamBufferPrefetcher::active_streams() const {
@@ -53,6 +53,11 @@ void StreamBufferPrefetcher::on_l1_demand(Pc pc, Addr addr,
         PrefetchRequest{line + d, pc, PrefetchSource::StreamBuffer});
     count_emitted();
   }
+}
+
+std::unique_ptr<Prefetcher> StreamBufferPrefetcher::clone_rebound(
+    mem::Cache& l1, mem::Cache& /*l2*/) const {
+  return std::unique_ptr<Prefetcher>(new StreamBufferPrefetcher(*this, l1));
 }
 
 }  // namespace ppf::prefetch

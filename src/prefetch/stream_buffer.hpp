@@ -31,12 +31,22 @@ class StreamBufferPrefetcher final : public Prefetcher {
 
   [[nodiscard]] std::size_t active_streams() const;
 
+  [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& l1, mem::Cache& l2) const override;
+
  private:
   struct Stream {
     bool valid = false;
     LineAddr next = 0;        ///< next line this stream expects to serve
     std::uint64_t last_hit = 0;
   };
+
+  StreamBufferPrefetcher(const StreamBufferPrefetcher& o, const mem::Cache& l1)
+      : Prefetcher(o),
+        l1_(l1),
+        cfg_(o.cfg_),
+        streams_(o.streams_),
+        stamp_(o.stamp_) {}
 
   const mem::Cache& l1_;
   StreamBufferConfig cfg_;

@@ -7,8 +7,8 @@ namespace ppf::prefetch {
 
 StridePrefetcher::StridePrefetcher(const mem::Cache& l1, StrideConfig cfg)
     : l1_(l1), cfg_(cfg) {
-  PPF_ASSERT(is_pow2(cfg_.table_entries));
-  PPF_ASSERT(cfg_.degree >= 1);
+  PPF_CHECK(is_pow2(cfg_.table_entries));
+  PPF_CHECK(cfg_.degree >= 1);
   index_bits_ = log2_exact(cfg_.table_entries);
   table_.resize(cfg_.table_entries);
 }
@@ -60,5 +60,10 @@ void StridePrefetcher::on_l2_demand(Pc, Addr, bool,
                                     std::vector<PrefetchRequest>&) {}
 void StridePrefetcher::on_prefetch_fill(LineAddr, PrefetchSource) {}
 void StridePrefetcher::on_prefetch_used(LineAddr, PrefetchSource) {}
+
+std::unique_ptr<Prefetcher> StridePrefetcher::clone_rebound(
+    mem::Cache& l1, mem::Cache& /*l2*/) const {
+  return std::unique_ptr<Prefetcher>(new StridePrefetcher(*this, l1));
+}
 
 }  // namespace ppf::prefetch

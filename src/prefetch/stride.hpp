@@ -31,6 +31,9 @@ class StridePrefetcher final : public Prefetcher {
 
   [[nodiscard]] const char* name() const override { return "stride"; }
 
+  [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(
+      mem::Cache& l1, mem::Cache& l2) const override;
+
  private:
   // RPT entry states per Chen & Baer.
   enum class State : std::uint8_t { Initial, Transient, Steady, NoPred };
@@ -42,6 +45,13 @@ class StridePrefetcher final : public Prefetcher {
     std::int64_t stride = 0;
     State state = State::Initial;
   };
+
+  StridePrefetcher(const StridePrefetcher& o, const mem::Cache& l1)
+      : Prefetcher(o),
+        l1_(l1),
+        cfg_(o.cfg_),
+        index_bits_(o.index_bits_),
+        table_(o.table_) {}
 
   const mem::Cache& l1_;
   StrideConfig cfg_;

@@ -1,12 +1,18 @@
 #include "runlab/runner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <future>
 #include <mutex>
+#include <unordered_map>
 
 #include "runlab/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/snapshot.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/materialized.hpp"
 
 namespace ppf::runlab {
 
@@ -17,6 +23,118 @@ using Clock = std::chrono::steady_clock;
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+/// Per-batch shared state: arenas and warmup snapshots built exactly once
+/// per distinct key, no matter how many jobs (or workers) want them. The
+/// first job to ask for a key builds it; concurrent askers block on a
+/// shared_future, so different keys still build in parallel. Build
+/// failures propagate to every waiter as the original exception.
+class ExecContext {
+ public:
+  using ArenaPtr = std::shared_ptr<const workload::MaterializedTrace>;
+  using SnapshotPtr = std::shared_ptr<const sim::WarmupSnapshot>;
+
+  ExecContext(const std::vector<Job>& jobs, const RunOptions& opts)
+      : trace_cache_(opts.trace_cache),
+        warmup_share_(opts.trace_cache && opts.warmup_share) {
+    // Size each arena for the hungriest job sharing it: a job consumes at
+    // most max_instructions plus its (active) warmup from the trace.
+    for (const Job& job : jobs) {
+      const std::uint64_t warmup =
+          job.config.warmup_instructions < job.config.max_instructions
+              ? job.config.warmup_instructions
+              : 0;
+      std::size_t& len = arena_records_[trace_key(job)];
+      const std::size_t need = job.config.max_instructions + warmup;
+      if (need > len) len = need;
+    }
+  }
+
+  sim::SimResult execute(const Job& job) {
+    // Static-filter jobs run the two-phase profile/measure flow with an
+    // external filter that must survive between the phases — out of scope
+    // for arena/snapshot sharing.
+    if (!trace_cache_ || job.config.filter == filter::FilterKind::Static) {
+      return execute_job(job);
+    }
+    const ArenaPtr arena = arena_for(job);
+    const std::uint64_t warmup =
+        job.config.warmup_instructions < job.config.max_instructions
+            ? job.config.warmup_instructions
+            : 0;
+    if (warmup_share_ && warmup > 0) {
+      const SnapshotPtr snap = snapshot_for(job, arena);
+      if (snap != nullptr) {
+        ++snapshot_resumes_;
+        return sim::run_from_snapshot(job.config, *snap);
+      }
+    }
+    workload::TraceCursor cursor(arena);
+    sim::Simulator s(job.config);
+    return s.run(cursor);
+  }
+
+  [[nodiscard]] std::size_t arenas_built() const { return arenas_.size(); }
+  [[nodiscard]] std::size_t snapshots_built() const { return snaps_.size(); }
+  [[nodiscard]] std::size_t snapshot_resumes() const {
+    return snapshot_resumes_.load();
+  }
+
+ private:
+  static std::string trace_key(const Job& job) {
+    return job.benchmark + '|' + std::to_string(job.config.seed);
+  }
+
+  template <typename T, typename F>
+  T cached(std::unordered_map<std::string, std::shared_future<T>>& map,
+           const std::string& key, F&& build) {
+    std::promise<T> prom;
+    std::shared_future<T> fut;
+    bool builder = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = map.find(key);
+      if (it == map.end()) {
+        fut = prom.get_future().share();
+        map.emplace(key, fut);
+        builder = true;
+      } else {
+        fut = it->second;
+      }
+    }
+    if (builder) {
+      try {
+        prom.set_value(build());
+      } catch (...) {
+        prom.set_exception(std::current_exception());
+      }
+    }
+    return fut.get();
+  }
+
+  ArenaPtr arena_for(const Job& job) {
+    const std::string key = trace_key(job);
+    return cached(arenas_, key, [&] {
+      auto src = workload::make_benchmark(job.benchmark, job.config.seed);
+      return workload::materialize(*src, arena_records_.at(key));
+    });
+  }
+
+  SnapshotPtr snapshot_for(const Job& job, const ArenaPtr& arena) {
+    const std::string key = trace_key(job) + '|' + sim::warmup_key(job.config);
+    return cached(snaps_, key, [&] {
+      return sim::make_warmup_snapshot(job.config, arena);
+    });
+  }
+
+  const bool trace_cache_;
+  const bool warmup_share_;
+  std::unordered_map<std::string, std::size_t> arena_records_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<ArenaPtr>> arenas_;
+  std::unordered_map<std::string, std::shared_future<SnapshotPtr>> snaps_;
+  std::atomic<std::size_t> snapshot_resumes_{0};
+};
 
 }  // namespace
 
@@ -35,6 +153,8 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
   rep.telemetry.workers = pool.workers();
   rep.telemetry.total_jobs = jobs.size();
 
+  ExecContext ctx(jobs, opts);
+
   std::mutex progress_mu;
   std::size_t done = 0;
   std::size_t failed = 0;
@@ -46,7 +166,7 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     slot.worker = worker;
     const Clock::time_point t0 = Clock::now();
     try {
-      slot.result = execute_job(slot.job);
+      slot.result = ctx.execute(slot.job);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.ok = false;
@@ -56,6 +176,10 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
       slot.error = "unknown exception";
     }
     slot.wall_ms = ms_between(t0, Clock::now());
+    if (slot.ok && slot.wall_ms > 0) {
+      slot.mips = static_cast<double>(slot.result.core.instructions) /
+                  (slot.wall_ms * 1000.0);
+    }
     if (slot.ok && opts.job_timeout_ms > 0 &&
         slot.wall_ms > opts.job_timeout_ms) {
       slot.ok = false;
@@ -79,12 +203,19 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
   RunTelemetry& t = rep.telemetry;
   t.wall_ms = ms_between(batch_start, Clock::now());
   t.failed_jobs = failed;
-  for (const JobResult& r : rep.results) t.busy_ms += r.wall_ms;
+  for (const JobResult& r : rep.results) {
+    t.busy_ms += r.wall_ms;
+    if (r.ok) t.instructions += r.result.core.instructions;
+  }
   if (t.wall_ms > 0) {
     t.jobs_per_sec = 1000.0 * static_cast<double>(t.total_jobs) / t.wall_ms;
     t.utilization =
         t.busy_ms / (static_cast<double>(t.workers) * t.wall_ms);
+    t.mips = static_cast<double>(t.instructions) / (t.wall_ms * 1000.0);
   }
+  t.arenas_built = ctx.arenas_built();
+  t.snapshots_built = ctx.snapshots_built();
+  t.snapshot_resumes = ctx.snapshot_resumes();
   return rep;
 }
 

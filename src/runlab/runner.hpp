@@ -25,6 +25,9 @@ struct JobResult {
   sim::SimResult result;   ///< meaningful only when ok
   double wall_ms = 0.0;    ///< job wall time (telemetry; not in the JSON)
   std::size_t worker = 0;  ///< worker that ran it (telemetry)
+  /// Measurement-window instructions per second of job wall time, in
+  /// millions (telemetry; not in the JSON payload).
+  double mips = 0.0;
 };
 
 /// Snapshot handed to the progress callback after each job completes.
@@ -43,6 +46,18 @@ struct RunOptions {
   /// recorded as an error. Timeouts depend on wall-clock load, so a
   /// sweep using them is exempt from the byte-identical-output contract.
   double job_timeout_ms = 0.0;
+  /// Materialize each distinct (benchmark, seed) trace once per batch and
+  /// hand every job a cursor over the shared arena, instead of paying
+  /// streaming generation per job. Results are byte-identical either way
+  /// (guarded by tests/sim/trace_equivalence_test.cpp).
+  bool trace_cache = true;
+  /// Run the warmup phase once per distinct warmup-relevant config (see
+  /// sim::warmup_key) and resume each matching job from a clone of the
+  /// paused machine. Only fires between jobs whose configs agree on
+  /// everything but max_instructions / energy prices; results are
+  /// byte-identical to the cold path (tests/sim/snapshot_test.cpp).
+  /// Requires trace_cache (snapshots resume from a seekable arena).
+  bool warmup_share = true;
   /// Called after every job completion, serialized across workers.
   std::function<void(const Progress&)> on_progress;
 };
@@ -64,6 +79,14 @@ struct RunTelemetry {
   double busy_ms = 0.0;       ///< sum of per-job wall times
   double jobs_per_sec = 0.0;
   double utilization = 0.0;   ///< busy / (workers * wall)
+  /// Measurement-window instructions across all succeeded jobs (warmup
+  /// work, shared or not, is deliberately excluded so the cold and warm
+  /// paths report a comparable denominator).
+  std::uint64_t instructions = 0;
+  double mips = 0.0;          ///< instructions / batch wall time, in millions
+  std::size_t arenas_built = 0;     ///< distinct traces materialized
+  std::size_t snapshots_built = 0;  ///< distinct warmups executed
+  std::size_t snapshot_resumes = 0; ///< jobs that skipped warmup via a clone
 };
 
 struct RunReport {

@@ -109,13 +109,56 @@ void write_csv(std::ostream& os, const RunReport& rep) {
   t.write_csv(os);
 }
 
+void write_telemetry_json(std::ostream& os, const RunReport& rep) {
+  const RunTelemetry& t = rep.telemetry;
+  os << "{\"schema\":\"ppf.telemetry.v1\","
+     << "\"jobs\":" << t.total_jobs << ","
+     << "\"failed\":" << t.failed_jobs << ","
+     << "\"workers\":" << t.workers << ","
+     << "\"wall_ms\":" << sim::fmt(t.wall_ms, 3) << ","
+     << "\"busy_ms\":" << sim::fmt(t.busy_ms, 3) << ","
+     << "\"jobs_per_sec\":" << sim::fmt(t.jobs_per_sec, 3) << ","
+     << "\"utilization\":" << sim::fmt(t.utilization, 4) << ","
+     << "\"instructions\":" << t.instructions << ","
+     << "\"mips\":" << sim::fmt(t.mips, 3) << ","
+     << "\"arenas_built\":" << t.arenas_built << ","
+     << "\"snapshots_built\":" << t.snapshots_built << ","
+     << "\"snapshot_resumes\":" << t.snapshot_resumes << ","
+     << "\"per_job\":[";
+  for (std::size_t i = 0; i < rep.results.size(); ++i) {
+    const JobResult& r = rep.results[i];
+    if (i != 0) os << ",";
+    os << "\n{\"index\":" << r.job.index << ",\"benchmark\":";
+    json_string(os, r.job.benchmark);
+    os << ",\"filter\":";
+    json_string(os, r.job.filter_name);
+    os << ",\"seed\":" << r.job.seed << ",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"wall_ms\":" << sim::fmt(r.wall_ms, 3)
+       << ",\"instructions\":" << (r.ok ? r.result.core.instructions : 0)
+       << ",\"mips\":" << sim::fmt(r.mips, 3) << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string telemetry_to_json(const RunReport& rep) {
+  std::ostringstream os;
+  write_telemetry_json(os, rep);
+  return os.str();
+}
+
 void print_telemetry(std::ostream& os, const RunTelemetry& t) {
   os << "runlab: " << t.total_jobs << " jobs";
   if (t.failed_jobs > 0) os << " (" << t.failed_jobs << " failed)";
   os << " on " << t.workers << " workers in " << sim::fmt(t.wall_ms / 1000.0, 2)
-     << " s  |  " << sim::fmt(t.jobs_per_sec, 2) << " jobs/s, worker busy "
+     << " s  |  " << sim::fmt(t.jobs_per_sec, 2) << " jobs/s, "
+     << sim::fmt(t.mips, 1) << " MIPS, worker busy "
      << sim::fmt(t.busy_ms / 1000.0, 2) << " s, utilization "
      << sim::fmt_pct(t.utilization) << "\n";
+  if (t.arenas_built > 0 || t.snapshot_resumes > 0) {
+    os << "runlab: " << t.arenas_built << " trace arenas, "
+       << t.snapshots_built << " warmup snapshots, " << t.snapshot_resumes
+       << " jobs resumed from a snapshot\n";
+  }
 }
 
 }  // namespace ppf::runlab

@@ -25,4 +25,11 @@ void write_csv(std::ostream& os, const RunReport& rep);
 /// Human-readable run telemetry (wall time, throughput, utilization).
 void print_telemetry(std::ostream& os, const RunTelemetry& t);
 
+/// Machine-readable throughput telemetry ("ppf.telemetry.v1" schema):
+/// batch totals (wall time, MIPS, cache-reuse counters) plus per-job
+/// timings. Unlike the result payload this IS wall-clock dependent — it
+/// exists for benchmarking the harness itself (BENCH_throughput.json).
+void write_telemetry_json(std::ostream& os, const RunReport& rep);
+std::string telemetry_to_json(const RunReport& rep);
+
 }  // namespace ppf::runlab

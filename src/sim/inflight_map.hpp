@@ -1,0 +1,104 @@
+// Flat open-addressing map (LineAddr -> ready cycle) for the
+// hierarchy's in-flight fill tracking — the hottest associative lookup
+// in the simulator (one probe per demand access plus one per routed
+// prefetch candidate).
+//
+// It exploits one property of the workload: simulation time is
+// monotonic, so an entry whose ready cycle has passed is semantically
+// identical to an absent one and may be dropped at any moment. Erasure
+// therefore needs no tombstones — stale slots are simply skipped at
+// lookup and reclaimed wholesale by an amortized rebuild that keeps
+// only still-pending fills. Storage is two flat vectors, so cloning a
+// warm hierarchy for a snapshot copies this map with two memcpys
+// instead of an std::unordered_map's node-by-node walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace ppf::sim {
+
+class InFlightMap {
+ public:
+  InFlightMap() { rebuild_empty(kMinSlots); }
+
+  /// Ready cycle for `line`, or `now` when the line is absent or its
+  /// fill has already completed.
+  [[nodiscard]] Cycle ready_at(Cycle now, LineAddr line) const {
+    std::uint64_t i = mix64(line) & mask_;
+    while (used_[i] != 0) {
+      if (lines_[i] == line) return ready_[i] > now ? ready_[i] : now;
+      i = (i + 1) & mask_;
+    }
+    return now;
+  }
+
+  [[nodiscard]] bool in_flight(Cycle now, LineAddr line) const {
+    return ready_at(now, line) > now;
+  }
+
+  /// Record a fill for `line` completing at `ready`.
+  void note_fill(Cycle now, LineAddr line, Cycle ready) {
+    std::uint64_t i = mix64(line) & mask_;
+    while (used_[i] != 0) {
+      if (lines_[i] == line) {
+        ready_[i] = ready;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    lines_[i] = line;
+    ready_[i] = ready;
+    // Rebuild at half load so probe chains stay short. Sizing at 4x the
+    // live count guarantees at least capacity/4 fresh insertions before
+    // the next rebuild — amortized O(1) per fill.
+    if (++occupied_ * 2 >= used_.size()) rebuild(now);
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 1024;
+
+  void rebuild_empty(std::size_t slots) {
+    used_.assign(slots, 0);
+    lines_.assign(slots, 0);
+    ready_.assign(slots, 0);
+    mask_ = slots - 1;
+    occupied_ = 0;
+  }
+
+  void rebuild(Cycle now) {
+    std::vector<LineAddr> live_lines;
+    std::vector<Cycle> live_ready;
+    live_lines.reserve(occupied_);
+    live_ready.reserve(occupied_);
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (used_[i] != 0 && ready_[i] > now) {
+        live_lines.push_back(lines_[i]);
+        live_ready.push_back(ready_[i]);
+      }
+    }
+    std::size_t slots = kMinSlots;
+    while (slots < 4 * live_lines.size()) slots <<= 1;
+    rebuild_empty(slots);
+    for (std::size_t i = 0; i < live_lines.size(); ++i) {
+      std::uint64_t j = mix64(live_lines[i]) & mask_;
+      while (used_[j] != 0) j = (j + 1) & mask_;
+      used_[j] = 1;
+      lines_[j] = live_lines[i];
+      ready_[j] = live_ready[i];
+    }
+    occupied_ = live_lines.size();
+  }
+
+  std::vector<std::uint8_t> used_;
+  std::vector<LineAddr> lines_;
+  std::vector<Cycle> ready_;
+  std::uint64_t mask_ = 0;
+  std::size_t occupied_ = 0;
+};
+
+}  // namespace ppf::sim

@@ -1,5 +1,8 @@
 #include "sim/memory_hierarchy.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/assert.hpp"
 #include "filter/deadblock_filter.hpp"
 #include "filter/static_filter.hpp"
@@ -76,6 +79,48 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg,
   }
 }
 
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchy& o)
+    : cfg_(o.cfg_),
+      l1d_(o.l1d_),
+      l1i_(o.l1i_),
+      l2_(o.l2_),
+      bus_(o.bus_),
+      dram_(o.dram_),
+      pq_(o.pq_),
+      buffer_(o.buffer_ ? std::make_unique<mem::PrefetchBuffer>(*o.buffer_)
+                        : nullptr),
+      victim_(o.victim_ ? std::make_unique<mem::VictimCache>(*o.victim_)
+                        : nullptr),
+      mshr_(o.mshr_),
+      load_latency_(o.load_latency_),
+      prefetcher_(o.prefetcher_, l1d_, l2_),
+      classifier_(o.classifier_),
+      taxonomy_(o.taxonomy_),
+      in_flight_(o.in_flight_),
+      rejected_(o.rejected_),
+      rejected_fifo_(o.rejected_fifo_),
+      recovered_(o.recovered_),
+      last_l1_fill_cycle_(o.last_l1_fill_cycle_),
+      ema_fill_interval_(o.ema_fill_interval_),
+      l2_next_free_(o.l2_next_free_),
+      ports_left_(o.ports_left_),
+      ports_borrowed_(o.ports_borrowed_),
+      demand_accesses_(o.demand_accesses_),
+      prefetch_l1_fills_(o.prefetch_l1_fills_),
+      finalized_(o.finalized_) {
+  if (o.owned_filter_ == nullptr) {
+    throw std::runtime_error(
+        "MemoryHierarchy: cannot clone a hierarchy using an external filter");
+  }
+  owned_filter_ = o.owned_filter_->clone_rebound(l1d_);
+  if (owned_filter_ == nullptr) {
+    throw std::runtime_error(std::string("filter '") +
+                             o.owned_filter_->name() +
+                             "' does not support clone_rebound");
+  }
+  active_filter_ = owned_filter_.get();
+}
+
 void MemoryHierarchy::begin_cycle(Cycle) {
   // Ports spent on prefetch issue in the previous cycle are still busy
   // when this cycle's demand accesses arrive — this is the port
@@ -96,26 +141,6 @@ bool MemoryHierarchy::line_resident(LineAddr line) const {
   if (l1d_.contains(l1d_.base_of(line))) return true;
   if (buffer_ != nullptr && buffer_->contains(line)) return true;
   return false;
-}
-
-bool MemoryHierarchy::line_in_flight(Cycle now, LineAddr line) {
-  const auto it = in_flight_.find(line);
-  if (it == in_flight_.end()) return false;
-  if (it->second <= now) {
-    in_flight_.erase(it);
-    return false;
-  }
-  return true;
-}
-
-Cycle MemoryHierarchy::inflight_ready(Cycle now, LineAddr line) {
-  const auto it = in_flight_.find(line);
-  if (it == in_flight_.end()) return now;
-  if (it->second <= now) {
-    in_flight_.erase(it);
-    return now;
-  }
-  return it->second;
 }
 
 void MemoryHierarchy::handle_eviction(const mem::Eviction& ev) {
@@ -201,7 +226,7 @@ Cycle MemoryHierarchy::fetch_from_l2(Cycle now, Pc pc, Addr addr,
                                   : 0);
       ema_fill_interval_ += 0.002 * (interval - ema_fill_interval_);
       last_l1_fill_cycle_ = now;
-      in_flight_[l1d_.line_of(addr)] = ready;
+      in_flight_.note_fill(now, l1d_.line_of(addr), ready);
       if (is_prefetch) {
         ++prefetch_l1_fills_;
         prefetcher_.on_prefetch_fill(l1d_.line_of(addr), info.source);
@@ -404,7 +429,7 @@ void MemoryHierarchy::reset_stats() {
 }
 
 void MemoryHierarchy::finalize() {
-  PPF_ASSERT_MSG(!finalized_, "finalize() called twice");
+  PPF_CHECK_MSG(!finalized_, "finalize() called twice");
   finalized_ = true;
   for (const mem::Eviction& ev : l1d_.drain()) {
     if (ev.pib) {

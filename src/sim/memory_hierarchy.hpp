@@ -21,6 +21,7 @@
 #include "mem/victim_cache.hpp"
 #include "prefetch/composite.hpp"
 #include "sim/classifier.hpp"
+#include "sim/inflight_map.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/taxonomy.hpp"
 
@@ -34,12 +35,28 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   explicit MemoryHierarchy(const SimConfig& cfg,
                            filter::PollutionFilter* external_filter = nullptr);
 
+  /// Deep copy for warmup-snapshot reuse: caches, DRAM, queues, the
+  /// prefetchers and the pollution filter are all copied with their warm
+  /// state, and every internal cross-reference (prefetcher -> cache,
+  /// filter -> cache) is rebound to the copy's own components. Throws
+  /// std::runtime_error when the hierarchy cannot be cloned: it holds an
+  /// external (caller-owned) filter, or a prefetcher/filter that does not
+  /// implement clone_rebound.
+  MemoryHierarchy(const MemoryHierarchy& o);
+  MemoryHierarchy& operator=(const MemoryHierarchy&) = delete;
+
   // --- core::DataMemory ------------------------------------------------
   void begin_cycle(Cycle now) override;
   bool try_reserve_port(Cycle now) override;
   Cycle demand_access(Cycle now, Pc pc, Addr addr, bool is_store) override;
   void software_prefetch(Cycle now, Pc pc, Addr addr) override;
   void end_cycle(Cycle now) override;
+  [[nodiscard]] bool quiescent() const override {
+    // Everything else in the hierarchy (bus, DRAM, MSHRs, L2 port) is
+    // event-driven; only the prefetch queue and carried-over port debt
+    // do per-cycle work when the core is idle.
+    return pq_.empty() && ports_borrowed_ == 0;
+  }
 
   // --- core::InstMemory --------------------------------------------------
   Cycle fetch(Cycle now, Pc pc) override;
@@ -107,12 +124,15 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   [[nodiscard]] bool line_resident(LineAddr line) const;
 
   /// Resolve in-flight fill timing for a line that hit in the L1.
-  Cycle inflight_ready(Cycle now, LineAddr line);
+  [[nodiscard]] Cycle inflight_ready(Cycle now, LineAddr line) const {
+    return in_flight_.ready_at(now, line);
+  }
 
-  /// True while a fill for this line is still outstanding. Erases stale
-  /// (completed) entries as a side effect so the map cannot grow without
-  /// bound and completed fills do not squash later prefetches.
-  bool line_in_flight(Cycle now, LineAddr line);
+  /// True while a fill for this line is still outstanding; completed
+  /// entries behave exactly like absent ones.
+  [[nodiscard]] bool line_in_flight(Cycle now, LineAddr line) const {
+    return in_flight_.in_flight(now, line);
+  }
 
   SimConfig cfg_;
   mem::Cache l1d_;
@@ -140,7 +160,7 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   [[nodiscard]] Cycle estimated_residence() const;
 
   /// Lines whose fill has been initiated but whose data arrives later.
-  std::unordered_map<LineAddr, Cycle> in_flight_;
+  InFlightMap in_flight_;
 
   /// FIFO buffer of recently rejected prefetches (line -> candidate).
   /// Entries are also bounded in *time*: a rejection only counts as

@@ -13,7 +13,7 @@ Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
-  PPF_ASSERT_MSG(cells.size() == headers_.size(),
+  PPF_CHECK_MSG(cells.size() == headers_.size(),
                  "row width must match headers");
   rows_.push_back(std::move(cells));
 }

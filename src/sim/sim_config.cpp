@@ -13,7 +13,7 @@ void SimConfig::set_l1d_size_kb(unsigned kb) {
     case 16: l1d.latency = 2; break;
     case 32: l1d.latency = 4; break;  // Section 5.2.2
     default:
-      PPF_ASSERT_MSG(false, "unsupported L1 size for the paper's study");
+      PPF_CHECK_MSG(false, "unsupported L1 size for the paper's study");
   }
 }
 
@@ -24,7 +24,7 @@ void SimConfig::set_l1d_ports(unsigned ports) {
     case 4: l1d.latency = 2; break;  // Section 5.4
     case 5: l1d.latency = 3; break;
     default:
-      PPF_ASSERT_MSG(false, "unsupported port count for the paper's study");
+      PPF_CHECK_MSG(false, "unsupported port count for the paper's study");
   }
 }
 

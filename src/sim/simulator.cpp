@@ -27,24 +27,28 @@ SimResult Simulator::run(workload::TraceSource& trace,
                          filter::PollutionFilter* external_filter) {
   MemoryHierarchy mem(cfg_, external_filter);
 
-  SimResult res;
-  res.workload = trace.name();
-  res.filter_name = mem.filter().name();
   const std::uint64_t warmup =
       cfg_.warmup_instructions < cfg_.max_instructions
           ? cfg_.warmup_instructions
           : 0;
   const auto on_warmup = [&mem] { mem.reset_stats(); };
-  if (cfg_.core_model == CoreModel::Dataflow) {
-    core::DataflowCore cpu(cfg_.core, mem, mem);
-    res.core =
-        cpu.run(trace, cfg_.max_instructions + warmup, warmup, on_warmup);
-  } else {
-    core::OooCore cpu(cfg_.core, mem, mem);
-    res.core =
-        cpu.run(trace, cfg_.max_instructions + warmup, warmup, on_warmup);
-  }
+  const auto engine = core::make_engine(cfg_.core_model == CoreModel::Dataflow
+                                            ? core::EngineKind::Dataflow
+                                            : core::EngineKind::Occupancy,
+                                        cfg_.core, mem, mem);
+  const core::CoreResult core = engine->run(
+      trace, cfg_.max_instructions + warmup, warmup, on_warmup);
+  return collect_result(cfg_, mem, core, trace.name());
+}
+
+SimResult collect_result(const SimConfig& cfg, MemoryHierarchy& mem,
+                         const core::CoreResult& core, std::string workload) {
   mem.finalize();
+
+  SimResult res;
+  res.workload = std::move(workload);
+  res.filter_name = mem.filter().name();
+  res.core = core;
 
   const mem::Cache& l1d = mem.l1d();
   res.l1d_demand_accesses = l1d.hits(AccessType::Load) +
@@ -87,11 +91,11 @@ SimResult Simulator::run(workload::TraceSource& trace,
     ev.l2_accesses =
         mem.l2().total_hits() + mem.l2().total_misses() + mem.l2().fills();
     ev.dram_accesses = mem.dram().reads() + mem.dram().writebacks();
-    ev.bus_beats = mem.bus().busy_cycles() / cfg_.bus.cycles_per_beat;
+    ev.bus_beats = mem.bus().busy_cycles() / cfg.bus.cycles_per_beat;
     ev.table_ops = mem.filter().admitted() + mem.filter().rejected() +
                    mem.classifier().good().total() +
                    mem.classifier().bad().total() + mem.filter_recoveries();
-    res.energy = compute_energy(cfg_.energy, ev);
+    res.energy = compute_energy(cfg.energy, ev);
   }
   res.avg_load_latency = mem.load_latency().mean();
   res.mshr_stalls = mem.mshr().stalls();

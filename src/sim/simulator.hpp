@@ -71,6 +71,15 @@ struct SimResult {
   [[nodiscard]] double prefetch_traffic_ratio() const;
 };
 
+class MemoryHierarchy;
+
+/// Finalize `mem` (drain + classify resident prefetches) and assemble the
+/// SimResult for a finished run. Shared by the cold path (Simulator::run)
+/// and the warmup-snapshot path (run_from_snapshot) so both produce
+/// results through identical code.
+SimResult collect_result(const SimConfig& cfg, MemoryHierarchy& mem,
+                         const core::CoreResult& core, std::string workload);
+
 class Simulator {
  public:
   explicit Simulator(SimConfig cfg);

@@ -1,0 +1,113 @@
+#include "sim/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace ppf::sim {
+
+namespace {
+
+void key_cache(std::ostringstream& os, const mem::CacheConfig& c) {
+  os << c.size_bytes << '/' << c.line_bytes << '/' << c.associativity << '/'
+     << c.latency << '/' << c.ports << '/'
+     << static_cast<int>(c.replacement);
+}
+
+}  // namespace
+
+std::string warmup_key(const SimConfig& cfg) {
+  std::ostringstream os;
+  os << to_string(cfg.core_model) << '|' << cfg.core.width << ','
+     << cfg.core.rob_entries << ',' << cfg.core.lsq_entries << ','
+     << cfg.core.exec_latency << ',' << cfg.core.mispredict_penalty << ','
+     << cfg.core.inst_bytes << ',' << cfg.core.ifetch_line_bytes << ','
+     << cfg.core.dep_on_load_prob << ',' << cfg.core.seed << ','
+     << cfg.core.bimodal.entries << ',' << cfg.core.bimodal.counter_bits
+     << ',' << cfg.core.bimodal.inst_bytes << ',' << cfg.core.btb.sets << ','
+     << cfg.core.btb.ways << ',' << cfg.core.btb.inst_bytes << '|';
+  key_cache(os, cfg.l1d);
+  os << '|';
+  key_cache(os, cfg.l1i);
+  os << '|';
+  key_cache(os, cfg.l2);
+  os << '|' << cfg.bus.width_bytes << ',' << cfg.bus.cycles_per_beat << '|'
+     << cfg.dram.latency << '|' << cfg.prefetch_queue_entries << ','
+     << cfg.mshr_entries << ',' << cfg.victim_cache_entries << ','
+     << cfg.prefetch_to_l2 << ',' << cfg.use_prefetch_buffer << ','
+     << cfg.prefetch_buffer_entries << '|' << cfg.enable_nsp << ','
+     << cfg.nsp_degree << ',' << cfg.enable_sdp << ',' << cfg.enable_stride
+     << ',' << cfg.enable_stream_buffer << ',' << cfg.enable_markov << ','
+     << cfg.enable_sw_prefetch << '|'
+     << filter::to_string(cfg.filter) << ',' << cfg.history.entries << ','
+     << cfg.history.counter_bits << ','
+     << static_cast<int>(cfg.history.init_value) << ','
+     << static_cast<int>(cfg.history.hash) << ','
+     << cfg.adaptive.accuracy_threshold << ','
+     << cfg.adaptive.release_threshold << ',' << cfg.adaptive.window << ','
+     << cfg.deadblock.age_multiple << ',' << cfg.filter_recovery_entries
+     << '|' << cfg.enable_taxonomy << '|' << cfg.warmup_instructions << '|'
+     << cfg.seed;
+  return os.str();
+}
+
+std::shared_ptr<const WarmupSnapshot> make_warmup_snapshot(
+    const SimConfig& cfg,
+    std::shared_ptr<const workload::MaterializedTrace> arena) {
+  const std::uint64_t warmup =
+      cfg.warmup_instructions < cfg.max_instructions ? cfg.warmup_instructions
+                                                     : 0;
+  if (warmup == 0 || arena == nullptr || arena->size() < warmup) {
+    return nullptr;
+  }
+
+  auto snap = std::shared_ptr<WarmupSnapshot>(new WarmupSnapshot());
+  snap->cfg_ = cfg;
+  snap->arena_ = std::move(arena);
+  snap->mem_ = std::make_unique<MemoryHierarchy>(cfg);
+  snap->cursor_ = std::make_unique<workload::TraceCursor>(snap->arena_);
+  snap->engine_ = core::make_engine(cfg.core_model == CoreModel::Dataflow
+                                        ? core::EngineKind::Dataflow
+                                        : core::EngineKind::Occupancy,
+                                    cfg.core, *snap->mem_, *snap->mem_);
+  snap->engine_->bind(*snap->cursor_);
+  snap->engine_->run_until_dispatched(warmup);
+  if (snap->engine_->dispatched() < warmup) return nullptr;
+  snap->warmup_ = warmup;
+
+  // Probe cloneability once up front so run_from_snapshot never throws on
+  // a hierarchy whose filter/prefetchers lack clone_rebound.
+  try {
+    MemoryHierarchy probe(*snap->mem_);
+    workload::TraceCursor probe_cursor(snap->arena_, snap->cursor_->pos());
+    if (snap->engine_->clone_rebound(probe, probe, probe_cursor) == nullptr) {
+      return nullptr;
+    }
+  } catch (const std::runtime_error&) {
+    return nullptr;
+  }
+  return snap;
+}
+
+SimResult run_from_snapshot(const SimConfig& cfg, const WarmupSnapshot& snap) {
+  PPF_CHECK_MSG(warmup_key(cfg) == warmup_key(snap.config()),
+                "snapshot reused across warmup-incompatible configs");
+  PPF_CHECK_MSG(cfg.warmup_instructions < cfg.max_instructions,
+                "snapshot resume requires an active warmup");
+
+  MemoryHierarchy mem(*snap.mem_);
+  workload::TraceCursor cursor(snap.arena_, snap.cursor_->pos());
+  const auto engine = snap.engine_->clone_rebound(mem, mem, cursor);
+  PPF_CHECK(engine != nullptr);
+
+  // Same sequence the cold path runs at the boundary: statistics reset,
+  // then the measurement window opens, then the run completes.
+  mem.reset_stats();
+  engine->begin_window();
+  const core::CoreResult core =
+      engine->finish(cfg.max_instructions + snap.warmup_);
+  return collect_result(cfg, mem, core, cursor.name());
+}
+
+}  // namespace ppf::sim

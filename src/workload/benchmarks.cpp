@@ -44,15 +44,15 @@ SyntheticBenchmark::SyntheticBenchmark(BenchSpec spec, std::uint64_t seed)
     : spec_(std::move(spec)),
       rng_(seed ^ mix64(0xBE0C'0000 + spec_.code_blocks)),
       block_picker_(spec_.code_blocks, spec_.code_zipf) {
-  PPF_ASSERT(!spec_.streams.empty());
-  PPF_ASSERT(spec_.code_blocks >= 2);
-  PPF_ASSERT(spec_.avg_block_len >= 3 &&
+  PPF_CHECK(!spec_.streams.empty());
+  PPF_CHECK(spec_.code_blocks >= 2);
+  PPF_CHECK(spec_.avg_block_len >= 3 &&
              spec_.avg_block_len <= kMaxBlockLen - 2);
 
   double total = 0.0;
   for (const StreamSpec& s : spec_.streams) {
-    PPF_ASSERT(s.stream != nullptr);
-    PPF_ASSERT(s.weight > 0.0);
+    PPF_CHECK(s.stream != nullptr);
+    PPF_CHECK(s.weight > 0.0);
     total += s.weight;
     cum_stream_weight_.push_back(total);
   }
@@ -133,7 +133,7 @@ void SyntheticBenchmark::build_code_layout(Xorshift& build_rng) {
       }
     }
   }
-  PPF_ASSERT_MSG(!mem_slots.empty(), "benchmark has no memory slots");
+  PPF_CHECK_MSG(!mem_slots.empty(), "benchmark has no memory slots");
   std::sort(mem_slots.begin(), mem_slots.end(),
             [](const MemSlot& a, const MemSlot& b) {
               return a.weight > b.weight;
@@ -287,6 +287,19 @@ bool SyntheticBenchmark::next(TraceRecord& out) {
   if (pending_pos_ >= pending_.size()) execute_block(cur_block_);
   out = pending_[pending_pos_++];
   return true;
+}
+
+std::size_t SyntheticBenchmark::next_batch(TraceRecord* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (pending_pos_ >= pending_.size()) execute_block(cur_block_);
+    const std::size_t take =
+        std::min(n - got, pending_.size() - pending_pos_);
+    std::copy_n(pending_.data() + pending_pos_, take, out + got);
+    pending_pos_ += take;
+    got += take;
+  }
+  return got;
 }
 
 const std::vector<std::string>& benchmark_names() {

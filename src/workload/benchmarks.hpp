@@ -57,6 +57,9 @@ class SyntheticBenchmark final : public TraceSource {
   /// Infinite stream; always returns true.
   bool next(TraceRecord& out) override;
 
+  /// Bulk drain of whole pending blocks; always fills all `n` records.
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override;
+
   [[nodiscard]] const char* name() const override {
     return spec_.name.c_str();
   }

@@ -14,11 +14,11 @@ InterleavedTrace::InterleavedTrace(
     std::vector<std::unique_ptr<TraceSource>> sources,
     std::uint64_t switch_interval)
     : sources_(std::move(sources)), switch_interval_(switch_interval) {
-  PPF_ASSERT(!sources_.empty());
-  PPF_ASSERT(switch_interval_ > 0);
+  PPF_CHECK(!sources_.empty());
+  PPF_CHECK(switch_interval_ > 0);
   name_ = "interleaved(";
   for (std::size_t i = 0; i < sources_.size(); ++i) {
-    PPF_ASSERT(sources_[i] != nullptr);
+    PPF_CHECK(sources_[i] != nullptr);
     if (i != 0) name_ += "+";
     name_ += sources_[i]->name();
   }

@@ -1,0 +1,96 @@
+#include "workload/materialized.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace ppf::workload {
+
+MaterializedTrace::MaterializedTrace(TraceSource& src, std::size_t count)
+    : name_(src.name()) {
+  pc_.reserve(count);
+  kind_.reserve(count);
+  addr_.reserve(count);
+  target_.reserve(count);
+  flags_.reserve(count);
+  dst_.reserve(count);
+  src1_.reserve(count);
+  src2_.reserve(count);
+
+  std::array<TraceRecord, 256> buf;
+  std::size_t left = count;
+  while (left > 0) {
+    const std::size_t got =
+        src.next_batch(buf.data(), std::min(left, buf.size()));
+    if (got == 0) break;  // finite source ran dry: arena is just shorter
+    for (std::size_t i = 0; i < got; ++i) {
+      const TraceRecord& r = buf[i];
+      pc_.push_back(r.pc);
+      kind_.push_back(static_cast<std::uint8_t>(r.kind));
+      addr_.push_back(r.addr);
+      target_.push_back(r.target);
+      flags_.push_back(static_cast<std::uint8_t>((r.taken ? 1u : 0u) |
+                                                 (r.serial ? 2u : 0u)));
+      dst_.push_back(r.dst);
+      src1_.push_back(r.src1);
+      src2_.push_back(r.src2);
+    }
+    left -= got;
+  }
+}
+
+std::size_t MaterializedTrace::bytes() const {
+  return size() * (3 * sizeof(std::uint64_t) + 5 * sizeof(std::uint8_t));
+}
+
+void MaterializedTrace::gather(std::size_t pos, TraceRecord* out,
+                               std::size_t n) const {
+  PPF_ASSERT(pos + n <= size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = pos + i;
+    TraceRecord& r = out[i];
+    r.pc = pc_[p];
+    r.kind = static_cast<InstKind>(kind_[p]);
+    r.addr = addr_[p];
+    r.target = target_[p];
+    r.taken = (flags_[p] & 1u) != 0;
+    r.serial = (flags_[p] & 2u) != 0;
+    r.dst = dst_[p];
+    r.src1 = src1_[p];
+    r.src2 = src2_[p];
+  }
+}
+
+std::shared_ptr<const MaterializedTrace> materialize(TraceSource& src,
+                                                     std::size_t count) {
+  return std::make_shared<const MaterializedTrace>(src, count);
+}
+
+TraceCursor::TraceCursor(std::shared_ptr<const MaterializedTrace> arena,
+                         std::size_t start)
+    : arena_(std::move(arena)), pos_(start) {
+  PPF_CHECK(arena_ != nullptr);
+  PPF_CHECK(pos_ <= arena_->size());
+}
+
+bool TraceCursor::next(TraceRecord& out) {
+  if (pos_ >= arena_->size()) return false;
+  arena_->gather(pos_, &out, 1);
+  ++pos_;
+  return true;
+}
+
+std::size_t TraceCursor::next_batch(TraceRecord* out, std::size_t n) {
+  const std::size_t got = std::min(n, arena_->size() - pos_);
+  arena_->gather(pos_, out, got);
+  pos_ += got;
+  return got;
+}
+
+void TraceCursor::seek(std::size_t pos) {
+  PPF_CHECK(pos <= arena_->size());
+  pos_ = pos;
+}
+
+}  // namespace ppf::workload

@@ -9,8 +9,8 @@ namespace ppf::workload {
 StridedStream::StridedStream(Addr base, std::uint64_t stride,
                              std::uint64_t count)
     : base_(base), stride_(stride), count_(count) {
-  PPF_ASSERT(stride > 0);
-  PPF_ASSERT(count > 0);
+  PPF_CHECK(stride > 0);
+  PPF_CHECK(count > 0);
 }
 
 Addr StridedStream::next(Xorshift&) {
@@ -26,8 +26,8 @@ std::optional<Addr> StridedStream::peek(unsigned ahead) const {
 PointerChaseStream::PointerChaseStream(Addr base, std::uint64_t node_bytes,
                                        std::size_t nodes, std::uint64_t seed)
     : base_(base), node_bytes_(node_bytes) {
-  PPF_ASSERT(node_bytes > 0);
-  PPF_ASSERT(nodes >= 2);
+  PPF_CHECK(node_bytes > 0);
+  PPF_CHECK(nodes >= 2);
   Xorshift rng(seed);
   ring_ = make_chase_ring(nodes, rng);
 }
@@ -52,8 +52,8 @@ ZipfStream::ZipfStream(Addr base, std::uint64_t region_bytes,
     : base_(base),
       granule_(granule),
       zipf_(static_cast<std::size_t>(region_bytes / granule), skew) {
-  PPF_ASSERT(granule > 0);
-  PPF_ASSERT(region_bytes >= granule);
+  PPF_CHECK(granule > 0);
+  PPF_CHECK(region_bytes >= granule);
   // Scatter popularity ranks across the region deterministically, so hot
   // granules are not all packed at the region's start.
   placement_.resize(zipf_.size());
@@ -72,8 +72,8 @@ Addr ZipfStream::next(Xorshift& rng) {
 RandomStream::RandomStream(Addr base, std::uint64_t region_bytes,
                            std::uint64_t granule)
     : base_(base), granule_(granule), granules_(region_bytes / granule) {
-  PPF_ASSERT(granule > 0);
-  PPF_ASSERT(granules_ >= 1);
+  PPF_CHECK(granule > 0);
+  PPF_CHECK(granules_ >= 1);
 }
 
 Addr RandomStream::next(Xorshift& rng) {
@@ -88,9 +88,9 @@ Block2DStream::Block2DStream(Addr base, std::uint64_t row_bytes,
       rows_(rows),
       elem_bytes_(elem_bytes),
       block_(block) {
-  PPF_ASSERT(elem_bytes > 0 && block > 0);
-  PPF_ASSERT(row_bytes % (block * elem_bytes) == 0);
-  PPF_ASSERT(rows % block == 0);
+  PPF_CHECK(elem_bytes > 0 && block > 0);
+  PPF_CHECK(row_bytes % (block * elem_bytes) == 0);
+  PPF_CHECK(rows % block == 0);
 }
 
 std::uint64_t Block2DStream::steps_per_image() const {

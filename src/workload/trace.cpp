@@ -1,5 +1,6 @@
 #include "workload/trace.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -14,6 +15,13 @@ bool VectorTrace::next(TraceRecord& out) {
   if (pos_ >= records_.size()) return false;
   out = records_[pos_++];
   return true;
+}
+
+std::size_t VectorTrace::next_batch(TraceRecord* out, std::size_t n) {
+  const std::size_t got = std::min(n, records_.size() - pos_);
+  std::copy_n(records_.data() + pos_, got, out);
+  pos_ += got;
+  return got;
 }
 
 void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {

@@ -66,6 +66,17 @@ class TraceSource {
   /// Produce the next record; false when the stream is exhausted.
   virtual bool next(TraceRecord& out) = 0;
 
+  /// Produce up to `n` records into `out`; returns how many were written
+  /// (short only at end of stream). The default forwards to next() so
+  /// every source works; sources with bulk access (VectorTrace,
+  /// TraceCursor, SyntheticBenchmark) override it to amortise the
+  /// virtual call over a whole fetch batch.
+  virtual std::size_t next_batch(TraceRecord* out, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n && next(out[got])) ++got;
+    return got;
+  }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
@@ -76,6 +87,7 @@ class VectorTrace final : public TraceSource {
                        std::string name = "vector");
 
   bool next(TraceRecord& out) override;
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override;
   [[nodiscard]] const char* name() const override { return name_.c_str(); }
 
   void rewind() { pos_ = 0; }

@@ -1,0 +1,50 @@
+// Contract-check strength: PPF_CHECK fires in every build type;
+// PPF_ASSERT fires in Debug and is compiled out (not even evaluated)
+// under NDEBUG. The tier-1 build is RelWithDebInfo, which defines
+// NDEBUG, so both branches of the #ifdef below get CI coverage across
+// the release and asan presets.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace {
+
+TEST(AssertTest, CheckFiresInEveryBuildType) {
+  EXPECT_DEATH(PPF_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+  EXPECT_DEATH(PPF_CHECK_MSG(false, "bad config"), "bad config");
+}
+
+TEST(AssertTest, CheckPassesSilently) {
+  PPF_CHECK(2 + 2 == 4);
+  PPF_CHECK_MSG(true, "never printed");
+}
+
+#ifdef NDEBUG
+
+TEST(AssertTest, AssertCompiledOutUnderNdebug) {
+  // The expression must not be evaluated at all — a side effect inside
+  // the assert would change simulation results between build types.
+  int evaluations = 0;
+  PPF_ASSERT(++evaluations > 0);
+  PPF_ASSERT_MSG(++evaluations > 0, "also skipped");
+  EXPECT_EQ(evaluations, 0);
+
+  // A failing condition is a no-op, not a death.
+  PPF_ASSERT(false);
+  PPF_ASSERT_MSG(false, "ignored");
+}
+
+#else
+
+TEST(AssertTest, AssertFiresInDebug) {
+  EXPECT_DEATH(PPF_ASSERT(false), "false");
+  EXPECT_DEATH(PPF_ASSERT_MSG(false, "hot-path invariant"),
+               "hot-path invariant");
+  int evaluations = 0;
+  PPF_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#endif
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.hpp"
 #include "workload/trace.hpp"
 
 namespace ppf::core {

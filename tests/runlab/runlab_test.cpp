@@ -180,6 +180,60 @@ TEST(Runner, JsonIsByteIdenticalAcrossWorkerCounts) {
   EXPECT_NE(serial.find("\"job_count\":12"), std::string::npos);
 }
 
+// The arena/snapshot caches must be invisible in the payload: the same
+// sweep run cold (both caches off), serially, and on 8 workers with
+// warmup sharing active produces byte-identical JSON.
+TEST(Runner, WarmupShareKeepsJsonByteIdenticalVersusColdPath) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.base.warmup_instructions = 5'000;  // active: snapshots fire
+  spec.benchmarks = {"mcf", "gzip"};
+  spec.filters = {filter::FilterKind::Pa, filter::FilterKind::Pc};
+  spec.seeds = {1, 2};
+  // A window-length axis: the one sharing direction warmup_key allows.
+  spec.variants = {
+      {"short", [](sim::SimConfig& c) { c.max_instructions = 20'000; }},
+      {"long", [](sim::SimConfig& c) { c.max_instructions = 40'000; }},
+  };
+
+  RunOptions cold = with_workers(2);
+  cold.trace_cache = false;
+  cold.warmup_share = false;
+  const std::string cold_json = to_json(run_sweep(spec, cold));
+
+  const std::string serial = to_json(run_sweep(spec, with_workers(1)));
+  const RunReport warm_rep = run_sweep(spec, with_workers(8));
+  const std::string parallel = to_json(warm_rep);
+
+  EXPECT_EQ(cold_json, serial);
+  EXPECT_EQ(serial, parallel);
+
+  // 2 benchmarks x 2 seeds distinct traces; snapshots additionally split
+  // by filter kind (it shapes warmup); both window variants share one.
+  EXPECT_EQ(warm_rep.telemetry.arenas_built, 4u);
+  EXPECT_EQ(warm_rep.telemetry.snapshots_built, 8u);
+  EXPECT_EQ(warm_rep.telemetry.snapshot_resumes, 16u);
+  EXPECT_GT(warm_rep.telemetry.instructions, 0u);
+  EXPECT_GT(warm_rep.telemetry.mips, 0.0);
+}
+
+TEST(Runner, TraceCacheAloneKeepsJsonByteIdentical) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"em3d"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.seeds = {3};
+
+  RunOptions cold = with_workers(1);
+  cold.trace_cache = false;
+  RunOptions arena_only = with_workers(4);
+  arena_only.warmup_share = false;
+  const RunReport rep = run_sweep(spec, arena_only);
+  EXPECT_EQ(to_json(run_sweep(spec, cold)), to_json(rep));
+  EXPECT_EQ(rep.telemetry.arenas_built, 1u);
+  EXPECT_EQ(rep.telemetry.snapshot_resumes, 0u);
+}
+
 TEST(Sinks, CsvHasOneRowPerJobOnCanonicalColumns) {
   SweepSpec spec;
   spec.base = tiny_config();

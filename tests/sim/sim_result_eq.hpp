@@ -1,0 +1,56 @@
+// Exact SimResult comparison shared by the snapshot and trace-arena
+// equivalence tests: the hot-path optimisations must be invisible in the
+// results, down to the last counter.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ppf::sim {
+
+#define EXPECT_FIELD_EQ(field) EXPECT_EQ(cold.field, warm.field)
+
+inline void expect_identical(const SimResult& cold, const SimResult& warm) {
+  EXPECT_FIELD_EQ(workload);
+  EXPECT_FIELD_EQ(filter_name);
+  EXPECT_FIELD_EQ(core.cycles);
+  EXPECT_FIELD_EQ(core.instructions);
+  EXPECT_FIELD_EQ(core.loads);
+  EXPECT_FIELD_EQ(core.stores);
+  EXPECT_FIELD_EQ(core.branches);
+  EXPECT_FIELD_EQ(core.sw_prefetches);
+  EXPECT_FIELD_EQ(core.mispredictions);
+  EXPECT_FIELD_EQ(core.rob_full_stall_cycles);
+  EXPECT_FIELD_EQ(core.lsq_full_stall_cycles);
+  EXPECT_FIELD_EQ(core.fetch_stall_cycles);
+  EXPECT_FIELD_EQ(l1d_demand_accesses);
+  EXPECT_FIELD_EQ(l1d_demand_misses);
+  EXPECT_FIELD_EQ(l2_demand_accesses);
+  EXPECT_FIELD_EQ(l2_demand_misses);
+  EXPECT_FIELD_EQ(prefetch_issued.total());
+  EXPECT_FIELD_EQ(prefetch_filtered.total());
+  EXPECT_FIELD_EQ(prefetch_good.total());
+  EXPECT_FIELD_EQ(prefetch_bad.total());
+  EXPECT_FIELD_EQ(prefetch_squashed);
+  EXPECT_FIELD_EQ(l1_normal_traffic);
+  EXPECT_FIELD_EQ(l1_prefetch_traffic);
+  EXPECT_FIELD_EQ(bus_transfers);
+  EXPECT_FIELD_EQ(bus_prefetch_transfers);
+  EXPECT_FIELD_EQ(bus_busy_cycles);
+  EXPECT_FIELD_EQ(filter_admitted);
+  EXPECT_FIELD_EQ(filter_rejected);
+  EXPECT_FIELD_EQ(filter_recoveries);
+  EXPECT_FIELD_EQ(taxonomy.useful);
+  EXPECT_FIELD_EQ(taxonomy.useful_polluting);
+  EXPECT_FIELD_EQ(taxonomy.polluting);
+  EXPECT_FIELD_EQ(taxonomy.useless);
+  EXPECT_FIELD_EQ(avg_load_latency);
+  EXPECT_FIELD_EQ(mshr_stalls);
+  EXPECT_FIELD_EQ(victim_hits);
+  EXPECT_FIELD_EQ(energy.total_nj());
+}
+
+#undef EXPECT_FIELD_EQ
+
+}  // namespace ppf::sim

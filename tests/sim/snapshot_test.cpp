@@ -1,0 +1,134 @@
+// Warmup-snapshot reuse must be invisible in the results: resuming a
+// cloned post-warmup machine has to produce the exact SimResult the cold
+// path produces on the same records. These tests are the guard the
+// optimisation ships behind.
+#include "sim/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "filter/filter.hpp"
+#include "sim/memory_hierarchy.hpp"
+#include "sim/simulator.hpp"
+#include "sim_result_eq.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/materialized.hpp"
+
+namespace ppf::sim {
+namespace {
+
+std::shared_ptr<const workload::MaterializedTrace> arena_for(
+    const char* bench, std::uint64_t seed, std::size_t records) {
+  auto src = workload::make_benchmark(bench, seed);
+  return workload::materialize(*src, records);
+}
+
+SimConfig quick_cfg(filter::FilterKind kind) {
+  SimConfig cfg;
+  cfg.max_instructions = 60'000;
+  cfg.warmup_instructions = 20'000;
+  cfg.filter = kind;
+  return cfg;
+}
+
+class SnapshotFilterTest
+    : public ::testing::TestWithParam<filter::FilterKind> {};
+
+TEST_P(SnapshotFilterTest, WarmPathMatchesColdPathExactly) {
+  const SimConfig cfg = quick_cfg(GetParam());
+  const auto arena = arena_for("mcf", 7, 100'000);
+
+  workload::TraceCursor cold_cursor(arena);
+  const SimResult cold = Simulator(cfg).run(cold_cursor);
+
+  const auto snap = make_warmup_snapshot(cfg, arena);
+  ASSERT_NE(snap, nullptr);
+  const SimResult warm = run_from_snapshot(cfg, *snap);
+
+  expect_identical(cold, warm);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilterKinds, SnapshotFilterTest,
+                         ::testing::Values(filter::FilterKind::None,
+                                           filter::FilterKind::Pa,
+                                           filter::FilterKind::Pc,
+                                           filter::FilterKind::Static,
+                                           filter::FilterKind::Adaptive,
+                                           filter::FilterKind::DeadBlock));
+
+TEST(Snapshot, DataflowCoreMatchesColdPath) {
+  SimConfig cfg = quick_cfg(filter::FilterKind::Pa);
+  cfg.core_model = CoreModel::Dataflow;
+  const auto arena = arena_for("em3d", 3, 100'000);
+
+  workload::TraceCursor cold_cursor(arena);
+  const SimResult cold = Simulator(cfg).run(cold_cursor);
+
+  const auto snap = make_warmup_snapshot(cfg, arena);
+  ASSERT_NE(snap, nullptr);
+  const SimResult warm = run_from_snapshot(cfg, *snap);
+
+  expect_identical(cold, warm);
+}
+
+TEST(Snapshot, OneSnapshotServesDifferentWindowLengths) {
+  const SimConfig base = quick_cfg(filter::FilterKind::Pc);
+  const auto arena = arena_for("gap", 11, 160'000);
+  const auto snap = make_warmup_snapshot(base, arena);
+  ASSERT_NE(snap, nullptr);
+
+  for (std::uint64_t max : {40'000ULL, 120'000ULL}) {
+    SimConfig cfg = base;
+    cfg.max_instructions = max;
+    workload::TraceCursor cold_cursor(arena);
+    const SimResult cold = Simulator(cfg).run(cold_cursor);
+    const SimResult warm = run_from_snapshot(cfg, *snap);
+    expect_identical(cold, warm);
+  }
+}
+
+TEST(Snapshot, InactiveWarmupYieldsNoSnapshot) {
+  SimConfig cfg = quick_cfg(filter::FilterKind::Pa);
+  const auto arena = arena_for("mcf", 1, 80'000);
+
+  cfg.warmup_instructions = 0;
+  EXPECT_EQ(make_warmup_snapshot(cfg, arena), nullptr);
+
+  // Warmup >= max disables warmup on the cold path; no boundary to share.
+  cfg.warmup_instructions = cfg.max_instructions;
+  EXPECT_EQ(make_warmup_snapshot(cfg, arena), nullptr);
+
+  // Arena shorter than the warmup cannot reach the boundary.
+  cfg = quick_cfg(filter::FilterKind::Pa);
+  EXPECT_EQ(make_warmup_snapshot(cfg, arena_for("mcf", 1, 10'000)), nullptr);
+}
+
+TEST(Snapshot, ExternalFilterHierarchyRefusesToClone) {
+  const SimConfig cfg = quick_cfg(filter::FilterKind::None);
+  filter::NullFilter external;
+  MemoryHierarchy mem(cfg, &external);
+  EXPECT_THROW(MemoryHierarchy copy(mem), std::runtime_error);
+}
+
+TEST(Snapshot, WarmupKeySeparatesWarmupRelevantConfigs) {
+  const SimConfig base = quick_cfg(filter::FilterKind::Pa);
+
+  SimConfig window_only = base;
+  window_only.max_instructions *= 4;
+  window_only.energy.l1_access *= 2.0;
+  EXPECT_EQ(warmup_key(base), warmup_key(window_only));
+
+  SimConfig other_filter = base;
+  other_filter.filter = filter::FilterKind::Pc;
+  EXPECT_NE(warmup_key(base), warmup_key(other_filter));
+
+  SimConfig other_degree = base;
+  other_degree.nsp_degree = 1;
+  EXPECT_NE(warmup_key(base), warmup_key(other_degree));
+
+  SimConfig other_seed = base;
+  other_seed.seed = base.seed + 1;
+  EXPECT_NE(warmup_key(base), warmup_key(other_seed));
+}
+
+}  // namespace
+}  // namespace ppf::sim

@@ -1,0 +1,120 @@
+#include "workload/materialized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/benchmarks.hpp"
+#include "workload/trace.hpp"
+
+namespace ppf::workload {
+namespace {
+
+std::vector<TraceRecord> make_records(std::size_t n) {
+  std::vector<TraceRecord> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord& r = v[i];
+    r.pc = 0x1000 + 4 * i;
+    r.kind = static_cast<InstKind>(i % 5);
+    r.addr = 0x80000 + 32 * i;
+    r.target = 0x2000 + i;
+    r.taken = (i % 3) == 0;
+    r.serial = (i % 7) == 0;
+    r.dst = static_cast<std::uint8_t>(i % 32);
+    r.src1 = static_cast<std::uint8_t>((i + 1) % 32);
+    r.src2 = static_cast<std::uint8_t>((i + 2) % 32);
+  }
+  return v;
+}
+
+TEST(MaterializedTraceTest, RoundTripsEveryField) {
+  const auto records = make_records(300);
+  VectorTrace vt(records, "rt");
+  const auto arena = materialize(vt, records.size());
+  ASSERT_EQ(arena->size(), records.size());
+  EXPECT_STREQ(arena->name().c_str(), "rt");
+
+  TraceCursor cur(arena);
+  TraceRecord out;
+  for (const TraceRecord& want : records) {
+    ASSERT_TRUE(cur.next(out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(cur.next(out));
+}
+
+TEST(MaterializedTraceTest, ShortSourceYieldsShortArena) {
+  VectorTrace vt(make_records(10));
+  const auto arena = materialize(vt, 100);
+  EXPECT_EQ(arena->size(), 10u);
+}
+
+TEST(MaterializedTraceTest, BytesReflectSoaLayout) {
+  VectorTrace vt(make_records(64));
+  const auto arena = materialize(vt, 64);
+  EXPECT_EQ(arena->bytes(), 64u * 29u);
+}
+
+TEST(TraceCursorTest, BatchedAndSingleReadsAgree) {
+  const auto records = make_records(257);  // deliberately not a batch multiple
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  TraceCursor ones(arena);
+  TraceCursor batched(arena);
+  std::vector<TraceRecord> got_single;
+  TraceRecord r;
+  while (ones.next(r)) got_single.push_back(r);
+
+  std::vector<TraceRecord> got_batch;
+  TraceRecord buf[64];
+  std::size_t n;
+  while ((n = batched.next_batch(buf, 64)) > 0) {
+    got_batch.insert(got_batch.end(), buf, buf + n);
+  }
+  EXPECT_EQ(got_single, got_batch);
+  EXPECT_EQ(got_single.size(), records.size());
+}
+
+TEST(TraceCursorTest, SeekRepositionsAndManyCursorsShareOneArena) {
+  const auto records = make_records(100);
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  TraceCursor a(arena, 40);
+  EXPECT_EQ(a.pos(), 40u);
+  EXPECT_EQ(a.remaining(), 60u);
+  TraceRecord r;
+  ASSERT_TRUE(a.next(r));
+  EXPECT_EQ(r, records[40]);
+
+  a.seek(0);
+  TraceCursor b(arena);  // independent cursor over the same storage
+  TraceRecord ra, rb;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ASSERT_TRUE(a.next(ra));
+    ASSERT_TRUE(b.next(rb));
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST(TraceCursorTest, MatchesStreamingBenchmarkGeneration) {
+  // The arena must reproduce the generator's stream exactly — this is
+  // the foundation the simulator-level equivalence tests build on.
+  constexpr std::size_t kN = 20'000;
+  auto streaming = make_benchmark("mcf", 7);
+  auto again = make_benchmark("mcf", 7);
+  const auto arena = materialize(*again, kN);
+  ASSERT_EQ(arena->size(), kN);
+
+  TraceCursor cur(arena);
+  TraceRecord want, got;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(streaming->next(want));
+    ASSERT_TRUE(cur.next(got));
+    ASSERT_EQ(got, want) << "diverged at record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppf::workload

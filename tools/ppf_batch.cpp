@@ -27,8 +27,10 @@ using namespace ppf;
 namespace {
 
 const std::vector<std::string> kDriverKeys = {
-    "bench", "filter", "seeds",    "seed_list", "jobs",
-    "out",   "csv",    "progress", "timeout_ms", "help"};
+    "bench",       "filter",      "seeds",          "seed_list",
+    "jobs",        "out",         "csv",            "progress",
+    "timeout_ms",  "trace_cache", "warmup_share",   "telemetry_json",
+    "help"};
 
 int usage(const char* argv0) {
   std::cerr
@@ -43,9 +45,17 @@ int usage(const char* argv0) {
       << "  timeout_ms=X    — soft per-job timeout; overruns become error "
          "records\n"
       << "  progress=0|1    — live progress line on stderr (default 1)\n"
+      << "  trace_cache=0|1 — materialize each distinct trace once and share "
+         "it across jobs (default 1; results identical either way)\n"
+      << "  warmup_share=0|1 — run warmup once per distinct warmup-relevant "
+         "config and clone the warm machine into matching jobs (default 1; "
+         "results identical either way)\n"
       << "output keys:\n"
       << "  out=PATH|-      — ordered JSON results (default '-' = stdout)\n"
       << "  csv=PATH        — also write CSV\n"
+      << "  telemetry_json=PATH (or --telemetry-json=PATH) — wall-clock "
+         "throughput telemetry (ppf.telemetry.v1 / BENCH_throughput.json "
+         "schema)\n"
       << "\nworkloads:";
   for (const std::string& n : workload::benchmark_names()) {
     std::cerr << " " << n;
@@ -70,6 +80,19 @@ std::vector<std::string> split_list(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the GNU-style spelling for the telemetry sink so CI scripts
+  // can say --telemetry-json=out.json; everything else is key=value.
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  std::vector<char*> arg_ptrs;
+  for (std::string& a : arg_storage) {
+    const std::string prefix = "--telemetry-json=";
+    if (a.rfind(prefix, 0) == 0) {
+      a = "telemetry_json=" + a.substr(prefix.size());
+    }
+    arg_ptrs.push_back(a.data());
+  }
+  argv = arg_ptrs.data();
+
   ParamMap params;
   try {
     params = ParamMap::from_args(argc, argv);
@@ -145,9 +168,18 @@ int main(int argc, char** argv) {
   }
 
   runlab::RunOptions opts;
-  opts.workers = params.get_u64("jobs", 0);
-  opts.job_timeout_ms = params.get_double("timeout_ms", 0.0);
-  if (params.get_bool("progress", true)) {
+  bool progress = true;
+  try {
+    opts.workers = params.get_u64("jobs", 0);
+    opts.job_timeout_ms = params.get_double("timeout_ms", 0.0);
+    opts.trace_cache = params.get_bool("trace_cache", true);
+    opts.warmup_share = params.get_bool("warmup_share", true);
+    progress = params.get_bool("progress", true);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (progress) {
     opts.on_progress = [](const runlab::Progress& p) {
       std::cerr << "\r[" << p.done << "/" << p.total << "] ";
       if (p.failed > 0) std::cerr << p.failed << " failed, ";
@@ -180,6 +212,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     runlab::write_csv(f, rep);
+  }
+  const std::string telemetry = params.get_string("telemetry_json", "");
+  if (!telemetry.empty()) {
+    std::ofstream f(telemetry);
+    if (!f) {
+      std::cerr << "cannot open " << telemetry << " for writing\n";
+      return 1;
+    }
+    runlab::write_telemetry_json(f, rep);
   }
   return rep.telemetry.failed_jobs == 0 ? 0 : 1;
 }

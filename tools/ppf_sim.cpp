@@ -14,7 +14,9 @@
 #include "sim/config_apply.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "workload/benchmarks.hpp"
+#include "workload/materialized.hpp"
 
 using namespace ppf;
 
@@ -22,7 +24,13 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " [bench=<name>|trace=<file>] "
-            << "[csv=0|1] [config=0|1] [key=value ...]\n\nworkloads:";
+            << "[csv=0|1] [config=0|1] [trace_cache=0|1] [warmup_share=0|1] "
+            << "[key=value ...]\n\n"
+            << "  trace_cache=0|1  — pre-materialize the benchmark trace and "
+               "run from the arena (default 1; results identical)\n"
+            << "  warmup_share=0|1 — exercise the warmup-snapshot path: pause "
+               "at the warmup boundary, clone, resume (default 0; results "
+               "identical, needs trace_cache=1)\n\nworkloads:";
   for (const std::string& n : workload::benchmark_names()) {
     std::cerr << " " << n;
   }
@@ -48,7 +56,8 @@ int main(int argc, char** argv) {
   // Reject typos up front, naming the offending key next to the full
   // accepted list — a mistyped knob must never silently run the default.
   const std::string unknown = sim::first_unknown_key(
-      params, {"bench", "trace", "csv", "config", "help"});
+      params, {"bench", "trace", "csv", "config", "trace_cache",
+               "warmup_share", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown key: " << unknown << "\n\n";
     return usage(argv[0]);
@@ -58,12 +67,14 @@ int main(int argc, char** argv) {
   const std::string trace_path = params.get_string("trace", "");
   const bool csv = params.get_bool("csv", false);
   const bool show_config = params.get_bool("config", true);
+  const bool trace_cache = params.get_bool("trace_cache", true);
+  const bool warmup_share = params.get_bool("warmup_share", false);
 
   // Strip driver-only keys before handing the rest to the machine config.
   ParamMap machine;
   for (const auto& [k, v] : params.entries()) {
     if (k != "bench" && k != "trace" && k != "csv" && k != "config" &&
-        k != "help") {
+        k != "trace_cache" && k != "warmup_share" && k != "help") {
       machine.set(k, v);
     }
   }
@@ -101,8 +112,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  sim::Simulator sim(cfg);
-  const sim::SimResult r = sim.run(*source);
+  sim::SimResult r;
+  // Named benchmarks can run through the materialized-arena (and, on
+  // request, warmup-snapshot) hot path; captured trace files are already
+  // in memory as a VectorTrace and gain nothing from materializing.
+  if (trace_cache && trace_path.empty()) {
+    const std::uint64_t warmup =
+        cfg.warmup_instructions < cfg.max_instructions
+            ? cfg.warmup_instructions
+            : 0;
+    const auto arena =
+        workload::materialize(*source, cfg.max_instructions + warmup);
+    std::shared_ptr<const sim::WarmupSnapshot> snap;
+    if (warmup_share) snap = sim::make_warmup_snapshot(cfg, arena);
+    if (snap != nullptr) {
+      r = sim::run_from_snapshot(cfg, *snap);
+    } else {
+      workload::TraceCursor cursor(arena);
+      r = sim::Simulator(cfg).run(cursor);
+    }
+  } else {
+    r = sim::Simulator(cfg).run(*source);
+  }
 
   if (csv) {
     sim::result_table(r).write_csv(std::cout);
