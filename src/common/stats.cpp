@@ -33,6 +33,34 @@ double Histogram::mean() const {
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t b = buckets_[i];
+    if (b > 0 && static_cast<double>(cum + b) >= target) {
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(b);
+      return (static_cast<double>(i) + within) *
+             static_cast<double>(bucket_width_);
+    }
+    cum += b;
+  }
+  // Quantile falls in the overflow bucket: interpolate over
+  // [range_end, max_seen] (uniform assumption — approximate).
+  const double lo =
+      static_cast<double>(bucket_width_) * static_cast<double>(buckets_.size());
+  if (overflow_ == 0) return lo;
+  const double hi =
+      static_cast<double>(max_seen_) > lo ? static_cast<double>(max_seen_) : lo;
+  const double within =
+      (target - static_cast<double>(cum)) / static_cast<double>(overflow_);
+  return lo + within * (hi - lo);
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b = 0;
   overflow_ = 0;

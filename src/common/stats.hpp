@@ -31,7 +31,16 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
   [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// Exact arithmetic mean of every recorded sample. Computed from the
+  /// exact running sum, so — unlike percentile() — it is *not* skewed by
+  /// samples landing in the overflow bucket.
   [[nodiscard]] double mean() const;
+  /// Value at quantile `p` in [0, 1], linearly interpolated inside the
+  /// containing bucket. Samples in the overflow bucket are assumed
+  /// uniform over [range_end, max_seen], so tail percentiles are
+  /// approximate once overflow() > 0 (bounded by max_seen). 0 when
+  /// empty.
+  [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] std::uint64_t max_seen() const { return max_seen_; }
 
   void reset();

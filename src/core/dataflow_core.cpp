@@ -229,6 +229,7 @@ void DataflowCore::begin_window() {
 }
 
 bool DataflowCore::cycle(std::uint64_t limit) {
+  heartbeat_tick(dispatched_);
   if (!mid_cycle_) {
     cycle_trace_active_ = have_rec() && dispatched_ < limit;
     if (!cycle_trace_active_ && rob_count_ == 0) return false;
@@ -412,6 +413,10 @@ CoreResult DataflowCore::finish(std::uint64_t dispatch_limit) {
   subtract_snapshot(out, window_snapshot_);
   out.cycles = now_ - window_start_;
   return out;
+}
+
+void DataflowCore::register_obs(obs::MetricRegistry& reg) const {
+  register_core_counters(reg, res_);
 }
 
 }  // namespace ppf::core

@@ -51,6 +51,7 @@ class DataflowCore final : public CoreEngine {
   [[nodiscard]] std::unique_ptr<CoreEngine> clone_rebound(
       DataMemory& dmem, InstMemory& imem,
       workload::TraceSource& trace) const override;
+  void register_obs(obs::MetricRegistry& reg) const override;
 
   [[nodiscard]] const BimodalPredictor& predictor() const { return bp_; }
 

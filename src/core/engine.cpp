@@ -3,8 +3,29 @@
 #include "common/assert.hpp"
 #include "core/dataflow_core.hpp"
 #include "core/ooo_core.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppf::core {
+
+void CoreEngine::register_obs(obs::MetricRegistry&) const {}
+
+void CoreEngine::register_core_counters(obs::MetricRegistry& reg,
+                                        const CoreResult& res) {
+  // The engines' cumulative counters are never reset mid-run; the obs
+  // layer windows them by subtracting the baseline sampled at warmup end.
+  reg.add_counter("core.instructions", [&res] { return res.instructions; });
+  reg.add_counter("core.loads", [&res] { return res.loads; });
+  reg.add_counter("core.stores", [&res] { return res.stores; });
+  reg.add_counter("core.branches", [&res] { return res.branches; });
+  reg.add_counter("core.sw_prefetches", [&res] { return res.sw_prefetches; });
+  reg.add_counter("core.mispredictions", [&res] { return res.mispredictions; });
+  reg.add_counter("core.rob_full_stall_cycles",
+                  [&res] { return res.rob_full_stall_cycles; });
+  reg.add_counter("core.lsq_full_stall_cycles",
+                  [&res] { return res.lsq_full_stall_cycles; });
+  reg.add_counter("core.fetch_stall_cycles",
+                  [&res] { return res.fetch_stall_cycles; });
+}
 
 CoreResult CoreEngine::run(workload::TraceSource& trace,
                            std::uint64_t max_instructions,

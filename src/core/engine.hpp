@@ -22,6 +22,7 @@
 // path and the snapshot path execute the identical cycle loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -31,6 +32,10 @@
 #include "core/btb.hpp"
 #include "core/memory_iface.hpp"
 #include "workload/trace.hpp"
+
+namespace ppf::obs {
+class MetricRegistry;
+}
 
 namespace ppf::core {
 
@@ -105,6 +110,41 @@ class CoreEngine {
   [[nodiscard]] virtual std::unique_ptr<CoreEngine> clone_rebound(
       DataMemory& dmem, InstMemory& imem,
       workload::TraceSource& trace) const = 0;
+
+  /// Publish the cumulative dispatched-instruction count to `slot` every
+  /// `every` instructions (relaxed store from the cycle loop; a monitor
+  /// thread may read it concurrently). Pass nullptr to disable. Clones
+  /// made by clone_rebound do NOT inherit the slot — the caller rewires
+  /// it per clone.
+  void set_heartbeat(std::atomic<std::uint64_t>* slot,
+                     std::uint64_t every = std::uint64_t{1} << 17) {
+    hb_slot_ = slot;
+    hb_every_ = every == 0 ? 1 : every;
+    hb_next_ = 0;
+  }
+
+  /// Register this core's window counters as `core.metric` (ppf::obs).
+  /// Default registers nothing; both timing models override.
+  virtual void register_obs(obs::MetricRegistry& reg) const;
+
+ protected:
+  /// Call from the cycle loop with the cumulative dispatched count.
+  void heartbeat_tick(std::uint64_t dispatched) {
+    if (hb_slot_ != nullptr && dispatched >= hb_next_) {
+      hb_slot_->store(dispatched, std::memory_order_relaxed);
+      hb_next_ = dispatched + hb_every_;
+    }
+  }
+
+  /// Shared register_obs body: registers the standard `core.*` counters
+  /// reading from `res` (the engine's cumulative result record).
+  static void register_core_counters(obs::MetricRegistry& reg,
+                                     const CoreResult& res);
+
+ private:
+  std::atomic<std::uint64_t>* hb_slot_ = nullptr;
+  std::uint64_t hb_every_ = std::uint64_t{1} << 17;
+  std::uint64_t hb_next_ = 0;
 };
 
 enum class EngineKind { Occupancy, Dataflow };

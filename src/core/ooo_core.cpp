@@ -247,6 +247,7 @@ void OooCore::fast_forward_stall() {
 }
 
 bool OooCore::cycle(std::uint64_t limit) {
+  heartbeat_tick(dispatched_);
   if (!mid_cycle_) {
     cycle_trace_active_ = have_rec() && dispatched_ < limit;
     if (!cycle_trace_active_ && rob_count_ == 0 && pending_mem_.empty() &&
@@ -413,6 +414,10 @@ CoreResult OooCore::finish(std::uint64_t dispatch_limit) {
   subtract_snapshot(out, window_snapshot_);
   out.cycles = now_ - window_start_;
   return out;
+}
+
+void OooCore::register_obs(obs::MetricRegistry& reg) const {
+  register_core_counters(reg, res_);
 }
 
 }  // namespace ppf::core

@@ -17,6 +17,10 @@ namespace ppf::mem {
 class Cache;
 }
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::filter {
 
 /// A prefetch presented to the filter for an admit/reject decision.
@@ -63,6 +67,9 @@ class PollutionFilter {
 
   [[nodiscard]] std::uint64_t admitted() const { return admitted_.value(); }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_.value(); }
+
+  /// Register the admit/reject counters as `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   /// Reset the admit/reject counters (e.g. at end of warmup); the
   /// learned predictor state is deliberately kept.

@@ -1,6 +1,7 @@
 #include "filter/filter.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppf::filter {
 
@@ -11,6 +12,12 @@ bool PollutionFilter::admit(const PrefetchCandidate& c) {
   else
     rejected_.add();
   return ok;
+}
+
+void PollutionFilter::register_obs(obs::MetricRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.add_counter(prefix + ".admitted", [this] { return admitted(); });
+  reg.add_counter(prefix + ".rejected", [this] { return rejected(); });
 }
 
 PaFilter::PaFilter(HistoryTableConfig cfg) : table_(cfg) {}

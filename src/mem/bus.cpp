@@ -1,6 +1,7 @@
 #include "mem/bus.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppf::mem {
 
@@ -22,6 +23,17 @@ Cycle Bus::transfer(Cycle now, std::uint32_t bytes, bool is_prefetch) {
   bytes_.add(bytes);
   busy_.add(duration);
   return next_free_;
+}
+
+void Bus::register_obs(obs::MetricRegistry& reg,
+                       const std::string& prefix) const {
+  reg.add_counter(prefix + ".transfers", [this] { return transfers(); });
+  reg.add_counter(prefix + ".prefetch_transfers",
+                  [this] { return prefetch_transfers(); });
+  reg.add_counter(prefix + ".bytes_moved", [this] { return bytes_moved(); });
+  reg.add_counter(prefix + ".busy_cycles", [this] { return busy_cycles(); });
+  reg.add_counter(prefix + ".queue_delay_cycles",
+                  [this] { return queue_delay_cycles(); });
 }
 
 void Bus::reset_stats() {

@@ -10,6 +10,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::mem {
 
 struct BusConfig {
@@ -42,6 +46,9 @@ class Bus {
   [[nodiscard]] std::uint64_t queue_delay_cycles() const {
     return queue_delay_.value();
   }
+
+  /// Register this bus's counters as `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   void reset_stats();
 

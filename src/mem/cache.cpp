@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppf::mem {
 
@@ -216,6 +217,22 @@ void Cache::reset_stats() {
   fills_.reset();
   evictions_.reset();
   prefetch_displacements_.reset();
+}
+
+void Cache::register_obs(obs::MetricRegistry& reg,
+                         const std::string& prefix) const {
+  reg.add_counter(prefix + ".demand_hits", [this] {
+    return hits(AccessType::Load) + hits(AccessType::Store);
+  });
+  reg.add_counter(prefix + ".demand_misses", [this] {
+    return misses(AccessType::Load) + misses(AccessType::Store);
+  });
+  reg.add_counter(prefix + ".total_hits", [this] { return total_hits(); });
+  reg.add_counter(prefix + ".total_misses", [this] { return total_misses(); });
+  reg.add_counter(prefix + ".fills", [this] { return fills(); });
+  reg.add_counter(prefix + ".evictions", [this] { return evictions(); });
+  reg.add_counter(prefix + ".prefetch_displacements",
+                  [this] { return prefetch_displacements(); });
 }
 
 }  // namespace ppf::mem

@@ -18,6 +18,10 @@
 #include "common/types.hpp"
 #include "mem/replacement.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::mem {
 
 struct CacheConfig {
@@ -137,6 +141,9 @@ class Cache {
   [[nodiscard]] std::uint64_t prefetch_displacements() const {
     return prefetch_displacements_.value();
   }
+
+  /// Register this cache's counters as `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   void reset_stats();
 

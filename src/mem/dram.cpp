@@ -1,5 +1,7 @@
 #include "mem/dram.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ppf::mem {
 
 Cycle Dram::read(Cycle now, bool is_prefetch) {
@@ -9,6 +11,14 @@ Cycle Dram::read(Cycle now, bool is_prefetch) {
 }
 
 void Dram::writeback() { writebacks_.add(); }
+
+void Dram::register_obs(obs::MetricRegistry& reg,
+                        const std::string& prefix) const {
+  reg.add_counter(prefix + ".reads", [this] { return reads(); });
+  reg.add_counter(prefix + ".prefetch_reads",
+                  [this] { return prefetch_reads(); });
+  reg.add_counter(prefix + ".writebacks", [this] { return writebacks(); });
+}
 
 void Dram::reset_stats() {
   reads_.reset();

@@ -6,6 +6,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::mem {
 
 struct DramConfig {
@@ -29,6 +33,9 @@ class Dram {
     return prefetch_reads_.value();
   }
   [[nodiscard]] std::uint64_t writebacks() const { return writebacks_.value(); }
+
+  /// Register this DRAM's counters as `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   void reset_stats();
 

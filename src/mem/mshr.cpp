@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace ppf::mem {
 
 MshrFile::MshrFile(std::size_t entries) : entries_(entries) {}
@@ -40,6 +42,12 @@ std::size_t MshrFile::in_flight(Cycle now) const {
   std::size_t n = 0;
   for (Cycle c : completions_) n += c > now ? 1 : 0;
   return n;
+}
+
+void MshrFile::register_obs(obs::MetricRegistry& reg,
+                            const std::string& prefix) const {
+  reg.add_counter(prefix + ".stalls", [this] { return stalls(); });
+  reg.add_counter(prefix + ".stall_cycles", [this] { return stall_cycles(); });
 }
 
 void MshrFile::reset_stats() {

@@ -10,6 +10,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::mem {
 
 class MshrFile {
@@ -33,6 +37,9 @@ class MshrFile {
   [[nodiscard]] std::uint64_t stall_cycles() const {
     return stall_cycles_.value();
   }
+
+  /// Register this MSHR file's counters as `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   void reset_stats();
 

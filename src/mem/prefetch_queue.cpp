@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppf::mem {
 
@@ -42,6 +43,18 @@ void PrefetchQueue::squash_line(LineAddr line) {
                q_.begin(), q_.end(),
                [&](const PrefetchQueueEntry& x) { return x.line == line; }),
            q_.end());
+}
+
+void PrefetchQueue::register_obs(obs::MetricRegistry& reg,
+                                 const std::string& prefix) const {
+  reg.add_counter(prefix + ".pushed", [this] { return pushed(); });
+  reg.add_counter(prefix + ".squashed_duplicates",
+                  [this] { return squashed_duplicates(); });
+  reg.add_counter(prefix + ".dropped_full", [this] { return dropped_full(); });
+  reg.add_counter(prefix + ".popped", [this] { return popped(); });
+  reg.add_counter(prefix + ".wait_cycles", [this] { return wait_cycles(); });
+  reg.add_gauge(prefix + ".occupancy",
+                [this] { return static_cast<double>(size()); });
 }
 
 void PrefetchQueue::reset_stats() {

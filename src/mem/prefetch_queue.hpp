@@ -10,6 +10,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::mem {
 
 struct PrefetchQueueEntry {
@@ -49,6 +53,10 @@ class PrefetchQueue {
   [[nodiscard]] std::uint64_t popped() const { return popped_.value(); }
   /// Total cycles entries spent waiting for an L1 port.
   [[nodiscard]] std::uint64_t wait_cycles() const { return wait_.value(); }
+
+  /// Register this queue's counters (and an occupancy gauge) as
+  /// `prefix.metric` (ppf::obs).
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   void reset_stats();
 

@@ -1,0 +1,149 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace ppf::obs {
+
+namespace {
+
+/// Minimal JSON string escaper (names here are identifiers and
+/// benchmark names, but a trace path in meta could contain anything).
+std::string jstr(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Deterministic float formatting shared by every export.
+std::string jnum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", v);
+  return buf;
+}
+
+void write_event_counts(std::ostream& os, const RunObservation& obs) {
+  os << '{';
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    if (k != 0) os << ',';
+    os << jstr(to_string(static_cast<EventKind>(k))) << ':'
+       << obs.event_counts[k];
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_trace_jsonl(std::ostream& os, const RunObservation& obs,
+                       const ExportMeta& meta) {
+  os << "{\"schema\":\"ppf.trace.v1\",\"workload\":" << jstr(meta.workload)
+     << ",\"filter\":" << jstr(meta.filter)
+     << ",\"events\":" << obs.events.size()
+     << ",\"dropped\":" << obs.dropped_events << ",\"counts\":";
+  write_event_counts(os, obs);
+  os << "}\n";
+  for (const TraceEvent& e : obs.events) {
+    os << "{\"cycle\":" << e.cycle << ",\"event\":\"" << to_string(e.kind)
+       << "\",\"line\":" << hex(e.line) << ",\"pc\":" << hex(e.pc)
+       << ",\"source\":\"" << to_string(e.source) << "\"}\n";
+  }
+}
+
+void write_trace_chrome(std::ostream& os, const RunObservation& obs,
+                        const ExportMeta& meta) {
+  // One process, one thread per prefetch source; 1 simulated cycle maps
+  // to 1 microsecond of trace time (ts is in µs in the trace_event
+  // spec — the absolute unit is arbitrary for a simulator).
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t s = 0; s < kNumPrefetchSources; ++s) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << (s + 1) << ",\"args\":{\"name\":"
+       << jstr(std::string("prefetch:") +
+               to_string(static_cast<PrefetchSource>(s)))
+       << "}}";
+  }
+  for (const TraceEvent& e : obs.events) {
+    os << ",{\"name\":\"" << to_string(e.kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"prefetch\",\"pid\":1,"
+       << "\"tid\":" << (static_cast<unsigned>(e.source) + 1)
+       << ",\"ts\":" << e.cycle << ",\"args\":{\"line\":" << hex(e.line)
+       << ",\"pc\":" << hex(e.pc) << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":"
+        "\"ppf.trace.v1\",\"workload\":"
+     << jstr(meta.workload) << ",\"filter\":" << jstr(meta.filter)
+     << ",\"dropped\":" << obs.dropped_events << ",\"counts\":";
+  write_event_counts(os, obs);
+  os << "}}\n";
+}
+
+void write_timeseries_json(std::ostream& os, const RunObservation& obs,
+                           const ExportMeta& meta) {
+  const TimeSeries& ts = obs.timeseries;
+  os << "{\n  \"schema\": \"ppf.timeseries.v1\",\n  \"workload\": "
+     << jstr(meta.workload) << ",\n  \"filter\": " << jstr(meta.filter)
+     << ",\n  \"sample_interval\": " << ts.sample_interval
+     << ",\n  \"columns\": [\"cycle_start\", \"cycle_end\"";
+  for (const std::string& c : ts.columns) os << ", " << jstr(c);
+  os << "],\n  \"rows\": [";
+  for (std::size_t i = 0; i < ts.rows.size(); ++i) {
+    const TimeSeriesRow& r = ts.rows[i];
+    os << (i == 0 ? "\n    [" : ",\n    [") << r.start << ", " << r.end;
+    for (std::uint64_t d : r.deltas) os << ", " << d;
+    os << ']';
+  }
+  os << "\n  ],\n  \"final\": {\n    \"counters\": {";
+  const MetricsSnapshot& fm = obs.final_metrics;
+  for (std::size_t i = 0; i < fm.counters.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << jstr(fm.counters[i].first) << ": "
+       << fm.counters[i].second;
+  }
+  os << "},\n    \"gauges\": {";
+  for (std::size_t i = 0; i < fm.gauges.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << jstr(fm.gauges[i].first) << ": "
+       << jnum(fm.gauges[i].second);
+  }
+  os << "},\n    \"histograms\": {";
+  for (std::size_t i = 0; i < fm.histograms.size(); ++i) {
+    const HistogramSnapshot& h = fm.histograms[i];
+    os << (i == 0 ? "" : ", ") << jstr(h.name) << ": {\"count\": " << h.count
+       << ", \"mean\": " << jnum(h.mean) << ", \"p50\": " << jnum(h.p50)
+       << ", \"p95\": " << jnum(h.p95) << ", \"p99\": " << jnum(h.p99)
+       << ", \"max\": " << h.max << '}';
+  }
+  os << "}\n  },\n  \"event_counts\": ";
+  write_event_counts(os, obs);
+  os << "\n}\n";
+}
+
+}  // namespace ppf::obs

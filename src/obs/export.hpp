@@ -1,0 +1,39 @@
+// ppf::obs — observation export writers.
+//
+// Three stable formats (schemas documented in docs/OBSERVABILITY.md):
+//
+//   * ppf.trace.v1 (JSONL): one header line, then one JSON object per
+//     lifecycle event — grep/jq-friendly.
+//   * Chrome trace_event JSON: loadable directly in Perfetto
+//     (ui.perfetto.dev) or chrome://tracing; lifecycle events become
+//     instant events on one track per prefetch source.
+//   * ppf.timeseries.v1 JSON: interval counter deltas as a column/row
+//     table plus the final metrics snapshot.
+//
+// All output is deterministic: simulated cycles only, fixed key order,
+// fixed float formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace ppf::obs {
+
+/// Context stamped into export headers (never into event payloads).
+struct ExportMeta {
+  std::string workload;
+  std::string filter;
+};
+
+void write_trace_jsonl(std::ostream& os, const RunObservation& obs,
+                       const ExportMeta& meta);
+
+void write_trace_chrome(std::ostream& os, const RunObservation& obs,
+                        const ExportMeta& meta);
+
+void write_timeseries_json(std::ostream& os, const RunObservation& obs,
+                           const ExportMeta& meta);
+
+}  // namespace ppf::obs

@@ -1,0 +1,69 @@
+#include "obs/metrics.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::obs {
+
+namespace {
+
+bool name_taken(const std::vector<std::string>& names,
+                const std::string& name) {
+  for (const std::string& n : names) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void MetricRegistry::add_counter(std::string name, CounterFn fn) {
+  PPF_CHECK_MSG(!name_taken(counter_names_, name),
+                "duplicate counter registration");
+  PPF_CHECK(fn != nullptr);
+  counter_names_.push_back(std::move(name));
+  counters_.push_back(std::move(fn));
+}
+
+void MetricRegistry::add_gauge(std::string name, GaugeFn fn) {
+  PPF_CHECK(fn != nullptr);
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MetricRegistry::add_histogram(std::string name, const Histogram* h) {
+  PPF_CHECK(h != nullptr);
+  histograms_.emplace_back(std::move(name), h);
+}
+
+void MetricRegistry::sample_counters(std::vector<std::uint64_t>& out) const {
+  out.resize(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) out[i] = counters_[i]();
+}
+
+MetricsSnapshot MetricRegistry::snapshot(
+    const std::vector<std::uint64_t>& baseline) const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const std::uint64_t base = i < baseline.size() ? baseline[i] : 0;
+    const std::uint64_t cur = counters_[i]();
+    snap.counters.emplace_back(counter_names_[i],
+                               cur >= base ? cur - base : 0);
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) snap.gauges.emplace_back(name, fn());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.mean = h->mean();
+    hs.p50 = h->percentile(0.50);
+    hs.p95 = h->percentile(0.95);
+    hs.p99 = h->percentile(0.99);
+    hs.max = h->max_seen();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace ppf::obs

@@ -1,0 +1,83 @@
+// ppf::obs — hierarchical metric registry.
+//
+// Components (caches, bus, DRAM, MSHRs, prefetchers, filters, the core)
+// register named metrics at attach time; the registry samples them by
+// *reading back* through lightweight getters, so the hot path pays
+// nothing for registration — counters keep living where they always
+// lived, and the registry only touches them at interval boundaries and
+// at end of run. Names are dotted `component.metric` paths
+// ("l1d.demand_misses", "filter.rejected", "core.instructions"); the
+// full catalog is in docs/OBSERVABILITY.md.
+//
+// Determinism: metrics are emitted in registration order (attach order
+// is fixed by construction order), never hashed — two identical runs
+// produce byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ppf::obs {
+
+/// Reads the current (cumulative) value of a monotone counter.
+using CounterFn = std::function<std::uint64_t()>;
+/// Reads a point-in-time level (queue occupancy, EMA estimate, ...).
+using GaugeFn = std::function<double()>;
+
+/// Distribution summary captured from a ppf::Histogram at finalize.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t max = 0;
+};
+
+/// One registry-wide capture: counters as measurement-window deltas,
+/// gauges as point samples, histograms summarized.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricRegistry {
+ public:
+  /// Register a monotone counter. Names must be unique; duplicates are a
+  /// programming error (PPF_CHECK).
+  void add_counter(std::string name, CounterFn fn);
+  void add_gauge(std::string name, GaugeFn fn);
+  /// Register a histogram by pointer; it is summarized at snapshot time.
+  /// `h` must outlive the registry's last snapshot() call.
+  void add_histogram(std::string name, const Histogram* h);
+
+  [[nodiscard]] std::size_t num_counters() const { return counters_.size(); }
+  [[nodiscard]] const std::string& counter_name(std::size_t i) const {
+    return counter_names_[i];
+  }
+
+  /// Sample every counter's current cumulative value, in registration
+  /// order. Resizes `out` to num_counters().
+  void sample_counters(std::vector<std::uint64_t>& out) const;
+
+  /// Full capture. `baseline` (same layout as sample_counters, may be
+  /// empty = all zeros) is subtracted from the counters so the snapshot
+  /// covers the measurement window only.
+  [[nodiscard]] MetricsSnapshot snapshot(
+      const std::vector<std::uint64_t>& baseline) const;
+
+ private:
+  std::vector<std::string> counter_names_;
+  std::vector<CounterFn> counters_;
+  std::vector<std::pair<std::string, GaugeFn>> gauges_;
+  std::vector<std::pair<std::string, const Histogram*>> histograms_;
+};
+
+}  // namespace ppf::obs

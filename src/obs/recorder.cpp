@@ -1,0 +1,84 @@
+#include "obs/recorder.hpp"
+
+namespace ppf::obs {
+
+namespace {
+
+void diff_into(const std::vector<std::uint64_t>& cur,
+               const std::vector<std::uint64_t>& prev,
+               std::vector<std::uint64_t>& out) {
+  out.resize(cur.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const std::uint64_t base = i < prev.size() ? prev[i] : 0;
+    out[i] = cur[i] >= base ? cur[i] - base : 0;
+  }
+}
+
+}  // namespace
+
+void Recorder::on_stats_reset() {
+  trace_.clear();
+  rows_.clear();
+  registry_.sample_counters(baseline_);
+  prev_ = baseline_;
+  anchored_ = false;
+  next_boundary_ = 0;  // first tick after the reset re-anchors the grid
+}
+
+void Recorder::slow_tick(Cycle now) {
+  if (!anchored_) {
+    // Pin the row grid to the first observed cycle. prev_ keeps the
+    // reset-time baseline so work done between the reset and this tick
+    // (the tail of the boundary cycle) lands in the first row.
+    anchored_ = true;
+    row_start_ = now;
+    next_boundary_ = now + cfg_.sample_interval;
+    prev_.resize(registry_.num_counters(), 0);
+    return;
+  }
+  registry_.sample_counters(scratch_);
+  bool first = true;
+  while (now >= next_boundary_) {
+    TimeSeriesRow row;
+    row.start = row_start_;
+    row.end = next_boundary_;
+    if (first) {
+      diff_into(scratch_, prev_, row.deltas);
+      prev_ = scratch_;
+      first = false;
+    } else {
+      // A stall fast-forward jumped several boundaries at once; the
+      // skipped span was quiescent, so these rows are exactly zero.
+      row.deltas.assign(scratch_.size(), 0);
+    }
+    row_start_ = next_boundary_;
+    next_boundary_ += cfg_.sample_interval;
+    rows_.push_back(std::move(row));
+  }
+}
+
+RunObservation Recorder::finish() {
+  RunObservation out;
+  if (cfg_.sample_interval != 0 && anchored_) {
+    // Partial last interval, including the finalize-time drain, so the
+    // per-column sums equal the final-snapshot totals.
+    registry_.sample_counters(scratch_);
+    TimeSeriesRow row;
+    row.start = row_start_;
+    row.end = last_cycle_ + 1;
+    diff_into(scratch_, prev_, row.deltas);
+    rows_.push_back(std::move(row));
+  }
+  out.timeseries.sample_interval = cfg_.sample_interval;
+  for (std::size_t i = 0; i < registry_.num_counters(); ++i) {
+    out.timeseries.columns.push_back(registry_.counter_name(i));
+  }
+  out.timeseries.rows = std::move(rows_);
+  out.event_counts = trace_.counts();
+  out.dropped_events = trace_.dropped();
+  out.events = trace_.take_events();
+  out.final_metrics = registry_.snapshot(baseline_);
+  return out;
+}
+
+}  // namespace ppf::obs

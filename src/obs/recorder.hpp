@@ -1,0 +1,160 @@
+// ppf::obs — the per-run observation recorder.
+//
+// One Recorder is created per simulation run (by Simulator::run /
+// run_from_snapshot) when SimConfig::obs.enabled is set, and attached to
+// the hierarchy and core, which register their metrics into its
+// registry. The hierarchy forwards lifecycle events and a once-per-cycle
+// tick; the recorder turns those into:
+//
+//   * an event trace (obs/trace.hpp),
+//   * an interval time-series of counter deltas every sample_interval
+//     cycles (ppf.timeseries.v1),
+//   * a final MetricsSnapshot covering the measurement window.
+//
+// Costs when off: obs.enabled=false means no Recorder exists at all, so
+// the hierarchy pays one null-pointer test per cycle (tick) and per
+// lifecycle transition (PPF_OBS_EVENT) — measured <2% MIPS
+// (tests/perf/obs_overhead_test.cpp). Compiling with -DPPF_OBS_DISABLED
+// removes the event probes entirely.
+//
+// Determinism: the recorder stores simulated cycles only — never wall
+// clock — and resets its baselines at the end-of-warmup stats reset, at
+// the exact same mid-cycle point on the cold path and the
+// warmup-snapshot path, so observations are byte-identical across runs,
+// across jobs=1 vs jobs=N, and across cold vs snapshot execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ppf::obs {
+
+/// Observability knobs, carried inside SimConfig. Deliberately excluded
+/// from sim::warmup_key: observation never shapes simulated machine
+/// state, so warm snapshots are shared across obs settings and each
+/// clone re-attaches a fresh Recorder.
+struct ObsConfig {
+  /// Master switch: create a Recorder for the run at all.
+  bool enabled = false;
+  /// Emit a timeseries row every N simulated cycles; 0 = no timeseries.
+  std::uint64_t sample_interval = 0;
+  /// Keep at most this many trace events (drop-newest beyond it).
+  std::size_t trace_capacity = 1u << 20;
+  /// Record individual lifecycle events (aggregate per-kind counts are
+  /// kept either way). Batch sweeps turn this off unless a trace sink
+  /// was requested, to bound memory across many jobs.
+  bool capture_events = true;
+  /// runlab live-progress slot (non-owning, may be null): the core
+  /// engine periodically stores its dispatched-instruction count here
+  /// with relaxed ordering. Independent of `enabled` — heartbeats are
+  /// telemetry, not part of the deterministic observation.
+  std::atomic<std::uint64_t>* heartbeat_slot = nullptr;
+};
+
+/// One interval row: counter deltas accrued in [start, end) cycles.
+struct TimeSeriesRow {
+  Cycle start = 0;
+  Cycle end = 0;
+  std::vector<std::uint64_t> deltas;
+};
+
+/// Interval time-series over the registry's counters, in registration
+/// order. Column sums equal the final-snapshot counter values (the last
+/// row is a partial interval flushed at finalize).
+struct TimeSeries {
+  std::uint64_t sample_interval = 0;
+  std::vector<std::string> columns;
+  std::vector<TimeSeriesRow> rows;
+};
+
+/// Everything observed in one run; plain data, detached from the
+/// (destroyed) components. Hangs off SimResult as a shared_ptr.
+struct RunObservation {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped_events = 0;
+  /// Whole-window per-kind totals (complete even when events dropped).
+  std::array<std::uint64_t, kNumEventKinds> event_counts{};
+  TimeSeries timeseries;
+  MetricsSnapshot final_metrics;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(const ObsConfig& cfg)
+      : cfg_(cfg), trace_(cfg.trace_capacity) {}
+
+  [[nodiscard]] MetricRegistry& registry() { return registry_; }
+  [[nodiscard]] const ObsConfig& config() const { return cfg_; }
+
+  /// Record one lifecycle transition (hot path — call via PPF_OBS_EVENT).
+  void event(EventKind k, Cycle cycle, LineAddr line, Pc pc,
+             PrefetchSource source) {
+    if (cfg_.capture_events) {
+      trace_.record(k, cycle, line, pc, source);
+    } else {
+      trace_.count_only(k);
+    }
+  }
+
+  /// Once per simulated cycle, from MemoryHierarchy::end_cycle. Cycles
+  /// skipped by the cores' stall fast-forward get no tick; the first
+  /// tick after a jump settles every boundary it crossed (the jumped
+  /// span is quiescent, so the skipped rows are genuinely empty).
+  void tick(Cycle now) {
+    last_cycle_ = now;
+    if (cfg_.sample_interval != 0 && now >= next_boundary_) slow_tick(now);
+  }
+
+  /// Last simulated cycle seen; finalize-time drain events carry it.
+  [[nodiscard]] Cycle last_cycle() const { return last_cycle_; }
+
+  /// End-of-warmup reset, called from MemoryHierarchy::reset_stats at
+  /// the warmup boundary: drops warmup events/rows and re-baselines the
+  /// counters so everything downstream covers the measurement window.
+  void on_stats_reset();
+
+  /// Flush the partial last interval, capture the final snapshot, and
+  /// move the observation out. Call once, after the hierarchy finalized.
+  [[nodiscard]] RunObservation finish();
+
+ private:
+  void slow_tick(Cycle now);
+
+  ObsConfig cfg_;
+  MetricRegistry registry_;
+  TraceBuffer trace_;
+
+  // Interval-sampler state. `anchored_` is false until the first tick
+  // after construction/reset; the first tick pins the row grid to its
+  // cycle, which is the same cycle on the cold and snapshot paths.
+  bool anchored_ = false;
+  Cycle row_start_ = 0;
+  Cycle next_boundary_ = 0;  ///< 0 forces the first tick to anchor
+  Cycle last_cycle_ = 0;
+  std::vector<std::uint64_t> baseline_;  ///< counters at stats reset
+  std::vector<std::uint64_t> prev_;      ///< counters at last row boundary
+  std::vector<std::uint64_t> scratch_;
+  std::vector<TimeSeriesRow> rows_;
+};
+
+}  // namespace ppf::obs
+
+/// Null-guarded event probe used at the hierarchy's lifecycle sites.
+/// Compiles to nothing under -DPPF_OBS_DISABLED.
+#ifdef PPF_OBS_DISABLED
+#define PPF_OBS_EVENT(rec, kind, cycle, line, pc, source) \
+  do {                                                    \
+  } while (false)
+#else
+#define PPF_OBS_EVENT(rec, kind, cycle, line, pc, source)          \
+  do {                                                             \
+    if ((rec) != nullptr) {                                        \
+      (rec)->event((kind), (cycle), (line), (pc), (source));       \
+    }                                                              \
+  } while (false)
+#endif

@@ -1,0 +1,19 @@
+#include "obs/trace.hpp"
+
+namespace ppf::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Issued: return "issued";
+    case EventKind::Filtered: return "filtered";
+    case EventKind::Squashed: return "squashed";
+    case EventKind::Fill: return "fill";
+    case EventKind::FirstUse: return "first_use";
+    case EventKind::EvictReferenced: return "evict_referenced";
+    case EventKind::EvictDead: return "evict_dead";
+    case EventKind::Recovered: return "recovered";
+  }
+  return "?";
+}
+
+}  // namespace ppf::obs

@@ -1,0 +1,107 @@
+// ppf::obs — prefetch-lifecycle event trace.
+//
+// Every prefetch walks a small state machine through the hierarchy:
+//
+//   issued ───────────────→ fill ──→ first_use ──→ evict_referenced
+//     │                       │                         (good)
+//     ├─→ filtered ──→ recovered?                  evict_dead (bad)
+//     └─→ squashed
+//
+// The TraceBuffer records one compact event per transition, adjacent to
+// the exact classifier/filter bookkeeping call for that transition, so
+// per-kind event counts reconcile *exactly* with the end-of-run
+// aggregate counters (tested in tests/obs/obs_integration_test.cpp).
+//
+// Bounded capture: the buffer keeps the first `capacity` events and
+// counts the rest as dropped (drop-newest keeps the recorded prefix a
+// consistent story instead of a ring with a torn start). Per-kind
+// aggregate counts always cover the whole run, dropped or not.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppf::obs {
+
+enum class EventKind : std::uint8_t {
+  Issued,           ///< passed the filter, left the prefetch queue
+  Filtered,         ///< rejected by the pollution filter
+  Squashed,         ///< redundant (resident / in flight / duplicate)
+  Fill,             ///< prefetched data landed (L1, buffer, or L2 target)
+  FirstUse,         ///< first demand reference to a prefetched line
+  EvictReferenced,  ///< final verdict: good (RIB set / promoted)
+  EvictDead,        ///< final verdict: bad (never referenced)
+  Recovered,        ///< demand miss proved a filter rejection wrong
+};
+
+inline constexpr std::size_t kNumEventKinds = 8;
+
+const char* to_string(EventKind k);
+
+/// 32-byte POD event. `cycle` is simulated time — never wall clock — so
+/// traces are deterministic and diffable.
+struct TraceEvent {
+  Cycle cycle = 0;
+  LineAddr line = 0;
+  Pc pc = 0;
+  EventKind kind = EventKind::Issued;
+  PrefetchSource source = PrefetchSource::Software;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(EventKind k, Cycle cycle, LineAddr line, Pc pc,
+              PrefetchSource source) {
+    ++counts_[static_cast<std::size_t>(k)];
+    if (events_.size() < capacity_) {
+      events_.push_back(TraceEvent{cycle, line, pc, k, source});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Bump the per-kind aggregate without storing a payload — the
+  /// capture_events=false path (counts stay whole-run accurate, and a
+  /// count-only event is not "dropped": nothing was ever kept).
+  void count_only(EventKind k) { ++counts_[static_cast<std::size_t>(k)]; }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::array<std::uint64_t, kNumEventKinds>& counts()
+      const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count(EventKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+
+  /// Forget everything recorded so far (end-of-warmup reset). Capacity
+  /// is kept.
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+    counts_.fill(0);
+  }
+
+  /// Move the recorded events out (the buffer is left cleared).
+  [[nodiscard]] std::vector<TraceEvent> take_events() {
+    std::vector<TraceEvent> out = std::move(events_);
+    events_.clear();
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kNumEventKinds> counts_{};
+};
+
+}  // namespace ppf::obs

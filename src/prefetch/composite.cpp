@@ -52,6 +52,11 @@ void CompositePrefetcher::on_prefetch_used(LineAddr line,
   for (auto& c : children_) c->on_prefetch_used(line, source);
 }
 
+void CompositePrefetcher::register_obs(obs::MetricRegistry& reg,
+                                       const std::string& prefix) const {
+  for (const auto& c : children_) c->register_obs(reg, prefix);
+}
+
 std::unique_ptr<Prefetcher> CompositePrefetcher::clone_rebound(
     mem::Cache& l1, mem::Cache& l2) const {
   auto copy = std::make_unique<CompositePrefetcher>();

@@ -33,6 +33,10 @@ class CompositePrefetcher final : public Prefetcher {
 
   [[nodiscard]] const char* name() const override { return "composite"; }
 
+  /// Forwards to every child so each engine registers under its own name.
+  void register_obs(obs::MetricRegistry& reg,
+                    const std::string& prefix) const override;
+
   /// Clones every child rebound to the given caches; returns nullptr if
   /// any child is not cloneable.
   [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(

@@ -1,5 +1,13 @@
 #include "prefetch/prefetcher.hpp"
 
-// The interface is header-only; this TU anchors the vtable.
+#include "obs/metrics.hpp"
 
-namespace ppf::prefetch {}  // namespace ppf::prefetch
+namespace ppf::prefetch {
+
+void Prefetcher::register_obs(obs::MetricRegistry& reg,
+                              const std::string& prefix) const {
+  reg.add_counter(prefix + "." + name() + ".candidates",
+                  [this] { return candidates_emitted(); });
+}
+
+}  // namespace ppf::prefetch

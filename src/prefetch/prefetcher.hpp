@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 
+namespace ppf::obs {
+class MetricRegistry;
+}
+
 namespace ppf::prefetch {
 
 /// A prefetch candidate produced by a prefetcher (line-granular).
@@ -57,6 +61,12 @@ class Prefetcher {
   [[nodiscard]] std::uint64_t candidates_emitted() const {
     return emitted_.value();
   }
+
+  /// Register this prefetcher's counters as `prefix.name().metric`
+  /// (ppf::obs). CompositePrefetcher forwards to its children instead so
+  /// each engine shows up under its own name.
+  virtual void register_obs(obs::MetricRegistry& reg,
+                            const std::string& prefix) const;
 
  protected:
   void count_emitted(std::uint64_t n = 1) { emitted_.add(n); }

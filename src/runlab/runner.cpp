@@ -2,9 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <exception>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "runlab/thread_pool.hpp"
@@ -138,6 +142,12 @@ class ExecContext {
 
 }  // namespace
 
+double safe_mips(std::uint64_t instructions, double wall_ms) {
+  const double denom_ms = wall_ms > 1e-6 ? wall_ms : 1e-6;
+  const double mips = static_cast<double>(instructions) / (denom_ms * 1000.0);
+  return std::isfinite(mips) ? mips : 0.0;
+}
+
 sim::SimResult execute_job(const Job& job) {
   if (job.config.filter == filter::FilterKind::Static) {
     return sim::run_static_filter(job.config, job.benchmark);
@@ -153,13 +163,74 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
   rep.telemetry.workers = pool.workers();
   rep.telemetry.total_jobs = jobs.size();
 
+  // Heartbeat wiring happens BEFORE the ExecContext is built and before
+  // any job moves into its result slot, so the slot pointer travels with
+  // the job wherever it goes. The slots never influence simulation (the
+  // core only stores into them) and obs settings are outside warmup_key,
+  // so arena/snapshot sharing is unaffected.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hb_slots;
+  std::vector<std::uint64_t> hb_expected(jobs.size(), 0);
+  std::uint64_t expected_total = 0;
+  if (opts.on_heartbeat) {
+    hb_slots = std::make_unique<std::atomic<std::uint64_t>[]>(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      hb_slots[i].store(0, std::memory_order_relaxed);
+      const sim::SimConfig& c = jobs[i].config;
+      const std::uint64_t warmup =
+          c.warmup_instructions < c.max_instructions ? c.warmup_instructions
+                                                     : 0;
+      hb_expected[i] = c.max_instructions + warmup;
+      expected_total += hb_expected[i];
+      jobs[i].config.obs.heartbeat_slot = &hb_slots[i];
+    }
+  }
+
   ExecContext ctx(jobs, opts);
 
   std::mutex progress_mu;
   std::size_t done = 0;
   std::size_t failed = 0;
+  std::atomic<std::size_t> done_atomic{0};
+  std::atomic<std::size_t> failed_atomic{0};
 
   const Clock::time_point batch_start = Clock::now();
+
+  // Monitor thread: wakes every heartbeat_period_ms, sums the per-job
+  // slots and reports batch liveness. Completed jobs pin their slot to
+  // the expected count so a finished batch always reads 100%.
+  std::thread monitor;
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  const auto make_heartbeat = [&] {
+    Heartbeat hb;
+    hb.done = done_atomic.load(std::memory_order_relaxed);
+    hb.total = rep.results.size();
+    hb.failed = failed_atomic.load(std::memory_order_relaxed);
+    hb.expected_instructions = expected_total;
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+      hb.instructions += hb_slots[i].load(std::memory_order_relaxed);
+    }
+    hb.wall_ms = ms_between(batch_start, Clock::now());
+    hb.mips = safe_mips(hb.instructions, hb.wall_ms);
+    if (hb.mips > 0 && hb.expected_instructions > hb.instructions) {
+      hb.eta_s = static_cast<double>(hb.expected_instructions -
+                                     hb.instructions) /
+                 (hb.mips * 1e6);
+    }
+    return hb;
+  };
+  if (opts.on_heartbeat) {
+    monitor = std::thread([&] {
+      const auto period = std::chrono::duration<double, std::milli>(
+          opts.heartbeat_period_ms > 1.0 ? opts.heartbeat_period_ms : 1.0);
+      std::unique_lock<std::mutex> lk(hb_mu);
+      while (!hb_cv.wait_for(lk, period, [&] { return hb_stop; })) {
+        opts.on_heartbeat(make_heartbeat());
+      }
+    });
+  }
+
   pool.run(jobs.size(), [&](std::size_t i, std::size_t worker) {
     JobResult& slot = rep.results[i];
     slot.job = std::move(jobs[i]);
@@ -176,15 +247,21 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
       slot.error = "unknown exception";
     }
     slot.wall_ms = ms_between(t0, Clock::now());
-    if (slot.ok && slot.wall_ms > 0) {
-      slot.mips = static_cast<double>(slot.result.core.instructions) /
-                  (slot.wall_ms * 1000.0);
+    if (slot.ok) {
+      slot.mips = safe_mips(slot.result.core.instructions, slot.wall_ms);
     }
     if (slot.ok && opts.job_timeout_ms > 0 &&
         slot.wall_ms > opts.job_timeout_ms) {
       slot.ok = false;
       slot.error = "timeout: job took " + sim::fmt(slot.wall_ms, 1) +
                    " ms (limit " + sim::fmt(opts.job_timeout_ms, 1) + " ms)";
+    }
+    if (hb_slots != nullptr) {
+      // Pin to the expected count: the heartbeat's notion of "all work
+      // done" must not depend on how recently the core last published.
+      hb_slots[i].store(hb_expected[i], std::memory_order_relaxed);
+      done_atomic.fetch_add(1, std::memory_order_relaxed);
+      if (!slot.ok) failed_atomic.fetch_add(1, std::memory_order_relaxed);
     }
 
     std::lock_guard<std::mutex> lk(progress_mu);
@@ -200,6 +277,18 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     }
   });
 
+  if (opts.on_heartbeat) {
+    {
+      std::lock_guard<std::mutex> lk(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    monitor.join();
+    // Final heartbeat so consumers always see the finished state even
+    // when the batch outran the first period.
+    opts.on_heartbeat(make_heartbeat());
+  }
+
   RunTelemetry& t = rep.telemetry;
   t.wall_ms = ms_between(batch_start, Clock::now());
   t.failed_jobs = failed;
@@ -211,8 +300,8 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     t.jobs_per_sec = 1000.0 * static_cast<double>(t.total_jobs) / t.wall_ms;
     t.utilization =
         t.busy_ms / (static_cast<double>(t.workers) * t.wall_ms);
-    t.mips = static_cast<double>(t.instructions) / (t.wall_ms * 1000.0);
   }
+  t.mips = safe_mips(t.instructions, t.wall_ms);
   t.arenas_built = ctx.arenas_built();
   t.snapshots_built = ctx.snapshots_built();
   t.snapshot_resumes = ctx.snapshot_resumes();

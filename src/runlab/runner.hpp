@@ -38,6 +38,30 @@ struct Progress {
   const JobResult* last = nullptr;  ///< the job that just finished
 };
 
+/// Instructions / wall-time in millions-per-second, hardened against the
+/// degenerate denominators a fast job can produce (zero or sub-resolution
+/// wall time would otherwise yield inf/NaN in telemetry payloads). The
+/// denominator is clamped to 1 microsecond; a non-finite result reports 0.
+[[nodiscard]] double safe_mips(std::uint64_t instructions, double wall_ms);
+
+/// Periodic liveness snapshot of a running batch, emitted from a monitor
+/// thread every RunOptions::heartbeat_period_ms. `instructions` counts
+/// every dispatched instruction so far (warmup included, in-flight jobs
+/// included) against `expected_instructions` for the whole batch, which is
+/// what makes the ETA meaningful mid-job rather than only at job
+/// boundaries. Wall-clock derived fields (mips, eta_s) are telemetry —
+/// never part of the deterministic output payload.
+struct Heartbeat {
+  std::size_t done = 0;    ///< jobs finished
+  std::size_t total = 0;   ///< jobs submitted
+  std::size_t failed = 0;  ///< jobs finished unsuccessfully
+  std::uint64_t instructions = 0;           ///< dispatched so far, all jobs
+  std::uint64_t expected_instructions = 0;  ///< batch total when done
+  double wall_ms = 0.0;  ///< batch wall time at this heartbeat
+  double mips = 0.0;     ///< instructions / wall_ms (safe_mips)
+  double eta_s = 0.0;    ///< remaining work / current rate; 0 if unknown
+};
+
 struct RunOptions {
   /// Worker threads; 0 = one per hardware thread.
   std::size_t workers = 0;
@@ -60,6 +84,14 @@ struct RunOptions {
   bool warmup_share = true;
   /// Called after every job completion, serialized across workers.
   std::function<void(const Progress&)> on_progress;
+  /// Called from a dedicated monitor thread roughly every
+  /// heartbeat_period_ms while the batch runs, plus once at the end.
+  /// Setting it wires a per-job heartbeat slot into each job's ObsConfig
+  /// so the core publishes its dispatched count as it simulates; leaving
+  /// it empty adds no per-instruction work at all.
+  std::function<void(const Heartbeat&)> on_heartbeat;
+  /// Monitor thread period for on_heartbeat, in milliseconds.
+  double heartbeat_period_ms = 250.0;
 };
 
 /// Convenience: options with just the worker count set.

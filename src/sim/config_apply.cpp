@@ -80,6 +80,25 @@ std::string first_unknown_key(const ParamMap& params,
   return "";
 }
 
+const std::vector<std::string>& ppf_sim_driver_keys() {
+  static const std::vector<std::string> keys = {
+      "bench",        "trace",     "csv",
+      "config",       "trace_cache", "warmup_share",
+      "obs",          "sample_interval", "trace_out",
+      "timeseries_out", "help"};
+  return keys;
+}
+
+const std::vector<std::string>& ppf_batch_driver_keys() {
+  static const std::vector<std::string> keys = {
+      "bench",       "filter",      "seeds",        "seed_list",
+      "jobs",        "out",         "csv",          "progress",
+      "timeout_ms",  "trace_cache", "warmup_share", "telemetry_json",
+      "obs",         "sample_interval", "trace_out", "timeseries_out",
+      "help"};
+  return keys;
+}
+
 void apply_overrides(SimConfig& cfg, const ParamMap& params) {
   static const std::set<std::string> known = [] {
     std::set<std::string> k;

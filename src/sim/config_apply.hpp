@@ -32,6 +32,14 @@ const std::vector<OverrideDoc>& override_docs();
 std::string first_unknown_key(const ParamMap& params,
                               const std::vector<std::string>& extra);
 
+/// Driver-only keys accepted by the ppf_sim CLI on top of the machine
+/// override keys. Exposed (rather than inlined in the tool) so the
+/// unknown-key rejection contract is unit-testable.
+const std::vector<std::string>& ppf_sim_driver_keys();
+
+/// Driver-only keys accepted by the ppf_batch CLI.
+const std::vector<std::string>& ppf_batch_driver_keys();
+
 /// Render the effective configuration as human-readable text.
 void print_config(std::ostream& os, const SimConfig& cfg);
 

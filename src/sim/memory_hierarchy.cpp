@@ -121,6 +121,46 @@ MemoryHierarchy::MemoryHierarchy(const MemoryHierarchy& o)
   active_filter_ = owned_filter_.get();
 }
 
+void MemoryHierarchy::attach_obs(obs::Recorder& rec) {
+  obs_ = &rec;
+  obs::MetricRegistry& reg = rec.registry();
+  l1d_.register_obs(reg, "l1d");
+  l1i_.register_obs(reg, "l1i");
+  l2_.register_obs(reg, "l2");
+  bus_.register_obs(reg, "bus");
+  dram_.register_obs(reg, "dram");
+  pq_.register_obs(reg, "pq");
+  mshr_.register_obs(reg, "mshr");
+  active_filter_->register_obs(reg, "filter");
+  prefetcher_.register_obs(reg, "prefetch");
+  if (buffer_ != nullptr) {
+    const mem::PrefetchBuffer* b = buffer_.get();
+    reg.add_counter("pfbuf.hits", [b] { return b->hits(); });
+  }
+  if (victim_ != nullptr) {
+    const mem::VictimCache* v = victim_.get();
+    reg.add_counter("victim.hits", [v] { return v->hits(); });
+  }
+  reg.add_counter("classifier.issued",
+                  [this] { return classifier_.issued().total(); });
+  reg.add_counter("classifier.filtered",
+                  [this] { return classifier_.filtered().total(); });
+  reg.add_counter("classifier.good",
+                  [this] { return classifier_.good().total(); });
+  reg.add_counter("classifier.bad",
+                  [this] { return classifier_.bad().total(); });
+  reg.add_counter("classifier.squashed",
+                  [this] { return classifier_.squashed(); });
+  reg.add_counter("hier.demand_accesses",
+                  [this] { return demand_accesses_; });
+  reg.add_counter("hier.prefetch_l1_fills",
+                  [this] { return prefetch_l1_fills_; });
+  reg.add_counter("hier.recoveries", [this] { return recovered_; });
+  reg.add_gauge("hier.ema_fill_interval",
+                [this] { return ema_fill_interval_; });
+  reg.add_histogram("l1d.load_latency", &load_latency_);
+}
+
 void MemoryHierarchy::begin_cycle(Cycle) {
   // Ports spent on prefetch issue in the previous cycle are still busy
   // when this cycle's demand accesses arrive — this is the port
@@ -143,10 +183,14 @@ bool MemoryHierarchy::line_resident(LineAddr line) const {
   return false;
 }
 
-void MemoryHierarchy::handle_eviction(const mem::Eviction& ev) {
+void MemoryHierarchy::handle_eviction(Cycle now, const mem::Eviction& ev) {
   if (ev.pib) {
     if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_evicted(ev.line);
     classifier_.record_outcome(ev.source, ev.rib);
+    PPF_OBS_EVENT(obs_,
+                  ev.rib ? obs::EventKind::EvictReferenced
+                         : obs::EventKind::EvictDead,
+                  now, ev.line, ev.trigger_pc, ev.source);
     active_filter_->feedback(
         filter::FilterFeedback{ev.line, ev.trigger_pc, ev.rib, ev.source});
   }
@@ -194,6 +238,10 @@ Cycle MemoryHierarchy::fetch_from_l2(Cycle now, Pc pc, Addr addr,
     if (auto ev2 = l2_.fill(addr, l2_info)) {
       if (ev2->pib) {
         classifier_.record_outcome(ev2->source, ev2->rib);
+        PPF_OBS_EVENT(obs_,
+                      ev2->rib ? obs::EventKind::EvictReferenced
+                               : obs::EventKind::EvictDead,
+                      now, ev2->line, ev2->trigger_pc, ev2->source);
         active_filter_->feedback(filter::FilterFeedback{
             ev2->line, ev2->trigger_pc, ev2->rib, ev2->source});
       }
@@ -202,12 +250,17 @@ Cycle MemoryHierarchy::fetch_from_l2(Cycle now, Pc pc, Addr addr,
         dram_.writeback();
       }
     }
+    if (l2_info.is_prefetch) {
+      // L2-target mode: this L2 allocation is the prefetch's fill.
+      PPF_OBS_EVENT(obs_, obs::EventKind::Fill, now, l1d_.line_of(addr), pc,
+                    info.source);
+    }
   }
 
   if (fill_l1) {
     mem::Cache& target = type == AccessType::InstFetch ? l1i_ : l1d_;
     const auto ev = target.fill(addr, info);
-    if (ev.has_value()) handle_eviction(*ev);
+    if (ev.has_value()) handle_eviction(now, *ev);
     if (is_prefetch && cfg_.enable_taxonomy &&
         type != AccessType::InstFetch) {
       // The victim counts as "live" if it was demand data or a
@@ -229,6 +282,8 @@ Cycle MemoryHierarchy::fetch_from_l2(Cycle now, Pc pc, Addr addr,
       in_flight_.note_fill(now, l1d_.line_of(addr), ready);
       if (is_prefetch) {
         ++prefetch_l1_fills_;
+        PPF_OBS_EVENT(obs_, obs::EventKind::Fill, now, l1d_.line_of(addr),
+                      info.trigger_pc, info.source);
         prefetcher_.on_prefetch_fill(l1d_.line_of(addr), info.source);
       }
     }
@@ -247,6 +302,8 @@ Cycle MemoryHierarchy::demand_access(Cycle now, Pc pc, Addr addr,
   Cycle result;
   if (r.hit) {
     if (r.first_use_of_prefetch) {
+      PPF_OBS_EVENT(obs_, obs::EventKind::FirstUse, now, l1d_.line_of(addr),
+                    pc, r.source);
       prefetcher_.on_prefetch_used(l1d_.line_of(addr), r.source);
       if (cfg_.enable_taxonomy) {
         taxonomy_.on_prefetch_used(l1d_.line_of(addr));
@@ -268,7 +325,7 @@ Cycle MemoryHierarchy::demand_access(Cycle now, Pc pc, Addr addr,
       if (const auto vc = victim_->recall(line)) {
         mem::FillInfo back;
         back.dirty = vc->dirty || is_store;
-        if (auto ev = l1d_.fill(addr, back)) handle_eviction(*ev);
+        if (auto ev = l1d_.fill(addr, back)) handle_eviction(now, *ev);
         const Cycle done = now + cfg_.l1d.latency + 1;
         if (!is_store) load_latency_.record(done - now);
         route_candidates(now, scratch_cands_);
@@ -282,11 +339,15 @@ Cycle MemoryHierarchy::demand_access(Cycle now, Pc pc, Addr addr,
       // Prefetch-buffer hit: the prefetch proved good; promote into L1 as
       // a demand-resident line.
       classifier_.record_outcome(promoted->source, true);
+      PPF_OBS_EVENT(obs_, obs::EventKind::FirstUse, now, line, pc,
+                    promoted->source);
+      PPF_OBS_EVENT(obs_, obs::EventKind::EvictReferenced, now,
+                    promoted->line, promoted->trigger_pc, promoted->source);
       active_filter_->feedback(filter::FilterFeedback{
           promoted->line, promoted->trigger_pc, true, promoted->source});
       prefetcher_.on_prefetch_used(line, promoted->source);
       if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_used(line);
-      if (auto ev = l1d_.fill(addr, mem::FillInfo{})) handle_eviction(*ev);
+      if (auto ev = l1d_.fill(addr, mem::FillInfo{})) handle_eviction(now, *ev);
       result = now + cfg_.l1d.latency;
     } else {
       const Cycle l1_probe_done = now + cfg_.l1d.latency;
@@ -345,6 +406,8 @@ void MemoryHierarchy::check_recovery(Cycle now, LineAddr line) {
     active_filter_->recover(filter::FilterFeedback{
         line, it->second.trigger_pc, true, it->second.source});
     ++recovered_;
+    PPF_OBS_EVENT(obs_, obs::EventKind::Recovered, now, line,
+                  it->second.trigger_pc, it->second.source);
   }
   rejected_.erase(it);
 }
@@ -355,11 +418,15 @@ void MemoryHierarchy::route_candidates(
     // Duplicate squash: line already resident or being fetched (no cost).
     if (line_resident(c.line) || line_in_flight(now, c.line)) {
       classifier_.record_squashed();
+      PPF_OBS_EVENT(obs_, obs::EventKind::Squashed, now, c.line, c.trigger_pc,
+                    c.source);
       continue;
     }
     const filter::PrefetchCandidate fc{c.line, c.trigger_pc, c.source};
     if (!active_filter_->admit(fc)) {
       classifier_.record_filtered(c.source);
+      PPF_OBS_EVENT(obs_, obs::EventKind::Filtered, now, c.line, c.trigger_pc,
+                    c.source);
       note_rejected(now, fc);
       continue;
     }
@@ -379,10 +446,14 @@ void MemoryHierarchy::end_cycle(Cycle now) {
     if (line_resident(e->line) || line_in_flight(now, e->line) ||
         (cfg_.prefetch_to_l2 && l2_.contains(l1d_.base_of(e->line)))) {
       classifier_.record_squashed();
+      PPF_OBS_EVENT(obs_, obs::EventKind::Squashed, now, e->line,
+                    e->trigger_pc, e->source);
       continue;
     }
     const Addr addr = l1d_.base_of(e->line);
     classifier_.record_issued(e->source);
+    PPF_OBS_EVENT(obs_, obs::EventKind::Issued, now, e->line, e->trigger_pc,
+                  e->source);
     const mem::FillInfo info{/*is_prefetch=*/true, e->trigger_pc, e->source};
     if (cfg_.prefetch_to_l2) {
       // Structural pollution avoidance: stage the data in the L2 only.
@@ -392,14 +463,17 @@ void MemoryHierarchy::end_cycle(Cycle now) {
       // Dedicated-buffer mode: fetch the data but fill the buffer.
       fetch_from_l2(now, e->trigger_pc, addr, /*is_prefetch=*/true,
                     /*fill_l1=*/false, info, AccessType::Prefetch);
+      PPF_OBS_EVENT(obs_, obs::EventKind::Fill, now, e->line, e->trigger_pc,
+                    e->source);
       if (auto ev = buffer_->insert(e->line, e->trigger_pc, e->source)) {
-        handle_eviction(*ev);
+        handle_eviction(now, *ev);
       }
     } else {
       fetch_from_l2(now, e->trigger_pc, addr, /*is_prefetch=*/true,
                     /*fill_l1=*/true, info, AccessType::Prefetch);
     }
   }
+  if (obs_ != nullptr) obs_->tick(now);
 }
 
 Cycle MemoryHierarchy::fetch(Cycle now, Pc pc) {
@@ -426,26 +500,44 @@ void MemoryHierarchy::reset_stats() {
   active_filter_->reset_stats();
   demand_accesses_ = 0;
   prefetch_l1_fills_ = 0;
+  if (obs_ != nullptr) obs_->on_stats_reset();
 }
 
 void MemoryHierarchy::finalize() {
   PPF_CHECK_MSG(!finalized_, "finalize() called twice");
   finalized_ = true;
+  // Drain events carry the last simulated cycle (deterministic; there is
+  // no "after the end" cycle to attribute them to).
+  const Cycle end = obs_ != nullptr ? obs_->last_cycle() : 0;
   for (const mem::Eviction& ev : l1d_.drain()) {
     if (ev.pib) {
       if (cfg_.enable_taxonomy) taxonomy_.on_prefetch_evicted(ev.line);
       classifier_.record_outcome(ev.source, ev.rib);
+      PPF_OBS_EVENT(obs_,
+                    ev.rib ? obs::EventKind::EvictReferenced
+                           : obs::EventKind::EvictDead,
+                    end, ev.line, ev.trigger_pc, ev.source);
     }
   }
   if (cfg_.enable_taxonomy) taxonomy_.finalize();
   if (buffer_ != nullptr) {
     for (const mem::Eviction& ev : buffer_->drain()) {
       classifier_.record_outcome(ev.source, ev.rib);
+      PPF_OBS_EVENT(obs_,
+                    ev.rib ? obs::EventKind::EvictReferenced
+                           : obs::EventKind::EvictDead,
+                    end, ev.line, ev.trigger_pc, ev.source);
     }
   }
   if (cfg_.prefetch_to_l2) {
     for (const mem::Eviction& ev : l2_.drain()) {
-      if (ev.pib) classifier_.record_outcome(ev.source, ev.rib);
+      if (ev.pib) {
+        classifier_.record_outcome(ev.source, ev.rib);
+        PPF_OBS_EVENT(obs_,
+                      ev.rib ? obs::EventKind::EvictReferenced
+                             : obs::EventKind::EvictDead,
+                      end, ev.line, ev.trigger_pc, ev.source);
+      }
     }
   }
 }

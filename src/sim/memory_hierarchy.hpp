@@ -19,6 +19,7 @@
 #include "mem/prefetch_buffer.hpp"
 #include "mem/prefetch_queue.hpp"
 #include "mem/victim_cache.hpp"
+#include "obs/recorder.hpp"
 #include "prefetch/composite.hpp"
 #include "sim/classifier.hpp"
 #include "sim/inflight_map.hpp"
@@ -106,6 +107,13 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   /// Rejected prefetches later proven useful by a demand miss.
   [[nodiscard]] std::uint64_t filter_recoveries() const { return recovered_; }
 
+  /// Attach an observation recorder (non-owning; must outlive the runs
+  /// it observes): registers every component's metrics and turns on
+  /// lifecycle events + the per-cycle interval tick. Not copied by the
+  /// clone constructor — each cloned run attaches its own recorder.
+  void attach_obs(obs::Recorder& rec);
+  [[nodiscard]] obs::Recorder* obs_recorder() const { return obs_; }
+
  private:
   /// Fetch a line through the L2 (and memory beyond); optionally fill the
   /// L1. Returns the cycle the data is available.
@@ -118,7 +126,7 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
                         const std::vector<prefetch::PrefetchRequest>& cands);
 
   /// Process one L1/buffer eviction: classify, feed the filter, write back.
-  void handle_eviction(const mem::Eviction& ev);
+  void handle_eviction(Cycle now, const mem::Eviction& ev);
 
   /// True if the line is resident anywhere a prefetch would be redundant.
   [[nodiscard]] bool line_resident(LineAddr line) const;
@@ -186,6 +194,10 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   std::uint64_t demand_accesses_ = 0;
   std::uint64_t prefetch_l1_fills_ = 0;
   bool finalized_ = false;
+
+  /// Observation recorder (non-owning, null when obs is off — the whole
+  /// instrumentation is then one pointer test per site).
+  obs::Recorder* obs_ = nullptr;
 
   std::vector<prefetch::PrefetchRequest> scratch_cands_;
 };

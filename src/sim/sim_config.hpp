@@ -12,6 +12,7 @@
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "obs/recorder.hpp"
 #include "sim/energy.hpp"
 
 namespace ppf::sim {
@@ -98,6 +99,12 @@ struct SimConfig {
 
   /// Per-event energy prices for the memory-system energy estimate.
   EnergyConfig energy;
+
+  /// Observability (ppf::obs): metric registry, lifecycle trace, and
+  /// interval timeseries. Never affects simulated behaviour, so it is
+  /// excluded from warmup_key (snapshots are shared across obs
+  /// settings) and from the deterministic result payloads.
+  obs::ObsConfig obs;
 
   /// Track the full Srinivasan prefetch taxonomy (useful / useful-
   /// polluting / polluting / useless) alongside the paper's good/bad

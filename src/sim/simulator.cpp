@@ -27,6 +27,12 @@ SimResult Simulator::run(workload::TraceSource& trace,
                          filter::PollutionFilter* external_filter) {
   MemoryHierarchy mem(cfg_, external_filter);
 
+  std::unique_ptr<obs::Recorder> rec;
+  if (cfg_.obs.enabled) {
+    rec = std::make_unique<obs::Recorder>(cfg_.obs);
+    mem.attach_obs(*rec);
+  }
+
   const std::uint64_t warmup =
       cfg_.warmup_instructions < cfg_.max_instructions
           ? cfg_.warmup_instructions
@@ -36,6 +42,12 @@ SimResult Simulator::run(workload::TraceSource& trace,
                                             ? core::EngineKind::Dataflow
                                             : core::EngineKind::Occupancy,
                                         cfg_.core, mem, mem);
+  if (rec != nullptr) engine->register_obs(rec->registry());
+  // Heartbeats are independent of the obs switch: runlab progress wants
+  // them even for plain (obs-off) jobs.
+  if (cfg_.obs.heartbeat_slot != nullptr) {
+    engine->set_heartbeat(cfg_.obs.heartbeat_slot);
+  }
   const core::CoreResult core = engine->run(
       trace, cfg_.max_instructions + warmup, warmup, on_warmup);
   return collect_result(cfg_, mem, core, trace.name());
@@ -101,6 +113,12 @@ SimResult collect_result(const SimConfig& cfg, MemoryHierarchy& mem,
   res.mshr_stalls = mem.mshr().stalls();
   res.victim_hits =
       mem.victim_cache() == nullptr ? 0 : mem.victim_cache()->hits();
+  if (obs::Recorder* rec = mem.obs_recorder(); rec != nullptr) {
+    // After finalize(): the drain-time eviction events are in the buffer
+    // and the classifier totals are final, so counts reconcile exactly.
+    res.observation =
+        std::make_shared<obs::RunObservation>(rec->finish());
+  }
   return res;
 }
 

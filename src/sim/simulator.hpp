@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/ooo_core.hpp"
+#include "obs/recorder.hpp"
 #include "sim/classifier.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/energy.hpp"
@@ -58,6 +59,11 @@ struct SimResult {
 
   /// Srinivasan-taxonomy view of the issued prefetches (when enabled).
   TaxonomyCounts taxonomy;
+
+  /// Full observability record (events, time series, final metrics) when
+  /// the run had cfg.obs.enabled; null otherwise. shared_ptr so copying a
+  /// SimResult (runlab aggregation) stays cheap.
+  std::shared_ptr<const obs::RunObservation> observation;
 
   [[nodiscard]] double ipc() const { return core.ipc(); }
   [[nodiscard]] double l1d_miss_rate() const;

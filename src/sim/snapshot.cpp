@@ -17,6 +17,10 @@ void key_cache(std::ostringstream& os, const mem::CacheConfig& c) {
 
 }  // namespace
 
+// Note: cfg.obs is deliberately NOT part of the key. Observability never
+// shapes machine state (the recorder only reads counters), so a snapshot
+// warmed without obs is valid for runs with any obs setting — each resumed
+// run attaches its own fresh Recorder after cloning.
 std::string warmup_key(const SimConfig& cfg) {
   std::ostringstream os;
   os << to_string(cfg.core_model) << '|' << cfg.core.width << ','
@@ -100,6 +104,18 @@ SimResult run_from_snapshot(const SimConfig& cfg, const WarmupSnapshot& snap) {
   workload::TraceCursor cursor(snap.arena_, snap.cursor_->pos());
   const auto engine = snap.engine_->clone_rebound(mem, mem, cursor);
   PPF_CHECK(engine != nullptr);
+
+  // Attach a fresh recorder before the stats reset so the reset doubles
+  // as the obs baseline capture — the exact point the cold path samples.
+  std::unique_ptr<obs::Recorder> rec;
+  if (cfg.obs.enabled) {
+    rec = std::make_unique<obs::Recorder>(cfg.obs);
+    mem.attach_obs(*rec);
+    engine->register_obs(rec->registry());
+  }
+  if (cfg.obs.heartbeat_slot != nullptr) {
+    engine->set_heartbeat(cfg.obs.heartbeat_slot);
+  }
 
   // Same sequence the cold path runs at the boundary: statistics reset,
   // then the measurement window opens, then the run completes.

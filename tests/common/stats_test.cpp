@@ -63,6 +63,60 @@ TEST(Histogram, ResetClearsEverything) {
   EXPECT_EQ(h.max_seen(), 0u);
 }
 
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  Histogram h(10, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileClampsQuantileToUnitInterval) {
+  Histogram h(10, 4);
+  h.record(5);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h(10, 4);
+  h.record(5);  // one sample in bucket [0,10)
+  // Linear interpolation inside the containing bucket: the quantile
+  // sweeps the bucket's span, not the sample's exact value.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileOnUniformSamplesIsExact) {
+  Histogram h(10, 10);
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.00), 100.0);
+}
+
+TEST(Histogram, PercentileOverflowTailInterpolatesToMaxSeen) {
+  Histogram h(10, 2);     // tracked range [0, 20)
+  h.record(10);           // bucket [10,20)
+  h.record(100);          // overflow x3, max_seen = 100
+  h.record(100);
+  h.record(100);
+  // Quantiles that land in the overflow bucket interpolate uniformly
+  // over [range_end, max_seen] — approximate, but bounded by max_seen.
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_GT(h.percentile(0.75), 20.0);
+  EXPECT_LE(h.percentile(0.75), 100.0);
+}
+
+TEST(Histogram, MeanStaysExactDespiteOverflow) {
+  Histogram h(10, 2);
+  h.record(0);
+  h.record(1000);  // far past the tracked range
+  // mean() uses the exact running sum — overflow does not skew it.
+  EXPECT_DOUBLE_EQ(h.mean(), 500.0);
+  // percentile() can only promise the overflow-tail approximation.
+  EXPECT_LE(h.percentile(1.0), 1000.0);
+}
+
 TEST(Ratio, HandlesZeroDenominator) {
   EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
   EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);

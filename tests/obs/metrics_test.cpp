@@ -1,0 +1,93 @@
+// MetricRegistry unit tests: registration order, delta snapshots,
+// gauges, histogram summaries.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace ppf;
+
+TEST(MetricRegistry, CountersSampleInRegistrationOrder) {
+  std::uint64_t a = 1, b = 2, c = 3;
+  obs::MetricRegistry reg;
+  reg.add_counter("z.last", [&] { return c; });
+  reg.add_counter("a.first", [&] { return a; });
+  reg.add_counter("m.mid", [&] { return b; });
+
+  ASSERT_EQ(reg.num_counters(), 3u);
+  // Registration order, NOT lexicographic — attach order is the contract.
+  EXPECT_EQ(reg.counter_name(0), "z.last");
+  EXPECT_EQ(reg.counter_name(1), "a.first");
+  EXPECT_EQ(reg.counter_name(2), "m.mid");
+
+  std::vector<std::uint64_t> out;
+  reg.sample_counters(out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3, 1, 2}));
+}
+
+TEST(MetricRegistry, SnapshotSubtractsBaseline) {
+  std::uint64_t v = 100;
+  obs::MetricRegistry reg;
+  reg.add_counter("x", [&] { return v; });
+
+  std::vector<std::uint64_t> baseline;
+  reg.sample_counters(baseline);
+  v = 140;
+
+  const obs::MetricsSnapshot snap = reg.snapshot(baseline);
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "x");
+  EXPECT_EQ(snap.counters[0].second, 40u);
+}
+
+TEST(MetricRegistry, EmptyBaselineMeansWholeRun) {
+  std::uint64_t v = 77;
+  obs::MetricRegistry reg;
+  reg.add_counter("x", [&] { return v; });
+  const obs::MetricsSnapshot snap = reg.snapshot({});
+  EXPECT_EQ(snap.counters[0].second, 77u);
+}
+
+TEST(MetricRegistry, GaugesArePointSamples) {
+  double level = 1.5;
+  obs::MetricRegistry reg;
+  reg.add_gauge("queue.occupancy", [&] { return level; });
+  level = 4.25;
+  const obs::MetricsSnapshot snap = reg.snapshot({});
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "queue.occupancy");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 4.25);
+}
+
+TEST(MetricRegistry, HistogramSummarizedAtSnapshot) {
+  Histogram h(10, 10);  // buckets [0,10), [10,20), ... [90,100) + overflow
+  for (int i = 0; i < 100; ++i) h.record(static_cast<std::uint64_t>(i));
+  obs::MetricRegistry reg;
+  reg.add_histogram("lat", &h);
+
+  const obs::MetricsSnapshot snap = reg.snapshot({});
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.name, "lat");
+  EXPECT_EQ(hs.count, 100u);
+  EXPECT_DOUBLE_EQ(hs.mean, 49.5);
+  EXPECT_EQ(hs.max, 99u);
+  EXPECT_NEAR(hs.p50, 50.0, 10.0);
+  EXPECT_NEAR(hs.p95, 95.0, 10.0);
+  EXPECT_GE(hs.p99, hs.p95);
+}
+
+TEST(MetricRegistry, DuplicateCounterNameIsFatal) {
+  obs::MetricRegistry reg;
+  reg.add_counter("dup", [] { return std::uint64_t{0}; });
+  EXPECT_DEATH(reg.add_counter("dup", [] { return std::uint64_t{1}; }),
+               "duplicate");
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// TraceBuffer + export-writer unit tests: bounded capture semantics and
+// the stable on-disk formats (ppf.trace.v1 JSONL, Chrome trace_event,
+// ppf.timeseries.v1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace ppf;
+
+TEST(TraceBuffer, DropNewestKeepsPrefixAndFullCounts) {
+  obs::TraceBuffer buf(2);
+  buf.record(obs::EventKind::Issued, 10, 0x100, 0x4000,
+             PrefetchSource::NextSequence);
+  buf.record(obs::EventKind::Fill, 20, 0x100, 0x4000,
+             PrefetchSource::NextSequence);
+  buf.record(obs::EventKind::FirstUse, 30, 0x100, 0x4000,
+             PrefetchSource::NextSequence);
+
+  // The first two events are kept verbatim; the third only counts.
+  ASSERT_EQ(buf.events().size(), 2u);
+  EXPECT_EQ(buf.events()[0].kind, obs::EventKind::Issued);
+  EXPECT_EQ(buf.events()[1].kind, obs::EventKind::Fill);
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.count(obs::EventKind::Issued), 1u);
+  EXPECT_EQ(buf.count(obs::EventKind::Fill), 1u);
+  EXPECT_EQ(buf.count(obs::EventKind::FirstUse), 1u);
+}
+
+TEST(TraceBuffer, ClearForgetsEverything) {
+  obs::TraceBuffer buf(1);
+  buf.record(obs::EventKind::Issued, 1, 1, 1, PrefetchSource::Software);
+  buf.record(obs::EventKind::Issued, 2, 2, 2, PrefetchSource::Software);
+  buf.clear();
+  EXPECT_TRUE(buf.events().empty());
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.count(obs::EventKind::Issued), 0u);
+}
+
+TEST(EventKind, EveryKindHasAStableName) {
+  const std::vector<std::string> expected = {
+      "issued",    "filtered",         "squashed",   "fill",
+      "first_use", "evict_referenced", "evict_dead", "recovered"};
+  for (std::size_t k = 0; k < obs::kNumEventKinds; ++k) {
+    EXPECT_EQ(obs::to_string(static_cast<obs::EventKind>(k)), expected[k]);
+  }
+}
+
+obs::RunObservation tiny_observation() {
+  obs::RunObservation o;
+  o.events.push_back(obs::TraceEvent{100, 0xABC, 0x4010,
+                                     obs::EventKind::Issued,
+                                     PrefetchSource::NextSequence});
+  o.events.push_back(obs::TraceEvent{150, 0xABC, 0x4010,
+                                     obs::EventKind::Fill,
+                                     PrefetchSource::NextSequence});
+  o.event_counts[static_cast<std::size_t>(obs::EventKind::Issued)] = 1;
+  o.event_counts[static_cast<std::size_t>(obs::EventKind::Fill)] = 1;
+  o.timeseries.sample_interval = 100;
+  // Counter columns only; the writer prepends cycle_start/cycle_end.
+  o.timeseries.columns = {"l1d.fills"};
+  o.timeseries.rows.push_back(obs::TimeSeriesRow{0, 100, {7}});
+  o.final_metrics.counters.emplace_back("l1d.fills", 7);
+  return o;
+}
+
+TEST(TraceExport, JsonlHeaderThenOneLinePerEvent) {
+  std::ostringstream os;
+  obs::write_trace_jsonl(os, tiny_observation(), {"mcf", "pc"});
+  const std::string out = os.str();
+
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  ASSERT_EQ(all.size(), 3u);  // header + 2 events
+  EXPECT_NE(all[0].find("\"schema\":\"ppf.trace.v1\""), std::string::npos);
+  EXPECT_NE(all[0].find("\"workload\":\"mcf\""), std::string::npos);
+  EXPECT_NE(all[0].find("\"filter\":\"pc\""), std::string::npos);
+  EXPECT_NE(all[1].find("\"event\":\"issued\""), std::string::npos);
+  EXPECT_NE(all[1].find("\"line\":\"0xabc\""), std::string::npos);
+  EXPECT_NE(all[2].find("\"event\":\"fill\""), std::string::npos);
+  EXPECT_NE(all[2].find("\"cycle\":150"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeFormatHasTrustedSkeleton) {
+  std::ostringstream os;
+  obs::write_trace_chrome(os, tiny_observation(), {"mcf", "pc"});
+  const std::string out = os.str();
+
+  // The keys chrome://tracing / Perfetto actually dispatch on.
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instant events
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(out.find("\"prefetch:nsp\""), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TraceExport, TimeseriesCarriesSchemaColumnsRowsAndFinal) {
+  std::ostringstream os;
+  obs::write_timeseries_json(os, tiny_observation(), {"em3d", "pa"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\": \"ppf.timeseries.v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"cycle_start\""), std::string::npos);
+  EXPECT_NE(out.find("\"l1d.fills\""), std::string::npos);
+  EXPECT_NE(out.find("\"workload\": \"em3d\""), std::string::npos);
+  EXPECT_NE(out.find("\"event_counts\""), std::string::npos);
+}
+
+TEST(TraceExport, WritersAreDeterministic) {
+  const obs::RunObservation o = tiny_observation();
+  for (auto writer : {obs::write_trace_jsonl, obs::write_trace_chrome,
+                      obs::write_timeseries_json}) {
+    std::ostringstream a, b;
+    writer(a, o, {"mcf", "pc"});
+    writer(b, o, {"mcf", "pc"});
+    EXPECT_EQ(a.str(), b.str());
+  }
+}
+
+}  // namespace

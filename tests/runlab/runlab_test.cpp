@@ -4,6 +4,7 @@
 // the pool can be run under TSan in isolation (see CMakePresets.json).
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -232,6 +233,69 @@ TEST(Runner, TraceCacheAloneKeepsJsonByteIdentical) {
   EXPECT_EQ(to_json(run_sweep(spec, cold)), to_json(rep));
   EXPECT_EQ(rep.telemetry.arenas_built, 1u);
   EXPECT_EQ(rep.telemetry.snapshot_resumes, 0u);
+}
+
+TEST(Telemetry, SafeMipsClampsDegenerateWallTimes) {
+  // A job that finishes inside the clock's resolution must not report
+  // an infinite or NaN rate — clamp the denominator instead.
+  EXPECT_EQ(safe_mips(0, 0.0), 0.0);
+  const double burst = safe_mips(1'000'000, 0.0);
+  EXPECT_TRUE(std::isfinite(burst));
+  EXPECT_GT(burst, 0.0);
+  EXPECT_EQ(safe_mips(1'000'000, -5.0), burst);  // negative clock skew too
+  // The normal case is plain arithmetic: 1M instructions in 1000 ms.
+  EXPECT_DOUBLE_EQ(safe_mips(1'000'000, 1000.0), 1.0);
+}
+
+TEST(Runner, HeartbeatsTrackProgressAndEndComplete) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.base.max_instructions = 20'000;
+  spec.base.warmup_instructions = 5'000;
+  spec.benchmarks = {"mcf", "em3d"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pc};
+
+  std::vector<Heartbeat> beats;
+  RunOptions opts = with_workers(2);
+  opts.heartbeat_period_ms = 1.0;  // fast enough to fire on tiny jobs
+  opts.on_heartbeat = [&](const Heartbeat& hb) { beats.push_back(hb); };
+  const RunReport rep = run_sweep(spec, opts);
+  ASSERT_EQ(rep.telemetry.failed_jobs, 0u);
+
+  ASSERT_FALSE(beats.empty());
+  // Monotone progress: done and instructions never move backwards.
+  for (std::size_t i = 1; i < beats.size(); ++i) {
+    EXPECT_GE(beats[i].done, beats[i - 1].done);
+    EXPECT_GE(beats[i].instructions, beats[i - 1].instructions);
+  }
+  for (const Heartbeat& hb : beats) {
+    EXPECT_EQ(hb.total, 4u);
+    EXPECT_LE(hb.instructions, hb.expected_instructions);
+    EXPECT_TRUE(std::isfinite(hb.mips));
+    EXPECT_GE(hb.mips, 0.0);
+    EXPECT_GE(hb.eta_s, 0.0);
+  }
+  // The final beat (sent after the pool drains) reads 100%: every job
+  // done and every expected instruction accounted for.
+  const Heartbeat& last = beats.back();
+  EXPECT_EQ(last.done, 4u);
+  EXPECT_EQ(last.failed, 0u);
+  // 4 jobs x (20k window + 5k warmup) dispatched instructions.
+  EXPECT_EQ(last.expected_instructions, 4u * 25'000u);
+  EXPECT_EQ(last.instructions, last.expected_instructions);
+}
+
+TEST(Runner, HeartbeatsDoNotPerturbResults) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "em3d"};
+  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+
+  RunOptions with_hb = with_workers(4);
+  with_hb.heartbeat_period_ms = 1.0;
+  with_hb.on_heartbeat = [](const Heartbeat&) {};
+  EXPECT_EQ(to_json(run_sweep(spec, with_workers(1))),
+            to_json(run_sweep(spec, with_hb)));
 }
 
 TEST(Sinks, CsvHasOneRowPerJobOnCanonicalColumns) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -112,6 +113,39 @@ TEST(ConfigApply, EveryDocumentedKeyIsAccepted) {
                                            : "8");
     EXPECT_NO_THROW(apply_overrides(cfg, p)) << d.key;
   }
+}
+
+TEST(ConfigApply, DriverKeyListsCarryTheObservabilityKnobs) {
+  // Both CLIs must accept the obs sinks through their typo rejection.
+  for (const auto* keys : {&ppf_sim_driver_keys(), &ppf_batch_driver_keys()}) {
+    for (const char* k : {"obs", "sample_interval", "trace_out",
+                          "timeseries_out", "help"}) {
+      EXPECT_NE(std::find(keys->begin(), keys->end(), k), keys->end()) << k;
+    }
+  }
+  // And the batch-only knobs stay batch-only.
+  const auto& batch = ppf_batch_driver_keys();
+  EXPECT_NE(std::find(batch.begin(), batch.end(), "progress"), batch.end());
+  EXPECT_NE(std::find(batch.begin(), batch.end(), "telemetry_json"),
+            batch.end());
+  const auto& simk = ppf_sim_driver_keys();
+  EXPECT_EQ(std::find(simk.begin(), simk.end(), "progress"), simk.end());
+}
+
+TEST(ConfigApply, FirstUnknownKeyAcceptsObsKnobsRejectsTypos) {
+  // The accepted path: obs keys + machine keys pass through untouched.
+  EXPECT_EQ(first_unknown_key(params({"bench=mcf", "filter=pc",
+                                      "trace_out=t.json",
+                                      "sample_interval=1000", "obs=1"}),
+                              ppf_sim_driver_keys()),
+            "");
+  // A one-character typo must be named, not silently ignored.
+  EXPECT_EQ(first_unknown_key(params({"trace_ou=t.json"}),
+                              ppf_sim_driver_keys()),
+            "trace_ou");
+  EXPECT_EQ(first_unknown_key(params({"timeserie_out=x.json"}),
+                              ppf_batch_driver_keys()),
+            "timeserie_out");
 }
 
 TEST(ConfigApply, PrintConfigMentionsKeyFacts) {

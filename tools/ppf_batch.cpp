@@ -10,13 +10,17 @@
 //   ppf_batch bench=all filter=none,pc csv=results.csv instructions=500000
 //   ppf_batch help=1
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/export.hpp"
 #include "runlab/runner.hpp"
 #include "runlab/sinks.hpp"
 #include "sim/config_apply.hpp"
@@ -25,12 +29,6 @@
 using namespace ppf;
 
 namespace {
-
-const std::vector<std::string> kDriverKeys = {
-    "bench",       "filter",      "seeds",          "seed_list",
-    "jobs",        "out",         "csv",            "progress",
-    "timeout_ms",  "trace_cache", "warmup_share",   "telemetry_json",
-    "help"};
 
 int usage(const char* argv0) {
   std::cerr
@@ -56,6 +54,18 @@ int usage(const char* argv0) {
       << "  telemetry_json=PATH (or --telemetry-json=PATH) — wall-clock "
          "throughput telemetry (ppf.telemetry.v1 / BENCH_throughput.json "
          "schema)\n"
+      << "observability keys (see docs/OBSERVABILITY.md):\n"
+      << "  obs=0|1         — per-job metrics recording (implied by the "
+         "sinks below)\n"
+      << "  trace_out=PREFIX (or --trace-out=PREFIX) — per-job lifecycle "
+         "trace files PREFIX.<index>.json (Chrome trace_event; .jsonl "
+         "prefix suffix selects ppf.trace.v1 lines)\n"
+      << "  timeseries_out=PREFIX — per-job interval metrics "
+         "PREFIX.<index>.timeseries.json (ppf.timeseries.v1)\n"
+      << "  sample_interval=N — cycles per time-series row (default 50000 "
+         "when timeseries_out is set)\n"
+      << "\n--progress is shorthand for progress=1; with it the stderr "
+         "line also carries live MIPS/ETA heartbeats mid-job\n"
       << "\nworkloads:";
   for (const std::string& n : workload::benchmark_names()) {
     std::cerr << " " << n;
@@ -80,14 +90,20 @@ std::vector<std::string> split_list(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Accept the GNU-style spelling for the telemetry sink so CI scripts
-  // can say --telemetry-json=out.json; everything else is key=value.
+  // Accept GNU-style spellings for a few flags so CI scripts can say
+  // --telemetry-json=out.json / --trace-out=pfx / --progress; everything
+  // else is key=value.
   std::vector<std::string> arg_storage(argv, argv + argc);
   std::vector<char*> arg_ptrs;
   for (std::string& a : arg_storage) {
-    const std::string prefix = "--telemetry-json=";
-    if (a.rfind(prefix, 0) == 0) {
-      a = "telemetry_json=" + a.substr(prefix.size());
+    const std::string telemetry_prefix = "--telemetry-json=";
+    const std::string trace_prefix = "--trace-out=";
+    if (a.rfind(telemetry_prefix, 0) == 0) {
+      a = "telemetry_json=" + a.substr(telemetry_prefix.size());
+    } else if (a.rfind(trace_prefix, 0) == 0) {
+      a = "trace_out=" + a.substr(trace_prefix.size());
+    } else if (a == "--progress") {
+      a = "progress=1";
     }
     arg_ptrs.push_back(a.data());
   }
@@ -102,7 +118,8 @@ int main(int argc, char** argv) {
   }
   if (params.has("help")) return usage(argv[0]);
 
-  const std::string unknown = sim::first_unknown_key(params, kDriverKeys);
+  const std::vector<std::string>& driver_keys = sim::ppf_batch_driver_keys();
+  const std::string unknown = sim::first_unknown_key(params, driver_keys);
   if (!unknown.empty()) {
     std::cerr << "unknown key: " << unknown << "\n\n";
     return usage(argv[0]);
@@ -111,8 +128,8 @@ int main(int argc, char** argv) {
   // Machine config: every non-driver key is an override on Table 1.
   ParamMap machine;
   for (const auto& [k, v] : params.entries()) {
-    if (std::find(kDriverKeys.begin(), kDriverKeys.end(), k) ==
-        kDriverKeys.end()) {
+    if (std::find(driver_keys.begin(), driver_keys.end(), k) ==
+        driver_keys.end()) {
       machine.set(k, v);
     }
   }
@@ -167,6 +184,27 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  // Observability knobs apply to every expanded job via the sweep base.
+  const std::string trace_out = params.get_string("trace_out", "");
+  const std::string timeseries_out = params.get_string("timeseries_out", "");
+  try {
+    std::uint64_t sample_interval = params.get_u64("sample_interval", 0);
+    if (!timeseries_out.empty() && sample_interval == 0) {
+      sample_interval = 50'000;
+    }
+    spec.base.obs.enabled = params.get_bool("obs", false) ||
+                            !trace_out.empty() || !timeseries_out.empty() ||
+                            sample_interval > 0;
+    spec.base.obs.sample_interval = sample_interval;
+    // Keeping every job's full event stream in memory is only worth it
+    // when a trace sink asked for it; aggregate event counts (cheap) are
+    // always recorded while obs is on.
+    spec.base.obs.capture_events = !trace_out.empty();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
   runlab::RunOptions opts;
   bool progress = true;
   try {
@@ -180,13 +218,30 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   if (progress) {
-    opts.on_progress = [](const runlab::Progress& p) {
+    // Completion events and mid-job heartbeats share one stderr status
+    // line; both rewrite it in place with \r.
+    auto ui_mu = std::make_shared<std::mutex>();
+    opts.on_progress = [ui_mu](const runlab::Progress& p) {
+      std::lock_guard<std::mutex> lk(*ui_mu);
       std::cerr << "\r[" << p.done << "/" << p.total << "] ";
       if (p.failed > 0) std::cerr << p.failed << " failed, ";
       std::cerr << "last: " << p.last->job.benchmark << "/"
                 << p.last->job.filter_name << "/s" << p.last->job.seed
                 << "          " << std::flush;
       if (p.done == p.total) std::cerr << "\n";
+    };
+    opts.on_heartbeat = [ui_mu](const runlab::Heartbeat& hb) {
+      if (hb.done == hb.total) return;  // final line belongs to on_progress
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "\r[%zu/%zu] %.1f MI of %.1f MI (%.1f MIPS, eta %.0fs)"
+                    "          ",
+                    hb.done, hb.total,
+                    static_cast<double>(hb.instructions) / 1e6,
+                    static_cast<double>(hb.expected_instructions) / 1e6,
+                    hb.mips, hb.eta_s);
+      std::lock_guard<std::mutex> lk(*ui_mu);
+      std::cerr << buf << std::flush;
     };
   }
 
@@ -221,6 +276,54 @@ int main(int argc, char** argv) {
       return 1;
     }
     runlab::write_telemetry_json(f, rep);
+  }
+
+  // Per-job observability sinks: PREFIX.<submission-index>.<ext>. The
+  // index is the stable job identity (results are in submission order),
+  // so filenames are deterministic for any jobs=N.
+  if (!trace_out.empty() || !timeseries_out.empty()) {
+    const auto split_prefix = [](const std::string& p, bool& jsonl) {
+      jsonl = p.size() >= 6 && p.rfind(".jsonl") == p.size() - 6;
+      if (jsonl) return p.substr(0, p.size() - 6);
+      if (p.size() >= 5 && p.rfind(".json") == p.size() - 5) {
+        return p.substr(0, p.size() - 5);
+      }
+      return p;
+    };
+    for (const runlab::JobResult& jr : rep.results) {
+      if (!jr.ok || jr.result.observation == nullptr) continue;
+      const obs::ExportMeta meta{jr.result.workload, jr.result.filter_name};
+      const std::string idx = std::to_string(jr.job.index);
+      if (!trace_out.empty()) {
+        bool jsonl = false;
+        const std::string base = split_prefix(trace_out, jsonl);
+        const std::string path =
+            base + "." + idx + (jsonl ? ".jsonl" : ".json");
+        std::ofstream f(path);
+        if (!f) {
+          std::cerr << "cannot open " << path << " for writing\n";
+          return 1;
+        }
+        if (jsonl) {
+          obs::write_trace_jsonl(f, *jr.result.observation, meta);
+        } else {
+          obs::write_trace_chrome(f, *jr.result.observation, meta);
+        }
+      }
+      if (!timeseries_out.empty()) {
+        bool jsonl = false;
+        const std::string base = split_prefix(timeseries_out, jsonl);
+        // Distinct suffix so trace_out and timeseries_out can share one
+        // prefix without the later write clobbering the earlier one.
+        const std::string path = base + "." + idx + ".timeseries.json";
+        std::ofstream f(path);
+        if (!f) {
+          std::cerr << "cannot open " << path << " for writing\n";
+          return 1;
+        }
+        obs::write_timeseries_json(f, *jr.result.observation, meta);
+      }
+    }
   }
   return rep.telemetry.failed_jobs == 0 ? 0 : 1;
 }

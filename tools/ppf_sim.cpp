@@ -6,11 +6,15 @@
 //
 //   ppf_sim bench=mcf filter=pc instructions=2000000
 //   ppf_sim trace=/tmp/app.ppftrace filter=pa csv=1
+//   ppf_sim bench=mcf filter=pc trace_out=trace.json timeseries_out=ts.json
 //   ppf_sim help=1
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "common/config.hpp"
+#include "obs/export.hpp"
 #include "sim/config_apply.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
@@ -30,7 +34,17 @@ int usage(const char* argv0) {
                "run from the arena (default 1; results identical)\n"
             << "  warmup_share=0|1 — exercise the warmup-snapshot path: pause "
                "at the warmup boundary, clone, resume (default 0; results "
-               "identical, needs trace_cache=1)\n\nworkloads:";
+               "identical, needs trace_cache=1)\n"
+            << "observability keys (see docs/OBSERVABILITY.md):\n"
+            << "  obs=0|1          — enable the metrics/trace recorder "
+               "(implied by the keys below)\n"
+            << "  trace_out=PATH (or --trace-out=PATH) — write the prefetch "
+               "lifecycle trace: Chrome/Perfetto trace_event JSON, or JSONL "
+               "(ppf.trace.v1) when PATH ends in .jsonl\n"
+            << "  timeseries_out=PATH — write interval metric deltas "
+               "(ppf.timeseries.v1 JSON)\n"
+            << "  sample_interval=N — cycles per time-series row (default "
+               "50000 when timeseries_out is set)\n\nworkloads:";
   for (const std::string& n : workload::benchmark_names()) {
     std::cerr << " " << n;
   }
@@ -44,6 +58,19 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the GNU-style spelling for the trace sink so scripts can say
+  // --trace-out=trace.json; everything else is key=value.
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  std::vector<char*> arg_ptrs;
+  for (std::string& a : arg_storage) {
+    const std::string prefix = "--trace-out=";
+    if (a.rfind(prefix, 0) == 0) {
+      a = "trace_out=" + a.substr(prefix.size());
+    }
+    arg_ptrs.push_back(a.data());
+  }
+  argv = arg_ptrs.data();
+
   ParamMap params;
   try {
     params = ParamMap::from_args(argc, argv);
@@ -55,9 +82,8 @@ int main(int argc, char** argv) {
 
   // Reject typos up front, naming the offending key next to the full
   // accepted list — a mistyped knob must never silently run the default.
-  const std::string unknown = sim::first_unknown_key(
-      params, {"bench", "trace", "csv", "config", "trace_cache",
-               "warmup_share", "help"});
+  const std::vector<std::string>& driver_keys = sim::ppf_sim_driver_keys();
+  const std::string unknown = sim::first_unknown_key(params, driver_keys);
   if (!unknown.empty()) {
     std::cerr << "unknown key: " << unknown << "\n\n";
     return usage(argv[0]);
@@ -69,12 +95,27 @@ int main(int argc, char** argv) {
   const bool show_config = params.get_bool("config", true);
   const bool trace_cache = params.get_bool("trace_cache", true);
   const bool warmup_share = params.get_bool("warmup_share", false);
+  const std::string trace_out = params.get_string("trace_out", "");
+  const std::string timeseries_out = params.get_string("timeseries_out", "");
+  std::uint64_t sample_interval = 0;
+  bool obs_on = false;
+  try {
+    sample_interval = params.get_u64("sample_interval", 0);
+    obs_on = params.get_bool("obs", false) || !trace_out.empty() ||
+             !timeseries_out.empty() || sample_interval > 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (!timeseries_out.empty() && sample_interval == 0) {
+    sample_interval = 50'000;
+  }
 
   // Strip driver-only keys before handing the rest to the machine config.
   ParamMap machine;
   for (const auto& [k, v] : params.entries()) {
-    if (k != "bench" && k != "trace" && k != "csv" && k != "config" &&
-        k != "trace_cache" && k != "warmup_share" && k != "help") {
+    if (std::find(driver_keys.begin(), driver_keys.end(), k) ==
+        driver_keys.end()) {
       machine.set(k, v);
     }
   }
@@ -87,6 +128,8 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return usage(argv[0]);
   }
+  cfg.obs.enabled = obs_on;
+  cfg.obs.sample_interval = sample_interval;
 
   std::unique_ptr<workload::TraceSource> source;
   if (!trace_path.empty()) {
@@ -135,6 +178,35 @@ int main(int argc, char** argv) {
     r = sim::Simulator(cfg).run(*source);
   }
 
+  // Observability sinks. A path ending in .jsonl selects the line-based
+  // ppf.trace.v1 format; anything else gets Chrome/Perfetto trace_event
+  // JSON (load it at ui.perfetto.dev or chrome://tracing).
+  if (r.observation != nullptr) {
+    const obs::ExportMeta meta{r.workload, r.filter_name};
+    if (!trace_out.empty()) {
+      std::ofstream f(trace_out);
+      if (!f) {
+        std::cerr << "cannot open " << trace_out << " for writing\n";
+        return 1;
+      }
+      const bool jsonl = trace_out.size() >= 6 &&
+                         trace_out.rfind(".jsonl") == trace_out.size() - 6;
+      if (jsonl) {
+        obs::write_trace_jsonl(f, *r.observation, meta);
+      } else {
+        obs::write_trace_chrome(f, *r.observation, meta);
+      }
+    }
+    if (!timeseries_out.empty()) {
+      std::ofstream f(timeseries_out);
+      if (!f) {
+        std::cerr << "cannot open " << timeseries_out << " for writing\n";
+        return 1;
+      }
+      obs::write_timeseries_json(f, *r.observation, meta);
+    }
+  }
+
   if (csv) {
     sim::result_table(r).write_csv(std::cout);
   } else {
@@ -143,6 +215,31 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
     sim::print_result(std::cout, r);
+    if (r.observation != nullptr) {
+      const obs::RunObservation& o = *r.observation;
+      std::cout << "\nobservability:\n  trace events        "
+                << o.events.size();
+      if (o.dropped_events > 0) {
+        std::cout << " (+" << o.dropped_events << " dropped)";
+      }
+      std::cout << "\n  issued/filtered     "
+                << o.event_counts[static_cast<std::size_t>(
+                       obs::EventKind::Issued)]
+                << " / "
+                << o.event_counts[static_cast<std::size_t>(
+                       obs::EventKind::Filtered)]
+                << "\n  fills               "
+                << o.event_counts[static_cast<std::size_t>(
+                       obs::EventKind::Fill)]
+                << "\n  first-use/dead-evict "
+                << o.event_counts[static_cast<std::size_t>(
+                       obs::EventKind::FirstUse)]
+                << " / "
+                << o.event_counts[static_cast<std::size_t>(
+                       obs::EventKind::EvictDead)]
+                << "\n  timeseries rows     " << o.timeseries.rows.size()
+                << "\n";
+    }
   }
   return 0;
 }
