@@ -1,0 +1,71 @@
+#include "check/check.hpp"
+
+#include "common/assert.hpp"
+
+namespace ppf::check {
+
+const char* to_string(CheckMode m) {
+  switch (m) {
+    case CheckMode::Off:
+      return "off";
+    case CheckMode::Final:
+      return "final";
+    case CheckMode::Paranoid:
+      return "paranoid";
+  }
+  return "?";
+}
+
+std::string CheckFailure::format() const {
+  std::string s;
+  s.reserve(component.size() + invariant.size() + message.size() + 48);
+  s += "invariant violated: [";
+  s += component;
+  s += "] ";
+  s += invariant;
+  s += " at cycle ";
+  s += std::to_string(cycle);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+CheckViolation::CheckViolation(CheckFailure f)
+    : std::runtime_error(f.format()), failure_(std::move(f)) {}
+
+void CheckContext::fail(std::string_view invariant, std::string message) {
+  out_->push_back(CheckFailure{*component_, std::string(invariant), cycle_,
+                               std::move(message)});
+}
+
+void CheckRegistry::add(std::string component, CheckFn fn) {
+  PPF_CHECK(fn != nullptr);
+  checks_.emplace_back(std::move(component), std::move(fn));
+}
+
+void CheckRegistry::run(Cycle now, std::vector<CheckFailure>& out) const {
+  for (const auto& [component, fn] : checks_) {
+    CheckContext ctx(&component, now, &out);
+    fn(ctx);
+  }
+}
+
+void Checker::sweep(Cycle now) {
+  const std::size_t before = failures_.size();
+  registry_.run(now, failures_);
+  if (cfg_.fail_at != 0 && now >= cfg_.fail_at) {
+    static const std::string kSelf = "checker";
+    failures_.push_back(CheckFailure{
+        kSelf, "checker.tripwire", now,
+        "injected via check_fail_at=" + std::to_string(cfg_.fail_at)});
+  }
+  ++sweeps_;
+  next_sweep_ = now + (cfg_.period == 0 ? 1 : cfg_.period);
+  if (abort_on_failure_ && failures_.size() > before) {
+    throw CheckViolation(failures_[before]);
+  }
+}
+
+}  // namespace ppf::check

@@ -15,8 +15,12 @@
 //       keep them armed.
 //
 // When compiled out, PPF_ASSERT does NOT evaluate its expression — never
-// put side effects in an assert. The sizeof trick keeps variables that
-// exist only for the check from triggering -Wunused warnings.
+// put side effects in an assert. The unevaluated sizeof keeps variables
+// that exist only for the check from triggering -Wunused warnings, and
+// the static_cast<bool> inside it keeps the compiled-out branch exactly
+// as strict as the armed one: an expression that is not contextually
+// convertible to bool fails to compile in *every* build type, not just
+// Debug (tests/common/assert_release_mode_test.cpp pins this down).
 #pragma once
 
 #include <string_view>
@@ -41,14 +45,14 @@ namespace ppf::detail {
   } while (false)
 
 #ifdef NDEBUG
-#define PPF_ASSERT(expr) \
-  do {                   \
-    (void)sizeof(expr);  \
+#define PPF_ASSERT(expr)                     \
+  do {                                       \
+    (void)sizeof(static_cast<bool>(expr));   \
   } while (false)
-#define PPF_ASSERT_MSG(expr, msg) \
-  do {                            \
-    (void)sizeof(expr);           \
-    (void)sizeof(msg);            \
+#define PPF_ASSERT_MSG(expr, msg)            \
+  do {                                       \
+    (void)sizeof(static_cast<bool>(expr));   \
+    (void)sizeof(msg);                       \
   } while (false)
 #else
 #define PPF_ASSERT(expr) PPF_CHECK(expr)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 
 namespace ppf::core {
@@ -417,6 +418,40 @@ CoreResult DataflowCore::finish(std::uint64_t dispatch_limit) {
 
 void DataflowCore::register_obs(obs::MetricRegistry& reg) const {
   register_core_counters(reg, res_);
+}
+
+void DataflowCore::register_checks(check::CheckRegistry& reg) const {
+  reg.add("core", [this](check::CheckContext& ctx) {
+    ctx.require(rob_next_seq_ - rob_head_seq_ == rob_count_ &&
+                    rob_count_ <= cfg_.rob_entries,
+                "core.rob_ring", [&] {
+                  return "head=" + std::to_string(rob_head_seq_) + " next=" +
+                         std::to_string(rob_next_seq_) + " count=" +
+                         std::to_string(rob_count_) + " capacity=" +
+                         std::to_string(cfg_.rob_entries);
+                });
+    ctx.require(lsq_count_ <= cfg_.lsq_entries && lsq_count_ <= rob_count_,
+                "core.lsq_bound", [&] {
+                  return "lsq=" + std::to_string(lsq_count_) + " capacity=" +
+                         std::to_string(cfg_.lsq_entries) + " rob=" +
+                         std::to_string(rob_count_);
+                });
+    for (std::size_t r = 0; r < regs_.size(); ++r) {
+      ctx.require(regs_[r].producer == kNoProducer ||
+                      regs_[r].producer < rob_next_seq_,
+                  "core.reg_producer", [&] {
+                    return "r" + std::to_string(r) + " producer seq " +
+                           std::to_string(regs_[r].producer) +
+                           " was never allocated (next=" +
+                           std::to_string(rob_next_seq_) + ")";
+                  });
+    }
+    ctx.require(fbuf_pos_ <= fbuf_len_ && fbuf_len_ <= fbuf_.size(),
+                "core.fetch_buffer", [&] {
+                  return "pos=" + std::to_string(fbuf_pos_) + " len=" +
+                         std::to_string(fbuf_len_);
+                });
+  });
 }
 
 }  // namespace ppf::core

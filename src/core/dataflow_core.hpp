@@ -52,6 +52,7 @@ class DataflowCore final : public CoreEngine {
       DataMemory& dmem, InstMemory& imem,
       workload::TraceSource& trace) const override;
   void register_obs(obs::MetricRegistry& reg) const override;
+  void register_checks(check::CheckRegistry& reg) const override;
 
   [[nodiscard]] const BimodalPredictor& predictor() const { return bp_; }
 

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "core/dataflow_core.hpp"
 #include "core/ooo_core.hpp"
@@ -8,6 +9,8 @@
 namespace ppf::core {
 
 void CoreEngine::register_obs(obs::MetricRegistry&) const {}
+
+void CoreEngine::register_checks(check::CheckRegistry&) const {}
 
 void CoreEngine::register_core_counters(obs::MetricRegistry& reg,
                                         const CoreResult& res) {

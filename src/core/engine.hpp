@@ -36,6 +36,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::core {
 
@@ -126,6 +129,10 @@ class CoreEngine {
   /// Register this core's window counters as `core.metric` (ppf::obs).
   /// Default registers nothing; both timing models override.
   virtual void register_obs(obs::MetricRegistry& reg) const;
+
+  /// Register this core's structural invariants under `core` (ppf::check).
+  /// Default registers nothing; both timing models override.
+  virtual void register_checks(check::CheckRegistry& reg) const;
 
  protected:
   /// Call from the cycle loop with the cumulative dispatched count.

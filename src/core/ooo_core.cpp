@@ -2,7 +2,9 @@
 
 #include <limits>
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
+#include "common/bits.hpp"
 
 namespace ppf::core {
 namespace {
@@ -418,6 +420,54 @@ CoreResult OooCore::finish(std::uint64_t dispatch_limit) {
 
 void OooCore::register_obs(obs::MetricRegistry& reg) const {
   register_core_counters(reg, res_);
+}
+
+void OooCore::register_checks(check::CheckRegistry& reg) const {
+  reg.add("core", [this](check::CheckContext& ctx) {
+    const bool ring_ok = rob_next_seq_ - rob_head_seq_ == rob_count_ &&
+                         rob_count_ <= cfg_.rob_entries &&
+                         rob_.size() == rob_mask_ + 1 && is_pow2(rob_.size());
+    ctx.require(ring_ok, "core.rob_ring", [&] {
+      return "head=" + std::to_string(rob_head_seq_) + " next=" +
+             std::to_string(rob_next_seq_) + " count=" +
+             std::to_string(rob_count_) + " capacity=" +
+             std::to_string(cfg_.rob_entries) + " storage=" +
+             std::to_string(rob_.size());
+    });
+    ctx.require(lsq_count_ <= cfg_.lsq_entries && lsq_count_ <= rob_count_,
+                "core.lsq_bound", [&] {
+                  return "lsq=" + std::to_string(lsq_count_) + " capacity=" +
+                         std::to_string(cfg_.lsq_entries) + " rob=" +
+                         std::to_string(rob_count_);
+                });
+    // Every pending op occupies a not-yet-issued ROB entry, and both
+    // queues hold entries in strict age (allocation seq) order — the
+    // LSQ-age-order property retirement and serial issue depend on.
+    const auto ordered = [&](const std::deque<PendingMem>& q) {
+      std::uint64_t prev = 0;
+      bool first = true;
+      for (const PendingMem& p : q) {
+        if (!first && p.seq <= prev) return false;
+        if (p.seq < rob_head_seq_ || p.seq >= rob_next_seq_) return false;
+        prev = p.seq;
+        first = false;
+      }
+      return true;
+    };
+    ctx.require(ordered(pending_mem_) && ordered(pending_serial_) &&
+                    pending_mem_.size() + pending_serial_.size() <= rob_count_,
+                "core.lsq_age_order", [&] {
+                  return "pending_mem=" + std::to_string(pending_mem_.size()) +
+                         " pending_serial=" +
+                         std::to_string(pending_serial_.size()) + " rob=" +
+                         std::to_string(rob_count_);
+                });
+    ctx.require(fbuf_pos_ <= fbuf_len_ && fbuf_len_ <= fbuf_.size(),
+                "core.fetch_buffer", [&] {
+                  return "pos=" + std::to_string(fbuf_pos_) + " len=" +
+                         std::to_string(fbuf_len_);
+                });
+  });
 }
 
 }  // namespace ppf::core

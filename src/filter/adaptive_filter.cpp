@@ -1,5 +1,6 @@
 #include "filter/adaptive_filter.hpp"
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 
 namespace ppf::filter {
@@ -31,6 +32,21 @@ void AdaptiveFilter::feedback(const FilterFeedback& f) {
     if (!engaged_ && accuracy_ < cfg_.accuracy_threshold) engaged_ = true;
     if (engaged_ && accuracy_ > cfg_.release_threshold) engaged_ = false;
   }
+}
+
+void AdaptiveFilter::register_checks(check::CheckRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    ctx.require(window_good_ <= window_events_ && window_events_ < cfg_.window,
+                "adaptive.window_accounting", [&] {
+                  return "good " + std::to_string(window_good_) +
+                         " events " + std::to_string(window_events_) +
+                         " window " + std::to_string(cfg_.window);
+                });
+    ctx.require(accuracy_ >= 0.0 && accuracy_ <= 1.0, "adaptive.accuracy_unit",
+                [&] { return "accuracy " + std::to_string(accuracy_); });
+  });
+  inner_->register_checks(reg, prefix);
 }
 
 std::unique_ptr<PollutionFilter> AdaptiveFilter::clone_rebound(

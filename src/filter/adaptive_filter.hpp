@@ -34,6 +34,11 @@ class AdaptiveFilter final : public PollutionFilter {
   void feedback(const FilterFeedback& f) override;
   [[nodiscard]] const char* name() const override { return "adaptive"; }
 
+  /// Checks the window accounting and forwards to the inner filter's
+  /// table checks.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const override;
+
   [[nodiscard]] bool engaged() const { return engaged_; }
   [[nodiscard]] double last_window_accuracy() const { return accuracy_; }
   [[nodiscard]] const PollutionFilter& inner() const { return *inner_; }

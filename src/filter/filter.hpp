@@ -20,6 +20,9 @@ class Cache;
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::filter {
 
@@ -71,6 +74,12 @@ class PollutionFilter {
   /// Register the admit/reject counters as `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
+  /// Register scheme-specific structural invariants (ppf::check).
+  /// Table-based filters check their history tables; stateless schemes
+  /// inherit the default, which registers nothing.
+  virtual void register_checks(check::CheckRegistry& reg,
+                               const std::string& prefix) const;
+
   /// Reset the admit/reject counters (e.g. at end of warmup); the
   /// learned predictor state is deliberately kept.
   void reset_stats() {
@@ -110,6 +119,8 @@ class PaFilter final : public PollutionFilter {
   void feedback(const FilterFeedback& f) override;
   void recover(const FilterFeedback& f) override;
   [[nodiscard]] const char* name() const override { return "pa"; }
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const override;
   [[nodiscard]] const HistoryTable& table() const { return table_; }
   [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
       const mem::Cache&) const override {
@@ -135,6 +146,8 @@ class PcFilter final : public PollutionFilter {
   void feedback(const FilterFeedback& f) override;
   void recover(const FilterFeedback& f) override;
   [[nodiscard]] const char* name() const override { return "pc"; }
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const override;
   [[nodiscard]] const HistoryTable& table() const { return table_; }
   [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
       const mem::Cache&) const override {

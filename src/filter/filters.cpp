@@ -1,5 +1,6 @@
 #include "filter/filter.hpp"
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
 
@@ -20,6 +21,9 @@ void PollutionFilter::register_obs(obs::MetricRegistry& reg,
   reg.add_counter(prefix + ".rejected", [this] { return rejected(); });
 }
 
+void PollutionFilter::register_checks(check::CheckRegistry&,
+                                      const std::string&) const {}
+
 PaFilter::PaFilter(HistoryTableConfig cfg) : table_(cfg) {}
 
 bool PaFilter::decide(const PrefetchCandidate& c) {
@@ -32,6 +36,11 @@ void PaFilter::feedback(const FilterFeedback& f) {
 
 void PaFilter::recover(const FilterFeedback& f) {
   table_.update_strong(f.line, f.referenced, f.source);
+}
+
+void PaFilter::register_checks(check::CheckRegistry& reg,
+                               const std::string& prefix) const {
+  table_.register_checks(reg, prefix);
 }
 
 PcFilter::PcFilter(HistoryTableConfig cfg, unsigned inst_bytes)
@@ -54,6 +63,11 @@ void PcFilter::feedback(const FilterFeedback& f) {
 
 void PcFilter::recover(const FilterFeedback& f) {
   table_.update_strong(key_of(f.trigger_pc), f.referenced, f.source);
+}
+
+void PcFilter::register_checks(check::CheckRegistry& reg,
+                               const std::string& prefix) const {
+  table_.register_checks(reg, prefix);
 }
 
 }  // namespace ppf::filter

@@ -1,5 +1,6 @@
 #include "filter/history_table.hpp"
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 
@@ -65,6 +66,31 @@ double HistoryTable::touched_fraction() const {
   std::size_t n = 0;
   for (bool t : touched_) n += t ? 1 : 0;
   return static_cast<double>(n) / static_cast<double>(touched_.size());
+}
+
+void HistoryTable::register_checks(check::CheckRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    const bool size_ok = counters_.size() == cfg_.entries &&
+                         is_pow2(counters_.size()) &&
+                         touched_.size() == counters_.size();
+    ctx.require(size_ok, "table.size_pow2", [&] {
+      return std::to_string(counters_.size()) + " counters, configured " +
+             std::to_string(cfg_.entries);
+    });
+    const std::uint8_t max =
+        static_cast<std::uint8_t>((1U << cfg_.counter_bits) - 1);
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      const SaturatingCounter& c = counters_[i];
+      ctx.require(c.value() <= c.max() && c.max() == max,
+                  "table.counter_range", [&] {
+                    return "entry " + std::to_string(i) + " value " +
+                           std::to_string(c.value()) + " max " +
+                           std::to_string(c.max()) + " expected max " +
+                           std::to_string(max);
+                  });
+    }
+  });
 }
 
 void HistoryTable::reset() {

@@ -11,6 +11,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace ppf::check {
+class CheckRegistry;
+}
+
 namespace ppf::filter {
 
 struct HistoryTableConfig {
@@ -74,6 +78,12 @@ class HistoryTable {
   /// Fraction of counters that have moved away from the initial value —
   /// a cheap occupancy/aliasing indicator used in the table-size study.
   [[nodiscard]] double touched_fraction() const;
+
+  /// Register this table's structural invariants (ppf::check): the size
+  /// is the configured power of two and every saturating counter holds a
+  /// value inside its width (2-bit counters in [0, 3]).
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
 
   void reset();
 

@@ -1,5 +1,6 @@
 #include "mem/bus.hpp"
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,6 +35,25 @@ void Bus::register_obs(obs::MetricRegistry& reg,
   reg.add_counter(prefix + ".busy_cycles", [this] { return busy_cycles(); });
   reg.add_counter(prefix + ".queue_delay_cycles",
                   [this] { return queue_delay_cycles(); });
+}
+
+void Bus::register_checks(check::CheckRegistry& reg,
+                          const std::string& prefix) const {
+  // `seen` persists across sweeps inside the closure: the horizon must
+  // never move backwards between two observations of the same bus.
+  reg.add(prefix, [this, seen = Cycle{0}](check::CheckContext& ctx) mutable {
+    ctx.require(next_free_ >= seen, "bus.horizon_monotone", [&] {
+      return "next_free moved backwards: " + std::to_string(next_free_) +
+             " < previously observed " + std::to_string(seen);
+    });
+    seen = next_free_;
+    ctx.require(prefetch_transfers() <= transfers(), "bus.prefetch_subset",
+                [&] {
+                  return std::to_string(prefetch_transfers()) +
+                         " prefetch transfers > " +
+                         std::to_string(transfers()) + " total";
+                });
+  });
 }
 
 void Bus::reset_stats() {

@@ -13,6 +13,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::mem {
 
@@ -49,6 +52,12 @@ class Bus {
 
   /// Register this bus's counters as `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
+
+  /// Register this bus's structural invariants (ppf::check): the
+  /// free-time horizon never moves backwards, prefetch transfers are a
+  /// subset of all transfers.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
 
   void reset_stats();
 

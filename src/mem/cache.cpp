@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "obs/metrics.hpp"
@@ -233,6 +234,68 @@ void Cache::register_obs(obs::MetricRegistry& reg,
   reg.add_counter(prefix + ".evictions", [this] { return evictions(); });
   reg.add_counter(prefix + ".prefetch_displacements",
                   [this] { return prefetch_displacements(); });
+}
+
+std::uint64_t Cache::pib_lines() const {
+  std::uint64_t n = 0;
+  for (const LineMeta& m : meta_) {
+    if (m.valid && m.pib) ++n;
+  }
+  return n;
+}
+
+void Cache::corrupt_line_for_test(Addr addr, bool pib, bool rib) {
+  const std::size_t idx = find_way(line_of(addr));
+  PPF_CHECK_MSG(idx != kNoWay, "corrupt_line_for_test: line not resident");
+  meta_[idx].pib = pib;
+  meta_[idx].rib = rib;
+}
+
+void Cache::register_checks(check::CheckRegistry& reg,
+                            const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    const std::uint64_t lines = cfg_.num_lines();
+    const bool soa_ok = tags_.size() == lines && meta_.size() == lines &&
+                        shadow_.size() == lines &&
+                        (set_mask_ + 1) * ways_ == lines;
+    ctx.require(soa_ok, "cache.soa_parallel", [&] {
+      return "tags=" + std::to_string(tags_.size()) +
+             " meta=" + std::to_string(meta_.size()) +
+             " shadow=" + std::to_string(shadow_.size()) +
+             " expected=" + std::to_string(lines);
+    });
+    if (!soa_ok) return;  // the per-line walks below assume the geometry
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const LineMeta& m = meta_[i];
+      if (!m.valid) continue;
+      ctx.require(!m.rib || m.pib, "cache.rib_implies_pib", [&] {
+        return "way index " + std::to_string(i) +
+               " has RIB set on a non-prefetched line";
+      });
+      ctx.require(m.last_use <= stamp_ && m.fill_seq <= stamp_,
+                  "cache.stamp_monotone", [&] {
+                    return "way index " + std::to_string(i) + " last_use=" +
+                           std::to_string(m.last_use) + " fill_seq=" +
+                           std::to_string(m.fill_seq) + " > stamp=" +
+                           std::to_string(stamp_);
+                  });
+    }
+    for (std::uint64_t set = 0; set <= set_mask_; ++set) {
+      const std::size_t base = static_cast<std::size_t>(set * ways_);
+      for (std::size_t a = 0; a < ways_; ++a) {
+        if (!meta_[base + a].valid) continue;
+        for (std::size_t b = a + 1; b < ways_; ++b) {
+          ctx.require(!meta_[base + b].valid ||
+                          tags_[base + a] != tags_[base + b],
+                      "cache.duplicate_line", [&] {
+                        return "set " + std::to_string(set) + " ways " +
+                               std::to_string(a) + " and " + std::to_string(b) +
+                               " hold the same tag";
+                      });
+        }
+      }
+    }
+  });
 }
 
 }  // namespace ppf::mem

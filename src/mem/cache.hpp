@@ -21,6 +21,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::mem {
 
@@ -144,6 +147,22 @@ class Cache {
 
   /// Register this cache's counters as `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
+
+  /// Register this cache's structural invariants (ppf::check): SoA array
+  /// agreement, RIB⇒PIB, per-set tag uniqueness, stamp monotonicity.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
+
+  /// Valid lines currently carrying the PIB — prefetched lines that are
+  /// still resident, i.e. not yet classified good/bad by an eviction or
+  /// the end-of-run drain. The in-flight term of the classifier
+  /// conservation law (hier.classifier_conservation).
+  [[nodiscard]] std::uint64_t pib_lines() const;
+
+  /// Test-only: overwrite a resident line's PIB/RIB bits so invariant
+  /// tests can prove a real corruption is caught. Never called by the
+  /// simulator.
+  void corrupt_line_for_test(Addr addr, bool pib, bool rib);
 
   void reset_stats();
 

@@ -1,5 +1,6 @@
 #include "mem/dram.hpp"
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace ppf::mem {
@@ -18,6 +19,16 @@ void Dram::register_obs(obs::MetricRegistry& reg,
   reg.add_counter(prefix + ".prefetch_reads",
                   [this] { return prefetch_reads(); });
   reg.add_counter(prefix + ".writebacks", [this] { return writebacks(); });
+}
+
+void Dram::register_checks(check::CheckRegistry& reg,
+                           const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    ctx.require(prefetch_reads() <= reads(), "dram.prefetch_subset", [&] {
+      return std::to_string(prefetch_reads()) + " prefetch reads > " +
+             std::to_string(reads()) + " total";
+    });
+  });
 }
 
 void Dram::reset_stats() {

@@ -9,6 +9,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::mem {
 
@@ -36,6 +39,11 @@ class Dram {
 
   /// Register this DRAM's counters as `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
+
+  /// Register this DRAM's structural invariants (ppf::check): prefetch
+  /// reads are a subset of all reads.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
 
   void reset_stats();
 

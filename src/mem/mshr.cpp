@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace ppf::mem {
@@ -48,6 +49,31 @@ void MshrFile::register_obs(obs::MetricRegistry& reg,
                             const std::string& prefix) const {
   reg.add_counter(prefix + ".stalls", [this] { return stalls(); });
   reg.add_counter(prefix + ".stall_cycles", [this] { return stall_cycles(); });
+}
+
+void MshrFile::register_checks(check::CheckRegistry& reg,
+                               const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    if (entries_ == 0) {
+      // Unlimited MSHRs: completions_ must stay untouched (occupy is a
+      // no-op), or pruning would silently stop bounding memory.
+      ctx.require(completions_.empty(), "mshr.unlimited_untracked", [&] {
+        return std::to_string(completions_.size()) +
+               " completion records despite entries=0";
+      });
+      return;
+    }
+    ctx.require(completions_.size() <= entries_, "mshr.over_capacity", [&] {
+      return std::to_string(completions_.size()) + " completion records > " +
+             std::to_string(entries_) + " registers";
+    });
+    ctx.require(in_flight(ctx.cycle()) <= entries_, "mshr.over_capacity",
+                [&] {
+                  return std::to_string(in_flight(ctx.cycle())) +
+                         " fills in flight > " + std::to_string(entries_) +
+                         " registers";
+                });
+  });
 }
 
 void MshrFile::reset_stats() {

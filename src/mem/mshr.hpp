@@ -13,6 +13,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::mem {
 
@@ -40,6 +43,11 @@ class MshrFile {
 
   /// Register this MSHR file's counters as `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
+
+  /// Register this MSHR file's structural invariants (ppf::check):
+  /// outstanding fills never exceed the register count.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
 
   void reset_stats();
 

@@ -1,5 +1,8 @@
 #include "mem/prefetch_buffer.hpp"
 
+#include <unordered_set>
+
+#include "check/check.hpp"
 #include "common/assert.hpp"
 
 namespace ppf::mem {
@@ -86,6 +89,25 @@ std::size_t PrefetchBuffer::size() const {
   std::size_t n = 0;
   for (const Slot& s : slots_) n += s.valid ? 1 : 0;
   return n;
+}
+
+void PrefetchBuffer::register_checks(check::CheckRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    std::unordered_set<LineAddr> lines;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (!s.valid) continue;
+      ctx.require(lines.insert(s.line).second, "pfbuf.duplicate_line", [&] {
+        return "line " + std::to_string(s.line) + " buffered twice";
+      });
+      ctx.require(s.last_use <= stamp_, "pfbuf.stamp_monotone", [&] {
+        return "slot " + std::to_string(i) + " last_use=" +
+               std::to_string(s.last_use) + " > stamp=" +
+               std::to_string(stamp_);
+      });
+    }
+  });
 }
 
 void PrefetchBuffer::reset_stats() {

@@ -1,7 +1,9 @@
 #include "mem/prefetch_queue.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "check/check.hpp"
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
 
@@ -39,10 +41,11 @@ std::optional<PrefetchQueueEntry> PrefetchQueue::pop(Cycle now) {
 }
 
 void PrefetchQueue::squash_line(LineAddr line) {
-  q_.erase(std::remove_if(
-               q_.begin(), q_.end(),
-               [&](const PrefetchQueueEntry& x) { return x.line == line; }),
-           q_.end());
+  const auto it = std::remove_if(
+      q_.begin(), q_.end(),
+      [&](const PrefetchQueueEntry& x) { return x.line == line; });
+  squash_removed_.add(static_cast<std::uint64_t>(q_.end() - it));
+  q_.erase(it, q_.end());
 }
 
 void PrefetchQueue::register_obs(obs::MetricRegistry& reg,
@@ -52,9 +55,36 @@ void PrefetchQueue::register_obs(obs::MetricRegistry& reg,
                   [this] { return squashed_duplicates(); });
   reg.add_counter(prefix + ".dropped_full", [this] { return dropped_full(); });
   reg.add_counter(prefix + ".popped", [this] { return popped(); });
+  reg.add_counter(prefix + ".squash_removed",
+                  [this] { return squash_removed(); });
   reg.add_counter(prefix + ".wait_cycles", [this] { return wait_cycles(); });
   reg.add_gauge(prefix + ".occupancy",
                 [this] { return static_cast<double>(size()); });
+}
+
+void PrefetchQueue::register_checks(check::CheckRegistry& reg,
+                                    const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    ctx.require(q_.size() <= capacity_, "pq.over_capacity", [&] {
+      return std::to_string(q_.size()) + " queued > capacity " +
+             std::to_string(capacity_);
+    });
+    std::unordered_set<LineAddr> lines;
+    for (const PrefetchQueueEntry& e : q_) {
+      ctx.require(lines.insert(e.line).second, "pq.duplicate_line", [&] {
+        return "line " + std::to_string(e.line) + " queued twice";
+      });
+    }
+    const std::uint64_t in = pushed() + depth_at_reset_;
+    const std::uint64_t out = popped() + squash_removed() + q_.size();
+    ctx.require(in == out, "pq.conservation", [&] {
+      return "pushed " + std::to_string(pushed()) + " + depth-at-reset " +
+             std::to_string(depth_at_reset_) + " != popped " +
+             std::to_string(popped()) + " + squash-removed " +
+             std::to_string(squash_removed()) + " + depth " +
+             std::to_string(q_.size());
+    });
+  });
 }
 
 void PrefetchQueue::reset_stats() {
@@ -62,7 +92,9 @@ void PrefetchQueue::reset_stats() {
   squashed_dup_.reset();
   dropped_full_.reset();
   popped_.reset();
+  squash_removed_.reset();
   wait_.reset();
+  depth_at_reset_ = q_.size();
 }
 
 }  // namespace ppf::mem

@@ -13,6 +13,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::mem {
 
@@ -51,6 +54,12 @@ class PrefetchQueue {
     return dropped_full_.value();
   }
   [[nodiscard]] std::uint64_t popped() const { return popped_.value(); }
+  /// Entries removed by squash_line() (demand beat the prefetch to the
+  /// line). Separate from squashed_duplicates(), which counts *pushes*
+  /// rejected against an already-queued line.
+  [[nodiscard]] std::uint64_t squash_removed() const {
+    return squash_removed_.value();
+  }
   /// Total cycles entries spent waiting for an L1 port.
   [[nodiscard]] std::uint64_t wait_cycles() const { return wait_.value(); }
 
@@ -58,15 +67,25 @@ class PrefetchQueue {
   /// `prefix.metric` (ppf::obs).
   void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
 
+  /// Register this queue's structural invariants (ppf::check): bounded
+  /// occupancy, no duplicate queued lines, and flow conservation
+  /// (pushed + depth-at-reset == popped + squash-removed + depth).
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
+
   void reset_stats();
 
  private:
   std::size_t capacity_;
   std::deque<PrefetchQueueEntry> q_;
+  /// Queue depth at the last reset_stats() — the conservation check's
+  /// starting balance, since counters reset while entries stay queued.
+  std::size_t depth_at_reset_ = 0;
   Counter pushed_;
   Counter squashed_dup_;
   Counter dropped_full_;
   Counter popped_;
+  Counter squash_removed_;
   Counter wait_;
 };
 

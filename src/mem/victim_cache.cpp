@@ -1,5 +1,8 @@
 #include "mem/victim_cache.hpp"
 
+#include <unordered_set>
+
+#include "check/check.hpp"
 #include "common/assert.hpp"
 
 namespace ppf::mem {
@@ -52,6 +55,31 @@ std::size_t VictimCache::size() const {
   std::size_t n = 0;
   for (const Slot& s : slots_) n += s.valid ? 1 : 0;
   return n;
+}
+
+void VictimCache::register_checks(check::CheckRegistry& reg,
+                                  const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    std::unordered_set<LineAddr> lines;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (!s.valid) continue;
+      ctx.require(lines.insert(s.record.line).second, "victim.duplicate_line",
+                  [&] {
+                    return "line " + std::to_string(s.record.line) +
+                           " held twice";
+                  });
+      ctx.require(s.stamp <= stamp_, "victim.stamp_monotone", [&] {
+        return "slot " + std::to_string(i) + " stamp=" +
+               std::to_string(s.stamp) + " > stamp=" + std::to_string(stamp_);
+      });
+      ctx.require(!s.record.rib || s.record.pib, "victim.rib_implies_pib",
+                  [&] {
+                    return "slot " + std::to_string(i) +
+                           " has RIB set on a non-prefetched record";
+                  });
+    }
+  });
 }
 
 void VictimCache::reset_stats() {

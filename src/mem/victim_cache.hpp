@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 
+namespace ppf::check {
+class CheckRegistry;
+}
+
 namespace ppf::mem {
 
 class VictimCache {
@@ -35,6 +39,11 @@ class VictimCache {
   [[nodiscard]] std::uint64_t probes() const { return probes_.value(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
   [[nodiscard]] std::uint64_t inserts() const { return inserts_.value(); }
+
+  /// Register this victim cache's structural invariants (ppf::check):
+  /// bounded occupancy, no duplicate lines, stamp monotonicity.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const;
 
   void reset_stats();
 

@@ -57,6 +57,11 @@ void CompositePrefetcher::register_obs(obs::MetricRegistry& reg,
   for (const auto& c : children_) c->register_obs(reg, prefix);
 }
 
+void CompositePrefetcher::register_checks(check::CheckRegistry& reg,
+                                          const std::string& prefix) const {
+  for (const auto& c : children_) c->register_checks(reg, prefix);
+}
+
 std::unique_ptr<Prefetcher> CompositePrefetcher::clone_rebound(
     mem::Cache& l1, mem::Cache& l2) const {
   auto copy = std::make_unique<CompositePrefetcher>();

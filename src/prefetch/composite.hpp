@@ -37,6 +37,10 @@ class CompositePrefetcher final : public Prefetcher {
   void register_obs(obs::MetricRegistry& reg,
                     const std::string& prefix) const override;
 
+  /// Forwards to every child, like register_obs.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const override;
+
   /// Clones every child rebound to the given caches; returns nullptr if
   /// any child is not cloneable.
   [[nodiscard]] std::unique_ptr<Prefetcher> clone_rebound(

@@ -10,4 +10,7 @@ void Prefetcher::register_obs(obs::MetricRegistry& reg,
                   [this] { return candidates_emitted(); });
 }
 
+void Prefetcher::register_checks(check::CheckRegistry&,
+                                 const std::string&) const {}
+
 }  // namespace ppf::prefetch

@@ -17,6 +17,9 @@
 namespace ppf::obs {
 class MetricRegistry;
 }
+namespace ppf::check {
+class CheckRegistry;
+}
 
 namespace ppf::prefetch {
 
@@ -67,6 +70,12 @@ class Prefetcher {
   /// each engine shows up under its own name.
   virtual void register_obs(obs::MetricRegistry& reg,
                             const std::string& prefix) const;
+
+  /// Register engine-specific structural invariants (ppf::check).
+  /// Default registers nothing; CompositePrefetcher forwards to its
+  /// children like register_obs.
+  virtual void register_checks(check::CheckRegistry& reg,
+                               const std::string& prefix) const;
 
  protected:
   void count_emitted(std::uint64_t n = 1) { emitted_.add(n); }

@@ -25,6 +25,13 @@ HashKind parse_hash_kind(const std::string& name) {
   throw std::invalid_argument("unknown hash kind: " + name);
 }
 
+check::CheckMode parse_check_mode(const std::string& name) {
+  if (name == "off") return check::CheckMode::Off;
+  if (name == "final") return check::CheckMode::Final;
+  if (name == "paranoid") return check::CheckMode::Paranoid;
+  throw std::invalid_argument("unknown check mode: " + name);
+}
+
 const std::vector<OverrideDoc>& override_docs() {
   static const std::vector<OverrideDoc> docs = {
       {"instructions", "measured instructions per run"},
@@ -56,6 +63,9 @@ const std::vector<OverrideDoc>& override_docs() {
       {"markov", "enable the Markov/correlation prefetcher (bool)"},
       {"taxonomy", "track the Srinivasan prefetch taxonomy (bool)"},
       {"swpf", "honour software prefetch instructions (bool)"},
+      {"check", "invariant checking: off|final|paranoid (docs/CHECKING.md)"},
+      {"check_period", "cycles between paranoid check sweeps"},
+      {"check_fail_at", "test hook: inject a checker.tripwire violation at cycle N"},
       {"core_model", "timing model: occupancy|dataflow"},
       {"width", "core dispatch/retire width"},
       {"rob", "reorder buffer entries"},
@@ -174,6 +184,12 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
   cfg.enable_markov = params.get_bool("markov", cfg.enable_markov);
   cfg.enable_taxonomy = params.get_bool("taxonomy", cfg.enable_taxonomy);
   cfg.enable_sw_prefetch = params.get_bool("swpf", cfg.enable_sw_prefetch);
+
+  if (params.has("check")) {
+    cfg.check.mode = parse_check_mode(params.get_string("check", ""));
+  }
+  cfg.check.period = params.get_u64("check_period", cfg.check.period);
+  cfg.check.fail_at = params.get_u64("check_fail_at", cfg.check.fail_at);
 
   if (params.has("core_model")) {
     const std::string m = params.get_string("core_model", "");

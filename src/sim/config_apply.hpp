@@ -49,4 +49,7 @@ filter::FilterKind parse_filter_kind(const std::string& name);
 /// Parse a hash name ("modulo", "fold-xor", "fibonacci", "mix64").
 HashKind parse_hash_kind(const std::string& name);
 
+/// Parse a check mode ("off", "final", "paranoid").
+check::CheckMode parse_check_mode(const std::string& name);
+
 }  // namespace ppf::sim

@@ -161,6 +161,68 @@ void MemoryHierarchy::attach_obs(obs::Recorder& rec) {
   reg.add_histogram("l1d.load_latency", &load_latency_);
 }
 
+std::uint64_t MemoryHierarchy::unclassified_pib() const {
+  std::uint64_t n = l1d_.pib_lines() + l2_.pib_lines();
+  if (buffer_ != nullptr) n += buffer_->size();
+  return n;
+}
+
+void MemoryHierarchy::attach_checks(check::Checker& chk) {
+  chk_ = &chk;
+  check::CheckRegistry& reg = chk.registry();
+  l1d_.register_checks(reg, "l1d");
+  l1i_.register_checks(reg, "l1i");
+  l2_.register_checks(reg, "l2");
+  bus_.register_checks(reg, "bus");
+  dram_.register_checks(reg, "dram");
+  pq_.register_checks(reg, "pq");
+  mshr_.register_checks(reg, "mshr");
+  active_filter_->register_checks(reg, "filter");
+  prefetcher_.register_checks(reg, "prefetch");
+  if (buffer_ != nullptr) buffer_->register_checks(reg, "pfbuf");
+  if (victim_ != nullptr) victim_->register_checks(reg, "victim");
+  // A snapshot clone attaches with warm, not-yet-classified prefetched
+  // lines already resident; they are part of the starting balance.
+  baseline_unclassified_ = unclassified_pib();
+  reg.add("hier", [this](check::CheckContext& ctx) {
+    ctx.require(ports_left_ <= cfg_.l1d.ports, "hier.port_balance", [&] {
+      return std::to_string(ports_left_) + " ports left of " +
+             std::to_string(cfg_.l1d.ports);
+    });
+    ctx.require(quiescent() == (pq_.empty() && ports_borrowed_ == 0),
+                "hier.quiescent_agrees", [&] {
+                  return "quiescent() disagrees with queue depth " +
+                         std::to_string(pq_.size()) + " / borrowed ports " +
+                         std::to_string(ports_borrowed_);
+                });
+    ctx.require(rejected_.size() <= rejected_fifo_.size() &&
+                    rejected_fifo_.size() <= cfg_.filter_recovery_entries,
+                "hier.recovery_bounded", [&] {
+                  return std::to_string(rejected_.size()) + " tracked / " +
+                         std::to_string(rejected_fifo_.size()) +
+                         " FIFO entries, capacity " +
+                         std::to_string(cfg_.filter_recovery_entries);
+                });
+    // Conservation: every prefetch the classifier saw issued is either
+    // classified good/bad (eviction, promotion, or drain) or still
+    // resident with its PIB — nothing disappears, nothing is counted
+    // twice. The baseline carries prefetches issued before the
+    // measurement window whose lines are still resident.
+    const std::uint64_t issued =
+        classifier_.issued().total() + baseline_unclassified_;
+    const std::uint64_t accounted = classifier_.good().total() +
+                                    classifier_.bad().total() +
+                                    unclassified_pib();
+    ctx.require(issued == accounted, "hier.classifier_conservation", [&] {
+      return "issued " + std::to_string(classifier_.issued().total()) +
+             " + baseline " + std::to_string(baseline_unclassified_) +
+             " != good " + std::to_string(classifier_.good().total()) +
+             " + bad " + std::to_string(classifier_.bad().total()) +
+             " + resident " + std::to_string(unclassified_pib());
+    });
+  });
+}
+
 void MemoryHierarchy::begin_cycle(Cycle) {
   // Ports spent on prefetch issue in the previous cycle are still busy
   // when this cycle's demand accesses arrive — this is the port
@@ -474,6 +536,9 @@ void MemoryHierarchy::end_cycle(Cycle now) {
     }
   }
   if (obs_ != nullptr) obs_->tick(now);
+  // End-of-cycle is the one point where every component's state is
+  // settled, so the paranoid cadence sweeps here.
+  if (chk_ != nullptr) chk_->tick(now);
 }
 
 Cycle MemoryHierarchy::fetch(Cycle now, Pc pc) {
@@ -501,11 +566,17 @@ void MemoryHierarchy::reset_stats() {
   demand_accesses_ = 0;
   prefetch_l1_fills_ = 0;
   if (obs_ != nullptr) obs_->on_stats_reset();
+  // Conservation baseline: counters are now zero, but warm prefetched
+  // lines stay resident and will be classified inside the window.
+  if (chk_ != nullptr) baseline_unclassified_ = unclassified_pib();
 }
 
 void MemoryHierarchy::finalize() {
   PPF_CHECK_MSG(!finalized_, "finalize() called twice");
   finalized_ = true;
+  // Final sweep (modes final and paranoid) before the drains below strip
+  // the resident-PIB state the conservation law accounts for.
+  if (chk_ != nullptr) chk_->sweep(chk_->last_cycle());
   // Drain events carry the last simulated cycle (deterministic; there is
   // no "after the end" cycle to attribute them to).
   const Cycle end = obs_ != nullptr ? obs_->last_cycle() : 0;

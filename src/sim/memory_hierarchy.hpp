@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/memory_iface.hpp"
 #include "filter/filter.hpp"
 #include "mem/bus.hpp"
@@ -114,6 +115,19 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   void attach_obs(obs::Recorder& rec);
   [[nodiscard]] obs::Recorder* obs_recorder() const { return obs_; }
 
+  /// Attach an invariant checker (non-owning; must outlive the run):
+  /// registers every component's structural checks plus the
+  /// cross-component conservation checks, and turns on the per-cycle
+  /// cadence tick. Like the obs recorder, it is not copied by the clone
+  /// constructor — each cloned run attaches its own checker.
+  void attach_checks(check::Checker& chk);
+  [[nodiscard]] check::Checker* checker() const { return chk_; }
+
+  /// Test-only: mutable L1D access so checking tests can plant
+  /// corruption (Cache::corrupt_line_for_test) and prove the checker
+  /// reports it. Never used by the simulation itself.
+  [[nodiscard]] mem::Cache& mutable_l1d_for_test() { return l1d_; }
+
  private:
   /// Fetch a line through the L2 (and memory beyond); optionally fill the
   /// L1. Returns the cycle the data is available.
@@ -198,6 +212,18 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   /// Observation recorder (non-owning, null when obs is off — the whole
   /// instrumentation is then one pointer test per site).
   obs::Recorder* obs_ = nullptr;
+
+  /// Prefetched lines resident (and therefore not yet classified) across
+  /// the whole hierarchy: L1D + L2 PIB lines plus the dedicated buffer.
+  [[nodiscard]] std::uint64_t unclassified_pib() const;
+
+  /// Invariant checker (non-owning, null when check=off — the simulation
+  /// then pays one pointer test per cycle).
+  check::Checker* chk_ = nullptr;
+  /// unclassified_pib() at checker attach / stats reset: the classifier
+  /// counters start from zero at the warmup boundary while prefetched
+  /// lines stay resident, so the conservation law needs this baseline.
+  std::uint64_t baseline_unclassified_ = 0;
 
   std::vector<prefetch::PrefetchRequest> scratch_cands_;
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/check.hpp"
 #include "core/dataflow_core.hpp"
 #include "core/ooo_core.hpp"
 #include "filter/adaptive_filter.hpp"
@@ -105,6 +106,13 @@ struct SimConfig {
   /// excluded from warmup_key (snapshots are shared across obs
   /// settings) and from the deterministic result payloads.
   obs::ObsConfig obs;
+
+  /// Invariant checking (ppf::check): per-component structural checks
+  /// swept at a configurable cadence. Like obs, checks never affect
+  /// simulated behaviour (they only read state), so the check config is
+  /// excluded from warmup_key and snapshots are shared across check
+  /// settings.
+  check::CheckConfig check;
 
   /// Track the full Srinivasan prefetch taxonomy (useful / useful-
   /// polluting / polluting / useless) alongside the paper's good/bad

@@ -32,6 +32,11 @@ SimResult Simulator::run(workload::TraceSource& trace,
     rec = std::make_unique<obs::Recorder>(cfg_.obs);
     mem.attach_obs(*rec);
   }
+  std::unique_ptr<check::Checker> chk;
+  if (cfg_.check.mode != check::CheckMode::Off) {
+    chk = std::make_unique<check::Checker>(cfg_.check);
+    mem.attach_checks(*chk);
+  }
 
   const std::uint64_t warmup =
       cfg_.warmup_instructions < cfg_.max_instructions
@@ -43,6 +48,7 @@ SimResult Simulator::run(workload::TraceSource& trace,
                                             : core::EngineKind::Occupancy,
                                         cfg_.core, mem, mem);
   if (rec != nullptr) engine->register_obs(rec->registry());
+  if (chk != nullptr) engine->register_checks(chk->registry());
   // Heartbeats are independent of the obs switch: runlab progress wants
   // them even for plain (obs-off) jobs.
   if (cfg_.obs.heartbeat_slot != nullptr) {

@@ -17,10 +17,12 @@ void key_cache(std::ostringstream& os, const mem::CacheConfig& c) {
 
 }  // namespace
 
-// Note: cfg.obs is deliberately NOT part of the key. Observability never
-// shapes machine state (the recorder only reads counters), so a snapshot
-// warmed without obs is valid for runs with any obs setting — each resumed
-// run attaches its own fresh Recorder after cloning.
+// Note: cfg.obs and cfg.check are deliberately NOT part of the key.
+// Observability never shapes machine state (the recorder only reads
+// counters), and invariant checks only read component state, so a
+// snapshot warmed without either is valid for runs with any obs/check
+// setting — each resumed run attaches its own fresh Recorder/Checker
+// after cloning.
 std::string warmup_key(const SimConfig& cfg) {
   std::ostringstream os;
   os << to_string(cfg.core_model) << '|' << cfg.core.width << ','
@@ -112,6 +114,15 @@ SimResult run_from_snapshot(const SimConfig& cfg, const WarmupSnapshot& snap) {
     rec = std::make_unique<obs::Recorder>(cfg.obs);
     mem.attach_obs(*rec);
     engine->register_obs(rec->registry());
+  }
+  // Same for the checker: attaching before reset_stats captures the
+  // conservation baseline at the identical mid-cycle point as the cold
+  // path's warmup-boundary reset.
+  std::unique_ptr<check::Checker> chk;
+  if (cfg.check.mode != check::CheckMode::Off) {
+    chk = std::make_unique<check::Checker>(cfg.check);
+    mem.attach_checks(*chk);
+    engine->register_checks(chk->registry());
   }
   if (cfg.obs.heartbeat_slot != nullptr) {
     engine->set_heartbeat(cfg.obs.heartbeat_slot);

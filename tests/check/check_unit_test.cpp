@@ -1,0 +1,134 @@
+// Units for the ppf::check primitives: registry ordering, lazy failure
+// messages, sweep cadence, abort-vs-collect modes, and the test tripwire.
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ppf::check {
+namespace {
+
+TEST(CheckRegistry, RunsChecksInRegistrationOrder) {
+  CheckRegistry reg;
+  reg.add("b", [](CheckContext& ctx) { ctx.fail("b.second", "two"); });
+  reg.add("a", [](CheckContext& ctx) { ctx.fail("a.first", "one"); });
+  std::vector<CheckFailure> out;
+  reg.run(7, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].component, "b");
+  EXPECT_EQ(out[0].invariant, "b.second");
+  EXPECT_EQ(out[0].cycle, 7u);
+  EXPECT_EQ(out[1].component, "a");
+  EXPECT_EQ(out[1].message, "one");
+}
+
+TEST(CheckContext, RequireEvaluatesMessageLazily) {
+  CheckRegistry reg;
+  int evaluations = 0;
+  reg.add("c", [&evaluations](CheckContext& ctx) {
+    ctx.require(true, "c.fine", [&evaluations] {
+      ++evaluations;
+      return std::string("never built");
+    });
+    ctx.require(false, "c.broken", [&evaluations] {
+      ++evaluations;
+      return std::string("built once");
+    });
+  });
+  std::vector<CheckFailure> out;
+  reg.run(0, out);
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].invariant, "c.broken");
+  EXPECT_EQ(out[0].message, "built once");
+}
+
+TEST(CheckFailure, FormatCarriesAllFields) {
+  const CheckFailure f{"l1d", "cache.rib_implies_pib", 123, "way 2"};
+  const std::string s = f.format();
+  EXPECT_NE(s.find("[l1d]"), std::string::npos);
+  EXPECT_NE(s.find("cache.rib_implies_pib"), std::string::npos);
+  EXPECT_NE(s.find("cycle 123"), std::string::npos);
+  EXPECT_NE(s.find("way 2"), std::string::npos);
+}
+
+TEST(Checker, ParanoidTickSweepsOnCadence) {
+  CheckConfig cfg;
+  cfg.mode = CheckMode::Paranoid;
+  cfg.period = 100;
+  Checker chk(cfg);
+  std::vector<Cycle> swept;
+  chk.registry().add(
+      "t", [&swept](CheckContext& ctx) { swept.push_back(ctx.cycle()); });
+  for (Cycle c = 0; c <= 350; ++c) chk.tick(c);
+  EXPECT_EQ(swept, (std::vector<Cycle>{0, 100, 200, 300}));
+  EXPECT_EQ(chk.sweeps(), 4u);
+  EXPECT_EQ(chk.last_cycle(), 350u);
+}
+
+TEST(Checker, FinalModeTickNeverSweeps) {
+  CheckConfig cfg;
+  cfg.mode = CheckMode::Final;
+  Checker chk(cfg);
+  int runs = 0;
+  chk.registry().add("t", [&runs](CheckContext&) { ++runs; });
+  for (Cycle c = 0; c < 10'000; ++c) chk.tick(c);
+  EXPECT_EQ(runs, 0);
+  chk.sweep(chk.last_cycle());  // what finalize does
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(chk.sweeps(), 1u);
+}
+
+TEST(Checker, AbortModeThrowsTheFirstNewFailure) {
+  Checker chk(CheckConfig{CheckMode::Final, 10'000, 0});
+  chk.registry().add("x", [](CheckContext& ctx) {
+    ctx.fail("x.one", "first");
+    ctx.fail("x.two", "second");
+  });
+  try {
+    chk.sweep(42);
+    FAIL() << "sweep should have thrown";
+  } catch (const CheckViolation& v) {
+    EXPECT_EQ(v.failure().invariant, "x.one");
+    EXPECT_EQ(v.failure().cycle, 42u);
+    EXPECT_NE(std::string(v.what()).find("x.one"), std::string::npos);
+  }
+}
+
+TEST(Checker, CollectModeAccumulatesAcrossSweeps) {
+  Checker chk(CheckConfig{CheckMode::Final, 10'000, 0});
+  chk.set_abort_on_failure(false);
+  chk.registry().add("x",
+                     [](CheckContext& ctx) { ctx.fail("x.always", "boom"); });
+  chk.sweep(1);
+  chk.sweep(2);
+  ASSERT_EQ(chk.failures().size(), 2u);
+  EXPECT_EQ(chk.failures()[0].cycle, 1u);
+  EXPECT_EQ(chk.failures()[1].cycle, 2u);
+}
+
+TEST(Checker, TripwireFiresAtConfiguredCycle) {
+  CheckConfig cfg;
+  cfg.mode = CheckMode::Paranoid;
+  cfg.period = 10;
+  cfg.fail_at = 25;
+  Checker chk(cfg);
+  chk.set_abort_on_failure(false);
+  for (Cycle c = 0; c <= 30; ++c) chk.tick(c);
+  // Sweeps at 0, 10, 20 stay clean; the sweep at 30 trips.
+  ASSERT_EQ(chk.failures().size(), 1u);
+  EXPECT_EQ(chk.failures()[0].component, "checker");
+  EXPECT_EQ(chk.failures()[0].invariant, "checker.tripwire");
+  EXPECT_EQ(chk.failures()[0].cycle, 30u);
+}
+
+TEST(CheckMode, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(CheckMode::Off), "off");
+  EXPECT_STREQ(to_string(CheckMode::Final), "final");
+  EXPECT_STREQ(to_string(CheckMode::Paranoid), "paranoid");
+}
+
+}  // namespace
+}  // namespace ppf::check

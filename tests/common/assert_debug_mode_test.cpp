@@ -1,0 +1,39 @@
+// Pins the armed branch of the PPF_ASSERT ladder regardless of the build
+// type: NDEBUG is forced off immediately before the include, so this TU
+// always sees the debug-mode macros — even in the RelWithDebInfo tier-1
+// build, where PPF_ASSERT normally compiles to nothing.
+#ifdef NDEBUG
+#undef NDEBUG
+#define PPF_TEST_FORCED_DEBUG 1
+#endif
+#include "common/assert.hpp"
+#ifdef PPF_TEST_FORCED_DEBUG
+#define NDEBUG 1
+#undef PPF_TEST_FORCED_DEBUG
+#endif
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(AssertDebugMode, FailingAssertDies) {
+  EXPECT_DEATH(PPF_ASSERT(2 + 2 == 5), "2 \\+ 2 == 5");
+  EXPECT_DEATH(PPF_ASSERT_MSG(false, "hot-path invariant"),
+               "hot-path invariant");
+}
+
+TEST(AssertDebugMode, ExpressionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  PPF_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+  PPF_ASSERT_MSG(++evaluations > 0, "counted");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(AssertDebugMode, PassingAssertIsSilent) {
+  PPF_ASSERT(true);
+  PPF_ASSERT_MSG(1 < 2, "never printed");
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Pins the compiled-out branch of the PPF_ASSERT ladder regardless of
+// the build type: NDEBUG is forced on immediately before the include, so
+// this TU always sees the release-mode macros — even in a Debug or
+// sanitizer build, where assert_test.cpp covers the armed branch.
+#ifndef NDEBUG
+#define NDEBUG 1
+#define PPF_TEST_FORCED_NDEBUG 1
+#endif
+#include "common/assert.hpp"
+#ifdef PPF_TEST_FORCED_NDEBUG
+#undef NDEBUG
+#undef PPF_TEST_FORCED_NDEBUG
+#endif
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(AssertReleaseMode, ExpressionIsNeverEvaluated) {
+  int evaluations = 0;
+  PPF_ASSERT(++evaluations > 0);
+  PPF_ASSERT_MSG(++evaluations > 0, "also skipped");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(AssertReleaseMode, FailingConditionIsANoOp) {
+  PPF_ASSERT(false);
+  PPF_ASSERT_MSG(false, "ignored");
+  SUCCEED();
+}
+
+TEST(AssertReleaseMode, ExpressionMustStillConvertToBool) {
+  // The (void)sizeof(static_cast<bool>(expr)) form keeps the compiled-out
+  // branch exactly as strict as the armed one: this test compiling at all
+  // is the assertion. A pointer (contextually bool-convertible) is fine;
+  // a non-convertible type would fail the build in every configuration.
+  const int* p = nullptr;
+  PPF_ASSERT(p == nullptr);
+  PPF_ASSERT(p);  // never evaluated, but must type-check
+  struct Convertible {
+    explicit operator bool() const { return true; }
+  };
+  PPF_ASSERT(Convertible{});
+  SUCCEED();
+}
+
+TEST(AssertReleaseMode, ChecksStayArmedUnderNdebug) {
+  // PPF_CHECK is the always-on strength; forcing NDEBUG must not soften
+  // it.
+  EXPECT_DEATH(PPF_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+  PPF_CHECK(true);
+}
+
+}  // namespace

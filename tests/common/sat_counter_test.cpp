@@ -57,6 +57,42 @@ TEST(SatCounter, OneBitBehavesLikeLastOutcome) {
   EXPECT_TRUE(c.predicts_positive());
 }
 
+TEST(SatCounter, RepeatedSaturationIsStableAtBothRails) {
+  SaturatingCounter c(2, 3);
+  for (int i = 0; i < 100; ++i) c.update(true);
+  EXPECT_EQ(c.value(), 3);
+  EXPECT_TRUE(c.predicts_positive());
+  for (int i = 0; i < 100; ++i) c.update(false);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_FALSE(c.predicts_positive());
+}
+
+TEST(SatCounter, EightBitWidthSaturatesAt255) {
+  SaturatingCounter c(8, 255);
+  c.increment();
+  EXPECT_EQ(c.value(), 255);
+  EXPECT_EQ(c.max(), 255);
+  c.set(0);
+  c.decrement();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounter, MidpointIsANegativePrediction) {
+  // The "weakly bad" boundary: value == max/2 must predict negative in
+  // every width, or filter hysteresis flips direction (Section 3.2).
+  for (unsigned bits : {1u, 2u, 3u, 8u}) {
+    const std::uint8_t mid =
+        static_cast<std::uint8_t>(((1u << bits) - 1) / 2);
+    SaturatingCounter c(bits, mid);
+    EXPECT_FALSE(c.predicts_positive()) << "bits=" << bits;
+  }
+}
+
+TEST(SatCounter, OutOfRangeWidthIsRejected) {
+  EXPECT_DEATH(SaturatingCounter(0, 0), "bits >= 1");
+  EXPECT_DEATH(SaturatingCounter(9, 0), "bits >= 1");
+}
+
 class SatCounterWidth : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SatCounterWidth, ThresholdIsUpperHalf) {

@@ -1,0 +1,5 @@
+#include "common/assert.hpp"
+
+void widget_ok(int n) {
+  PPF_ASSERT(n > 0);
+}

@@ -1,0 +1,19 @@
+#include <string>
+#include <vector>
+
+namespace ppf::sim {
+
+struct OverrideDoc {
+  std::string key;
+  std::string help;
+};
+
+const std::vector<OverrideDoc>& override_docs() {
+  static const std::vector<OverrideDoc> docs = {
+      {"documented_knob", "this one is in the fixture README"},
+      {"mystery_knob", "this one is documented nowhere"},
+  };
+  return docs;
+}
+
+}  // namespace ppf::sim

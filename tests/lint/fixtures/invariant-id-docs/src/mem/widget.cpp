@@ -1,0 +1,10 @@
+#include "check/check.hpp"
+
+namespace ppf::mem {
+
+void widget_checks(check::CheckContext& ctx, int n) {
+  ctx.require(n >= 0, "widget.mystery_invariant",
+              [] { return std::string("negative"); });
+}
+
+}  // namespace ppf::mem

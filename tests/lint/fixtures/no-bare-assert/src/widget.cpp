@@ -1,0 +1,5 @@
+#include <cassert>
+
+void widget_check(int n) {
+  assert(n > 0);
+}

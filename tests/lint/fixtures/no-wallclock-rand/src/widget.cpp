@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+int widget_pick() {
+  return std::rand() % 4;
+}

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+namespace ppf::obs {
+class MetricRegistry;
+}
+
+namespace ppf::mem {
+
+class Widget {
+ public:
+  void register_obs(obs::MetricRegistry& reg, const std::string& prefix) const;
+};
+
+}  // namespace ppf::mem

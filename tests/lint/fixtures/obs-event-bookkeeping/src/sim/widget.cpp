@@ -1,0 +1,10 @@
+#include "obs/recorder.hpp"
+
+namespace ppf::sim {
+
+void widget_issue(obs::Recorder* obs_, Cycle now, LineAddr line, Pc pc,
+                  PrefetchSource src) {
+  PPF_OBS_EVENT(obs_, obs::EventKind::Issued, now, line, pc, src);
+}
+
+}  // namespace ppf::sim

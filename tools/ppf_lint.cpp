@@ -1,0 +1,407 @@
+// ppf_lint — project-convention linter for the ppf tree.
+//
+// Token/regex-level checks over src/ (deliberately NOT a libclang tool:
+// it must build and run anywhere the simulator builds, with zero extra
+// dependencies). Each rule encodes a convention the codebase relies on
+// but the compiler cannot enforce:
+//
+//   no-bare-assert        C assert()/<cassert> bypass the PPF_ASSERT
+//                         ladder (common/assert.hpp), losing the
+//                         formatted message and the release-mode
+//                         expression type-check.
+//   no-wallclock-rand     rand()/srand()/std::time()/random_device/
+//                         system_clock in src/ break run determinism
+//                         (common/random.hpp is the only sanctioned
+//                         randomness; steady_clock is allowed — it only
+//                         feeds telemetry).
+//   obs-check-parity      a header declaring a register_obs hook must
+//                         also declare register_checks: observable
+//                         components are checkable components.
+//   config-key-docs       every key in sim::override_docs() must be
+//                         documented in docs/*.md or README.md.
+//   obs-event-bookkeeping a PPF_OBS_EVENT probe for a classifier-shaped
+//                         lifecycle kind (Issued/Filtered/Squashed/
+//                         Evict*) must sit next to the matching
+//                         classifier record_* call — the obs stream and
+//                         the counters must not drift apart.
+//   invariant-id-docs     every invariant ID string used at a
+//                         ctx.require()/ctx.fail()/CheckFailure site
+//                         must be documented in docs/CHECKING.md.
+//
+// Usage: ppf_lint [--root DIR] [--json] [--expect-violations]
+//                 [--list-rules]
+// Exit:  0 clean (or, under --expect-violations, at least one finding)
+//        1 findings (or, under --expect-violations, none)
+//        2 usage or I/O error
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/' separators
+  std::size_t line;  // 1-based; 0 = whole file
+  std::string message;
+};
+
+struct Rule {
+  const char* name;
+  const char* help;
+};
+
+constexpr Rule kRules[] = {
+    {"no-bare-assert",
+     "use PPF_ASSERT/PPF_CHECK (common/assert.hpp), not assert()/<cassert>"},
+    {"no-wallclock-rand",
+     "no rand/srand/std::time/random_device/system_clock in src/"},
+    {"obs-check-parity",
+     "headers declaring register_obs must also declare register_checks"},
+    {"config-key-docs",
+     "every override_docs() key must appear in docs/*.md or README.md"},
+    {"obs-event-bookkeeping",
+     "classifier-shaped PPF_OBS_EVENT probes need the matching record_* "
+     "call within 8 lines"},
+    {"invariant-id-docs",
+     "invariant IDs at require()/fail()/CheckFailure sites must appear in "
+     "docs/CHECKING.md"},
+};
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::ifstream in(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string read_text(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string rel(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+/// Line is pure comment (// or a block-comment continuation). Good
+/// enough at token level: mixed code+comment lines still get scanned.
+bool comment_line(const std::string& s) {
+  const std::size_t i = s.find_first_not_of(" \t");
+  if (i == std::string::npos) return false;
+  return s.compare(i, 2, "//") == 0 || s[i] == '*' ||
+         s.compare(i, 2, "/*") == 0;
+}
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// `word` present in `text` with non-identifier characters on both sides.
+bool contains_word(const std::string& text, const std::string& word) {
+  for (std::size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+std::vector<fs::path> source_files(const fs::path& src_root) {
+  std::vector<fs::path> files;
+  if (!fs::exists(src_root)) return files;
+  for (const auto& e : fs::recursive_directory_iterator(src_root)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// --- rule: no-bare-assert -------------------------------------------------
+
+void check_bare_assert(const fs::path& file, const fs::path& root,
+                       const std::vector<std::string>& lines,
+                       std::vector<Finding>& out) {
+  const std::string r = rel(file, root);
+  if (r == "src/common/assert.hpp") return;  // the ladder itself
+  static const std::regex bare(R"((^|[^_A-Za-z0-9>."])assert\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (comment_line(lines[i])) continue;
+    if (lines[i].find("<cassert>") != std::string::npos) {
+      out.push_back({"no-bare-assert", r, i + 1,
+                     "<cassert> included; use common/assert.hpp"});
+    }
+    if (std::regex_search(lines[i], bare)) {
+      out.push_back({"no-bare-assert", r, i + 1,
+                     "bare assert(); use PPF_ASSERT/PPF_CHECK"});
+    }
+  }
+}
+
+// --- rule: no-wallclock-rand ----------------------------------------------
+
+void check_wallclock_rand(const fs::path& file, const fs::path& root,
+                          const std::vector<std::string>& lines,
+                          std::vector<Finding>& out) {
+  static const std::regex banned(
+      R"(std::rand\s*\(|(^|[^_A-Za-z0-9:.])s?rand\s*\(|std::time\s*\(|random_device|system_clock)");
+  const std::string r = rel(file, root);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (comment_line(lines[i])) continue;
+    if (std::regex_search(lines[i], banned)) {
+      out.push_back({"no-wallclock-rand", r, i + 1,
+                     "non-deterministic source; use common/random.hpp "
+                     "(steady_clock is fine for telemetry)"});
+    }
+  }
+}
+
+// --- rule: obs-check-parity -----------------------------------------------
+
+void check_obs_parity(const fs::path& file, const fs::path& root,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& out) {
+  if (file.extension() != ".hpp" && file.extension() != ".h") return;
+  static const std::regex obs_decl(R"(register_obs\s*\()");
+  static const std::regex chk_decl(R"(register_checks\s*\()");
+  std::size_t obs_line = 0;
+  bool has_checks = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (comment_line(lines[i])) continue;
+    if (obs_line == 0 && std::regex_search(lines[i], obs_decl)) {
+      obs_line = i + 1;
+    }
+    if (std::regex_search(lines[i], chk_decl)) has_checks = true;
+  }
+  if (obs_line != 0 && !has_checks) {
+    out.push_back({"obs-check-parity", rel(file, root), obs_line,
+                   "register_obs declared without register_checks"});
+  }
+}
+
+// --- rule: config-key-docs ------------------------------------------------
+
+void check_config_keys(const fs::path& root, std::vector<Finding>& out) {
+  const fs::path apply = root / "src" / "sim" / "config_apply.cpp";
+  if (!fs::exists(apply)) return;
+  const std::vector<std::string> lines = read_lines(apply);
+
+  std::string docs_text = read_text(root / "README.md");
+  const fs::path docs_dir = root / "docs";
+  if (fs::exists(docs_dir)) {
+    std::vector<fs::path> docs;
+    for (const auto& e : fs::directory_iterator(docs_dir)) {
+      if (e.is_regular_file() && e.path().extension() == ".md") {
+        docs.push_back(e.path());
+      }
+    }
+    std::sort(docs.begin(), docs.end());
+    for (const fs::path& d : docs) docs_text += read_text(d);
+  }
+
+  static const std::regex key_re(R"re(\{\s*"([A-Za-z0-9_]+)"\s*,)re");
+  bool in_docs_fn = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("override_docs()") != std::string::npos &&
+        lines[i].find('{') != std::string::npos) {
+      in_docs_fn = true;
+      continue;
+    }
+    if (!in_docs_fn) continue;
+    if (lines[i].find("return docs;") != std::string::npos) break;
+    std::smatch m;
+    if (std::regex_search(lines[i], m, key_re) &&
+        !contains_word(docs_text, m[1].str())) {
+      out.push_back({"config-key-docs", rel(apply, root), i + 1,
+                     "override key '" + m[1].str() +
+                         "' not documented in docs/*.md or README.md"});
+    }
+  }
+}
+
+// --- rule: obs-event-bookkeeping ------------------------------------------
+
+void check_event_bookkeeping(const fs::path& file, const fs::path& root,
+                             const std::vector<std::string>& lines,
+                             std::vector<Finding>& out) {
+  const std::string r = rel(file, root);
+  if (r.rfind("src/obs/", 0) == 0) return;  // the macro's own home
+  static const std::map<std::string, std::string> pair = {
+      {"EventKind::Issued", "record_issued"},
+      {"EventKind::Filtered", "record_filtered"},
+      {"EventKind::Squashed", "record_squashed"},
+      {"EventKind::EvictReferenced", "record_outcome"},
+      {"EventKind::EvictDead", "record_outcome"},
+  };
+  constexpr std::size_t kWindow = 8;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("PPF_OBS_EVENT(") == std::string::npos) continue;
+    // The macro call may wrap; the kind argument sits within 3 lines.
+    std::string call;
+    for (std::size_t j = i; j < lines.size() && j < i + 4; ++j) {
+      call += lines[j];
+    }
+    for (const auto& [kind, record] : pair) {
+      if (call.find(kind) == std::string::npos) continue;
+      const std::size_t lo = i >= kWindow ? i - kWindow : 0;
+      const std::size_t hi = std::min(lines.size(), i + kWindow + 1);
+      bool found = false;
+      for (std::size_t j = lo; j < hi && !found; ++j) {
+        found = lines[j].find(record + "(") != std::string::npos;
+      }
+      if (!found) {
+        out.push_back({"obs-event-bookkeeping", r, i + 1,
+                       kind + " probe without nearby classifier " + record +
+                           "() call"});
+      }
+    }
+  }
+}
+
+// --- rule: invariant-id-docs ----------------------------------------------
+
+void check_invariant_ids(const fs::path& file, const fs::path& root,
+                         const std::vector<std::string>& lines,
+                         const std::string& checking_md,
+                         std::vector<Finding>& out) {
+  static const std::regex site(R"((require|fail)\s*\(|CheckFailure\{)");
+  static const std::regex id_re(
+      R"re("([a-z][a-z0-9_]*(\.[a-z][a-z0-9_.]*)+)")re");
+  const std::string r = rel(file, root);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (comment_line(lines[i])) continue;
+    if (!std::regex_search(lines[i], site)) continue;
+    // Convention: the ID literal sits on the site line or within the
+    // next two (continuation) lines.
+    std::string span;
+    for (std::size_t j = i; j < lines.size() && j < i + 3; ++j) {
+      span += lines[j];
+      span += '\n';
+    }
+    for (std::sregex_iterator it(span.begin(), span.end(), id_re), end;
+         it != end; ++it) {
+      const std::string id = (*it)[1].str();
+      if (checking_md.find(id) == std::string::npos) {
+        out.push_back({"invariant-id-docs", r, i + 1,
+                       "invariant ID \"" + id +
+                           "\" not documented in docs/CHECKING.md"});
+      }
+    }
+  }
+}
+
+// --- output ----------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void print_findings(const std::vector<Finding>& findings, bool json) {
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\": \""
+                << json_escape(f.rule) << "\", \"file\": \""
+                << json_escape(f.file) << "\", \"line\": " << f.line
+                << ", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n]") << "\n";
+    return;
+  }
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool json = false;
+  bool expect_violations = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--expect-violations") {
+      expect_violations = true;
+    } else if (arg == "--list-rules") {
+      for (const Rule& r : kRules) {
+        std::cout << r.name << ": " << r.help << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ppf_lint [--root DIR] [--json] "
+                   "[--expect-violations] [--list-rules]\n";
+      return 0;
+    } else {
+      std::cerr << "ppf_lint: unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (!fs::exists(root)) {
+    std::cerr << "ppf_lint: no such directory: " << root.string() << "\n";
+    return 2;
+  }
+  root = fs::canonical(root);
+
+  const std::string checking_md = read_text(root / "docs" / "CHECKING.md");
+  std::vector<Finding> findings;
+  for (const fs::path& f : source_files(root / "src")) {
+    const std::vector<std::string> lines = read_lines(f);
+    check_bare_assert(f, root, lines, findings);
+    check_wallclock_rand(f, root, lines, findings);
+    check_obs_parity(f, root, lines, findings);
+    check_event_bookkeeping(f, root, lines, findings);
+    check_invariant_ids(f, root, lines, checking_md, findings);
+  }
+  check_config_keys(root, findings);
+
+  print_findings(findings, json);
+  if (expect_violations) {
+    if (findings.empty()) {
+      std::cerr << "ppf_lint: expected violations, found none\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (!findings.empty()) {
+    std::cerr << "ppf_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

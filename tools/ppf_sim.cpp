@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/config.hpp"
 #include "obs/export.hpp"
 #include "sim/config_apply.hpp"
@@ -156,26 +157,38 @@ int main(int argc, char** argv) {
   }
 
   sim::SimResult r;
-  // Named benchmarks can run through the materialized-arena (and, on
-  // request, warmup-snapshot) hot path; captured trace files are already
-  // in memory as a VectorTrace and gain nothing from materializing.
-  if (trace_cache && trace_path.empty()) {
-    const std::uint64_t warmup =
-        cfg.warmup_instructions < cfg.max_instructions
-            ? cfg.warmup_instructions
-            : 0;
-    const auto arena =
-        workload::materialize(*source, cfg.max_instructions + warmup);
-    std::shared_ptr<const sim::WarmupSnapshot> snap;
-    if (warmup_share) snap = sim::make_warmup_snapshot(cfg, arena);
-    if (snap != nullptr) {
-      r = sim::run_from_snapshot(cfg, *snap);
+  try {
+    // Named benchmarks can run through the materialized-arena (and, on
+    // request, warmup-snapshot) hot path; captured trace files are
+    // already in memory as a VectorTrace and gain nothing from
+    // materializing.
+    if (trace_cache && trace_path.empty()) {
+      const std::uint64_t warmup =
+          cfg.warmup_instructions < cfg.max_instructions
+              ? cfg.warmup_instructions
+              : 0;
+      const auto arena =
+          workload::materialize(*source, cfg.max_instructions + warmup);
+      std::shared_ptr<const sim::WarmupSnapshot> snap;
+      if (warmup_share) snap = sim::make_warmup_snapshot(cfg, arena);
+      if (snap != nullptr) {
+        r = sim::run_from_snapshot(cfg, *snap);
+      } else {
+        workload::TraceCursor cursor(arena);
+        r = sim::Simulator(cfg).run(cursor);
+      }
     } else {
-      workload::TraceCursor cursor(arena);
-      r = sim::Simulator(cfg).run(cursor);
+      r = sim::Simulator(cfg).run(*source);
     }
-  } else {
-    r = sim::Simulator(cfg).run(*source);
+  } catch (const check::CheckViolation& v) {
+    // check=final/paranoid found corrupted machine state: report the
+    // structured failure (component path, invariant ID, cycle) and fail
+    // the run cleanly — docs/CHECKING.md lists every invariant.
+    std::cerr << v.failure().format() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "simulation failed: " << e.what() << "\n";
+    return 1;
   }
 
   // Observability sinks. A path ending in .jsonl selects the line-based
