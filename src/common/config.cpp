@@ -25,7 +25,14 @@ ParamMap ParamMap::from_args(int argc, const char* const* argv) {
       throw std::invalid_argument("expected key=value, got '" +
                                   std::string(tok) + "'");
     }
-    p.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+    std::string key(tok.substr(0, eq));
+    if (p.has(key)) {
+      // Letting the last duplicate win silently is how a typo'd sweep
+      // runs the wrong config; reject like unknown keys (drivers exit 2).
+      throw std::invalid_argument("duplicate key '" + key +
+                                  "': each key may be given at most once");
+    }
+    p.set(std::move(key), std::string(tok.substr(eq + 1)));
   }
   return p;
 }
@@ -42,6 +49,14 @@ std::uint64_t ParamMap::get_u64(std::string_view key,
                                 std::uint64_t fallback) const {
   const auto it = entries_.find(std::string(key));
   if (it == entries_.end()) return fallback;
+  // std::stoull accepts a leading '-' and silently wraps it modulo 2^64
+  // ("-1" -> 18446744073709551615), which is never what a knob override
+  // means; it also parses whitespace-only values as "no digits" only
+  // after skipping them. Reject both shapes up front.
+  const std::size_t first = it->second.find_first_not_of(" \t");
+  if (first == std::string::npos || it->second[first] == '-') {
+    throw std::invalid_argument(bad_value(key, it->second));
+  }
   try {
     std::size_t pos = 0;
     const std::uint64_t v = std::stoull(it->second, &pos, 0);

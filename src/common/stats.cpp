@@ -35,8 +35,11 @@ double Histogram::mean() const {
 
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
-  if (p < 0.0) p = 0.0;
+  // `!(p > 0)` also catches NaN, which would otherwise fall through every
+  // bucket comparison and poison the overflow interpolation below.
+  if (!(p > 0.0)) p = 0.0;
   if (p > 1.0) p = 1.0;
+  const double hi_clamp = static_cast<double>(max_seen_);
   const double target = p * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -44,8 +47,11 @@ double Histogram::percentile(double p) const {
     if (b > 0 && static_cast<double>(cum + b) >= target) {
       const double within =
           (target - static_cast<double>(cum)) / static_cast<double>(b);
-      return (static_cast<double>(i) + within) *
-             static_cast<double>(bucket_width_);
+      const double v = (static_cast<double>(i) + within) *
+                       static_cast<double>(bucket_width_);
+      // The in-bucket sweep can overshoot the data (single sample 5 in
+      // [0,10) would report p=1.0 as 10): never exceed max_seen.
+      return v < hi_clamp ? v : hi_clamp;
     }
     cum += b;
   }
@@ -53,9 +59,8 @@ double Histogram::percentile(double p) const {
   // [range_end, max_seen] (uniform assumption — approximate).
   const double lo =
       static_cast<double>(bucket_width_) * static_cast<double>(buckets_.size());
-  if (overflow_ == 0) return lo;
-  const double hi =
-      static_cast<double>(max_seen_) > lo ? static_cast<double>(max_seen_) : lo;
+  if (overflow_ == 0) return lo < hi_clamp ? lo : hi_clamp;
+  const double hi = hi_clamp > lo ? hi_clamp : lo;
   const double within =
       (target - static_cast<double>(cum)) / static_cast<double>(overflow_);
   return lo + within * (hi - lo);

@@ -38,8 +38,9 @@ class Histogram {
   /// Value at quantile `p` in [0, 1], linearly interpolated inside the
   /// containing bucket. Samples in the overflow bucket are assumed
   /// uniform over [range_end, max_seen], so tail percentiles are
-  /// approximate once overflow() > 0 (bounded by max_seen). 0 when
-  /// empty.
+  /// approximate once overflow() > 0. The result never exceeds
+  /// max_seen() (p=1.0 is exact) and is never NaN; out-of-range or NaN
+  /// `p` is clamped into [0, 1]. 0 when empty.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] std::uint64_t max_seen() const { return max_seen_; }
 

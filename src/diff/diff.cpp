@@ -1,0 +1,170 @@
+#include "diff/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "runlab/thread_pool.hpp"
+
+namespace ppf::diff {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates consecutive trial indices into
+/// independent-looking Xorshift seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<Oracle> selected_oracles(const DiffOptions& opts) {
+  std::vector<Oracle> out;
+  for (const Oracle& o : oracle_catalogue()) {
+    if (opts.only_oracles.empty() ||
+        std::find(opts.only_oracles.begin(), opts.only_oracles.end(), o.id) !=
+            opts.only_oracles.end()) {
+      out.push_back(o);
+    }
+  }
+  if (opts.tripwire) {
+    const Oracle trip = tripwire_oracle();
+    if (opts.only_oracles.empty() ||
+        std::find(opts.only_oracles.begin(), opts.only_oracles.end(),
+                  trip.id) != opts.only_oracles.end()) {
+      out.push_back(trip);
+    }
+  }
+  return out;
+}
+
+/// Evaluate one oracle, folding a thrown exception into a failed
+/// outcome: an unexpected simulator throw on a lattice-valid point is
+/// exactly the kind of bug the harness exists to surface.
+OracleOutcome evaluate_guarded(const Oracle& oracle, OracleContext& ctx) {
+  try {
+    return oracle.evaluate(ctx);
+  } catch (const std::exception& e) {
+    OracleOutcome out;
+    out.applicable = true;
+    out.ok = false;
+    out.detail = std::string("exception: ") + e.what();
+    return out;
+  }
+}
+
+struct TrialOutcome {
+  std::size_t checks = 0;
+  std::size_t skipped = 0;
+  std::vector<DiffViolation> violations;
+};
+
+TrialOutcome run_trial(const DiffOptions& opts,
+                       const std::vector<Oracle>& oracles,
+                       std::size_t trial) {
+  TrialOutcome out;
+  const ConfigPoint point = trial_point(opts, trial);
+  OracleContext ctx(point);
+  for (const Oracle& oracle : oracles) {
+    const OracleOutcome o = evaluate_guarded(oracle, ctx);
+    if (!o.applicable) {
+      ++out.skipped;
+      continue;
+    }
+    ++out.checks;
+    if (o.ok) continue;
+    DiffViolation v;
+    v.trial = trial;
+    v.oracle = oracle.id;
+    v.detail = o.detail;
+    v.point_repro = point.repro();
+    v.shrunk_repro = v.point_repro;
+    if (opts.shrink) {
+      const StillFails pred = [&oracle](const ConfigPoint& cand) {
+        OracleContext cctx(cand);
+        const OracleOutcome co = evaluate_guarded(oracle, cctx);
+        return co.applicable && !co.ok;
+      };
+      const ShrinkResult s =
+          shrink_point(point, pred, opts.shrink_budget,
+                       opts.sample.instruction_budgets.empty()
+                           ? point.instructions
+                           : *std::min_element(
+                                 opts.sample.instruction_budgets.begin(),
+                                 opts.sample.instruction_budgets.end()));
+      v.shrunk_repro = s.point.repro();
+      v.shrink_evaluations = s.evaluations;
+    }
+    out.violations.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t master, std::uint64_t trial) {
+  return mix64(master ^ mix64(trial + 1));
+}
+
+ConfigPoint trial_point(const DiffOptions& opts, std::size_t trial) {
+  Xorshift rng(trial_seed(opts.seed, trial));
+  ConfigPoint point = sample_point(rng, opts.sample);
+  if (opts.tripwire && !point.has("nsp_degree")) {
+    point.overrides.emplace_back("nsp_degree", "4");
+  }
+  return point;
+}
+
+std::string DiffReport::format() const {
+  std::ostringstream os;
+  os << "ppf_diff: seed " << seed << ", " << trials << " trials, " << checks
+     << " oracle checks (" << skipped << " not applicable), "
+     << violations.size() << " violation" << (violations.size() == 1 ? "" : "s")
+     << "\n";
+  for (const DiffViolation& v : violations) {
+    os << "\nVIOLATION " << v.oracle << " (trial " << v.trial << ")\n"
+       << "  detail:  " << v.detail << "\n"
+       << "  sampled: " << v.point_repro << "\n"
+       << "  minimal: " << v.shrunk_repro;
+    if (v.shrink_evaluations != 0) {
+      os << "  (" << v.shrink_evaluations << " shrink probes)";
+    }
+    os << "\n  replay:  ppf_sim " << v.shrunk_repro << "\n";
+  }
+  return os.str();
+}
+
+DiffReport run_diff(const DiffOptions& opts) {
+  const std::vector<Oracle> oracles = selected_oracles(opts);
+  DiffReport rep;
+  rep.seed = opts.seed;
+  rep.trials = opts.trials;
+
+  std::vector<TrialOutcome> slots(opts.trials);
+  const auto work = [&](std::size_t trial) {
+    slots[trial] = run_trial(opts, oracles, trial);
+  };
+  if (opts.jobs == 1 || opts.trials <= 1) {
+    for (std::size_t t = 0; t < opts.trials; ++t) work(t);
+  } else {
+    runlab::ThreadPool pool(opts.jobs);
+    // run_trial catches everything an oracle can throw, so the pool fn
+    // itself cannot throw (the ThreadPool contract).
+    pool.run(opts.trials,
+             [&](std::size_t trial, std::size_t /*worker*/) { work(trial); });
+  }
+
+  // Aggregate in trial order: the report is independent of worker count
+  // and completion order.
+  for (TrialOutcome& t : slots) {
+    rep.checks += t.checks;
+    rep.skipped += t.skipped;
+    for (DiffViolation& v : t.violations) {
+      rep.violations.push_back(std::move(v));
+    }
+  }
+  return rep;
+}
+
+}  // namespace ppf::diff

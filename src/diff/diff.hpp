@@ -1,0 +1,78 @@
+// ppf::diff — the differential/metamorphic bug-hunting harness.
+//
+// run_diff samples `trials` configuration points from the knob lattice
+// (one independent Xorshift stream per trial, derived from the master
+// seed), evaluates the oracle catalogue against each point, and shrinks
+// every failure to a minimal key=value repro string. Trials are
+// independent, so they parallelize over a runlab ThreadPool; verdicts
+// and report text are byte-identical for any worker count.
+//
+// docs/DIFF.md is the user guide: oracle catalogue, repro workflow,
+// shrinking, CI wiring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diff/lattice.hpp"
+#include "diff/oracles.hpp"
+#include "diff/shrink.hpp"
+
+namespace ppf::diff {
+
+struct DiffOptions {
+  std::uint64_t seed = 42;    ///< master seed; trial i uses mix(seed, i)
+  std::size_t trials = 50;    ///< points to sample
+  std::size_t jobs = 1;       ///< worker threads (0 = hardware threads)
+  /// Restrict to oracles whose ID exactly matches an entry; empty = all.
+  std::vector<std::string> only_oracles;
+  bool shrink = true;              ///< shrink failing points
+  std::size_t shrink_budget = 48;  ///< oracle probes per shrink
+  /// Install the synthetic diff.tripwire oracle AND plant its trigger
+  /// (an nsp_degree override) into every sampled point. Used by tests
+  /// and CI to prove the catch -> shrink -> report path end to end.
+  bool tripwire = false;
+  SampleSpec sample;
+};
+
+/// One confirmed oracle failure.
+struct DiffViolation {
+  std::size_t trial = 0;
+  std::string oracle;        ///< violated oracle ID
+  std::string detail;        ///< divergence / relation / exception text
+  std::string point_repro;   ///< full sampled point, ppf_sim syntax
+  std::string shrunk_repro;  ///< minimal repro (== point_repro if unshrunk)
+  std::size_t shrink_evaluations = 0;
+};
+
+struct DiffReport {
+  std::uint64_t seed = 0;
+  std::size_t trials = 0;
+  std::size_t checks = 0;   ///< applicable oracle evaluations
+  std::size_t skipped = 0;  ///< not-applicable oracle evaluations
+  std::vector<DiffViolation> violations;  ///< trial-major, catalogue order
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+
+  /// Deterministic human-readable report (no wall clock, no worker
+  /// attribution): summary line plus one block per violation.
+  [[nodiscard]] std::string format() const;
+};
+
+/// The per-trial RNG stream seed (splitmix64 over master seed + trial).
+/// Exposed so `ppf_diff trial=N` can replay one trial exactly.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t master,
+                                       std::uint64_t trial);
+
+/// Sample the point trial `trial` would test (tripwire planting
+/// included when `opts.tripwire`).
+[[nodiscard]] ConfigPoint trial_point(const DiffOptions& opts,
+                                      std::size_t trial);
+
+/// Run the harness. Never throws for oracle failures — those become
+/// violations; a throwing oracle (simulator exception) is itself
+/// recorded as a violation of that oracle.
+DiffReport run_diff(const DiffOptions& opts);
+
+}  // namespace ppf::diff

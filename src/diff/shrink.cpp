@@ -1,0 +1,54 @@
+#include "diff/shrink.hpp"
+
+namespace ppf::diff {
+
+ShrinkResult shrink_point(const ConfigPoint& start,
+                          const StillFails& still_fails, std::size_t budget,
+                          std::uint64_t min_instructions) {
+  ShrinkResult res;
+  res.point = start;
+
+  const auto probe = [&](const ConfigPoint& cand) {
+    if (res.evaluations >= budget) {
+      res.budget_exhausted = true;
+      return false;
+    }
+    ++res.evaluations;
+    return still_fails(cand);
+  };
+
+  // Phase 1: drop overrides to a fixed point. Restart the scan after
+  // every accepted removal — dropping one override can make another
+  // droppable (or not), so a single pass is not 1-minimal.
+  bool changed = true;
+  while (changed && !res.budget_exhausted) {
+    changed = false;
+    for (std::size_t i = 0; i < res.point.overrides.size(); ++i) {
+      ConfigPoint cand = res.point;
+      cand.overrides.erase(cand.overrides.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      if (probe(cand)) {
+        res.point = cand;
+        changed = true;
+        break;
+      }
+      if (res.budget_exhausted) break;
+    }
+  }
+
+  // Phase 2: shrink the frame. Warmup to zero first (cheapest repro),
+  // then the instruction budget down to the floor.
+  if (!res.budget_exhausted && res.point.warmup != 0) {
+    ConfigPoint cand = res.point;
+    cand.warmup = 0;
+    if (probe(cand)) res.point = cand;
+  }
+  if (!res.budget_exhausted && res.point.instructions > min_instructions) {
+    ConfigPoint cand = res.point;
+    cand.instructions = min_instructions;
+    if (probe(cand)) res.point = cand;
+  }
+  return res;
+}
+
+}  // namespace ppf::diff

@@ -1,0 +1,39 @@
+// ppf::diff — failing-point shrinking.
+//
+// When an oracle flags a sampled point, the raw repro can carry a dozen
+// irrelevant overrides. The shrinker greedily minimizes it (ddmin-lite):
+// repeatedly try dropping one override, keeping any candidate that still
+// reproduces the failure, until a fixed point; then try shrinking the
+// run frame (warmup to 0, the instruction budget to the smallest
+// sampled budget). Every probe re-evaluates the oracle, so the work is
+// bounded by an explicit evaluation budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "diff/lattice.hpp"
+
+namespace ppf::diff {
+
+/// True when `point` still reproduces the failure under investigation.
+/// Implementations must treat a thrown exception as "still fails" or
+/// "does not fail" themselves — the shrinker only sees the bool.
+using StillFails = std::function<bool(const ConfigPoint&)>;
+
+struct ShrinkResult {
+  ConfigPoint point;            ///< minimal failing point found
+  std::size_t evaluations = 0;  ///< oracle probes spent
+  bool budget_exhausted = false;
+};
+
+/// Greedy 1-minimal shrink of `start` under `still_fails`, spending at
+/// most `budget` predicate evaluations. `start` must itself fail; the
+/// returned point is guaranteed to fail too (every accepted step was
+/// verified). With budget 0 the start point is returned untouched.
+ShrinkResult shrink_point(const ConfigPoint& start,
+                          const StillFails& still_fails, std::size_t budget,
+                          std::uint64_t min_instructions = 24000);
+
+}  // namespace ppf::diff

@@ -1,0 +1,36 @@
+// ppf::diff — byte-exact run signatures.
+//
+// Differential oracles compare paired runs by serializing every
+// deterministic field of a SimResult (and, when present, the obs
+// aggregates) into one canonical string and diffing the strings
+// byte-for-byte. A mismatch report names the first differing line, so a
+// divergence points straight at the counter that moved.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace ppf::diff {
+
+/// What the signature covers.
+struct SignatureOptions {
+  /// Include the RunObservation aggregates (event counts, time-series
+  /// rows, final metrics). Off for pairings where exactly one side
+  /// observes (diff.obs_invisible compares the simulation fields only).
+  bool include_observation = true;
+};
+
+/// Canonical one-line-per-field serialization of `r`. Deterministic:
+/// fixed field order, fixed integer formatting, doubles via "%.17g"
+/// (round-trip exact).
+std::string result_signature(const sim::SimResult& r,
+                             const SignatureOptions& opts = {});
+
+/// First line present in exactly one signature, or differing between
+/// them, formatted "field: lhs=... rhs=..."; empty when equal. The
+/// line-oriented format of result_signature makes this the whole diff
+/// algorithm.
+std::string first_divergence(const std::string& lhs, const std::string& rhs);
+
+}  // namespace ppf::diff

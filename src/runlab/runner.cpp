@@ -110,6 +110,10 @@ class ExecContext {
       try {
         prom.set_value(build());
       } catch (...) {
+        // Not swallowed: the exception is parked in the shared future, so
+        // the builder and every concurrent waiter rethrow it from get()
+        // below, each job records it (with job_repro context) in its own
+        // slot, and no thread is ever left blocking on an unset promise.
         prom.set_exception(std::current_exception());
       }
     }
@@ -153,6 +157,20 @@ sim::SimResult execute_job(const Job& job) {
     return sim::run_static_filter(job.config, job.benchmark);
   }
   return sim::run_benchmark(job.config, job.benchmark);
+}
+
+std::string job_repro(const Job& job) {
+  std::string s = "job " + std::to_string(job.index) + " [bench=" +
+                  job.benchmark + " filter=" + job.filter_name +
+                  " seed=" + std::to_string(job.seed) + " instructions=" +
+                  std::to_string(job.config.max_instructions) + " warmup=" +
+                  std::to_string(job.config.warmup_instructions);
+  if (!job.variant.empty()) s += " variant=" + job.variant;
+  if (job.config.diff_fail_at != 0) {
+    s += " diff_fail_at=" + std::to_string(job.config.diff_fail_at);
+  }
+  s += ']';
+  return s;
 }
 
 RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
@@ -236,15 +254,19 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     slot.job = std::move(jobs[i]);
     slot.worker = worker;
     const Clock::time_point t0 = Clock::now();
+    // Every failure record leads with the job identity + config string:
+    // a bare e.what() aggregated out of a 500-job sweep is otherwise
+    // unattributable. The catch-all keeps a throwing job from escaping
+    // into (and killing) the worker thread — the pool always drains.
     try {
       slot.result = ctx.execute(slot.job);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.ok = false;
-      slot.error = e.what();
+      slot.error = job_repro(slot.job) + ": " + e.what();
     } catch (...) {
       slot.ok = false;
-      slot.error = "unknown exception";
+      slot.error = job_repro(slot.job) + ": unknown exception";
     }
     slot.wall_ms = ms_between(t0, Clock::now());
     if (slot.ok) {

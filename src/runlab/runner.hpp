@@ -131,6 +131,11 @@ struct RunReport {
 /// else is a plain Simulator::run. Throws on bad benchmark names etc.
 sim::SimResult execute_job(const Job& job);
 
+/// One-line identity + config string for a job, used to prefix every
+/// failure record ("job 3 [bench=mcf filter=pc seed=7 ...]") so an error
+/// aggregated out of a large batch is reproducible without the sweep.
+[[nodiscard]] std::string job_repro(const Job& job);
+
 /// Run `jobs` on a pool and collect ordered results + telemetry.
 RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts = {});
 

@@ -66,6 +66,7 @@ const std::vector<OverrideDoc>& override_docs() {
       {"check", "invariant checking: off|final|paranoid (docs/CHECKING.md)"},
       {"check_period", "cycles between paranoid check sweeps"},
       {"check_fail_at", "test hook: inject a checker.tripwire violation at cycle N"},
+      {"diff_fail_at", "test hook: throw before simulating runs of >= N instructions"},
       {"core_model", "timing model: occupancy|dataflow"},
       {"width", "core dispatch/retire width"},
       {"rob", "reorder buffer entries"},
@@ -190,6 +191,7 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
   }
   cfg.check.period = params.get_u64("check_period", cfg.check.period);
   cfg.check.fail_at = params.get_u64("check_fail_at", cfg.check.fail_at);
+  cfg.diff_fail_at = params.get_u64("diff_fail_at", cfg.diff_fail_at);
 
   if (params.has("core_model")) {
     const std::string m = params.get_string("core_model", "");

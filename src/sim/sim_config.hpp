@@ -119,6 +119,15 @@ struct SimConfig {
   /// classification. Analysis-only; costs a couple of hash maps.
   bool enable_taxonomy = true;
 
+  /// Fault-injection test hook (ppf::diff, runlab fault tests): when
+  /// non-zero, Simulator::run / run_from_snapshot throw std::runtime_error
+  /// before simulating iff the run would dispatch at least this many
+  /// instructions (warmup included). Never fires during warmup-snapshot
+  /// *construction*, and is deliberately excluded from sim::warmup_key,
+  /// so a failing job can never poison an arena or snapshot shared with
+  /// healthy jobs.
+  std::uint64_t diff_fail_at = 0;
+
   std::uint64_t max_instructions = 2'000'000;
   /// Instructions executed before statistics reset. The paper runs 300M
   /// instructions, amortising cold misses; at our (configurable) scaled

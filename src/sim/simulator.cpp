@@ -1,9 +1,25 @@
 #include "sim/simulator.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/stats.hpp"
 #include "sim/memory_hierarchy.hpp"
 
 namespace ppf::sim {
+
+void maybe_inject_fault(const SimConfig& cfg) {
+  if (cfg.diff_fail_at == 0) return;
+  const std::uint64_t warmup =
+      cfg.warmup_instructions < cfg.max_instructions ? cfg.warmup_instructions
+                                                     : 0;
+  if (cfg.max_instructions + warmup >= cfg.diff_fail_at) {
+    throw std::runtime_error("diff_fail_at tripwire: injected fault (run of " +
+                             std::to_string(cfg.max_instructions + warmup) +
+                             " instructions >= " +
+                             std::to_string(cfg.diff_fail_at) + ")");
+  }
+}
 
 double SimResult::l1d_miss_rate() const {
   return ratio(l1d_demand_misses, l1d_demand_accesses);
@@ -25,6 +41,7 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {}
 
 SimResult Simulator::run(workload::TraceSource& trace,
                          filter::PollutionFilter* external_filter) {
+  maybe_inject_fault(cfg_);
   MemoryHierarchy mem(cfg_, external_filter);
 
   std::unique_ptr<obs::Recorder> rec;

@@ -79,6 +79,12 @@ struct SimResult {
 
 class MemoryHierarchy;
 
+/// Fault-injection test hook: throws std::runtime_error when
+/// cfg.diff_fail_at is non-zero and the run would dispatch at least that
+/// many instructions (warmup included). Called on entry by both
+/// Simulator::run and run_from_snapshot; see SimConfig::diff_fail_at.
+void maybe_inject_fault(const SimConfig& cfg);
+
 /// Finalize `mem` (drain + classify resident prefetches) and assemble the
 /// SimResult for a finished run. Shared by the cold path (Simulator::run)
 /// and the warmup-snapshot path (run_from_snapshot) so both produce

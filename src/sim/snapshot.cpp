@@ -17,12 +17,14 @@ void key_cache(std::ostringstream& os, const mem::CacheConfig& c) {
 
 }  // namespace
 
-// Note: cfg.obs and cfg.check are deliberately NOT part of the key.
-// Observability never shapes machine state (the recorder only reads
-// counters), and invariant checks only read component state, so a
-// snapshot warmed without either is valid for runs with any obs/check
-// setting — each resumed run attaches its own fresh Recorder/Checker
-// after cloning.
+// Note: cfg.obs, cfg.check, and cfg.diff_fail_at are deliberately NOT
+// part of the key. Observability never shapes machine state (the
+// recorder only reads counters), invariant checks only read component
+// state, and the diff_fail_at fault hook throws before any simulation —
+// so a snapshot warmed without any of them is valid for runs with any
+// such setting; each resumed run attaches its own fresh
+// Recorder/Checker after cloning, and a fault-injected job fails at the
+// run_from_snapshot entry without touching the shared snapshot.
 std::string warmup_key(const SimConfig& cfg) {
   std::ostringstream os;
   os << to_string(cfg.core_model) << '|' << cfg.core.width << ','
@@ -97,6 +99,7 @@ std::shared_ptr<const WarmupSnapshot> make_warmup_snapshot(
 }
 
 SimResult run_from_snapshot(const SimConfig& cfg, const WarmupSnapshot& snap) {
+  maybe_inject_fault(cfg);
   PPF_CHECK_MSG(warmup_key(cfg) == warmup_key(snap.config()),
                 "snapshot reused across warmup-incompatible configs");
   PPF_CHECK_MSG(cfg.warmup_instructions < cfg.max_instructions,

@@ -74,5 +74,31 @@ TEST(ParamMap, ValueMayContainEquals) {
   EXPECT_EQ(p.get_string("expr", ""), "a=b");
 }
 
+TEST(ParamMap, U64RejectsNegativeValues) {
+  // Regression: stoull("-1") silently wraps to 2^64-1, so seed=-1 used
+  // to become 18446744073709551615 instead of an error.
+  const ParamMap p = parse({"n=-1", "m=-0", "k= -7"});
+  EXPECT_THROW((void)p.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64("m", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64("k", 0), std::invalid_argument);
+}
+
+TEST(ParamMap, U64RejectsWhitespaceOnlyValues) {
+  const ParamMap p = parse({"n= ", "m=\t"});
+  EXPECT_THROW((void)p.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64("m", 0), std::invalid_argument);
+}
+
+TEST(ParamMap, FromArgsRejectsDuplicateKeys) {
+  // Duplicate key=value arguments are a typo until proven otherwise —
+  // silently honouring the last occurrence hid real sweep mistakes.
+  EXPECT_THROW(parse({"seed=1", "seed=2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"a=1", "b=2", "a=1"}), std::invalid_argument);
+  // Programmatic set() still overwrites (used for defaults).
+  ParamMap p = parse({"a=1"});
+  p.set("a", "2");
+  EXPECT_EQ(p.get_string("a", ""), "2");
+}
+
 }  // namespace
 }  // namespace ppf

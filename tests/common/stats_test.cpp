@@ -79,10 +79,11 @@ TEST(Histogram, PercentileInterpolatesWithinBucket) {
   Histogram h(10, 4);
   h.record(5);  // one sample in bucket [0,10)
   // Linear interpolation inside the containing bucket: the quantile
-  // sweeps the bucket's span, not the sample's exact value.
+  // sweeps the bucket's span — but never past the largest recorded
+  // value (p=1.0 used to report the bucket edge, 10).
   EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
-  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
 }
 
 TEST(Histogram, PercentileOnUniformSamplesIsExact) {
@@ -90,7 +91,40 @@ TEST(Histogram, PercentileOnUniformSamplesIsExact) {
   for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
   EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
-  EXPECT_DOUBLE_EQ(h.percentile(1.00), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.00), 99.0);  // max recorded, not bucket edge
+}
+
+TEST(Histogram, PercentileNeverExceedsMaxSeen) {
+  Histogram h(10, 4);
+  h.record(12);  // bucket [10,20), max_seen = 12
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_LE(h.percentile(p), 12.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 12.0);
+}
+
+TEST(Histogram, PercentileBoundaryValuesAreFinite) {
+  // Regression: p=NaN fell through every bucket comparison and poisoned
+  // the overflow interpolation; empty/single-sample histograms must
+  // never read out of range or return NaN/inf.
+  Histogram empty(10, 4);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(std::nan("")), 0.0);
+
+  Histogram one(10, 4);
+  one.record(7);
+  EXPECT_TRUE(std::isfinite(one.percentile(std::nan(""))));
+  EXPECT_DOUBLE_EQ(one.percentile(std::nan("")), one.percentile(0.0));
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+
+  Histogram overflow_only(10, 2);  // tracked range [0,20)
+  overflow_only.record(50);        // everything in the overflow tail
+  EXPECT_TRUE(std::isfinite(overflow_only.percentile(1.0)));
+  EXPECT_DOUBLE_EQ(overflow_only.percentile(1.0), 50.0);
+  EXPECT_GE(overflow_only.percentile(0.5), 20.0);
+  EXPECT_LE(overflow_only.percentile(0.5), 50.0);
 }
 
 TEST(Histogram, PercentileOverflowTailInterpolatesToMaxSeen) {

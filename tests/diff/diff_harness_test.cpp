@@ -1,0 +1,99 @@
+// ppf::diff harness tests: end-to-end run_diff behaviour — clean sweeps,
+// worker-count invariance, and the tripwire catch -> shrink -> report
+// path the CI smoke job relies on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "diff/diff.hpp"
+
+namespace ppf::diff {
+namespace {
+
+DiffOptions small_options() {
+  DiffOptions opts;
+  opts.seed = 42;
+  opts.trials = 6;
+  opts.shrink_budget = 24;
+  // Keep the gtest shard fast: small budgets, two cheap benchmarks. The
+  // full lattice sweep runs as the ppf_diff smoke CTest entry.
+  opts.sample.benchmarks = {"mcf", "gzip"};
+  opts.sample.instruction_budgets = {24000};
+  opts.sample.warmups = {0, 8000};
+  return opts;
+}
+
+TEST(RunDiff, SmallSweepIsCleanAndAccountsForEveryEvaluation) {
+  const DiffOptions opts = small_options();
+  const DiffReport report = run_diff(opts);
+  EXPECT_TRUE(report.clean()) << report.format();
+  EXPECT_EQ(report.seed, 42u);
+  EXPECT_EQ(report.trials, 6u);
+  // Each trial evaluates the whole catalogue; every evaluation is either
+  // a check or a skip.
+  EXPECT_EQ(report.checks + report.skipped,
+            opts.trials * oracle_catalogue().size());
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(RunDiff, ReportIsIdenticalAcrossWorkerCounts) {
+  DiffOptions opts = small_options();
+  opts.jobs = 1;
+  const DiffReport serial = run_diff(opts);
+  opts.jobs = 4;
+  const DiffReport pooled = run_diff(opts);
+  EXPECT_EQ(serial.format(), pooled.format());
+  EXPECT_EQ(serial.checks, pooled.checks);
+  EXPECT_EQ(serial.skipped, pooled.skipped);
+  EXPECT_EQ(serial.violations.size(), pooled.violations.size());
+}
+
+TEST(RunDiff, TripwireIsCaughtShrunkAndReported) {
+  DiffOptions opts = small_options();
+  opts.trials = 2;
+  opts.tripwire = true;
+  const DiffReport report = run_diff(opts);
+
+  // Every trial has the trigger planted, so every trial must violate the
+  // tripwire oracle — and nothing else (tripwire points are otherwise
+  // ordinary lattice points).
+  ASSERT_EQ(report.violations.size(), 2u) << report.format();
+  for (const DiffViolation& v : report.violations) {
+    EXPECT_EQ(v.oracle, "diff.tripwire");
+    EXPECT_NE(v.point_repro.find("nsp_degree="), std::string::npos);
+    // Shrinking must strip every incidental override: the minimal repro
+    // is exactly frame + the guilty knob.
+    EXPECT_NE(v.shrunk_repro.find("instructions=24000 warmup=0 nsp_degree="),
+              std::string::npos)
+        << v.shrunk_repro;
+    EXPECT_GT(v.shrink_evaluations, 0u);
+  }
+  const std::string text = report.format();
+  EXPECT_NE(text.find("diff.tripwire"), std::string::npos);
+  EXPECT_NE(text.find("minimal:"), std::string::npos);
+  EXPECT_NE(text.find("replay:"), std::string::npos);
+}
+
+TEST(RunDiff, TrialPointReplaysTheSampledPoint) {
+  const DiffOptions opts = small_options();
+  // trial_point(i) is the harness's own sampling path: re-deriving the
+  // same trial twice must give the same point (the `ppf_diff trial=N`
+  // replay contract).
+  for (std::size_t t = 0; t < opts.trials; ++t) {
+    EXPECT_EQ(trial_point(opts, t).repro(), trial_point(opts, t).repro());
+  }
+  // And distinct trials must not all collapse to one point.
+  EXPECT_NE(trial_point(opts, 0).repro(), trial_point(opts, 1).repro());
+}
+
+TEST(RunDiff, OnlyOraclesRestrictsTheCatalogue) {
+  DiffOptions opts = small_options();
+  opts.trials = 2;
+  opts.only_oracles = {"diff.repeat_determinism"};
+  const DiffReport report = run_diff(opts);
+  EXPECT_TRUE(report.clean()) << report.format();
+  EXPECT_EQ(report.checks + report.skipped, opts.trials * 1u);
+}
+
+}  // namespace
+}  // namespace ppf::diff

@@ -1,0 +1,9 @@
+#include <string>
+
+namespace ppf::diff {
+
+// An oracle ID that no docs/DIFF.md in this fixture documents: the
+// diff-oracle-docs rule must flag it.
+std::string mystery_oracle_id() { return "diff.mystery_oracle"; }
+
+}  // namespace ppf::diff

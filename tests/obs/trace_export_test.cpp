@@ -115,6 +115,32 @@ TEST(TraceExport, TimeseriesCarriesSchemaColumnsRowsAndFinal) {
   EXPECT_NE(out.find("\"event_counts\""), std::string::npos);
 }
 
+TEST(TraceExport, EscapesControlCharactersInMetaStrings) {
+  // Regression guard for the JSON escaper: a workload name (e.g. a trace
+  // file path) may contain anything. Control characters must come out as
+  // escape sequences — a raw byte < 0x20 inside a string is invalid JSON
+  // and breaks every downstream consumer.
+  const obs::ExportMeta hostile{"m\ncf\twith\rctrl\x01\x1f", "p\"c\\"};
+  for (auto writer : {obs::write_trace_jsonl, obs::write_trace_chrome,
+                      obs::write_timeseries_json}) {
+    std::ostringstream os;
+    writer(os, tiny_observation(), hostile);
+    const std::string out = os.str();
+    for (char c : out) {
+      // \n separates JSONL records / pretty-printed lines — always
+      // outside string values. No other control byte may survive.
+      if (c != '\n') {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control byte 0x" << std::hex
+            << static_cast<unsigned>(static_cast<unsigned char>(c));
+      }
+    }
+    EXPECT_NE(out.find("m\\ncf\\twith\\rctrl\\u0001\\u001f"),
+              std::string::npos);
+    EXPECT_NE(out.find("p\\\"c\\\\"), std::string::npos);
+  }
+}
+
 TEST(TraceExport, WritersAreDeterministic) {
   const obs::RunObservation o = tiny_observation();
   for (auto writer : {obs::write_trace_jsonl, obs::write_trace_chrome,

@@ -119,6 +119,87 @@ TEST(Runner, CapturesPerJobFailureWithoutKillingTheBatch) {
   EXPECT_EQ(rep.telemetry.total_jobs, 3u);
 }
 
+TEST(Runner, FailedJobErrorNamesTheJobAndItsConfig) {
+  // Fault injection via the diff_fail_at hook: the failing job's slot
+  // must carry enough identity (job index, benchmark, filter, seed,
+  // instruction budgets, the hook itself) to reproduce it without the
+  // sweep, and the healthy jobs must be untouched.
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.benchmarks = {"mcf", "em3d"};
+  spec.variants.push_back({"ok", [](sim::SimConfig&) {}});
+  spec.variants.push_back({"boom", [](sim::SimConfig& cfg) {
+                             cfg.diff_fail_at = 1;  // any run trips it
+                           }});
+  const RunReport rep = run_sweep(spec, with_workers(2));
+  ASSERT_EQ(rep.results.size(), 4u);
+  EXPECT_TRUE(rep.results[0].ok);
+  EXPECT_TRUE(rep.results[1].ok);
+  for (std::size_t i : {std::size_t{2}, std::size_t{3}}) {
+    EXPECT_FALSE(rep.results[i].ok);
+    const std::string& err = rep.results[i].error;
+    EXPECT_NE(err.find("job " + std::to_string(i)), std::string::npos) << err;
+    EXPECT_NE(err.find("bench=" + rep.results[i].job.benchmark),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("filter=none"), std::string::npos) << err;
+    EXPECT_NE(err.find("seed="), std::string::npos) << err;
+    EXPECT_NE(err.find("instructions=20000"), std::string::npos) << err;
+    EXPECT_NE(err.find("variant=boom"), std::string::npos) << err;
+    EXPECT_NE(err.find("diff_fail_at=1"), std::string::npos) << err;
+    EXPECT_NE(err.find("tripwire"), std::string::npos) << err;
+  }
+  EXPECT_EQ(rep.telemetry.failed_jobs, 2u);
+}
+
+TEST(Runner, InjectedFaultsDrainThePoolAtEveryWorkerCount) {
+  // A batch where every job throws must still complete (no deadlocked
+  // worker, no unset promise) and report every slot, for 1 and 8
+  // workers alike — including with warmup sharing enabled, where the
+  // fault fires at the run entry, after the shared snapshot futures are
+  // set up.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    SweepSpec spec;
+    spec.base = tiny_config();
+    spec.base.warmup_instructions = 5'000;
+    spec.base.diff_fail_at = 1;
+    spec.benchmarks = {"mcf", "em3d"};
+    spec.seeds = {1, 2, 3, 4};
+    const RunReport rep = run_sweep(spec, with_workers(workers));
+    ASSERT_EQ(rep.results.size(), 8u);
+    for (const JobResult& r : rep.results) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("job "), std::string::npos);
+      EXPECT_NE(r.error.find("diff_fail_at=1"), std::string::npos);
+    }
+    EXPECT_EQ(rep.telemetry.failed_jobs, 8u);
+  }
+}
+
+TEST(Runner, JobReproRoundTripsTheIdentityFields) {
+  Job job;
+  job.index = 7;
+  job.benchmark = "gcc";
+  job.variant = "big-l2";
+  job.filter_name = "pc";
+  job.seed = 99;
+  job.config = tiny_config();
+  job.config.warmup_instructions = 4'000;
+  job.config.diff_fail_at = 123;
+  const std::string repro = job_repro(job);
+  for (const char* part :
+       {"job 7", "bench=gcc", "filter=pc", "seed=99", "instructions=20000",
+        "warmup=4000", "variant=big-l2", "diff_fail_at=123"}) {
+    EXPECT_NE(repro.find(part), std::string::npos) << repro << " / " << part;
+  }
+  // Without the optional fields the repro stays compact.
+  job.variant.clear();
+  job.config.diff_fail_at = 0;
+  const std::string plain = job_repro(job);
+  EXPECT_EQ(plain.find("variant="), std::string::npos);
+  EXPECT_EQ(plain.find("diff_fail_at="), std::string::npos);
+}
+
 TEST(Runner, SoftTimeoutFlagsOverrunningJobs) {
   SweepSpec spec;
   spec.base = tiny_config();

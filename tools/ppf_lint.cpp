@@ -35,6 +35,7 @@
 //        2 usage or I/O error
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -75,6 +76,8 @@ constexpr Rule kRules[] = {
     {"invariant-id-docs",
      "invariant IDs at require()/fail()/CheckFailure sites must appear in "
      "docs/CHECKING.md"},
+    {"diff-oracle-docs",
+     "diff.* oracle IDs in src/diff must appear in docs/DIFF.md"},
 };
 
 std::vector<std::string> read_lines(const fs::path& p) {
@@ -309,6 +312,33 @@ void check_invariant_ids(const fs::path& file, const fs::path& root,
   }
 }
 
+// --- rule: diff-oracle-docs -------------------------------------------------
+
+void check_diff_oracle_ids(const fs::path& file, const fs::path& root,
+                           const std::vector<std::string>& lines,
+                           const std::string& diff_md,
+                           std::vector<Finding>& out) {
+  const std::string r = rel(file, root);
+  if (r.rfind("src/diff/", 0) != 0) return;
+  // Every "diff.xxx" string literal in the diff subsystem is an oracle
+  // ID a user may see in a violation report — each must be explained in
+  // the docs/DIFF.md catalogue.
+  static const std::regex id_re(R"re("(diff\.[a-z][a-z0-9_.]*)")re");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (comment_line(lines[i])) continue;
+    for (std::sregex_iterator it(lines[i].begin(), lines[i].end(), id_re),
+         end;
+         it != end; ++it) {
+      const std::string id = (*it)[1].str();
+      if (diff_md.find(id) == std::string::npos) {
+        out.push_back({"diff-oracle-docs", r, i + 1,
+                       "oracle ID \"" + id +
+                           "\" not documented in docs/DIFF.md"});
+      }
+    }
+  }
+}
+
 // --- output ----------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -319,6 +349,17 @@ std::string json_escape(const std::string& s) {
       out += c;
     } else if (c == '\n') {
       out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Any other control byte would be invalid inside a JSON string —
+      // a source line with a stray \f or \x01 must not break --json.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
     } else {
       out += c;
     }
@@ -380,6 +421,7 @@ int main(int argc, char** argv) {
   root = fs::canonical(root);
 
   const std::string checking_md = read_text(root / "docs" / "CHECKING.md");
+  const std::string diff_md = read_text(root / "docs" / "DIFF.md");
   std::vector<Finding> findings;
   for (const fs::path& f : source_files(root / "src")) {
     const std::vector<std::string> lines = read_lines(f);
@@ -388,6 +430,7 @@ int main(int argc, char** argv) {
     check_obs_parity(f, root, lines, findings);
     check_event_bookkeeping(f, root, lines, findings);
     check_invariant_ids(f, root, lines, checking_md, findings);
+    check_diff_oracle_ids(f, root, lines, diff_md, findings);
   }
   check_config_keys(root, findings);
 
