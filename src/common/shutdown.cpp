@@ -1,0 +1,98 @@
+#include "common/shutdown.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/assert.hpp"
+
+namespace ppf {
+
+namespace {
+
+// The signal handler can only touch async-signal-safe state, so the
+// active instance is published through a plain atomic pointer; the
+// PPF_CHECK in install_signal_handlers() guarantees a single writer.
+std::atomic<ShutdownRequest*> g_active{nullptr};
+
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+}  // namespace
+
+ShutdownRequest::ShutdownRequest() {
+  PPF_CHECK_MSG(::pipe(pipe_) == 0, "self-pipe creation failed");
+  // Non-blocking on both ends: the handler's write must never block (a
+  // full pipe just means the wakeup byte is already there), and readers
+  // drain without risk of hanging.
+  for (int fd : pipe_) {
+    const int flags = ::fcntl(fd, F_GETFL);
+    PPF_CHECK(flags != -1);
+    PPF_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+  }
+}
+
+ShutdownRequest::~ShutdownRequest() {
+  if (handlers_installed_) {
+    ::sigaction(SIGINT, &g_prev_int, nullptr);
+    ::sigaction(SIGTERM, &g_prev_term, nullptr);
+    g_active.store(nullptr, std::memory_order_release);
+  }
+  ::close(pipe_[0]);
+  ::close(pipe_[1]);
+}
+
+void ShutdownRequest::handler(int /*sig*/) {
+  ShutdownRequest* self = g_active.load(std::memory_order_acquire);
+  if (self == nullptr) return;
+  self->flag_.store(true, std::memory_order_release);
+  // Best-effort wakeup byte; EAGAIN means a byte is already pending,
+  // which serves the same purpose.
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(self->pipe_[1], &b, 1);
+}
+
+void ShutdownRequest::install_signal_handlers() {
+  ShutdownRequest* expected = nullptr;
+  PPF_CHECK_MSG(
+      g_active.compare_exchange_strong(expected, this,
+                                       std::memory_order_acq_rel),
+      "another ShutdownRequest already owns the signal handlers");
+  struct sigaction sa = {};
+  sa.sa_handler = &ShutdownRequest::handler;
+  ::sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking accept()/read() calls should return EINTR so
+  // their loops re-check requested() promptly.
+  sa.sa_flags = 0;
+  PPF_CHECK(::sigaction(SIGINT, &sa, &g_prev_int) == 0);
+  PPF_CHECK(::sigaction(SIGTERM, &sa, &g_prev_term) == 0);
+  handlers_installed_ = true;
+}
+
+void ShutdownRequest::request() {
+  // Same effect as a delivered signal, minus the g_active indirection —
+  // works even when no handlers are installed (the test configuration).
+  flag_.store(true, std::memory_order_release);
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(pipe_[1], &b, 1);
+}
+
+bool ShutdownRequest::wait(int ms) const {
+  if (requested()) return true;
+  struct pollfd pfd = {};
+  pfd.fd = pipe_[0];
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc >= 0 || errno != EINTR) break;
+    // EINTR: the signal we are waiting for may have just landed —
+    // re-check the flag, then resume the wait.
+    if (requested()) return true;
+  }
+  return requested();
+}
+
+}  // namespace ppf

@@ -1,0 +1,66 @@
+// Cooperative process shutdown: one flag, three ways to trip it.
+//
+// A ShutdownRequest turns SIGINT/SIGTERM into a level-triggered flag that
+// long-running drivers (ppf_batch sweeps, the ppf_serve accept loop) poll
+// between units of work. Nothing is torn down from the signal handler
+// itself — the handler only stores into an atomic and writes one byte to a
+// self-pipe, both async-signal-safe; the draining, flushing and exit code
+// logic all run on ordinary threads that observed the flag.
+//
+// request() trips the same flag programmatically. That is the test hook:
+// graceful-shutdown behaviour (drain in-flight jobs, flush sinks, exit 0)
+// is exercised by calling request() at a deterministic point instead of
+// delivering a real signal, so the tests stay portable and un-racy.
+//
+// The self-pipe exists for threads that block in poll()/accept() rather
+// than polling a flag: including fd() in the poll set guarantees the
+// sleeper wakes promptly when the flag trips, closing the classic lost
+// wakeup between "checked the flag" and "went to sleep".
+//
+// Signal handlers are process-global, so at most one ShutdownRequest may
+// have install_signal_handlers() active at a time (PPF_CHECK enforced);
+// the destructor restores the previous handlers.
+#pragma once
+
+#include <atomic>
+
+namespace ppf {
+
+class ShutdownRequest {
+ public:
+  ShutdownRequest();
+  ~ShutdownRequest();
+  ShutdownRequest(const ShutdownRequest&) = delete;
+  ShutdownRequest& operator=(const ShutdownRequest&) = delete;
+
+  /// Route SIGINT and SIGTERM to this object. Only one instance may have
+  /// handlers installed at a time; the destructor restores the previous
+  /// dispositions.
+  void install_signal_handlers();
+
+  /// Trip the flag programmatically (the deterministic stand-in for a
+  /// signal, used by tests and by the serve `shutdown` verb).
+  void request();
+
+  /// Has a shutdown been requested (signal or request())?
+  [[nodiscard]] bool requested() const {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// Read end of the self-pipe: becomes readable once the flag trips.
+  /// Include it in poll()/select() sets to wake blocked I/O promptly.
+  [[nodiscard]] int fd() const { return pipe_[0]; }
+
+  /// Block until requested() or `ms` milliseconds elapse; returns
+  /// requested(). ms < 0 waits indefinitely.
+  bool wait(int ms) const;
+
+ private:
+  static void handler(int sig);
+
+  std::atomic<bool> flag_{false};
+  int pipe_[2] = {-1, -1};
+  bool handlers_installed_ = false;
+};
+
+}  // namespace ppf

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/hash.hpp"
 #include "obs/trace.hpp"
+#include "sim/snapshot.hpp"
 
 namespace ppf::diff {
 
@@ -100,6 +102,38 @@ std::string result_signature(const sim::SimResult& r,
     }
   }
   return os.str();
+}
+
+std::string config_signature(const sim::SimConfig& cfg,
+                             const std::string& benchmark) {
+  std::ostringstream os;
+  os << "bench=" << benchmark << '\n';
+  os << "machine=" << sim::warmup_key(cfg) << '\n';
+  os << "instructions=" << cfg.max_instructions << '\n';
+  os << "energy=" << fmt_double(cfg.energy.l1_access) << ','
+     << fmt_double(cfg.energy.l2_access) << ','
+     << fmt_double(cfg.energy.dram_access) << ','
+     << fmt_double(cfg.energy.bus_beat) << ','
+     << fmt_double(cfg.energy.table_lookup) << '\n';
+  os << "diff_fail_at=" << cfg.diff_fail_at << '\n';
+  return os.str();
+}
+
+std::string config_digest(const sim::SimConfig& cfg,
+                          const std::string& benchmark) {
+  const std::string sig = config_signature(cfg, benchmark);
+  // FNV-1a over the signature bytes, then a mix64 finalizer: a cheap,
+  // process-stable 64-bit digest with fixed-width hex rendering.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : sig) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h = mix64(h);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 std::string first_divergence(const std::string& lhs, const std::string& rhs) {

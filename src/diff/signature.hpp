@@ -33,4 +33,23 @@ std::string result_signature(const sim::SimResult& r,
 /// algorithm.
 std::string first_divergence(const std::string& lhs, const std::string& rhs);
 
+/// Byte-exact serialization of everything that shapes a run's
+/// *deterministic result*: the benchmark, the full warmup-relevant
+/// machine (sim::warmup_key), the measurement window, the energy prices,
+/// and the diff_fail_at fault hook (it decides error-vs-result). Two
+/// configs with equal config_signature produce byte-identical SimResult
+/// payloads, so this is the sweep-as-a-service memo-cache key
+/// (src/serve/memo.hpp). Observability and invariant-check knobs are
+/// deliberately excluded — obs=/check= settings never move a counter
+/// (guarded by the diff.obs_invisible / diff.check_off_vs_paranoid
+/// oracles), so they must not fork memo entries.
+std::string config_signature(const sim::SimConfig& cfg,
+                             const std::string& benchmark);
+
+/// Short fixed-width hex digest of config_signature (stable across
+/// processes; common/hash.hpp mix). Collision-safe enough for telemetry
+/// labels; the memo cache keys on the full string, never the digest.
+std::string config_digest(const sim::SimConfig& cfg,
+                          const std::string& benchmark);
+
 }  // namespace ppf::diff

@@ -1,0 +1,237 @@
+#include "runlab/exec_cache.hpp"
+
+#include <utility>
+
+#include "runlab/runner.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::runlab {
+
+namespace {
+
+std::uint64_t active_warmup(const sim::SimConfig& cfg) {
+  return cfg.warmup_instructions < cfg.max_instructions
+             ? cfg.warmup_instructions
+             : 0;
+}
+
+}  // namespace
+
+ExecCache::ExecCache(const ExecCacheConfig& cfg)
+    : cfg_{cfg.trace_cache,
+           // Snapshots resume from a seekable arena, so sharing them
+           // without the trace cache is not possible.
+           cfg.trace_cache && cfg.warmup_share, cfg.trace_budget_bytes,
+           cfg.snapshot_budget_bytes} {}
+
+std::size_t ExecCache::needed_records(const Job& job) {
+  return job.config.max_instructions + active_warmup(job.config);
+}
+
+std::string ExecCache::trace_key(const Job& job) {
+  return job.benchmark + '|' + std::to_string(job.config.seed);
+}
+
+void ExecCache::note_demand(const Job& job) {
+  if (!cfg_.trace_cache) return;
+  const std::size_t need = needed_records(job);
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t& watermark = demand_[trace_key(job)];
+  if (need > watermark) watermark = need;
+}
+
+sim::SimResult ExecCache::execute(const Job& job) {
+  // Static-filter jobs run the two-phase profile/measure flow with an
+  // external filter that must survive between the phases — out of scope
+  // for arena/snapshot sharing.
+  if (!cfg_.trace_cache || job.config.filter == filter::FilterKind::Static) {
+    return execute_job(job);
+  }
+  note_demand(job);
+  const ArenaPtr arena = arena_for(job);
+  if (cfg_.warmup_share && active_warmup(job.config) > 0) {
+    const SnapshotPtr snap = snapshot_for(job, arena);
+    if (snap != nullptr) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++counters_.snapshot_resumes;
+      }
+      return sim::run_from_snapshot(job.config, *snap);
+    }
+  }
+  workload::TraceCursor cursor(arena);
+  sim::Simulator s(job.config);
+  return s.run(cursor);
+}
+
+ExecCacheStats ExecCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ExecCacheStats out = counters_;
+  out.trace_bytes = arena_bytes_;
+  out.snapshot_bytes = snapshot_bytes_;
+  return out;
+}
+
+template <typename T>
+void ExecCache::evict_over_budget(
+    std::unordered_map<std::string, Entry<T>>& map, std::size_t& total,
+    std::size_t budget, std::uint64_t keep_id, std::uint64_t& evictions) {
+  // Called with mu_ held. Only finalized entries (bytes known, future
+  // ready) are candidates; the entry just built/used is pinned so a
+  // budget smaller than a single artifact degrades to "retain nothing"
+  // instead of thrashing the artifact out from under its own consumer.
+  if (budget == 0) return;
+  while (total > budget) {
+    auto victim = map.end();
+    for (auto it = map.begin(); it != map.end(); ++it) {
+      if (it->second.bytes == 0 || it->second.id == keep_id) continue;
+      if (victim == map.end() || it->second.tick < victim->second.tick) {
+        victim = it;
+      }
+    }
+    if (victim == map.end()) return;
+    total -= victim->second.bytes;
+    ++evictions;
+    map.erase(victim);
+  }
+}
+
+template <typename T>
+void ExecCache::finalize_entry(std::unordered_map<std::string, Entry<T>>& map,
+                               const std::string& key, std::uint64_t id,
+                               std::size_t bytes, std::size_t& total,
+                               std::size_t budget, std::uint64_t& evictions) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map.find(key);
+  // The entry may have been replaced (regrown) while we built: then this
+  // build's bytes never enter the resident total — the artifact lives
+  // only as long as its waiters hold the shared_future.
+  if (it == map.end() || it->second.id != id) return;
+  it->second.bytes = bytes;
+  total += bytes;
+  evict_over_budget(map, total, budget, id, evictions);
+}
+
+ExecCache::ArenaPtr ExecCache::arena_for(const Job& job) {
+  const std::string key = trace_key(job);
+  const std::size_t need = needed_records(job);
+
+  std::promise<ArenaPtr> prom;
+  std::shared_future<ArenaPtr> fut;
+  std::uint64_t id = 0;
+  std::size_t build_records = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = arenas_.find(key);
+    if (it != arenas_.end() && it->second.records >= need) {
+      it->second.tick = ++lru_clock_;
+      ++counters_.trace_hits;
+      fut = it->second.fut;
+    } else {
+      if (it != arenas_.end()) {
+        // Regrow: a job arrived needing more records than the resident
+        // arena holds. The old entry leaves the cache (waiters keep it
+        // alive through their futures) and a longer one is built; the
+        // deterministic generators make the new arena a byte-identical
+        // extension of the old.
+        arena_bytes_ -= it->second.bytes;
+        ++counters_.trace_evictions;
+        arenas_.erase(it);
+      }
+      const auto dit = demand_.find(key);
+      build_records =
+          dit != demand_.end() && dit->second > need ? dit->second : need;
+      id = next_id_++;
+      fut = prom.get_future().share();
+      Entry<ArenaPtr> e;
+      e.fut = fut;
+      e.id = id;
+      e.records = build_records;
+      e.tick = ++lru_clock_;
+      arenas_.emplace(key, std::move(e));
+      ++counters_.trace_builds;
+    }
+  }
+  if (id != 0) {
+    try {
+      auto src = workload::make_benchmark(job.benchmark, job.config.seed);
+      prom.set_value(workload::materialize(*src, build_records));
+    } catch (...) {
+      // Parked in the shared future: the builder and every concurrent
+      // waiter rethrow from get(), each job records the failure in its
+      // own slot, and no thread blocks on an unset promise.
+      prom.set_exception(std::current_exception());
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = arenas_.find(key);
+        if (it != arenas_.end() && it->second.id == id) arenas_.erase(it);
+      }
+      return fut.get();  // rethrows
+    }
+    const ArenaPtr built = fut.get();
+    finalize_entry(arenas_, key, id, built->bytes(), arena_bytes_,
+                   cfg_.trace_budget_bytes, counters_.trace_evictions);
+    return built;
+  }
+  return fut.get();
+}
+
+ExecCache::SnapshotPtr ExecCache::snapshot_for(const Job& job,
+                                               const ArenaPtr& arena) {
+  const std::string key =
+      trace_key(job) + '|' + sim::warmup_key(job.config);
+  const std::size_t need = needed_records(job);
+
+  std::promise<SnapshotPtr> prom;
+  std::shared_future<SnapshotPtr> fut;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = snaps_.find(key);
+    if (it != snaps_.end() && it->second.records >= need) {
+      it->second.tick = ++lru_clock_;
+      ++counters_.snapshot_hits;
+      fut = it->second.fut;
+    } else {
+      if (it != snaps_.end()) {
+        // The cached snapshot was built over an arena too short for this
+        // job's measurement window: rebuild over the longer arena. The
+        // warmup prefix is identical, so resumed results are too.
+        snapshot_bytes_ -= it->second.bytes;
+        ++counters_.snapshot_evictions;
+        snaps_.erase(it);
+      }
+      id = next_id_++;
+      fut = prom.get_future().share();
+      Entry<SnapshotPtr> e;
+      e.fut = fut;
+      e.id = id;
+      e.records = arena->size();
+      e.tick = ++lru_clock_;
+      snaps_.emplace(key, std::move(e));
+      ++counters_.snapshot_builds;
+    }
+  }
+  if (id != 0) {
+    try {
+      prom.set_value(sim::make_warmup_snapshot(job.config, arena));
+    } catch (...) {
+      prom.set_exception(std::current_exception());
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = snaps_.find(key);
+        if (it != snaps_.end() && it->second.id == id) snaps_.erase(it);
+      }
+      return fut.get();  // rethrows
+    }
+    const SnapshotPtr built = fut.get();
+    finalize_entry(snaps_, key, id,
+                   built != nullptr ? built->estimated_bytes() : 0,
+                   snapshot_bytes_, cfg_.snapshot_budget_bytes,
+                   counters_.snapshot_evictions);
+    return built;
+  }
+  return fut.get();
+}
+
+}  // namespace ppf::runlab

@@ -1,0 +1,138 @@
+// runlab: process-lifetime execution caches.
+//
+// A batch run reuses two expensive artifacts across jobs: materialized
+// trace arenas (one per distinct benchmark x seed) and warmup snapshots
+// (one per distinct warmup-relevant config; see sim::warmup_key). PR 2
+// built them per-batch and threw them away with the batch. ExecCache
+// lifts that state into an object a caller may keep alive for as long as
+// it likes — the sweep-as-a-service daemon (src/serve) owns one for its
+// whole process lifetime, so every request after the first hits warm
+// arenas and warm machines.
+//
+// A cache that outlives a batch must also be bounded: both stores carry
+// an optional LRU byte budget (trace_cache_mb= / snapshot_cache_mb= in
+// the CLIs). Eviction is invisible in results — a rebuilt arena or
+// snapshot is byte-identical to the evicted one (the generators and the
+// warmup phase are deterministic; guarded by
+// tests/runlab/exec_cache_test.cpp) — it only costs rebuild time, which
+// the eviction counters make observable.
+//
+// Thread safety: fully concurrent. The first caller to need a key builds
+// it; concurrent callers for the same key block on a shared_future while
+// different keys build in parallel. Build failures propagate to every
+// waiter as the original exception.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runlab/sweep.hpp"
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+#include "workload/materialized.hpp"
+
+namespace ppf::runlab {
+
+struct ExecCacheConfig {
+  /// Materialize each distinct (benchmark, seed) trace once and share it
+  /// across jobs. Off = every job streams its own generator (results are
+  /// byte-identical either way).
+  bool trace_cache = true;
+  /// Run warmup once per distinct warmup-relevant config and clone the
+  /// warm machine into matching jobs. Requires trace_cache.
+  bool warmup_share = true;
+  /// LRU byte budget for resident trace arenas; 0 = unbounded. The entry
+  /// being built/used is never evicted, so a budget smaller than one
+  /// arena still works (the cache just stops retaining).
+  std::size_t trace_budget_bytes = 0;
+  /// LRU byte budget for resident warmup snapshots; 0 = unbounded.
+  std::size_t snapshot_budget_bytes = 0;
+};
+
+/// Monotone counters + point-in-time residency. Snapshot via stats();
+/// callers needing per-batch deltas subtract two snapshots.
+struct ExecCacheStats {
+  std::uint64_t trace_builds = 0;      ///< arenas materialized
+  std::uint64_t trace_hits = 0;        ///< jobs served by a resident arena
+  std::uint64_t trace_evictions = 0;   ///< arenas dropped (budget or regrow)
+  std::uint64_t snapshot_builds = 0;
+  std::uint64_t snapshot_hits = 0;
+  std::uint64_t snapshot_evictions = 0;
+  std::uint64_t snapshot_resumes = 0;  ///< jobs that skipped warmup
+  std::size_t trace_bytes = 0;         ///< resident arena bytes now
+  std::size_t snapshot_bytes = 0;      ///< resident snapshot bytes now
+};
+
+class ExecCache {
+ public:
+  explicit ExecCache(const ExecCacheConfig& cfg = {});
+
+  ExecCache(const ExecCache&) = delete;
+  ExecCache& operator=(const ExecCache&) = delete;
+
+  /// Record that `job` will run soon, so the arena for its (benchmark,
+  /// seed) is sized for the hungriest declared consumer in one build.
+  /// Optional — execute() sizes on demand — but a batch that declares
+  /// all jobs up front builds each arena exactly once instead of
+  /// regrowing it when a longer job arrives.
+  void note_demand(const Job& job);
+
+  /// Execute one job through the caches: arena cursor + warmup-snapshot
+  /// resume when possible, plain execute_job otherwise (trace_cache off,
+  /// or a static-filter job whose two-phase flow is out of scope).
+  /// Throws what the simulation throws.
+  sim::SimResult execute(const Job& job);
+
+  [[nodiscard]] ExecCacheStats stats() const;
+
+ private:
+  using ArenaPtr = std::shared_ptr<const workload::MaterializedTrace>;
+  using SnapshotPtr = std::shared_ptr<const sim::WarmupSnapshot>;
+
+  template <typename T>
+  struct Entry {
+    std::shared_future<T> fut;
+    std::uint64_t id = 0;       ///< build identity (bytes arrive late)
+    std::size_t records = 0;    ///< arena records this entry covers
+    std::size_t bytes = 0;      ///< 0 until the build completes
+    std::uint64_t tick = 0;     ///< LRU clock at last access
+  };
+
+  /// Records the job consumes from its trace (measurement window plus
+  /// active warmup).
+  static std::size_t needed_records(const Job& job);
+  static std::string trace_key(const Job& job);
+
+  ArenaPtr arena_for(const Job& job);
+  SnapshotPtr snapshot_for(const Job& job, const ArenaPtr& arena);
+
+  template <typename T>
+  void finalize_entry(std::unordered_map<std::string, Entry<T>>& map,
+                      const std::string& key, std::uint64_t id,
+                      std::size_t bytes, std::size_t& total,
+                      std::size_t budget, std::uint64_t& evictions);
+
+  template <typename T>
+  void evict_over_budget(std::unordered_map<std::string, Entry<T>>& map,
+                         std::size_t& total, std::size_t budget,
+                         std::uint64_t keep_id, std::uint64_t& evictions);
+
+  const ExecCacheConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t lru_clock_ = 0;
+  std::unordered_map<std::string, std::size_t> demand_;
+  std::unordered_map<std::string, Entry<ArenaPtr>> arenas_;
+  std::unordered_map<std::string, Entry<SnapshotPtr>> snaps_;
+  std::size_t arena_bytes_ = 0;     ///< sum of finalized resident entries
+  std::size_t snapshot_bytes_ = 0;
+  ExecCacheStats counters_;         ///< guarded by mu_ (bytes fields unused)
+};
+
+}  // namespace ppf::runlab

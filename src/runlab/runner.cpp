@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "runlab/exec_cache.hpp"
 #include "runlab/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -27,122 +28,6 @@ using Clock = std::chrono::steady_clock;
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
-
-/// Per-batch shared state: arenas and warmup snapshots built exactly once
-/// per distinct key, no matter how many jobs (or workers) want them. The
-/// first job to ask for a key builds it; concurrent askers block on a
-/// shared_future, so different keys still build in parallel. Build
-/// failures propagate to every waiter as the original exception.
-class ExecContext {
- public:
-  using ArenaPtr = std::shared_ptr<const workload::MaterializedTrace>;
-  using SnapshotPtr = std::shared_ptr<const sim::WarmupSnapshot>;
-
-  ExecContext(const std::vector<Job>& jobs, const RunOptions& opts)
-      : trace_cache_(opts.trace_cache),
-        warmup_share_(opts.trace_cache && opts.warmup_share) {
-    // Size each arena for the hungriest job sharing it: a job consumes at
-    // most max_instructions plus its (active) warmup from the trace.
-    for (const Job& job : jobs) {
-      const std::uint64_t warmup =
-          job.config.warmup_instructions < job.config.max_instructions
-              ? job.config.warmup_instructions
-              : 0;
-      std::size_t& len = arena_records_[trace_key(job)];
-      const std::size_t need = job.config.max_instructions + warmup;
-      if (need > len) len = need;
-    }
-  }
-
-  sim::SimResult execute(const Job& job) {
-    // Static-filter jobs run the two-phase profile/measure flow with an
-    // external filter that must survive between the phases — out of scope
-    // for arena/snapshot sharing.
-    if (!trace_cache_ || job.config.filter == filter::FilterKind::Static) {
-      return execute_job(job);
-    }
-    const ArenaPtr arena = arena_for(job);
-    const std::uint64_t warmup =
-        job.config.warmup_instructions < job.config.max_instructions
-            ? job.config.warmup_instructions
-            : 0;
-    if (warmup_share_ && warmup > 0) {
-      const SnapshotPtr snap = snapshot_for(job, arena);
-      if (snap != nullptr) {
-        ++snapshot_resumes_;
-        return sim::run_from_snapshot(job.config, *snap);
-      }
-    }
-    workload::TraceCursor cursor(arena);
-    sim::Simulator s(job.config);
-    return s.run(cursor);
-  }
-
-  [[nodiscard]] std::size_t arenas_built() const { return arenas_.size(); }
-  [[nodiscard]] std::size_t snapshots_built() const { return snaps_.size(); }
-  [[nodiscard]] std::size_t snapshot_resumes() const {
-    return snapshot_resumes_.load();
-  }
-
- private:
-  static std::string trace_key(const Job& job) {
-    return job.benchmark + '|' + std::to_string(job.config.seed);
-  }
-
-  template <typename T, typename F>
-  T cached(std::unordered_map<std::string, std::shared_future<T>>& map,
-           const std::string& key, F&& build) {
-    std::promise<T> prom;
-    std::shared_future<T> fut;
-    bool builder = false;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      auto it = map.find(key);
-      if (it == map.end()) {
-        fut = prom.get_future().share();
-        map.emplace(key, fut);
-        builder = true;
-      } else {
-        fut = it->second;
-      }
-    }
-    if (builder) {
-      try {
-        prom.set_value(build());
-      } catch (...) {
-        // Not swallowed: the exception is parked in the shared future, so
-        // the builder and every concurrent waiter rethrow it from get()
-        // below, each job records it (with job_repro context) in its own
-        // slot, and no thread is ever left blocking on an unset promise.
-        prom.set_exception(std::current_exception());
-      }
-    }
-    return fut.get();
-  }
-
-  ArenaPtr arena_for(const Job& job) {
-    const std::string key = trace_key(job);
-    return cached(arenas_, key, [&] {
-      auto src = workload::make_benchmark(job.benchmark, job.config.seed);
-      return workload::materialize(*src, arena_records_.at(key));
-    });
-  }
-
-  SnapshotPtr snapshot_for(const Job& job, const ArenaPtr& arena) {
-    const std::string key = trace_key(job) + '|' + sim::warmup_key(job.config);
-    return cached(snaps_, key, [&] {
-      return sim::make_warmup_snapshot(job.config, arena);
-    });
-  }
-
-  const bool trace_cache_;
-  const bool warmup_share_;
-  std::unordered_map<std::string, std::size_t> arena_records_;
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<ArenaPtr>> arenas_;
-  std::unordered_map<std::string, std::shared_future<SnapshotPtr>> snaps_;
-  std::atomic<std::size_t> snapshot_resumes_{0};
-};
 
 }  // namespace
 
@@ -203,11 +88,28 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     }
   }
 
-  ExecContext ctx(jobs, opts);
+  // The execution cache: either the caller's long-lived one (serve
+  // daemon) or a private per-batch cache built from the options. Either
+  // way, declaring every job up front sizes each arena for its hungriest
+  // consumer so it is built exactly once.
+  std::unique_ptr<ExecCache> local_cache;
+  ExecCache* cache = opts.cache;
+  if (cache == nullptr) {
+    ExecCacheConfig cc;
+    cc.trace_cache = opts.trace_cache;
+    cc.warmup_share = opts.warmup_share;
+    cc.trace_budget_bytes = opts.trace_cache_mb << 20;
+    cc.snapshot_budget_bytes = opts.snapshot_cache_mb << 20;
+    local_cache = std::make_unique<ExecCache>(cc);
+    cache = local_cache.get();
+  }
+  for (const Job& job : jobs) cache->note_demand(job);
+  const ExecCacheStats cache_before = cache->stats();
 
   std::mutex progress_mu;
   std::size_t done = 0;
   std::size_t failed = 0;
+  std::size_t cancelled = 0;
   std::atomic<std::size_t> done_atomic{0};
   std::atomic<std::size_t> failed_atomic{0};
 
@@ -259,7 +161,12 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
     // unattributable. The catch-all keeps a throwing job from escaping
     // into (and killing) the worker thread — the pool always drains.
     try {
-      slot.result = ctx.execute(slot.job);
+      if (opts.cancel && opts.cancel()) {
+        slot.cancelled = true;
+        throw std::runtime_error("cancelled before start (shutdown "
+                                 "requested); in-flight jobs drained");
+      }
+      slot.result = cache->execute(slot.job);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.ok = false;
@@ -288,7 +195,13 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
 
     std::lock_guard<std::mutex> lk(progress_mu);
     ++done;
-    if (!slot.ok) ++failed;
+    if (!slot.ok) {
+      if (slot.cancelled) {
+        ++cancelled;
+      } else {
+        ++failed;
+      }
+    }
     if (opts.on_progress) {
       Progress p;
       p.done = done;
@@ -314,6 +227,7 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
   RunTelemetry& t = rep.telemetry;
   t.wall_ms = ms_between(batch_start, Clock::now());
   t.failed_jobs = failed;
+  t.cancelled_jobs = cancelled;
   for (const JobResult& r : rep.results) {
     t.busy_ms += r.wall_ms;
     if (r.ok) t.instructions += r.result.core.instructions;
@@ -324,9 +238,18 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
         t.busy_ms / (static_cast<double>(t.workers) * t.wall_ms);
   }
   t.mips = safe_mips(t.instructions, t.wall_ms);
-  t.arenas_built = ctx.arenas_built();
-  t.snapshots_built = ctx.snapshots_built();
-  t.snapshot_resumes = ctx.snapshot_resumes();
+  // Report this batch's contribution: the shared-cache path subtracts the
+  // pre-batch counter values so a daemon's telemetry stays per-request.
+  const ExecCacheStats cache_after = cache->stats();
+  t.arenas_built = cache_after.trace_builds - cache_before.trace_builds;
+  t.snapshots_built =
+      cache_after.snapshot_builds - cache_before.snapshot_builds;
+  t.snapshot_resumes =
+      cache_after.snapshot_resumes - cache_before.snapshot_resumes;
+  t.trace_evictions =
+      cache_after.trace_evictions - cache_before.trace_evictions;
+  t.snapshot_evictions =
+      cache_after.snapshot_evictions - cache_before.snapshot_evictions;
   return rep;
 }
 

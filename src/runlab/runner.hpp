@@ -17,10 +17,13 @@
 
 namespace ppf::runlab {
 
+class ExecCache;
+
 /// Outcome of one job, in its submission slot.
 struct JobResult {
   Job job;
   bool ok = false;
+  bool cancelled = false;  ///< skipped because shutdown was requested
   std::string error;       ///< set when !ok (exception text or timeout)
   sim::SimResult result;   ///< meaningful only when ok
   double wall_ms = 0.0;    ///< job wall time (telemetry; not in the JSON)
@@ -82,6 +85,20 @@ struct RunOptions {
   /// byte-identical to the cold path (tests/sim/snapshot_test.cpp).
   /// Requires trace_cache (snapshots resume from a seekable arena).
   bool warmup_share = true;
+  /// LRU byte budgets for the per-batch caches, in MB; 0 = unbounded.
+  /// Only consulted when `cache` is null (a shared cache carries its own
+  /// budgets). Eviction never changes results — only rebuild time.
+  std::size_t trace_cache_mb = 0;
+  std::size_t snapshot_cache_mb = 0;
+  /// Externally owned execution cache shared across run_jobs calls (the
+  /// serve daemon keeps one for its process lifetime). Null = build a
+  /// private cache for this batch from the four knobs above.
+  ExecCache* cache = nullptr;
+  /// Cooperative cancellation, polled before each job starts. Once it
+  /// returns true, unstarted jobs complete immediately as cancelled
+  /// records (ok=false, cancelled=true) while in-flight jobs drain
+  /// normally — the contract behind graceful SIGINT/SIGTERM handling.
+  std::function<bool()> cancel;
   /// Called after every job completion, serialized across workers.
   std::function<void(const Progress&)> on_progress;
   /// Called from a dedicated monitor thread roughly every
@@ -105,7 +122,8 @@ struct RunOptions {
 /// deterministic JSON/CSV payload).
 struct RunTelemetry {
   std::size_t total_jobs = 0;
-  std::size_t failed_jobs = 0;
+  std::size_t failed_jobs = 0;      ///< real failures (cancelled excluded)
+  std::size_t cancelled_jobs = 0;   ///< skipped by a shutdown request
   std::size_t workers = 0;
   double wall_ms = 0.0;       ///< whole-batch wall time
   double busy_ms = 0.0;       ///< sum of per-job wall times
@@ -119,6 +137,8 @@ struct RunTelemetry {
   std::size_t arenas_built = 0;     ///< distinct traces materialized
   std::size_t snapshots_built = 0;  ///< distinct warmups executed
   std::size_t snapshot_resumes = 0; ///< jobs that skipped warmup via a clone
+  std::size_t trace_evictions = 0;    ///< arenas dropped by the byte budget
+  std::size_t snapshot_evictions = 0; ///< snapshots dropped by the budget
 };
 
 struct RunReport {

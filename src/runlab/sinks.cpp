@@ -8,9 +8,7 @@
 
 namespace ppf::runlab {
 
-namespace {
-
-void json_string(std::ostream& os, const std::string& s) {
+void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
   for (char c : s) {
     switch (c) {
@@ -32,7 +30,7 @@ void json_string(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-void json_metrics(std::ostream& os, const sim::SimResult& r) {
+void write_metrics_json(std::ostream& os, const sim::SimResult& r) {
   os << "{"
      << "\"instructions\":" << r.core.instructions << ","
      << "\"cycles\":" << r.core.cycles << ","
@@ -51,8 +49,6 @@ void json_metrics(std::ostream& os, const sim::SimResult& r) {
      << "\"energy_nj\":" << sim::fmt(r.energy.total_nj(), 3) << "}";
 }
 
-}  // namespace
-
 void write_json(std::ostream& os, const RunReport& rep) {
   os << "{\"schema\":\"ppf.runlab.v1\",\"job_count\":" << rep.results.size()
      << ",\"results\":[";
@@ -60,19 +56,20 @@ void write_json(std::ostream& os, const RunReport& rep) {
     const JobResult& r = rep.results[i];
     if (i != 0) os << ",";
     os << "\n{\"index\":" << r.job.index << ",\"benchmark\":";
-    json_string(os, r.job.benchmark);
+    write_json_string(os, r.job.benchmark);
     os << ",\"variant\":";
-    json_string(os, r.job.variant);
+    write_json_string(os, r.job.variant);
     os << ",\"filter\":";
-    json_string(os, r.job.filter_name);
+    write_json_string(os, r.job.filter_name);
     os << ",\"seed\":" << r.job.seed
        << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.cancelled) os << ",\"cancelled\":true";
     if (r.ok) {
       os << ",\"metrics\":";
-      json_metrics(os, r.result);
+      write_metrics_json(os, r.result);
     } else {
       os << ",\"error\":";
-      json_string(os, r.error);
+      write_json_string(os, r.error);
     }
     os << "}";
   }
@@ -114,6 +111,7 @@ void write_telemetry_json(std::ostream& os, const RunReport& rep) {
   os << "{\"schema\":\"ppf.telemetry.v1\","
      << "\"jobs\":" << t.total_jobs << ","
      << "\"failed\":" << t.failed_jobs << ","
+     << "\"cancelled\":" << t.cancelled_jobs << ","
      << "\"workers\":" << t.workers << ","
      << "\"wall_ms\":" << sim::fmt(t.wall_ms, 3) << ","
      << "\"busy_ms\":" << sim::fmt(t.busy_ms, 3) << ","
@@ -124,14 +122,16 @@ void write_telemetry_json(std::ostream& os, const RunReport& rep) {
      << "\"arenas_built\":" << t.arenas_built << ","
      << "\"snapshots_built\":" << t.snapshots_built << ","
      << "\"snapshot_resumes\":" << t.snapshot_resumes << ","
+     << "\"trace_evictions\":" << t.trace_evictions << ","
+     << "\"snapshot_evictions\":" << t.snapshot_evictions << ","
      << "\"per_job\":[";
   for (std::size_t i = 0; i < rep.results.size(); ++i) {
     const JobResult& r = rep.results[i];
     if (i != 0) os << ",";
     os << "\n{\"index\":" << r.job.index << ",\"benchmark\":";
-    json_string(os, r.job.benchmark);
+    write_json_string(os, r.job.benchmark);
     os << ",\"filter\":";
-    json_string(os, r.job.filter_name);
+    write_json_string(os, r.job.filter_name);
     os << ",\"seed\":" << r.job.seed << ",\"ok\":" << (r.ok ? "true" : "false")
        << ",\"wall_ms\":" << sim::fmt(r.wall_ms, 3)
        << ",\"instructions\":" << (r.ok ? r.result.core.instructions : 0)
@@ -149,6 +149,7 @@ std::string telemetry_to_json(const RunReport& rep) {
 void print_telemetry(std::ostream& os, const RunTelemetry& t) {
   os << "runlab: " << t.total_jobs << " jobs";
   if (t.failed_jobs > 0) os << " (" << t.failed_jobs << " failed)";
+  if (t.cancelled_jobs > 0) os << " (" << t.cancelled_jobs << " cancelled)";
   os << " on " << t.workers << " workers in " << sim::fmt(t.wall_ms / 1000.0, 2)
      << " s  |  " << sim::fmt(t.jobs_per_sec, 2) << " jobs/s, "
      << sim::fmt(t.mips, 1) << " MIPS, worker busy "
@@ -157,7 +158,12 @@ void print_telemetry(std::ostream& os, const RunTelemetry& t) {
   if (t.arenas_built > 0 || t.snapshot_resumes > 0) {
     os << "runlab: " << t.arenas_built << " trace arenas, "
        << t.snapshots_built << " warmup snapshots, " << t.snapshot_resumes
-       << " jobs resumed from a snapshot\n";
+       << " jobs resumed from a snapshot";
+    if (t.trace_evictions > 0 || t.snapshot_evictions > 0) {
+      os << ", " << t.trace_evictions << "+" << t.snapshot_evictions
+         << " cache evictions";
+    }
+    os << "\n";
   }
 }
 

@@ -18,6 +18,15 @@ namespace ppf::runlab {
 void write_json(std::ostream& os, const RunReport& rep);
 std::string to_json(const RunReport& rep);
 
+/// One result's deterministic metrics object ({"instructions":...,...}),
+/// exactly as it appears inside the ppf.runlab.v1 payload. Shared with
+/// the serve protocol so a daemon response body and a batch-sink row for
+/// the same config are the same bytes.
+void write_metrics_json(std::ostream& os, const sim::SimResult& r);
+
+/// JSON string escaping used by every runlab/serve payload writer.
+void write_json_string(std::ostream& os, const std::string& s);
+
 /// CSV: the sweep axes (index, variant, seed, ok, error) followed by the
 /// canonical sim::result_row columns.
 void write_csv(std::ostream& os, const RunReport& rep);

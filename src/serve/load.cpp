@@ -1,0 +1,280 @@
+#include "serve/load.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runlab/sinks.hpp"
+#include "sim/report.hpp"
+
+namespace ppf::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking line-oriented client connection.
+class ClientConn {
+ public:
+  ClientConn(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd_);
+      throw std::runtime_error("bad host address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd_);
+      throw std::runtime_error("connect(" + host + ":" +
+                               std::to_string(port) + ") failed: " + why);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  ~ClientConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ClientConn(const ClientConn&) = delete;
+  ClientConn& operator=(const ClientConn&) = delete;
+
+  bool send_line(const std::string& line) {
+    std::string data = line;
+    data += '\n';
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string run_request(std::uint64_t id, const std::string& config) {
+  std::ostringstream os;
+  os << "{\"op\":\"run\",\"id\":" << id << ",\"config\":";
+  runlab::write_json_string(os, config);
+  os << "}";
+  return os.str();
+}
+
+/// Shared verification + tally state, one mutex for all of it (the
+/// per-request critical section is tiny next to a simulation).
+struct Tally {
+  std::mutex mu;
+  LoadReport rep;
+  Histogram latency_us{100, 20'000};
+  /// config index -> first result body seen ("ok":... onward).
+  std::vector<std::string> first_body;
+
+  void record_error(const std::string& what) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++rep.errors;
+    if (rep.first_error.empty()) rep.first_error = what;
+  }
+};
+
+/// Split a result response into (cached, body) — body being everything
+/// after the "cached":N, prefix, which is the memoized byte range.
+bool split_result(const std::string& response, std::uint64_t expect_id,
+                  bool& cached, std::string& body) {
+  std::ostringstream prefix;
+  prefix << "{\"op\":\"result\",\"id\":" << expect_id << ",\"cached\":";
+  const std::string p = prefix.str();
+  if (response.compare(0, p.size(), p) != 0) return false;
+  const std::size_t at = p.size();
+  if (at + 1 >= response.size()) return false;
+  if (response[at] != '0' && response[at] != '1') return false;
+  if (response[at + 1] != ',') return false;
+  cached = response[at] == '1';
+  body = response.substr(at + 2);
+  return true;
+}
+
+void drive_connection(const LoadOptions& opts, std::atomic<std::size_t>& next,
+                      Tally& tally) {
+  ClientConn conn(opts.host, opts.port);
+  for (;;) {
+    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= opts.requests) return;
+    const std::size_t config_idx = i % opts.configs.size();
+    // id encodes the request number; uniqueness makes echo mismatches
+    // (crossed responses) detectable.
+    const std::uint64_t id = i + 1;
+    const std::string request = run_request(id, opts.configs[config_idx]);
+
+    const Clock::time_point t0 = Clock::now();
+    std::string response;
+    if (!conn.send_line(request) || !conn.recv_line(response)) {
+      tally.record_error("connection dropped at request " +
+                         std::to_string(i));
+      return;  // this connection is dead; others keep going
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - t0)
+                        .count();
+
+    bool cached = false;
+    std::string body;
+    if (!split_result(response, id, cached, body)) {
+      tally.record_error("request " + std::to_string(i) +
+                         " got non-result response: " + response);
+      std::lock_guard<std::mutex> lk(tally.mu);
+      ++tally.rep.sent;
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(tally.mu);
+    ++tally.rep.sent;
+    ++tally.rep.ok;
+    if (cached) ++tally.rep.cached;
+    tally.latency_us.record(us < 0 ? 0 : static_cast<std::uint64_t>(us));
+    if (opts.verify_bytes) {
+      std::string& first = tally.first_body[config_idx];
+      if (first.empty()) {
+        first = body;
+      } else if (first != body) {
+        ++tally.rep.byte_mismatches;
+        if (tally.rep.first_error.empty()) {
+          tally.rep.first_error = "result body for config " +
+                                  std::to_string(config_idx) +
+                                  " diverged from the first response";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadOptions& opts) {
+  if (opts.configs.empty()) {
+    throw std::invalid_argument("run_load: configs is empty");
+  }
+  if (opts.requests == 0) {
+    throw std::invalid_argument("run_load: requests == 0");
+  }
+  const std::size_t connections =
+      opts.connections == 0 ? 1 : opts.connections;
+
+  Tally tally;
+  tally.first_body.resize(opts.configs.size());
+  std::atomic<std::size_t> next{0};
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&] {
+      try {
+        drive_connection(opts, next, tally);
+      } catch (const std::exception& e) {
+        tally.record_error(e.what());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadReport rep;
+  {
+    std::lock_guard<std::mutex> lk(tally.mu);
+    rep = tally.rep;
+    rep.latency_mean_us = tally.latency_us.mean();
+    rep.latency_p50_us = tally.latency_us.percentile(0.50);
+    rep.latency_p95_us = tally.latency_us.percentile(0.95);
+    rep.latency_p99_us = tally.latency_us.percentile(0.99);
+    rep.latency_max_us = tally.latency_us.max_seen();
+  }
+  rep.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count();
+  if (rep.wall_ms > 0) {
+    rep.requests_per_sec =
+        1000.0 * static_cast<double>(rep.sent) / rep.wall_ms;
+  }
+
+  if (opts.fetch_stats || opts.send_shutdown) {
+    try {
+      ClientConn conn(opts.host, opts.port);
+      if (opts.fetch_stats) {
+        if (conn.send_line("{\"op\":\"stats\",\"id\":0}") &&
+            conn.recv_line(rep.stats_json)) {
+          // keep the raw line
+        } else {
+          rep.stats_json.clear();
+        }
+      }
+      if (opts.send_shutdown) {
+        std::string bye;
+        conn.send_line("{\"op\":\"shutdown\",\"id\":0}");
+        conn.recv_line(bye);
+      }
+    } catch (const std::exception&) {
+      // Post-run bookkeeping only; the load results above still stand.
+    }
+  }
+  return rep;
+}
+
+std::string describe(const LoadReport& rep) {
+  std::ostringstream os;
+  os << "load: " << rep.sent << " requests, " << rep.ok << " ok, "
+     << rep.cached << " memo-cached, " << rep.errors << " errors, "
+     << rep.byte_mismatches << " byte mismatches\n"
+     << "load: " << sim::fmt(rep.wall_ms / 1000.0, 2) << " s wall, "
+     << sim::fmt(rep.requests_per_sec, 1) << " req/s\n"
+     << "load: latency mean " << sim::fmt(rep.latency_mean_us / 1000.0, 2)
+     << " ms, p50 " << sim::fmt(rep.latency_p50_us / 1000.0, 2) << " ms, p95 "
+     << sim::fmt(rep.latency_p95_us / 1000.0, 2) << " ms, p99 "
+     << sim::fmt(rep.latency_p99_us / 1000.0, 2) << " ms, max "
+     << sim::fmt(static_cast<double>(rep.latency_max_us) / 1000.0, 2)
+     << " ms\n";
+  if (!rep.first_error.empty()) {
+    os << "load: first error: " << rep.first_error << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppf::serve

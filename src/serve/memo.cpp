@@ -1,0 +1,31 @@
+#include "serve/memo.hpp"
+
+namespace ppf::serve {
+
+bool ResultMemo::lookup(const std::string& signature, std::string& body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  body = it->second;
+  return true;
+}
+
+void ResultMemo::insert(const std::string& signature, const std::string& body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto [it, inserted] = entries_.emplace(signature, body);
+  if (!inserted) return;
+  ++stats_.inserts;
+  stats_.bytes += it->second.size();
+  stats_.entries = entries_.size();
+}
+
+MemoStats ResultMemo::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ppf::serve

@@ -1,0 +1,51 @@
+// ppf::serve — result memo cache.
+//
+// Maps a config signature (diff::config_signature: benchmark + every
+// result-relevant SimConfig field, byte-exact) to the serialized result
+// body previously computed for it. Because the simulator is
+// deterministic, a memo hit IS the result — repeated identical requests
+// are answered with byte-identical bodies without re-simulating
+// (pinned by tests/serve/serve_test.cpp and the CI serve-smoke job).
+//
+// Only successful results are memoized: an error may be transient
+// (queue pressure, fault injection) and must not be replayed forever.
+// Keys deliberately exclude obs/check knobs (see config_signature), so
+// turning observability on or off does not fork memo entries.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ppf::serve {
+
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;   ///< distinct bodies stored
+  std::size_t bytes = 0;       ///< resident body bytes
+  std::size_t entries = 0;
+};
+
+class ResultMemo {
+ public:
+  /// Look up `signature`; on hit copies the stored body into `body` and
+  /// returns true. Counts a hit or miss either way.
+  bool lookup(const std::string& signature, std::string& body);
+
+  /// Store the body computed for `signature`. First writer wins: under
+  /// concurrent identical requests both compute (the ExecCache already
+  /// deduplicates the expensive arena/warmup work underneath), and the
+  /// deterministic simulator makes both bodies identical anyway.
+  void insert(const std::string& signature, const std::string& body);
+
+  [[nodiscard]] MemoStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> entries_;
+  MemoStats stats_;
+};
+
+}  // namespace ppf::serve

@@ -1,0 +1,174 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ppf::serve {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Wait until `fd` is readable or the shutdown pipe trips. Returns true
+/// when `fd` has data (or EOF) to read, false on shutdown.
+bool wait_readable(int fd, const ShutdownRequest& shutdown) {
+  struct pollfd pfds[2];
+  pfds[0] = {fd, POLLIN, 0};
+  pfds[1] = {shutdown.fd(), POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (shutdown.requested()) return false;
+        continue;
+      }
+      return false;
+    }
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) return true;
+    if (shutdown.requested() ||
+        (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      return false;
+    }
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Service& service, const ServerOptions& opts)
+    : service_(service), opts_(opts) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("bad host address: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw std::runtime_error("bind(" + opts_.host + ":" +
+                             std::to_string(opts_.port) + ") failed: " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) != 0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() { close_quietly(listen_fd_); }
+
+void Server::serve(ShutdownRequest& shutdown) {
+  while (!shutdown.requested()) {
+    if (!wait_readable(listen_fd_, shutdown)) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    threads_.emplace_back(
+        [this, fd, &shutdown] { connection_loop(fd, shutdown); });
+  }
+  // Stop accepting first so drain() cannot be outrun by new admissions,
+  // then let every connection finish its current request.
+  close_quietly(listen_fd_);
+  listen_fd_ = -1;
+  service_.begin_shutdown();
+  {
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  }
+  service_.drain();
+}
+
+void Server::connection_loop(int fd, ShutdownRequest& shutdown) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open && !shutdown.requested()) {
+    // Serve every complete line already buffered before reading more.
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const ParseResult parsed = parse_request(line);
+      std::string response;
+      if (!parsed.ok) {
+        service_.note_bad_request();
+        response = error_response(0, "bad_request", parsed.error);
+      } else {
+        Handled h = service_.handle(parsed.req);
+        response = std::move(h.response);
+        if (h.shutdown) shutdown.request();
+      }
+      response += '\n';
+      if (!send_all(fd, response)) {
+        open = false;
+        break;
+      }
+    }
+    if (!open || shutdown.requested()) break;
+    if (buf.size() > opts_.max_line_bytes) {
+      service_.note_bad_request();
+      send_all(fd, error_response(0, "bad_request",
+                                  "request line exceeds " +
+                                      std::to_string(opts_.max_line_bytes) +
+                                      " bytes") +
+                       "\n");
+      break;
+    }
+    if (!wait_readable(fd, shutdown)) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // client closed (or hard error)
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  close_quietly(fd);
+}
+
+}  // namespace ppf::serve

@@ -1,0 +1,61 @@
+// ppf::serve — TCP front end for the sweep service.
+//
+// One listening socket, one thread per connection, line-delimited JSON
+// both ways (see serve/protocol.hpp and docs/SERVE.md). The accept loop
+// and every connection read loop poll the ShutdownRequest self-pipe
+// alongside their socket, so SIGINT/SIGTERM (or the `shutdown` verb, or
+// a programmatic request() from a test) wakes every blocked thread
+// promptly: the listener closes, idle connections close, busy
+// connections finish the request they are answering, the service
+// drains, and serve() returns for a clean exit-0 shutdown.
+//
+// Binding port 0 picks an ephemeral port; port() reports the bound one
+// (the daemon prints it for scripts to parse).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/shutdown.hpp"
+#include "serve/service.hpp"
+
+namespace ppf::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+  /// Reject (and close) connections whose request line exceeds this.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  /// Bind + listen immediately; throws std::runtime_error on failure
+  /// (address in use, bad host, ...).
+  Server(Service& service, const ServerOptions& opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port=0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accept and serve until `shutdown` trips (signal, test hook, or a
+  /// client's shutdown verb). Drains the service before returning.
+  void serve(ShutdownRequest& shutdown);
+
+ private:
+  void connection_loop(int fd, ShutdownRequest& shutdown);
+
+  Service& service_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ppf::serve

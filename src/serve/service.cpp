@@ -1,0 +1,347 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "diff/signature.hpp"
+#include "runlab/runner.hpp"
+#include "runlab/sinks.hpp"
+#include "sim/config_apply.hpp"
+#include "sim/report.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace ppf::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  const auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
+  return d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
+
+runlab::ExecCacheConfig cache_config(const ServiceConfig& cfg) {
+  runlab::ExecCacheConfig cc;
+  cc.trace_budget_bytes = cfg.trace_cache_mb << 20;
+  cc.snapshot_budget_bytes = cfg.snapshot_cache_mb << 20;
+  return cc;
+}
+
+}  // namespace
+
+Service::Service(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      cache_(cache_config(cfg)),
+      // 100 us buckets over a 2 s range: request latencies on this
+      // service are dominated by simulation time (ms to low seconds for
+      // CLI-scale windows); beyond-range samples land in the overflow
+      // bucket with an exact max.
+      latency_us_(100, 20'000),
+      miss_latency_us_(100, 20'000) {
+  register_metrics();
+  std::size_t n = cfg_.workers;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Service::register_metrics() {
+  const auto counter = [this](const char* name,
+                              const std::atomic<std::uint64_t>* v) {
+    registry_.add_counter(name, [v] {
+      return v->load(std::memory_order_relaxed);
+    });
+  };
+  counter("serve.requests", &requests_);
+  counter("serve.admitted", &admitted_);
+  counter("serve.rejected_queue_full", &rejected_full_);
+  counter("serve.rejected_shutting_down", &rejected_draining_);
+  counter("serve.bad_requests", &bad_requests_);
+  counter("serve.bad_configs", &bad_configs_);
+  counter("serve.run_errors", &run_errors_);
+  registry_.add_counter("serve.memo_hits",
+                        [this] { return memo_.stats().hits; });
+  registry_.add_counter("serve.memo_misses",
+                        [this] { return memo_.stats().misses; });
+  registry_.add_counter("serve.memo_inserts",
+                        [this] { return memo_.stats().inserts; });
+  registry_.add_counter("serve.trace_builds",
+                        [this] { return cache_.stats().trace_builds; });
+  registry_.add_counter("serve.trace_hits",
+                        [this] { return cache_.stats().trace_hits; });
+  registry_.add_counter("serve.trace_evictions",
+                        [this] { return cache_.stats().trace_evictions; });
+  registry_.add_counter("serve.snapshot_builds",
+                        [this] { return cache_.stats().snapshot_builds; });
+  registry_.add_counter("serve.snapshot_hits",
+                        [this] { return cache_.stats().snapshot_hits; });
+  registry_.add_counter("serve.snapshot_evictions",
+                        [this] { return cache_.stats().snapshot_evictions; });
+  registry_.add_counter("serve.snapshot_resumes",
+                        [this] { return cache_.stats().snapshot_resumes; });
+  registry_.add_gauge("serve.queue_depth", [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<double>(queue_.size());
+  });
+  registry_.add_gauge("serve.inflight", [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<double>(inflight_);
+  });
+  registry_.add_gauge("serve.memo_bytes", [this] {
+    return static_cast<double>(memo_.stats().bytes);
+  });
+  registry_.add_gauge("serve.memo_entries", [this] {
+    return static_cast<double>(memo_.stats().entries);
+  });
+  registry_.add_gauge("serve.trace_bytes", [this] {
+    return static_cast<double>(cache_.stats().trace_bytes);
+  });
+  registry_.add_gauge("serve.snapshot_bytes", [this] {
+    return static_cast<double>(cache_.stats().snapshot_bytes);
+  });
+  registry_.add_histogram("serve.latency_us", &latency_us_);
+  registry_.add_histogram("serve.miss_latency_us", &miss_latency_us_);
+}
+
+runlab::Job Service::make_job(const std::string& config) const {
+  ParamMap params;
+  std::istringstream tokens(config);
+  std::string tok;
+  while (tokens >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("config token '" + tok +
+                                  "' is not key=value");
+    }
+    params.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  // Same contract as the ppf_batch CLI: bench/filter are driver keys,
+  // everything else must be a documented machine override.
+  const std::string unknown =
+      sim::first_unknown_key(params, {"bench", "filter"});
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown config key: " + unknown);
+  }
+  const std::string bench = params.get_string("bench", "");
+  if (bench.empty()) {
+    throw std::invalid_argument("config must name bench=");
+  }
+  const std::vector<std::string>& names = workload::benchmark_names();
+  if (std::find(names.begin(), names.end(), bench) == names.end()) {
+    throw std::invalid_argument("unknown benchmark: " + bench);
+  }
+
+  runlab::Job job;
+  job.benchmark = bench;
+  job.config = sim::SimConfig::paper_default();
+  job.config.max_instructions = cfg_.default_instructions;
+  ParamMap machine;
+  for (const auto& [k, v] : params.entries()) {
+    if (k != "bench" && k != "filter") machine.set(k, v);
+  }
+  sim::apply_overrides(job.config, machine);
+  if (params.has("filter")) {
+    job.config.filter =
+        sim::parse_filter_kind(params.get_string("filter", ""));
+  }
+  job.filter_name = filter::to_string(job.config.filter);
+  job.seed = job.config.seed;
+  return job;
+}
+
+Handled Service::handle(const Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Handled out;
+  if (req.verb == "run") {
+    out.response = handle_run(req);
+  } else if (req.verb == "ping") {
+    out.response = pong_response(req.id);
+  } else if (req.verb == "stats") {
+    out.response = stats_response(req.id);
+  } else if (req.verb == "shutdown") {
+    begin_shutdown();
+    std::ostringstream os;
+    os << "{\"op\":\"bye\",\"id\":" << req.id << "}";
+    out.response = os.str();
+    out.shutdown = true;
+  } else {
+    out.response = error_response(req.id, "unknown_verb",
+                                  "no verb named \"" + req.verb + "\"");
+  }
+  return out;
+}
+
+std::string Service::handle_run(const Request& req) {
+  const Clock::time_point t0 = Clock::now();
+  const auto cfg_it = req.fields.find("config");
+  if (cfg_it == req.fields.end()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(req.id, "bad_request",
+                          "run requires a \"config\" field");
+  }
+
+  runlab::Job job;
+  try {
+    job = make_job(cfg_it->second);
+  } catch (const std::exception& e) {
+    bad_configs_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(req.id, "bad_config", e.what());
+  }
+  const std::string signature =
+      diff::config_signature(job.config, job.benchmark);
+
+  const auto record_latency = [&](bool miss) {
+    const std::uint64_t us = us_between(t0, Clock::now());
+    std::lock_guard<std::mutex> lk(hist_mu_);
+    latency_us_.record(us);
+    if (miss) miss_latency_us_.record(us);
+  };
+
+  std::string body;
+  if (cfg_.memo && memo_.lookup(signature, body)) {
+    const std::string response = result_response(req.id, true, body);
+    record_latency(false);
+    return response;
+  }
+
+  auto task = std::make_unique<Task>();
+  task->job = std::move(job);
+  task->signature = signature;
+  std::future<std::string> fut = task->body.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(req.id, "shutting_down",
+                            "daemon is draining; no new work accepted");
+    }
+    if (queue_.size() + inflight_ >= cfg_.queue_depth) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(req.id, "queue_full",
+                            "admission queue at capacity (" +
+                                std::to_string(cfg_.queue_depth) + ")");
+    }
+    queue_.push_back(std::move(task));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_one();
+
+  try {
+    body = fut.get();
+  } catch (const std::exception& e) {
+    run_errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(req.id, "internal", e.what());
+  }
+  if (cfg_.memo) memo_.insert(signature, body);
+  const std::string response = result_response(req.id, false, body);
+  record_latency(true);
+  return response;
+}
+
+obs::MetricsSnapshot Service::metrics_snapshot() const {
+  // Counters are registered with an all-zero baseline (the daemon's
+  // lifetime IS the measurement window). hist_mu_ serializes the
+  // histogram summaries against concurrent record() calls.
+  std::lock_guard<std::mutex> lk(hist_mu_);
+  return registry_.snapshot({});
+}
+
+std::string Service::stats_response(std::uint64_t id) const {
+  const obs::MetricsSnapshot snap = metrics_snapshot();
+  std::ostringstream os;
+  os << "{\"op\":\"stats\",\"id\":" << id << ",\"workers\":" << threads_.size()
+     << ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << snap.counters[i].first << "\":" << snap.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << snap.gauges[i].first
+       << "\":" << sim::fmt(snap.gauges[i].second, 3);
+  }
+  os << "},\"histograms\":[";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const obs::HistogramSnapshot& h = snap.histograms[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << h.name << "\",\"count\":" << h.count
+       << ",\"mean\":" << sim::fmt(h.mean, 3)
+       << ",\"p50\":" << sim::fmt(h.p50, 3)
+       << ",\"p95\":" << sim::fmt(h.p95, 3)
+       << ",\"p99\":" << sim::fmt(h.p99, 3) << ",\"max\":" << h.max << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Service::note_bad_request() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Service::begin_shutdown() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ with an empty queue: every admitted request has been
+        // answered — safe to exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+    }
+    try {
+      const sim::SimResult result = cache_.execute(task->job);
+      std::ostringstream os;
+      os << "\"ok\":true,\"metrics\":";
+      runlab::write_metrics_json(os, result);
+      os << "}";
+      task->body.set_value(os.str());
+    } catch (const std::exception& e) {
+      // Same convention as runlab failure records: lead with the job
+      // identity so an error response is reproducible on its own.
+      task->body.set_exception(std::make_exception_ptr(std::runtime_error(
+          runlab::job_repro(task->job) + ": " + e.what())));
+    } catch (...) {
+      task->body.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace ppf::serve

@@ -1,0 +1,143 @@
+// ppf::serve — the sweep service behind the daemon.
+//
+// A Service owns the process-lifetime execution state: a fixed worker
+// pool fed by a bounded admission queue, the result memo cache, and one
+// runlab::ExecCache shared across every request — so the trace arenas
+// and warmup snapshots a sweep would share within a batch are shared
+// across *requests* here, for as long as the daemon lives (subject to
+// the LRU byte budgets).
+//
+// Admission: a `run` request first consults the memo (a hit bypasses
+// the queue entirely and costs one map lookup), then competes for a
+// queue slot. A full queue answers `queue_full` immediately — the
+// backpressure contract is reject-fast, never block-the-connection, so
+// a loaded daemon stays responsive to ping/stats. Queue capacity counts
+// queued + in-flight work.
+//
+// Every serving decision is exported through a ppf::obs MetricRegistry
+// (serve.* counters/gauges + latency histograms) and surfaced by the
+// `stats` verb; names are catalogued in docs/SERVE.md.
+//
+// Shutdown: begin_shutdown() flips the service to draining — new runs
+// are answered `shutting_down`, admitted work completes, drain()
+// returns once the pool is idle. Deterministically testable without
+// signals (tests/serve/serve_test.cpp drives it directly).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "runlab/exec_cache.hpp"
+#include "runlab/sweep.hpp"
+#include "serve/memo.hpp"
+#include "serve/protocol.hpp"
+
+namespace ppf::serve {
+
+struct ServiceConfig {
+  /// Simulation worker threads; 0 = one per hardware thread.
+  std::size_t workers = 0;
+  /// Max queued + in-flight run requests before queue_full rejections.
+  std::size_t queue_depth = 64;
+  /// LRU byte budgets for the shared ExecCache, in MB; 0 = unbounded.
+  std::size_t trace_cache_mb = 0;
+  std::size_t snapshot_cache_mb = 0;
+  /// Serve repeated identical configs from the result memo.
+  bool memo = true;
+  /// Measurement window for configs that do not set instructions=.
+  std::uint64_t default_instructions = 1'000'000;
+};
+
+/// What Service::handle produced for one request.
+struct Handled {
+  std::string response;   ///< complete response line (no trailing \n)
+  bool shutdown = false;  ///< the request asked the daemon to drain
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& cfg);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Resolve a run-request config string ("bench=mcf filter=pc seed=3
+  /// l1d_kb=16 ...") into a fully-applied Job, exactly the way the
+  /// ppf_batch CLI would (same ParamMap parse, same apply_overrides,
+  /// same seed wiring) so the two paths agree on config_signature.
+  /// Throws std::invalid_argument on unknown keys / values / benchmark.
+  [[nodiscard]] runlab::Job make_job(const std::string& config) const;
+
+  /// Dispatch one parsed request. Blocks for `run` until the result is
+  /// computed (or served from memo); everything else answers instantly.
+  [[nodiscard]] Handled handle(const Request& req);
+
+  /// Count a request that failed protocol parsing (the server answers
+  /// those before a Request exists, so Service::handle never sees them).
+  void note_bad_request();
+
+  /// Stop admitting runs; queued and in-flight work completes.
+  void begin_shutdown();
+  [[nodiscard]] bool shutting_down() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// Block until no queued or in-flight work remains.
+  void drain();
+
+  /// One snapshot of the serve.* metrics — what the `stats` verb
+  /// serializes. Takes the histogram lock, so it is safe to call while
+  /// runs are in flight (the bare registry_.snapshot() is not).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+ private:
+  struct Task {
+    runlab::Job job;
+    std::string signature;
+    std::promise<std::string> body;  ///< run body or thrown exception
+  };
+
+  [[nodiscard]] std::string handle_run(const Request& req);
+  [[nodiscard]] std::string stats_response(std::uint64_t id) const;
+  void worker_loop();
+  void register_metrics();
+
+  ServiceConfig cfg_;
+  runlab::ExecCache cache_;
+  ResultMemo memo_;
+  obs::MetricRegistry registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for tasks
+  std::condition_variable drain_cv_;  ///< drain() waits for idle
+  std::deque<std::unique_ptr<Task>> queue_;
+  std::size_t inflight_ = 0;
+  bool stop_ = false;
+  std::atomic<bool> draining_{false};
+  std::vector<std::thread> threads_;
+
+  // Serving-decision counters (monotone; registry reads them back).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> bad_configs_{0};
+  std::atomic<std::uint64_t> run_errors_{0};
+
+  mutable std::mutex hist_mu_;
+  Histogram latency_us_;       ///< run latency, memo hits included
+  Histogram miss_latency_us_;  ///< run latency, memo misses only
+};
+
+}  // namespace ppf::serve

@@ -52,12 +52,38 @@ std::string warmup_key(const SimConfig& cfg) {
      << cfg.history.counter_bits << ','
      << static_cast<int>(cfg.history.init_value) << ','
      << static_cast<int>(cfg.history.hash) << ','
+     << cfg.history.source_separated << ','
      << cfg.adaptive.accuracy_threshold << ','
      << cfg.adaptive.release_threshold << ',' << cfg.adaptive.window << ','
      << cfg.deadblock.age_multiple << ',' << cfg.filter_recovery_entries
      << '|' << cfg.enable_taxonomy << '|' << cfg.warmup_instructions << '|'
      << cfg.seed;
   return os.str();
+}
+
+std::size_t WarmupSnapshot::arena_size() const { return arena_->size(); }
+
+std::size_t WarmupSnapshot::estimated_bytes() const {
+  // Tag/meta overhead per line plus the data arrays themselves, the
+  // history table, and per-entry queue/ROB state. Deliberately a config
+  // function: it must be identical for every snapshot sharing a
+  // warmup_key, or cache-budget eviction order would depend on build
+  // order.
+  const auto cache_bytes = [](const mem::CacheConfig& c) {
+    const std::size_t lines =
+        c.line_bytes > 0 ? c.size_bytes / c.line_bytes : 0;
+    return c.size_bytes + lines * 24;
+  };
+  std::size_t bytes = cache_bytes(cfg_.l1d) + cache_bytes(cfg_.l1i) +
+                      cache_bytes(cfg_.l2);
+  bytes += cfg_.history.entries * 8;
+  bytes += cfg_.filter_recovery_entries * 16;
+  bytes += cfg_.victim_cache_entries * 48;
+  bytes += cfg_.prefetch_queue_entries * 32;
+  bytes += (cfg_.core.rob_entries + cfg_.core.lsq_entries) * 64;
+  bytes += cfg_.core.bimodal.entries + cfg_.core.btb.sets * cfg_.core.btb.ways * 16;
+  bytes += 64 * 1024;  // fixed overhead: engine, maps, bookkeeping
+  return bytes;
 }
 
 std::shared_ptr<const WarmupSnapshot> make_warmup_snapshot(

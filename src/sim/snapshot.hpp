@@ -39,6 +39,14 @@ class WarmupSnapshot {
   /// Trace records consumed at the pause point (dispatched + records
   /// still sitting in the core's fetch buffer).
   [[nodiscard]] std::size_t trace_pos() const { return cursor_->pos(); }
+  /// Length of the arena this snapshot was built over. A resumed job
+  /// reads the measurement window from this same arena, so a job needing
+  /// more records than this must rebuild the snapshot on a longer arena.
+  [[nodiscard]] std::size_t arena_size() const;
+  /// Approximate resident bytes of the frozen machine (cache cap /
+  /// eviction decisions). Derived from the config (SRAM arrays dominate),
+  /// not measured — precision is irrelevant, monotonicity is not.
+  [[nodiscard]] std::size_t estimated_bytes() const;
 
  private:
   friend std::shared_ptr<const WarmupSnapshot> make_warmup_snapshot(

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Graceful batch shutdown, driven deterministically.
+#
+# cancel_after=N trips the exact code path a SIGINT/SIGTERM handler
+# trips (ShutdownRequest::request()) after N completed jobs, without
+# delivering a real signal. The contract: in-flight work drains,
+# unstarted jobs become cancelled records (not failures), every sink
+# still flushes complete valid output, and the exit code stays 0.
+set -eu
+
+batch="$1"
+tmp="${TMPDIR:-/tmp}/ppf_batch_cancel.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+# 6 jobs, single worker, cancel after the 2nd completion: jobs 3..6 must
+# come back cancelled.
+"$batch" bench=mcf filter=none,pa,pc seed_list=1,2 instructions=20000 \
+  warmup=0 jobs=1 progress=plain cancel_after=2 \
+  out="$tmp/out.json" telemetry_json="$tmp/telemetry.json" \
+  2>"$tmp/err" || { echo "FAIL: exit $? != 0" >&2; cat "$tmp/err" >&2; exit 1; }
+
+count() { tr ',' '\n' <"$1" | grep -c "$2" || true; }
+
+cancelled=$(count "$tmp/out.json" '"cancelled":true')
+if [ "$cancelled" -ne 4 ]; then
+  echo "FAIL: expected 4 cancelled records, got $cancelled" >&2
+  cat "$tmp/out.json" >&2
+  exit 1
+fi
+ok=$(count "$tmp/out.json" '"ok":true')
+if [ "$ok" -ne 2 ]; then
+  echo "FAIL: expected 2 completed records, got $ok" >&2
+  exit 1
+fi
+
+# Cancelled is not failed: the telemetry must say 0 failed, 4 cancelled.
+grep '"failed":0' "$tmp/telemetry.json" >/dev/null || {
+  echo "FAIL: telemetry counts cancelled jobs as failures" >&2
+  cat "$tmp/telemetry.json" >&2
+  exit 1
+}
+grep '"cancelled":4' "$tmp/telemetry.json" >/dev/null || {
+  echo "FAIL: telemetry missing cancelled count" >&2
+  cat "$tmp/telemetry.json" >&2
+  exit 1
+}
+
+# The plain progress stream labels the skipped jobs.
+if [ "$(grep -c ' cancelled$' "$tmp/err")" -ne 4 ]; then
+  echo "FAIL: progress stream did not mark 4 cancelled jobs" >&2
+  cat "$tmp/err" >&2
+  exit 1
+fi
+
+echo "PASS"

@@ -1,0 +1,32 @@
+#include <string>
+#include <vector>
+
+namespace ppf::serve {
+
+struct VerbDoc {
+  std::string verb;
+  std::string help;
+};
+
+struct ErrorCodeDoc {
+  std::string code;
+  std::string help;
+};
+
+// This fixture has no docs/SERVE.md at all, so both catalogues below
+// are undocumented: the serve-verb-docs rule must flag every entry.
+const std::vector<VerbDoc>& verb_docs() {
+  static const std::vector<VerbDoc> docs = {
+      {"mystery_verb", "a verb no SERVE.md explains"},
+  };
+  return docs;
+}
+
+const std::vector<ErrorCodeDoc>& error_code_docs() {
+  static const std::vector<ErrorCodeDoc> docs = {
+      {"mystery_code", "an error code no SERVE.md explains"},
+  };
+  return docs;
+}
+
+}  // namespace ppf::serve

@@ -1,0 +1,149 @@
+// ExecCache tests: the LRU byte budgets added for the serve daemon.
+// The load-bearing contract is that eviction is *invisible in results*
+// — a rebuilt arena or warmup snapshot is byte-identical to the evicted
+// one, so a budget only ever costs rebuild time. Also covered: sharing
+// one cache across run_jobs batches (the daemon's usage), demand-sized
+// arena builds, and regrow-on-demand when a longer job arrives.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "diff/signature.hpp"
+#include "runlab/exec_cache.hpp"
+#include "runlab/runner.hpp"
+#include "runlab/sinks.hpp"
+#include "runlab/sweep.hpp"
+
+namespace ppf::runlab {
+namespace {
+
+Job cached_job(const std::string& bench, std::uint64_t seed,
+               std::uint64_t instructions, std::uint64_t warmup) {
+  Job job;
+  job.benchmark = bench;
+  job.config = sim::SimConfig::paper_default();
+  job.config.max_instructions = instructions;
+  job.config.warmup_instructions = warmup;
+  job.config.seed = seed;
+  job.config.core.seed = seed;
+  job.seed = seed;
+  job.filter_name = filter::to_string(job.config.filter);
+  return job;
+}
+
+SweepSpec eviction_sweep() {
+  SweepSpec spec;
+  spec.base = sim::SimConfig::paper_default();
+  spec.base.max_instructions = 30'000;
+  spec.base.warmup_instructions = 10'000;
+  spec.benchmarks = {"mcf", "em3d", "gzip"};
+  spec.seeds = {1, 2};
+  return spec;
+}
+
+TEST(ExecCacheBudget, EvictionIsInvisibleInResults) {
+  // Unbudgeted reference run.
+  RunOptions plain = with_workers(2);
+  const RunReport ref = run_sweep(eviction_sweep(), plain);
+  EXPECT_EQ(ref.telemetry.trace_evictions, 0u);
+  EXPECT_EQ(ref.telemetry.snapshot_evictions, 0u);
+
+  // 1 MB budgets cannot hold 6 arenas (or 6 warm machines), so the
+  // batch must evict and rebuild — and the JSON payload must not move
+  // by a byte.
+  RunOptions budgeted = with_workers(2);
+  budgeted.trace_cache_mb = 1;
+  budgeted.snapshot_cache_mb = 1;
+  const RunReport rep = run_sweep(eviction_sweep(), budgeted);
+  EXPECT_GT(rep.telemetry.trace_evictions, 0u);
+  EXPECT_GT(rep.telemetry.snapshot_evictions, 0u);
+  EXPECT_EQ(rep.telemetry.failed_jobs, 0u);
+  EXPECT_EQ(to_json(rep), to_json(ref));
+}
+
+TEST(ExecCacheBudget, TelemetryJsonCarriesEvictionCounters) {
+  RunOptions budgeted = with_workers(1);
+  budgeted.trace_cache_mb = 1;
+  budgeted.snapshot_cache_mb = 1;
+  const RunReport rep = run_sweep(eviction_sweep(), budgeted);
+  const std::string telemetry = telemetry_to_json(rep);
+  EXPECT_NE(telemetry.find("\"trace_evictions\":"), std::string::npos);
+  EXPECT_NE(telemetry.find("\"snapshot_evictions\":"), std::string::npos);
+}
+
+TEST(ExecCacheShared, OneCacheServesManyBatchesWarm) {
+  ExecCache cache;
+  RunOptions opts = with_workers(2);
+  opts.cache = &cache;
+  const RunReport first = run_sweep(eviction_sweep(), opts);
+  EXPECT_GT(first.telemetry.arenas_built, 0u);
+  EXPECT_GT(first.telemetry.snapshots_built, 0u);
+
+  // Second identical batch through the same cache: every arena and
+  // snapshot is resident, so nothing is rebuilt and every job resumes
+  // from a warm machine — with byte-identical output.
+  const RunReport second = run_sweep(eviction_sweep(), opts);
+  EXPECT_EQ(second.telemetry.arenas_built, 0u);
+  EXPECT_EQ(second.telemetry.snapshots_built, 0u);
+  EXPECT_EQ(second.telemetry.snapshot_resumes, second.results.size());
+  EXPECT_EQ(to_json(second), to_json(first));
+}
+
+TEST(ExecCache, StarvationBudgetStillProducesIdenticalResults) {
+  // A budget smaller than a single entry degrades the cache to
+  // holding only the most-recent entry per store (the entry in use is
+  // pinned, everything else goes at the next finalize) — it must never
+  // degrade to wrong answers. Alternating two keys forces an eviction
+  // and a rebuild on every switch.
+  ExecCacheConfig cfg;
+  cfg.trace_budget_bytes = 1;
+  cfg.snapshot_budget_bytes = 1;
+  ExecCache cache(cfg);
+  const Job a = cached_job("mcf", 1, 20'000, 10'000);
+  const Job b = cached_job("mcf", 2, 20'000, 10'000);
+  const std::string a_cold = diff::result_signature(cache.execute(a));
+  (void)cache.execute(b);  // finalizing b evicts a's arena + snapshot
+  const std::string a_rebuilt = diff::result_signature(cache.execute(a));
+  EXPECT_EQ(a_cold, a_rebuilt);
+  EXPECT_EQ(a_cold, diff::result_signature(execute_job(a)));
+  const ExecCacheStats st = cache.stats();
+  EXPECT_EQ(st.trace_builds, 3u);
+  EXPECT_GE(st.trace_evictions, 2u);
+  EXPECT_EQ(st.snapshot_builds, 3u);
+  EXPECT_GE(st.snapshot_evictions, 2u);
+  // Residency stays nonzero: the pinned most-recent entry survives, so
+  // a starvation budget holds one entry per store, not zero.
+  EXPECT_GT(st.trace_bytes, 0u);
+  EXPECT_GT(st.snapshot_bytes, 0u);
+}
+
+TEST(ExecCache, RegrowsTheArenaWhenALongerJobArrives) {
+  ExecCache cache;
+  const Job small = cached_job("mcf", 3, 20'000, 0);
+  const Job large = cached_job("mcf", 3, 120'000, 0);
+  (void)cache.execute(small);
+  EXPECT_EQ(cache.stats().trace_builds, 1u);
+  const std::string via_cache = diff::result_signature(cache.execute(large));
+  // The longer job forced a rebuild (regrow counts as an eviction of
+  // the short arena) but reads the same deterministic stream.
+  EXPECT_EQ(cache.stats().trace_builds, 2u);
+  EXPECT_GE(cache.stats().trace_evictions, 1u);
+  EXPECT_EQ(via_cache, diff::result_signature(execute_job(large)));
+}
+
+TEST(ExecCache, NoteDemandSizesTheArenaOnce) {
+  ExecCache cache;
+  const Job small = cached_job("em3d", 5, 20'000, 0);
+  const Job large = cached_job("em3d", 5, 120'000, 0);
+  cache.note_demand(small);
+  cache.note_demand(large);
+  (void)cache.execute(small);
+  (void)cache.execute(large);
+  const ExecCacheStats st = cache.stats();
+  EXPECT_EQ(st.trace_builds, 1u);       // sized for `large` up front
+  EXPECT_EQ(st.trace_evictions, 0u);    // so no regrow was needed
+  EXPECT_EQ(st.trace_hits, 1u);
+}
+
+}  // namespace
+}  // namespace ppf::runlab

@@ -1,0 +1,167 @@
+// serve protocol tests: the request scanner (exactly the flat-object
+// grammar docs/SERVE.md specifies, everything else rejected with a
+// positioned diagnostic), the response writers, and the documentation
+// catalogues the lint rule and docs/SERVE.md are built from.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace ppf::serve {
+namespace {
+
+TEST(ParseRequest, MinimalObjectYieldsVerbAndDefaultId) {
+  const ParseResult r = parse_request("{\"op\":\"ping\"}");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.req.verb, "ping");
+  EXPECT_EQ(r.req.id, 0u);
+  EXPECT_TRUE(r.req.fields.empty());
+}
+
+TEST(ParseRequest, RunRequestCarriesIdAndConfig) {
+  const ParseResult r = parse_request(
+      "{\"op\":\"run\",\"id\":42,\"config\":\"bench=mcf filter=pc\"}");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.req.verb, "run");
+  EXPECT_EQ(r.req.id, 42u);
+  ASSERT_EQ(r.req.fields.size(), 1u);
+  EXPECT_EQ(r.req.fields.at("config"), "bench=mcf filter=pc");
+}
+
+TEST(ParseRequest, ToleratesInteriorWhitespace) {
+  const ParseResult r =
+      parse_request("  { \"op\" : \"stats\" ,\t\"id\" : 7 }  \r");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.req.verb, "stats");
+  EXPECT_EQ(r.req.id, 7u);
+}
+
+TEST(ParseRequest, BooleansNormalizeToZeroOne) {
+  const ParseResult r =
+      parse_request("{\"op\":\"run\",\"a\":true,\"b\":false,\"n\":123}");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.req.fields.at("a"), "1");
+  EXPECT_EQ(r.req.fields.at("b"), "0");
+  EXPECT_EQ(r.req.fields.at("n"), "123");
+}
+
+TEST(ParseRequest, UnescapesTheSinkEscapeSet) {
+  const ParseResult r = parse_request(
+      "{\"op\":\"run\",\"s\":\"a\\\"b\\\\c\\nd\\te\\u0041\\u00e9/\"}");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.req.fields.at("s"), "a\"b\\c\nd\teA\xe9/");
+}
+
+TEST(ParseRequest, RejectsNonObjectLines) {
+  EXPECT_FALSE(parse_request("").ok);
+  EXPECT_FALSE(parse_request("ping").ok);
+  EXPECT_FALSE(parse_request("\"op\"").ok);
+  const ParseResult r = parse_request("[1,2]");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected '{'"), std::string::npos);
+}
+
+TEST(ParseRequest, RejectsMissingOp) {
+  const ParseResult empty = parse_request("{}");
+  ASSERT_FALSE(empty.ok);
+  EXPECT_NE(empty.error.find("missing \"op\""), std::string::npos);
+  EXPECT_FALSE(parse_request("{\"id\":1}").ok);
+}
+
+TEST(ParseRequest, RejectsDuplicateKeys) {
+  const ParseResult r =
+      parse_request("{\"op\":\"ping\",\"id\":1,\"id\":2}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate key \"id\""), std::string::npos);
+}
+
+TEST(ParseRequest, RejectsTrailingBytes) {
+  const ParseResult r = parse_request("{\"op\":\"ping\"} extra");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("trailing bytes"), std::string::npos);
+}
+
+TEST(ParseRequest, RejectsNestedOrNumericSurprises) {
+  // Nested objects, arrays, floats, and negative numbers are all out of
+  // the request grammar.
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"x\":{}}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"x\":[1]}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"x\":1.5}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"x\":-1}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"x\":null}").ok);
+}
+
+TEST(ParseRequest, RejectsBadIds) {
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\",\"id\":\"abc\"}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\",\"id\":\"12a\"}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\",\"id\":\"\"}").ok);
+  // 21 digits overflows uint64.
+  const ParseResult r =
+      parse_request("{\"op\":\"ping\",\"id\":111111111111111111111}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST(ParseRequest, RejectsBrokenStrings) {
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"s\":\"unterminated}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"s\":\"bad\\q\"}").ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"run\",\"s\":\"\\u12\"}").ok);
+  // Above Latin-1 is out of grammar (the writers never emit it).
+  const ParseResult r = parse_request("{\"op\":\"run\",\"s\":\"\\u0100\"}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("0xff"), std::string::npos);
+}
+
+TEST(ParseRequest, ErrorsCarryAColumnPosition) {
+  const ParseResult r = parse_request("{\"op\" \"ping\"}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected ':'"), std::string::npos);
+}
+
+TEST(Responses, ErrorResponseEscapesTheMessage) {
+  EXPECT_EQ(error_response(3, "bad_request", "say \"hi\"\n"),
+            "{\"op\":\"error\",\"id\":3,\"code\":\"bad_request\","
+            "\"message\":\"say \\\"hi\\\"\\n\"}");
+}
+
+TEST(Responses, PongAndResultAreExactBytes) {
+  EXPECT_EQ(pong_response(9), "{\"op\":\"pong\",\"id\":9}");
+  // The body is spliced verbatim behind the id/cached prefix — the memo
+  // cache depends on the prefix being the only non-memoized bytes.
+  EXPECT_EQ(result_response(5, false, "\"ok\":true,\"metrics\":{}}"),
+            "{\"op\":\"result\",\"id\":5,\"cached\":0,"
+            "\"ok\":true,\"metrics\":{}}");
+  EXPECT_EQ(result_response(6, true, "\"ok\":true,\"metrics\":{}}"),
+            "{\"op\":\"result\",\"id\":6,\"cached\":1,"
+            "\"ok\":true,\"metrics\":{}}");
+}
+
+TEST(Docs, EveryVerbAndErrorCodeIsCatalogued) {
+  const auto has_verb = [](const std::string& v) {
+    for (const VerbDoc& d : verb_docs()) {
+      if (d.verb == v) return !d.help.empty();
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_verb("run"));
+  EXPECT_TRUE(has_verb("ping"));
+  EXPECT_TRUE(has_verb("stats"));
+  EXPECT_TRUE(has_verb("shutdown"));
+  EXPECT_EQ(verb_docs().size(), 4u);
+
+  const auto has_code = [](const std::string& c) {
+    for (const ErrorCodeDoc& d : error_code_docs()) {
+      if (d.code == c) return !d.help.empty();
+    }
+    return false;
+  };
+  for (const char* code : {"bad_request", "unknown_verb", "bad_config",
+                           "queue_full", "shutting_down", "internal"}) {
+    EXPECT_TRUE(has_code(code)) << code;
+  }
+  EXPECT_EQ(error_code_docs().size(), 6u);
+}
+
+}  // namespace
+}  // namespace ppf::serve

@@ -19,7 +19,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/config.hpp"
+#include "common/shutdown.hpp"
 #include "obs/export.hpp"
 #include "runlab/runner.hpp"
 #include "runlab/sinks.hpp"
@@ -42,12 +45,22 @@ int usage(const char* argv0) {
       << "  jobs=N          — worker threads (default: hardware threads)\n"
       << "  timeout_ms=X    — soft per-job timeout; overruns become error "
          "records\n"
-      << "  progress=0|1    — live progress line on stderr (default 1)\n"
+      << "  progress=auto|0|1|plain|fancy — stderr progress style. auto "
+         "(default) picks fancy (\\r rewrites + heartbeats) on a TTY and "
+         "plain (one completion line per job, no control sequences) "
+         "otherwise; 0 silences it\n"
       << "  trace_cache=0|1 — materialize each distinct trace once and share "
          "it across jobs (default 1; results identical either way)\n"
       << "  warmup_share=0|1 — run warmup once per distinct warmup-relevant "
          "config and clone the warm machine into matching jobs (default 1; "
          "results identical either way)\n"
+      << "  trace_cache_mb=N — LRU byte budget for resident trace arenas "
+         "(default 0 = unbounded; eviction never changes results)\n"
+      << "  snapshot_cache_mb=N — LRU byte budget for warmup snapshots "
+         "(default 0 = unbounded)\n"
+      << "  cancel_after=N  — request shutdown after N completed jobs "
+         "(deterministic stand-in for SIGINT/SIGTERM; remaining jobs "
+         "become cancelled records, sinks still flush, exit stays 0)\n"
       << "output keys:\n"
       << "  out=PATH|-      — ordered JSON results (default '-' = stdout)\n"
       << "  csv=PATH        — also write CSV\n"
@@ -98,10 +111,13 @@ int main(int argc, char** argv) {
   for (std::string& a : arg_storage) {
     const std::string telemetry_prefix = "--telemetry-json=";
     const std::string trace_prefix = "--trace-out=";
+    const std::string progress_prefix = "--progress=";
     if (a.rfind(telemetry_prefix, 0) == 0) {
       a = "telemetry_json=" + a.substr(telemetry_prefix.size());
     } else if (a.rfind(trace_prefix, 0) == 0) {
       a = "trace_out=" + a.substr(trace_prefix.size());
+    } else if (a.rfind(progress_prefix, 0) == 0) {
+      a = "progress=" + a.substr(progress_prefix.size());
     } else if (a == "--progress") {
       a = "progress=1";
     }
@@ -206,18 +222,42 @@ int main(int argc, char** argv) {
   }
 
   runlab::RunOptions opts;
-  bool progress = true;
+  std::string progress = "auto";
+  std::uint64_t cancel_after = 0;
   try {
     opts.workers = params.get_u64("jobs", 0);
     opts.job_timeout_ms = params.get_double("timeout_ms", 0.0);
     opts.trace_cache = params.get_bool("trace_cache", true);
     opts.warmup_share = params.get_bool("warmup_share", true);
-    progress = params.get_bool("progress", true);
+    opts.trace_cache_mb = params.get_u64("trace_cache_mb", 0);
+    opts.snapshot_cache_mb = params.get_u64("snapshot_cache_mb", 0);
+    cancel_after = params.get_u64("cancel_after", 0);
+    progress = params.get_string("progress", "auto");
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return usage(argv[0]);
   }
-  if (progress) {
+  // Resolve the progress style: fancy (in-place \r rewrites and mid-job
+  // heartbeats) belongs on a terminal; a redirected stderr gets plain
+  // newline-terminated lines with no control sequences, so logs stay
+  // greppable. auto/1 ask the TTY; plain/fancy force a style.
+  if (progress == "1" || progress == "auto") {
+    progress = ::isatty(STDERR_FILENO) != 0 ? "fancy" : "plain";
+  }
+  if (progress != "0" && progress != "plain" && progress != "fancy") {
+    std::cerr << "progress= must be auto, 0, 1, plain, or fancy\n";
+    return usage(argv[0]);
+  }
+
+  // Graceful SIGINT/SIGTERM: in-flight jobs drain, unstarted jobs become
+  // cancelled records, every sink still flushes, and a cancelled-only
+  // batch exits 0. cancel_after=N trips the identical path after N
+  // completions, so the contract is testable without delivering signals.
+  ShutdownRequest shutdown;
+  shutdown.install_signal_handlers();
+  opts.cancel = [&shutdown] { return shutdown.requested(); };
+
+  if (progress == "fancy") {
     // Completion events and mid-job heartbeats share one stderr status
     // line; both rewrite it in place with \r.
     auto ui_mu = std::make_shared<std::mutex>();
@@ -242,6 +282,30 @@ int main(int argc, char** argv) {
                     hb.mips, hb.eta_s);
       std::lock_guard<std::mutex> lk(*ui_mu);
       std::cerr << buf << std::flush;
+    };
+  } else if (progress == "plain") {
+    // One full line per completion, no \r/ANSI, no wall-clock content —
+    // with jobs=1 the stream is deterministic (pinned by
+    // tests/cli/batch_progress_test.sh). Heartbeats are periodic and
+    // wall-clock flavored, so plain mode leaves them unwired.
+    opts.on_progress = [](const runlab::Progress& p) {
+      std::cerr << "[" << p.done << "/" << p.total << "] "
+                << p.last->job.benchmark << "/" << p.last->job.filter_name
+                << "/s" << p.last->job.seed;
+      if (!p.last->ok) {
+        std::cerr << (p.last->cancelled ? " cancelled" : " FAILED");
+      }
+      std::cerr << "\n";
+    };
+  }
+  if (cancel_after > 0) {
+    // Chain after the style's own progress callback so the hook works in
+    // every mode, including progress=0.
+    auto inner = opts.on_progress;
+    opts.on_progress = [inner, cancel_after,
+                        &shutdown](const runlab::Progress& p) {
+      if (inner) inner(p);
+      if (p.done >= cancel_after) shutdown.request();
     };
   }
 

@@ -27,6 +27,9 @@
 //   invariant-id-docs     every invariant ID string used at a
 //                         ctx.require()/ctx.fail()/CheckFailure site
 //                         must be documented in docs/CHECKING.md.
+//   serve-verb-docs       every protocol verb in serve::verb_docs() and
+//                         every error code in error_code_docs() must be
+//                         documented in docs/SERVE.md.
 //
 // Usage: ppf_lint [--root DIR] [--json] [--expect-violations]
 //                 [--list-rules]
@@ -78,6 +81,8 @@ constexpr Rule kRules[] = {
      "docs/CHECKING.md"},
     {"diff-oracle-docs",
      "diff.* oracle IDs in src/diff must appear in docs/DIFF.md"},
+    {"serve-verb-docs",
+     "serve protocol verbs and error codes must appear in docs/SERVE.md"},
 };
 
 std::vector<std::string> read_lines(const fs::path& p) {
@@ -339,6 +344,44 @@ void check_diff_oracle_ids(const fs::path& file, const fs::path& root,
   }
 }
 
+// --- rule: serve-verb-docs --------------------------------------------------
+
+void check_serve_docs(const fs::path& root, std::vector<Finding>& out) {
+  const fs::path proto = root / "src" / "serve" / "protocol.cpp";
+  if (!fs::exists(proto)) return;
+  const std::vector<std::string> lines = read_lines(proto);
+  const std::string serve_md = read_text(root / "docs" / "SERVE.md");
+
+  // Same shape as config-key-docs: walk each catalogue function's
+  // initializer, pull the first string of every entry, and require it
+  // word-for-word in docs/SERVE.md.
+  static const std::regex entry_re(R"re(\{\s*"([a-z][a-z0-9_]*)"\s*,)re");
+  const struct {
+    const char* fn;
+    const char* what;
+  } tables[] = {{"verb_docs()", "verb"}, {"error_code_docs()", "error code"}};
+  for (const auto& table : tables) {
+    bool in_fn = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find(table.fn) != std::string::npos &&
+          lines[i].find('{') != std::string::npos) {
+        in_fn = true;
+        continue;
+      }
+      if (!in_fn) continue;
+      if (lines[i].find("return docs;") != std::string::npos) break;
+      std::smatch m;
+      if (std::regex_search(lines[i], m, entry_re) &&
+          !contains_word(serve_md, m[1].str())) {
+        out.push_back({"serve-verb-docs", rel(proto, root), i + 1,
+                       "protocol " + std::string(table.what) + " '" +
+                           m[1].str() +
+                           "' not documented in docs/SERVE.md"});
+      }
+    }
+  }
+}
+
 // --- output ----------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -433,6 +476,7 @@ int main(int argc, char** argv) {
     check_diff_oracle_ids(f, root, lines, diff_md, findings);
   }
   check_config_keys(root, findings);
+  check_serve_docs(root, findings);
 
   print_findings(findings, json);
   if (expect_violations) {

@@ -1,0 +1,119 @@
+// ppf_serve — sweep-as-a-service daemon.
+//
+// Listens on a TCP port and answers line-delimited JSON requests (see
+// docs/SERVE.md): clients submit the same key=value config strings
+// ppf_batch accepts and get back the same deterministic metrics objects
+// the batch JSON sink writes. Repeated identical configs are answered
+// from a result memo; trace arenas and warmup snapshots persist across
+// requests for the daemon's lifetime (LRU byte budgets apply).
+//
+//   ppf_serve port=7077 jobs=4 queue_depth=64
+//   ppf_serve port=0            # ephemeral; parse the announce line
+//
+// Prints "ppf_serve: listening on HOST:PORT" to stderr once ready.
+// SIGINT/SIGTERM (or a client's `shutdown` verb) drain in-flight work
+// and exit 0.
+#include <algorithm>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/shutdown.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+using namespace ppf;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [key=value ...]\n\n"
+      << "keys:\n"
+      << "  host=ADDR        — bind address (default 127.0.0.1)\n"
+      << "  port=N           — TCP port; 0 picks an ephemeral one "
+         "(default 0)\n"
+      << "  jobs=N           — simulation worker threads (default: "
+         "hardware threads)\n"
+      << "  queue_depth=N    — max queued+in-flight runs before "
+         "queue_full rejections (default 64)\n"
+      << "  memo=0|1         — serve repeated identical configs from the "
+         "result memo (default 1)\n"
+      << "  trace_cache_mb=N — LRU byte budget for resident trace arenas "
+         "(default 0 = unbounded)\n"
+      << "  snapshot_cache_mb=N — LRU budget for warmup snapshots "
+         "(default 0 = unbounded)\n"
+      << "  instructions=N   — measurement window for configs that do "
+         "not set instructions= (default 1000000)\n"
+      << "\nprotocol verbs (docs/SERVE.md):\n";
+  for (const serve::VerbDoc& d : serve::verb_docs()) {
+    std::cerr << "  " << d.verb << " — " << d.help << "\n";
+  }
+  std::cerr << "\nerror codes:\n";
+  for (const serve::ErrorCodeDoc& d : serve::error_code_docs()) {
+    std::cerr << "  " << d.code << " — " << d.help << "\n";
+  }
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParamMap params;
+  try {
+    params = ParamMap::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (params.has("help")) return usage(argv[0]);
+  const std::vector<std::string> known = {
+      "host",           "port", "jobs",     "queue_depth", "memo",
+      "trace_cache_mb", "snapshot_cache_mb", "instructions"};
+  for (const auto& [k, v] : params.entries()) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      std::cerr << "unknown key: " << k << "\n\n";
+      return usage(argv[0]);
+    }
+  }
+
+  serve::ServiceConfig cfg;
+  serve::ServerOptions net;
+  try {
+    net.host = params.get_string("host", "127.0.0.1");
+    net.port = static_cast<std::uint16_t>(params.get_u64("port", 0));
+    cfg.workers = params.get_u64("jobs", 0);
+    cfg.queue_depth = params.get_u64("queue_depth", 64);
+    cfg.memo = params.get_bool("memo", true);
+    cfg.trace_cache_mb = params.get_u64("trace_cache_mb", 0);
+    cfg.snapshot_cache_mb = params.get_u64("snapshot_cache_mb", 0);
+    cfg.default_instructions = params.get_u64("instructions", 1'000'000);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (cfg.queue_depth == 0) {
+    std::cerr << "queue_depth must be at least 1\n";
+    return usage(argv[0]);
+  }
+
+  try {
+    serve::Service service(cfg);
+    serve::Server server(service, net);
+    ShutdownRequest shutdown;
+    shutdown.install_signal_handlers();
+    std::cerr << "ppf_serve: listening on " << net.host << ":"
+              << server.port() << " (" << service.workers()
+              << " workers, queue depth " << cfg.queue_depth << ")\n"
+              << std::flush;
+    server.serve(shutdown);
+    std::cerr << "ppf_serve: drained, exiting\n";
+  } catch (const std::exception& e) {
+    std::cerr << "ppf_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
