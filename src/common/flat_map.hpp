@@ -1,0 +1,148 @@
+// Open-addressed hash map from 64-bit keys to V, linear probing with
+// tombstone deletion. The node-based std::unordered_map pays a heap
+// allocation per insert and a pointer chase per probe; the simulator's
+// line-address trackers (prefetch taxonomy, rejected-prefetch recovery)
+// sit on the demand-miss path, where that overhead is measurable.
+//
+// Not a general-purpose container: keys are raw uint64 values (any value
+// is valid, including 0 — occupancy lives in a separate state byte),
+// values must be movable, and iteration order is unspecified (callers
+// may only fold order-independent reductions over for_each).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace ppf {
+
+template <typename V>
+class FlatHashMap {
+ public:
+  explicit FlatHashMap(std::size_t min_slots = 64) {
+    rehash(pow2_at_least(min_slots));
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  [[nodiscard]] V* find(std::uint64_t key) {
+    const std::size_t idx = probe(key);
+    return idx == kNotFound ? nullptr : &vals_[idx];
+  }
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    const std::size_t idx = probe(key);
+    return idx == kNotFound ? nullptr : &vals_[idx];
+  }
+
+  /// Value for `key`, default-constructing on first use.
+  V& get_or_insert(std::uint64_t key) {
+    if (V* v = find(key)) return *v;
+    return *insert_slot(key);
+  }
+
+  /// Inserts `v` only when `key` is absent; returns whether it inserted.
+  bool insert_if_absent(std::uint64_t key, V v) {
+    if (find(key) != nullptr) return false;
+    *insert_slot(key) = std::move(v);
+    return true;
+  }
+
+  /// Removes `key` if present (the slot becomes a tombstone; rehash on
+  /// growth reclaims them).
+  void erase(std::uint64_t key) {
+    const std::size_t idx = probe(key);
+    if (idx == kNotFound) return;
+    state_[idx] = kTomb;
+    vals_[idx] = V{};  // release owned storage eagerly
+    --size_;
+    ++tombs_;
+  }
+
+  void clear() {
+    std::fill(state_.begin(), state_.end(), kEmpty);
+    for (V& v : vals_) v = V{};
+    size_ = 0;
+    tombs_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Calls f(key, value) for every live entry, in unspecified order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == kFull) f(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTomb = 2;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  static std::size_t pow2_at_least(std::size_t n) {
+    std::size_t p = 8;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const {
+    std::size_t i = mix64(key) & mask_;
+    while (true) {
+      if (state_[i] == kEmpty) return kNotFound;
+      if (state_[i] == kFull && keys_[i] == key) return i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  V* insert_slot(std::uint64_t key) {
+    // Keep live + tombstone occupancy under ~70% so probes terminate
+    // quickly; rehashing also reclaims tombstones.
+    if ((size_ + tombs_ + 1) * 10 >= state_.size() * 7) {
+      rehash(pow2_at_least((size_ + 1) * 4));
+    }
+    std::size_t i = mix64(key) & mask_;
+    while (state_[i] == kFull) i = (i + 1) & mask_;
+    state_[i] = kFull;
+    keys_[i] = key;
+    vals_[i] = V{};
+    ++size_;
+    return &vals_[i];
+  }
+
+  void rehash(std::size_t new_slots) {
+    PPF_ASSERT((new_slots & (new_slots - 1)) == 0);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    state_.assign(new_slots, kEmpty);
+    keys_.assign(new_slots, 0);
+    vals_.clear();
+    vals_.resize(new_slots);
+    mask_ = new_slots - 1;
+    size_ = 0;
+    tombs_ = 0;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j = mix64(old_keys[i]) & mask_;
+      while (state_[j] == kFull) j = (j + 1) & mask_;
+      state_[j] = kFull;
+      keys_[j] = old_keys[i];
+      vals_[j] = std::move(old_vals[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+}  // namespace ppf

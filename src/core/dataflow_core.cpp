@@ -14,19 +14,6 @@ unsigned shift_of(unsigned bytes) {
   return s;
 }
 
-/// Subtract the warmup-window counters so `res` covers only measurement.
-void subtract_snapshot(CoreResult& res, const CoreResult& snap) {
-  res.instructions -= snap.instructions;
-  res.loads -= snap.loads;
-  res.stores -= snap.stores;
-  res.branches -= snap.branches;
-  res.sw_prefetches -= snap.sw_prefetches;
-  res.mispredictions -= snap.mispredictions;
-  res.rob_full_stall_cycles -= snap.rob_full_stall_cycles;
-  res.lsq_full_stall_cycles -= snap.lsq_full_stall_cycles;
-  res.fetch_stall_cycles -= snap.fetch_stall_cycles;
-}
-
 }  // namespace
 
 DataflowCore::DataflowCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem)
@@ -411,7 +398,7 @@ CoreResult DataflowCore::finish(std::uint64_t dispatch_limit) {
   while (cycle(dispatch_limit)) {
   }
   CoreResult out = res_;
-  subtract_snapshot(out, window_snapshot_);
+  subtract_window(out, window_snapshot_);
   out.cycles = now_ - window_start_;
   return out;
 }

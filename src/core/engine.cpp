@@ -28,6 +28,33 @@ void CoreEngine::register_core_counters(obs::MetricRegistry& reg,
                   [&res] { return res.lsq_full_stall_cycles; });
   reg.add_counter("core.fetch_stall_cycles",
                   [&res] { return res.fetch_stall_cycles; });
+  // Stage-kernel record counts (ppf.telemetry stages breakdown). Both
+  // occupancy engines increment these at identical semantic points, so
+  // the obs signature stays byte-identical across engine=.
+  reg.add_counter("core.stage.retire.records",
+                  [&res] { return res.stages.retire_records; });
+  reg.add_counter("core.stage.probe.records",
+                  [&res] { return res.stages.probe_records; });
+  reg.add_counter("core.stage.fetch.records",
+                  [&res] { return res.stages.fetch_records; });
+  reg.add_counter("core.stage.memsys.records",
+                  [&res] { return res.stages.memsys_records; });
+}
+
+void subtract_window(CoreResult& res, const CoreResult& snap) {
+  res.instructions -= snap.instructions;
+  res.loads -= snap.loads;
+  res.stores -= snap.stores;
+  res.branches -= snap.branches;
+  res.sw_prefetches -= snap.sw_prefetches;
+  res.mispredictions -= snap.mispredictions;
+  res.rob_full_stall_cycles -= snap.rob_full_stall_cycles;
+  res.lsq_full_stall_cycles -= snap.lsq_full_stall_cycles;
+  res.fetch_stall_cycles -= snap.fetch_stall_cycles;
+  res.stages.retire_records -= snap.stages.retire_records;
+  res.stages.probe_records -= snap.stages.probe_records;
+  res.stages.fetch_records -= snap.stages.fetch_records;
+  res.stages.memsys_records -= snap.stages.memsys_records;
 }
 
 CoreResult CoreEngine::run(workload::TraceSource& trace,

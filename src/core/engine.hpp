@@ -59,6 +59,25 @@ struct CoreConfig {
   BtbConfig btb;
 };
 
+/// Per-stage-kernel accounting for the cycle loop (ROADMAP item 2). The
+/// record counts are deterministic and — by construction — identical for
+/// the reference and batched engines: both increment them at the same
+/// semantic points (an entry retired, a memory op issued to the L1, an
+/// instruction dispatched, a hierarchy end-of-cycle step). The ns fields
+/// are *sampled wall-clock estimates* filled in only by the batched
+/// engine; they are telemetry, never part of deterministic result
+/// payloads or signatures.
+struct StageStats {
+  std::uint64_t retire_records = 0;  ///< ROB entries retired
+  std::uint64_t probe_records = 0;   ///< demand ops issued to the L1D
+  std::uint64_t fetch_records = 0;   ///< instructions decoded + dispatched
+  std::uint64_t memsys_records = 0;  ///< hierarchy end-of-cycle steps
+  double retire_ns = 0.0;
+  double probe_ns = 0.0;
+  double fetch_ns = 0.0;
+  double memsys_ns = 0.0;
+};
+
 struct CoreResult {
   Cycle cycles = 0;
   /// Instructions dispatched in the measurement window (every dispatched
@@ -73,6 +92,7 @@ struct CoreResult {
   std::uint64_t rob_full_stall_cycles = 0;
   std::uint64_t lsq_full_stall_cycles = 0;
   std::uint64_t fetch_stall_cycles = 0;
+  StageStats stages;
 
   [[nodiscard]] double ipc() const {
     return cycles == 0 ? 0.0
@@ -153,6 +173,12 @@ class CoreEngine {
   std::uint64_t hb_every_ = std::uint64_t{1} << 17;
   std::uint64_t hb_next_ = 0;
 };
+
+/// Subtract the warmup-window counters so `res` covers only the
+/// measurement window. Stage record counts are windowed like every other
+/// counter; the sampled ns estimates stay cumulative (they answer "where
+/// did this run's wall time go", warmup included).
+void subtract_window(CoreResult& res, const CoreResult& snap);
 
 enum class EngineKind { Occupancy, Dataflow };
 

@@ -30,51 +30,6 @@ Cache::Cache(CacheConfig cfg, std::uint64_t rng_seed)
   scratch_view_.resize(ways_);
 }
 
-std::size_t Cache::find_way(LineAddr line) const {
-  const std::uint64_t tag = tag_of(line);
-  const std::size_t base = set_index(line) * ways_;
-  if (ways_ == 1) {
-    // Direct-mapped fast path (the paper's L1): no way loop at all.
-    return tags_[base] == tag && meta_[base].valid ? base : kNoWay;
-  }
-  for (std::uint64_t w = 0; w < ways_; ++w) {
-    if (tags_[base + w] == tag && meta_[base + w].valid) return base + w;
-  }
-  return kNoWay;
-}
-
-AccessResult Cache::access(Addr addr, AccessType type) {
-  const LineAddr line = line_of(addr);
-  const auto t = static_cast<std::size_t>(type);
-  AccessResult r;
-  const std::size_t idx = find_way(line);
-  if (idx != kNoWay) {
-    LineMeta& m = meta_[idx];
-    r.hit = true;
-    r.hit_nsp_tagged = m.nsp_tag;
-    if (type != AccessType::Prefetch) {
-      // Demand touch: consume the NSP tag and mark the prefetched line as
-      // referenced (PIB/RIB protocol from Section 4 of the paper).
-      m.nsp_tag = false;
-      if (m.pib && !m.rib) {
-        m.rib = true;
-        r.first_use_of_prefetch = true;
-        r.source = m.source;
-      }
-      if (type == AccessType::Store) m.dirty = true;
-      m.last_use = ++stamp_;
-    }
-    hits_[t].add();
-  } else {
-    misses_[t].add();
-  }
-  return r;
-}
-
-bool Cache::contains(Addr addr) const {
-  return find_way(line_of(addr)) != kNoWay;
-}
-
 Eviction Cache::make_eviction(std::uint64_t set, std::size_t idx) const {
   const LineMeta& m = meta_[idx];
   Eviction ev;

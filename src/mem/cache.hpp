@@ -97,11 +97,41 @@ class Cache {
 
   /// Demand lookup: updates replacement state and the RIB on hit, records
   /// hit/miss statistics. Does NOT allocate on miss; call fill() when the
-  /// data returns from the next level.
-  AccessResult access(Addr addr, AccessType type);
+  /// data returns from the next level. Defined inline: this is the single
+  /// hottest call on the demand path (one per load/store plus one per
+  /// I-line change), and the call overhead itself was measurable.
+  AccessResult access(Addr addr, AccessType type) {
+    const LineAddr line = line_of(addr);
+    const auto t = static_cast<std::size_t>(type);
+    AccessResult r;
+    const std::size_t idx = find_way(line);
+    if (idx != kNoWay) {
+      LineMeta& m = meta_[idx];
+      r.hit = true;
+      r.hit_nsp_tagged = m.nsp_tag;
+      if (type != AccessType::Prefetch) {
+        // Demand touch: consume the NSP tag and mark the prefetched line
+        // as referenced (PIB/RIB protocol from Section 4 of the paper).
+        m.nsp_tag = false;
+        if (m.pib && !m.rib) {
+          m.rib = true;
+          r.first_use_of_prefetch = true;
+          r.source = m.source;
+        }
+        if (type == AccessType::Store) m.dirty = true;
+        m.last_use = ++stamp_;
+      }
+      hits_[t].add();
+    } else {
+      misses_[t].add();
+    }
+    return r;
+  }
 
   /// Probe without any side effects (no stats, no LRU update).
-  [[nodiscard]] bool contains(Addr addr) const;
+  [[nodiscard]] bool contains(Addr addr) const {
+    return find_way(line_of(addr)) != kNoWay;
+  }
 
   /// Allocate a line for addr, evicting as needed.
   /// Returns the eviction record when a valid line was displaced.
@@ -198,8 +228,20 @@ class Cache {
   }
   /// Flat index of the way holding `line`, or kNoWay. The valid check
   /// guards against a stale tag matching; there is no reserved tag value,
-  /// so any 64-bit address is representable.
-  [[nodiscard]] std::size_t find_way(LineAddr line) const;
+  /// so any 64-bit address is representable. Inline for the same reason
+  /// as access(): it runs on every probe of every level.
+  [[nodiscard]] std::size_t find_way(LineAddr line) const {
+    const std::uint64_t tag = tag_of(line);
+    const std::size_t base = set_index(line) * ways_;
+    if (ways_ == 1) {
+      // Direct-mapped fast path (the paper's L1): no way loop at all.
+      return tags_[base] == tag && meta_[base].valid ? base : kNoWay;
+    }
+    for (std::uint64_t w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag && meta_[base + w].valid) return base + w;
+    }
+    return kNoWay;
+  }
   Eviction make_eviction(std::uint64_t set, std::size_t idx) const;
 
   CacheConfig cfg_;

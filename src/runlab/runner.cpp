@@ -230,7 +230,18 @@ RunReport run_jobs(std::vector<Job> jobs, const RunOptions& opts) {
   t.cancelled_jobs = cancelled;
   for (const JobResult& r : rep.results) {
     t.busy_ms += r.wall_ms;
-    if (r.ok) t.instructions += r.result.core.instructions;
+    if (r.ok) {
+      t.instructions += r.result.core.instructions;
+      const core::StageStats& s = r.result.core.stages;
+      t.stages.retire_records += s.retire_records;
+      t.stages.probe_records += s.probe_records;
+      t.stages.fetch_records += s.fetch_records;
+      t.stages.memsys_records += s.memsys_records;
+      t.stages.retire_ns += s.retire_ns;
+      t.stages.probe_ns += s.probe_ns;
+      t.stages.fetch_ns += s.fetch_ns;
+      t.stages.memsys_ns += s.memsys_ns;
+    }
   }
   if (t.wall_ms > 0) {
     t.jobs_per_sec = 1000.0 * static_cast<double>(t.total_jobs) / t.wall_ms;

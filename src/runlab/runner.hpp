@@ -139,6 +139,9 @@ struct RunTelemetry {
   std::size_t snapshot_resumes = 0; ///< jobs that skipped warmup via a clone
   std::size_t trace_evictions = 0;    ///< arenas dropped by the byte budget
   std::size_t snapshot_evictions = 0; ///< snapshots dropped by the budget
+  /// Stage-kernel breakdown summed over succeeded jobs (window record
+  /// counts; sampled ns estimates when the batched engine ran).
+  core::StageStats stages;
 };
 
 struct RunReport {

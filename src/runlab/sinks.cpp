@@ -124,6 +124,17 @@ void write_telemetry_json(std::ostream& os, const RunReport& rep) {
      << "\"snapshot_resumes\":" << t.snapshot_resumes << ","
      << "\"trace_evictions\":" << t.trace_evictions << ","
      << "\"snapshot_evictions\":" << t.snapshot_evictions << ","
+     // Stage-kernel breakdown (batched jobs contribute the sampled ns
+     // estimates; record counts come from both engines identically).
+     << "\"stages\":{"
+     << "\"retire\":{\"records\":" << t.stages.retire_records
+     << ",\"ns\":" << sim::fmt(t.stages.retire_ns, 0) << "},"
+     << "\"probe\":{\"records\":" << t.stages.probe_records
+     << ",\"ns\":" << sim::fmt(t.stages.probe_ns, 0) << "},"
+     << "\"fetch\":{\"records\":" << t.stages.fetch_records
+     << ",\"ns\":" << sim::fmt(t.stages.fetch_ns, 0) << "},"
+     << "\"memsys\":{\"records\":" << t.stages.memsys_records
+     << ",\"ns\":" << sim::fmt(t.stages.memsys_ns, 0) << "}},"
      << "\"per_job\":[";
   for (std::size_t i = 0; i < rep.results.size(); ++i) {
     const JobResult& r = rep.results[i];

@@ -1,12 +1,15 @@
-#include "core/ooo_core.hpp"
+// ppf:hot
+#include "sim/batched_core.hpp"
 
+#include <chrono>
 #include <limits>
 
 #include "check/check.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "sim/sim_config.hpp"
 
-namespace ppf::core {
+namespace ppf::sim {
 namespace {
 
 constexpr Cycle kNotDone = std::numeric_limits<Cycle>::max();
@@ -17,12 +20,17 @@ unsigned shift_of(unsigned bytes) {
   return s;
 }
 
+using TimePoint = std::chrono::steady_clock::time_point;
+
+double ns_between(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::nano>(b - a).count();
+}
+
 }  // namespace
 
-OooCore::OooCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem)
+BatchedCore::BatchedCore(core::CoreConfig cfg, MemoryHierarchy& mem)
     : cfg_(cfg),
-      dmem_(dmem),
-      imem_(imem),
+      mem_(mem),
       bp_(cfg.bimodal),
       btb_(cfg.btb),
       rng_(cfg.seed),
@@ -30,19 +38,24 @@ OooCore::OooCore(CoreConfig cfg, DataMemory& dmem, InstMemory& imem)
   PPF_CHECK(cfg_.width >= 1);
   PPF_CHECK(cfg_.rob_entries >= cfg_.width);
   PPF_CHECK(cfg_.lsq_entries >= 1);
-  // At most rob_entries sequence numbers are live at once, so slots past
-  // the architectural capacity in the rounded-up ring are simply unused.
+  // Same ring sizing as the reference engine: round up to a power of two
+  // so the index is a mask; capacity checks still use cfg_.rob_entries.
   std::uint64_t ring = 1;
   while (ring < cfg_.rob_entries) ring <<= 1;
   rob_mask_ = ring - 1;
   rob_.resize(ring);
+  // Pending occupancy is bounded by live ROB entries, so the ROB ring
+  // size (already power-of-two) can never overflow these.
+  pending_mem_.slots.resize(ring);
+  pending_mem_.mask = ring - 1;
+  pending_serial_.slots.resize(ring);
+  pending_serial_.mask = ring - 1;
 }
 
-OooCore::OooCore(const OooCore& other, DataMemory& dmem, InstMemory& imem,
-                 workload::TraceSource& trace)
+BatchedCore::BatchedCore(const BatchedCore& other, MemoryHierarchy& mem,
+                         workload::TraceSource& trace)
     : cfg_(other.cfg_),
-      dmem_(dmem),
-      imem_(imem),
+      mem_(mem),
       bp_(other.bp_),
       btb_(other.btb_),
       rng_(other.rng_),
@@ -50,9 +63,26 @@ OooCore::OooCore(const OooCore& other, DataMemory& dmem, InstMemory& imem,
       rob_mask_(other.rob_mask_) {
   copy_run_state(other);
   trace_ = &trace;
+  if (arena_mode_) {
+    cursor_ = dynamic_cast<workload::TraceCursor*>(&trace);
+    PPF_CHECK_MSG(cursor_ != nullptr,
+                  "arena-bound batched clone requires a TraceCursor");
+    arena_ = cursor_->arena();
+    view_ = arena_->view();
+    PPF_CHECK_MSG(cursor_->pos() == idx_, "clone cursor mispositioned");
+    PPF_CHECK(win_end_ <= arena_->size());
+  } else {
+    // Stream mode: the staging window was copied by copy_run_state; the
+    // pointers must target *our* copy, not other's.
+    cursor_ = nullptr;
+    arena_.reset();
+    view_ = workload::MaterializedTrace::SoaView{
+        spc_.data(), skind_.data(), saddr_.data(), starget_.data(),
+        sflags_.data()};
+  }
 }
 
-void OooCore::copy_run_state(const OooCore& o) {
+void BatchedCore::copy_run_state(const BatchedCore& o) {
   rob_ = o.rob_;
   rob_head_seq_ = o.rob_head_seq_;
   rob_next_seq_ = o.rob_next_seq_;
@@ -63,10 +93,16 @@ void OooCore::copy_run_state(const OooCore& o) {
   serial_chain_ready_ = o.serial_chain_ready_;
   last_load_done_ = o.last_load_done_;
   last_load_known_ = o.last_load_known_;
-  fbuf_ = o.fbuf_;
-  fbuf_pos_ = o.fbuf_pos_;
-  fbuf_len_ = o.fbuf_len_;
-  trace_eof_ = o.trace_eof_;
+  arena_ = o.arena_;
+  idx_ = o.idx_;
+  win_end_ = o.win_end_;
+  arena_mode_ = o.arena_mode_;
+  stream_eof_ = o.stream_eof_;
+  spc_ = o.spc_;
+  skind_ = o.skind_;
+  saddr_ = o.saddr_;
+  starget_ = o.starget_;
+  sflags_ = o.sflags_;
   dispatched_ = o.dispatched_;
   pause_at_ = o.pause_at_;
   res_ = o.res_;
@@ -77,6 +113,7 @@ void OooCore::copy_run_state(const OooCore& o) {
   fetch_ready_ = o.fetch_ready_;
   redirect_until_ = o.redirect_until_;
   cur_fetch_line_ = o.cur_fetch_line_;
+  timing_tick_ = o.timing_tick_;
   mid_cycle_ = o.mid_cycle_;
   cycle_trace_active_ = o.cycle_trace_active_;
   was_rob_full_ = o.was_rob_full_;
@@ -85,16 +122,19 @@ void OooCore::copy_run_state(const OooCore& o) {
   slots_ = o.slots_;
 }
 
-std::unique_ptr<CoreEngine> OooCore::clone_rebound(
-    DataMemory& dmem, InstMemory& imem, workload::TraceSource& trace) const {
-  return std::unique_ptr<CoreEngine>(new OooCore(*this, dmem, imem, trace));
+std::unique_ptr<core::CoreEngine> BatchedCore::clone_rebound(
+    core::DataMemory& dmem, core::InstMemory& imem,
+    workload::TraceSource& trace) const {
+  // The batched engine only drives a concrete MemoryHierarchy (that is
+  // the whole point); nullptr sends the caller down the cold path.
+  auto* hier = dynamic_cast<MemoryHierarchy*>(&dmem);
+  if (hier == nullptr || hier != dynamic_cast<MemoryHierarchy*>(&imem)) {
+    return nullptr;
+  }
+  return std::unique_ptr<core::CoreEngine>(new BatchedCore(*this, *hier, trace));
 }
 
-OooCore::RobEntry& OooCore::rob_at(std::uint64_t seq) {
-  return rob_[seq & rob_mask_];
-}
-
-std::uint64_t OooCore::alloc_rob(bool is_mem) {
+std::uint64_t BatchedCore::alloc_rob(bool is_mem) {
   PPF_ASSERT(!rob_full());
   const std::uint64_t seq = rob_next_seq_++;
   rob_at(seq) = RobEntry{kNotDone, is_mem, true};
@@ -103,7 +143,7 @@ std::uint64_t OooCore::alloc_rob(bool is_mem) {
   return seq;
 }
 
-void OooCore::retire(Cycle now) {
+void BatchedCore::retire(Cycle now) {
   unsigned n = 0;
   while (rob_count_ > 0 && n < cfg_.width) {
     RobEntry& head = rob_at(rob_head_seq_);
@@ -119,9 +159,9 @@ void OooCore::retire(Cycle now) {
   res_.stages.retire_records += n;
 }
 
-void OooCore::do_issue(Cycle now, const PendingMem& p, bool serial) {
+void BatchedCore::do_issue(Cycle now, const PendingMem& p, bool serial) {
   ++res_.stages.probe_records;
-  const Cycle completion = dmem_.demand_access(now, p.pc, p.addr, p.is_store);
+  const Cycle completion = mem_.demand_access(now, p.pc, p.addr, p.is_store);
   RobEntry& e = rob_at(p.seq);
   e.issued = true;
   e.done = p.is_store ? now + 1 : completion;
@@ -132,81 +172,111 @@ void OooCore::do_issue(Cycle now, const PendingMem& p, bool serial) {
   }
 }
 
-void OooCore::issue_pending(Cycle now) {
+void BatchedCore::issue_pending(Cycle now) {
   // Serial (pointer-chase) accesses go first: the chain head has been
   // waiting longest and everything behind it is address-dependent.
   while (!pending_serial_.empty() && serial_chain_ready_ <= now &&
-         dmem_.try_reserve_port(now)) {
+         mem_.try_reserve_port(now)) {
     const PendingMem p = pending_serial_.front();
-    pending_serial_.pop_front();
+    pending_serial_.pop();
     do_issue(now, p, /*serial=*/true);
   }
-  while (!pending_mem_.empty() && dmem_.try_reserve_port(now)) {
+  while (!pending_mem_.empty() && mem_.try_reserve_port(now)) {
     const PendingMem p = pending_mem_.front();
-    pending_mem_.pop_front();
+    pending_mem_.pop();
     do_issue(now, p, /*serial=*/false);
   }
 }
 
-void OooCore::refill() {
-  fbuf_len_ = static_cast<std::uint32_t>(
-      trace_eof_ ? 0 : trace_->next_batch(fbuf_.data(), kFetchBatch));
-  fbuf_pos_ = 0;
-  if (fbuf_len_ < kFetchBatch) trace_eof_ = true;
+// ppf:cold — stream-mode refill goes through the virtual TraceSource;
+// it runs once per kFetchBatch records, never per instruction.
+void BatchedCore::refill_stream() {
+  std::array<workload::TraceRecord, core::kFetchBatch> buf;
+  const std::size_t got =
+      stream_eof_ ? 0 : trace_->next_batch(buf.data(), core::kFetchBatch);
+  for (std::size_t i = 0; i < got; ++i) {
+    const workload::TraceRecord& r = buf[i];
+    spc_[i] = r.pc;
+    skind_[i] = static_cast<std::uint8_t>(r.kind);
+    saddr_[i] = r.addr;
+    starget_[i] = r.target;
+    sflags_[i] =
+        static_cast<std::uint8_t>((r.taken ? 1u : 0u) | (r.serial ? 2u : 0u));
+  }
+  idx_ = 0;
+  win_end_ = got;
+  if (got < core::kFetchBatch) stream_eof_ = true;
+}
+// ppf:hot
+
+void BatchedCore::advance() {
+  ++idx_;
+  if (!arena_mode_ && idx_ >= win_end_ && !stream_eof_) refill_stream();
 }
 
-void OooCore::advance() {
-  ++fbuf_pos_;
-  if (fbuf_pos_ >= fbuf_len_ && !trace_eof_) refill();
+void BatchedCore::sync_cursor() {
+  if (cursor_ != nullptr) cursor_->seek(idx_);
 }
 
-void OooCore::bind(workload::TraceSource& trace) {
+void BatchedCore::bind(workload::TraceSource& trace) {
   trace_ = &trace;
-  trace_eof_ = false;
-  refill();
+  cursor_ = dynamic_cast<workload::TraceCursor*>(&trace);
+  arena_mode_ = cursor_ != nullptr;
+  if (arena_mode_) {
+    // Decode straight off the shared arena: idx_ is the absolute record
+    // index; the cursor is only touched again at pause/finish sync.
+    arena_ = cursor_->arena();
+    view_ = arena_->view();
+    idx_ = cursor_->pos();
+    win_end_ = arena_->size();
+    stream_eof_ = true;  // unused in arena mode
+  } else {
+    arena_.reset();
+    stream_eof_ = false;
+    view_ = workload::MaterializedTrace::SoaView{
+        spc_.data(), skind_.data(), saddr_.data(), starget_.data(),
+        sflags_.data()};
+    refill_stream();
+  }
   dispatched_ = 0;
   pause_at_ = 0;
-  res_ = CoreResult{};
-  window_snapshot_ = CoreResult{};
+  res_ = core::CoreResult{};
+  window_snapshot_ = core::CoreResult{};
   window_start_ = 0;
   now_ = 0;
   cycle_limit_ = 0;
   fetch_ready_ = 0;
   redirect_until_ = 0;
   cur_fetch_line_ = std::numeric_limits<Addr>::max();
+  timing_tick_ = 0;
   mid_cycle_ = false;
 }
 
-void OooCore::begin_window() {
+void BatchedCore::begin_window() {
   window_snapshot_ = res_;
   window_start_ = now_;
 }
 
-void OooCore::fast_forward_stall() {
-  // The hierarchy must have no per-cycle work of its own, and no pending
-  // op may be issuable this cycle (a fresh port budget arrives every
-  // cycle, so a non-empty ready queue always makes progress).
-  if (!dmem_.quiescent() || !pending_mem_.empty()) return;
+void BatchedCore::fast_forward_stall() {
+  // Mirrors OooCore::fast_forward_stall exactly — see the commentary
+  // there. Provably-idle cycles jump straight to the next event with
+  // bulk stall attribution; result-identical to stepping.
+  if (!mem_.quiescent() || !pending_mem_.empty()) return;
   if (!pending_serial_.empty() && serial_chain_ready_ <= now_) return;
   const bool head_issued = rob_count_ > 0 && rob_at(rob_head_seq_).issued;
-  if (head_issued && rob_at(rob_head_seq_).done <= now_) return;  // retires now
+  if (head_issued && rob_at(rob_head_seq_).done <= now_) return;
 
   const bool fetch_blocked = now_ < fetch_ready_ || now_ < redirect_until_;
   bool lsq_blocking = false;
   if (cycle_trace_active_ && !fetch_blocked && !rob_full()) {
-    const workload::TraceRecord& rec = fbuf_[fbuf_pos_];
-    const bool is_mem = rec.kind == workload::InstKind::Load ||
-                        rec.kind == workload::InstKind::Store;
-    if (!is_mem || lsq_count_ < cfg_.lsq_entries) return;  // can dispatch now
-    // An LSQ-blocked cycle still runs the I-line probe first; only skip
-    // once that probe has already happened (and hit) for this record.
-    if ((rec.pc >> line_shift_) != cur_fetch_line_) return;
+    const auto kind = static_cast<workload::InstKind>(view_.kind[idx_]);
+    const bool is_mem =
+        kind == workload::InstKind::Load || kind == workload::InstKind::Store;
+    if (!is_mem || lsq_count_ < cfg_.lsq_entries) return;
+    if ((view_.pc[idx_] >> line_shift_) != cur_fetch_line_) return;
     lsq_blocking = true;
   }
 
-  // Next cycle at which any state can change. Including the fetch
-  // unblock point whenever fetch is currently blocked also keeps the
-  // stall attribution class constant across the skipped range.
   Cycle t = kNotDone;
   if (head_issued) t = rob_at(rob_head_seq_).done;
   if (!pending_serial_.empty() && serial_chain_ready_ < t) {
@@ -218,15 +288,10 @@ void OooCore::fast_forward_stall() {
     if (unblock < t) t = unblock;
   }
   if (t == kNotDone || t <= now_) return;
-  // Never jump past the livelock budget: the guard in cycle() must fire
-  // exactly where cycle-by-cycle stepping would have tripped it.
   if (t > cycle_limit_) t = cycle_limit_;
 
   const Cycle skipped = t - now_;
   if (cycle_trace_active_) {
-    // Same precedence as the per-cycle attribution at the end of cycle():
-    // ROB-full first, then LSQ (only reachable with fetch unblocked),
-    // then fetch. All three predicates are constant across [now_, t).
     if (rob_full())
       res_.rob_full_stall_cycles += skipped;
     else if (lsq_blocking)
@@ -237,8 +302,13 @@ void OooCore::fast_forward_stall() {
   now_ = t;
 }
 
-bool OooCore::cycle(std::uint64_t limit) {
+bool BatchedCore::cycle(std::uint64_t limit) {
   heartbeat_tick(dispatched_);
+  // Stage timing is sampled 1-in-kTimingSample cycles and scaled up;
+  // resumed (mid-cycle) entries are never timed. Timing never touches
+  // simulated state, so the ns estimates cannot perturb determinism.
+  bool timed = false;
+  TimePoint t0{};
   if (!mid_cycle_) {
     cycle_trace_active_ = have_rec() && dispatched_ < limit;
     if (!cycle_trace_active_ && rob_count_ == 0 && pending_mem_.empty() &&
@@ -247,9 +317,21 @@ bool OooCore::cycle(std::uint64_t limit) {
     PPF_CHECK_MSG(now_ < cycle_limit_, "timing model livelock");
     fast_forward_stall();
 
-    dmem_.begin_cycle(now_);
+    timed = (timing_tick_++ & (kTimingSample - 1)) == 0;
+    if (timed) t0 = std::chrono::steady_clock::now();
+    mem_.begin_cycle(now_);
     retire(now_);
+    if (timed) {
+      const TimePoint t1 = std::chrono::steady_clock::now();
+      res_.stages.retire_ns += ns_between(t0, t1) * kTimingSample;
+      t0 = t1;
+    }
     issue_pending(now_);
+    if (timed) {
+      const TimePoint t1 = std::chrono::steady_clock::now();
+      res_.stages.probe_ns += ns_between(t0, t1) * kTimingSample;
+      t0 = t1;
+    }
 
     was_rob_full_ = rob_full();
     fetch_stalled_ = now_ < fetch_ready_ || now_ < redirect_until_;
@@ -259,15 +341,15 @@ bool OooCore::cycle(std::uint64_t limit) {
     mid_cycle_ = false;
   }
 
-  while (slots_ > 0 && have_rec() && dispatched_ < limit) {
+  while (slots_ > 0 && idx_ < win_end_ && dispatched_ < limit) {
     if (now_ < fetch_ready_ || now_ < redirect_until_) break;
     if (rob_full()) break;
-    const workload::TraceRecord& rec = fbuf_[fbuf_pos_];
+    const Pc pc = view_.pc[idx_];
 
     // Instruction fetch: crossing into a new I-line probes the L1I.
-    const Addr line = rec.pc >> line_shift_;
+    const Addr line = pc >> line_shift_;
     if (line != cur_fetch_line_) {
-      const Cycle ready = imem_.fetch(now_, rec.pc);
+      const Cycle ready = mem_.fetch(now_, pc);
       cur_fetch_line_ = line;
       if (ready > now_) {
         fetch_ready_ = ready;
@@ -275,8 +357,9 @@ bool OooCore::cycle(std::uint64_t limit) {
       }
     }
 
-    const bool is_mem = rec.kind == workload::InstKind::Load ||
-                        rec.kind == workload::InstKind::Store;
+    const auto kind = static_cast<workload::InstKind>(view_.kind[idx_]);
+    const bool is_mem =
+        kind == workload::InstKind::Load || kind == workload::InstKind::Store;
     if (is_mem && lsq_count_ >= cfg_.lsq_entries) {
       lsq_blocked_ = true;
       break;
@@ -291,32 +374,34 @@ bool OooCore::cycle(std::uint64_t limit) {
       if (last_load_known_ && last_load_done_ > done) done = last_load_done_;
     }
 
-    switch (rec.kind) {
+    switch (kind) {
       case workload::InstKind::Op:
         e.done = done;
         break;
       case workload::InstKind::SwPrefetch:
         ++res_.sw_prefetches;
-        dmem_.software_prefetch(now_, rec.pc, rec.addr);
+        mem_.software_prefetch(now_, pc, view_.addr[idx_]);
         e.done = done;
         break;
       case workload::InstKind::Branch: {
         ++res_.branches;
-        const bool pred_taken = bp_.predict(rec.pc);
-        const auto pred_target = btb_.lookup(rec.pc);
-        bool correct = pred_taken == rec.taken;
-        if (correct && rec.taken) {
-          correct = pred_target.has_value() && *pred_target == rec.target;
+        const bool taken = (view_.flags[idx_] & 1u) != 0;
+        const Addr target = view_.target[idx_];
+        const bool pred_taken = bp_.predict(pc);
+        const auto pred_target = btb_.lookup(pc);
+        bool correct = pred_taken == taken;
+        if (correct && taken) {
+          correct = pred_target.has_value() && *pred_target == target;
         }
-        bp_.update(rec.pc, rec.taken);
-        if (rec.taken) btb_.update(rec.pc, rec.target);
+        bp_.update(pc, taken);
+        if (taken) btb_.update(pc, target);
         bp_.note_outcome(correct);
         e.done = done;
         if (!correct) {
           ++res_.mispredictions;
           redirect_until_ = done + cfg_.mispredict_penalty;
         }
-        if (rec.taken) {
+        if (taken) {
           // Control transfer: the next line fetched is the target's.
           cur_fetch_line_ = std::numeric_limits<Addr>::max();
         }
@@ -324,30 +409,30 @@ bool OooCore::cycle(std::uint64_t limit) {
       }
       case workload::InstKind::Load:
       case workload::InstKind::Store: {
-        const bool is_store = rec.kind == workload::InstKind::Store;
+        const bool is_store = kind == workload::InstKind::Store;
         if (is_store)
           ++res_.stores;
         else
           ++res_.loads;
-        const PendingMem pm{seq, rec.pc, rec.addr, is_store};
-        if (rec.serial) {
+        const PendingMem pm{seq, pc, view_.addr[idx_], is_store};
+        if ((view_.flags[idx_] & 2u) != 0) {
           // Pointer chase: issue in chain order, gated on the previous
           // serial load's data.
           if (pending_serial_.empty() && serial_chain_ready_ <= now_ &&
-              dmem_.try_reserve_port(now_)) {
+              mem_.try_reserve_port(now_)) {
             do_issue(now_, pm, /*serial=*/true);
           } else {
             e.issued = false;
             e.done = kNotDone;
-            pending_serial_.push_back(pm);
+            pending_serial_.push(pm);
             if (!is_store) last_load_known_ = false;
           }
-        } else if (dmem_.try_reserve_port(now_)) {
+        } else if (mem_.try_reserve_port(now_)) {
           do_issue(now_, pm, /*serial=*/false);
         } else {
           e.issued = false;
           e.done = kNotDone;
-          pending_mem_.push_back(pm);
+          pending_mem_.push(pm);
           if (!is_store) last_load_known_ = false;
         }
         break;
@@ -367,6 +452,11 @@ bool OooCore::cycle(std::uint64_t limit) {
     }
     if (now_ < redirect_until_) break;  // stop after a mispredicted branch
   }
+  if (timed) {
+    const TimePoint t1 = std::chrono::steady_clock::now();
+    res_.stages.fetch_ns += ns_between(t0, t1) * kTimingSample;
+    t0 = t1;
+  }
 
   if (cycle_trace_active_ && slots_ == cfg_.width) {
     // Nothing dispatched this cycle: attribute the stall.
@@ -379,12 +469,16 @@ bool OooCore::cycle(std::uint64_t limit) {
   }
 
   ++res_.stages.memsys_records;
-  dmem_.end_cycle(now_);
+  mem_.end_cycle(now_);
+  if (timed) {
+    res_.stages.memsys_ns +=
+        ns_between(t0, std::chrono::steady_clock::now()) * kTimingSample;
+  }
   ++now_;
   return true;
 }
 
-void OooCore::run_until_dispatched(std::uint64_t target) {
+void BatchedCore::run_until_dispatched(std::uint64_t target) {
   PPF_CHECK(trace_ != nullptr);
   if (dispatched_ >= target) return;
   // Livelock guard: the model must always make forward progress.
@@ -393,9 +487,12 @@ void OooCore::run_until_dispatched(std::uint64_t target) {
   while (!mid_cycle_ && cycle(target)) {
   }
   pause_at_ = 0;
+  // Publish the pause position: snapshot/clone machinery reads the
+  // cursor (arena mode consumes records without advancing it).
+  sync_cursor();
 }
 
-CoreResult OooCore::finish(std::uint64_t dispatch_limit) {
+core::CoreResult BatchedCore::finish(std::uint64_t dispatch_limit) {
   PPF_CHECK(trace_ != nullptr);
   PPF_CHECK(dispatch_limit >= dispatched_);
   cycle_limit_ =
@@ -403,17 +500,20 @@ CoreResult OooCore::finish(std::uint64_t dispatch_limit) {
   pause_at_ = 0;
   while (cycle(dispatch_limit)) {
   }
-  CoreResult out = res_;
-  subtract_window(out, window_snapshot_);
+  sync_cursor();
+  core::CoreResult out = res_;
+  core::subtract_window(out, window_snapshot_);
   out.cycles = now_ - window_start_;
   return out;
 }
 
-void OooCore::register_obs(obs::MetricRegistry& reg) const {
+void BatchedCore::register_obs(obs::MetricRegistry& reg) const {
   register_core_counters(reg, res_);
 }
 
-void OooCore::register_checks(check::CheckRegistry& reg) const {
+void BatchedCore::register_checks(check::CheckRegistry& reg) const {
+  // Same structural invariants (and invariant IDs) as the reference
+  // engine — docs/CHECKING.md documents them once for both.
   reg.add("core", [this](check::CheckContext& ctx) {
     const bool ring_ok = rob_next_seq_ - rob_head_seq_ == rob_count_ &&
                          rob_count_ <= cfg_.rob_entries &&
@@ -432,12 +532,12 @@ void OooCore::register_checks(check::CheckRegistry& reg) const {
                          std::to_string(rob_count_);
                 });
     // Every pending op occupies a not-yet-issued ROB entry, and both
-    // queues hold entries in strict age (allocation seq) order — the
-    // LSQ-age-order property retirement and serial issue depend on.
-    const auto ordered = [&](const std::deque<PendingMem>& q) {
+    // rings hold entries in strict age (allocation seq) order.
+    const auto ordered = [&](const PendingRing& q) {
       std::uint64_t prev = 0;
       bool first = true;
-      for (const PendingMem& p : q) {
+      for (std::uint64_t i = q.head; i != q.tail; ++i) {
+        const PendingMem& p = q.slots[i & q.mask];
         if (!first && p.seq <= prev) return false;
         if (p.seq < rob_head_seq_ || p.seq >= rob_next_seq_) return false;
         prev = p.seq;
@@ -453,12 +553,27 @@ void OooCore::register_checks(check::CheckRegistry& reg) const {
                          std::to_string(pending_serial_.size()) + " rob=" +
                          std::to_string(rob_count_);
                 });
-    ctx.require(fbuf_pos_ <= fbuf_len_ && fbuf_len_ <= fbuf_.size(),
-                "core.fetch_buffer", [&] {
-                  return "pos=" + std::to_string(fbuf_pos_) + " len=" +
-                         std::to_string(fbuf_len_);
-                });
+    const bool window_ok =
+        arena_mode_ ? (arena_ != nullptr && win_end_ == arena_->size() &&
+                       idx_ <= win_end_)
+                    : (idx_ <= win_end_ && win_end_ <= core::kFetchBatch);
+    ctx.require(window_ok, "core.fetch_buffer", [&] {
+      return "idx=" + std::to_string(idx_) + " end=" +
+             std::to_string(win_end_) + " arena=" +
+             (arena_mode_ ? std::to_string(arena_->size()) : "stream");
+    });
   });
 }
 
-}  // namespace ppf::core
+std::unique_ptr<core::CoreEngine> make_sim_engine(const SimConfig& cfg,
+                                                  MemoryHierarchy& mem) {
+  if (cfg.core_model == CoreModel::Dataflow) {
+    return core::make_engine(core::EngineKind::Dataflow, cfg.core, mem, mem);
+  }
+  if (cfg.engine == EngineMode::Batched) {
+    return std::make_unique<BatchedCore>(cfg.core, mem);
+  }
+  return core::make_engine(core::EngineKind::Occupancy, cfg.core, mem, mem);
+}
+
+}  // namespace ppf::sim

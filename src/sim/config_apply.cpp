@@ -68,6 +68,7 @@ const std::vector<OverrideDoc>& override_docs() {
       {"check_fail_at", "test hook: inject a checker.tripwire violation at cycle N"},
       {"diff_fail_at", "test hook: throw before simulating runs of >= N instructions"},
       {"core_model", "timing model: occupancy|dataflow"},
+      {"engine", "cycle-loop engine: batched|reference (byte-identical)"},
       {"width", "core dispatch/retire width"},
       {"rob", "reorder buffer entries"},
       {"lsq", "load/store queue entries"},
@@ -202,6 +203,16 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
       cfg.core_model = CoreModel::Dataflow;
     } else {
       throw std::invalid_argument("unknown core model: " + m);
+    }
+  }
+  if (params.has("engine")) {
+    const std::string e = params.get_string("engine", "");
+    if (e == "batched") {
+      cfg.engine = EngineMode::Batched;
+    } else if (e == "reference") {
+      cfg.engine = EngineMode::Reference;
+    } else {
+      throw std::invalid_argument("unknown engine: " + e);
     }
   }
   cfg.core.width =

@@ -442,12 +442,11 @@ Cycle MemoryHierarchy::estimated_residence() const {
 void MemoryHierarchy::note_rejected(Cycle now,
                                     const filter::PrefetchCandidate& c) {
   if (cfg_.filter_recovery_entries == 0) return;
-  auto [it, inserted] = rejected_.try_emplace(
-      c.line, RejectedEntry{c.trigger_pc, c.source, now});
-  if (!inserted) {
-    it->second = RejectedEntry{c.trigger_pc, c.source, now};
+  if (RejectedEntry* e = rejected_.find(c.line)) {
+    *e = RejectedEntry{c.trigger_pc, c.source, now};
     return;  // already tracked; keep its FIFO position
   }
+  rejected_.insert_if_absent(c.line, RejectedEntry{c.trigger_pc, c.source, now});
   rejected_fifo_.push_back(c.line);
   while (rejected_fifo_.size() > cfg_.filter_recovery_entries) {
     rejected_.erase(rejected_fifo_.front());
@@ -457,21 +456,21 @@ void MemoryHierarchy::note_rejected(Cycle now,
 
 void MemoryHierarchy::check_recovery(Cycle now, LineAddr line) {
   if (cfg_.filter_recovery_entries == 0) return;
-  const auto it = rejected_.find(line);
-  if (it == rejected_.end()) return;
+  const RejectedEntry* e = rejected_.find(line);
+  if (e == nullptr) return;
   const bool within_residence =
-      now - it->second.reject_cycle <= estimated_residence();
+      now - e->reject_cycle <= estimated_residence();
   if (within_residence) {
     // The program demanded a line the filter refused to prefetch, soon
     // enough that the prefetched line would still have been resident:
     // train the table back toward "good" so the stream resumes.
     active_filter_->recover(filter::FilterFeedback{
-        line, it->second.trigger_pc, true, it->second.source});
+        line, e->trigger_pc, true, e->source});
     ++recovered_;
     PPF_OBS_EVENT(obs_, obs::EventKind::Recovered, now, line,
-                  it->second.trigger_pc, it->second.source);
+                  e->trigger_pc, e->source);
   }
-  rejected_.erase(it);
+  rejected_.erase(line);
 }
 
 void MemoryHierarchy::route_candidates(

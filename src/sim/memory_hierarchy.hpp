@@ -6,10 +6,10 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "check/check.hpp"
+#include "common/flat_map.hpp"
 #include "core/memory_iface.hpp"
 #include "filter/filter.hpp"
 #include "mem/bus.hpp"
@@ -195,7 +195,7 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
     PrefetchSource source = PrefetchSource::Software;
     Cycle reject_cycle = 0;
   };
-  std::unordered_map<LineAddr, RejectedEntry> rejected_;
+  FlatHashMap<RejectedEntry> rejected_;
   std::deque<LineAddr> rejected_fifo_;
   std::uint64_t recovered_ = 0;
   Cycle last_l1_fill_cycle_ = 0;

@@ -32,9 +32,30 @@ inline const char* to_string(CoreModel m) {
   return "?";
 }
 
+/// Which implementation of the occupancy timing model runs the cycle
+/// loop. Both produce byte-identical results (enforced by the
+/// equiv.batched_vs_reference diff oracle); they differ only in speed.
+enum class EngineMode : std::uint8_t {
+  Reference,  ///< scalar OooCore: virtual dispatch, AoS fetch buffer
+  Batched,    ///< stage-kernel BatchedCore: SoA decode, devirtualized
+};
+
+inline const char* to_string(EngineMode e) {
+  switch (e) {
+    case EngineMode::Reference: return "reference";
+    case EngineMode::Batched: return "batched";
+  }
+  return "?";
+}
+
 struct SimConfig {
   core::CoreConfig core;
   CoreModel core_model = CoreModel::Occupancy;
+  /// Cycle-loop engine for the occupancy model (the dataflow model has a
+  /// single implementation and ignores this). Part of warmup_key: a
+  /// snapshot holds a paused engine of one concrete type, and resuming
+  /// must exercise the engine the config asked for.
+  EngineMode engine = EngineMode::Batched;
 
   mem::CacheConfig l1d{.name = "L1D",
                        .size_bytes = 8 * 1024,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "sim/batched_core.hpp"
 #include "sim/memory_hierarchy.hpp"
 
 namespace ppf::sim {
@@ -60,10 +61,7 @@ SimResult Simulator::run(workload::TraceSource& trace,
           ? cfg_.warmup_instructions
           : 0;
   const auto on_warmup = [&mem] { mem.reset_stats(); };
-  const auto engine = core::make_engine(cfg_.core_model == CoreModel::Dataflow
-                                            ? core::EngineKind::Dataflow
-                                            : core::EngineKind::Occupancy,
-                                        cfg_.core, mem, mem);
+  const auto engine = make_sim_engine(cfg_, mem);
   if (rec != nullptr) engine->register_obs(rec->registry());
   if (chk != nullptr) engine->register_checks(chk->registry());
   // Heartbeats are independent of the obs switch: runlab progress wants

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "sim/batched_core.hpp"
 
 namespace ppf::sim {
 
@@ -27,7 +28,8 @@ void key_cache(std::ostringstream& os, const mem::CacheConfig& c) {
 // run_from_snapshot entry without touching the shared snapshot.
 std::string warmup_key(const SimConfig& cfg) {
   std::ostringstream os;
-  os << to_string(cfg.core_model) << '|' << cfg.core.width << ','
+  os << to_string(cfg.core_model) << '|' << to_string(cfg.engine) << '|'
+     << cfg.core.width << ','
      << cfg.core.rob_entries << ',' << cfg.core.lsq_entries << ','
      << cfg.core.exec_latency << ',' << cfg.core.mispredict_penalty << ','
      << cfg.core.inst_bytes << ',' << cfg.core.ifetch_line_bytes << ','
@@ -101,10 +103,7 @@ std::shared_ptr<const WarmupSnapshot> make_warmup_snapshot(
   snap->arena_ = std::move(arena);
   snap->mem_ = std::make_unique<MemoryHierarchy>(cfg);
   snap->cursor_ = std::make_unique<workload::TraceCursor>(snap->arena_);
-  snap->engine_ = core::make_engine(cfg.core_model == CoreModel::Dataflow
-                                        ? core::EngineKind::Dataflow
-                                        : core::EngineKind::Occupancy,
-                                    cfg.core, *snap->mem_, *snap->mem_);
+  snap->engine_ = make_sim_engine(cfg, *snap->mem_);
   snap->engine_->bind(*snap->cursor_);
   snap->engine_->run_until_dispatched(warmup);
   if (snap->engine_->dispatched() < warmup) return nullptr;

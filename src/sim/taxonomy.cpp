@@ -8,32 +8,30 @@ void TaxonomyTracker::on_prefetch_fill(LineAddr p,
                                        std::optional<LineAddr> victim,
                                        bool victim_was_live) {
   // A racing refill of a line already tracked keeps the original entry.
-  if (live_.find(p) != live_.end()) return;
+  if (live_.find(p) != nullptr) return;
   Pending e;
   e.prefetched = p;
   if (victim.has_value() && victim_was_live) {
     e.victim = *victim;
     e.has_victim = true;
-    victims_[*victim].push_back(p);
+    victims_.get_or_insert(*victim).push_back(p);
   }
-  live_.emplace(p, e);
+  live_.insert_if_absent(p, e);
 }
 
 void TaxonomyTracker::on_demand_miss(LineAddr line) {
-  const auto it = victims_.find(line);
-  if (it == victims_.end()) return;
+  const std::vector<LineAddr>* chargeable = victims_.find(line);
+  if (chargeable == nullptr) return;
   // The displaced line came back as a demand miss: every prefetch that
   // displaced it (still in flight) is chargeable with that miss.
-  for (LineAddr p : it->second) {
-    const auto pit = live_.find(p);
-    if (pit != live_.end()) pit->second.victim_remissed = true;
+  for (LineAddr p : *chargeable) {
+    if (Pending* e = live_.find(p)) e->victim_remissed = true;
   }
-  victims_.erase(it);
+  victims_.erase(line);
 }
 
 void TaxonomyTracker::on_prefetch_used(LineAddr p) {
-  const auto it = live_.find(p);
-  if (it != live_.end()) it->second.used = true;
+  if (Pending* e = live_.find(p)) e->used = true;
 }
 
 void TaxonomyTracker::classify(const Pending& e) {
@@ -51,22 +49,20 @@ void TaxonomyTracker::classify(const Pending& e) {
 }
 
 void TaxonomyTracker::on_prefetch_evicted(LineAddr p) {
-  const auto it = live_.find(p);
-  if (it == live_.end()) return;
-  classify(it->second);
-  if (it->second.has_victim) {
-    const auto vit = victims_.find(it->second.victim);
-    if (vit != victims_.end()) {
-      auto& v = vit->second;
-      v.erase(std::remove(v.begin(), v.end(), p), v.end());
-      if (v.empty()) victims_.erase(vit);
+  const Pending* e = live_.find(p);
+  if (e == nullptr) return;
+  classify(*e);
+  if (e->has_victim) {
+    if (std::vector<LineAddr>* v = victims_.find(e->victim)) {
+      v->erase(std::remove(v->begin(), v->end(), p), v->end());
+      if (v->empty()) victims_.erase(e->victim);
     }
   }
-  live_.erase(it);
+  live_.erase(p);
 }
 
 void TaxonomyTracker::finalize() {
-  for (const auto& [p, e] : live_) classify(e);
+  live_.for_each([this](LineAddr, const Pending& e) { classify(e); });
   live_.clear();
   victims_.clear();
 }

@@ -18,9 +18,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace ppf::sim {
@@ -75,10 +75,13 @@ class TaxonomyTracker {
 
   void classify(const Pending& e);
 
-  /// Prefetched line -> tracking entry.
-  std::unordered_map<LineAddr, Pending> live_;
+  /// Prefetched line -> tracking entry. Flat open-addressed maps: both
+  /// tables churn on the demand-miss path, and the classification only
+  /// ever folds order-independent counter sums, so unordered_map's node
+  /// allocations bought nothing (see common/flat_map.hpp).
+  FlatHashMap<Pending> live_;
   /// Victim line -> prefetched lines whose fill displaced it.
-  std::unordered_map<LineAddr, std::vector<LineAddr>> victims_;
+  FlatHashMap<std::vector<LineAddr>> victims_;
   TaxonomyCounts counts_;
 };
 

@@ -36,6 +36,23 @@ class MaterializedTrace {
   /// Copy records [pos, pos+n) into `out`; n must not overrun size().
   void gather(std::size_t pos, TraceRecord* out, std::size_t n) const;
 
+  /// Raw read-only pointers into the SoA columns the timing models
+  /// consume (pc/kind/addr/target/flags). The batched engine decodes
+  /// straight from these, skipping the AoS TraceRecord round-trip that
+  /// gather() pays. Valid for the arena's lifetime; flags bit 0 = taken,
+  /// bit 1 = serial (the encoding the constructor writes).
+  struct SoaView {
+    const std::uint64_t* pc = nullptr;
+    const std::uint8_t* kind = nullptr;
+    const std::uint64_t* addr = nullptr;
+    const std::uint64_t* target = nullptr;
+    const std::uint8_t* flags = nullptr;
+  };
+  [[nodiscard]] SoaView view() const {
+    return SoaView{pc_.data(), kind_.data(), addr_.data(), target_.data(),
+                   flags_.data()};
+  }
+
  private:
   friend class TraceCursor;
 

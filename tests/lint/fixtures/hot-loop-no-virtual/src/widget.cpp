@@ -1,0 +1,19 @@
+// Fixture: a ppf:hot region that both declares `virtual` and calls
+// through an abstract interface handle — hot-loop-no-virtual must flag
+// both, and must NOT flag the ppf:cold slow path.
+struct DataMemory {
+  virtual ~DataMemory() = default;
+  virtual int access(int) = 0;
+};
+
+struct Widget {
+  DataMemory& mem_;
+
+  explicit Widget(DataMemory& mem) : mem_(mem) {}
+
+  // ppf:hot
+  virtual int spin(int x) { return mem_.access(x); }
+
+  // ppf:cold
+  int slow(int x) { return mem_.access(x + 1); }
+};

@@ -107,6 +107,7 @@ TEST(ConfigApply, EveryDocumentedKeyIsAccepted) {
                  : d.key == "core_model"   ? "dataflow"
                  : d.key == "history_hash" ? "modulo"
                  : d.key == "check"        ? "paranoid"
+                 : d.key == "engine"       ? "batched"
                  : d.key == "dep_prob"     ? "0.3"
                  : d.key == "l1d_ports"    ? "4"
                  : d.key == "history_entries" ? "4096"

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "workload/benchmarks.hpp"
@@ -96,6 +97,91 @@ TEST(TraceCursorTest, SeekRepositionsAndManyCursorsShareOneArena) {
     ASSERT_TRUE(b.next(rb));
     EXPECT_EQ(ra, rb);
   }
+}
+
+TEST(TraceCursorTest, PartialFinalBatchReturnsExactRemainder) {
+  // 130 records read in batches of 64: the third call must return the
+  // 2-record tail (not 0, not 64) and leave the cursor exhausted.
+  const auto records = make_records(130);
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  TraceCursor cur(arena);
+  TraceRecord buf[64];
+  EXPECT_EQ(cur.next_batch(buf, 64), 64u);
+  EXPECT_EQ(cur.next_batch(buf, 64), 64u);
+  ASSERT_EQ(cur.next_batch(buf, 64), 2u);
+  EXPECT_EQ(buf[0], records[128]);
+  EXPECT_EQ(buf[1], records[129]);
+  EXPECT_EQ(cur.remaining(), 0u);
+  EXPECT_EQ(cur.next_batch(buf, 64), 0u);  // stays dry, pos unchanged
+  EXPECT_EQ(cur.pos(), records.size());
+}
+
+TEST(TraceCursorTest, SeekMidBatchRestartsExactlyAtTarget) {
+  // Seeking to a position that is not a batch multiple must not skew
+  // subsequent batched reads — the snapshot resume path depends on this.
+  const auto records = make_records(200);
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  TraceCursor cur(arena);
+  TraceRecord buf[64];
+  ASSERT_EQ(cur.next_batch(buf, 64), 64u);
+  cur.seek(37);  // backwards, into the middle of the batch just read
+  EXPECT_EQ(cur.pos(), 37u);
+  ASSERT_EQ(cur.next_batch(buf, 64), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(buf[i], records[37 + i]) << "offset " << i;
+  }
+  cur.seek(170);  // forwards, past data never read through this cursor
+  ASSERT_EQ(cur.next_batch(buf, 64), 30u);
+  EXPECT_EQ(buf[0], records[170]);
+  EXPECT_EQ(buf[29], records[199]);
+}
+
+TEST(TraceCursorTest, ZeroLengthBatchIsANoOp) {
+  const auto records = make_records(8);
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  TraceCursor cur(arena, 3);
+  TraceRecord sentinel{};
+  sentinel.pc = 0xdead;
+  EXPECT_EQ(cur.next_batch(&sentinel, 0), 0u);
+  EXPECT_EQ(cur.pos(), 3u);            // position untouched
+  EXPECT_EQ(sentinel.pc, 0xdeadu);     // buffer untouched
+  cur.seek(records.size());
+  EXPECT_EQ(cur.next_batch(&sentinel, 0), 0u);  // zero at EOF is fine too
+}
+
+TEST(TraceCursorTest, BatchedIterationAcrossWarmupPauseBoundary) {
+  // The warmup snapshot pauses the core mid-trace and a fresh cursor is
+  // rebuilt at the published position (possibly mid-batch). Reading
+  // warmup records through one cursor and the window through a second
+  // must concatenate to exactly one straight pass over the arena.
+  const auto records = make_records(500);
+  const std::size_t kPause = 213;  // not a multiple of any batch size
+  VectorTrace vt(records);
+  const auto arena = materialize(vt, records.size());
+
+  std::vector<TraceRecord> stitched;
+  TraceRecord buf[64];
+  TraceCursor warm(arena);
+  while (warm.pos() < kPause) {
+    const std::size_t want = std::min<std::size_t>(64, kPause - warm.pos());
+    const std::size_t got = warm.next_batch(buf, want);
+    ASSERT_GT(got, 0u);
+    stitched.insert(stitched.end(), buf, buf + got);
+  }
+  ASSERT_EQ(warm.pos(), kPause);
+
+  TraceCursor window(arena, warm.pos());  // resume, as run_from_snapshot does
+  std::size_t n;
+  while ((n = window.next_batch(buf, 64)) > 0) {
+    stitched.insert(stitched.end(), buf, buf + n);
+  }
+  EXPECT_EQ(stitched, records);
 }
 
 TEST(TraceCursorTest, MatchesStreamingBenchmarkGeneration) {

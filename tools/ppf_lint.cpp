@@ -30,6 +30,16 @@
 //   serve-verb-docs       every protocol verb in serve::verb_docs() and
 //                         every error code in error_code_docs() must be
 //                         documented in docs/SERVE.md.
+//   hot-loop-no-virtual   inside a region marked `// ppf:hot` (until
+//                         `// ppf:cold` or EOF) the code must not
+//                         declare anything `virtual` and must not call
+//                         through a variable declared with an abstract
+//                         interface type (DataMemory/InstMemory/
+//                         TraceSource/Prefetcher/PollutionFilter/
+//                         CoreEngine) — the batched stage kernels'
+//                         speedup rests on devirtualized concrete calls,
+//                         and a casual refactor must not quietly
+//                         reintroduce dispatch into the cycle loop.
 //
 // Usage: ppf_lint [--root DIR] [--json] [--expect-violations]
 //                 [--list-rules]
@@ -83,6 +93,8 @@ constexpr Rule kRules[] = {
      "diff.* oracle IDs in src/diff must appear in docs/DIFF.md"},
     {"serve-verb-docs",
      "serve protocol verbs and error codes must appear in docs/SERVE.md"},
+    {"hot-loop-no-virtual",
+     "no `virtual` or abstract-interface calls inside // ppf:hot regions"},
 };
 
 std::vector<std::string> read_lines(const fs::path& p) {
@@ -382,6 +394,76 @@ void check_serve_docs(const fs::path& root, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: hot-loop-no-virtual ----------------------------------------------
+
+void check_hot_loop_virtual(const fs::path& file, const fs::path& root,
+                            const std::vector<std::string>& lines,
+                            std::vector<Finding>& out) {
+  const std::string r = rel(file, root);
+  // Pass 1: collect every variable declared with an abstract interface
+  // type anywhere in the file (members, parameters, locals). These are
+  // the handles a call would dynamically dispatch through.
+  static const std::regex iface_decl(
+      R"((DataMemory|InstMemory|TraceSource|Prefetcher|PollutionFilter|CoreEngine)\s*[&*]\s*([A-Za-z_][A-Za-z0-9_]*))");
+  std::vector<std::string> handles;
+  bool any_hot = false;
+  for (const std::string& line : lines) {
+    if (line.find("ppf:hot") != std::string::npos) any_hot = true;
+    std::smatch m;
+    std::string rest = line;
+    while (std::regex_search(rest, m, iface_decl)) {
+      if (std::find(handles.begin(), handles.end(), m[2].str()) ==
+          handles.end()) {
+        handles.push_back(m[2].str());
+      }
+      rest = m.suffix();
+    }
+  }
+  if (!any_hot) return;
+
+  // Pass 2: inside hot regions, flag `virtual` and calls through the
+  // collected handles (`h.` / `h->`).
+  bool hot = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("ppf:hot") != std::string::npos) {
+      hot = true;
+      continue;
+    }
+    if (line.find("ppf:cold") != std::string::npos) {
+      hot = false;
+      continue;
+    }
+    if (!hot || comment_line(line)) continue;
+    // Preprocessor lines cannot dispatch through anything; an #include
+    // path like "workload/trace.hpp" would otherwise read as `trace.`.
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    if (contains_word(line, "virtual")) {
+      out.push_back({"hot-loop-no-virtual", r, i + 1,
+                     "`virtual` declared inside a ppf:hot region"});
+    }
+    for (const std::string& h : handles) {
+      for (std::size_t pos = line.find(h); pos != std::string::npos;
+           pos = line.find(h, pos + 1)) {
+        if (pos > 0 && ident_char(line[pos - 1])) continue;
+        const std::size_t end = pos + h.size();
+        if (end < line.size() && ident_char(line[end])) continue;
+        const bool call = line.compare(end, 1, ".") == 0 ||
+                          line.compare(end, 2, "->") == 0;
+        if (call) {
+          out.push_back(
+              {"hot-loop-no-virtual", r, i + 1,
+               "call through abstract interface handle '" + h +
+                   "' inside a ppf:hot region (devirtualize or mark the "
+                   "slow path // ppf:cold)"});
+          break;
+        }
+      }
+    }
+  }
+}
+
 // --- output ----------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -474,6 +556,7 @@ int main(int argc, char** argv) {
     check_event_bookkeeping(f, root, lines, findings);
     check_invariant_ids(f, root, lines, checking_md, findings);
     check_diff_oracle_ids(f, root, lines, diff_md, findings);
+    check_hot_loop_virtual(f, root, lines, findings);
   }
   check_config_keys(root, findings);
   check_serve_docs(root, findings);
