@@ -80,13 +80,15 @@ void write_trace_chrome(std::ostream& os, const RunObservation& obs,
                         const ExportMeta& meta) {
   // One process, one thread per prefetch source; 1 simulated cycle maps
   // to 1 microsecond of trace time (ts is in µs in the trace_event
-  // spec — the absolute unit is arbitrary for a simulator).
-  os << "{\"traceEvents\":[";
-  bool first = true;
+  // spec — the absolute unit is arbitrary for a simulator). The
+  // process_name/thread_name metadata events make Perfetto label the
+  // tracks instead of showing bare pid/tid numbers.
+  os << "{\"traceEvents\":["
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+        "\"name\":"
+     << jstr("ppf " + meta.workload + "/" + meta.filter) << "}}";
   for (std::size_t s = 0; s < kNumPrefetchSources; ++s) {
-    if (!first) os << ',';
-    first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << (s + 1) << ",\"args\":{\"name\":"
        << jstr(std::string("prefetch:") +
                to_string(static_cast<PrefetchSource>(s)))
@@ -134,6 +136,10 @@ void write_timeseries_json(std::ostream& os, const RunObservation& obs,
        << jnum(fm.gauges[i].second);
   }
   os << "},\n    \"histograms\": {";
+  // p999 is deliberately not emitted here: ppf.timeseries.v1 is a
+  // pinned byte format (cold-vs-snapshot and jobs=N identity tests
+  // compare these files verbatim). The tail quantile is served by the
+  // stats verb and the Prometheus exposition instead.
   for (std::size_t i = 0; i < fm.histograms.size(); ++i) {
     const HistogramSnapshot& h = fm.histograms[i];
     os << (i == 0 ? "" : ", ") << jstr(h.name) << ": {\"count\": " << h.count
@@ -146,4 +152,75 @@ void write_timeseries_json(std::ostream& os, const RunObservation& obs,
   os << "\n}\n";
 }
 
+namespace {
+
+/// Dotted registry name -> Prometheus metric name: "serve.latency_us"
+/// -> "ppf_serve_latency_us". Any byte outside [A-Za-z0-9_] becomes
+/// '_' so every registry name yields a valid exposition name.
+std::string prom_name(const std::string& name) {
+  std::string out = "ppf_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << jnum(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string n = prom_name(h.name);
+    os << "# TYPE " << n << " summary\n"
+       << n << "{quantile=\"0.5\"} " << jnum(h.p50) << '\n'
+       << n << "{quantile=\"0.95\"} " << jnum(h.p95) << '\n'
+       << n << "{quantile=\"0.99\"} " << jnum(h.p99) << '\n'
+       << n << "{quantile=\"0.999\"} " << jnum(h.p999) << '\n'
+       << n << "_sum " << jnum(h.mean * static_cast<double>(h.count)) << '\n'
+       << n << "_count " << h.count << '\n';
+  }
+}
+
+void write_spans_chrome(std::ostream& os,
+                        const std::vector<ConnectionSpans>& conns,
+                        const std::string& process_name) {
+  // tid 0 is reserved for spans recorded outside any connection (the
+  // flight recorder's conn=0 convention); named anyway so Perfetto
+  // shows a label for every track it renders.
+  os << "{\"traceEvents\":["
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+        "\"name\":"
+     << jstr(process_name) << "}}";
+  std::uint64_t dropped = 0;
+  for (const ConnectionSpans& c : conns) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << c.conn << ",\"args\":{\"name\":"
+       << jstr("conn " + std::to_string(c.conn)) << "}}";
+    dropped += c.dropped;
+  }
+  for (const ConnectionSpans& c : conns) {
+    for (const Span& s : c.spans) {
+      os << ",{\"name\":\"" << to_string(s.name)
+         << "\",\"ph\":\"X\",\"cat\":\"serve\",\"pid\":1,\"tid\":" << c.conn
+         << ",\"ts\":" << s.start_us << ",\"dur\":" << s.dur_us
+         << ",\"args\":{\"request\":" << s.request
+         << ",\"depth\":" << static_cast<unsigned>(s.depth) << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":"
+        "\"ppf.spans.v1\",\"connections\":"
+     << conns.size() << ",\"dropped\":" << dropped << "}}\n";
+}
+
 }  // namespace ppf::obs
+

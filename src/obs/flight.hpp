@@ -1,0 +1,82 @@
+// ppf::obs — crash flight recorder for the serving daemon.
+//
+// A bounded overwrite-oldest ring of the most recent request spans plus
+// free-form notes (errors, check violations, lifecycle marks). On a
+// CheckViolation, a fatal signal, or the `dump` protocol verb, the
+// recorder serializes what it holds as ppf.flight.v1 JSONL — turning
+// "the soak died at hour 3" into a post-mortem artifact that names the
+// last requests in flight and when.
+//
+// Unlike SpanBuffer (drop-newest, per-connection, reconciling counters)
+// the flight ring deliberately keeps the *latest* history: the whole
+// point is what happened just before the crash. spans_seen()/
+// notes_seen() still count every record, so a dump states how much
+// history fell off the ring.
+//
+// Two dump paths:
+//   * dump()/dump_string(): ordinary locked serialization (the `dump`
+//     verb, the CheckViolation handler).
+//   * crash_dump(fd): best-effort from a fatal-signal handler —
+//     try_lock only, fixed stack buffers, snprintf + write(2), no
+//     allocation. If the lock is held by the crashing thread the dump
+//     degrades to a header line rather than deadlocking.
+//
+// Telemetry only — never part of signatures, memo keys, or results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ppf::obs {
+
+/// One free-form flight note ("check_violation", "run_error", ...).
+struct FlightNote {
+  std::uint64_t t_us = 0;  ///< service-epoch microseconds
+  std::string kind;
+  std::string message;
+};
+
+class FlightRecorder {
+ public:
+  /// `span_capacity` recent spans and `note_capacity` recent notes are
+  /// retained (both > 0).
+  explicit FlightRecorder(std::size_t span_capacity,
+                          std::size_t note_capacity = 64);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void note_span(std::uint32_t conn, const Span& s);
+  void note(std::uint64_t t_us, std::string kind, std::string message);
+
+  [[nodiscard]] std::uint64_t spans_seen() const;
+  [[nodiscard]] std::uint64_t notes_seen() const;
+
+  /// Serialize as ppf.flight.v1 JSONL: one header object, then one
+  /// object per retained note and span, oldest first.
+  void dump(std::ostream& os) const;
+  [[nodiscard]] std::string dump_string() const;
+
+  /// Fatal-signal path: try_lock, snprintf into stack buffers, write(2)
+  /// to `fd`. Messages are sanitized to printable ASCII. Never throws,
+  /// never allocates, never blocks.
+  void crash_dump(int fd) const noexcept;
+
+ private:
+  struct FlightSpan {
+    std::uint32_t conn = 0;
+    Span span;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<FlightSpan> spans_;  ///< ring, index = seen % capacity
+  std::vector<FlightNote> notes_;
+  std::uint64_t spans_seen_ = 0;
+  std::uint64_t notes_seen_ = 0;
+};
+
+}  // namespace ppf::obs

@@ -60,6 +60,7 @@ MetricsSnapshot MetricRegistry::snapshot(
     hs.p50 = h->percentile(0.50);
     hs.p95 = h->percentile(0.95);
     hs.p99 = h->percentile(0.99);
+    hs.p999 = h->percentile(0.999);
     hs.max = h->max_seen();
     snap.histograms.push_back(std::move(hs));
   }

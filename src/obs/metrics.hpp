@@ -37,6 +37,7 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   std::uint64_t max = 0;
 };
 

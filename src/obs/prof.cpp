@@ -1,0 +1,47 @@
+#include "obs/prof.hpp"
+
+namespace ppf::obs {
+
+const char* to_string(ProfScopeId id) {
+  switch (id) {
+    case ProfScopeId::ServeParse: return "prof.serve.parse_us";
+    case ProfScopeId::ServeHandle: return "prof.serve.handle_us";
+    case ProfScopeId::ServeMemoLookup: return "prof.serve.memo_lookup_us";
+    case ProfScopeId::ServeSerialize: return "prof.serve.serialize_us";
+    case ProfScopeId::RunlabProbe: return "prof.runlab.probe_us";
+    case ProfScopeId::RunlabSimulate: return "prof.runlab.simulate_us";
+  }
+  return "prof.unknown_us";
+}
+
+Profiler::Profiler() {
+  hists_.reserve(kNumProfScopes);
+  for (std::size_t i = 0; i < kNumProfScopes; ++i) {
+    // 10 us buckets over 20 ms; longer scopes overflow with exact max.
+    hists_.emplace_back(10, 2'000);
+  }
+}
+
+void Profiler::record(ProfScopeId id, std::uint64_t us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hists_[static_cast<std::size_t>(id)].record(us);
+}
+
+void Profiler::append_snapshot(MetricsSnapshot& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    const Histogram& h = hists_[i];
+    HistogramSnapshot hs;
+    hs.name = to_string(static_cast<ProfScopeId>(i));
+    hs.count = h.count();
+    hs.mean = h.mean();
+    hs.p50 = h.percentile(0.50);
+    hs.p95 = h.percentile(0.95);
+    hs.p99 = h.percentile(0.99);
+    hs.p999 = h.percentile(0.999);
+    hs.max = h.max_seen();
+    out.histograms.push_back(std::move(hs));
+  }
+}
+
+}  // namespace ppf::obs

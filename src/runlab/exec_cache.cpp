@@ -1,5 +1,6 @@
 #include "runlab/exec_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "runlab/runner.hpp"
@@ -15,6 +16,13 @@ std::uint64_t active_warmup(const sim::SimConfig& cfg) {
              : 0;
 }
 
+using ProfClock = std::chrono::steady_clock;
+
+double ms_since(ProfClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(ProfClock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 ExecCache::ExecCache(const ExecCacheConfig& cfg)
@@ -22,7 +30,7 @@ ExecCache::ExecCache(const ExecCacheConfig& cfg)
            // Snapshots resume from a seekable arena, so sharing them
            // without the trace cache is not possible.
            cfg.trace_cache && cfg.warmup_share, cfg.trace_budget_bytes,
-           cfg.snapshot_budget_bytes} {}
+           cfg.snapshot_budget_bytes, cfg.profiler} {}
 
 std::size_t ExecCache::needed_records(const Job& job) {
   return job.config.max_instructions + active_warmup(job.config);
@@ -40,28 +48,49 @@ void ExecCache::note_demand(const Job& job) {
   if (need > watermark) watermark = need;
 }
 
-sim::SimResult ExecCache::execute(const Job& job) {
+sim::SimResult ExecCache::execute(const Job& job, ExecTimings* timings) {
   // Static-filter jobs run the two-phase profile/measure flow with an
   // external filter that must survive between the phases — out of scope
   // for arena/snapshot sharing.
   if (!cfg_.trace_cache || job.config.filter == filter::FilterKind::Static) {
-    return execute_job(job);
+    PPF_PROF_SCOPE(cfg_.profiler, obs::ProfScopeId::RunlabSimulate);
+    const ProfClock::time_point t0 = ProfClock::now();
+    sim::SimResult result = execute_job(job);
+    if (timings != nullptr) timings->sim_ms = ms_since(t0);
+    return result;
   }
-  note_demand(job);
-  const ArenaPtr arena = arena_for(job);
-  if (cfg_.warmup_share && active_warmup(job.config) > 0) {
-    const SnapshotPtr snap = snapshot_for(job, arena);
-    if (snap != nullptr) {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        ++counters_.snapshot_resumes;
-      }
-      return sim::run_from_snapshot(job.config, *snap);
+  const ProfClock::time_point probe_start = ProfClock::now();
+  ArenaPtr arena;
+  SnapshotPtr snap;
+  {
+    PPF_PROF_SCOPE(cfg_.profiler, obs::ProfScopeId::RunlabProbe);
+    note_demand(job);
+    arena = arena_for(job);
+    if (cfg_.warmup_share && active_warmup(job.config) > 0) {
+      snap = snapshot_for(job, arena);
     }
+  }
+  if (timings != nullptr) timings->probe_ms = ms_since(probe_start);
+
+  PPF_PROF_SCOPE(cfg_.profiler, obs::ProfScopeId::RunlabSimulate);
+  const ProfClock::time_point sim_start = ProfClock::now();
+  if (snap != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counters_.snapshot_resumes;
+    }
+    sim::SimResult result = sim::run_from_snapshot(job.config, *snap);
+    if (timings != nullptr) {
+      timings->sim_ms = ms_since(sim_start);
+      timings->snapshot_resume = true;
+    }
+    return result;
   }
   workload::TraceCursor cursor(arena);
   sim::Simulator s(job.config);
-  return s.run(cursor);
+  sim::SimResult result = s.run(cursor);
+  if (timings != nullptr) timings->sim_ms = ms_since(sim_start);
+  return result;
 }
 
 ExecCacheStats ExecCache::stats() const {

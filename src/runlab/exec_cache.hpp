@@ -31,6 +31,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/prof.hpp"
 #include "runlab/sweep.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -52,6 +53,18 @@ struct ExecCacheConfig {
   std::size_t trace_budget_bytes = 0;
   /// LRU byte budget for resident warmup snapshots; 0 = unbounded.
   std::size_t snapshot_budget_bytes = 0;
+  /// Optional wall-clock profiler: when set, execute() wraps its cache
+  /// probe and simulation in PPF_PROF_SCOPE probes (prof.runlab.*).
+  /// Telemetry only — results are byte-identical either way.
+  obs::Profiler* profiler = nullptr;
+};
+
+/// Wall-clock telemetry for one execute() call (feeds the serve layer's
+/// request spans). Never part of results or signatures.
+struct ExecTimings {
+  double probe_ms = 0.0;  ///< arena + snapshot cache acquisition
+  double sim_ms = 0.0;    ///< simulation (cold run or snapshot resume)
+  bool snapshot_resume = false;
 };
 
 /// Monotone counters + point-in-time residency. Snapshot via stats();
@@ -85,8 +98,9 @@ class ExecCache {
   /// Execute one job through the caches: arena cursor + warmup-snapshot
   /// resume when possible, plain execute_job otherwise (trace_cache off,
   /// or a static-filter job whose two-phase flow is out of scope).
-  /// Throws what the simulation throws.
-  sim::SimResult execute(const Job& job);
+  /// Throws what the simulation throws. `timings` (optional) receives
+  /// wall-clock telemetry for the call.
+  sim::SimResult execute(const Job& job, ExecTimings* timings = nullptr);
 
   [[nodiscard]] ExecCacheStats stats() const;
 

@@ -171,7 +171,13 @@ void drive_connection(const LoadOptions& opts, std::atomic<std::size_t>& next,
     ++tally.rep.sent;
     ++tally.rep.ok;
     if (cached) ++tally.rep.cached;
-    tally.latency_us.record(us < 0 ? 0 : static_cast<std::uint64_t>(us));
+    // Warmup exclusion goes by global issue order: the first
+    // warmup_requests requests pay the one-time arena/snapshot builds.
+    if (i < opts.warmup_requests) {
+      ++tally.rep.warmup_excluded;
+    } else {
+      tally.latency_us.record(us < 0 ? 0 : static_cast<std::uint64_t>(us));
+    }
     if (opts.verify_bytes) {
       std::string& first = tally.first_body[config_idx];
       if (first.empty()) {
@@ -226,7 +232,9 @@ LoadReport run_load(const LoadOptions& opts) {
     rep.latency_p50_us = tally.latency_us.percentile(0.50);
     rep.latency_p95_us = tally.latency_us.percentile(0.95);
     rep.latency_p99_us = tally.latency_us.percentile(0.99);
+    rep.latency_p999_us = tally.latency_us.percentile(0.999);
     rep.latency_max_us = tally.latency_us.max_seen();
+    rep.latency_samples = tally.latency_us.count();
   }
   rep.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
                     .count();
@@ -268,13 +276,33 @@ std::string describe(const LoadReport& rep) {
      << "load: latency mean " << sim::fmt(rep.latency_mean_us / 1000.0, 2)
      << " ms, p50 " << sim::fmt(rep.latency_p50_us / 1000.0, 2) << " ms, p95 "
      << sim::fmt(rep.latency_p95_us / 1000.0, 2) << " ms, p99 "
-     << sim::fmt(rep.latency_p99_us / 1000.0, 2) << " ms, max "
+     << sim::fmt(rep.latency_p99_us / 1000.0, 2) << " ms, p99.9 "
+     << sim::fmt(rep.latency_p999_us / 1000.0, 2) << " ms, max "
      << sim::fmt(static_cast<double>(rep.latency_max_us) / 1000.0, 2)
-     << " ms\n";
+     << " ms (" << rep.latency_samples << " samples)\n";
+  if (rep.warmup_excluded > 0) {
+    os << "load: warmup: first " << rep.warmup_excluded
+       << " requests excluded from latency percentiles\n";
+  }
   if (!rep.first_error.empty()) {
     os << "load: first error: " << rep.first_error << "\n";
   }
   return os.str();
+}
+
+std::string fetch_verb(const std::string& host, std::uint16_t port,
+                       const std::string& verb) {
+  ClientConn conn(host, port);
+  std::ostringstream req;
+  req << "{\"op\":";
+  runlab::write_json_string(req, verb);
+  req << ",\"id\":0}";
+  std::string response;
+  if (!conn.send_line(req.str()) || !conn.recv_line(response)) {
+    throw std::runtime_error("fetch_verb(" + verb +
+                             "): connection dropped before a response");
+  }
+  return response;
 }
 
 }  // namespace ppf::serve

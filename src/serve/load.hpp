@@ -35,6 +35,11 @@ struct LoadOptions {
   bool fetch_stats = true;
   /// Send the `shutdown` verb once the run (and stats fetch) finishes.
   bool send_shutdown = false;
+  /// Exclude the first N requests (by global issue order) from the
+  /// latency percentiles — they pay one-time arena/snapshot builds and
+  /// would otherwise dominate the tail of a short soak. Verification
+  /// still covers them.
+  std::size_t warmup_requests = 0;
 };
 
 struct LoadReport {
@@ -46,12 +51,15 @@ struct LoadReport {
   std::string first_error;   ///< first failure observed, for diagnosis
   double wall_ms = 0.0;
   double requests_per_sec = 0.0;
-  // Client-observed request latency, microseconds.
+  // Client-observed request latency, microseconds (post-warmup samples).
   double latency_mean_us = 0.0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
   std::uint64_t latency_max_us = 0;
+  std::size_t latency_samples = 0;   ///< requests in the percentiles
+  std::size_t warmup_excluded = 0;   ///< requests excluded as warmup
   std::string stats_json;  ///< raw stats response (when fetch_stats)
 };
 
@@ -61,7 +69,14 @@ struct LoadReport {
 /// they are counted in the report.
 LoadReport run_load(const LoadOptions& opts);
 
-/// Human-readable one-screen rendering of a report.
+/// Human-readable one-screen rendering of a report. The format is
+/// pinned by tests/serve/telemetry_test.cpp — CI greps it.
 std::string describe(const LoadReport& rep);
+
+/// One-shot client: send `{"op":<verb>,"id":0}` and return the raw
+/// response line. Throws std::runtime_error on connect/IO failure.
+/// Backs ppf_load's scrape= mode (metrics / stats / dump / shutdown).
+std::string fetch_verb(const std::string& host, std::uint16_t port,
+                       const std::string& verb);
 
 }  // namespace ppf::serve

@@ -223,6 +223,12 @@ const std::vector<VerbDoc>& verb_docs() {
       {"stats",
        "serving metrics snapshot (admission, memo, latency histograms) "
        "from the obs registry"},
+      {"metrics",
+       "Prometheus text-format exposition of the serving registry and "
+       "profiler histograms, carried in the \"body\" field"},
+      {"dump",
+       "flight-recorder dump: recent request spans and notes as "
+       "ppf.flight.v1 JSONL in the \"body\" field"},
       {"shutdown",
        "request graceful shutdown: drain in-flight work, then close"},
   };
@@ -240,6 +246,8 @@ const std::vector<ErrorCodeDoc>& error_code_docs() {
        "admission queue at capacity; resubmit after backoff"},
       {"shutting_down", "daemon is draining; no new work accepted"},
       {"internal", "simulation failed; message carries the job repro"},
+      {"flight_disabled",
+       "flight recorder is off (flight_recorder=0); no dump available"},
   };
   return docs;
 }

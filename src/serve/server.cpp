@@ -11,6 +11,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/prof.hpp"
+
 namespace ppf::serve {
 
 namespace {
@@ -123,6 +125,9 @@ void Server::serve(ShutdownRequest& shutdown) {
 }
 
 void Server::connection_loop(int fd, ShutdownRequest& shutdown) {
+  // One span log per connection: this thread is the ring's only
+  // producer, so recording needs no lock.
+  Service::ConnectionLog* log = service_.open_connection();
   std::string buf;
   char chunk[4096];
   bool open = true;
@@ -134,13 +139,17 @@ void Server::connection_loop(int fd, ShutdownRequest& shutdown) {
       buf.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      const ParseResult parsed = parse_request(line);
+      ParseResult parsed;
+      {
+        PPF_PROF_SCOPE(service_.profiler(), obs::ProfScopeId::ServeParse);
+        parsed = parse_request(line);
+      }
       std::string response;
       if (!parsed.ok) {
         service_.note_bad_request();
         response = error_response(0, "bad_request", parsed.error);
       } else {
-        Handled h = service_.handle(parsed.req);
+        Handled h = service_.handle(parsed.req, log);
         response = std::move(h.response);
         if (h.shutdown) shutdown.request();
       }

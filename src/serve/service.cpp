@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
 #include "diff/signature.hpp"
 #include "runlab/runner.hpp"
 #include "runlab/sinks.hpp"
@@ -24,18 +26,30 @@ std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
   return d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
 }
 
-runlab::ExecCacheConfig cache_config(const ServiceConfig& cfg) {
+runlab::ExecCacheConfig cache_config(const ServiceConfig& cfg,
+                                     obs::Profiler* prof) {
   runlab::ExecCacheConfig cc;
   cc.trace_budget_bytes = cfg.trace_cache_mb << 20;
   cc.snapshot_budget_bytes = cfg.snapshot_cache_mb << 20;
+  cc.profiler = prof;
   return cc;
+}
+
+/// Clamp a wall-clock duration into a span's 32-bit microsecond field.
+std::uint32_t clamp_dur(std::uint64_t us) {
+  return us > 0xffffffffu ? 0xffffffffu : static_cast<std::uint32_t>(us);
 }
 
 }  // namespace
 
 Service::Service(const ServiceConfig& cfg)
     : cfg_(cfg),
-      cache_(cache_config(cfg)),
+      prof_(cfg.prof ? std::make_unique<obs::Profiler>() : nullptr),
+      flight_(cfg.flight_recorder > 0 ? std::make_unique<obs::FlightRecorder>(
+                                            cfg.flight_recorder)
+                                      : nullptr),
+      cache_(cache_config(cfg, prof_.get())),
+      epoch_(Clock::now()),
       // 100 us buckets over a 2 s range: request latencies on this
       // service are dominated by simulation time (ms to low seconds for
       // CLI-scale windows); beyond-range samples land in the overflow
@@ -166,15 +180,51 @@ runlab::Job Service::make_job(const std::string& config) const {
   return job;
 }
 
-Handled Service::handle(const Request& req) {
+std::uint64_t Service::now_us() const {
+  return us_between(epoch_, Clock::now());
+}
+
+Service::ConnectionLog* Service::open_connection() {
+  if (cfg_.span_buffer == 0) return nullptr;
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  const auto id = static_cast<std::uint32_t>(conns_.size() + 1);
+  conns_.emplace_back(id, cfg_.span_buffer);
+  return &conns_.back();
+}
+
+void Service::publish_span(ConnectionLog* conn, const obs::Span& s) {
+  if (conn != nullptr) conn->spans.record(s);
+  if (flight_) flight_->note_span(conn != nullptr ? conn->id : 0, s);
+}
+
+std::vector<obs::ConnectionSpans> Service::span_dump() const {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  std::vector<obs::ConnectionSpans> out;
+  out.reserve(conns_.size());
+  for (const ConnectionLog& c : conns_) {
+    obs::ConnectionSpans cs;
+    cs.conn = c.id;
+    cs.spans = c.spans.snapshot();
+    cs.dropped = c.spans.dropped();
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+Handled Service::handle(const Request& req, ConnectionLog* conn) {
+  PPF_PROF_SCOPE(prof_.get(), obs::ProfScopeId::ServeHandle);
   requests_.fetch_add(1, std::memory_order_relaxed);
   Handled out;
   if (req.verb == "run") {
-    out.response = handle_run(req);
+    out.response = handle_run(req, conn);
   } else if (req.verb == "ping") {
     out.response = pong_response(req.id);
   } else if (req.verb == "stats") {
     out.response = stats_response(req.id);
+  } else if (req.verb == "metrics") {
+    out.response = metrics_response(req.id);
+  } else if (req.verb == "dump") {
+    out.response = dump_response(req.id);
   } else if (req.verb == "shutdown") {
     begin_shutdown();
     std::ostringstream os;
@@ -188,7 +238,7 @@ Handled Service::handle(const Request& req) {
   return out;
 }
 
-std::string Service::handle_run(const Request& req) {
+std::string Service::handle_run(const Request& req, ConnectionLog* conn) {
   const Clock::time_point t0 = Clock::now();
   const auto cfg_it = req.fields.find("config");
   if (cfg_it == req.fields.end()) {
@@ -214,14 +264,47 @@ std::string Service::handle_run(const Request& req) {
     if (miss) miss_latency_us_.record(us);
   };
 
+  // Span plumbing. Everything here is wall-clock telemetry: the spans
+  // never touch the response bytes, the memo, or the signature.
+  const bool want_spans = conn != nullptr || flight_ != nullptr;
+  const std::uint64_t req_start_us = want_spans ? now_us() : 0;
+  const auto span = [&](obs::SpanName name, std::uint64_t start,
+                        std::uint64_t end, std::uint8_t depth) {
+    obs::Span s;
+    s.request = req.id;
+    s.name = name;
+    s.start_us = start;
+    s.dur_us = clamp_dur(end > start ? end - start : 0);
+    s.depth = depth;
+    publish_span(conn, s);
+  };
+
   std::string body;
-  if (cfg_.memo && memo_.lookup(signature, body)) {
-    const std::string response = result_response(req.id, true, body);
+  bool memo_hit = false;
+  const std::uint64_t lookup_start_us = want_spans ? now_us() : 0;
+  {
+    PPF_PROF_SCOPE(prof_.get(), obs::ProfScopeId::ServeMemoLookup);
+    memo_hit = cfg_.memo && memo_.lookup(signature, body);
+  }
+  const std::uint64_t lookup_end_us = want_spans ? now_us() : 0;
+  if (memo_hit) {
+    const std::uint64_t ser_start_us = want_spans ? now_us() : 0;
+    std::string response;
+    {
+      PPF_PROF_SCOPE(prof_.get(), obs::ProfScopeId::ServeSerialize);
+      response = result_response(req.id, true, body);
+    }
     record_latency(false);
+    if (want_spans) {
+      const std::uint64_t end_us = now_us();
+      span(obs::SpanName::Request, req_start_us, end_us, 0);
+      span(obs::SpanName::MemoLookup, lookup_start_us, lookup_end_us, 1);
+      span(obs::SpanName::Serialize, ser_start_us, end_us, 1);
+    }
     return response;
   }
 
-  auto task = std::make_unique<Task>();
+  auto task = std::make_shared<Task>();
   task->job = std::move(job);
   task->signature = signature;
   std::future<std::string> fut = task->body.get_future();
@@ -238,7 +321,8 @@ std::string Service::handle_run(const Request& req) {
                             "admission queue at capacity (" +
                                 std::to_string(cfg_.queue_depth) + ")");
     }
-    queue_.push_back(std::move(task));
+    task->enqueue_us = now_us();
+    queue_.push_back(task);
     admitted_.fetch_add(1, std::memory_order_relaxed);
   }
   work_cv_.notify_one();
@@ -250,8 +334,44 @@ std::string Service::handle_run(const Request& req) {
     return error_response(req.id, "internal", e.what());
   }
   if (cfg_.memo) memo_.insert(signature, body);
-  const std::string response = result_response(req.id, false, body);
+  const std::uint64_t ser_start_us = want_spans ? now_us() : 0;
+  std::string response;
+  {
+    PPF_PROF_SCOPE(prof_.get(), obs::ProfScopeId::ServeSerialize);
+    response = result_response(req.id, false, body);
+  }
   record_latency(true);
+  if (want_spans) {
+    // The worker stamped the task's timing fields before set_value, so
+    // the future's happens-before makes them safe to read here.
+    const std::uint64_t end_us = now_us();
+    span(obs::SpanName::Request, req_start_us, end_us, 0);
+    span(obs::SpanName::MemoLookup, lookup_start_us, lookup_end_us, 1);
+    span(obs::SpanName::QueueWait, task->enqueue_us, task->exec_start_us, 1);
+    span(obs::SpanName::Execute, task->exec_start_us, task->exec_end_us, 1);
+    // Inside Execute: the cache probe, then the per-stage kernel time
+    // from the engine's stage accounting, laid out sequentially (the
+    // stage totals are sampled wall-clock sums, not intervals).
+    std::uint64_t cursor_us =
+        task->exec_start_us +
+        static_cast<std::uint64_t>(task->timings.probe_ms * 1000.0);
+    if (task->timings.probe_ms > 0.0) {
+      span(obs::SpanName::CacheProbe, task->exec_start_us, cursor_us, 2);
+    }
+    const std::pair<obs::SpanName, double> stages[] = {
+        {obs::SpanName::StageFetch, task->stages.fetch_ns},
+        {obs::SpanName::StageProbe, task->stages.probe_ns},
+        {obs::SpanName::StageRetire, task->stages.retire_ns},
+        {obs::SpanName::StageMemsys, task->stages.memsys_ns},
+    };
+    for (const auto& [name, ns] : stages) {
+      const auto dur = static_cast<std::uint64_t>(ns / 1000.0);
+      if (dur == 0) continue;
+      span(name, cursor_us, cursor_us + dur, 2);
+      cursor_us += dur;
+    }
+    span(obs::SpanName::Serialize, ser_start_us, end_us, 1);
+  }
   return response;
 }
 
@@ -259,8 +379,40 @@ obs::MetricsSnapshot Service::metrics_snapshot() const {
   // Counters are registered with an all-zero baseline (the daemon's
   // lifetime IS the measurement window). hist_mu_ serializes the
   // histogram summaries against concurrent record() calls.
-  std::lock_guard<std::mutex> lk(hist_mu_);
-  return registry_.snapshot({});
+  obs::MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(hist_mu_);
+    snap = registry_.snapshot({});
+  }
+  // The profiler keeps its own lock, so its histograms are appended
+  // outside hist_mu_ (no lock-order coupling between the two).
+  if (prof_) prof_->append_snapshot(snap);
+  return snap;
+}
+
+std::string Service::metrics_response(std::uint64_t id) const {
+  std::ostringstream text;
+  obs::write_prometheus(text, metrics_snapshot());
+  std::ostringstream os;
+  os << "{\"op\":\"metrics\",\"id\":" << id
+     << ",\"content_type\":\"text/plain; version=0.0.4\",\"body\":";
+  runlab::write_json_string(os, text.str());
+  os << "}";
+  return os.str();
+}
+
+std::string Service::dump_response(std::uint64_t id) const {
+  if (!flight_) {
+    return error_response(id, "flight_disabled",
+                          "flight recorder is off (flight_recorder=0)");
+  }
+  std::ostringstream os;
+  os << "{\"op\":\"dump\",\"id\":" << id
+     << ",\"spans\":" << flight_->spans_seen()
+     << ",\"notes\":" << flight_->notes_seen() << ",\"body\":";
+  runlab::write_json_string(os, flight_->dump_string());
+  os << "}";
+  return os.str();
 }
 
 std::string Service::stats_response(std::uint64_t id) const {
@@ -286,7 +438,8 @@ std::string Service::stats_response(std::uint64_t id) const {
        << ",\"mean\":" << sim::fmt(h.mean, 3)
        << ",\"p50\":" << sim::fmt(h.p50, 3)
        << ",\"p95\":" << sim::fmt(h.p95, 3)
-       << ",\"p99\":" << sim::fmt(h.p99, 3) << ",\"max\":" << h.max << "}";
+       << ",\"p99\":" << sim::fmt(h.p99, 3)
+       << ",\"p999\":" << sim::fmt(h.p999, 3) << ",\"max\":" << h.max << "}";
   }
   os << "]}";
   return os.str();
@@ -308,7 +461,7 @@ void Service::drain() {
 
 void Service::worker_loop() {
   for (;;) {
-    std::unique_ptr<Task> task;
+    std::shared_ptr<Task> task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -322,12 +475,27 @@ void Service::worker_loop() {
       ++inflight_;
     }
     try {
-      const sim::SimResult result = cache_.execute(task->job);
+      task->exec_start_us = now_us();
+      const sim::SimResult result = cache_.execute(task->job, &task->timings);
+      task->exec_end_us = now_us();
+      task->stages = result.core.stages;
       std::ostringstream os;
       os << "\"ok\":true,\"metrics\":";
       runlab::write_metrics_json(os, result);
       os << "}";
       task->body.set_value(os.str());
+    } catch (const check::CheckViolation& e) {
+      // A tripped simulator invariant is exactly what the flight
+      // recorder exists for: note it and dump the recent spans before
+      // answering the client through the usual error convention.
+      if (flight_) {
+        flight_->note(now_us(), "check_violation",
+                      runlab::job_repro(task->job) + ": " + e.what());
+        std::ofstream out(cfg_.flight_out, std::ios::trunc);
+        if (out) flight_->dump(out);  // best effort
+      }
+      task->body.set_exception(std::make_exception_ptr(std::runtime_error(
+          runlab::job_repro(task->job) + ": " + e.what())));
     } catch (const std::exception& e) {
       // Same convention as runlab failure records: lead with the job
       // identity so an error response is reproducible on its own.

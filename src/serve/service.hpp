@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,7 +37,12 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/span.hpp"
 #include "runlab/exec_cache.hpp"
 #include "runlab/sweep.hpp"
 #include "serve/memo.hpp"
@@ -56,6 +62,17 @@ struct ServiceConfig {
   bool memo = true;
   /// Measurement window for configs that do not set instructions=.
   std::uint64_t default_instructions = 1'000'000;
+  /// Wall-clock profiler probes (PPF_PROF_SCOPE) on serve and runlab
+  /// hot paths; histograms join the metrics exposition. Telemetry only.
+  bool prof = false;
+  /// Request-span ring capacity per connection; 0 disables span
+  /// recording (open_connection() returns nullptr).
+  std::size_t span_buffer = 4096;
+  /// Flight-recorder span ring capacity; 0 disables the recorder (the
+  /// dump verb answers flight_disabled).
+  std::size_t flight_recorder = 2048;
+  /// Where CheckViolation / fatal-signal flight dumps land.
+  std::string flight_out = "ppf_serve_flight.jsonl";
 };
 
 /// What Service::handle produced for one request.
@@ -78,9 +95,27 @@ class Service {
   /// Throws std::invalid_argument on unknown keys / values / benchmark.
   [[nodiscard]] runlab::Job make_job(const std::string& config) const;
 
+  /// One connection's identity plus its span ring. The server hands one
+  /// to each connection thread; handle() records that request's span
+  /// tree into it (single producer — the connection thread — so the
+  /// ring needs no producer-side lock).
+  struct ConnectionLog {
+    std::uint32_t id = 0;
+    obs::SpanBuffer spans;
+    ConnectionLog(std::uint32_t id_, std::size_t capacity)
+        : id(id_), spans(capacity) {}
+  };
+
+  /// Register a new connection and get its span log; nullptr when span
+  /// recording is off (span_buffer=0). Logs live until the Service dies
+  /// so span_dump() covers closed connections too.
+  ConnectionLog* open_connection();
+
   /// Dispatch one parsed request. Blocks for `run` until the result is
   /// computed (or served from memo); everything else answers instantly.
-  [[nodiscard]] Handled handle(const Request& req);
+  /// `conn` (optional) receives the request's span tree.
+  [[nodiscard]] Handled handle(const Request& req,
+                               ConnectionLog* conn = nullptr);
 
   /// Count a request that failed protocol parsing (the server answers
   /// those before a Request exists, so Service::handle never sees them).
@@ -100,19 +135,46 @@ class Service {
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
   [[nodiscard]] std::size_t workers() const { return threads_.size(); }
 
+  /// The profiler when prof=true, else nullptr (PPF_PROF_SCOPE treats
+  /// nullptr as "probe off").
+  [[nodiscard]] obs::Profiler* profiler() const { return prof_.get(); }
+  /// The flight recorder when flight_recorder>0, else nullptr.
+  [[nodiscard]] obs::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// Every connection's recorded spans, for obs::write_spans_chrome.
+  /// Safe while connections are live (readers see a consistent prefix).
+  [[nodiscard]] std::vector<obs::ConnectionSpans> span_dump() const;
+
  private:
   struct Task {
     runlab::Job job;
     std::string signature;
     std::promise<std::string> body;  ///< run body or thrown exception
+    // Wall-clock telemetry filled by the worker before set_value; the
+    // connection thread reads it after fut.get() (the promise/future
+    // pair gives the happens-before). Never part of the response body.
+    std::uint64_t enqueue_us = 0;
+    std::uint64_t exec_start_us = 0;
+    std::uint64_t exec_end_us = 0;
+    runlab::ExecTimings timings;
+    core::StageStats stages;
   };
 
-  [[nodiscard]] std::string handle_run(const Request& req);
+  [[nodiscard]] std::string handle_run(const Request& req,
+                                       ConnectionLog* conn);
   [[nodiscard]] std::string stats_response(std::uint64_t id) const;
+  [[nodiscard]] std::string metrics_response(std::uint64_t id) const;
+  [[nodiscard]] std::string dump_response(std::uint64_t id) const;
   void worker_loop();
   void register_metrics();
+  [[nodiscard]] std::uint64_t now_us() const;
+  void publish_span(ConnectionLog* conn, const obs::Span& s);
 
   ServiceConfig cfg_;
+  // Declared before cache_ so cache_config() can hand cache_ the
+  // profiler pointer.
+  std::unique_ptr<obs::Profiler> prof_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   runlab::ExecCache cache_;
   ResultMemo memo_;
   obs::MetricRegistry registry_;
@@ -120,11 +182,17 @@ class Service {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< workers wait for tasks
   std::condition_variable drain_cv_;  ///< drain() waits for idle
-  std::deque<std::unique_ptr<Task>> queue_;
+  std::deque<std::shared_ptr<Task>> queue_;
   std::size_t inflight_ = 0;
   bool stop_ = false;
   std::atomic<bool> draining_{false};
   std::vector<std::thread> threads_;
+
+  // Span timestamps are offsets from this epoch so a whole soak shares
+  // one timeline origin.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex conns_mu_;
+  std::deque<ConnectionLog> conns_;  ///< deque: stable addresses
 
   // Serving-decision counters (monotone; registry reads them back).
   std::atomic<std::uint64_t> requests_{0};

@@ -1,0 +1,21 @@
+#include <string>
+#include <vector>
+
+namespace ppf::obs {
+
+struct SpanNameDoc {
+  std::string name;
+  std::string help;
+};
+
+// This fixture has no docs/OBSERVABILITY.md at all, so the catalogue
+// below is undocumented: the span-name-docs rule must flag the entry.
+const std::vector<SpanNameDoc>& span_name_docs() {
+  static const std::vector<SpanNameDoc> docs = {
+      {"serve.totally_undocumented_span",
+       "a span name no OBSERVABILITY.md explains"},
+  };
+  return docs;
+}
+
+}  // namespace ppf::obs

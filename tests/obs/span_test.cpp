@@ -1,0 +1,249 @@
+// Serving-telemetry unit tests: SpanBuffer drop-newest reconciliation,
+// the span-name catalogue, the Prometheus exposition and span Chrome
+// export writers, the flight recorder's overwrite-oldest rings, and the
+// wall-clock profiler (including the null-profiler fast path).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace ppf;
+
+obs::Span make_span(std::uint64_t request, obs::SpanName name,
+                    std::uint64_t start_us, std::uint32_t dur_us,
+                    std::uint8_t depth) {
+  obs::Span s;
+  s.request = request;
+  s.name = name;
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  s.depth = depth;
+  return s;
+}
+
+TEST(SpanBuffer, DropNewestKeepsPrefixAndReconcilesExactly) {
+  obs::SpanBuffer buf(4);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    buf.record(make_span(i, obs::SpanName::Request, i * 100, 10, 0));
+  }
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.attempted(), 7u);
+  EXPECT_EQ(buf.recorded(), 4u);
+  EXPECT_EQ(buf.dropped(), 3u);
+  EXPECT_EQ(buf.attempted(), buf.recorded() + buf.dropped());
+
+  const std::vector<obs::Span> snap = buf.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::uint64_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].request, i);  // first 4 kept verbatim, in order
+    EXPECT_EQ(snap[i].start_us, i * 100);
+  }
+}
+
+TEST(SpanBuffer, ConcurrentReadersSeeAConsistentPrefix) {
+  // One producer, one reader hammering snapshot(): every snapshot must
+  // be a prefix of the record sequence (request ids 0..n-1 in order),
+  // and the final reconciliation must be exact. Runs under TSan in the
+  // obs label of a tsan build.
+  obs::SpanBuffer buf(512);
+  std::thread reader([&] {
+    for (int k = 0; k < 2'000; ++k) {
+      const std::vector<obs::Span> snap = buf.snapshot();
+      for (std::uint64_t i = 0; i < snap.size(); ++i) {
+        ASSERT_EQ(snap[i].request, i);
+      }
+      ASSERT_LE(buf.recorded(), buf.attempted());
+    }
+  });
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    buf.record(make_span(i, obs::SpanName::Execute, i, 1, 1));
+  }
+  reader.join();
+  EXPECT_EQ(buf.attempted(), 10'000u);
+  EXPECT_EQ(buf.recorded(), 512u);
+  EXPECT_EQ(buf.dropped(), 10'000u - 512u);
+}
+
+TEST(SpanName, CatalogueCoversEveryNameAndMatchesToString) {
+  const std::vector<obs::SpanNameDoc>& docs = obs::span_name_docs();
+  ASSERT_EQ(docs.size(), obs::kNumSpanNames);
+  for (std::size_t i = 0; i < obs::kNumSpanNames; ++i) {
+    EXPECT_EQ(docs[i].name,
+              obs::to_string(static_cast<obs::SpanName>(i)));
+    EXPECT_FALSE(docs[i].help.empty()) << docs[i].name;
+  }
+}
+
+TEST(Prometheus, ExposesCountersGaugesAndSummaries) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("serve.requests", 42);
+  snap.gauges.emplace_back("serve.queue_depth", 3.0);
+  obs::HistogramSnapshot h;
+  h.name = "serve.latency_us";
+  h.count = 10;
+  h.mean = 150.0;
+  h.p50 = 100.0;
+  h.p95 = 400.0;
+  h.p99 = 450.0;
+  h.p999 = 490.0;
+  h.max = 500;
+  snap.histograms.push_back(h);
+
+  std::ostringstream os;
+  obs::write_prometheus(os, snap);
+  const std::string out = os.str();
+  // Dotted names munge to ppf_-prefixed underscore names.
+  EXPECT_NE(out.find("# TYPE ppf_serve_requests counter\n"
+                     "ppf_serve_requests 42\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE ppf_serve_queue_depth gauge\n"
+                     "ppf_serve_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE ppf_serve_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(out.find("ppf_serve_latency_us{quantile=\"0.5\"} 100"),
+            std::string::npos);
+  EXPECT_NE(out.find("ppf_serve_latency_us{quantile=\"0.999\"} 490"),
+            std::string::npos);
+  EXPECT_NE(out.find("ppf_serve_latency_us_sum 1500"), std::string::npos);
+  EXPECT_NE(out.find("ppf_serve_latency_us_count 10"), std::string::npos);
+  // Deterministic: same snapshot, same bytes.
+  std::ostringstream os2;
+  obs::write_prometheus(os2, snap);
+  EXPECT_EQ(out, os2.str());
+}
+
+TEST(SpansChrome, EmitsProcessThreadMetadataAndCompleteEvents) {
+  obs::ConnectionSpans c1;
+  c1.conn = 1;
+  c1.spans.push_back(make_span(7, obs::SpanName::Request, 100, 50, 0));
+  c1.spans.push_back(make_span(7, obs::SpanName::Execute, 110, 30, 1));
+  obs::ConnectionSpans c2;
+  c2.conn = 2;
+  c2.dropped = 5;
+
+  std::ostringstream os;
+  obs::write_spans_chrome(os, {c1, c2}, "ppf_serve");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"args\":{\"name\":\"ppf_serve\"}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":1,\"args\":{\"name\":\"conn 1\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"serve.request\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ts\":100,\"dur\":50"), std::string::npos);
+  EXPECT_NE(out.find("\"schema\":\"ppf.spans.v1\",\"connections\":2,"
+                     "\"dropped\":5"),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, KeepsLatestHistoryAndDumpsValidJsonl) {
+  obs::FlightRecorder rec(3, 2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.note_span(static_cast<std::uint32_t>(i % 2),
+                  make_span(i, obs::SpanName::Request, i * 10, 5, 0));
+  }
+  rec.note(100, "lifecycle", "accepting");
+  rec.note(200, "check_violation", "mem.lru \"bad\" state");
+  rec.note(300, "lifecycle", "drained");
+  EXPECT_EQ(rec.spans_seen(), 5u);
+  EXPECT_EQ(rec.notes_seen(), 3u);
+
+  const std::string out = rec.dump_string();
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  // header + 2 retained notes + 3 retained spans
+  ASSERT_EQ(all.size(), 6u);
+  for (const std::string& l : all) {
+    ASSERT_FALSE(l.empty());
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+  EXPECT_NE(all[0].find("\"schema\":\"ppf.flight.v1\""), std::string::npos);
+  EXPECT_NE(all[0].find("\"spans_seen\":5"), std::string::npos);
+  EXPECT_NE(all[0].find("\"spans_retained\":3"), std::string::npos);
+  EXPECT_NE(all[0].find("\"notes_seen\":3"), std::string::npos);
+  // Overwrite-oldest: the oldest note (t=100) fell off; retained notes
+  // are oldest-first.
+  EXPECT_EQ(out.find("\"t_us\":100"), std::string::npos);
+  EXPECT_LT(out.find("\"t_us\":200"), out.find("\"t_us\":300"));
+  // Spans 0 and 1 fell off the 3-slot ring; 2..4 remain oldest-first.
+  EXPECT_EQ(out.find("\"request\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"request\":2"), std::string::npos);
+  EXPECT_LT(out.find("\"request\":2"), out.find("\"request\":4"));
+  // The note message had a quote in it — must come out escaped.
+  EXPECT_NE(out.find("\\\"bad\\\""), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpMatchesStreamDump) {
+  obs::FlightRecorder rec(4);
+  rec.note_span(1, make_span(9, obs::SpanName::Serialize, 10, 2, 1));
+  std::ostringstream os;
+  rec.dump(os);
+  EXPECT_EQ(os.str(), rec.dump_string());
+}
+
+TEST(Profiler, RecordsIntoPerScopeHistograms) {
+  obs::Profiler prof;
+  prof.record(obs::ProfScopeId::ServeParse, 10);
+  prof.record(obs::ProfScopeId::ServeParse, 30);
+  prof.record(obs::ProfScopeId::RunlabSimulate, 5'000);
+
+  obs::MetricsSnapshot snap;
+  prof.append_snapshot(snap);
+  ASSERT_EQ(snap.histograms.size(), obs::kNumProfScopes);
+  EXPECT_EQ(snap.histograms[0].name, "prof.serve.parse_us");
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean, 20.0);
+  bool found_sim = false;
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "prof.runlab.simulate_us") {
+      found_sim = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.max, 5'000u);
+    } else if (h.name != "prof.serve.parse_us") {
+      EXPECT_EQ(h.count, 0u) << h.name;
+    }
+  }
+  EXPECT_TRUE(found_sim);
+}
+
+TEST(Profiler, NullProfilerScopeIsSafeAndScopesAggregate) {
+  {
+    // The daemon's default: prof= off, every probe is one pointer test.
+    PPF_PROF_SCOPE(static_cast<obs::Profiler*>(nullptr),
+                   obs::ProfScopeId::ServeHandle);
+  }
+  obs::Profiler prof;
+  {
+    PPF_PROF_SCOPE(&prof, obs::ProfScopeId::ServeHandle);
+  }
+  obs::MetricsSnapshot snap;
+  prof.append_snapshot(snap);
+  bool found = false;
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "prof.serve.handle_us") {
+      found = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -104,6 +104,24 @@ TEST(TraceExport, ChromeFormatHasTrustedSkeleton) {
   EXPECT_NE(out.find("\"displayTimeUnit\""), std::string::npos);
 }
 
+TEST(TraceExport, ChromeEmitsProcessAndThreadNameMetadata) {
+  // Regression guard for the Perfetto labelling: without the
+  // process_name/thread_name metadata events the UI shows bare pid/tid
+  // numbers and a soak trace is unreadable.
+  std::ostringstream os;
+  obs::write_trace_chrome(os, tiny_observation(), {"mcf", "pc"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"args\":{\"name\":\"ppf mcf/pc\"}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"prefetch:nsp\""), std::string::npos);
+  // The metadata must come first so every event can rely on a leading
+  // comma — and the whole thing must still be a single JSON object.
+  EXPECT_LT(out.find("\"process_name\""), out.find("\"ph\":\"i\""));
+}
+
 TEST(TraceExport, TimeseriesCarriesSchemaColumnsRowsAndFinal) {
   std::ostringstream os;
   obs::write_timeseries_json(os, tiny_observation(), {"em3d", "pa"});

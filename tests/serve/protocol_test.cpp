@@ -147,8 +147,10 @@ TEST(Docs, EveryVerbAndErrorCodeIsCatalogued) {
   EXPECT_TRUE(has_verb("run"));
   EXPECT_TRUE(has_verb("ping"));
   EXPECT_TRUE(has_verb("stats"));
+  EXPECT_TRUE(has_verb("metrics"));
+  EXPECT_TRUE(has_verb("dump"));
   EXPECT_TRUE(has_verb("shutdown"));
-  EXPECT_EQ(verb_docs().size(), 4u);
+  EXPECT_EQ(verb_docs().size(), 6u);
 
   const auto has_code = [](const std::string& c) {
     for (const ErrorCodeDoc& d : error_code_docs()) {
@@ -156,11 +158,12 @@ TEST(Docs, EveryVerbAndErrorCodeIsCatalogued) {
     }
     return false;
   };
-  for (const char* code : {"bad_request", "unknown_verb", "bad_config",
-                           "queue_full", "shutting_down", "internal"}) {
+  for (const char* code :
+       {"bad_request", "unknown_verb", "bad_config", "queue_full",
+        "shutting_down", "internal", "flight_disabled"}) {
     EXPECT_TRUE(has_code(code)) << code;
   }
-  EXPECT_EQ(error_code_docs().size(), 6u);
+  EXPECT_EQ(error_code_docs().size(), 7u);
 }
 
 }  // namespace

@@ -1,0 +1,426 @@
+// serve telemetry tests: the metrics/dump verbs (Prometheus exposition
+// and flight-recorder JSONL over the wire protocol), per-request span
+// capture and its drop-newest accounting under concurrent connections
+// (the TSan target of `ctest --preset tsan-serve`), the pinned ppf_load
+// report format with warmup exclusion, and the contract that makes all
+// of it safe to leave on: telemetry at maximum verbosity is
+// byte-invisible in every response.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/shutdown.hpp"
+#include "obs/span.hpp"
+#include "serve/load.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace ppf::serve {
+namespace {
+
+constexpr const char* kTinyConfig =
+    "bench=mcf filter=pc instructions=20000 warmup=0";
+constexpr const char* kOtherConfig =
+    "bench=em3d filter=pc instructions=20000 warmup=0";
+
+ServiceConfig tiny_service_config() {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  return cfg;
+}
+
+Request run_request(std::uint64_t id, const std::string& config) {
+  Request req;
+  req.verb = "run";
+  req.id = id;
+  req.fields["config"] = config;
+  return req;
+}
+
+Request verb_request(const std::string& verb, std::uint64_t id) {
+  Request req;
+  req.verb = verb;
+  req.id = id;
+  return req;
+}
+
+// ---------------------------------------------------------------------
+// metrics verb: Prometheus text exposition carried in the response's
+// "body" field — the response itself must parse under the protocol's
+// own grammar (that is how ppf_load scrape=metrics extracts it).
+
+TEST(Metrics, VerbServesPrometheusTextInTheBodyField) {
+  ServiceConfig cfg = tiny_service_config();
+  cfg.prof = true;
+  Service service(cfg);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const Handled h = service.handle(run_request(id, kTinyConfig));
+    ASSERT_NE(h.response.find("\"ok\":true"), std::string::npos);
+  }
+
+  const Handled h = service.handle(verb_request("metrics", 9));
+  const ParseResult parsed = parse_request(h.response);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << h.response;
+  EXPECT_EQ(parsed.req.verb, "metrics");
+  EXPECT_EQ(parsed.req.id, 9u);
+  EXPECT_EQ(parsed.req.fields.at("content_type"),
+            "text/plain; version=0.0.4");
+
+  const std::string& body = parsed.req.fields.at("body");
+  // The three run requests above all recorded a latency sample.
+  EXPECT_NE(body.find("ppf_serve_latency_us_count 3\n"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE ppf_serve_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("ppf_serve_memo_hits 2\n"), std::string::npos);
+  EXPECT_NE(body.find("ppf_serve_latency_us{quantile=\"0.999\"}"),
+            std::string::npos);
+  // prof=true: the wall-clock profiler histograms join the exposition.
+  // The metrics request itself is still inside its ServeHandle scope
+  // when the snapshot is taken, so exactly the 3 runs have landed.
+  EXPECT_NE(body.find("ppf_prof_serve_handle_us_count 3\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("ppf_prof_serve_memo_lookup_us_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("ppf_prof_runlab_simulate_us_count 1\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, ProfOffOmitsProfilerSeries) {
+  Service service(tiny_service_config());  // prof defaults to off
+  const Handled h = service.handle(verb_request("metrics", 1));
+  const ParseResult parsed = parse_request(h.response);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const std::string& body = parsed.req.fields.at("body");
+  EXPECT_NE(body.find("ppf_serve_requests"), std::string::npos);
+  EXPECT_EQ(body.find("ppf_prof_"), std::string::npos) << body;
+}
+
+// ---------------------------------------------------------------------
+// dump verb: the flight recorder's recent history as ppf.flight.v1
+// JSONL, again carried in "body"; flight_recorder=0 answers the
+// catalogued flight_disabled error instead.
+
+TEST(Dump, VerbReturnsFlightRecorderJsonl) {
+  Service service(tiny_service_config());
+  const Handled run = service.handle(run_request(1, kTinyConfig));
+  ASSERT_NE(run.response.find("\"ok\":true"), std::string::npos);
+
+  const Handled h = service.handle(verb_request("dump", 5));
+  const ParseResult parsed = parse_request(h.response);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << h.response;
+  EXPECT_EQ(parsed.req.verb, "dump");
+  // A cold-miss run emits at least Request/MemoLookup/QueueWait/
+  // Execute/Serialize into the flight ring.
+  EXPECT_GE(std::stoull(parsed.req.fields.at("spans")), 5u);
+
+  const std::string& body = parsed.req.fields.at("body");
+  ASSERT_FALSE(body.empty());
+  std::istringstream lines(body);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    ++n;
+  }
+  EXPECT_GE(n, 2u);  // header + at least one span line
+  EXPECT_NE(body.find("\"schema\":\"ppf.flight.v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"serve.request\""), std::string::npos);
+}
+
+TEST(Dump, DisabledRecorderAnswersFlightDisabled) {
+  ServiceConfig cfg = tiny_service_config();
+  cfg.flight_recorder = 0;
+  Service service(cfg);
+  const Handled h = service.handle(verb_request("dump", 6));
+  EXPECT_NE(h.response.find("\"code\":\"flight_disabled\""),
+            std::string::npos)
+      << h.response;
+}
+
+// ---------------------------------------------------------------------
+// Request spans: one timeline per request, recorded into the
+// connection's ring by the connection thread only.
+
+TEST(Spans, MissAndHitRequestsRecordTheExpectedTimelines) {
+  Service service(tiny_service_config());
+  Service::ConnectionLog* conn = service.open_connection();
+  ASSERT_NE(conn, nullptr);
+
+  const Handled miss = service.handle(run_request(1, kTinyConfig), conn);
+  ASSERT_NE(miss.response.find("\"cached\":0,"), std::string::npos);
+  const std::vector<obs::Span> after_miss = conn->spans.snapshot();
+  ASSERT_GE(after_miss.size(), 5u);
+  // The root span is emitted first and carries the request id.
+  EXPECT_EQ(after_miss[0].name, obs::SpanName::Request);
+  EXPECT_EQ(after_miss[0].depth, 0);
+  std::set<obs::SpanName> names;
+  for (const obs::Span& s : after_miss) {
+    EXPECT_EQ(s.request, 1u);
+    // Every child starts inside the request window.
+    EXPECT_GE(s.start_us, after_miss[0].start_us);
+    names.insert(s.name);
+  }
+  for (obs::SpanName expect :
+       {obs::SpanName::Request, obs::SpanName::MemoLookup,
+        obs::SpanName::QueueWait, obs::SpanName::Execute,
+        obs::SpanName::Serialize}) {
+    EXPECT_TRUE(names.count(expect)) << obs::to_string(expect);
+  }
+
+  // A memo hit is exactly Request / MemoLookup / Serialize.
+  const Handled hit = service.handle(run_request(2, kTinyConfig), conn);
+  ASSERT_NE(hit.response.find("\"cached\":1,"), std::string::npos);
+  const std::vector<obs::Span> all = conn->spans.snapshot();
+  ASSERT_EQ(all.size(), after_miss.size() + 3);
+  EXPECT_EQ(all[after_miss.size()].name, obs::SpanName::Request);
+  EXPECT_EQ(all[after_miss.size() + 1].name, obs::SpanName::MemoLookup);
+  EXPECT_EQ(all[after_miss.size() + 2].name, obs::SpanName::Serialize);
+  for (std::size_t i = after_miss.size(); i < all.size(); ++i) {
+    EXPECT_EQ(all[i].request, 2u);
+  }
+  EXPECT_EQ(conn->spans.attempted(),
+            conn->spans.recorded() + conn->spans.dropped());
+  EXPECT_EQ(conn->spans.dropped(), 0u);
+}
+
+TEST(Spans, BufferOffMeansNoConnectionLogs) {
+  ServiceConfig cfg = tiny_service_config();
+  cfg.span_buffer = 0;
+  Service service(cfg);
+  EXPECT_EQ(service.open_connection(), nullptr);
+  // handle() must still work without a log (spans feed the flight
+  // recorder only).
+  const Handled h = service.handle(run_request(1, kTinyConfig), nullptr);
+  EXPECT_NE(h.response.find("\"ok\":true"), std::string::npos);
+  EXPECT_TRUE(service.span_dump().empty());
+}
+
+// S3: the drop-newest accounting must reconcile exactly under
+// concurrent multi-connection load, with span_dump() readers racing the
+// producers. Runs under TSan via `ctest --preset tsan-serve`.
+TEST(Spans, ConcurrentConnectionsReconcileDropAccountingExactly) {
+  constexpr std::size_t kConns = 4;
+  constexpr std::size_t kRequestsPerConn = 6;
+  constexpr std::size_t kRing = 8;  // tiny: force drops deterministically
+
+  ServiceConfig cfg = tiny_service_config();
+  cfg.span_buffer = kRing;
+  Service service(cfg);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    // Concurrent snapshots must always see a bounded, consistent
+    // prefix — never more than the ring holds, never a torn span.
+    while (!done.load(std::memory_order_acquire)) {
+      for (const obs::ConnectionSpans& cs : service.span_dump()) {
+        ASSERT_LE(cs.spans.size(), kRing);
+        for (const obs::Span& s : cs.spans) {
+          ASSERT_LT(static_cast<std::size_t>(s.name), obs::kNumSpanNames);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<Service::ConnectionLog*> logs(kConns, nullptr);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kConns; ++t) {
+    threads.emplace_back([&, t] {
+      Service::ConnectionLog* log = service.open_connection();
+      ASSERT_NE(log, nullptr);
+      logs[t] = log;
+      for (std::size_t i = 0; i < kRequestsPerConn; ++i) {
+        const std::uint64_t id = log->id * 1000u + i;
+        const std::string& config =
+            (i % 2 == 0) ? kTinyConfig : kOtherConfig;
+        const Handled h = service.handle(run_request(id, config), log);
+        ASSERT_NE(h.response.find("\"ok\":true"), std::string::npos)
+            << h.response;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  for (std::size_t t = 0; t < kConns; ++t) {
+    ASSERT_NE(logs[t], nullptr);
+    const obs::SpanBuffer& buf = logs[t]->spans;
+    // Every request emits at least 3 spans, so each connection
+    // attempted >= 18 against an 8-slot ring: the ring is full and the
+    // books must balance to the span.
+    EXPECT_GE(buf.attempted(), kRequestsPerConn * 3);
+    EXPECT_EQ(buf.recorded(), kRing);
+    EXPECT_EQ(buf.attempted(), buf.recorded() + buf.dropped());
+    const std::vector<obs::Span> snap = buf.snapshot();
+    ASSERT_EQ(snap.size(), kRing);
+    for (const obs::Span& s : snap) {
+      // Ids were minted as conn*1000+i: no cross-connection bleed.
+      EXPECT_EQ(s.request / 1000u, logs[t]->id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The master contract: telemetry at maximum verbosity never changes a
+// single response byte.
+
+TEST(Telemetry, MaxVerbosityIsByteInvisibleInResponses) {
+  ServiceConfig off = tiny_service_config();
+  off.prof = false;
+  off.span_buffer = 0;
+  off.flight_recorder = 0;
+  Service dark(off);
+
+  ServiceConfig on = tiny_service_config();
+  on.prof = true;
+  on.span_buffer = 64;
+  on.flight_recorder = 128;
+  Service lit(on);
+  Service::ConnectionLog* conn = lit.open_connection();
+  ASSERT_NE(conn, nullptr);
+
+  const std::vector<Request> sequence = {
+      run_request(1, kTinyConfig),   // cold miss
+      run_request(2, kTinyConfig),   // memo hit
+      run_request(3, kOtherConfig),  // second config, cold
+      run_request(4, "bench=mcf no_such_knob=1"),  // bad_config error
+      verb_request("ping", 5),
+  };
+  for (const Request& req : sequence) {
+    const Handled a = dark.handle(req, nullptr);
+    const Handled b = lit.handle(req, conn);
+    EXPECT_EQ(a.response, b.response) << req.verb << " id=" << req.id;
+  }
+  // And the telemetry side actually observed the lit service's traffic.
+  EXPECT_GT(conn->spans.attempted(), 0u);
+  ASSERT_NE(lit.flight(), nullptr);
+  EXPECT_GT(lit.flight()->spans_seen(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ppf_load: the pinned report format CI greps, and warmup exclusion.
+
+TEST(LoadDescribe, ReportFormatIsPinned) {
+  LoadReport rep;
+  rep.sent = 600;
+  rep.ok = 600;
+  rep.cached = 598;
+  rep.errors = 0;
+  rep.byte_mismatches = 0;
+  rep.wall_ms = 2500.0;
+  rep.requests_per_sec = 240.0;
+  rep.latency_mean_us = 1234.0;
+  rep.latency_p50_us = 1000.0;
+  rep.latency_p95_us = 2000.0;
+  rep.latency_p99_us = 2500.0;
+  rep.latency_p999_us = 3000.0;
+  rep.latency_max_us = 4000;
+  rep.latency_samples = 592;
+  rep.warmup_excluded = 8;
+  EXPECT_EQ(describe(rep),
+            "load: 600 requests, 600 ok, 598 memo-cached, 0 errors, "
+            "0 byte mismatches\n"
+            "load: 2.50 s wall, 240.0 req/s\n"
+            "load: latency mean 1.23 ms, p50 1.00 ms, p95 2.00 ms, "
+            "p99 2.50 ms, p99.9 3.00 ms, max 4.00 ms (592 samples)\n"
+            "load: warmup: first 8 requests excluded from latency "
+            "percentiles\n");
+
+  rep.warmup_excluded = 0;
+  rep.latency_samples = 600;
+  const std::string no_warmup = describe(rep);
+  EXPECT_EQ(no_warmup.find("warmup"), std::string::npos);
+  EXPECT_NE(no_warmup.find("p99.9 3.00 ms"), std::string::npos);
+
+  rep.first_error = "connect: refused";
+  EXPECT_NE(describe(rep).find("load: first error: connect: refused\n"),
+            std::string::npos);
+}
+
+TEST(Load, WarmupRequestsExcludeClientPercentilesOnly) {
+  Service service(tiny_service_config());
+  Server server(service, {});
+  ASSERT_NE(server.port(), 0);
+  ShutdownRequest shutdown;
+  std::thread daemon([&] { server.serve(shutdown); });
+
+  LoadOptions load;
+  load.port = server.port();
+  load.connections = 1;
+  load.requests = 6;
+  load.warmup_requests = 2;
+  load.configs = {kTinyConfig};
+  load.send_shutdown = true;
+  const LoadReport rep = run_load(load);
+  daemon.join();
+
+  EXPECT_EQ(rep.sent, 6u);
+  EXPECT_EQ(rep.ok, 6u);
+  EXPECT_EQ(rep.errors, 0u) << rep.first_error;
+  // Client side: first 2 excluded from the percentile pool.
+  EXPECT_EQ(rep.warmup_excluded, 2u);
+  EXPECT_EQ(rep.latency_samples, 4u);
+  // Server side: the daemon's histogram still counts every run —
+  // warmup exclusion is a client-report concern, not a serving one.
+  EXPECT_NE(rep.stats_json.find("\"name\":\"serve.latency_us\",\"count\":6"),
+            std::string::npos)
+      << rep.stats_json;
+}
+
+// ---------------------------------------------------------------------
+// fetch_verb: the one-shot client behind ppf_load scrape= — a metrics
+// scrape mid-flight against a live daemon, then dump, then shutdown.
+
+TEST(Scrape, FetchVerbRoundTripsMetricsAndDumpOverTcp) {
+  ServiceConfig cfg = tiny_service_config();
+  cfg.prof = true;
+  Service service(cfg);
+  Server server(service, {});
+  ASSERT_NE(server.port(), 0);
+  ShutdownRequest shutdown;
+  std::thread daemon([&] { server.serve(shutdown); });
+
+  LoadOptions load;
+  load.port = server.port();
+  load.connections = 1;
+  load.requests = 2;
+  load.configs = {kTinyConfig};
+  load.fetch_stats = false;
+  const LoadReport rep = run_load(load);
+  EXPECT_EQ(rep.ok, 2u) << rep.first_error;
+
+  const std::string metrics =
+      fetch_verb("127.0.0.1", server.port(), "metrics");
+  const ParseResult parsed = parse_request(metrics);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << metrics;
+  EXPECT_EQ(parsed.req.verb, "metrics");
+  EXPECT_NE(parsed.req.fields.at("body").find(
+                "ppf_serve_latency_us_count 2\n"),
+            std::string::npos)
+      << parsed.req.fields.at("body");
+
+  const std::string dump = fetch_verb("127.0.0.1", server.port(), "dump");
+  const ParseResult pdump = parse_request(dump);
+  ASSERT_TRUE(pdump.ok) << pdump.error;
+  EXPECT_EQ(pdump.req.verb, "dump");
+  EXPECT_NE(pdump.req.fields.at("body").find("ppf.flight.v1"),
+            std::string::npos);
+
+  const std::string bye = fetch_verb("127.0.0.1", server.port(), "shutdown");
+  EXPECT_EQ(bye, "{\"op\":\"bye\",\"id\":0}");
+  daemon.join();
+}
+
+}  // namespace
+}  // namespace ppf::serve

@@ -95,6 +95,9 @@ constexpr Rule kRules[] = {
      "serve protocol verbs and error codes must appear in docs/SERVE.md"},
     {"hot-loop-no-virtual",
      "no `virtual` or abstract-interface calls inside // ppf:hot regions"},
+    {"span-name-docs",
+     "every span name in obs::span_name_docs() must appear in "
+     "docs/OBSERVABILITY.md"},
 };
 
 std::vector<std::string> read_lines(const fs::path& p) {
@@ -394,6 +397,37 @@ void check_serve_docs(const fs::path& root, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: span-name-docs ---------------------------------------------------
+
+void check_span_docs(const fs::path& root, std::vector<Finding>& out) {
+  const fs::path span = root / "src" / "obs" / "span.cpp";
+  if (!fs::exists(span)) return;
+  const std::vector<std::string> lines = read_lines(span);
+  const std::string obs_md = read_text(root / "docs" / "OBSERVABILITY.md");
+
+  // Same catalogue-scan shape as serve-verb-docs, over the span-name
+  // catalogue. Span names are dotted ("serve.queue_wait"), so the entry
+  // regex admits '.' where the protocol one does not.
+  static const std::regex entry_re(R"re(\{\s*"([a-z][a-z0-9_.]*)"\s*,)re");
+  bool in_fn = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("span_name_docs()") != std::string::npos &&
+        lines[i].find('{') != std::string::npos) {
+      in_fn = true;
+      continue;
+    }
+    if (!in_fn) continue;
+    if (lines[i].find("return docs;") != std::string::npos) break;
+    std::smatch m;
+    if (std::regex_search(lines[i], m, entry_re) &&
+        !contains_word(obs_md, m[1].str())) {
+      out.push_back({"span-name-docs", rel(span, root), i + 1,
+                     "span name '" + m[1].str() +
+                         "' not documented in docs/OBSERVABILITY.md"});
+    }
+  }
+}
+
 // --- rule: hot-loop-no-virtual ----------------------------------------------
 
 void check_hot_loop_virtual(const fs::path& file, const fs::path& root,
@@ -560,6 +594,7 @@ int main(int argc, char** argv) {
   }
   check_config_keys(root, findings);
   check_serve_docs(root, findings);
+  check_span_docs(root, findings);
 
   print_findings(findings, json);
   if (expect_violations) {

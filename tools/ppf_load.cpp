@@ -20,6 +20,7 @@
 
 #include "common/config.hpp"
 #include "serve/load.hpp"
+#include "serve/protocol.hpp"
 
 using namespace ppf;
 
@@ -42,8 +43,49 @@ int usage(const char* argv0) {
       << "  stats=0|1       — fetch and print the daemon stats snapshot "
          "after the run (default 1)\n"
       << "  shutdown=0|1    — send the shutdown verb when done "
-         "(default 0)\n";
+         "(default 0)\n"
+      << "  warmup_requests=N — exclude the first N requests from the "
+         "latency percentiles (default 0)\n"
+      << "  scrape=VERB     — one-shot mode: send VERB (metrics, stats, "
+         "dump, shutdown) and print the response; for metrics and dump "
+         "the raw body is printed\n";
   return 2;
+}
+
+/// scrape= one-shot: fetch a single verb instead of running a load.
+/// metrics/dump responses carry their payload in a "body" field — print
+/// it raw so the output pipes straight into a Prometheus scraper or a
+/// JSONL consumer; everything else prints the raw response line.
+int run_scrape(const serve::LoadOptions& opts, const std::string& verb) {
+  std::string response;
+  try {
+    response = serve::fetch_verb(opts.host, opts.port, verb);
+  } catch (const std::exception& e) {
+    std::cerr << "ppf_load: " << e.what() << "\n";
+    return 1;
+  }
+  if (verb == "metrics" || verb == "dump") {
+    const serve::ParseResult parsed = serve::parse_request(response);
+    if (!parsed.ok) {
+      std::cerr << "ppf_load: unparsable " << verb
+                << " response: " << response << "\n";
+      return 1;
+    }
+    if (parsed.req.verb == "error") {
+      std::cerr << "ppf_load: " << response << "\n";
+      return 1;
+    }
+    const auto body = parsed.req.fields.find("body");
+    if (body == parsed.req.fields.end()) {
+      std::cerr << "ppf_load: " << verb
+                << " response has no body: " << response << "\n";
+      return 1;
+    }
+    std::cout << body->second;
+    return 0;
+  }
+  std::cout << response << "\n";
+  return 0;
 }
 
 std::vector<std::string> split_configs(const std::string& s) {
@@ -69,7 +111,8 @@ int main(int argc, char** argv) {
   if (params.has("help")) return usage(argv[0]);
   const std::vector<std::string> known = {
       "host",   "port",  "connections", "requests", "config",
-      "configs", "verify", "stats",      "shutdown"};
+      "configs", "verify", "stats",      "shutdown", "warmup_requests",
+      "scrape"};
   for (const auto& [k, v] : params.entries()) {
     if (std::find(known.begin(), known.end(), k) == known.end()) {
       std::cerr << "unknown key: " << k << "\n\n";
@@ -78,6 +121,7 @@ int main(int argc, char** argv) {
   }
 
   serve::LoadOptions opts;
+  std::string scrape;
   try {
     opts.host = params.get_string("host", "127.0.0.1");
     opts.port = static_cast<std::uint16_t>(params.get_u64("port", 0));
@@ -86,6 +130,8 @@ int main(int argc, char** argv) {
     opts.verify_bytes = params.get_bool("verify", true);
     opts.fetch_stats = params.get_bool("stats", true);
     opts.send_shutdown = params.get_bool("shutdown", false);
+    opts.warmup_requests = params.get_u64("warmup_requests", 0);
+    scrape = params.get_string("scrape", "");
     const std::string many = params.get_string("configs", "");
     if (!many.empty()) {
       opts.configs = split_configs(many);
@@ -101,6 +147,7 @@ int main(int argc, char** argv) {
     std::cerr << "port= is required\n\n";
     return usage(argv[0]);
   }
+  if (!scrape.empty()) return run_scrape(opts, scrape);
 
   serve::LoadReport rep;
   try {

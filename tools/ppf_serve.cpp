@@ -13,14 +13,20 @@
 // Prints "ppf_serve: listening on HOST:PORT" to stderr once ready.
 // SIGINT/SIGTERM (or a client's `shutdown` verb) drain in-flight work
 // and exit 0.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/shutdown.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -28,6 +34,25 @@
 using namespace ppf;
 
 namespace {
+
+// Fatal-signal flight dump: the handler may only touch async-signal-safe
+// calls, which FlightRecorder::crash_dump honors (try_lock + snprintf +
+// write(2)). Plain pointers/arrays — no destructors run on this path.
+obs::FlightRecorder* g_flight = nullptr;
+char g_flight_out[512] = {0};
+
+extern "C" void crash_handler(int sig) {
+  if (g_flight != nullptr && g_flight_out[0] != '\0') {
+    const int fd =
+        ::open(g_flight_out, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      g_flight->crash_dump(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
 
 int usage(const char* argv0) {
   std::cerr
@@ -48,6 +73,16 @@ int usage(const char* argv0) {
          "(default 0 = unbounded)\n"
       << "  instructions=N   — measurement window for configs that do "
          "not set instructions= (default 1000000)\n"
+      << "  prof=0|1         — wall-clock profiler probes on serve and "
+         "runlab hot paths (default 0)\n"
+      << "  span_buffer=N    — per-connection request-span ring capacity; "
+         "0 disables spans (default 4096)\n"
+      << "  flight_recorder=N — flight-recorder span ring capacity; 0 "
+         "disables it (default 2048)\n"
+      << "  flight_out=PATH  — where CheckViolation / fatal-signal flight "
+         "dumps land (default ppf_serve_flight.jsonl)\n"
+      << "  span_out=PATH    — write the whole soak's request spans as a "
+         "Chrome/Perfetto trace on exit (default off)\n"
       << "\nprotocol verbs (docs/SERVE.md):\n";
   for (const serve::VerbDoc& d : serve::verb_docs()) {
     std::cerr << "  " << d.verb << " — " << d.help << "\n";
@@ -72,7 +107,9 @@ int main(int argc, char** argv) {
   if (params.has("help")) return usage(argv[0]);
   const std::vector<std::string> known = {
       "host",           "port", "jobs",     "queue_depth", "memo",
-      "trace_cache_mb", "snapshot_cache_mb", "instructions"};
+      "trace_cache_mb", "snapshot_cache_mb", "instructions",
+      "prof",           "span_buffer", "flight_recorder", "flight_out",
+      "span_out"};
   for (const auto& [k, v] : params.entries()) {
     if (std::find(known.begin(), known.end(), k) == known.end()) {
       std::cerr << "unknown key: " << k << "\n\n";
@@ -91,10 +128,16 @@ int main(int argc, char** argv) {
     cfg.trace_cache_mb = params.get_u64("trace_cache_mb", 0);
     cfg.snapshot_cache_mb = params.get_u64("snapshot_cache_mb", 0);
     cfg.default_instructions = params.get_u64("instructions", 1'000'000);
+    cfg.prof = params.get_bool("prof", false);
+    cfg.span_buffer = params.get_u64("span_buffer", 4096);
+    cfg.flight_recorder = params.get_u64("flight_recorder", 2048);
+    cfg.flight_out =
+        params.get_string("flight_out", "ppf_serve_flight.jsonl");
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return usage(argv[0]);
   }
+  const std::string span_out = params.get_string("span_out", "");
   if (cfg.queue_depth == 0) {
     std::cerr << "queue_depth must be at least 1\n";
     return usage(argv[0]);
@@ -102,6 +145,12 @@ int main(int argc, char** argv) {
 
   try {
     serve::Service service(cfg);
+    if (service.flight() != nullptr) {
+      g_flight = service.flight();
+      cfg.flight_out.copy(g_flight_out, sizeof(g_flight_out) - 1);
+      ::signal(SIGSEGV, crash_handler);
+      ::signal(SIGABRT, crash_handler);
+    }
     serve::Server server(service, net);
     ShutdownRequest shutdown;
     shutdown.install_signal_handlers();
@@ -110,6 +159,19 @@ int main(int argc, char** argv) {
               << " workers, queue depth " << cfg.queue_depth << ")\n"
               << std::flush;
     server.serve(shutdown);
+    // The handler must not outlive the Service it points into.
+    g_flight = nullptr;
+    if (!span_out.empty()) {
+      std::ofstream out(span_out, std::ios::trunc);
+      if (out) {
+        obs::write_spans_chrome(out, service.span_dump(), "ppf_serve");
+        std::cerr << "ppf_serve: wrote request spans to " << span_out
+                  << "\n";
+      } else {
+        std::cerr << "ppf_serve: could not open span_out " << span_out
+                  << "\n";
+      }
+    }
     std::cerr << "ppf_serve: drained, exiting\n";
   } catch (const std::exception& e) {
     std::cerr << "ppf_serve: " << e.what() << "\n";
