@@ -1,0 +1,72 @@
+#include "analyze/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace ppf::analyze {
+
+bool Baseline::covers(const Diagnostic& d) const {
+  const BaselineEntry key{d.rule, d.file, d.message};
+  return std::binary_search(entries.begin(), entries.end(), key);
+}
+
+Baseline load_baseline(const std::filesystem::path& path) {
+  Baseline b;
+  std::ifstream in(path);
+  if (!in) return b;
+  b.loaded = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t p1 = line.find('|');
+    if (p1 == std::string::npos) continue;
+    const std::size_t p2 = line.find('|', p1 + 1);
+    if (p2 == std::string::npos) continue;
+    b.entries.push_back({line.substr(0, p1), line.substr(p1 + 1, p2 - p1 - 1),
+                         line.substr(p2 + 1)});
+  }
+  std::sort(b.entries.begin(), b.entries.end());
+  b.entries.erase(std::unique(b.entries.begin(), b.entries.end()),
+                  b.entries.end());
+  return b;
+}
+
+std::string render_baseline(const std::vector<Diagnostic>& diags) {
+  std::set<BaselineEntry> entries;
+  for (const Diagnostic& d : diags) {
+    entries.insert({d.rule, d.file, d.message});
+  }
+  std::ostringstream os;
+  os << "# ppf_analyze baseline — grandfathered findings.\n"
+     << "# Format: rule|file|message (no line numbers: entries survive\n"
+     << "# unrelated edits). Regenerate with `ppf_analyze --fix-baseline`;\n"
+     << "# shrink it whenever you fix a finding for real.\n";
+  for (const BaselineEntry& e : entries) {
+    os << e.rule << '|' << e.file << '|' << e.message << '\n';
+  }
+  return os.str();
+}
+
+std::vector<BaselineEntry> apply_baseline(
+    const Baseline& b, const std::vector<Diagnostic>& diags,
+    std::vector<Diagnostic>& fresh, std::vector<Diagnostic>& suppressed) {
+  std::set<BaselineEntry> used;
+  for (const Diagnostic& d : diags) {
+    if (b.covers(d)) {
+      suppressed.push_back(d);
+      used.insert({d.rule, d.file, d.message});
+    } else {
+      fresh.push_back(d);
+    }
+  }
+  std::vector<BaselineEntry> stale;
+  for (const BaselineEntry& e : b.entries) {
+    if (used.count(e) == 0) stale.push_back(e);
+  }
+  return stale;
+}
+
+}  // namespace ppf::analyze

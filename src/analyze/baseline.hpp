@@ -1,0 +1,58 @@
+// ppf::analyze — finding baseline (grandfathering + ratchet).
+//
+// A baseline file lets the analyzer land at exit 0 on a tree with known
+// findings, then ratchet: new findings fail, fixed findings become
+// stale entries that `--fix-baseline` removes. Entries are
+// line-number-free on purpose — `rule|file|message` — so unrelated
+// edits above a grandfathered finding do not churn the file, and a
+// baseline diff in review reads as "which findings appeared/went away",
+// nothing else. The file is sorted, deduplicated, and path-relative;
+// `--fix-baseline` regenerates it byte-deterministically.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+
+namespace ppf::analyze {
+
+/// One suppressed finding; formats as "rule|file|message".
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string message;
+
+  friend bool operator<(const BaselineEntry& a, const BaselineEntry& b) {
+    if (a.rule != b.rule) return a.rule < b.rule;
+    if (a.file != b.file) return a.file < b.file;
+    return a.message < b.message;
+  }
+  friend bool operator==(const BaselineEntry& a, const BaselineEntry& b) {
+    return a.rule == b.rule && a.file == b.file && a.message == b.message;
+  }
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;  ///< sorted, unique
+  bool loaded = false;                 ///< file existed and parsed
+
+  [[nodiscard]] bool covers(const Diagnostic& d) const;
+};
+
+/// Read `path`. Missing file -> empty baseline with loaded=false (not an
+/// error: a clean tree needs no baseline). Malformed lines are skipped.
+Baseline load_baseline(const std::filesystem::path& path);
+
+/// Serialize `diags` as baseline text (sorted, unique, trailing
+/// newline, '#' header comment) — what --fix-baseline writes.
+std::string render_baseline(const std::vector<Diagnostic>& diags);
+
+/// Split `diags` into (new, baselined) per `b`; returns entries of `b`
+/// matching nothing (stale — the ratchet's "now fix the baseline" cue).
+std::vector<BaselineEntry> apply_baseline(
+    const Baseline& b, const std::vector<Diagnostic>& diags,
+    std::vector<Diagnostic>& fresh, std::vector<Diagnostic>& suppressed);
+
+}  // namespace ppf::analyze

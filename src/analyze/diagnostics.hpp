@@ -1,0 +1,34 @@
+// ppf::analyze — diagnostic model shared by every pass.
+//
+// One Diagnostic per finding: rule ID, repo-relative file, 1-based
+// line/col, human message, and a fix hint. The hint is part of the
+// contract — a finding a developer cannot act on is noise — so every
+// pass fills it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ppf::analyze {
+
+struct Diagnostic {
+  std::string rule;     ///< rule ID ("layer-forbidden-edge", ...)
+  std::string file;     ///< repo-relative, '/' separators; "" = project
+  std::size_t line = 0; ///< 1-based; 0 = whole file
+  std::size_t col = 0;  ///< 1-based; 0 = whole line
+  std::string message;
+  std::string hint;     ///< how to fix (or suppress) the finding
+};
+
+inline void sort_diagnostics(std::vector<Diagnostic>& ds) {
+  std::sort(ds.begin(), ds.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.col, b.rule, b.message);
+            });
+}
+
+}  // namespace ppf::analyze

@@ -1,0 +1,37 @@
+// ppf::analyze — pass orchestration.
+//
+// One Project::load, then every pass over the shared source model:
+// include-layer DAG (docs/LAYERS.md spec), determinism taint, lock
+// discipline, unified catalogs, and the migrated ppf_lint convention
+// rules. Diagnostics come back sorted by (file, line, col, rule).
+//
+// `ppf_analyze` runs the full set; `ppf_lint` runs the legacy subset
+// through the same engine (see legacy_lint_rules()).
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+
+namespace ppf::analyze {
+
+struct RuleInfo {
+  const char* name;
+  const char* help;
+};
+
+/// Every rule the engine can emit, in catalogue order.
+const std::vector<RuleInfo>& all_rules();
+
+/// The ten original ppf_lint rule IDs (the `ppf_lint` CLI's rule set).
+const std::set<std::string>& legacy_lint_rules();
+
+/// Load `root` and run the passes. `only` restricts the result to the
+/// named rules (empty = all). Sorted diagnostics.
+std::vector<Diagnostic> analyze_tree(const std::filesystem::path& root,
+                                     const std::set<std::string>& only = {});
+
+}  // namespace ppf::analyze

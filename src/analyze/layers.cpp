@@ -1,0 +1,174 @@
+#include "analyze/layers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppf::analyze {
+
+namespace {
+
+/// `#include "a/b.hpp"` -> "a/b.hpp"; "" for system/other directives.
+std::string quoted_include(const std::string& directive) {
+  std::size_t i = 1;  // past '#'
+  while (i < directive.size() &&
+         (directive[i] == ' ' || directive[i] == '\t'))
+    ++i;
+  if (directive.compare(i, 7, "include") != 0) return {};
+  i += 7;
+  while (i < directive.size() &&
+         (directive[i] == ' ' || directive[i] == '\t'))
+    ++i;
+  if (i >= directive.size() || directive[i] != '"') return {};
+  const std::size_t close = directive.find('"', i + 1);
+  if (close == std::string::npos) return {};
+  return directive.substr(i + 1, close - i - 1);
+}
+
+}  // namespace
+
+bool LayerSpec::allows(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  const auto it = allowed.find(from);
+  if (it == allowed.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), to) !=
+         it->second.end();
+}
+
+LayerSpec parse_layer_spec(const std::string& layers_md) {
+  LayerSpec spec;
+  std::istringstream in(layers_md);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("```", 0) == 0) {
+      if (!in_block && line.find("ppf-layers") != std::string::npos) {
+        in_block = true;
+        continue;
+      }
+      if (in_block) break;
+      continue;
+    }
+    if (!in_block) continue;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t arrow = line.find("->");
+    if (arrow == std::string::npos) continue;
+    std::istringstream head(line.substr(0, arrow));
+    std::string layer;
+    head >> layer;
+    if (layer.empty()) continue;
+    std::istringstream deps(line.substr(arrow + 2));
+    std::vector<std::string> list;
+    std::string dep;
+    while (deps >> dep) list.push_back(dep);
+    spec.allowed[layer] = std::move(list);
+    spec.loaded = true;
+  }
+  return spec;
+}
+
+void check_layers(const Project& p, const LayerSpec& spec,
+                  std::vector<Diagnostic>& out) {
+  // File-level include graph over src/ (project-quoted includes only).
+  // Edge list per file index; includes that do not resolve to a loaded
+  // src file (e.g. generated paths) are ignored.
+  std::map<std::string, std::size_t> by_rel;
+  for (std::size_t i = 0; i < p.files.size(); ++i) by_rel[p.files[i].rel] = i;
+
+  std::vector<std::vector<std::size_t>> edges(p.files.size());
+
+  for (std::size_t fi = 0; fi < p.files.size(); ++fi) {
+    const SourceFile& f = p.files[fi];
+    for (const Token& t : f.toks) {
+      if (t.kind != TokKind::Directive) continue;
+      const std::string inc = quoted_include(t.text);
+      if (inc.empty()) continue;
+      const auto target = by_rel.find("src/" + inc);
+      if (target != by_rel.end()) edges[fi].push_back(target->second);
+
+      // Layer check: by the include's top directory, whether or not the
+      // target file was loaded.
+      if (!spec.loaded || f.dir.empty()) continue;
+      const std::size_t slash = inc.find('/');
+      if (slash == std::string::npos) continue;  // same-dir relative
+      const std::string to = inc.substr(0, slash);
+      if (!spec.declares(f.dir)) {
+        out.push_back(
+            {"layer-undeclared", f.rel, t.line, t.col,
+             "directory src/" + f.dir + " is not declared in docs/LAYERS.md",
+             "add a `" + f.dir + " -> ...` line to the ppf-layers block"});
+        continue;
+      }
+      if (!spec.declares(to)) {
+        // The included side being undeclared is reported once per edge
+        // too — an include into an unspecified layer cannot be judged.
+        out.push_back(
+            {"layer-undeclared", f.rel, t.line, t.col,
+             "included directory src/" + to +
+                 " is not declared in docs/LAYERS.md",
+             "add a `" + to + " -> ...` line to the ppf-layers block"});
+        continue;
+      }
+      if (!spec.allows(f.dir, to)) {
+        out.push_back(
+            {"layer-forbidden-edge", f.rel, t.line, t.col,
+             "src/" + f.dir + " must not include src/" + to + " (\"" + inc +
+                 "\"): the layer spec allows no such edge",
+             "invert the dependency or amend docs/LAYERS.md if the "
+             "layering itself changed"});
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS with colors; report each cycle once
+  // with the full path (deterministic: files and edges are sorted).
+  for (auto& e : edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+  }
+  enum : unsigned char { White, Grey, Black };
+  std::vector<unsigned char> color(p.files.size(), White);
+  std::vector<std::size_t> stack;  // current DFS path
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge;
+  };
+  for (std::size_t start = 0; start < p.files.size(); ++start) {
+    if (color[start] != White) continue;
+    std::vector<Frame> dfs{{start, 0}};
+    color[start] = Grey;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      Frame& fr = dfs.back();
+      if (fr.next_edge < edges[fr.node].size()) {
+        const std::size_t to = edges[fr.node][fr.next_edge++];
+        if (color[to] == White) {
+          color[to] = Grey;
+          stack.push_back(to);
+          dfs.push_back({to, 0});
+        } else if (color[to] == Grey) {
+          // Found a cycle: stack from `to` to the top.
+          std::string path;
+          bool in_cycle = false;
+          for (const std::size_t n : stack) {
+            if (n == to) in_cycle = true;
+            if (in_cycle) path += p.files[n].rel + " -> ";
+          }
+          path += p.files[to].rel;
+          out.push_back({"layer-cycle", p.files[fr.node].rel, 0, 0,
+                         "include cycle: " + path,
+                         "break the cycle with a forward declaration or "
+                         "by moving the shared piece down a layer"});
+        }
+      } else {
+        color[fr.node] = Black;
+        stack.pop_back();
+        dfs.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace ppf::analyze

@@ -1,0 +1,47 @@
+// ppf::analyze — include-layer DAG pass.
+//
+// The repo's layering is declared once, machine-readably, in
+// docs/LAYERS.md (a ```ppf-layers fenced block of `layer -> allowed
+// deps` lines). This pass extracts the project include graph from every
+// `#include "..."` directive in src/ and enforces:
+//
+//   layer-undeclared      a src/ top directory missing from the spec
+//   layer-forbidden-edge  an include crossing layers the spec does not
+//                         allow (e.g. src/core including src/serve)
+//   layer-cycle           a cycle in the file-level include graph
+//                         (reported once per cycle, with the full path)
+//
+// Rule IDs are catalogued in docs/ANALYSIS.md.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "analyze/source_model.hpp"
+
+namespace ppf::analyze {
+
+struct LayerSpec {
+  /// layer -> set of other layers it may include from.
+  std::map<std::string, std::vector<std::string>> allowed;
+  bool loaded = false;
+
+  [[nodiscard]] bool declares(const std::string& layer) const {
+    return allowed.count(layer) != 0;
+  }
+  [[nodiscard]] bool allows(const std::string& from,
+                            const std::string& to) const;
+};
+
+/// Parse the ```ppf-layers block out of docs/LAYERS.md text. Lines:
+/// `name ->` (no deps) or `name -> dep dep ...`; '#' comments allowed.
+LayerSpec parse_layer_spec(const std::string& layers_md);
+
+/// Run the pass. A missing/empty spec disables layer checking but cycle
+/// detection still runs (an include cycle is wrong under any spec).
+void check_layers(const Project& p, const LayerSpec& spec,
+                  std::vector<Diagnostic>& out);
+
+}  // namespace ppf::analyze

@@ -1,0 +1,326 @@
+#include "analyze/token.hpp"
+
+namespace ppf::analyze {
+
+namespace {
+
+/// Cursor over raw text with 1-based line/col accounting. CRLF and lone
+/// CR both count as one newline; col resets after either.
+struct Cursor {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+
+  explicit Cursor(const std::string& text) : s(text) {}
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < s.size() ? s[pos + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = s[pos++];
+    if (c == '\r') {
+      if (pos < s.size() && s[pos] == '\n') ++pos;
+      ++line;
+      col = 1;
+      return '\n';
+    }
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      return '\n';
+    }
+    ++col;
+    return c;
+  }
+
+  /// True when `pos` sits at a newline (LF, CRLF, or lone CR).
+  [[nodiscard]] bool at_newline() const {
+    return peek() == '\n' || peek() == '\r';
+  }
+};
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_raw_prefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+bool is_str_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+/// Consume a quoted literal body (after the opening quote), honoring
+/// backslash escapes; returns the contents without the quotes.
+std::string lex_quoted(Cursor& c, char quote) {
+  std::string out;
+  while (!c.eof()) {
+    if (c.peek() == '\\' && c.pos + 1 < c.s.size()) {
+      out += c.advance();
+      out += c.advance();
+      continue;
+    }
+    if (c.peek() == quote) {
+      c.advance();
+      break;
+    }
+    if (c.at_newline()) break;  // unterminated; recover at EOL
+    out += c.advance();
+  }
+  return out;
+}
+
+/// Consume a raw-string body after `R"`: delim( ... )delim".
+std::string lex_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.eof() && c.peek() != '(' && !c.at_newline()) delim += c.advance();
+  if (c.peek() == '(') c.advance();
+  const std::string close = ")" + delim + "\"";
+  std::string out;
+  while (!c.eof()) {
+    if (c.s.compare(c.pos, close.size(), close) == 0) {
+      for (std::size_t i = 0; i < close.size(); ++i) c.advance();
+      break;
+    }
+    out += c.advance();
+  }
+  return out;
+}
+
+/// Fold one preprocessor directive (from the '#') into a single string,
+/// joining backslash-newline continuations; leaves the cursor after the
+/// final newline's start (the newline itself unconsumed is fine).
+std::string lex_directive(Cursor& c) {
+  std::string out;
+  while (!c.eof()) {
+    if (c.peek() == '\\') {
+      // Backslash-newline (or backslash-CRLF): continuation.
+      std::size_t ahead = 1;
+      if (c.peek(1) == '\r' && c.peek(2) == '\n') ahead = 3;
+      else if (c.peek(1) == '\n' || c.peek(1) == '\r') ahead = 2;
+      if (ahead > 1) {
+        c.advance();  // backslash
+        c.advance();  // newline (advance folds CRLF)
+        out += ' ';
+        continue;
+      }
+    }
+    if (c.at_newline()) break;
+    // A // comment ends the directive's interesting text but we keep
+    // scanning to EOL so the comment does not leak into the stream as
+    // code. Block comments inside directives are swallowed too.
+    out += c.advance();
+  }
+  return out;
+}
+
+/// After `#if 0`: skip physical lines until the matching #endif, #else,
+/// or #elif at nesting depth 0. Returns with the cursor at the start of
+/// the line after that terminator.
+void skip_disabled_region(Cursor& c) {
+  int depth = 0;
+  while (!c.eof()) {
+    // Examine the upcoming line without tokenizing it.
+    std::size_t i = c.pos;
+    while (i < c.s.size() && (c.s[i] == ' ' || c.s[i] == '\t')) ++i;
+    bool handled = false;
+    if (i < c.s.size() && c.s[i] == '#') {
+      ++i;
+      while (i < c.s.size() && (c.s[i] == ' ' || c.s[i] == '\t')) ++i;
+      std::string word;
+      while (i < c.s.size() && is_ident_char(c.s[i])) word += c.s[i++];
+      if (word == "if" || word == "ifdef" || word == "ifndef") {
+        ++depth;
+      } else if (word == "endif") {
+        if (depth == 0) handled = true;
+        else --depth;
+      } else if ((word == "else" || word == "elif") && depth == 0) {
+        handled = true;
+      }
+    }
+    // Consume the whole physical line (honoring continuations: a
+    // continued directive line keeps the region's line accounting).
+    while (!c.eof() && !c.at_newline()) {
+      if (c.peek() == '\\' &&
+          (c.peek(1) == '\n' || c.peek(1) == '\r')) {
+        c.advance();
+        c.advance();
+        continue;
+      }
+      c.advance();
+    }
+    if (!c.eof()) c.advance();  // the newline
+    if (handled) return;
+  }
+}
+
+bool directive_is_if0(const std::string& d) {
+  // d starts at '#'. Accept "# if 0" with arbitrary internal blanks.
+  std::size_t i = 1;
+  while (i < d.size() && (d[i] == ' ' || d[i] == '\t')) ++i;
+  if (d.compare(i, 2, "if") != 0) return false;
+  i += 2;
+  if (i < d.size() && is_ident_char(d[i])) return false;  // ifdef/ifndef
+  while (i < d.size() && (d[i] == ' ' || d[i] == '\t')) ++i;
+  if (i >= d.size() || d[i] != '0') return false;
+  ++i;
+  return i >= d.size() || !is_ident_char(d[i]);
+}
+
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                               ">=", "==", "!=", "&&", "||", "+=", "-=",
+                               "*=", "/=", "%=", "&=", "|=", "^=", "##",
+                               ".*"};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  Cursor c(text);
+  bool line_start = true;  // only whitespace seen on this physical line
+
+  while (!c.eof()) {
+    const std::size_t line = c.line;
+    const std::size_t col = c.col;
+    const char ch = c.peek();
+
+    if (ch == '\n' || ch == '\r') {
+      c.advance();
+      line_start = true;
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\f' || ch == '\v') {
+      c.advance();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line.
+    if (ch == '#' && line_start) {
+      const std::string d = lex_directive(c);
+      if (directive_is_if0(d)) {
+        if (!c.eof()) c.advance();  // finish the #if 0 line
+        skip_disabled_region(c);
+        line_start = true;
+        continue;
+      }
+      out.push_back({TokKind::Directive, d, line, col});
+      line_start = false;
+      continue;
+    }
+    line_start = false;
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      std::string t;
+      while (!c.eof() && !c.at_newline()) t += c.advance();
+      out.push_back({TokKind::Comment, t, line, col});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      std::string t;
+      t += c.advance();
+      t += c.advance();
+      // C++ block comments do not nest: the first */ closes, even after
+      // an inner /* (the tokenizer-edge-case fixtures pin this).
+      while (!c.eof()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          t += c.advance();
+          t += c.advance();
+          break;
+        }
+        t += c.advance();
+      }
+      out.push_back({TokKind::Comment, t, line, col});
+      continue;
+    }
+
+    // Identifier (possibly a string-literal prefix).
+    if (is_ident_char(ch) && !is_digit(ch)) {
+      std::string id;
+      while (!c.eof() && is_ident_char(c.peek())) id += c.advance();
+      if (c.peek() == '"' && is_raw_prefix(id)) {
+        c.advance();  // opening quote
+        out.push_back({TokKind::String, lex_raw_string(c), line, col});
+        continue;
+      }
+      if (c.peek() == '"' && is_str_prefix(id)) {
+        c.advance();
+        out.push_back({TokKind::String, lex_quoted(c, '"'), line, col});
+        continue;
+      }
+      if (c.peek() == '\'' && is_str_prefix(id)) {
+        c.advance();
+        out.push_back({TokKind::CharLit, lex_quoted(c, '\''), line, col});
+        continue;
+      }
+      out.push_back({TokKind::Ident, id, line, col});
+      continue;
+    }
+
+    // Number (digit, or .digit). Consumes 0x1'234, 1.5e-3, suffixes.
+    if (is_digit(ch) || (ch == '.' && is_digit(c.peek(1)))) {
+      std::string n;
+      n += c.advance();
+      while (!c.eof()) {
+        const char p = c.peek();
+        if (is_ident_char(p) || p == '\'' || p == '.') {
+          n += c.advance();
+          continue;
+        }
+        if ((p == '+' || p == '-') && !n.empty()) {
+          const char prev = n.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            n += c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.push_back({TokKind::Number, n, line, col});
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (ch == '"') {
+      c.advance();
+      out.push_back({TokKind::String, lex_quoted(c, '"'), line, col});
+      continue;
+    }
+    if (ch == '\'') {
+      c.advance();
+      out.push_back({TokKind::CharLit, lex_quoted(c, '\''), line, col});
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (c.s.compare(c.pos, 3, p) == 0) {
+        c.advance();
+        c.advance();
+        c.advance();
+        out.push_back({TokKind::Punct, p, line, col});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (c.s.compare(c.pos, 2, p) == 0) {
+        c.advance();
+        c.advance();
+        out.push_back({TokKind::Punct, p, line, col});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({TokKind::Punct, std::string(1, c.advance()), line, col});
+  }
+  return out;
+}
+
+}  // namespace ppf::analyze

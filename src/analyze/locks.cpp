@@ -1,0 +1,232 @@
+#include "analyze/locks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ppf::analyze {
+
+namespace {
+
+struct GuardedField {
+  std::string name;
+  std::string mutex;
+  std::string class_name;  ///< enclosing class at the declaration
+  std::string dir;         ///< top-level src directory
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+/// Extract `mu_` from "... PPF_GUARDED_BY(mu_) ...".
+std::string annotation_mutex(const std::string& comment) {
+  const std::size_t at = comment.find("PPF_GUARDED_BY(");
+  if (at == std::string::npos) return {};
+  const std::size_t open = at + 15;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return {};
+  return comment.substr(open, close - open);
+}
+
+/// Enclosing class name per token index: a light scope scan (classes
+/// and braces only — function bodies just read as blocks here).
+std::vector<std::string> class_context(const std::vector<Token>& toks) {
+  std::vector<std::string> ctx(toks.size());
+  struct Scope {
+    bool is_class;
+    std::string name;
+  };
+  std::vector<Scope> stack;
+  std::string pending;  // class name waiting for its '{'
+  bool pending_active = false;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    std::string current;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->is_class) {
+        current = it->name;
+        break;
+      }
+    }
+    ctx[i] = current;
+    const Token& t = toks[i];
+    if (t.kind == TokKind::Ident &&
+        (t.text == "class" || t.text == "struct")) {
+      // Next ident is the candidate name; a ';' before '{' cancels.
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::Ident && toks[j].text != "final") {
+          pending = toks[j].text;
+          pending_active = true;
+          break;
+        }
+        if (toks[j].kind == TokKind::Punct &&
+            (toks[j].text == "{" || toks[j].text == ";"))
+          break;
+      }
+      continue;
+    }
+    if (t.kind != TokKind::Punct) continue;
+    if (t.text == ";") {
+      pending_active = false;  // was a forward declaration
+    } else if (t.text == "{") {
+      stack.push_back({pending_active, pending_active ? pending : ""});
+      pending_active = false;
+    } else if (t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+    }
+  }
+  return ctx;
+}
+
+/// Marker comment on `line` itself or the line above (so long
+/// statements can carry the annotation NOLINTNEXTLINE-style).
+bool comment_marker_on_line(const SourceFile& f, std::size_t line,
+                            const char* marker) {
+  for (const Token& t : f.toks) {
+    if (t.line > line) break;
+    if (t.kind == TokKind::Comment &&
+        (t.line == line || t.line + 1 == line) &&
+        t.text.find(marker) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+/// Does `fd`'s body acquire `mutex` before token index `use_ti`?
+bool locked_before(const std::vector<Token>& toks, const FunctionDef& fd,
+                   const std::string& mutex, std::size_t use_ti) {
+  for (std::size_t i = fd.tok_begin; i < use_ti; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Ident) continue;
+    if (t.text == "lock_guard" || t.text == "unique_lock" ||
+        t.text == "scoped_lock") {
+      // The guarded mutex must appear in the next few tokens (the
+      // constructor argument list, possibly behind a template arg).
+      for (std::size_t j = i + 1; j < use_ti && j < i + 16; ++j) {
+        if (toks[j].kind == TokKind::Ident && toks[j].text == mutex)
+          return true;
+        if (toks[j].kind == TokKind::Punct && toks[j].text == ";") break;
+      }
+      continue;
+    }
+    if (t.text == mutex && i + 2 < use_ti &&
+        toks[i + 1].kind == TokKind::Punct &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        toks[i + 2].kind == TokKind::Ident &&
+        (toks[i + 2].text == "lock" || toks[i + 2].text == "try_lock")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_locks(const Project& p, std::vector<Diagnostic>& out) {
+  // Collect annotations.
+  std::vector<GuardedField> fields;
+  for (std::size_t fi = 0; fi < p.files.size(); ++fi) {
+    const SourceFile& f = p.files[fi];
+    if (f.dir == "analyze") continue;  // this pass's own docs mention
+                                       // the annotation as an example
+    std::vector<std::string> ctx;  // built lazily (most files: never)
+    for (std::size_t ti = 0; ti < f.toks.size(); ++ti) {
+      const Token& t = f.toks[ti];
+      if (t.kind != TokKind::Comment ||
+          t.text.find("PPF_GUARDED_BY(") == std::string::npos)
+        continue;
+      const std::string mutex = annotation_mutex(t.text);
+      if (mutex.empty()) continue;
+      if (ctx.empty()) ctx = class_context(f.toks);
+
+      // The annotated declarator: on the comment's line, the identifier
+      // before the first ';' '=' or '{'. (Trailing-comment style:
+      // `std::deque<Task> queue_;  // PPF_GUARDED_BY(mu_)`.)
+      std::string field;
+      std::size_t last_ident = static_cast<std::size_t>(-1);
+      for (std::size_t j = 0; j < f.toks.size(); ++j) {
+        const Token& dt = f.toks[j];
+        if (dt.line != t.line || dt.kind == TokKind::Comment) {
+          if (dt.line > t.line) break;
+          continue;
+        }
+        if (dt.kind == TokKind::Ident) last_ident = j;
+        if (dt.kind == TokKind::Punct &&
+            (dt.text == ";" || dt.text == "=" || dt.text == "{")) {
+          if (last_ident != static_cast<std::size_t>(-1))
+            field = f.toks[last_ident].text;
+          break;
+        }
+      }
+      if (field.empty()) {
+        out.push_back({"lock-unknown-mutex", f.rel, t.line, t.col,
+                       "PPF_GUARDED_BY(" + mutex +
+                           ") is not attached to a field declaration",
+                       "place the annotation as a trailing comment on "
+                       "the field's declaration line"});
+        continue;
+      }
+
+      // The named mutex must exist in this file.
+      bool mutex_declared = false;
+      for (const Token& mt : f.toks) {
+        if (mt.kind == TokKind::Ident && mt.text == mutex) {
+          mutex_declared = true;
+          break;
+        }
+      }
+      if (!mutex_declared) {
+        out.push_back({"lock-unknown-mutex", f.rel, t.line, t.col,
+                       "PPF_GUARDED_BY names `" + mutex +
+                           "`, which this file never declares",
+                       "name the actual std::mutex member"});
+        continue;
+      }
+
+      GuardedField gf;
+      gf.name = field;
+      gf.mutex = mutex;
+      gf.file = fi;
+      gf.line = t.line;
+      gf.dir = f.dir;
+      gf.class_name = ctx[std::min(ti, ctx.size() - 1)];
+      fields.push_back(std::move(gf));
+    }
+  }
+
+  // Check uses.
+  std::set<std::string> emitted;  // dedupe key: file:line:field
+  for (const GuardedField& gf : fields) {
+    for (std::size_t fi = 0; fi < p.files.size(); ++fi) {
+      const SourceFile& f = p.files[fi];
+      if (f.dir != gf.dir) continue;
+      for (std::size_t ti = 0; ti < f.toks.size(); ++ti) {
+        const Token& t = f.toks[ti];
+        if (t.kind != TokKind::Ident || t.text != gf.name) continue;
+        if (fi == gf.file && t.line == gf.line) continue;  // the decl
+        const FunctionDef* fd = p.enclosing_function(fi, ti);
+        if (fd == nullptr) continue;  // declaration / initializer
+        if (!gf.class_name.empty() && fd->class_name != gf.class_name)
+          continue;  // another class's identically-named member
+        if (fd->ctor_dtor) continue;
+        if (locked_before(f.toks, *fd, gf.mutex, ti)) continue;
+        if (comment_marker_on_line(f, t.line, "ppf:lock-ok") ||
+            comment_marker_on_line(f, fd->line, "ppf:lock-ok"))
+          continue;
+        const std::string key =
+            f.rel + ":" + std::to_string(t.line) + ":" + gf.name;
+        if (!emitted.insert(key).second) continue;
+        out.push_back(
+            {"lock-unguarded-field", f.rel, t.line, t.col,
+             "`" + gf.name + "` (PPF_GUARDED_BY(" + gf.mutex +
+                 ") at " + p.files[gf.file].rel + ":" +
+                 std::to_string(gf.line) + ") is touched in `" + fd->qual +
+                 "` without acquiring `" + gf.mutex + "`",
+             "take std::lock_guard<std::mutex> lk(" + gf.mutex +
+                 ") first, or annotate the line `// ppf:lock-ok(<why>)` "
+                 "if the access is provably race-free"});
+      }
+    }
+  }
+}
+
+}  // namespace ppf::analyze

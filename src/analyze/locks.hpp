@@ -1,0 +1,30 @@
+// ppf::analyze — lock discipline pass.
+//
+// Concurrency-facing fields in serve/runlab/obs carry a
+// `// PPF_GUARDED_BY(mutex_name)` trailing comment on their declaration.
+// This pass statically complements the TSan CI leg: every use of an
+// annotated field inside a method of the declaring class must sit in a
+// function that acquires the named mutex (std::lock_guard /
+// unique_lock / scoped_lock naming it, or an explicit .lock() /
+// .try_lock() on it) *before* the use.
+//
+//   lock-unguarded-field  annotated field touched without the mutex
+//   lock-unknown-mutex    annotation names a mutex the file never
+//                         declares (typo'd annotations must not pass)
+//
+// Constructors and destructors are exempt (single-threaded by
+// contract: no other thread holds a reference yet / anymore). A
+// deliberate lock-free access is suppressed with `// ppf:lock-ok(<why>)`
+// on the use line or the function's definition line.
+#pragma once
+
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "analyze/source_model.hpp"
+
+namespace ppf::analyze {
+
+void check_locks(const Project& p, std::vector<Diagnostic>& out);
+
+}  // namespace ppf::analyze

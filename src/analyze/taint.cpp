@@ -1,0 +1,283 @@
+#include "analyze/taint.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ppf::analyze {
+
+namespace {
+
+bool is_call_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "decltype" ||
+         s == "alignof" || s == "static_assert" || s == "noexcept" ||
+         s == "catch" || s == "new" || s == "delete" || s == "throw" ||
+         s == "static_cast" || s == "reinterpret_cast" ||
+         s == "const_cast" || s == "dynamic_cast" || s == "assert" ||
+         s == "defined";
+}
+
+/// Names that make a *call* non-deterministic when reachable from the
+/// hot path. Kept as string data so the analyzer never trips its own
+/// rules when analyzing this tree.
+bool is_banned_call(const std::string& s) {
+  return s == "rand" || s == "srand" || s == "rand_r" ||
+         s == "gettimeofday" || s == "localtime" || s == "gmtime";
+}
+
+/// Type-ish names banned on sight (no call syntax needed).
+bool is_banned_name(const std::string& s) {
+  return s == "random_device" || s == "system_clock";
+}
+
+struct FnInfo {
+  std::vector<std::size_t> callees;  ///< indices into Project::funcs
+  bool root = false;
+};
+
+/// True when `toks[i]` is an identifier that reads as a call target:
+/// followed by '(' and not preceded by something that makes it a
+/// declaration (another identifier, '>', '*', '&').
+bool reads_as_call(const std::vector<Token>& toks, std::size_t i) {
+  if (toks[i].kind != TokKind::Ident) return false;
+  std::size_t j = i + 1;
+  while (j < toks.size() && toks[j].kind == TokKind::Comment) ++j;
+  if (j >= toks.size() || toks[j].kind != TokKind::Punct ||
+      toks[j].text != "(")
+    return false;
+  for (std::size_t k = i; k-- > 0;) {
+    if (toks[k].kind == TokKind::Comment) continue;
+    if (toks[k].kind == TokKind::Ident) {
+      // `const foo(` and friends still read as calls; `Foo bar(` does
+      // not (it is a declaration of bar).
+      const std::string& prev = toks[k].text;
+      return prev == "return" || prev == "const" || prev == "co_return" ||
+             prev == "co_await" || prev == "case" || prev == "else" ||
+             prev == "do" || prev == "in";
+    }
+    if (toks[k].kind == TokKind::Punct) {
+      const std::string& p = toks[k].text;
+      return !(p == ">" || p == "*" || p == "&" || p == "&&");
+    }
+    return true;
+  }
+  return true;
+}
+
+/// Does a `// ppf:taint-ok` comment sit on `line` of `f`?
+bool taint_ok_on_line(const SourceFile& f, std::size_t line) {
+  for (const Token& t : f.toks) {
+    if (t.kind == TokKind::Comment && t.line == line &&
+        t.text.find("ppf:taint-ok") != std::string::npos)
+      return true;
+    if (t.line > line) break;
+  }
+  return false;
+}
+
+bool preceded_by_std(const std::vector<Token>& toks, std::size_t i) {
+  if (i < 2) return false;
+  return toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "::" &&
+         toks[i - 2].kind == TokKind::Ident && toks[i - 2].text == "std";
+}
+
+}  // namespace
+
+void check_taint(const Project& p, std::vector<Diagnostic>& out) {
+  const std::size_t n = p.funcs.size();
+  std::vector<FnInfo> info(n);
+
+  // Identify roots.
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionDef& fd = p.funcs[i];
+    const SourceFile& f = p.files[fd.file];
+    if (f.line_is_hot(fd.line) || f.line_is_hot(fd.body_end_line)) {
+      info[i].root = true;
+      continue;
+    }
+    // `// ppf:taint-root` within the two lines above the definition.
+    for (const Token& t : f.toks) {
+      if (t.line + 2 < fd.line) continue;
+      if (t.line >= fd.line) break;
+      if (t.kind == TokKind::Comment &&
+          t.text.find("ppf:taint-root") != std::string::npos) {
+        info[i].root = true;
+        break;
+      }
+    }
+  }
+
+  // Approximate call graph: name-matched callees per function body.
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionDef& fd = p.funcs[i];
+    const std::vector<Token>& toks = p.files[fd.file].toks;
+    std::set<std::string> seen;
+    for (std::size_t ti = fd.tok_begin; ti < fd.tok_end; ++ti) {
+      if (!reads_as_call(toks, ti)) continue;
+      const std::string& name = toks[ti].text;
+      if (is_call_keyword(name) || !seen.insert(name).second) continue;
+      for (auto [it, end] = p.funcs_by_name.equal_range(name); it != end;
+           ++it) {
+        if (it->second != i) info[i].callees.push_back(it->second);
+      }
+    }
+  }
+
+  // BFS from the roots; parents give the explanation chain.
+  std::vector<std::size_t> parent(n, static_cast<std::size_t>(-1));
+  std::vector<char> reach(n, 0);
+  std::deque<std::size_t> work;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (info[i].root) {
+      reach[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t cur = work.front();
+    work.pop_front();
+    for (const std::size_t next : info[cur].callees) {
+      if (reach[next]) continue;
+      reach[next] = 1;
+      parent[next] = cur;
+      work.push_back(next);
+    }
+  }
+
+  auto chain_for = [&](std::size_t i) {
+    std::string chain = p.funcs[i].qual;
+    std::size_t hops = 0;
+    for (std::size_t cur = i; parent[cur] != static_cast<std::size_t>(-1);
+         cur = parent[cur]) {
+      chain = p.funcs[parent[cur]].qual + " -> " + chain;
+      if (++hops > 12) {
+        chain = "... -> " + chain;
+        break;
+      }
+    }
+    return chain;
+  };
+
+  // Names declared as std::unordered_* containers anywhere in the
+  // project (variables, members, parameters) — iteration targets.
+  std::set<std::string> unordered_names;
+  for (const SourceFile& f : p.files) {
+    const std::vector<Token>& toks = f.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Ident ||
+          toks[i].text.rfind("unordered_", 0) != 0)
+        continue;
+      // Skip the template argument list, then &, *, const.
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::Punct &&
+          toks[j].text == "<") {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].kind != TokKind::Punct) continue;
+          if (toks[j].text == "<") ++depth;
+          else if (toks[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          } else if (toks[j].text == ">>" && (depth -= 2) <= 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < toks.size() &&
+             ((toks[j].kind == TokKind::Punct &&
+               (toks[j].text == "&" || toks[j].text == "*")) ||
+              (toks[j].kind == TokKind::Ident && toks[j].text == "const")))
+        ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::Ident)
+        unordered_names.insert(toks[j].text);
+    }
+  }
+
+  // Scan every reachable function body for hazards.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reach[i]) continue;
+    const FunctionDef& fd = p.funcs[i];
+    const SourceFile& f = p.files[fd.file];
+    const std::vector<Token>& toks = f.toks;
+    for (std::size_t ti = fd.tok_begin; ti < fd.tok_end; ++ti) {
+      const Token& t = toks[ti];
+      if (t.kind != TokKind::Ident) continue;
+
+      const bool banned_call = is_banned_call(t.text) &&
+                               reads_as_call(toks, ti);
+      const bool banned_std_call =
+          (t.text == "time" || t.text == "clock") &&
+          preceded_by_std(toks, ti) && reads_as_call(toks, ti);
+      if ((banned_call || banned_std_call || is_banned_name(t.text)) &&
+          !taint_ok_on_line(f, t.line)) {
+        out.push_back(
+            {"taint-wallclock", f.rel, t.line, t.col,
+             "`" + t.text + "` in `" + fd.qual +
+                 "`, reachable from the simulation hot path: " +
+                 chain_for(i),
+             "route through common/random.hpp (seeded) or move the read "
+             "off the hot path; steady_clock is the sanctioned "
+             "telemetry clock"});
+        continue;
+      }
+
+      if (t.text == "hash" && preceded_by_std(toks, ti) &&
+          ti + 1 < toks.size() && toks[ti + 1].kind == TokKind::Punct &&
+          toks[ti + 1].text == "<") {
+        // Pointer inside the template argument list?
+        int depth = 0;
+        for (std::size_t j = ti + 1; j < toks.size(); ++j) {
+          if (toks[j].kind != TokKind::Punct) continue;
+          if (toks[j].text == "<") ++depth;
+          else if (toks[j].text == ">" && --depth == 0) break;
+          else if (toks[j].text == "*" && depth == 1 &&
+                   !taint_ok_on_line(f, t.line)) {
+            out.push_back(
+                {"taint-ptr-hash", f.rel, t.line, t.col,
+                 "std::hash over a pointer type in `" + fd.qual +
+                     "`, reachable from the simulation hot path: " +
+                     chain_for(i),
+                 "hash a stable ID instead of an address (addresses "
+                 "change run to run)"});
+            break;
+          }
+        }
+        continue;
+      }
+
+      // Iteration over an unordered container: X.begin()/X.cbegin() or
+      // a range-for `: X)`.
+      if (unordered_names.count(t.text) == 0) continue;
+      if (taint_ok_on_line(f, t.line)) continue;
+      bool iterates = false;
+      if (ti + 2 < toks.size() && toks[ti + 1].kind == TokKind::Punct &&
+          (toks[ti + 1].text == "." || toks[ti + 1].text == "->") &&
+          toks[ti + 2].kind == TokKind::Ident &&
+          (toks[ti + 2].text == "begin" || toks[ti + 2].text == "cbegin" ||
+           toks[ti + 2].text == "rbegin")) {
+        iterates = true;
+      }
+      if (!iterates && ti > 0 && toks[ti - 1].kind == TokKind::Punct &&
+          toks[ti - 1].text == ":" && ti + 1 < toks.size() &&
+          toks[ti + 1].kind == TokKind::Punct && toks[ti + 1].text == ")") {
+        // `for (auto& x : container)` — ':' directly before, ')' after.
+        iterates = true;
+      }
+      if (iterates) {
+        out.push_back(
+            {"taint-unordered-iter", f.rel, t.line, t.col,
+             "iteration over std::unordered_* container `" + t.text +
+                 "` in `" + fd.qual +
+                 "`, reachable from the simulation hot path: " +
+                 chain_for(i),
+             "fold order-independently, sort before iterating, or use "
+             "common/flat_map.hpp"});
+      }
+    }
+  }
+}
+
+}  // namespace ppf::analyze
