@@ -1,79 +1,57 @@
 // ppf_lint — project-convention linter for the ppf tree.
 //
-// Token/regex-level checks over src/ (deliberately NOT a libclang tool:
-// it must build and run anywhere the simulator builds, with zero extra
-// dependencies). Each rule encodes a convention the codebase relies on
-// but the compiler cannot enforce:
+// Since the ppf::analyze engine landed, ppf_lint is a thin
+// compatibility wrapper: the ten original rules now run on the shared
+// token-stream analyzer (src/analyze) instead of per-line regexes, but
+// this CLI keeps its contract byte-for-byte — same flags, same human
+// and --json output shapes, same exit codes — so scripts, CI legs, and
+// fixture tests keep working unchanged. New rules (layers, taint,
+// locks) are ppf_analyze's business; this tool never emits them.
 //
 //   no-bare-assert        C assert()/<cassert> bypass the PPF_ASSERT
-//                         ladder (common/assert.hpp), losing the
-//                         formatted message and the release-mode
-//                         expression type-check.
+//                         ladder (common/assert.hpp).
 //   no-wallclock-rand     rand()/srand()/std::time()/random_device/
 //                         system_clock in src/ break run determinism
-//                         (common/random.hpp is the only sanctioned
-//                         randomness; steady_clock is allowed — it only
-//                         feeds telemetry).
+//                         (steady_clock is allowed — telemetry only).
 //   obs-check-parity      a header declaring a register_obs hook must
-//                         also declare register_checks: observable
-//                         components are checkable components.
+//                         also declare register_checks.
 //   config-key-docs       every key in sim::override_docs() must be
 //                         documented in docs/*.md or README.md.
 //   obs-event-bookkeeping a PPF_OBS_EVENT probe for a classifier-shaped
-//                         lifecycle kind (Issued/Filtered/Squashed/
-//                         Evict*) must sit next to the matching
-//                         classifier record_* call — the obs stream and
-//                         the counters must not drift apart.
-//   invariant-id-docs     every invariant ID string used at a
-//                         ctx.require()/ctx.fail()/CheckFailure site
-//                         must be documented in docs/CHECKING.md.
-//   serve-verb-docs       every protocol verb in serve::verb_docs() and
-//                         every error code in error_code_docs() must be
-//                         documented in docs/SERVE.md.
-//   hot-loop-no-virtual   inside a region marked `// ppf:hot` (until
-//                         `// ppf:cold` or EOF) the code must not
-//                         declare anything `virtual` and must not call
-//                         through a variable declared with an abstract
-//                         interface type (DataMemory/InstMemory/
-//                         TraceSource/Prefetcher/PollutionFilter/
-//                         CoreEngine) — the batched stage kernels'
-//                         speedup rests on devirtualized concrete calls,
-//                         and a casual refactor must not quietly
-//                         reintroduce dispatch into the cycle loop.
+//                         lifecycle kind must sit next to the matching
+//                         classifier record_* call.
+//   invariant-id-docs     invariant IDs at require()/fail()/CheckFailure
+//                         sites must be documented in docs/CHECKING.md.
+//   diff-oracle-docs      diff.* oracle IDs must appear in docs/DIFF.md.
+//   serve-verb-docs       protocol verbs and error codes must appear in
+//                         docs/SERVE.md.
+//   hot-loop-no-virtual   no `virtual` / abstract-interface calls inside
+//                         // ppf:hot regions.
+//   span-name-docs        span names must appear in docs/OBSERVABILITY.md.
 //
 // Usage: ppf_lint [--root DIR] [--json] [--expect-violations]
 //                 [--list-rules]
 // Exit:  0 clean (or, under --expect-violations, at least one finding)
 //        1 findings (or, under --expect-violations, none)
 //        2 usage or I/O error
-#include <algorithm>
-#include <cstddef>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <regex>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "analyze/engine.hpp"
+#include "analyze/report.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
-
-struct Finding {
-  std::string rule;
-  std::string file;  // repo-relative, '/' separators
-  std::size_t line;  // 1-based; 0 = whole file
-  std::string message;
-};
 
 struct Rule {
   const char* name;
   const char* help;
 };
 
+// The historical --list-rules order, preserved.
 constexpr Rule kRules[] = {
     {"no-bare-assert",
      "use PPF_ASSERT/PPF_CHECK (common/assert.hpp), not assert()/<cassert>"},
@@ -99,451 +77,6 @@ constexpr Rule kRules[] = {
      "every span name in obs::span_name_docs() must appear in "
      "docs/OBSERVABILITY.md"},
 };
-
-std::vector<std::string> read_lines(const fs::path& p) {
-  std::ifstream in(p);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-std::string read_text(const fs::path& p) {
-  std::ifstream in(p);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-std::string rel(const fs::path& p, const fs::path& root) {
-  return fs::relative(p, root).generic_string();
-}
-
-/// Line is pure comment (// or a block-comment continuation). Good
-/// enough at token level: mixed code+comment lines still get scanned.
-bool comment_line(const std::string& s) {
-  const std::size_t i = s.find_first_not_of(" \t");
-  if (i == std::string::npos) return false;
-  return s.compare(i, 2, "//") == 0 || s[i] == '*' ||
-         s.compare(i, 2, "/*") == 0;
-}
-
-bool ident_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-/// `word` present in `text` with non-identifier characters on both sides.
-bool contains_word(const std::string& text, const std::string& word) {
-  for (std::size_t pos = text.find(word); pos != std::string::npos;
-       pos = text.find(word, pos + 1)) {
-    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= text.size() || !ident_char(text[end]);
-    if (left_ok && right_ok) return true;
-  }
-  return false;
-}
-
-std::vector<fs::path> source_files(const fs::path& src_root) {
-  std::vector<fs::path> files;
-  if (!fs::exists(src_root)) return files;
-  for (const auto& e : fs::recursive_directory_iterator(src_root)) {
-    if (!e.is_regular_file()) continue;
-    const std::string ext = e.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
-      files.push_back(e.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-// --- rule: no-bare-assert -------------------------------------------------
-
-void check_bare_assert(const fs::path& file, const fs::path& root,
-                       const std::vector<std::string>& lines,
-                       std::vector<Finding>& out) {
-  const std::string r = rel(file, root);
-  if (r == "src/common/assert.hpp") return;  // the ladder itself
-  static const std::regex bare(R"((^|[^_A-Za-z0-9>."])assert\s*\()");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (comment_line(lines[i])) continue;
-    if (lines[i].find("<cassert>") != std::string::npos) {
-      out.push_back({"no-bare-assert", r, i + 1,
-                     "<cassert> included; use common/assert.hpp"});
-    }
-    if (std::regex_search(lines[i], bare)) {
-      out.push_back({"no-bare-assert", r, i + 1,
-                     "bare assert(); use PPF_ASSERT/PPF_CHECK"});
-    }
-  }
-}
-
-// --- rule: no-wallclock-rand ----------------------------------------------
-
-void check_wallclock_rand(const fs::path& file, const fs::path& root,
-                          const std::vector<std::string>& lines,
-                          std::vector<Finding>& out) {
-  static const std::regex banned(
-      R"(std::rand\s*\(|(^|[^_A-Za-z0-9:.])s?rand\s*\(|std::time\s*\(|random_device|system_clock)");
-  const std::string r = rel(file, root);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (comment_line(lines[i])) continue;
-    if (std::regex_search(lines[i], banned)) {
-      out.push_back({"no-wallclock-rand", r, i + 1,
-                     "non-deterministic source; use common/random.hpp "
-                     "(steady_clock is fine for telemetry)"});
-    }
-  }
-}
-
-// --- rule: obs-check-parity -----------------------------------------------
-
-void check_obs_parity(const fs::path& file, const fs::path& root,
-                      const std::vector<std::string>& lines,
-                      std::vector<Finding>& out) {
-  if (file.extension() != ".hpp" && file.extension() != ".h") return;
-  static const std::regex obs_decl(R"(register_obs\s*\()");
-  static const std::regex chk_decl(R"(register_checks\s*\()");
-  std::size_t obs_line = 0;
-  bool has_checks = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (comment_line(lines[i])) continue;
-    if (obs_line == 0 && std::regex_search(lines[i], obs_decl)) {
-      obs_line = i + 1;
-    }
-    if (std::regex_search(lines[i], chk_decl)) has_checks = true;
-  }
-  if (obs_line != 0 && !has_checks) {
-    out.push_back({"obs-check-parity", rel(file, root), obs_line,
-                   "register_obs declared without register_checks"});
-  }
-}
-
-// --- rule: config-key-docs ------------------------------------------------
-
-void check_config_keys(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path apply = root / "src" / "sim" / "config_apply.cpp";
-  if (!fs::exists(apply)) return;
-  const std::vector<std::string> lines = read_lines(apply);
-
-  std::string docs_text = read_text(root / "README.md");
-  const fs::path docs_dir = root / "docs";
-  if (fs::exists(docs_dir)) {
-    std::vector<fs::path> docs;
-    for (const auto& e : fs::directory_iterator(docs_dir)) {
-      if (e.is_regular_file() && e.path().extension() == ".md") {
-        docs.push_back(e.path());
-      }
-    }
-    std::sort(docs.begin(), docs.end());
-    for (const fs::path& d : docs) docs_text += read_text(d);
-  }
-
-  static const std::regex key_re(R"re(\{\s*"([A-Za-z0-9_]+)"\s*,)re");
-  bool in_docs_fn = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].find("override_docs()") != std::string::npos &&
-        lines[i].find('{') != std::string::npos) {
-      in_docs_fn = true;
-      continue;
-    }
-    if (!in_docs_fn) continue;
-    if (lines[i].find("return docs;") != std::string::npos) break;
-    std::smatch m;
-    if (std::regex_search(lines[i], m, key_re) &&
-        !contains_word(docs_text, m[1].str())) {
-      out.push_back({"config-key-docs", rel(apply, root), i + 1,
-                     "override key '" + m[1].str() +
-                         "' not documented in docs/*.md or README.md"});
-    }
-  }
-}
-
-// --- rule: obs-event-bookkeeping ------------------------------------------
-
-void check_event_bookkeeping(const fs::path& file, const fs::path& root,
-                             const std::vector<std::string>& lines,
-                             std::vector<Finding>& out) {
-  const std::string r = rel(file, root);
-  if (r.rfind("src/obs/", 0) == 0) return;  // the macro's own home
-  static const std::map<std::string, std::string> pair = {
-      {"EventKind::Issued", "record_issued"},
-      {"EventKind::Filtered", "record_filtered"},
-      {"EventKind::Squashed", "record_squashed"},
-      {"EventKind::EvictReferenced", "record_outcome"},
-      {"EventKind::EvictDead", "record_outcome"},
-  };
-  constexpr std::size_t kWindow = 8;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].find("PPF_OBS_EVENT(") == std::string::npos) continue;
-    // The macro call may wrap; the kind argument sits within 3 lines.
-    std::string call;
-    for (std::size_t j = i; j < lines.size() && j < i + 4; ++j) {
-      call += lines[j];
-    }
-    for (const auto& [kind, record] : pair) {
-      if (call.find(kind) == std::string::npos) continue;
-      const std::size_t lo = i >= kWindow ? i - kWindow : 0;
-      const std::size_t hi = std::min(lines.size(), i + kWindow + 1);
-      bool found = false;
-      for (std::size_t j = lo; j < hi && !found; ++j) {
-        found = lines[j].find(record + "(") != std::string::npos;
-      }
-      if (!found) {
-        out.push_back({"obs-event-bookkeeping", r, i + 1,
-                       kind + " probe without nearby classifier " + record +
-                           "() call"});
-      }
-    }
-  }
-}
-
-// --- rule: invariant-id-docs ----------------------------------------------
-
-void check_invariant_ids(const fs::path& file, const fs::path& root,
-                         const std::vector<std::string>& lines,
-                         const std::string& checking_md,
-                         std::vector<Finding>& out) {
-  static const std::regex site(R"((require|fail)\s*\(|CheckFailure\{)");
-  static const std::regex id_re(
-      R"re("([a-z][a-z0-9_]*(\.[a-z][a-z0-9_.]*)+)")re");
-  const std::string r = rel(file, root);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (comment_line(lines[i])) continue;
-    if (!std::regex_search(lines[i], site)) continue;
-    // Convention: the ID literal sits on the site line or within the
-    // next two (continuation) lines.
-    std::string span;
-    for (std::size_t j = i; j < lines.size() && j < i + 3; ++j) {
-      span += lines[j];
-      span += '\n';
-    }
-    for (std::sregex_iterator it(span.begin(), span.end(), id_re), end;
-         it != end; ++it) {
-      const std::string id = (*it)[1].str();
-      if (checking_md.find(id) == std::string::npos) {
-        out.push_back({"invariant-id-docs", r, i + 1,
-                       "invariant ID \"" + id +
-                           "\" not documented in docs/CHECKING.md"});
-      }
-    }
-  }
-}
-
-// --- rule: diff-oracle-docs -------------------------------------------------
-
-void check_diff_oracle_ids(const fs::path& file, const fs::path& root,
-                           const std::vector<std::string>& lines,
-                           const std::string& diff_md,
-                           std::vector<Finding>& out) {
-  const std::string r = rel(file, root);
-  if (r.rfind("src/diff/", 0) != 0) return;
-  // Every "diff.xxx" string literal in the diff subsystem is an oracle
-  // ID a user may see in a violation report — each must be explained in
-  // the docs/DIFF.md catalogue.
-  static const std::regex id_re(R"re("(diff\.[a-z][a-z0-9_.]*)")re");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (comment_line(lines[i])) continue;
-    for (std::sregex_iterator it(lines[i].begin(), lines[i].end(), id_re),
-         end;
-         it != end; ++it) {
-      const std::string id = (*it)[1].str();
-      if (diff_md.find(id) == std::string::npos) {
-        out.push_back({"diff-oracle-docs", r, i + 1,
-                       "oracle ID \"" + id +
-                           "\" not documented in docs/DIFF.md"});
-      }
-    }
-  }
-}
-
-// --- rule: serve-verb-docs --------------------------------------------------
-
-void check_serve_docs(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path proto = root / "src" / "serve" / "protocol.cpp";
-  if (!fs::exists(proto)) return;
-  const std::vector<std::string> lines = read_lines(proto);
-  const std::string serve_md = read_text(root / "docs" / "SERVE.md");
-
-  // Same shape as config-key-docs: walk each catalogue function's
-  // initializer, pull the first string of every entry, and require it
-  // word-for-word in docs/SERVE.md.
-  static const std::regex entry_re(R"re(\{\s*"([a-z][a-z0-9_]*)"\s*,)re");
-  const struct {
-    const char* fn;
-    const char* what;
-  } tables[] = {{"verb_docs()", "verb"}, {"error_code_docs()", "error code"}};
-  for (const auto& table : tables) {
-    bool in_fn = false;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (lines[i].find(table.fn) != std::string::npos &&
-          lines[i].find('{') != std::string::npos) {
-        in_fn = true;
-        continue;
-      }
-      if (!in_fn) continue;
-      if (lines[i].find("return docs;") != std::string::npos) break;
-      std::smatch m;
-      if (std::regex_search(lines[i], m, entry_re) &&
-          !contains_word(serve_md, m[1].str())) {
-        out.push_back({"serve-verb-docs", rel(proto, root), i + 1,
-                       "protocol " + std::string(table.what) + " '" +
-                           m[1].str() +
-                           "' not documented in docs/SERVE.md"});
-      }
-    }
-  }
-}
-
-// --- rule: span-name-docs ---------------------------------------------------
-
-void check_span_docs(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path span = root / "src" / "obs" / "span.cpp";
-  if (!fs::exists(span)) return;
-  const std::vector<std::string> lines = read_lines(span);
-  const std::string obs_md = read_text(root / "docs" / "OBSERVABILITY.md");
-
-  // Same catalogue-scan shape as serve-verb-docs, over the span-name
-  // catalogue. Span names are dotted ("serve.queue_wait"), so the entry
-  // regex admits '.' where the protocol one does not.
-  static const std::regex entry_re(R"re(\{\s*"([a-z][a-z0-9_.]*)"\s*,)re");
-  bool in_fn = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].find("span_name_docs()") != std::string::npos &&
-        lines[i].find('{') != std::string::npos) {
-      in_fn = true;
-      continue;
-    }
-    if (!in_fn) continue;
-    if (lines[i].find("return docs;") != std::string::npos) break;
-    std::smatch m;
-    if (std::regex_search(lines[i], m, entry_re) &&
-        !contains_word(obs_md, m[1].str())) {
-      out.push_back({"span-name-docs", rel(span, root), i + 1,
-                     "span name '" + m[1].str() +
-                         "' not documented in docs/OBSERVABILITY.md"});
-    }
-  }
-}
-
-// --- rule: hot-loop-no-virtual ----------------------------------------------
-
-void check_hot_loop_virtual(const fs::path& file, const fs::path& root,
-                            const std::vector<std::string>& lines,
-                            std::vector<Finding>& out) {
-  const std::string r = rel(file, root);
-  // Pass 1: collect every variable declared with an abstract interface
-  // type anywhere in the file (members, parameters, locals). These are
-  // the handles a call would dynamically dispatch through.
-  static const std::regex iface_decl(
-      R"((DataMemory|InstMemory|TraceSource|Prefetcher|PollutionFilter|CoreEngine)\s*[&*]\s*([A-Za-z_][A-Za-z0-9_]*))");
-  std::vector<std::string> handles;
-  bool any_hot = false;
-  for (const std::string& line : lines) {
-    if (line.find("ppf:hot") != std::string::npos) any_hot = true;
-    std::smatch m;
-    std::string rest = line;
-    while (std::regex_search(rest, m, iface_decl)) {
-      if (std::find(handles.begin(), handles.end(), m[2].str()) ==
-          handles.end()) {
-        handles.push_back(m[2].str());
-      }
-      rest = m.suffix();
-    }
-  }
-  if (!any_hot) return;
-
-  // Pass 2: inside hot regions, flag `virtual` and calls through the
-  // collected handles (`h.` / `h->`).
-  bool hot = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (line.find("ppf:hot") != std::string::npos) {
-      hot = true;
-      continue;
-    }
-    if (line.find("ppf:cold") != std::string::npos) {
-      hot = false;
-      continue;
-    }
-    if (!hot || comment_line(line)) continue;
-    // Preprocessor lines cannot dispatch through anything; an #include
-    // path like "workload/trace.hpp" would otherwise read as `trace.`.
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first != std::string::npos && line[first] == '#') continue;
-    if (contains_word(line, "virtual")) {
-      out.push_back({"hot-loop-no-virtual", r, i + 1,
-                     "`virtual` declared inside a ppf:hot region"});
-    }
-    for (const std::string& h : handles) {
-      for (std::size_t pos = line.find(h); pos != std::string::npos;
-           pos = line.find(h, pos + 1)) {
-        if (pos > 0 && ident_char(line[pos - 1])) continue;
-        const std::size_t end = pos + h.size();
-        if (end < line.size() && ident_char(line[end])) continue;
-        const bool call = line.compare(end, 1, ".") == 0 ||
-                          line.compare(end, 2, "->") == 0;
-        if (call) {
-          out.push_back(
-              {"hot-loop-no-virtual", r, i + 1,
-               "call through abstract interface handle '" + h +
-                   "' inside a ppf:hot region (devirtualize or mark the "
-                   "slow path // ppf:cold)"});
-          break;
-        }
-      }
-    }
-  }
-}
-
-// --- output ----------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else if (c == '\t') {
-      out += "\\t";
-    } else if (c == '\r') {
-      out += "\\r";
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      // Any other control byte would be invalid inside a JSON string —
-      // a source line with a stray \f or \x01 must not break --json.
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-void print_findings(const std::vector<Finding>& findings, bool json) {
-  if (json) {
-    std::cout << "[";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-      const Finding& f = findings[i];
-      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\": \""
-                << json_escape(f.rule) << "\", \"file\": \""
-                << json_escape(f.file) << "\", \"line\": " << f.line
-                << ", \"message\": \"" << json_escape(f.message) << "\"}";
-    }
-    std::cout << (findings.empty() ? "]" : "\n]") << "\n";
-    return;
-  }
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-}
 
 }  // namespace
 
@@ -579,24 +112,14 @@ int main(int argc, char** argv) {
   }
   root = fs::canonical(root);
 
-  const std::string checking_md = read_text(root / "docs" / "CHECKING.md");
-  const std::string diff_md = read_text(root / "docs" / "DIFF.md");
-  std::vector<Finding> findings;
-  for (const fs::path& f : source_files(root / "src")) {
-    const std::vector<std::string> lines = read_lines(f);
-    check_bare_assert(f, root, lines, findings);
-    check_wallclock_rand(f, root, lines, findings);
-    check_obs_parity(f, root, lines, findings);
-    check_event_bookkeeping(f, root, lines, findings);
-    check_invariant_ids(f, root, lines, checking_md, findings);
-    check_diff_oracle_ids(f, root, lines, diff_md, findings);
-    check_hot_loop_virtual(f, root, lines, findings);
-  }
-  check_config_keys(root, findings);
-  check_serve_docs(root, findings);
-  check_span_docs(root, findings);
+  const std::vector<ppf::analyze::Diagnostic> findings =
+      ppf::analyze::analyze_tree(root, ppf::analyze::legacy_lint_rules());
 
-  print_findings(findings, json);
+  if (json) {
+    ppf::analyze::print_legacy_json(std::cout, findings);
+  } else {
+    ppf::analyze::print_legacy_human(std::cout, findings);
+  }
   if (expect_violations) {
     if (findings.empty()) {
       std::cerr << "ppf_lint: expected violations, found none\n";
