@@ -73,10 +73,10 @@ class FlightRecorder {
   };
 
   mutable std::mutex mu_;
-  std::vector<FlightSpan> spans_;  ///< ring, index = seen % capacity
-  std::vector<FlightNote> notes_;
-  std::uint64_t spans_seen_ = 0;
-  std::uint64_t notes_seen_ = 0;
+  std::vector<FlightSpan> spans_;  // PPF_GUARDED_BY(mu_) ring, seen % cap
+  std::vector<FlightNote> notes_;  // PPF_GUARDED_BY(mu_)
+  std::uint64_t spans_seen_ = 0;   // PPF_GUARDED_BY(mu_)
+  std::uint64_t notes_seen_ = 0;   // PPF_GUARDED_BY(mu_)
 };
 
 }  // namespace ppf::obs

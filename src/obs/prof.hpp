@@ -59,7 +59,7 @@ class Profiler {
 
  private:
   mutable std::mutex mu_;
-  std::vector<Histogram> hists_;
+  std::vector<Histogram> hists_;  // PPF_GUARDED_BY(mu_)
 };
 
 /// RAII probe: measures construction-to-destruction and records it on

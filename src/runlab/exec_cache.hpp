@@ -139,14 +139,14 @@ class ExecCache {
   const ExecCacheConfig cfg_;
 
   mutable std::mutex mu_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t lru_clock_ = 0;
-  std::unordered_map<std::string, std::size_t> demand_;
-  std::unordered_map<std::string, Entry<ArenaPtr>> arenas_;
-  std::unordered_map<std::string, Entry<SnapshotPtr>> snaps_;
-  std::size_t arena_bytes_ = 0;     ///< sum of finalized resident entries
-  std::size_t snapshot_bytes_ = 0;
-  ExecCacheStats counters_;         ///< guarded by mu_ (bytes fields unused)
+  std::uint64_t next_id_ = 1;   // PPF_GUARDED_BY(mu_)
+  std::uint64_t lru_clock_ = 0;  // PPF_GUARDED_BY(mu_)
+  std::unordered_map<std::string, std::size_t> demand_;  // PPF_GUARDED_BY(mu_)
+  std::unordered_map<std::string, Entry<ArenaPtr>> arenas_;  // PPF_GUARDED_BY(mu_)
+  std::unordered_map<std::string, Entry<SnapshotPtr>> snaps_;  // PPF_GUARDED_BY(mu_)
+  std::size_t arena_bytes_ = 0;  // PPF_GUARDED_BY(mu_) finalized resident sum
+  std::size_t snapshot_bytes_ = 0;  // PPF_GUARDED_BY(mu_)
+  ExecCacheStats counters_;  // PPF_GUARDED_BY(mu_) (bytes fields unused)
 };
 
 }  // namespace ppf::runlab

@@ -45,11 +45,11 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const IndexedFn* fn_ = nullptr;   // guarded by mu_ (read at batch start)
-  std::size_t count_ = 0;           // guarded by mu_ (read at batch start)
-  std::size_t active_ = 0;          // workers still inside current batch
-  std::uint64_t generation_ = 0;    // bumped once per run()
-  bool stop_ = false;
+  const IndexedFn* fn_ = nullptr;   // PPF_GUARDED_BY(mu_) read at batch start
+  std::size_t count_ = 0;           // PPF_GUARDED_BY(mu_) read at batch start
+  std::size_t active_ = 0;          // PPF_GUARDED_BY(mu_) workers in batch
+  std::uint64_t generation_ = 0;    // PPF_GUARDED_BY(mu_) bumped per run()
+  bool stop_ = false;               // PPF_GUARDED_BY(mu_)
 
   std::atomic<std::size_t> next_{0};  // the lock-free job cursor
 };

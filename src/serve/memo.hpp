@@ -44,8 +44,8 @@ class ResultMemo {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::string> entries_;
-  MemoStats stats_;
+  std::unordered_map<std::string, std::string> entries_;  // PPF_GUARDED_BY(mu_)
+  MemoStats stats_;  // PPF_GUARDED_BY(mu_)
 };
 
 }  // namespace ppf::serve

@@ -55,7 +55,7 @@ class Server {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // PPF_GUARDED_BY(threads_mu_)
 };
 
 }  // namespace ppf::serve

@@ -182,9 +182,9 @@ class Service {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< workers wait for tasks
   std::condition_variable drain_cv_;  ///< drain() waits for idle
-  std::deque<std::shared_ptr<Task>> queue_;
-  std::size_t inflight_ = 0;
-  bool stop_ = false;
+  std::deque<std::shared_ptr<Task>> queue_;  // PPF_GUARDED_BY(mu_)
+  std::size_t inflight_ = 0;                 // PPF_GUARDED_BY(mu_)
+  bool stop_ = false;                        // PPF_GUARDED_BY(mu_)
   std::atomic<bool> draining_{false};
   std::vector<std::thread> threads_;
 
@@ -192,7 +192,8 @@ class Service {
   // one timeline origin.
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex conns_mu_;
-  std::deque<ConnectionLog> conns_;  ///< deque: stable addresses
+  // deque: stable addresses across growth.
+  std::deque<ConnectionLog> conns_;  // PPF_GUARDED_BY(conns_mu_)
 
   // Serving-decision counters (monotone; registry reads them back).
   std::atomic<std::uint64_t> requests_{0};
@@ -204,8 +205,8 @@ class Service {
   std::atomic<std::uint64_t> run_errors_{0};
 
   mutable std::mutex hist_mu_;
-  Histogram latency_us_;       ///< run latency, memo hits included
-  Histogram miss_latency_us_;  ///< run latency, memo misses only
+  Histogram latency_us_;       // PPF_GUARDED_BY(hist_mu_) memo hits included
+  Histogram miss_latency_us_;  // PPF_GUARDED_BY(hist_mu_) memo misses only
 };
 
 }  // namespace ppf::serve
