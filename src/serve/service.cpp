@@ -130,7 +130,11 @@ void Service::register_metrics() {
   registry_.add_gauge("serve.snapshot_bytes", [this] {
     return static_cast<double>(cache_.stats().snapshot_bytes);
   });
+  // Ctor-only: this registers *pointers* before the workers start, and
+  // every later read goes through metrics_snapshot(), under hist_mu_.
+  // ppf:lock-ok(ctor-only pointer registration; reads hold hist_mu_)
   registry_.add_histogram("serve.latency_us", &latency_us_);
+  // ppf:lock-ok(same: ctor-only pointer registration)
   registry_.add_histogram("serve.miss_latency_us", &miss_latency_us_);
 }
 
