@@ -1,0 +1,6 @@
+// Fixture: one known finding, grandfathered by the checked-in baseline.
+void check_widget(int n) {
+  if (n > 0) {
+    assert(n > 0);
+  }
+}

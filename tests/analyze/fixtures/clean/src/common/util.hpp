@@ -1,0 +1,24 @@
+#pragma once
+#include <cstdint>
+#include <mutex>
+
+namespace fx {
+
+class Tally {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++n_;
+  }
+
+  [[nodiscard]] std::uint64_t read() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return n_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t n_ = 0;  // PPF_GUARDED_BY(mu_)
+};
+
+}  // namespace fx

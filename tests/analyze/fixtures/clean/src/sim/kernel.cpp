@@ -1,0 +1,27 @@
+// Clean on every rule: a hot kernel that reads steady_clock (the
+// sanctioned telemetry clock), keyed — not iterated — unordered access,
+// and a properly locked guarded field.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/util.hpp"
+
+namespace fx {
+
+std::unordered_map<std::uint64_t, int> pending;
+Tally tally;
+
+// ppf:hot
+int stage_step(std::uint64_t addr) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto it = pending.find(addr);
+  tally.bump();
+  const auto t1 = std::chrono::steady_clock::now();
+  return it == pending.end()
+             ? 0
+             : it->second + static_cast<int>((t1 - t0).count() == 0);
+}
+// ppf:cold
+
+}  // namespace fx

@@ -1,0 +1,4 @@
+#pragma once
+#include "b/y.hpp"
+
+inline int x_value() { return y_value() + 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "a/x.hpp"
+
+inline int y_value() { return 41; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "serve/api.hpp"
+
+inline int cache_lookup() { return serve_api(); }

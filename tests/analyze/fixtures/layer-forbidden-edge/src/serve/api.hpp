@@ -1,0 +1,3 @@
+#pragma once
+
+inline int serve_api() { return 7; }

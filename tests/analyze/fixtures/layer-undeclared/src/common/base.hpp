@@ -1,0 +1,3 @@
+#pragma once
+
+inline int base_value() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "common/base.hpp"
+
+inline int widget_value() { return base_value() + 1; }

@@ -1,0 +1,13 @@
+#include "serve/counter.hpp"
+
+namespace fx {
+
+void Counter::bump() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++n_;
+}
+
+// The violation: reads the guarded field with no lock.
+std::uint64_t Counter::read() const { return n_; }
+
+}  // namespace fx

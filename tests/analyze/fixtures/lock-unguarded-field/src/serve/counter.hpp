@@ -1,0 +1,17 @@
+#pragma once
+#include <cstdint>
+#include <mutex>
+
+namespace fx {
+
+class Counter {
+ public:
+  void bump();
+  [[nodiscard]] std::uint64_t read() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t n_ = 0;  // PPF_GUARDED_BY(mu_)
+};
+
+}  // namespace fx

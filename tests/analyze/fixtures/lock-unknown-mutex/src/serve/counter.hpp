@@ -1,0 +1,17 @@
+#pragma once
+#include <cstdint>
+#include <mutex>
+
+namespace fx {
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable std::mutex mu_;
+  // The annotation names a mutex that does not exist in this file.
+  std::uint64_t n_ = 0;  // PPF_GUARDED_BY(lock_)
+};
+
+}  // namespace fx

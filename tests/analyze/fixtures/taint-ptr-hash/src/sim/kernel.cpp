@@ -1,0 +1,12 @@
+// Fixture: hashing a pointer inside a stage kernel. Addresses change
+// run to run, so anything derived from them is non-deterministic.
+#include <cstddef>
+#include <functional>
+
+namespace fx {
+
+// ppf:hot
+std::size_t stage_bucket(void* p) { return std::hash<void*>{}(p); }
+// ppf:cold
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: iterating an unordered container inside a stage kernel.
+// Keyed access would be fine; iteration order is address-dependent and
+// must not feed simulated state.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx {
+
+std::unordered_map<std::uint64_t, int> pending;
+
+// ppf:hot
+int stage_drain() {
+  int sum = 0;
+  for (const auto& [addr, v] : pending) sum += v;
+  return sum;
+}
+// ppf:cold
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: a wall-clock read hiding one call away from a stage kernel.
+// The hot function itself is clean; the cold-looking helper it calls is
+// not — reachability, not lexical position, is what the taint pass
+// checks.
+#include <chrono>
+
+namespace fx {
+
+long read_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// ppf:hot
+void stage_issue(long* out) { *out = read_wall_clock(); }
+// ppf:cold
+
+}  // namespace fx

@@ -1,0 +1,171 @@
+// Tokenizer edge cases: the places where a line-regex linter lies and
+// the lexer must not — raw strings, continuation macros, block
+// comments, disabled regions, foreign line endings.
+#include "analyze/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ppf::analyze {
+namespace {
+
+std::vector<Token> of_kind(const std::vector<Token>& toks, TokKind k) {
+  std::vector<Token> out;
+  for (const Token& t : toks) {
+    if (t.kind == k) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(Lexer, RawStringSwallowsFakeTerminators) {
+  // The ')"' inside does not close a raw string with a delimiter.
+  const auto toks = tokenize(R"src(auto s = R"ppf(quote " close )" done)ppf";)src");
+  const auto strings = of_kind(toks, TokKind::String);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "quote \" close )\" done");
+}
+
+TEST(Lexer, RawStringPrefixes) {
+  for (const std::string prefix : {"R", "u8R", "uR", "UR", "LR"}) {
+    const auto toks = tokenize("auto s = " + prefix + "\"(x)\";");
+    const auto strings = of_kind(toks, TokKind::String);
+    ASSERT_EQ(strings.size(), 1u) << prefix;
+    EXPECT_EQ(strings[0].text, "x") << prefix;
+  }
+}
+
+TEST(Lexer, StringEscapesDoNotEndEarly) {
+  const auto toks = tokenize("auto s = \"a\\\"b\"; int x;");
+  const auto strings = of_kind(toks, TokKind::String);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "a\\\"b");
+  // The `int x` after must still tokenize.
+  const auto idents = of_kind(toks, TokKind::Ident);
+  ASSERT_GE(idents.size(), 2u);
+  EXPECT_EQ(idents.back().text, "x");
+}
+
+TEST(Lexer, CodeInsideStringIsData) {
+  // The classic regex false positive: rand() inside a string literal.
+  const auto toks = tokenize("log(\"do not call rand() here\");");
+  for (const Token& t : of_kind(toks, TokKind::Ident)) {
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(Lexer, LineContinuationMacroFoldsToOneDirective) {
+  const auto toks = tokenize(
+      "#define STAGE(x) \\\n"
+      "  do_stage(x); \\\n"
+      "  tick()\n"
+      "int after;");
+  const auto dirs = of_kind(toks, TokKind::Directive);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_NE(dirs[0].text.find("do_stage"), std::string::npos);
+  EXPECT_NE(dirs[0].text.find("tick"), std::string::npos);
+  // The macro body must not leak identifier tokens...
+  for (const Token& t : of_kind(toks, TokKind::Ident)) {
+    EXPECT_NE(t.text, "do_stage");
+  }
+  // ...and the following line still tokenizes at its true line number.
+  const auto idents = of_kind(toks, TokKind::Ident);
+  ASSERT_EQ(idents.size(), 2u);
+  EXPECT_EQ(idents[1].text, "after");
+  EXPECT_EQ(idents[1].line, 4u);
+}
+
+TEST(Lexer, BlockCommentsDoNotNest) {
+  // C++ block comments end at the FIRST */ — `y` is live code.
+  const auto toks = tokenize("/* outer /* inner */ int y; /* tail */");
+  const auto idents = of_kind(toks, TokKind::Ident);
+  ASSERT_EQ(idents.size(), 2u);
+  EXPECT_EQ(idents[1].text, "y");
+  EXPECT_EQ(of_kind(toks, TokKind::Comment).size(), 2u);
+}
+
+TEST(Lexer, If0RegionIsInvisible) {
+  const auto toks = tokenize(
+      "int keep;\n"
+      "#if 0\n"
+      "int dead = rand();\n"
+      "#if 1\n"
+      "int nested_dead;\n"
+      "#endif\n"
+      "int also_dead;\n"
+      "#endif\n"
+      "int kept_too;\n");
+  std::vector<std::string> names;
+  for (const Token& t : of_kind(toks, TokKind::Ident)) {
+    if (t.text != "int") names.push_back(t.text);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"keep", "kept_too"}));
+  // Line numbers survive the skip.
+  const auto idents = of_kind(toks, TokKind::Ident);
+  EXPECT_EQ(idents.back().line, 9u);
+}
+
+TEST(Lexer, If0ElseBranchIsLive) {
+  const auto toks = tokenize(
+      "#if 0\n"
+      "int dead;\n"
+      "#else\n"
+      "int live;\n"
+      "#endif\n");
+  std::vector<std::string> names;
+  for (const Token& t : of_kind(toks, TokKind::Ident)) {
+    if (t.text != "int") names.push_back(t.text);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"live"}));
+}
+
+TEST(Lexer, CrlfCountsLinesAndColumnsLikeLf) {
+  const auto toks = tokenize("int a;\r\nint b;\r\nint c;\n");
+  const auto idents = of_kind(toks, TokKind::Ident);
+  ASSERT_EQ(idents.size(), 6u);
+  EXPECT_EQ(idents[2].line, 2u);  // `int` of line 2
+  EXPECT_EQ(idents[2].col, 1u);
+  EXPECT_EQ(idents[4].line, 3u);
+  EXPECT_EQ(idents[5].text, "c");
+  EXPECT_EQ(idents[5].col, 5u);
+}
+
+TEST(Lexer, CommentsAreTokensWithPositions) {
+  const auto toks = tokenize("int x;  // PPF_GUARDED_BY(mu_)\n");
+  const auto comments = of_kind(toks, TokKind::Comment);
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_NE(comments[0].text.find("PPF_GUARDED_BY(mu_)"), std::string::npos);
+  EXPECT_EQ(comments[0].line, 1u);
+  EXPECT_EQ(comments[0].col, 9u);
+}
+
+TEST(Lexer, PunctLongestMatch) {
+  const auto toks = tokenize("a->b; c <=> d; e <<= 2; f::g;");
+  std::vector<std::string> punct;
+  for (const Token& t : of_kind(toks, TokKind::Punct)) punct.push_back(t.text);
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "->"), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "<=>"), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "<<="), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "::"), punct.end());
+}
+
+TEST(Lexer, CharLiteralWithEscape) {
+  const auto toks = tokenize("char c = '\\''; int after;");
+  const auto chars = of_kind(toks, TokKind::CharLit);
+  ASSERT_EQ(chars.size(), 1u);
+  const auto idents = of_kind(toks, TokKind::Ident);
+  EXPECT_EQ(idents.back().text, "after");
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumber) {
+  const auto toks = tokenize("auto n = 1'000'000; auto f = 1.5e-3;");
+  const auto nums = of_kind(toks, TokKind::Number);
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_EQ(nums[0].text, "1'000'000");
+  EXPECT_EQ(nums[1].text, "1.5e-3");
+}
+
+}  // namespace
+}  // namespace ppf::analyze
