@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   runlab::SweepSpec spec;
   spec.base = cli.cfg;
-  spec.base.filter = filter::FilterKind::Pa;
+  spec.base.filter = "pa";
   spec.benchmarks = kSubset;
 
   std::vector<std::string> order;
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   variant("NSP degree 1 (less aggressive)",
           [](sim::SimConfig& cfg) { cfg.nsp_degree = 1; });
   variant("stride (RPT) prefetcher added",
-          [](sim::SimConfig& cfg) { cfg.enable_stride = true; });
+          [](sim::SimConfig& cfg) { cfg.set_prefetcher("stride", true); });
 
   const runlab::RunReport rep =
       runlab::run_sweep(spec, runlab::with_workers(cli.jobs));

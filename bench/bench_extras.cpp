@@ -28,9 +28,9 @@ void taxonomy_study(const sim::SimConfig& base) {
                 "polluting (PA)", "useless (PA)"});
   for (const std::string& name : workload::benchmark_names()) {
     sim::SimConfig cfg = base;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     const sim::SimResult r0 = sim::run_benchmark(cfg, name);
-    cfg.filter = filter::FilterKind::Pa;
+    cfg.filter = "pa";
     const sim::SimResult r1 = sim::run_benchmark(cfg, name);
     t.add_row({name, sim::fmt_u64(r0.taxonomy.useful),
                sim::fmt_u64(r0.taxonomy.useful_polluting),
@@ -68,15 +68,15 @@ void prefetcher_zoo(const sim::SimConfig& base) {
     int bad_n = 0;
     for (const std::string& name : names) {
       sim::SimConfig cfg = base;
-      cfg.enable_nsp = v.nsp;
-      cfg.enable_sdp = v.sdp;
-      cfg.enable_stride = v.stride;
-      cfg.enable_stream_buffer = v.stream;
-      cfg.enable_markov = v.markov;
+      cfg.set_prefetcher("nsp", v.nsp);
+      cfg.set_prefetcher("sdp", v.sdp);
+      cfg.set_prefetcher("stride", v.stride);
+      cfg.set_prefetcher("stream_buffer", v.stream);
+      cfg.set_prefetcher("markov", v.markov);
       cfg.enable_sw_prefetch = false;  // isolate the hardware engines
-      cfg.filter = filter::FilterKind::None;
+      cfg.filter = "none";
       const sim::SimResult r0 = sim::run_benchmark(cfg, name);
-      cfg.filter = filter::FilterKind::Pc;
+      cfg.filter = "pc";
       const sim::SimResult r1 = sim::run_benchmark(cfg, name);
       ipc0 += r0.ipc();
       ipc1 += r1.ipc();
@@ -99,8 +99,8 @@ void deadblock_study(const sim::SimConfig& base) {
   std::cout << "3) Dead-block victim gate [11] vs the paper's history-table "
                "filters (mean over all benchmarks)\n\n";
   sim::Table t({"scheme", "mean IPC", "mean bad/good", "rejection rate"});
-  for (auto kind : {filter::FilterKind::None, filter::FilterKind::Pa,
-                    filter::FilterKind::Pc, filter::FilterKind::DeadBlock}) {
+  for (auto kind : {"none", "pa",
+                    "pc", "deadblock"}) {
     double ipc = 0, bg = 0, rej = 0;
     const auto& names = workload::benchmark_names();
     for (const std::string& name : names) {
@@ -114,7 +114,7 @@ void deadblock_study(const sim::SimConfig& base) {
                             : static_cast<double>(r.filter_rejected) /
                                   static_cast<double>(decisions);
     }
-    t.add_row({filter::to_string(kind), sim::fmt(ipc / names.size()),
+    t.add_row({kind, sim::fmt(ipc / names.size()),
                sim::fmt(bg / names.size()),
                sim::fmt_pct(rej / names.size())});
   }
@@ -126,17 +126,17 @@ void structural_study(const sim::SimConfig& base) {
                "(mean over all benchmarks)\n\n";
   struct Variant {
     const char* label;
-    filter::FilterKind filter;
+    std::string filter;
     bool l2_only;
     std::size_t victim;
   };
   const Variant variants[] = {
-      {"no control (baseline)", filter::FilterKind::None, false, 0},
-      {"PC filter", filter::FilterKind::Pc, false, 0},
-      {"prefetch into L2 only", filter::FilterKind::None, true, 0},
-      {"prefetch into L2 + PC filter", filter::FilterKind::Pc, true, 0},
-      {"victim cache (16)", filter::FilterKind::None, false, 16},
-      {"victim cache + PC filter", filter::FilterKind::Pc, false, 16},
+      {"no control (baseline)", "none", false, 0},
+      {"PC filter", "pc", false, 0},
+      {"prefetch into L2 only", "none", true, 0},
+      {"prefetch into L2 + PC filter", "pc", true, 0},
+      {"victim cache (16)", "none", false, 16},
+      {"victim cache + PC filter", "pc", false, 16},
   };
   sim::Table t({"scheme", "mean IPC", "mean L1D miss", "mean load lat"});
   const auto& names = workload::benchmark_names();
@@ -174,9 +174,9 @@ void inorder_study(const sim::SimConfig& base) {
         cfg.core.rob_entries = 1;
         cfg.core.lsq_entries = 1;
       }
-      cfg.filter = filter::FilterKind::None;
+      cfg.filter = "none";
       ipc0 += sim::run_benchmark(cfg, name).ipc();
-      cfg.filter = filter::FilterKind::Pc;
+      cfg.filter = "pc";
       ipc1 += sim::run_benchmark(cfg, name).ipc();
     }
     const double n = names.size();

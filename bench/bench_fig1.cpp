@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
 
   runlab::SweepSpec spec;
   spec.base = cli.cfg;
-  spec.base.filter = filter::FilterKind::None;
+  spec.base.filter = "none";
   spec.benchmarks = workload::benchmark_names();
   const runlab::RunReport rep =
       runlab::run_sweep(spec, runlab::with_workers(cli.jobs));

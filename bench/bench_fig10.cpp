@@ -8,7 +8,7 @@ using namespace ppf;
 
 int main(int argc, char** argv) {
   sim::SimConfig base = bench::base_config(argc, argv);
-  base.filter = filter::FilterKind::Pa;
+  base.filter = "pa";
   const std::vector<std::size_t> sizes = {1024, 2048, 4096, 8192, 16384};
 
   sim::print_experiment_header(

@@ -7,7 +7,7 @@ using namespace ppf;
 
 int main(int argc, char** argv) {
   sim::SimConfig base = bench::base_config(argc, argv);
-  base.filter = filter::FilterKind::Pa;
+  base.filter = "pa";
   const unsigned ports[] = {3, 4, 5};
 
   sim::print_experiment_header(

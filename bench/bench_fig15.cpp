@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   sim::Table t({"benchmark", "PA", "PA+buf", "PC", "PC+buf"});
   for (const std::string& name : workload::benchmark_names()) {
     std::vector<std::string> row{name};
-    for (auto kind : {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+    for (auto kind : {"pa", "pc"}) {
       for (bool buf : {false, true}) {
         sim::SimConfig cfg = base;
         cfg.filter = kind;

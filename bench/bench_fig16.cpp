@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : names) {
     std::vector<std::string> row{name};
     int col = 0;
-    for (auto kind : {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+    for (auto kind : {"pa", "pc"}) {
       for (bool buf : {false, true}) {
         sim::SimConfig cfg = base;
         cfg.filter = kind;

@@ -8,7 +8,7 @@ using namespace ppf;
 
 int main(int argc, char** argv) {
   sim::SimConfig cfg = bench::base_config(argc, argv);
-  cfg.filter = filter::FilterKind::None;
+  cfg.filter = "none";
 
   sim::print_experiment_header(std::cout, "Figure 2",
                                "traffic distribution of the L1 cache");

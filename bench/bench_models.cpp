@@ -27,9 +27,9 @@ int main(int argc, char** argv) {
       sim::SimConfig cfg = base;
       cfg.core_model =
           m == 0 ? sim::CoreModel::Occupancy : sim::CoreModel::Dataflow;
-      cfg.filter = filter::FilterKind::None;
+      cfg.filter = "none";
       ipc[m][0] = sim::run_benchmark(cfg, name).ipc();
-      cfg.filter = filter::FilterKind::Pc;
+      cfg.filter = "pc";
       ipc[m][1] = sim::run_benchmark(cfg, name).ipc();
     }
     const double g_occ = ipc[0][1] / ipc[0][0] - 1.0;

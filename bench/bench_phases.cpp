@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                 "IPC PA", "IPC PC", "bad kept: static", "bad kept: pa"});
   for (const auto& [a, b] : pairs) {
     // Baseline and dynamic filters run on the interleaved mix directly.
-    auto run_mix = [&](filter::FilterKind kind,
+    auto run_mix = [&](std::string kind,
                        filter::PollutionFilter* ext = nullptr) {
       sim::SimConfig cfg = base;
       cfg.filter = kind;
@@ -52,9 +52,9 @@ int main(int argc, char** argv) {
       sim::Simulator s(cfg);
       return s.run(*mix, ext);
     };
-    const sim::SimResult none = run_mix(filter::FilterKind::None);
-    const sim::SimResult pa = run_mix(filter::FilterKind::Pa);
-    const sim::SimResult pc = run_mix(filter::FilterKind::Pc);
+    const sim::SimResult none = run_mix("none");
+    const sim::SimResult pa = run_mix("pa");
+    const sim::SimResult pc = run_mix("pc");
 
     // Static filter: profile program A alone, freeze, deploy on the mix.
     filter::StaticFilter frozen;
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
       (void)s.run(*profile_run, &frozen);
     }
     frozen.freeze();
-    const sim::SimResult stat = run_mix(filter::FilterKind::None, &frozen);
+    const sim::SimResult stat = run_mix("none", &frozen);
 
     auto kept = [&](const sim::SimResult& r) {
       return none.bad_total() == 0

@@ -25,12 +25,12 @@ Agg run_prefetcher_subset(const sim::SimConfig& base, bool nsp, bool sdp) {
   Agg a;
   for (const std::string& name : workload::benchmark_names()) {
     sim::SimConfig cfg = base;
-    cfg.enable_nsp = nsp;
-    cfg.enable_sdp = sdp;
+    cfg.set_prefetcher("nsp", nsp);
+    cfg.set_prefetcher("sdp", sdp);
     cfg.enable_sw_prefetch = false;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     const sim::SimResult r0 = sim::run_benchmark(cfg, name);
-    cfg.filter = filter::FilterKind::Pa;
+    cfg.filter = "pa";
     const sim::SimResult r1 = sim::run_benchmark(cfg, name);
     a.good0 += static_cast<double>(r0.good_total());
     a.bad0 += static_cast<double>(r0.bad_total());
@@ -75,13 +75,13 @@ int main(int argc, char** argv) {
   const auto& names = workload::benchmark_names();
   for (const std::string& name : names) {
     sim::SimConfig cfg = base;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     ipc8 += sim::run_benchmark(cfg, name).ipc();
-    cfg.filter = filter::FilterKind::Pa;
+    cfg.filter = "pa";
     ipc8pa += sim::run_benchmark(cfg, name).ipc();
     sim::SimConfig big = base;
     big.set_l1d_size_kb(16);
-    big.filter = filter::FilterKind::None;
+    big.filter = "none";
     ipc16 += sim::run_benchmark(big, name).ipc();
   }
   sim::Table t2({"configuration", "mean IPC", "vs 8KB no-filter"});
@@ -101,10 +101,10 @@ int main(int argc, char** argv) {
   double g_static = 0, g_pa = 0;
   for (const std::string& name : names) {
     sim::SimConfig cfg = base;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     const double i0 = sim::run_benchmark(cfg, name).ipc();
     const double is = sim::run_static_filter(cfg, name).ipc();
-    cfg.filter = filter::FilterKind::Pa;
+    cfg.filter = "pa";
     const double ia = sim::run_benchmark(cfg, name).ipc();
     t3.add_row({name, sim::fmt(i0), sim::fmt(is), sim::fmt(ia),
                 sim::fmt_pct(is / i0 - 1.0), sim::fmt_pct(ia / i0 - 1.0)});
@@ -122,11 +122,11 @@ int main(int argc, char** argv) {
   sim::Table t4({"benchmark", "IPC none", "IPC PA", "IPC adaptive"});
   for (const std::string& name : names) {
     sim::SimConfig cfg = base;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     const double i0 = sim::run_benchmark(cfg, name).ipc();
-    cfg.filter = filter::FilterKind::Pa;
+    cfg.filter = "pa";
     const double ia = sim::run_benchmark(cfg, name).ipc();
-    cfg.filter = filter::FilterKind::Adaptive;
+    cfg.filter = "adaptive";
     const double iad = sim::run_benchmark(cfg, name).ipc();
     t4.add_row({name, sim::fmt(i0), sim::fmt(ia), sim::fmt(iad)});
   }

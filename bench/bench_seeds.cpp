@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   // Grid 1: every benchmark, no filter, all seeds — the bad fraction.
   runlab::SweepSpec all_spec;
   all_spec.base = cli.cfg;
-  all_spec.base.filter = filter::FilterKind::None;
+  all_spec.base.filter = "none";
   all_spec.benchmarks = workload::benchmark_names();
   all_spec.seeds = seeds;
   const runlab::RunReport all_rep = runlab::run_sweep(all_spec, opts);
@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   runlab::SweepSpec em_spec;
   em_spec.base = cli.cfg;
   em_spec.benchmarks = {"em3d"};
-  em_spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa,
-                     filter::FilterKind::Pc};
+  em_spec.filters = {"none", "pa",
+                     "pc"};
   em_spec.seeds = seeds;
   const runlab::RunReport em_rep = runlab::run_sweep(em_spec, opts);
 

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   runlab::SweepSpec spec;
   spec.base = cli.cfg;
   spec.benchmarks = workload::benchmark_names();
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pc};
+  spec.filters = {"none", "pc"};
   for (std::uint32_t lb : {16u, 32u, 64u}) {
     const std::string label = std::to_string(lb) + "B";
     line_labels.push_back(label);
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   std::map<std::string, SweepPoint> points;
   for (const runlab::JobResult& jr : rep.results) {
     SweepPoint& p = points[jr.job.variant];
-    if (jr.job.config.filter == filter::FilterKind::None) {
+    if (jr.job.config.filter == "none") {
       p.ipc_none += jr.result.ipc();
     } else {
       p.ipc_pc += jr.result.ipc();

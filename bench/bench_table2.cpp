@@ -6,8 +6,7 @@ using namespace ppf;
 
 int main(int argc, char** argv) {
   sim::SimConfig cfg = bench::base_config(argc, argv);
-  cfg.enable_nsp = false;
-  cfg.enable_sdp = false;
+  cfg.prefetchers.clear();
   cfg.enable_sw_prefetch = false;
 
   sim::print_experiment_header(std::cout, "Table 2",

@@ -26,7 +26,7 @@ namespace {
 
 constexpr std::uint64_t kInstructions = 200'000;
 
-sim::SimConfig end_to_end_config(filter::FilterKind filter,
+sim::SimConfig end_to_end_config(std::string filter,
                                  sim::CoreModel model) {
   sim::SimConfig cfg;
   cfg.max_instructions = kInstructions;
@@ -38,7 +38,7 @@ sim::SimConfig end_to_end_config(filter::FilterKind filter,
 
 void BM_SimulatorEndToEnd(benchmark::State& state,
                           const std::string& bench_name,
-                          filter::FilterKind filter, sim::CoreModel model) {
+                          std::string filter, sim::CoreModel model) {
   const sim::SimConfig cfg = end_to_end_config(filter, model);
   // Materialize once outside the timing loop: the arena is the shape the
   // runlab hot path feeds the simulator, and it keeps the measurement
@@ -60,7 +60,7 @@ void BM_SimulatorStreaming(benchmark::State& state,
   // one virtual next() per record. The gap between this row and the
   // matching BM_SimulatorEndToEnd row is the materialization win.
   const sim::SimConfig cfg =
-      end_to_end_config(filter::FilterKind::Pa, sim::CoreModel::Occupancy);
+      end_to_end_config("pa", sim::CoreModel::Occupancy);
   for (auto _ : state) {
     const sim::SimResult r = sim::run_benchmark(cfg, bench_name);
     benchmark::DoNotOptimize(r.core.cycles);
@@ -152,22 +152,22 @@ void BM_TraceCursorBatchReplay(benchmark::State& state) {
 
 }  // namespace
 
-#define PPF_END_TO_END(bench, fkind, cmodel)                              \
-  BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, bench##_##fkind##_##cmodel,     \
-                    std::string(#bench), filter::FilterKind::fkind,       \
+#define PPF_END_TO_END(bench, fkey, cmodel)                               \
+  BENCHMARK_CAPTURE(BM_SimulatorEndToEnd, bench##_##fkey##_##cmodel,      \
+                    std::string(#bench), std::string(#fkey),              \
                     sim::CoreModel::cmodel)                               \
       ->Unit(benchmark::kMillisecond)
 
-// Filter-kind axis (occupancy core, em3d): the per-prefetch filter cost.
-PPF_END_TO_END(em3d, None, Occupancy);
-PPF_END_TO_END(em3d, Pa, Occupancy);
-PPF_END_TO_END(em3d, Pc, Occupancy);
-PPF_END_TO_END(em3d, Adaptive, Occupancy);
-PPF_END_TO_END(em3d, DeadBlock, Occupancy);
-// Core-model axis (Pa filter): occupancy vs dataflow scheduling cost.
-PPF_END_TO_END(em3d, Pa, Dataflow);
-PPF_END_TO_END(gcc, Pa, Occupancy);
-PPF_END_TO_END(gcc, Pa, Dataflow);
+// Filter axis (occupancy core, em3d): the per-prefetch filter cost.
+PPF_END_TO_END(em3d, none, Occupancy);
+PPF_END_TO_END(em3d, pa, Occupancy);
+PPF_END_TO_END(em3d, pc, Occupancy);
+PPF_END_TO_END(em3d, adaptive, Occupancy);
+PPF_END_TO_END(em3d, deadblock, Occupancy);
+// Core-model axis (pa filter): occupancy vs dataflow scheduling cost.
+PPF_END_TO_END(em3d, pa, Dataflow);
+PPF_END_TO_END(gcc, pa, Occupancy);
+PPF_END_TO_END(gcc, pa, Dataflow);
 
 #undef PPF_END_TO_END
 

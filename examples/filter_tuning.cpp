@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
   std::vector<Variant> variants;
   {
     Variant v{"no filter", base};
-    v.cfg.filter = filter::FilterKind::None;
+    v.cfg.filter = "none";
     variants.push_back(v);
   }
-  for (auto kind : {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+  for (const std::string kind : {"pa", "pc"}) {
     for (std::size_t entries : {1024u, 4096u, 16384u}) {
-      Variant v{std::string(to_string(kind)) + " / " +
+      Variant v{kind + " / " +
                     std::to_string(entries) + " entries",
                 base};
       v.cfg.filter = kind;
@@ -48,20 +48,20 @@ int main(int argc, char** argv) {
   }
   {
     Variant v{"pa / 4096 / fold-xor hash", base};
-    v.cfg.filter = filter::FilterKind::Pa;
+    v.cfg.filter = "pa";
     v.cfg.history.hash = HashKind::FoldXor;
     variants.push_back(v);
   }
   {
     Variant v{"pa / 4096 / 3-bit counters", base};
-    v.cfg.filter = filter::FilterKind::Pa;
+    v.cfg.filter = "pa";
     v.cfg.history.counter_bits = 3;
     v.cfg.history.init_value = 4;
     variants.push_back(v);
   }
   {
     Variant v{"adaptive (accuracy-gated pa)", base};
-    v.cfg.filter = filter::FilterKind::Adaptive;
+    v.cfg.filter = "adaptive";
     variants.push_back(v);
   }
 
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   for (const Variant& v : variants) {
     const sim::SimResult r = sim::run_benchmark(v.cfg, bench);
     const std::size_t storage =
-        v.cfg.filter == filter::FilterKind::None
+        v.cfg.filter == "none"
             ? 0
             : v.cfg.history.entries * v.cfg.history.counter_bits / 8;
     rows.push_back(Row{v.label, r.ipc(), r.bad_good_ratio(), storage});

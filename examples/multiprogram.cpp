@@ -45,13 +45,13 @@ int main(int argc, char** argv) {
   sim::Table t({"filter", "IPC", "good pf", "bad pf", "rejected",
                 "energy uJ"});
   for (auto kind :
-       {filter::FilterKind::None, filter::FilterKind::Pa,
-        filter::FilterKind::Pc, filter::FilterKind::Adaptive}) {
+       {"none", "pa",
+        "pc", "adaptive"}) {
     cfg.filter = kind;
     auto mix = make_mix(a, b, slice, cfg.seed);
     sim::Simulator sim(cfg);
     const sim::SimResult r = sim.run(*mix);
-    t.add_row({filter::to_string(kind), sim::fmt(r.ipc()),
+    t.add_row({kind, sim::fmt(r.ipc()),
                sim::fmt_u64(r.good_total()), sim::fmt_u64(r.bad_total()),
                sim::fmt_u64(r.filter_rejected),
                sim::fmt(r.energy.total_nj() / 1000.0, 1)});

@@ -23,13 +23,12 @@ int main(int argc, char** argv) {
   cfg.max_instructions = params.get_u64("instructions", 1'000'000);
 
   // 2. Run without pollution control.
-  cfg.filter = filter::FilterKind::None;
+  cfg.filter = "none";
   const sim::SimResult base = sim::run_benchmark(cfg, bench);
 
-  // 3. Run with the selected pollution filter.
-  cfg.filter = filter_name == "pa" ? filter::FilterKind::Pa
-             : filter_name == "adaptive" ? filter::FilterKind::Adaptive
-                                         : filter::FilterKind::Pc;
+  // 3. Run with the selected pollution filter (any registry key works:
+  //    pa, pc, static, adaptive, deadblock, perceptron).
+  cfg.filter = filter_name;
   const sim::SimResult filt = sim::run_benchmark(cfg, bench);
 
   std::cout << "workload: " << bench << "  (filter: " << filt.filter_name

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   sim::SimConfig cfg = sim::SimConfig::paper_default();
   cfg.max_instructions = records;
   cfg.warmup_instructions = 0;  // finite trace: measure everything
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   sim::Simulator sim(cfg);
   const sim::SimResult r = sim.run(replay);
 

@@ -115,6 +115,31 @@ void check_catalogs(const Project& p, std::vector<Diagnostic>& out) {
     }
   }
 
+  // --- registry policy keys -> README.md + docs/*.md --------------------
+  // The registry's builtin doc tables are catalogues too: every policy a
+  // user can name in filter=/prefetchers=/replacement= must appear in the
+  // docs corpus, so registering a policy without documenting it fails
+  // the same way an undocumented override key does.
+  if (const SourceFile* f = find_file(p, "src/registry/builtin.cpp")) {
+    const struct {
+      const char* fn;
+      const char* what;
+    } tables[] = {{"builtin_filter_docs", "filter"},
+                  {"builtin_prefetcher_docs", "prefetcher"},
+                  {"builtin_replacement_docs", "replacement policy"}};
+    for (const auto& table : tables) {
+      for (const CatalogEntry& e : collect_catalog(p, *f, table.fn)) {
+        if (!Project::contains_word(p.docs_corpus, e.text)) {
+          out.push_back({"config-key-docs", f->rel, e.line, e.col,
+                         "registry " + std::string(table.what) + " key '" +
+                             e.text +
+                             "' not documented in docs/*.md or README.md",
+                         "document the key in docs/PLUGINS.md"});
+        }
+      }
+    }
+  }
+
   // --- serve verbs + error codes -> docs/SERVE.md -----------------------
   if (const SourceFile* f = find_file(p, "src/serve/protocol.cpp")) {
     const struct {

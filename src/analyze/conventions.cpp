@@ -180,6 +180,81 @@ void check_event_bookkeeping(const SourceFile& f,
   }
 }
 
+// --- kind-switch-exhaustive ------------------------------------------------
+
+bool is_switch_guard(const std::string& s) {
+  return s.rfind("PPF_ASSERT", 0) == 0 || s.rfind("PPF_CHECK", 0) == 0 ||
+         s == "throw";
+}
+
+/// A switch that maps a kind to string literals (two or more
+/// `return "..."` arms) must not be able to fall off the end silently:
+/// either an arm (typically `default:`) asserts/throws, or an
+/// assert/throw follows the closing brace before the enclosing function
+/// ends. Without that, adding an enumerator compiles clean and the new
+/// kind quietly stringifies as whatever the fallback return says.
+void check_kind_switch(const SourceFile& f, std::vector<Diagnostic>& out) {
+  const std::vector<Token>& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident || toks[i].text != "switch" ||
+        !next_is(toks, i, "("))
+      continue;
+    // Balanced condition parens, then the `{` that opens the body.
+    std::size_t j = i + 1;
+    int pd = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::Punct) continue;
+      if (toks[j].text == "(") ++pd;
+      else if (toks[j].text == ")" && --pd == 0) {
+        ++j;
+        break;
+      }
+    }
+    while (j < toks.size() && toks[j].kind == TokKind::Comment) ++j;
+    if (j >= toks.size() || toks[j].kind != TokKind::Punct ||
+        toks[j].text != "{")
+      continue;
+    int bd = 0;
+    std::size_t body_end = toks.size();
+    std::size_t string_returns = 0;
+    bool guarded = false;
+    for (std::size_t k = j; k < toks.size(); ++k) {
+      if (toks[k].kind == TokKind::Punct) {
+        if (toks[k].text == "{") ++bd;
+        else if (toks[k].text == "}" && --bd == 0) {
+          body_end = k;
+          break;
+        }
+        continue;
+      }
+      if (toks[k].kind != TokKind::Ident) continue;
+      if (toks[k].text == "return" && k + 1 < toks.size() &&
+          toks[k + 1].kind == TokKind::String)
+        ++string_returns;
+      if (is_switch_guard(toks[k].text)) guarded = true;
+    }
+    if (string_returns < 2) continue;  // not a kind-to-string mapping
+    // The fall-through path: up to the enclosing function's closing
+    // brace (a short, fixed window keeps the scan local).
+    constexpr std::size_t kWindow = 16;
+    for (std::size_t k = body_end + 1;
+         !guarded && k < toks.size() && k < body_end + 1 + kWindow; ++k) {
+      if (toks[k].kind == TokKind::Punct && toks[k].text == "}") break;
+      if (toks[k].kind == TokKind::Ident && is_switch_guard(toks[k].text))
+        guarded = true;
+    }
+    if (!guarded) {
+      out.push_back({"kind-switch-exhaustive", f.rel, toks[i].line,
+                     toks[i].col,
+                     "kind-to-string switch can fall off the end silently "
+                     "when an enumerator is added",
+                     "cover every enumerator, then PPF_ASSERT_MSG(false, "
+                     "...) (or a default: that asserts) before the "
+                     "fallback return"});
+    }
+  }
+}
+
 // --- hot-loop-no-virtual ---------------------------------------------------
 
 bool is_iface_type(const std::string& s) {
@@ -245,6 +320,7 @@ void check_conventions(const Project& p, std::vector<Diagnostic>& out) {
     check_wallclock_rand(f, out);
     check_obs_parity(f, out);
     check_event_bookkeeping(f, out);
+    check_kind_switch(f, out);
     check_hot_loop_virtual(f, out);
   }
 }

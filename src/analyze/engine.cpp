@@ -25,6 +25,9 @@ const std::vector<RuleInfo>& all_rules() {
        "call within 8 lines"},
       {"hot-loop-no-virtual",
        "no `virtual` or abstract-interface calls inside // ppf:hot regions"},
+      {"kind-switch-exhaustive",
+       "kind-to-string switches must assert/throw on the fall-through path "
+       "so a new enumerator cannot stringify silently"},
       // unified catalogs (ppf_lint heritage)
       {"config-key-docs",
        "every override_docs() key must appear in docs/*.md or README.md"},

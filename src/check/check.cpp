@@ -13,6 +13,7 @@ const char* to_string(CheckMode m) {
     case CheckMode::Paranoid:
       return "paranoid";
   }
+  PPF_ASSERT_MSG(false, "unhandled CheckMode");
   return "?";
 }
 

@@ -14,6 +14,7 @@ const char* to_string(AccessType t) {
     case AccessType::Prefetch: return "prefetch";
     case AccessType::InstFetch: return "ifetch";
   }
+  PPF_ASSERT_MSG(false, "unhandled AccessType");
   return "?";
 }
 
@@ -25,7 +26,9 @@ const char* to_string(PrefetchSource s) {
     case PrefetchSource::Stride: return "stride";
     case PrefetchSource::StreamBuffer: return "stream";
     case PrefetchSource::Markov: return "markov";
+    case PrefetchSource::RegionPattern: return "pmp";
   }
+  PPF_ASSERT_MSG(false, "unhandled PrefetchSource");
   return "?";
 }
 

@@ -27,6 +27,7 @@ inline const char* to_string(HashKind k) {
     case HashKind::Fibonacci: return "fibonacci";
     case HashKind::Mix64: return "mix64";
   }
+  PPF_ASSERT_MSG(false, "unhandled HashKind");
   return "?";
 }
 

@@ -16,10 +16,32 @@ namespace ppf {
 class SaturatingCounter {
  public:
   /// Constructs an n-bit counter with the given initial value (clamped).
+  ///
+  /// The default init of 2 is the weakly-positive state *for 2-bit
+  /// counters only*. For bits=1 it clamps to 1 (saturated positive) and
+  /// for bits>=3 it lands in the negative half — call sites that vary
+  /// `bits` should say what they mean with weakly_positive() /
+  /// weakly_negative() instead of passing a literal.
   explicit SaturatingCounter(unsigned bits = 2, std::uint8_t init = 2)
       : max_(static_cast<std::uint8_t>((1U << bits) - 1)),
         value_(init > max_ ? max_ : init) {
     PPF_CHECK(bits >= 1 && bits <= 8);
+  }
+
+  /// The weakest state that still predicts positive: max/2 + 1
+  /// (2 for 2-bit, 1 for 1-bit, 4 for 3-bit).
+  [[nodiscard]] static SaturatingCounter weakly_positive(unsigned bits) {
+    SaturatingCounter c(bits, 0);
+    c.value_ = static_cast<std::uint8_t>(c.max_ / 2 + 1);
+    return c;
+  }
+
+  /// The strongest state that still predicts negative: max/2
+  /// (1 for 2-bit, 0 for 1-bit, 3 for 3-bit).
+  [[nodiscard]] static SaturatingCounter weakly_negative(unsigned bits) {
+    SaturatingCounter c(bits, 0);
+    c.value_ = static_cast<std::uint8_t>(c.max_ / 2);
+    return c;
   }
 
   /// Increment toward saturation.

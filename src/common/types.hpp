@@ -34,10 +34,11 @@ enum class PrefetchSource : std::uint8_t {
   Stride,           ///< stride/RPT prefetcher (extension)
   StreamBuffer,     ///< Jouppi-style stream buffers (extension)
   Markov,           ///< correlation/Markov prefetcher (extension)
+  RegionPattern,    ///< PMP-style region-pattern prefetcher (extension)
 };
 
 /// Number of distinct PrefetchSource values (for per-source stat arrays).
-inline constexpr std::size_t kNumPrefetchSources = 6;
+inline constexpr std::size_t kNumPrefetchSources = 7;
 
 const char* to_string(AccessType t);
 const char* to_string(PrefetchSource s);

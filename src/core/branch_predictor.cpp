@@ -10,8 +10,12 @@ BimodalPredictor::BimodalPredictor(BimodalConfig cfg) : cfg_(cfg) {
   PPF_CHECK(is_pow2(cfg_.inst_bytes));
   index_bits_ = log2_exact(cfg_.entries);
   pc_shift_ = log2_exact(cfg_.inst_bytes);
-  // Initialise weakly-taken, matching common bimodal setups.
-  table_.assign(cfg_.entries, SaturatingCounter(cfg_.counter_bits, 2));
+  // Initialise weakly-taken, matching common bimodal setups. The named
+  // factory keeps that intent correct at every counter width (a literal
+  // init of 2 is saturated-taken for 1-bit counters and weakly
+  // NOT-taken for >= 3 bits).
+  table_.assign(cfg_.entries,
+                SaturatingCounter::weakly_positive(cfg_.counter_bits));
 }
 
 std::size_t BimodalPredictor::index_of(Pc pc) const {

@@ -13,7 +13,8 @@ const std::vector<Knob>& default_lattice() {
   // instructions/warmup/seed) are deliberately absent: the oracles set
   // those, and sampling them would fight the pairings.
   static const std::vector<Knob> lattice = {
-      {"filter", {"none", "pa", "pc", "static", "adaptive", "deadblock"}},
+      {"filter",
+       {"none", "pa", "pc", "static", "adaptive", "deadblock", "perceptron"}},
       {"history_entries", {"256", "1024", "4096"}},
       {"history_bits", {"1", "2", "3"}},
       {"history_init", {"0", "1"}},
@@ -31,12 +32,15 @@ const std::vector<Knob>& default_lattice() {
       {"victim_entries", {"0", "8"}},
       {"prefetch_l2", {"0", "1"}},
       {"prefetch_buffer", {"0", "1"}},
-      {"nsp", {"0", "1"}},
+      // Registry-keyed prefetcher lists (replaces the old per-prefetcher
+      // booleans; order within a list is part of the machine).
+      {"prefetchers",
+       {"", "nsp", "nsp,sdp", "sdp,nsp", "nsp,sdp,stride", "stride,markov",
+        "nsp,sdp,pmp", "pmp", "stream_buffer,nsp"}},
       {"nsp_degree", {"1", "2", "4"}},
-      {"sdp", {"0", "1"}},
-      {"stride", {"0", "1"}},
-      {"stream_buffer", {"0", "1"}},
-      {"markov", {"0", "1"}},
+      {"replacement", {"lru", "fifo", "random", "srrip", "brrip", "lip"}},
+      {"pmp_region_lines", {"16", "32"}},
+      {"pmp_degree_cap", {"0", "4", "8"}},
       {"taxonomy", {"0", "1"}},
       {"swpf", {"0", "1"}},
       {"core_model", {"occupancy", "dataflow"}},

@@ -18,7 +18,7 @@ OracleContext::OracleContext(ConfigPoint point)
     : point_(std::move(point)), cfg_(to_config(point_)) {}
 
 bool OracleContext::is_static_filter() const {
-  return cfg_.filter == filter::FilterKind::Static;
+  return cfg_.filter == "static";
 }
 
 const sim::SimResult& OracleContext::baseline() {
@@ -30,7 +30,7 @@ const sim::SimResult& OracleContext::baseline() {
 }
 
 sim::SimResult OracleContext::run_config(const sim::SimConfig& cfg) const {
-  if (cfg.filter == filter::FilterKind::Static) {
+  if (cfg.filter == "static") {
     return sim::run_static_filter(cfg, point_.benchmark);
   }
   return sim::run_benchmark(cfg, point_.benchmark);
@@ -146,8 +146,8 @@ OracleOutcome jobs1_vs_jobs8(OracleContext& ctx) {
   spec.base = ctx.config();
   spec.benchmarks = {ctx.point().benchmark};
   spec.filters = {spec.base.filter};
-  if (spec.base.filter != filter::FilterKind::None) {
-    spec.filters.push_back(filter::FilterKind::None);
+  if (spec.base.filter != "none") {
+    spec.filters.push_back("none");
   }
   spec.seeds = {spec.base.seed, spec.base.seed + 1};
 
@@ -216,7 +216,7 @@ OracleOutcome filter_none_no_rejects(OracleContext& ctx) {
   const sim::SimResult none = ctx.point().value_of("filter", "none") == "none"
                                   ? ctx.baseline()
                                   : ctx.run_mutated([](sim::SimConfig& cfg) {
-                                      cfg.filter = filter::FilterKind::None;
+                                      cfg.filter = "none";
                                     });
   if (none.prefetch_filtered.total() != 0 || none.filter_rejected != 0 ||
       none.filter_recoveries != 0) {
@@ -234,13 +234,9 @@ OracleOutcome filter_none_no_rejects(OracleContext& ctx) {
 /// every prefetch-side counter is exactly zero.
 OracleOutcome no_prefetch_no_pollution(OracleContext& ctx) {
   const sim::SimResult quiet = ctx.run_mutated([](sim::SimConfig& cfg) {
-    cfg.enable_nsp = false;
-    cfg.enable_sdp = false;
-    cfg.enable_stride = false;
-    cfg.enable_stream_buffer = false;
-    cfg.enable_markov = false;
+    cfg.prefetchers.clear();
     cfg.enable_sw_prefetch = false;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
   });
   const bool clean =
       quiet.prefetch_issued.total() == 0 &&
@@ -311,13 +307,9 @@ OracleOutcome energy_linear_in_prices(OracleContext& ctx) {
 /// legitimately break monotonicity.
 OracleOutcome l1_bigger_no_more_misses(OracleContext& ctx) {
   const auto quiet = [](sim::SimConfig& cfg) {
-    cfg.enable_nsp = false;
-    cfg.enable_sdp = false;
-    cfg.enable_stride = false;
-    cfg.enable_stream_buffer = false;
-    cfg.enable_markov = false;
+    cfg.prefetchers.clear();
     cfg.enable_sw_prefetch = false;
-    cfg.filter = filter::FilterKind::None;
+    cfg.filter = "none";
     cfg.victim_cache_entries = 0;
     cfg.core_model = sim::CoreModel::Occupancy;
     cfg.l1d.replacement = mem::ReplacementKind::Lru;

@@ -28,7 +28,7 @@ void put(std::ostringstream& os, const char* key, double v) {
 void put_sources(std::ostringstream& os, const char* key,
                  const sim::SourceBreakdown& b) {
   os << key << '=' << b.sw << ',' << b.nsp << ',' << b.sdp << ',' << b.stride
-     << ',' << b.stream << ',' << b.markov << '\n';
+     << ',' << b.stream << ',' << b.markov << ',' << b.region << '\n';
 }
 
 }  // namespace

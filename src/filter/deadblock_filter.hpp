@@ -6,7 +6,7 @@
 // would displace looks dead (not touched for at least a full cache
 // turnover of accesses), so live data is never evicted for speculation.
 //
-// Provided as a comparison point (FilterKind::DeadBlock); bench_extras
+// Provided as a comparison point (filter=deadblock); bench_extras
 // quantifies it against the paper's history-table filters.
 #pragma once
 

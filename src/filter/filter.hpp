@@ -164,26 +164,10 @@ class PcFilter final : public PollutionFilter {
   unsigned pc_shift_;
 };
 
-/// Filter scheme selector used by SimConfig and the experiment driver.
-enum class FilterKind : std::uint8_t {
-  None,
-  Pa,
-  Pc,
-  Static,     ///< profile-driven (Srinivasan et al. [18]) — related work
-  Adaptive,   ///< accuracy-gated PA filter — the paper's "advanced feature"
-  DeadBlock,  ///< victim-liveness gate (Lai et al. [11]) — related work
-};
-
-inline const char* to_string(FilterKind k) {
-  switch (k) {
-    case FilterKind::None: return "none";
-    case FilterKind::Pa: return "pa";
-    case FilterKind::Pc: return "pc";
-    case FilterKind::Static: return "static";
-    case FilterKind::Adaptive: return "adaptive";
-    case FilterKind::DeadBlock: return "deadblock";
-  }
-  return "?";
-}
+// Filter selection is by registry key ("none", "pa", "pc", "static",
+// "adaptive", "deadblock", "perceptron", ...) — see registry/registry.hpp.
+// The old FilterKind enum is gone: a string key needs no enum<->string
+// mapping to fall out of sync with, and out-of-tree filters register
+// under the same namespace.
 
 }  // namespace ppf::filter

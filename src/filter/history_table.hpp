@@ -24,8 +24,13 @@ struct HistoryTableConfig {
   /// Counter width in bits. Paper: 2. 1- and 3-bit variants are studied
   /// in bench_ablation.
   unsigned counter_bits = 2;
-  /// Initial counter value. The paper assumes a prefetch that first maps
-  /// to an entry is good, so the default is the weakly-good state.
+  /// Initial counter value, clamped to the counter range. The paper
+  /// assumes a prefetch that first maps to an entry is good, so the
+  /// default is the weakly-good state *of the default 2-bit width*.
+  /// This is an explicit config knob (bench_ablation sweeps it), so it
+  /// stays a raw value: when overriding counter_bits, pick init_value
+  /// with SaturatingCounter::weakly_positive/_negative semantics in
+  /// mind — for 1-bit counters an inherited 2 clamps to saturated-good.
   std::uint8_t init_value = 2;
   /// Index hash. Modulo (low bits, the paper's "direct indexing") is the
   /// default: consecutive lines map to consecutive entries, so a small

@@ -1,0 +1,104 @@
+#include "filter/perceptron_filter.hpp"
+
+#include "check/check.hpp"
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/hash.hpp"
+
+namespace ppf::filter {
+
+PerceptronFilter::PerceptronFilter(PerceptronConfig cfg) : cfg_(cfg) {
+  PPF_CHECK_MSG(is_pow2(cfg_.table_entries),
+                "perceptron table entries must be 2^n");
+  PPF_CHECK(cfg_.weight_bits >= 2 && cfg_.weight_bits <= 8);
+  index_bits_ = log2_exact(cfg_.table_entries);
+  // All-zero weights sum to 0 and 0 >= 0 admits: like the history
+  // table's weakly-good init, an unseen prefetch is presumed useful.
+  weights_.assign(kNumFeatures * cfg_.table_entries, 0);
+}
+
+std::size_t PerceptronFilter::index_of(std::size_t t, LineAddr line, Pc pc,
+                                       PrefetchSource source) const {
+  std::uint64_t key = 0;
+  switch (t) {
+    case 0: key = line; break;
+    case 1: key = pc; break;
+    case 2: key = line ^ (pc << 1); break;
+    // Coarse (64-line) region tagged with the generating engine: lets
+    // the filter learn per-source behaviour of whole streams.
+    case 3: key = ((line >> 6) << 3) | static_cast<std::uint64_t>(source);
+            break;
+    default: PPF_ASSERT_MSG(false, "unhandled perceptron feature"); break;
+  }
+  // Salt per table so one key lands in unrelated rows of each table.
+  const std::uint64_t salted = key + 0x9E3779B97F4A7C15ULL * t;
+  return t * cfg_.table_entries +
+         static_cast<std::size_t>(fibonacci_hash(mix64(salted), index_bits_));
+}
+
+int PerceptronFilter::sum_for(const PrefetchCandidate& c) const {
+  int y = 0;
+  for (std::size_t t = 0; t < kNumFeatures; ++t) {
+    y += weights_[index_of(t, c.line, c.trigger_pc, c.source)];
+  }
+  return y;
+}
+
+bool PerceptronFilter::decide(const PrefetchCandidate& c) {
+  return sum_for(c) >= 0;
+}
+
+void PerceptronFilter::train(LineAddr line, Pc pc, PrefetchSource source,
+                             bool good, bool decisive) {
+  int y = 0;
+  std::size_t idx[kNumFeatures];
+  for (std::size_t t = 0; t < kNumFeatures; ++t) {
+    idx[t] = index_of(t, line, pc, source);
+    y += weights_[idx[t]];
+  }
+  if (!decisive) {
+    const bool predicted_good = y >= 0;
+    const int magnitude = y < 0 ? -y : y;
+    if (predicted_good == good && magnitude > cfg_.theta) return;
+  }
+  const int lo = cfg_.weight_min();
+  const int hi = cfg_.weight_max();
+  for (std::size_t t = 0; t < kNumFeatures; ++t) {
+    int w = weights_[idx[t]] + (good ? 1 : -1);
+    if (w < lo) w = lo;
+    if (w > hi) w = hi;
+    weights_[idx[t]] = static_cast<std::int8_t>(w);
+  }
+}
+
+void PerceptronFilter::feedback(const FilterFeedback& f) {
+  train(f.line, f.trigger_pc, f.source, f.referenced, /*decisive=*/false);
+}
+
+void PerceptronFilter::recover(const FilterFeedback& f) {
+  // A demand miss to a just-rejected line is decisive evidence, not one
+  // more sample: train regardless of the margin.
+  train(f.line, f.trigger_pc, f.source, f.referenced, /*decisive=*/true);
+}
+
+std::size_t PerceptronFilter::storage_bytes() const {
+  return kNumFeatures * cfg_.table_entries * cfg_.weight_bits / 8;
+}
+
+void PerceptronFilter::register_checks(check::CheckRegistry& reg,
+                                       const std::string& prefix) const {
+  reg.add(prefix, [this](check::CheckContext& ctx) {
+    const int lo = cfg_.weight_min();
+    const int hi = cfg_.weight_max();
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      const int w = weights_[i];
+      ctx.require(w >= lo && w <= hi, "filter.weight_range", [&] {
+        return "weight " + std::to_string(i) + " = " + std::to_string(w) +
+               " outside [" + std::to_string(lo) + ", " + std::to_string(hi) +
+               "]";
+      });
+    }
+  });
+}
+
+}  // namespace ppf::filter

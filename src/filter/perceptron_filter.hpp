@@ -1,0 +1,86 @@
+// Perceptron-based pollution filter, after Wang & Luo, "Efficient
+// Cache Pollution Filtering with Perceptron Learning" (arXiv
+// 1712.00905) — the modern rival to the paper's 2-bit counter tables.
+//
+// Instead of one saturating counter per hashed key, the filter keeps a
+// small weight table per *feature* (prefetched line address, trigger
+// PC, their combination, and a source-tagged region). A prediction sums
+// the selected weight from every table and admits the prefetch when the
+// sum is non-negative; training consumes the same PIB/RIB eviction
+// feedback the PA/PC tables do, nudging every selected weight toward
+// the observed outcome — but only when the prediction was wrong or the
+// sum's magnitude was below the training threshold theta (the
+// perceptron margin trick that stops well-learned weights from
+// saturating on redundant feedback).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/filter.hpp"
+
+namespace ppf::filter {
+
+struct PerceptronConfig {
+  /// Rows per feature table; power of two. Four tables of 1024 6-bit
+  /// weights = 3KB, comparable to the paper's 1KB history table.
+  std::size_t table_entries = 1024;
+  /// Weight width in bits (signed). 6 bits -> weights in [-32, 31].
+  unsigned weight_bits = 6;
+  /// Training threshold: train whenever the prediction was wrong OR
+  /// |sum| <= theta. Scales with the number of feature tables.
+  int theta = 12;
+
+  [[nodiscard]] int weight_min() const {
+    return -(1 << (weight_bits - 1));
+  }
+  [[nodiscard]] int weight_max() const {
+    return (1 << (weight_bits - 1)) - 1;
+  }
+};
+
+class PerceptronFilter final : public PollutionFilter {
+ public:
+  explicit PerceptronFilter(PerceptronConfig cfg);
+
+  void feedback(const FilterFeedback& f) override;
+  void recover(const FilterFeedback& f) override;
+  [[nodiscard]] const char* name() const override { return "perceptron"; }
+
+  /// Checks every weight against the configured clamp range.
+  void register_checks(check::CheckRegistry& reg,
+                       const std::string& prefix) const override;
+
+  [[nodiscard]] std::unique_ptr<PollutionFilter> clone_rebound(
+      const mem::Cache&) const override {
+    return std::unique_ptr<PollutionFilter>(new PerceptronFilter(*this));
+  }
+
+  [[nodiscard]] const PerceptronConfig& config() const { return cfg_; }
+
+  /// Prediction sum for a candidate (test/diagnostic hook).
+  [[nodiscard]] int sum_for(const PrefetchCandidate& c) const;
+
+  /// Storage cost in bytes (tables * entries * weight_bits / 8).
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ protected:
+  bool decide(const PrefetchCandidate& c) override;
+
+ private:
+  static constexpr std::size_t kNumFeatures = 4;
+
+  /// Row index of feature `t` for (line, pc, source).
+  [[nodiscard]] std::size_t index_of(std::size_t t, LineAddr line, Pc pc,
+                                     PrefetchSource source) const;
+  void train(LineAddr line, Pc pc, PrefetchSource source, bool good,
+             bool decisive);
+
+  PerceptronConfig cfg_;
+  unsigned index_bits_;
+  /// kNumFeatures tables laid out contiguously: table t occupies
+  /// [t * table_entries, (t+1) * table_entries).
+  std::vector<std::int8_t> weights_;
+};
+
+}  // namespace ppf::filter

@@ -51,6 +51,7 @@ std::optional<Eviction> Cache::fill(Addr addr, const FillInfo& info) {
   // in-flight prefetch) just refreshes the existing line.
   if (const std::size_t existing = find_way(line); existing != kNoWay) {
     meta_[existing].last_use = ++stamp_;
+    meta_[existing].rrpv = 0;
     return std::nullopt;
   }
 
@@ -60,10 +61,17 @@ std::optional<Eviction> Cache::fill(Addr addr, const FillInfo& info) {
   } else {
     for (std::uint64_t w = 0; w < ways_; ++w) {
       const LineMeta& m = meta_[base + w];
-      scratch_view_[w] = WayState{m.valid, m.last_use, m.fill_seq};
+      scratch_view_[w] = WayState{m.valid, m.last_use, m.fill_seq, m.rrpv};
     }
-    victim = choose_victim(std::span<const WayState>(scratch_view_),
+    victim = choose_victim(std::span<WayState>(scratch_view_),
                            cfg_.replacement, rng_);
+    if (uses_rrpv(cfg_.replacement)) {
+      // The RRIP victim scan ages the whole set in place; persist the
+      // aged counters back into the tag array.
+      for (std::uint64_t w = 0; w < ways_; ++w) {
+        meta_[base + w].rrpv = scratch_view_[w].rrpv;
+      }
+    }
   }
 
   std::optional<Eviction> ev;
@@ -84,8 +92,17 @@ std::optional<Eviction> Cache::fill(Addr addr, const FillInfo& info) {
   v.pib = info.is_prefetch;
   v.trigger_pc = info.trigger_pc;
   v.source = info.source;
-  v.last_use = ++stamp_;
-  v.fill_seq = stamp_;
+  v.fill_seq = ++stamp_;
+  if (cfg_.replacement == ReplacementKind::Lip && ways_ > 1) {
+    // LIP: insert at the stack bottom. Each insert takes a stamp below
+    // every demand touch AND below the previous insert, so an untouched
+    // run of fills is evicted newest-first — exactly the thrash
+    // resistance LIP buys. A demand hit promotes to MRU as usual.
+    v.last_use = --lip_stamp_;
+  } else {
+    v.last_use = stamp_;
+  }
+  v.rrpv = insertion_rrpv(cfg_.replacement, rng_);
   shadow_[idx] = ShadowEntry{};
   fills_.add();
   return ev;
@@ -133,16 +150,18 @@ std::optional<std::uint64_t> Cache::victim_age(Addr addr) const {
   std::vector<WayState> view(ways_);
   for (std::uint64_t w = 0; w < ways_; ++w) {
     const LineMeta& m = meta_[base + w];
-    view[w] = WayState{m.valid, m.last_use, m.fill_seq};
+    view[w] = WayState{m.valid, m.last_use, m.fill_seq, m.rrpv};
   }
   // Random replacement makes the victim non-deterministic; report the
   // LRU way's age as the representative (the gate is advisory anyway).
+  // The RRIP kinds age only the local copy here — a probe must not
+  // perturb the real counters.
   Xorshift probe_rng(1);
   const ReplacementKind kind = cfg_.replacement == ReplacementKind::Random
                                    ? ReplacementKind::Lru
                                    : cfg_.replacement;
   const std::size_t victim =
-      choose_victim(std::span<const WayState>(view), kind, probe_rng);
+      choose_victim(std::span<WayState>(view), kind, probe_rng);
   if (!meta_[base + victim].valid) return std::nullopt;
   return stamp_ - meta_[base + victim].last_use;
 }
@@ -234,6 +253,10 @@ void Cache::register_checks(check::CheckRegistry& reg,
                            std::to_string(m.fill_seq) + " > stamp=" +
                            std::to_string(stamp_);
                   });
+      ctx.require(m.rrpv <= kRrpvMax, "cache.rrpv_range", [&] {
+        return "way index " + std::to_string(i) + " rrpv=" +
+               std::to_string(m.rrpv) + " > " + std::to_string(kRrpvMax);
+      });
     }
     for (std::uint64_t set = 0; set <= set_mask_; ++set) {
       const std::size_t base = static_cast<std::size_t>(set * ways_);

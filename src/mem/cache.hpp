@@ -120,6 +120,10 @@ class Cache {
         }
         if (type == AccessType::Store) m.dirty = true;
         m.last_use = ++stamp_;
+        // RRIP hit promotion (near-immediate re-reference). Written
+        // unconditionally — one byte store is cheaper than a policy
+        // branch, and non-RRIP policies never read it.
+        m.rrpv = 0;
       }
       hits_[t].add();
     } else {
@@ -209,6 +213,7 @@ class Cache {
     bool pib = false;
     bool rib = false;
     bool nsp_tag = false;
+    std::uint8_t rrpv = 0;  ///< re-reference prediction value (RRIP kinds)
     PrefetchSource source = PrefetchSource::Software;
     Pc trigger_pc = 0;
     std::uint64_t last_use = 0;
@@ -249,10 +254,18 @@ class Cache {
   unsigned set_bits_;
   std::uint64_t set_mask_;   ///< sets - 1, precomputed for set_index()
   std::uint64_t ways_;
+  /// Touch stamps start well above zero so the LIP fill path can hand
+  /// out *decreasing* stamps below every demand touch: a LIP insert
+  /// lands at the stack bottom, and a newer insert lands below an older
+  /// one. Only stamp differences are ever consumed (victim_age, LRU
+  /// comparisons), so the offset is invisible to every other policy.
+  static constexpr std::uint64_t kStampBase = 1ULL << 32;
+
   std::vector<std::uint64_t> tags_;  ///< sets * ways, row-major by set
   std::vector<LineMeta> meta_;       ///< parallel to tags_
   std::vector<ShadowEntry> shadow_;  ///< parallel to tags_
-  std::uint64_t stamp_ = 0;  ///< monotone touch/fill sequence
+  std::uint64_t stamp_ = kStampBase;  ///< monotone touch/fill sequence
+  std::uint64_t lip_stamp_ = kStampBase;  ///< decreasing LIP insert stamp
   Xorshift rng_;
   std::vector<WayState> scratch_view_;  ///< reused by fill(); avoids allocs
 

@@ -4,14 +4,48 @@
 
 namespace ppf::mem {
 
-std::size_t choose_victim(std::span<const WayState> ways, ReplacementKind kind,
+const char* to_string(ReplacementKind k) {
+  switch (k) {
+    case ReplacementKind::Lru: return "lru";
+    case ReplacementKind::Fifo: return "fifo";
+    case ReplacementKind::Random: return "random";
+    case ReplacementKind::Srrip: return "srrip";
+    case ReplacementKind::Brrip: return "brrip";
+    case ReplacementKind::Lip: return "lip";
+  }
+  PPF_ASSERT_MSG(false, "unhandled ReplacementKind");
+  return "?";
+}
+
+std::uint8_t insertion_rrpv(ReplacementKind kind, Xorshift& rng) {
+  switch (kind) {
+    case ReplacementKind::Srrip:
+      return kRrpvLong;
+    case ReplacementKind::Brrip:
+      // 1-in-32 "long" insertion (epsilon of the bimodal policy).
+      return rng.below(32) == 0 ? kRrpvLong : kRrpvMax;
+    case ReplacementKind::Lru:
+    case ReplacementKind::Fifo:
+    case ReplacementKind::Random:
+    case ReplacementKind::Lip:
+      return 0;
+  }
+  PPF_ASSERT_MSG(false, "unhandled ReplacementKind");
+  return 0;
+}
+
+std::size_t choose_victim(std::span<WayState> ways, ReplacementKind kind,
                           Xorshift& rng) {
   PPF_ASSERT(!ways.empty());
   for (std::size_t i = 0; i < ways.size(); ++i) {
     if (!ways[i].valid) return i;
   }
   switch (kind) {
-    case ReplacementKind::Lru: {
+    case ReplacementKind::Lru:
+    case ReplacementKind::Lip: {
+      // LIP differs from LRU only at insertion (the fill path hands new
+      // lines the oldest stamp instead of the newest); the victim scan
+      // is the same stack-bottom search.
       std::size_t victim = 0;
       for (std::size_t i = 1; i < ways.size(); ++i) {
         if (ways[i].last_use < ways[victim].last_use) victim = i;
@@ -27,7 +61,20 @@ std::size_t choose_victim(std::span<const WayState> ways, ReplacementKind kind,
     }
     case ReplacementKind::Random:
       return static_cast<std::size_t>(rng.below(ways.size()));
+    case ReplacementKind::Srrip:
+    case ReplacementKind::Brrip: {
+      // Find the first distant way; if none, age the whole set and
+      // retry. Terminates: each aging round raises the maximum rrpv by
+      // one until it hits kRrpvMax.
+      for (;;) {
+        for (std::size_t i = 0; i < ways.size(); ++i) {
+          if (ways[i].rrpv >= kRrpvMax) return i;
+        }
+        for (WayState& w : ways) ++w.rrpv;
+      }
+    }
   }
+  PPF_ASSERT_MSG(false, "unhandled ReplacementKind");
   return 0;
 }
 

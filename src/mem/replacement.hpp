@@ -13,16 +13,31 @@ enum class ReplacementKind : std::uint8_t {
   Lru,     ///< least-recently-used (default, what the paper assumes)
   Fifo,    ///< oldest fill first
   Random,  ///< uniform random way
+  Srrip,   ///< static re-reference interval prediction (Jaleel et al.)
+  Brrip,   ///< bimodal RRIP: mostly-distant insertion, rare long
+  Lip,     ///< LRU-insertion policy: fills enter at the LRU position
 };
 
-inline const char* to_string(ReplacementKind k) {
-  switch (k) {
-    case ReplacementKind::Lru: return "lru";
-    case ReplacementKind::Fifo: return "fifo";
-    case ReplacementKind::Random: return "random";
-  }
-  return "?";
+const char* to_string(ReplacementKind k);
+
+/// RRPV (re-reference prediction value) geometry shared by the RRIP
+/// family: 2-bit counters, 0 = near-immediate re-reference, kRrpvMax =
+/// distant (eviction candidate), kRrpvLong = the "long" insertion state.
+inline constexpr std::uint8_t kRrpvBits = 2;
+inline constexpr std::uint8_t kRrpvMax = (1U << kRrpvBits) - 1;
+inline constexpr std::uint8_t kRrpvLong = kRrpvMax - 1;
+
+/// True for policies that read/age the per-way RRPV counters.
+inline constexpr bool uses_rrpv(ReplacementKind k) {
+  return k == ReplacementKind::Srrip || k == ReplacementKind::Brrip;
 }
+
+/// RRPV a freshly filled line starts with. SRRIP always inserts "long"
+/// (kRrpvLong); BRRIP inserts "distant" (kRrpvMax) except for a 1/32
+/// chance of "long" — the bimodal throttle that protects against
+/// thrashing. Non-RRIP kinds return 0. `rng` is consulted only for
+/// Brrip, keeping the rng stream of every other policy untouched.
+std::uint8_t insertion_rrpv(ReplacementKind kind, Xorshift& rng);
 
 /// Per-way state the victim chooser needs. The cache keeps richer state;
 /// this narrow view keeps the policy decoupled from tag-array layout.
@@ -30,13 +45,17 @@ struct WayState {
   bool valid = false;
   std::uint64_t last_use = 0;  ///< stamp of most recent touch
   std::uint64_t fill_seq = 0;  ///< stamp of fill
+  std::uint8_t rrpv = 0;       ///< re-reference prediction value (RRIP)
 };
 
 /// Pick the victim way within one set.
 ///
 /// Invalid ways are always preferred (lowest index first). `rng` is only
-/// consulted for ReplacementKind::Random.
-std::size_t choose_victim(std::span<const WayState> ways, ReplacementKind kind,
+/// consulted for ReplacementKind::Random. The RRIP kinds age the set in
+/// place (incrementing every way's rrpv until one reaches kRrpvMax), so
+/// the span is mutable and the caller must write the aged values back to
+/// its tag array.
+std::size_t choose_victim(std::span<WayState> ways, ReplacementKind kind,
                           Xorshift& rng);
 
 }  // namespace ppf::mem

@@ -1,5 +1,7 @@
 #include "obs/prof.hpp"
 
+#include "common/assert.hpp"
+
 namespace ppf::obs {
 
 const char* to_string(ProfScopeId id) {
@@ -11,6 +13,7 @@ const char* to_string(ProfScopeId id) {
     case ProfScopeId::RunlabProbe: return "prof.runlab.probe_us";
     case ProfScopeId::RunlabSimulate: return "prof.runlab.simulate_us";
   }
+  PPF_ASSERT_MSG(false, "unhandled ProfScopeId");
   return "prof.unknown_us";
 }
 

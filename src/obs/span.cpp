@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include "common/assert.hpp"
+
 namespace ppf::obs {
 
 const char* to_string(SpanName n) {
@@ -15,6 +17,7 @@ const char* to_string(SpanName n) {
     case SpanName::StageMemsys: return "serve.stage.memsys";
     case SpanName::Serialize: return "serve.serialize";
   }
+  PPF_ASSERT_MSG(false, "unhandled SpanName");
   return "serve.unknown";
 }
 

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "common/assert.hpp"
+
 namespace ppf::obs {
 
 const char* to_string(EventKind k) {
@@ -13,6 +15,7 @@ const char* to_string(EventKind k) {
     case EventKind::EvictDead: return "evict_dead";
     case EventKind::Recovered: return "recovered";
   }
+  PPF_ASSERT_MSG(false, "unhandled EventKind");
   return "?";
 }
 

@@ -27,7 +27,7 @@ class StreamBufferPrefetcher final : public Prefetcher {
   void on_prefetch_fill(LineAddr, PrefetchSource) override {}
   void on_prefetch_used(LineAddr, PrefetchSource) override {}
 
-  [[nodiscard]] const char* name() const override { return "stream-buffer"; }
+  [[nodiscard]] const char* name() const override { return "stream_buffer"; }
 
   [[nodiscard]] std::size_t active_streams() const;
 

@@ -1,0 +1,171 @@
+// The built-in policy zoo.
+//
+// Every built-in filter, prefetcher, and replacement policy is declared
+// twice here, deliberately: once in a literal doc table (the
+// config-key-docs analyzer rule scans these tables and fails
+// `ppf_analyze` when a key is missing from docs/*.md), and once in
+// detail_register_builtins(), which pairs each key with its factory.
+// help_for() PPF_CHECKs that every registration has a doc row, and
+// tests/registry/registry_test.cpp pins the reverse direction, so the
+// two lists cannot drift apart.
+#include <string>
+
+#include "common/assert.hpp"
+#include "filter/static_filter.hpp"
+#include "prefetch/markov.hpp"
+#include "prefetch/nsp.hpp"
+#include "prefetch/sdp.hpp"
+#include "prefetch/stream_buffer.hpp"
+#include "prefetch/stride.hpp"
+#include "registry/registry.hpp"
+
+namespace ppf::registry {
+
+const std::vector<PolicyDoc>& builtin_filter_docs() {
+  static const std::vector<PolicyDoc> docs = {
+      {"none", "pass-through baseline: admit every prefetch"},
+      {"pa", "per-address 2-bit history table (the paper's PA scheme)"},
+      {"pc", "per-trigger-PC 2-bit history table (the paper's PC scheme)"},
+      {"static", "profile-driven static filter (Srinivasan et al.)"},
+      {"adaptive", "accuracy-gated PA filter (the paper's advanced feature)"},
+      {"deadblock", "victim-liveness gate (Lai et al. dead-block idea)"},
+      {"perceptron",
+       "perceptron filter over PC/addr/source features (Wang & Luo)"},
+  };
+  return docs;
+}
+
+const std::vector<PolicyDoc>& builtin_prefetcher_docs() {
+  static const std::vector<PolicyDoc> docs = {
+      {"nsp", "tagged next-sequence prefetching (paper default)"},
+      {"sdp", "shadow-directory prefetching at the L2 (paper default)"},
+      {"stride", "reference-prediction-table stride prefetcher"},
+      {"stream_buffer", "Jouppi-style stream buffers"},
+      {"markov", "Markov/correlation prefetcher"},
+      {"pmp", "PMP-style region-pattern prefetcher (filter/accum/pattern)"},
+  };
+  return docs;
+}
+
+const std::vector<PolicyDoc>& builtin_replacement_docs() {
+  static const std::vector<PolicyDoc> docs = {
+      {"lru", "least-recently-used (paper default)"},
+      {"fifo", "oldest fill first"},
+      {"random", "uniform random way"},
+      {"srrip", "static RRIP: 2-bit re-reference prediction, long insert"},
+      {"brrip", "bimodal RRIP: distant insert with 1/32 long"},
+      {"lip", "LRU-insertion policy: fills enter at the stack bottom"},
+  };
+  return docs;
+}
+
+namespace {
+
+std::string help_for(const std::vector<PolicyDoc>& docs,
+                     const std::string& key) {
+  for (const PolicyDoc& d : docs) {
+    if (d.key == key) return d.help;
+  }
+  PPF_CHECK_MSG(false, "built-in policy missing from its doc table");
+  return "";
+}
+
+void register_builtin_filters() {
+  const auto& docs = builtin_filter_docs();
+  register_filter("none", help_for(docs, "none"), [](const FilterContext&) {
+    return std::make_unique<filter::NullFilter>();
+  });
+  register_filter("pa", help_for(docs, "pa"), [](const FilterContext& ctx) {
+    return std::make_unique<filter::PaFilter>(ctx.history);
+  });
+  register_filter("pc", help_for(docs, "pc"), [](const FilterContext& ctx) {
+    return std::make_unique<filter::PcFilter>(ctx.history, ctx.inst_bytes);
+  });
+  register_filter("static", help_for(docs, "static"),
+                  [](const FilterContext&) {
+                    return std::make_unique<filter::StaticFilter>();
+                  });
+  register_filter("adaptive", help_for(docs, "adaptive"),
+                  [](const FilterContext& ctx) {
+                    return std::make_unique<filter::AdaptiveFilter>(
+                        std::make_unique<filter::PaFilter>(ctx.history),
+                        ctx.adaptive);
+                  });
+  register_filter("deadblock", help_for(docs, "deadblock"),
+                  [](const FilterContext& ctx) {
+                    PPF_CHECK_MSG(ctx.l1 != nullptr,
+                                  "deadblock filter needs FilterContext.l1");
+                    return std::make_unique<filter::DeadBlockFilter>(
+                        *ctx.l1, ctx.deadblock);
+                  });
+  register_filter("perceptron", help_for(docs, "perceptron"),
+                  [](const FilterContext& ctx) {
+                    return std::make_unique<filter::PerceptronFilter>(
+                        ctx.perceptron);
+                  });
+}
+
+void register_builtin_prefetchers() {
+  const auto& docs = builtin_prefetcher_docs();
+  register_prefetcher(
+      "nsp", help_for(docs, "nsp"), [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l1d != nullptr);
+        return std::make_unique<prefetch::NextSequencePrefetcher>(
+            *ctx.l1d, ctx.nsp_degree);
+      });
+  register_prefetcher(
+      "sdp", help_for(docs, "sdp"), [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l2 != nullptr);
+        return std::make_unique<prefetch::ShadowDirectoryPrefetcher>(*ctx.l2);
+      });
+  register_prefetcher(
+      "stride", help_for(docs, "stride"), [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l1d != nullptr);
+        return std::make_unique<prefetch::StridePrefetcher>(
+            *ctx.l1d, prefetch::StrideConfig{});
+      });
+  register_prefetcher(
+      "stream_buffer", help_for(docs, "stream_buffer"),
+      [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l1d != nullptr);
+        return std::make_unique<prefetch::StreamBufferPrefetcher>(
+            *ctx.l1d, prefetch::StreamBufferConfig{});
+      });
+  register_prefetcher(
+      "markov", help_for(docs, "markov"), [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l1d != nullptr);
+        return std::make_unique<prefetch::MarkovPrefetcher>(
+            *ctx.l1d, prefetch::MarkovConfig{});
+      });
+  register_prefetcher(
+      "pmp", help_for(docs, "pmp"), [](const PrefetcherContext& ctx) {
+        PPF_CHECK(ctx.l1d != nullptr);
+        return std::make_unique<prefetch::PmpPrefetcher>(*ctx.l1d, ctx.pmp);
+      });
+}
+
+void register_builtin_replacements() {
+  const auto& docs = builtin_replacement_docs();
+  register_replacement("lru", help_for(docs, "lru"),
+                       mem::ReplacementKind::Lru);
+  register_replacement("fifo", help_for(docs, "fifo"),
+                       mem::ReplacementKind::Fifo);
+  register_replacement("random", help_for(docs, "random"),
+                       mem::ReplacementKind::Random);
+  register_replacement("srrip", help_for(docs, "srrip"),
+                       mem::ReplacementKind::Srrip);
+  register_replacement("brrip", help_for(docs, "brrip"),
+                       mem::ReplacementKind::Brrip);
+  register_replacement("lip", help_for(docs, "lip"),
+                       mem::ReplacementKind::Lip);
+}
+
+}  // namespace
+
+void detail_register_builtins() {
+  register_builtin_filters();
+  register_builtin_prefetchers();
+  register_builtin_replacements();
+}
+
+}  // namespace ppf::registry

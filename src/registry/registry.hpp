@@ -1,0 +1,122 @@
+// ppf::registry — string-keyed factories for the policy zoo.
+//
+// Pollution filters, hardware prefetchers, and replacement policies are
+// all selected by config string (`filter=`, `prefetchers=`,
+// `replacement=`). This registry is the single place those strings
+// resolve: each entry carries its key, a one-line help string, and a
+// factory. The built-in zoo registers itself lazily on first use from
+// literal doc tables in registry/builtin.cpp — tables the config-key-docs
+// analyzer rule scans, so an undocumented built-in fails `ppf_analyze`.
+// Out-of-tree policies register through the same register_* calls (see
+// docs/PLUGINS.md).
+//
+// Determinism: entries are kept in registration order, so key listings,
+// error messages, and anything iterating the registry (bench_tournament's
+// grid) are byte-stable. All calls are thread-safe; factories run on
+// runlab worker threads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/adaptive_filter.hpp"
+#include "filter/deadblock_filter.hpp"
+#include "filter/filter.hpp"
+#include "filter/perceptron_filter.hpp"
+#include "mem/replacement.hpp"
+#include "prefetch/pmp.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace ppf::mem {
+class Cache;
+}
+
+namespace ppf::registry {
+
+/// Self-describing registry entry: config key + one-line help.
+struct PolicyDoc {
+  std::string key;
+  std::string help;
+};
+
+/// Everything a pollution-filter factory may consume. Built by the sim
+/// layer from SimConfig; defined here so the registry never depends on
+/// sim (factories for out-of-tree filters see the same struct).
+struct FilterContext {
+  filter::HistoryTableConfig history;
+  filter::AdaptiveConfig adaptive;
+  filter::DeadBlockConfig deadblock;
+  filter::PerceptronConfig perceptron;
+  /// Fixed instruction size of the simulated ISA (PC-indexed tables).
+  unsigned inst_bytes = 4;
+  /// The L1 the filter guards; null only in contexts with no hierarchy
+  /// (cache-probing filters require it and PPF_CHECK).
+  const mem::Cache* l1 = nullptr;
+};
+
+/// Everything a prefetcher factory may consume.
+struct PrefetcherContext {
+  mem::Cache* l1d = nullptr;
+  mem::Cache* l2 = nullptr;
+  /// Lines per NSP trigger (the paper's aggressiveness knob).
+  unsigned nsp_degree = 2;
+  prefetch::PmpConfig pmp;
+};
+
+using FilterFactory =
+    std::function<std::unique_ptr<filter::PollutionFilter>(
+        const FilterContext&)>;
+using PrefetcherFactory =
+    std::function<std::unique_ptr<prefetch::Prefetcher>(
+        const PrefetcherContext&)>;
+
+/// Register a policy under `key`. Re-registering an existing key throws
+/// std::invalid_argument (keys are identities: sweeps, memo signatures
+/// and snapshots all key on them).
+void register_filter(const std::string& key, const std::string& help,
+                     FilterFactory make);
+void register_prefetcher(const std::string& key, const std::string& help,
+                         PrefetcherFactory make);
+void register_replacement(const std::string& key, const std::string& help,
+                          mem::ReplacementKind kind);
+
+[[nodiscard]] bool has_filter(const std::string& key);
+[[nodiscard]] bool has_prefetcher(const std::string& key);
+[[nodiscard]] bool has_replacement(const std::string& key);
+
+/// Keys in registration order (built-ins first, in builtin.cpp order).
+[[nodiscard]] std::vector<std::string> filter_keys();
+[[nodiscard]] std::vector<std::string> prefetcher_keys();
+[[nodiscard]] std::vector<std::string> replacement_keys();
+
+/// Key + help for every registered policy, registration order.
+[[nodiscard]] std::vector<PolicyDoc> filter_docs();
+[[nodiscard]] std::vector<PolicyDoc> prefetcher_docs();
+[[nodiscard]] std::vector<PolicyDoc> replacement_docs();
+
+/// `|`-joined key list for usage/error text, e.g. "none|pa|pc|...".
+[[nodiscard]] std::string valid_filter_values();
+[[nodiscard]] std::string valid_prefetcher_values();
+[[nodiscard]] std::string valid_replacement_values();
+
+/// Instantiate a policy. Throws std::invalid_argument for an unknown
+/// key, naming the key and the full valid-value list (drivers surface
+/// this as exit 2 / bad_request verbatim).
+[[nodiscard]] std::unique_ptr<filter::PollutionFilter> make_filter(
+    const std::string& key, const FilterContext& ctx);
+[[nodiscard]] std::unique_ptr<prefetch::Prefetcher> make_prefetcher(
+    const std::string& key, const PrefetcherContext& ctx);
+
+/// Resolve a replacement-policy key to the mem-layer enum (and back).
+[[nodiscard]] mem::ReplacementKind parse_replacement(const std::string& key);
+[[nodiscard]] std::string replacement_key(mem::ReplacementKind kind);
+
+/// Split a comma-separated prefetcher list ("nsp,sdp,pmp"), validating
+/// every name and rejecting duplicates. An empty string means no
+/// hardware prefetching and returns the empty list.
+[[nodiscard]] std::vector<std::string> parse_prefetcher_list(
+    const std::string& csv);
+
+}  // namespace ppf::registry

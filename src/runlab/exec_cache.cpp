@@ -52,7 +52,7 @@ sim::SimResult ExecCache::execute(const Job& job, ExecTimings* timings) {
   // Static-filter jobs run the two-phase profile/measure flow with an
   // external filter that must survive between the phases — out of scope
   // for arena/snapshot sharing.
-  if (!cfg_.trace_cache || job.config.filter == filter::FilterKind::Static) {
+  if (!cfg_.trace_cache || job.config.filter == "static") {
     PPF_PROF_SCOPE(cfg_.profiler, obs::ProfScopeId::RunlabSimulate);
     const ProfClock::time_point t0 = ProfClock::now();
     sim::SimResult result = execute_job(job);

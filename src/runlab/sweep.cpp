@@ -49,7 +49,7 @@ std::vector<Job> SweepSpec::expand() const {
             job.config.seed = seeds[s];
             job.config.core.seed = seeds[s];
           }
-          job.filter_name = filter::to_string(job.config.filter);
+          job.filter_name = job.config.filter;
           job.seed = job.config.seed;
           jobs.push_back(std::move(job));
         }

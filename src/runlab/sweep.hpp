@@ -13,7 +13,6 @@
 #include <string>
 #include <vector>
 
-#include "filter/filter.hpp"
 #include "sim/sim_config.hpp"
 
 namespace ppf::runlab {
@@ -34,7 +33,7 @@ struct Job {
   std::size_t index = 0;     ///< position in submission order
   std::string benchmark;
   std::string variant;       ///< "" when the sweep has no variant axis
-  std::string filter_name;   ///< resolved filter kind, for labels/sinks
+  std::string filter_name;   ///< resolved filter registry key, for labels/sinks
   std::uint64_t seed = 0;
   sim::SimConfig config;     ///< base + variant + filter + seed applied
 };
@@ -46,7 +45,7 @@ struct Job {
 struct SweepSpec {
   sim::SimConfig base;
   std::vector<std::string> benchmarks;
-  std::vector<filter::FilterKind> filters;
+  std::vector<std::string> filters;  ///< filter registry keys
   std::vector<std::uint64_t> seeds;
   std::vector<ConfigVariant> variants;
 

@@ -1,0 +1,195 @@
+#include "runlab/tournament.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "registry/registry.hpp"
+#include "runlab/sinks.hpp"
+#include "sim/report.hpp"
+
+namespace ppf::runlab {
+
+namespace {
+
+double pooled_pollution(std::uint64_t good, std::uint64_t bad) {
+  const std::uint64_t total = good + bad;
+  return total == 0 ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+void validate(const TournamentSpec& spec) {
+  if (spec.filters.empty() || spec.prefetchers.empty() ||
+      spec.benchmarks.empty()) {
+    throw std::invalid_argument("tournament: empty grid axis");
+  }
+  for (const std::string& f : spec.filters) {
+    if (!registry::has_filter(f)) {
+      throw std::invalid_argument("unknown filter '" + f + "' (valid: " +
+                                  registry::valid_filter_values() + ")");
+    }
+  }
+  for (const std::string& p : spec.prefetchers) {
+    if (!registry::has_prefetcher(p)) {
+      throw std::invalid_argument("unknown prefetcher '" + p + "' (valid: " +
+                                  registry::valid_prefetcher_values() + ")");
+    }
+  }
+}
+
+}  // namespace
+
+TournamentReport run_tournament(const TournamentSpec& spec,
+                                const RunOptions& opts) {
+  validate(spec);
+
+  // Expansion order (filter-major, then prefetcher, benchmark innermost)
+  // is part of the determinism contract: job indices, and therefore the
+  // report, are independent of worker scheduling.
+  std::vector<Job> jobs;
+  jobs.reserve(spec.filters.size() * spec.prefetchers.size() *
+               spec.benchmarks.size());
+  for (const std::string& f : spec.filters) {
+    for (const std::string& p : spec.prefetchers) {
+      for (const std::string& bench : spec.benchmarks) {
+        Job job;
+        job.index = jobs.size();
+        job.benchmark = bench;
+        job.variant = f + "+" + p;
+        job.filter_name = f;
+        job.config = spec.base;
+        job.config.filter = f;
+        job.config.prefetchers = {p};
+        job.seed = job.config.seed;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  const RunReport run = run_jobs(jobs, opts);
+
+  TournamentReport rep;
+  rep.filters = spec.filters;
+  rep.prefetchers = spec.prefetchers;
+  rep.benchmarks = spec.benchmarks;
+  rep.job_count = run.results.size();
+
+  std::size_t idx = 0;
+  for (const std::string& f : spec.filters) {
+    for (const std::string& p : spec.prefetchers) {
+      TournamentEntrant e;
+      e.filter = f;
+      e.prefetcher = p;
+      double ipc_sum = 0.0;
+      std::size_t ipc_n = 0;
+      for (const std::string& bench : spec.benchmarks) {
+        const JobResult& jr = run.results[idx++];
+        TournamentRun tr;
+        tr.benchmark = bench;
+        tr.ok = jr.ok;
+        if (spec.signature) tr.signature = spec.signature(jr.job.config, bench);
+        if (jr.ok) {
+          tr.ipc = jr.result.ipc();
+          tr.good = jr.result.good_total();
+          tr.bad = jr.result.bad_total();
+          tr.pollution_rate = pooled_pollution(tr.good, tr.bad);
+          ipc_sum += tr.ipc;
+          ++ipc_n;
+          e.good += tr.good;
+          e.bad += tr.bad;
+        } else {
+          tr.error = jr.error;
+          ++e.failed;
+        }
+        e.runs.push_back(std::move(tr));
+      }
+      e.mean_ipc = ipc_n == 0 ? 0.0 : ipc_sum / static_cast<double>(ipc_n);
+      e.pollution_rate = pooled_pollution(e.good, e.bad);
+      rep.entrants.push_back(std::move(e));
+    }
+  }
+
+  std::sort(rep.entrants.begin(), rep.entrants.end(),
+            [](const TournamentEntrant& a, const TournamentEntrant& b) {
+              if ((a.failed == 0) != (b.failed == 0)) return a.failed == 0;
+              if (a.mean_ipc != b.mean_ipc) return a.mean_ipc > b.mean_ipc;
+              if (a.filter != b.filter) return a.filter < b.filter;
+              return a.prefetcher < b.prefetcher;
+            });
+  return rep;
+}
+
+void write_tournament_json(std::ostream& os, const TournamentReport& rep) {
+  const auto string_array = [&os](const std::vector<std::string>& v) {
+    os << '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) os << ',';
+      write_json_string(os, v[i]);
+    }
+    os << ']';
+  };
+  os << "{\"schema\":\"ppf.tournament.v1\",\"job_count\":" << rep.job_count
+     << ",\"filters\":";
+  string_array(rep.filters);
+  os << ",\"prefetchers\":";
+  string_array(rep.prefetchers);
+  os << ",\"benchmarks\":";
+  string_array(rep.benchmarks);
+  os << ",\"entrants\":[";
+  for (std::size_t i = 0; i < rep.entrants.size(); ++i) {
+    const TournamentEntrant& e = rep.entrants[i];
+    if (i != 0) os << ',';
+    os << "\n{\"rank\":" << (i + 1) << ",\"filter\":";
+    write_json_string(os, e.filter);
+    os << ",\"prefetcher\":";
+    write_json_string(os, e.prefetcher);
+    os << ",\"mean_ipc\":" << sim::fmt(e.mean_ipc, 6)
+       << ",\"pollution_rate\":" << sim::fmt(e.pollution_rate, 6)
+       << ",\"good\":" << e.good << ",\"bad\":" << e.bad
+       << ",\"failed\":" << e.failed << ",\"runs\":[";
+    for (std::size_t j = 0; j < e.runs.size(); ++j) {
+      const TournamentRun& r = e.runs[j];
+      if (j != 0) os << ',';
+      os << "{\"benchmark\":";
+      write_json_string(os, r.benchmark);
+      os << ",\"ok\":" << (r.ok ? "true" : "false");
+      if (r.ok) {
+        os << ",\"ipc\":" << sim::fmt(r.ipc, 6)
+           << ",\"pollution_rate\":" << sim::fmt(r.pollution_rate, 6)
+           << ",\"good\":" << r.good << ",\"bad\":" << r.bad;
+      } else {
+        os << ",\"error\":";
+        write_json_string(os, r.error);
+      }
+      if (!r.signature.empty()) {
+        os << ",\"signature\":";
+        write_json_string(os, r.signature);
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+std::string tournament_to_json(const TournamentReport& rep) {
+  std::ostringstream os;
+  write_tournament_json(os, rep);
+  return os.str();
+}
+
+void print_tournament(std::ostream& os, const TournamentReport& rep) {
+  sim::Table t({"rank", "filter", "prefetcher", "mean_ipc", "pollution",
+                "good", "bad", "failed"});
+  for (std::size_t i = 0; i < rep.entrants.size(); ++i) {
+    const TournamentEntrant& e = rep.entrants[i];
+    t.add_row({std::to_string(i + 1), e.filter, e.prefetcher,
+               sim::fmt(e.mean_ipc, 4), sim::fmt_pct(e.pollution_rate),
+               sim::fmt_u64(e.good), sim::fmt_u64(e.bad),
+               std::to_string(e.failed)});
+  }
+  t.print(os);
+}
+
+}  // namespace ppf::runlab

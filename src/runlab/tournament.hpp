@@ -1,0 +1,85 @@
+// runlab: policy tournament — every pollution filter crossed with every
+// hardware prefetcher, over a benchmark list, ranked by mean IPC.
+//
+// The grid comes from ppf::registry (bench_tournament passes every
+// registered key), so a newly registered policy joins the tournament
+// with zero driver changes. Results follow runlab's determinism
+// contract: jobs are expanded in a fixed order, the report is built from
+// submission-order results, and the JSON payload ("ppf.tournament.v1")
+// is byte-identical for any worker count.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runlab/runner.hpp"
+
+namespace ppf::runlab {
+
+/// Tournament grid: filters x prefetchers x benchmarks over one base
+/// machine. Each entrant runs with exactly one prefetcher so the ranking
+/// isolates the (filter, prefetcher) pairing.
+struct TournamentSpec {
+  sim::SimConfig base;
+  std::vector<std::string> filters;      ///< filter registry keys
+  std::vector<std::string> prefetchers;  ///< prefetcher registry keys
+  std::vector<std::string> benchmarks;
+  /// Optional memo signature for each (config, benchmark) run — e.g.
+  /// diff::config_digest, injected by the caller because runlab sits
+  /// below diff in the layer order. Null leaves signatures empty.
+  std::function<std::string(const sim::SimConfig&, const std::string&)>
+      signature;
+};
+
+/// One benchmark's outcome inside an entrant.
+struct TournamentRun {
+  std::string benchmark;
+  bool ok = false;
+  std::string error;        ///< set when !ok
+  double ipc = 0.0;
+  double pollution_rate = 0.0;  ///< bad / (good + bad); 0 when no prefetches
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  std::string signature;    ///< memo key for this exact (config, bench) point
+};
+
+/// One (filter, prefetcher) entrant, aggregated over the benchmarks.
+struct TournamentEntrant {
+  std::string filter;
+  std::string prefetcher;
+  double mean_ipc = 0.0;        ///< arithmetic mean over succeeded runs
+  double pollution_rate = 0.0;  ///< pooled bad / (good + bad)
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  std::size_t failed = 0;       ///< runs that errored
+  std::vector<TournamentRun> runs;  ///< benchmark order of the spec
+};
+
+struct TournamentReport {
+  std::vector<std::string> filters;
+  std::vector<std::string> prefetchers;
+  std::vector<std::string> benchmarks;
+  /// Ranked best-first: fully-successful entrants by descending mean
+  /// IPC, then entrants with failures; ties break on (filter,
+  /// prefetcher) key order so the ranking is total and deterministic.
+  std::vector<TournamentEntrant> entrants;
+  std::size_t job_count = 0;
+};
+
+/// Expand the grid, run it on the runlab pool, and rank the entrants.
+/// Throws std::invalid_argument when an axis is empty or a key is not
+/// registered (naming the key and the registry's valid values).
+TournamentReport run_tournament(const TournamentSpec& spec,
+                                const RunOptions& opts = {});
+
+/// "ppf.tournament.v1" JSON document. Deterministic: fixed key order,
+/// sim::fmt number formatting, no wall-clock fields.
+void write_tournament_json(std::ostream& os, const TournamentReport& rep);
+std::string tournament_to_json(const TournamentReport& rep);
+
+/// Human-readable ranked table (stderr/stdout report for the bench).
+void print_tournament(std::ostream& os, const TournamentReport& rep);
+
+}  // namespace ppf::runlab

@@ -9,6 +9,7 @@
 
 #include "check/check.hpp"
 #include "diff/signature.hpp"
+#include "registry/registry.hpp"
 #include "runlab/runner.hpp"
 #include "runlab/sinks.hpp"
 #include "sim/config_apply.hpp"
@@ -176,10 +177,14 @@ runlab::Job Service::make_job(const std::string& config) const {
   }
   sim::apply_overrides(job.config, machine);
   if (params.has("filter")) {
-    job.config.filter =
-        sim::parse_filter_kind(params.get_string("filter", ""));
+    const std::string f = params.get_string("filter", "");
+    if (!registry::has_filter(f)) {
+      throw std::invalid_argument("unknown filter '" + f + "' (valid: " +
+                                  registry::valid_filter_values() + ")");
+    }
+    job.config.filter = f;
   }
-  job.filter_name = filter::to_string(job.config.filter);
+  job.filter_name = job.config.filter;
   job.seed = job.config.seed;
   return job;
 }

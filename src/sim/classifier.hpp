@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/assert.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -22,9 +23,10 @@ struct SourceBreakdown {
   std::uint64_t stride = 0;
   std::uint64_t stream = 0;
   std::uint64_t markov = 0;
+  std::uint64_t region = 0;  ///< PMP region-pattern prefetches
 
   [[nodiscard]] std::uint64_t total() const {
-    return sw + nsp + sdp + stride + stream + markov;
+    return sw + nsp + sdp + stride + stream + markov + region;
   }
 };
 
@@ -66,7 +68,9 @@ class PrefetchClassifier {
       case PrefetchSource::Stride: return b.stride;
       case PrefetchSource::StreamBuffer: return b.stream;
       case PrefetchSource::Markov: return b.markov;
+      case PrefetchSource::RegionPattern: return b.region;
     }
+    PPF_ASSERT_MSG(false, "unhandled PrefetchSource");
     return b.sw;
   }
 

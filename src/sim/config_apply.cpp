@@ -5,17 +5,9 @@
 #include <set>
 #include <stdexcept>
 
-namespace ppf::sim {
+#include "registry/registry.hpp"
 
-filter::FilterKind parse_filter_kind(const std::string& name) {
-  if (name == "none") return filter::FilterKind::None;
-  if (name == "pa") return filter::FilterKind::Pa;
-  if (name == "pc") return filter::FilterKind::Pc;
-  if (name == "static") return filter::FilterKind::Static;
-  if (name == "adaptive") return filter::FilterKind::Adaptive;
-  if (name == "deadblock") return filter::FilterKind::DeadBlock;
-  throw std::invalid_argument("unknown filter kind: " + name);
-}
+namespace ppf::sim {
 
 HashKind parse_hash_kind(const std::string& name) {
   if (name == "modulo") return HashKind::Modulo;
@@ -37,13 +29,16 @@ const std::vector<OverrideDoc>& override_docs() {
       {"instructions", "measured instructions per run"},
       {"warmup", "warmup instructions before the statistics reset"},
       {"seed", "master seed (workload + all randomized state)"},
-      {"filter", "pollution filter: none|pa|pc|static|adaptive|deadblock"},
+      {"filter", "pollution filter, by registry key (see docs/PLUGINS.md)"},
       {"history_entries", "history table entries (power of two)"},
       {"history_bits", "history counter width in bits"},
       {"history_init", "history counter initial value"},
       {"history_hash", "table index hash: modulo|fold-xor|fibonacci|mix64"},
       {"source_separated", "tag table index with the prefetch source (bool)"},
       {"recovery_entries", "rejected-prefetch recovery buffer (0 disables)"},
+      {"perceptron_entries", "perceptron filter rows per feature table"},
+      {"perceptron_weight_bits", "perceptron weight width in bits (2-8)"},
+      {"perceptron_theta", "perceptron training threshold"},
       {"l1d_kb", "L1 D-cache size in KB (8/16/32, sets paper latency)"},
       {"l1d_ports", "L1 D-cache ports (3/4/5, sets paper latency)"},
       {"l2_kb", "L2 size in KB"},
@@ -55,12 +50,17 @@ const std::vector<OverrideDoc>& override_docs() {
       {"victim_entries", "victim cache entries (0 = none)"},
       {"prefetch_l2", "prefetch into the L2 only (bool)"},
       {"prefetch_buffer", "use the dedicated 16-entry prefetch buffer (bool)"},
-      {"nsp", "enable next-sequence prefetching (bool)"},
+      {"prefetchers", "comma list of prefetcher registry keys, in order"},
+      {"replacement", "cache replacement policy, all levels (registry key)"},
       {"nsp_degree", "NSP lines per trigger"},
-      {"sdp", "enable shadow-directory prefetching (bool)"},
-      {"stride", "enable the stride (RPT) prefetcher (bool)"},
-      {"stream_buffer", "enable Jouppi-style stream buffers (bool)"},
-      {"markov", "enable the Markov/correlation prefetcher (bool)"},
+      {"pmp_region_lines", "PMP region size in cache lines (power of two)"},
+      {"pmp_degree_cap", "PMP max prefetches per trigger (0 = whole region)"},
+      {"nsp", "deprecated alias: toggle 'nsp' in prefetchers= (bool)"},
+      {"sdp", "deprecated alias: toggle 'sdp' in prefetchers= (bool)"},
+      {"stride", "deprecated alias: toggle 'stride' in prefetchers= (bool)"},
+      {"stream_buffer",
+       "deprecated alias: toggle 'stream_buffer' in prefetchers= (bool)"},
+      {"markov", "deprecated alias: toggle 'markov' in prefetchers= (bool)"},
       {"taxonomy", "track the Srinivasan prefetch taxonomy (bool)"},
       {"swpf", "honour software prefetch instructions (bool)"},
       {"check", "invariant checking: off|final|paranoid (docs/CHECKING.md)"},
@@ -130,7 +130,12 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
   cfg.core.seed = cfg.seed;
 
   if (params.has("filter")) {
-    cfg.filter = parse_filter_kind(params.get_string("filter", ""));
+    const std::string f = params.get_string("filter", "");
+    if (!registry::has_filter(f)) {
+      throw std::invalid_argument("unknown filter '" + f + "' (valid: " +
+                                  registry::valid_filter_values() + ")");
+    }
+    cfg.filter = f;
   }
   cfg.history.entries =
       params.get_u64("history_entries", cfg.history.entries);
@@ -145,6 +150,13 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
       params.get_bool("source_separated", cfg.history.source_separated);
   cfg.filter_recovery_entries =
       params.get_u64("recovery_entries", cfg.filter_recovery_entries);
+  cfg.perceptron.table_entries =
+      params.get_u64("perceptron_entries", cfg.perceptron.table_entries);
+  cfg.perceptron.weight_bits = static_cast<unsigned>(
+      params.get_u64("perceptron_weight_bits", cfg.perceptron.weight_bits));
+  cfg.perceptron.theta = static_cast<int>(
+      params.get_u64("perceptron_theta",
+                     static_cast<std::uint64_t>(cfg.perceptron.theta)));
 
   if (params.has("l1d_kb")) {
     cfg.set_l1d_size_kb(
@@ -177,14 +189,32 @@ void apply_overrides(SimConfig& cfg, const ParamMap& params) {
   cfg.use_prefetch_buffer =
       params.get_bool("prefetch_buffer", cfg.use_prefetch_buffer);
 
-  cfg.enable_nsp = params.get_bool("nsp", cfg.enable_nsp);
+  if (params.has("prefetchers")) {
+    cfg.prefetchers =
+        registry::parse_prefetcher_list(params.get_string("prefetchers", ""));
+  }
+  // Deprecated boolean aliases (pre-registry knobs), applied after
+  // prefetchers= so scripts mixing both get the toggles they wrote.
+  for (const char* name :
+       {"nsp", "sdp", "stride", "stream_buffer", "markov"}) {
+    if (params.has(name)) {
+      cfg.set_prefetcher(name,
+                         params.get_bool(name, cfg.prefetcher_enabled(name)));
+    }
+  }
+  if (params.has("replacement")) {
+    const mem::ReplacementKind r =
+        registry::parse_replacement(params.get_string("replacement", ""));
+    cfg.l1d.replacement = r;
+    cfg.l1i.replacement = r;
+    cfg.l2.replacement = r;
+  }
   cfg.nsp_degree =
       static_cast<unsigned>(params.get_u64("nsp_degree", cfg.nsp_degree));
-  cfg.enable_sdp = params.get_bool("sdp", cfg.enable_sdp);
-  cfg.enable_stride = params.get_bool("stride", cfg.enable_stride);
-  cfg.enable_stream_buffer =
-      params.get_bool("stream_buffer", cfg.enable_stream_buffer);
-  cfg.enable_markov = params.get_bool("markov", cfg.enable_markov);
+  cfg.pmp.region_lines = static_cast<unsigned>(
+      params.get_u64("pmp_region_lines", cfg.pmp.region_lines));
+  cfg.pmp.degree_cap = static_cast<unsigned>(
+      params.get_u64("pmp_degree_cap", cfg.pmp.degree_cap));
   cfg.enable_taxonomy = params.get_bool("taxonomy", cfg.enable_taxonomy);
   cfg.enable_sw_prefetch = params.get_bool("swpf", cfg.enable_sw_prefetch);
 
@@ -237,13 +267,21 @@ void print_config(std::ostream& os, const SimConfig& cfg) {
      << "L2: " << cfg.l2.size_bytes / 1024 << "KB, " << cfg.l2.latency
      << "cy; memory " << cfg.dram.latency << "cy; bus "
      << cfg.bus.width_bytes << "B/" << cfg.bus.cycles_per_beat << "cy\n"
-     << "prefetch: nsp(" << (cfg.enable_nsp ? "on" : "off") << ",deg "
-     << cfg.nsp_degree << ") sdp(" << (cfg.enable_sdp ? "on" : "off")
-     << ") stride(" << (cfg.enable_stride ? "on" : "off") << ") sw("
+     << "prefetch: ";
+  if (cfg.prefetchers.empty()) {
+    os << "(none)";
+  } else {
+    for (std::size_t i = 0; i < cfg.prefetchers.size(); ++i) {
+      if (i > 0) os << ',';
+      os << cfg.prefetchers[i];
+    }
+  }
+  os << " (nsp deg " << cfg.nsp_degree << ") sw("
      << (cfg.enable_sw_prefetch ? "on" : "off") << "), queue "
      << cfg.prefetch_queue_entries
      << (cfg.use_prefetch_buffer ? ", dedicated buffer" : "") << "\n"
-     << "filter: " << filter::to_string(cfg.filter) << ", table "
+     << "replacement: " << mem::to_string(cfg.l1d.replacement) << "\n"
+     << "filter: " << cfg.filter << ", table "
      << cfg.history.entries << " x " << cfg.history.counter_bits
      << "b (init " << static_cast<unsigned>(cfg.history.init_value)
      << ", " << to_string(cfg.history.hash) << ", src-sep "

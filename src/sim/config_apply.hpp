@@ -43,9 +43,6 @@ const std::vector<std::string>& ppf_batch_driver_keys();
 /// Render the effective configuration as human-readable text.
 void print_config(std::ostream& os, const SimConfig& cfg);
 
-/// Parse a filter name ("none", "pa", "pc", "static", "adaptive").
-filter::FilterKind parse_filter_kind(const std::string& name);
-
 /// Parse a hash name ("modulo", "fold-xor", "fibonacci", "mix64").
 HashKind parse_hash_kind(const std::string& name);
 

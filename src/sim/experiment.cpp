@@ -40,11 +40,11 @@ ScenarioResults run_filter_scenarios(const SimConfig& base,
                                      const std::string& bench) {
   ScenarioResults r;
   SimConfig cfg = base;
-  cfg.filter = filter::FilterKind::None;
+  cfg.filter = "none";
   r.none = run_benchmark(cfg, bench);
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   r.pa = run_benchmark(cfg, bench);
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   r.pc = run_benchmark(cfg, bench);
   return r;
 }

@@ -4,36 +4,20 @@
 #include <string>
 
 #include "common/assert.hpp"
-#include "filter/deadblock_filter.hpp"
-#include "filter/static_filter.hpp"
-#include "prefetch/markov.hpp"
-#include "prefetch/nsp.hpp"
-#include "prefetch/sdp.hpp"
-#include "prefetch/stream_buffer.hpp"
-#include "prefetch/stride.hpp"
+#include "registry/registry.hpp"
 
 namespace ppf::sim {
 
 std::unique_ptr<filter::PollutionFilter> make_filter(const SimConfig& cfg,
                                                      const mem::Cache& l1) {
-  using filter::FilterKind;
-  switch (cfg.filter) {
-    case FilterKind::None:
-      return std::make_unique<filter::NullFilter>();
-    case FilterKind::Pa:
-      return std::make_unique<filter::PaFilter>(cfg.history);
-    case FilterKind::Pc:
-      return std::make_unique<filter::PcFilter>(cfg.history,
-                                                cfg.core.inst_bytes);
-    case FilterKind::Static:
-      return std::make_unique<filter::StaticFilter>();
-    case FilterKind::Adaptive:
-      return std::make_unique<filter::AdaptiveFilter>(
-          std::make_unique<filter::PaFilter>(cfg.history), cfg.adaptive);
-    case FilterKind::DeadBlock:
-      return std::make_unique<filter::DeadBlockFilter>(l1, cfg.deadblock);
-  }
-  return std::make_unique<filter::NullFilter>();
+  registry::FilterContext ctx;
+  ctx.history = cfg.history;
+  ctx.adaptive = cfg.adaptive;
+  ctx.deadblock = cfg.deadblock;
+  ctx.perceptron = cfg.perceptron;
+  ctx.inst_bytes = cfg.core.inst_bytes;
+  ctx.l1 = &l1;
+  return registry::make_filter(cfg.filter, ctx);
 }
 
 MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg,
@@ -58,24 +42,15 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg,
   if (cfg.victim_cache_entries > 0) {
     victim_ = std::make_unique<mem::VictimCache>(cfg.victim_cache_entries);
   }
-  if (cfg.enable_nsp) {
-    prefetcher_.add(std::make_unique<prefetch::NextSequencePrefetcher>(
-        l1d_, cfg.nsp_degree));
-  }
-  if (cfg.enable_sdp) {
-    prefetcher_.add(std::make_unique<prefetch::ShadowDirectoryPrefetcher>(l2_));
-  }
-  if (cfg.enable_stride) {
-    prefetcher_.add(std::make_unique<prefetch::StridePrefetcher>(
-        l1d_, prefetch::StrideConfig{}));
-  }
-  if (cfg.enable_stream_buffer) {
-    prefetcher_.add(std::make_unique<prefetch::StreamBufferPrefetcher>(
-        l1d_, prefetch::StreamBufferConfig{}));
-  }
-  if (cfg.enable_markov) {
-    prefetcher_.add(std::make_unique<prefetch::MarkovPrefetcher>(
-        l1d_, prefetch::MarkovConfig{}));
+  registry::PrefetcherContext pctx;
+  pctx.l1d = &l1d_;
+  pctx.l2 = &l2_;
+  pctx.nsp_degree = cfg.nsp_degree;
+  pctx.pmp = cfg.pmp;
+  // List order is generation order: candidates reach the filter and the
+  // queue in this order every run (part of the determinism contract).
+  for (const std::string& key : cfg.prefetchers) {
+    prefetcher_.add(registry::make_prefetcher(key, pctx));
   }
 }
 

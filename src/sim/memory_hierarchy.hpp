@@ -228,9 +228,10 @@ class MemoryHierarchy final : public core::DataMemory, public core::InstMemory {
   std::vector<prefetch::PrefetchRequest> scratch_cands_;
 };
 
-/// Build the pollution filter selected by the config. `l1` is needed by
-/// victim-probing filters (FilterKind::DeadBlock) and must outlive the
-/// returned filter.
+/// Build the pollution filter selected by the config (a registry key).
+/// `l1` is needed by victim-probing filters (filter=deadblock) and must
+/// outlive the returned filter. Throws std::invalid_argument for an
+/// unknown key, naming the valid registry values.
 std::unique_ptr<filter::PollutionFilter> make_filter(const SimConfig& cfg,
                                                      const mem::Cache& l1);
 

@@ -103,13 +103,14 @@ void print_result(std::ostream& os, const SimResult& r) {
   t.add_row({"L2 miss rate", fmt_pct(r.l2_miss_rate(), 2)});
   t.add_row({"ROB-full stall cycles", fmt_u64(r.core.rob_full_stall_cycles)});
   t.add_row({"prefetches issued", fmt_u64(r.prefetch_issued.total())});
-  t.add_row({"  by source (sw/nsp/sdp/stride/stream/markov)",
+  t.add_row({"  by source (sw/nsp/sdp/stride/stream/markov/region)",
              fmt_u64(r.prefetch_issued.sw) + "/" +
                  fmt_u64(r.prefetch_issued.nsp) + "/" +
                  fmt_u64(r.prefetch_issued.sdp) + "/" +
                  fmt_u64(r.prefetch_issued.stride) + "/" +
                  fmt_u64(r.prefetch_issued.stream) + "/" +
-                 fmt_u64(r.prefetch_issued.markov)});
+                 fmt_u64(r.prefetch_issued.markov) + "/" +
+                 fmt_u64(r.prefetch_issued.region)});
   t.add_row({"good / bad prefetches",
              fmt_u64(r.good_total()) + " / " + fmt_u64(r.bad_total())});
   t.add_row({"bad/good ratio", fmt(r.bad_good_ratio())});

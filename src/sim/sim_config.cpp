@@ -17,6 +17,26 @@ void SimConfig::set_l1d_size_kb(unsigned kb) {
   }
 }
 
+bool SimConfig::prefetcher_enabled(std::string_view name) const {
+  for (const std::string& p : prefetchers) {
+    if (p == name) return true;
+  }
+  return false;
+}
+
+void SimConfig::set_prefetcher(std::string_view name, bool enabled) {
+  if (enabled) {
+    if (!prefetcher_enabled(name)) prefetchers.emplace_back(name);
+    return;
+  }
+  for (auto it = prefetchers.begin(); it != prefetchers.end(); ++it) {
+    if (*it == name) {
+      prefetchers.erase(it);
+      return;
+    }
+  }
+}
+
 void SimConfig::set_l1d_ports(unsigned ports) {
   l1d.ports = ports;
   switch (ports) {

@@ -3,17 +3,22 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "check/check.hpp"
+#include "common/assert.hpp"
 #include "core/dataflow_core.hpp"
 #include "core/ooo_core.hpp"
 #include "filter/adaptive_filter.hpp"
 #include "filter/deadblock_filter.hpp"
 #include "filter/filter.hpp"
+#include "filter/perceptron_filter.hpp"
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "obs/recorder.hpp"
+#include "prefetch/pmp.hpp"
 #include "sim/energy.hpp"
 
 namespace ppf::sim {
@@ -29,6 +34,7 @@ inline const char* to_string(CoreModel m) {
     case CoreModel::Occupancy: return "occupancy";
     case CoreModel::Dataflow: return "dataflow";
   }
+  PPF_ASSERT_MSG(false, "unhandled CoreModel");
   return "?";
 }
 
@@ -45,6 +51,7 @@ inline const char* to_string(EngineMode e) {
     case EngineMode::Reference: return "reference";
     case EngineMode::Batched: return "batched";
   }
+  PPF_ASSERT_MSG(false, "unhandled EngineMode");
   return "?";
 }
 
@@ -97,20 +104,26 @@ struct SimConfig {
   bool use_prefetch_buffer = false;
   std::size_t prefetch_buffer_entries = 16;
 
-  bool enable_nsp = true;
+  /// Hardware prefetchers, by registry key (ppf::registry), in the order
+  /// they run. The paper's machine is {"nsp", "sdp"}; "stride",
+  /// "stream_buffer", "markov" and "pmp" are extensions. Order matters
+  /// for determinism (candidates are routed in generator order) and is
+  /// part of warmup_key.
+  std::vector<std::string> prefetchers = {"nsp", "sdp"};
   /// Lines prefetched per NSP trigger. 2 = the "aggressive" setting the
   /// paper's motivation assumes; 1 = classic tagged next-line.
   unsigned nsp_degree = 2;
-  bool enable_sdp = true;
-  bool enable_stride = false;        ///< extension, off in the paper's setup
-  bool enable_stream_buffer = false; ///< extension (Jouppi stream buffers)
-  bool enable_markov = false;        ///< extension (correlation prefetching)
   bool enable_sw_prefetch = true;
 
-  filter::FilterKind filter = filter::FilterKind::None;
+  /// Pollution filter, by registry key ("none", "pa", "pc", "static",
+  /// "adaptive", "deadblock", "perceptron", or anything registered via
+  /// registry::register_filter).
+  std::string filter = "none";
   filter::HistoryTableConfig history;
   filter::AdaptiveConfig adaptive;
   filter::DeadBlockConfig deadblock;
+  filter::PerceptronConfig perceptron;
+  prefetch::PmpConfig pmp;
 
   /// Capacity of the rejected-prefetch recovery buffer. A demand miss to
   /// a recently rejected line proves the filter wrong and trains the
@@ -167,6 +180,14 @@ struct SimConfig {
   /// Apply the paper's port/latency pairing for the 8KB L1 (Section 5.4):
   /// 3 ports -> 1 cycle, 4 ports -> 2 cycles, 5 ports -> 3 cycles.
   void set_l1d_ports(unsigned ports);
+
+  /// True when `name` is in the `prefetchers` list.
+  [[nodiscard]] bool prefetcher_enabled(std::string_view name) const;
+
+  /// Add (append) or remove `name` from the `prefetchers` list. The
+  /// deprecated boolean override knobs (nsp=, sdp=, ...) resolve here;
+  /// removal keeps the relative order of the remaining entries.
+  void set_prefetcher(std::string_view name, bool enabled);
 };
 
 }  // namespace ppf::sim

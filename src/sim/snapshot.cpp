@@ -46,18 +46,26 @@ std::string warmup_key(const SimConfig& cfg) {
      << cfg.dram.latency << '|' << cfg.prefetch_queue_entries << ','
      << cfg.mshr_entries << ',' << cfg.victim_cache_entries << ','
      << cfg.prefetch_to_l2 << ',' << cfg.use_prefetch_buffer << ','
-     << cfg.prefetch_buffer_entries << '|' << cfg.enable_nsp << ','
-     << cfg.nsp_degree << ',' << cfg.enable_sdp << ',' << cfg.enable_stride
-     << ',' << cfg.enable_stream_buffer << ',' << cfg.enable_markov << ','
-     << cfg.enable_sw_prefetch << '|'
-     << filter::to_string(cfg.filter) << ',' << cfg.history.entries << ','
+     << cfg.prefetch_buffer_entries << '|';
+  // Prefetcher list, in order (order shapes warm state). Registry keys
+  // never contain ',' so the joined form is unambiguous.
+  for (std::size_t i = 0; i < cfg.prefetchers.size(); ++i) {
+    if (i > 0) os << ',';
+    os << cfg.prefetchers[i];
+  }
+  os << ';' << cfg.nsp_degree << ',' << cfg.enable_sw_prefetch << ','
+     << cfg.pmp.region_lines << ',' << cfg.pmp.filter_entries << ','
+     << cfg.pmp.accum_entries << ',' << cfg.pmp.degree_cap << '|'
+     << cfg.filter << ',' << cfg.history.entries << ','
      << cfg.history.counter_bits << ','
      << static_cast<int>(cfg.history.init_value) << ','
      << static_cast<int>(cfg.history.hash) << ','
      << cfg.history.source_separated << ','
      << cfg.adaptive.accuracy_threshold << ','
      << cfg.adaptive.release_threshold << ',' << cfg.adaptive.window << ','
-     << cfg.deadblock.age_multiple << ',' << cfg.filter_recovery_entries
+     << cfg.deadblock.age_multiple << ',' << cfg.perceptron.table_entries
+     << ',' << cfg.perceptron.weight_bits << ',' << cfg.perceptron.theta
+     << ',' << cfg.filter_recovery_entries
      << '|' << cfg.enable_taxonomy << '|' << cfg.warmup_instructions << '|'
      << cfg.seed;
   return os.str();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace ppf::workload {
@@ -33,6 +34,7 @@ inline const char* to_string(InstKind k) {
     case InstKind::Branch: return "branch";
     case InstKind::SwPrefetch: return "swpf";
   }
+  PPF_ASSERT_MSG(false, "unhandled InstKind");
   return "?";
 }
 

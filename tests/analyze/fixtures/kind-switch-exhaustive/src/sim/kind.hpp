@@ -1,0 +1,19 @@
+// Fixture: a kind-to-string switch with no assert on the fall-through
+// path. Adding a fourth Kind enumerator compiles clean and silently
+// stringifies as "?" — the exact bug the rule exists to block.
+#pragma once
+
+namespace fx {
+
+enum class Kind { A, B, C };
+
+inline const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::A: return "a";
+    case Kind::B: return "b";
+    case Kind::C: return "c";
+  }
+  return "?";
+}
+
+}  // namespace fx

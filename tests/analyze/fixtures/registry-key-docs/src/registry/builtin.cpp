@@ -1,0 +1,21 @@
+// Fixture: a registry doc table whose key appears in no docs corpus
+// (there is no docs/ or README.md in this tree). Registering a policy
+// without documenting it must fire config-key-docs.
+#include <string>
+#include <vector>
+
+namespace fx {
+
+struct PolicyDoc {
+  std::string key;
+  std::string help;
+};
+
+const std::vector<PolicyDoc>& builtin_filter_docs() {
+  static const std::vector<PolicyDoc> docs = {
+      {"undocumented_widget", "a filter no markdown file mentions"},
+  };
+  return docs;
+}
+
+}  // namespace fx

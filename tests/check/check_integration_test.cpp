@@ -30,7 +30,7 @@ namespace {
 
 using namespace ppf;
 
-sim::SimConfig grid_config(filter::FilterKind kind) {
+sim::SimConfig grid_config(std::string kind) {
   sim::SimConfig cfg = sim::SimConfig::paper_default();
   cfg.max_instructions = 60'000;
   cfg.warmup_instructions = 15'000;
@@ -58,14 +58,14 @@ sim::SimResult run_once(const sim::SimConfig& cfg, const std::string& bench,
 
 TEST(CheckIntegration, Fig1GridRunsViolationFreeUnderParanoid) {
   for (const std::string& bench : workload::benchmark_names()) {
-    for (const filter::FilterKind kind :
-         {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+    for (const std::string kind :
+         {"pa", "pc"}) {
       const sim::SimConfig cfg = grid_config(kind);
       sim::SimResult r;
       EXPECT_NO_THROW(r = run_once(cfg, bench))
-          << bench << "/" << filter::to_string(kind);
+          << bench << "/" << kind;
       EXPECT_EQ(r.core.instructions, cfg.max_instructions)
-          << bench << "/" << filter::to_string(kind);
+          << bench << "/" << kind;
     }
   }
 }
@@ -75,7 +75,7 @@ TEST(CheckIntegration, HierarchyModesRunViolationFreeUnderParanoid) {
   // hold in every prefetch-placement mode, not just the default L1 fill.
   for (const char* mode :
        {"buffer", "l2", "victim", "unlimited_mshr", "dataflow"}) {
-    sim::SimConfig cfg = grid_config(filter::FilterKind::Pc);
+    sim::SimConfig cfg = grid_config("pc");
     if (std::string(mode) == "buffer") cfg.use_prefetch_buffer = true;
     if (std::string(mode) == "l2") cfg.prefetch_to_l2 = true;
     if (std::string(mode) == "victim") cfg.victim_cache_entries = 8;
@@ -89,24 +89,24 @@ TEST(CheckIntegration, HierarchyModesRunViolationFreeUnderParanoid) {
 
 TEST(CheckIntegration, ParanoidCheckingIsInvisibleInResults) {
   for (const char* bench : {"mcf", "em3d"}) {
-    sim::SimConfig off = grid_config(filter::FilterKind::Pc);
+    sim::SimConfig off = grid_config("pc");
     off.check.mode = check::CheckMode::Off;
     const sim::SimResult plain = run_once(off, bench);
     const sim::SimResult checked =
-        run_once(grid_config(filter::FilterKind::Pc), bench);
+        run_once(grid_config("pc"), bench);
     sim::expect_identical(plain, checked);
   }
 }
 
 TEST(CheckIntegration, SnapshotPathIsCheckedAndIdenticalToCold) {
-  const sim::SimConfig cfg = grid_config(filter::FilterKind::Pa);
+  const sim::SimConfig cfg = grid_config("pa");
   const sim::SimResult cold = run_once(cfg, "mcf");
   const sim::SimResult warm = run_once(cfg, "mcf", /*warmup_share=*/true);
   sim::expect_identical(cold, warm);
 }
 
 TEST(CheckIntegration, TripwireSurfacesThroughTheSimulator) {
-  sim::SimConfig cfg = grid_config(filter::FilterKind::Pc);
+  sim::SimConfig cfg = grid_config("pc");
   cfg.check.period = 100;
   cfg.check.fail_at = 1'000;
   try {
@@ -121,8 +121,7 @@ TEST(CheckIntegration, TripwireSurfacesThroughTheSimulator) {
 
 TEST(CheckIntegration, CorruptedCacheLineIsCaughtWithFullContext) {
   sim::SimConfig cfg;  // Table 1 defaults, no prefetchers needed
-  cfg.enable_nsp = false;
-  cfg.enable_sdp = false;
+  cfg.prefetchers.clear();
   cfg.enable_sw_prefetch = false;
   sim::MemoryHierarchy mem(cfg);
 
@@ -150,8 +149,7 @@ TEST(CheckIntegration, CorruptedCacheLineIsCaughtWithFullContext) {
 
 TEST(CheckIntegration, AbortModeThrowsOnCorruption) {
   sim::SimConfig cfg;
-  cfg.enable_nsp = false;
-  cfg.enable_sdp = false;
+  cfg.prefetchers.clear();
   cfg.enable_sw_prefetch = false;
   sim::MemoryHierarchy mem(cfg);
   check::Checker chk(check::CheckConfig{check::CheckMode::Final, 10'000, 0});
@@ -183,11 +181,11 @@ TEST(CheckIntegration, TinyAliasedHistoryTableStaysWellFormed) {
 }
 
 TEST(CheckIntegration, AliasedTableEndToEndUnderParanoid) {
-  for (const filter::FilterKind kind :
-       {filter::FilterKind::Pa, filter::FilterKind::Pc}) {
+  for (const std::string kind :
+       {"pa", "pc"}) {
     sim::SimConfig cfg = grid_config(kind);
     cfg.history.entries = 16;  // thousands of lines alias onto 16 counters
-    EXPECT_NO_THROW(run_once(cfg, "mcf")) << filter::to_string(kind);
+    EXPECT_NO_THROW(run_once(cfg, "mcf")) << kind;
   }
 }
 

@@ -48,6 +48,36 @@ TEST(SatCounter, SetClampsToRange) {
   EXPECT_EQ(c.value(), 5);
 }
 
+TEST(SatCounter, DefaultInitOnOneBitClampsToSaturatedPositive) {
+  // The classic trap: init=2 is weakly positive only at 2 bits. At
+  // bits=1 it clamps to 1 (fully saturated), so one negative outcome
+  // flips the prediction — code that wants "weak" must use the
+  // weakly_positive()/weakly_negative() factories instead.
+  SaturatingCounter c(1, 2);
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_TRUE(c.predicts_positive());
+  c.update(false);
+  EXPECT_FALSE(c.predicts_positive());
+}
+
+TEST(SatCounter, WeaklyPositiveIsWeakAtEveryWidth) {
+  for (unsigned bits : {1u, 2u, 3u, 8u}) {
+    SaturatingCounter c = SaturatingCounter::weakly_positive(bits);
+    EXPECT_TRUE(c.predicts_positive()) << "bits=" << bits;
+    c.update(false);
+    EXPECT_FALSE(c.predicts_positive()) << "bits=" << bits;
+  }
+}
+
+TEST(SatCounter, WeaklyNegativeIsWeakAtEveryWidth) {
+  for (unsigned bits : {1u, 2u, 3u, 8u}) {
+    SaturatingCounter c = SaturatingCounter::weakly_negative(bits);
+    EXPECT_FALSE(c.predicts_positive()) << "bits=" << bits;
+    c.update(true);
+    EXPECT_TRUE(c.predicts_positive()) << "bits=" << bits;
+  }
+}
+
 TEST(SatCounter, OneBitBehavesLikeLastOutcome) {
   SaturatingCounter c(1, 1);
   EXPECT_TRUE(c.predicts_positive());

@@ -1,0 +1,67 @@
+// Registry-grid equivalence: every registered filter crossed with every
+// registered prefetcher must satisfy the two execution-path oracles the
+// batch layers depend on — warmup-snapshot resume byte-equals a cold
+// run, and runlab JSON is identical on 1 and 8 workers. Sampling-based
+// sweeps only visit these points probabilistically; this test pins the
+// full grid so a policy cannot register without joining the contract.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "diff/lattice.hpp"
+#include "diff/oracles.hpp"
+#include "registry/registry.hpp"
+
+namespace ppf::diff {
+namespace {
+
+const Oracle& oracle_by_id(const std::string& id) {
+  for (const Oracle& o : oracle_catalogue()) {
+    if (o.id == id) return o;
+  }
+  ADD_FAILURE() << "oracle " << id << " missing from the catalogue";
+  static const Oracle none{};
+  return none;
+}
+
+ConfigPoint grid_point(const std::string& filter,
+                       const std::string& prefetcher) {
+  ConfigPoint p;
+  p.benchmark = "mcf";
+  p.seed = 9;
+  p.instructions = 16000;
+  p.warmup = 6000;  // cold_vs_snapshot needs a real warmup phase
+  p.overrides = {{"filter", filter}, {"prefetchers", prefetcher}};
+  return p;
+}
+
+class RegistryGrid
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(RegistryGrid, ColdVsSnapshotAndWorkerCountsAgree) {
+  const auto& [filter, prefetcher] = GetParam();
+  OracleContext ctx(grid_point(filter, prefetcher));
+
+  const OracleOutcome snap = oracle_by_id("diff.cold_vs_snapshot").evaluate(ctx);
+  // Static filters run the two-phase flow and are exempt by design;
+  // every other registered filter must take the snapshot path.
+  if (filter != "static") {
+    EXPECT_TRUE(snap.applicable) << filter << "+" << prefetcher;
+  }
+  EXPECT_TRUE(snap.ok) << filter << "+" << prefetcher << ": " << snap.detail;
+
+  const OracleOutcome jobs = oracle_by_id("diff.jobs1_vs_jobs8").evaluate(ctx);
+  EXPECT_TRUE(jobs.applicable);
+  EXPECT_TRUE(jobs.ok) << filter << "+" << prefetcher << ": " << jobs.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredPairs, RegistryGrid,
+    ::testing::Combine(::testing::ValuesIn(registry::filter_keys()),
+                       ::testing::ValuesIn(registry::prefetcher_keys())),
+    [](const ::testing::TestParamInfo<RegistryGrid::ParamType>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace ppf::diff

@@ -112,12 +112,12 @@ TEST(Filters, AdmitRejectAccounting) {
   EXPECT_FALSE(f.admit(cand(5)));
 }
 
-TEST(Filters, KindToString) {
-  EXPECT_STREQ(to_string(FilterKind::None), "none");
-  EXPECT_STREQ(to_string(FilterKind::Pa), "pa");
-  EXPECT_STREQ(to_string(FilterKind::Pc), "pc");
-  EXPECT_STREQ(to_string(FilterKind::Static), "static");
-  EXPECT_STREQ(to_string(FilterKind::Adaptive), "adaptive");
+TEST(Filters, NamesMatchRegistryKeys) {
+  // Each concrete filter reports the registry key it is built under, so
+  // runlab's per-filter telemetry lines up with filter= config values.
+  HistoryTableConfig ht = small_table();
+  EXPECT_STREQ(PaFilter(ht).name(), "pa");
+  EXPECT_STREQ(PcFilter(ht).name(), "pc");
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+#include "filter/perceptron_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace ppf::filter {
+namespace {
+
+PerceptronConfig small_cfg() {
+  PerceptronConfig cfg;
+  cfg.table_entries = 64;
+  cfg.weight_bits = 6;
+  cfg.theta = 12;
+  return cfg;
+}
+
+PrefetchCandidate cand(LineAddr line, Pc pc = 0x400000,
+                       PrefetchSource src = PrefetchSource::NextSequence) {
+  PrefetchCandidate c;
+  c.line = line;
+  c.trigger_pc = pc;
+  c.source = src;
+  return c;
+}
+
+FilterFeedback fb(LineAddr line, bool referenced, Pc pc = 0x400000,
+                  PrefetchSource src = PrefetchSource::NextSequence) {
+  FilterFeedback f;
+  f.line = line;
+  f.trigger_pc = pc;
+  f.referenced = referenced;
+  f.source = src;
+  return f;
+}
+
+TEST(PerceptronFilter, AllZeroWeightsAdmitEverything) {
+  // Fresh weights sum to zero and 0 >= 0 admits: an unseen prefetch is
+  // presumed useful, matching the history table's weakly-good init.
+  PerceptronFilter f(small_cfg());
+  EXPECT_EQ(f.sum_for(cand(0x1000)), 0);
+  EXPECT_TRUE(f.admit(cand(0x1000)));
+  EXPECT_TRUE(f.admit(cand(0x9999, 0x400abc, PrefetchSource::Software)));
+  EXPECT_EQ(f.admitted(), 2u);
+  EXPECT_EQ(f.rejected(), 0u);
+}
+
+TEST(PerceptronFilter, BadFeedbackDrivesRejection) {
+  PerceptronFilter f(small_cfg());
+  // Every bad outcome moves all four selected weights by -1, so one
+  // sample lands the sum at -4 and the candidate is rejected.
+  f.feedback(fb(0x1000, /*referenced=*/false));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), -4);
+  EXPECT_FALSE(f.admit(cand(0x1000)));
+  EXPECT_EQ(f.rejected(), 1u);
+}
+
+TEST(PerceptronFilter, GoodFeedbackRecoversAdmission) {
+  PerceptronFilter f(small_cfg());
+  f.feedback(fb(0x1000, false));
+  ASSERT_FALSE(f.admit(cand(0x1000)));
+  f.feedback(fb(0x1000, true));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), 0);
+  EXPECT_TRUE(f.admit(cand(0x1000)));
+}
+
+TEST(PerceptronFilter, ThetaMarginFreezesWellLearnedWeights) {
+  PerceptronConfig cfg = small_cfg();
+  cfg.theta = 8;
+  PerceptronFilter f(cfg);
+  // Drive the sum below -theta; once the prediction is both correct and
+  // outside the margin, further redundant feedback must not move it.
+  for (int i = 0; i < 3; ++i) f.feedback(fb(0x1000, false));
+  const int settled = f.sum_for(cand(0x1000));
+  ASSERT_LT(settled, -cfg.theta);
+  f.feedback(fb(0x1000, false));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), settled);
+}
+
+TEST(PerceptronFilter, RecoverTrainsPastTheMargin) {
+  PerceptronConfig cfg = small_cfg();
+  cfg.theta = 8;
+  PerceptronFilter f(cfg);
+  for (int i = 0; i < 3; ++i) f.feedback(fb(0x1000, false));
+  const int settled = f.sum_for(cand(0x1000));
+  ASSERT_LT(settled, -cfg.theta);
+  // A demand miss on the rejected line is decisive evidence: recover()
+  // trains even though feedback() would have been margin-suppressed.
+  f.recover(fb(0x1000, true));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), settled + 4);
+}
+
+TEST(PerceptronFilter, WeightsClampAtConfiguredRange) {
+  PerceptronConfig cfg = small_cfg();
+  cfg.weight_bits = 3;  // weights in [-4, 3]
+  cfg.theta = 1000;     // keep training active at every magnitude
+  PerceptronFilter f(cfg);
+  for (int i = 0; i < 50; ++i) f.feedback(fb(0x1000, false));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), 4 * cfg.weight_min());
+  for (int i = 0; i < 100; ++i) f.feedback(fb(0x1000, true));
+  EXPECT_EQ(f.sum_for(cand(0x1000)), 4 * cfg.weight_max());
+
+  // The registered invariant sweep agrees the clamp held everywhere.
+  check::CheckRegistry reg;
+  f.register_checks(reg, "filter");
+  std::vector<check::CheckFailure> failures;
+  reg.run(0, failures);
+  EXPECT_TRUE(failures.empty());
+}
+
+TEST(PerceptronFilter, StorageBytesFollowsGeometry) {
+  PerceptronConfig cfg;
+  cfg.table_entries = 1024;
+  cfg.weight_bits = 6;
+  // 4 tables x 1024 entries x 6 bits = 3KB.
+  EXPECT_EQ(PerceptronFilter(cfg).storage_bytes(), 3072u);
+  cfg.table_entries = 64;
+  cfg.weight_bits = 8;
+  EXPECT_EQ(PerceptronFilter(cfg).storage_bytes(), 256u);
+}
+
+TEST(PerceptronFilter, FeaturesGeneralizeAcrossUnseenLines) {
+  // Training one (line, pc) pair moves the PC and region features too,
+  // so a different line from the same trigger PC inherits a nudge while
+  // an unrelated (line, pc) stays untouched.
+  PerceptronConfig cfg = small_cfg();
+  cfg.theta = 1000;
+  PerceptronFilter f(cfg);
+  for (int i = 0; i < 4; ++i) f.feedback(fb(0x1000, false, 0x400100));
+  EXPECT_LT(f.sum_for(cand(0x2000, 0x400100)), 0);
+  EXPECT_EQ(f.sum_for(cand(0x777000, 0x555000)), 0);
+}
+
+TEST(PerceptronFilter, NameMatchesRegistryKey) {
+  EXPECT_STREQ(PerceptronFilter(small_cfg()).name(), "perceptron");
+}
+
+}  // namespace
+}  // namespace ppf::filter

@@ -11,7 +11,7 @@ namespace {
 
 struct Combo {
   std::string bench;
-  filter::FilterKind kind;
+  std::string kind;
 };
 
 class EndToEnd : public ::testing::TestWithParam<Combo> {};
@@ -41,7 +41,7 @@ TEST_P(EndToEnd, AccountingInvariantsHold) {
   EXPECT_LE(classified, r.prefetch_issued.total() + slack);
 
   // A filter only rejects when enabled.
-  if (GetParam().kind == filter::FilterKind::None) {
+  if (GetParam().kind == "none") {
     EXPECT_EQ(r.filter_rejected, 0u);
     EXPECT_EQ(r.prefetch_filtered.total(), 0u);
   }
@@ -61,8 +61,8 @@ std::vector<Combo> combos() {
   std::vector<Combo> out;
   for (const std::string& b : {std::string("bh"), std::string("em3d"),
                                std::string("gzip"), std::string("mcf")}) {
-    for (auto k : {filter::FilterKind::None, filter::FilterKind::Pa,
-                   filter::FilterKind::Pc, filter::FilterKind::Adaptive}) {
+    for (auto k : {"none", "pa",
+                   "pc", "adaptive"}) {
       out.push_back(Combo{b, k});
     }
   }
@@ -72,8 +72,7 @@ std::vector<Combo> combos() {
 INSTANTIATE_TEST_SUITE_P(
     Matrix, EndToEnd, ::testing::ValuesIn(combos()),
     [](const ::testing::TestParamInfo<Combo>& info) {
-      return info.param.bench + "_" +
-             std::string(filter::to_string(info.param.kind));
+      return info.param.bench + "_" + info.param.kind;
     });
 
 TEST(EndToEndExtras, PrefetchBufferConfigurationRuns) {
@@ -81,7 +80,7 @@ TEST(EndToEndExtras, PrefetchBufferConfigurationRuns) {
   cfg.max_instructions = 60'000;
   cfg.warmup_instructions = 10'000;
   cfg.use_prefetch_buffer = true;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   const SimResult r = run_benchmark(cfg, "em3d");
   EXPECT_NEAR(static_cast<double>(r.prefetch_issued.total()),
               static_cast<double>(r.good_total() + r.bad_total()), 300.0);
@@ -105,7 +104,7 @@ TEST(EndToEndExtras, PortSweepMonotonicallyRelievesQueueing) {
   SimConfig cfg;
   cfg.max_instructions = 60'000;
   cfg.warmup_instructions = 10'000;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   cfg.set_l1d_ports(3);
   const SimResult p3 = run_benchmark(cfg, "em3d");
   cfg.set_l1d_ports(5);
@@ -121,8 +120,8 @@ TEST(EndToEndExtras, StrideExtensionRuns) {
   SimConfig cfg;
   cfg.max_instructions = 60'000;
   cfg.warmup_instructions = 10'000;
-  cfg.enable_stride = true;
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.set_prefetcher("stride", true);
+  cfg.filter = "pc";
   const SimResult r = run_benchmark(cfg, "wave5");
   // wave5's array sweeps are stride-friendly: the RPT must fire.
   EXPECT_GT(r.prefetch_issued.stride + r.prefetch_filtered.stride, 0u);

@@ -150,7 +150,8 @@ TEST(PaperClaimsScaled, FilterConvergence_WorstCaseApproachesBreakEven) {
 TEST(PaperClaimsScaled, TableTwo_MissRateRegimesMatch) {
   // Table 2 shape: each synthetic benchmark lands in the right regime.
   SimConfig cfg = claims_cfg();
-  cfg.enable_nsp = cfg.enable_sdp = cfg.enable_sw_prefetch = false;
+  cfg.prefetchers.clear();
+  cfg.enable_sw_prefetch = false;
   cfg.max_instructions = 400'000;
 
   const SimResult em3d = run_benchmark(cfg, "em3d");
@@ -171,7 +172,7 @@ TEST(PaperClaimsScaled, Sec55_PrefetchBufferDoesNotHelpTheFilter) {
   // Figure 15/16 shape: adding the dedicated buffer on top of the filter
   // is not an improvement on pollution-bound workloads.
   SimConfig cfg = claims_cfg();
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   const SimResult plain = run_benchmark(cfg, "em3d");
   cfg.use_prefetch_buffer = true;
   const SimResult buffered = run_benchmark(cfg, "em3d");

@@ -48,7 +48,7 @@ TEST(Phases, DynamicFilterPolicesBothProgramsFrozenProfileOnlyOne) {
   const SimResult stat = s1.run(*mix1, &frozen);
 
   // Dynamic PA filter on the same mix.
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   auto mix2 = make_mix(42);
   Simulator s2(cfg);
   const SimResult dyn = s2.run(*mix2);
@@ -66,7 +66,7 @@ TEST(Phases, DynamicFilterPolicesBothProgramsFrozenProfileOnlyOne) {
 
 TEST(Phases, InterleavedRunSatisfiesAccountingInvariants) {
   SimConfig cfg = mix_cfg();
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   auto mix = make_mix(7);
   Simulator s(cfg);
   const SimResult r = s.run(*mix);

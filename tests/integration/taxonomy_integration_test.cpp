@@ -44,7 +44,7 @@ TEST(TaxonomyIntegrationExtras, PollutionShowsUpWherePaperSaysItHurts) {
 TEST(TaxonomyIntegrationExtras, FilterCutsPollutingShareHardest) {
   SimConfig cfg = cfg_no_warmup();
   const SimResult none = run_benchmark(cfg, "em3d");
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   const SimResult pa = run_benchmark(cfg, "em3d");
   // The filter's purpose: fewer polluting prefetches in absolute terms.
   EXPECT_LT(pa.taxonomy.polluting, none.taxonomy.polluting);

@@ -233,5 +233,69 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(512u, 8192u, 32768u),
                        ::testing::Values(1u, 2u, 4u, 8u)));
 
+TEST(CacheReplacement, LipNewFillSitsAtLruPosition) {
+  // LIP inserts at the stack bottom: a fresh fill is the next victim
+  // unless it earns a demand touch, so a scan cannot flush the set.
+  CacheConfig cfg = small_assoc(2);
+  cfg.replacement = ReplacementKind::Lip;
+  Cache c(cfg);
+  // A and B map to the same set (4 sets of 2 ways; 4 * 32B = 128B period).
+  c.fill(0x000, FillInfo{});
+  (void)c.access(0x000, AccessType::Load);  // A earns MRU
+  c.fill(0x080, FillInfo{});                // B enters at LRU
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, c.line_of(0x080));  // the newcomer, not A
+  EXPECT_TRUE(c.contains(0x000));
+}
+
+TEST(CacheReplacement, LruContrastEvictsTheUntouchedElder) {
+  // Same sequence under LRU: B is MRU by fill order, so A goes. The
+  // pair pins the one place LIP and LRU differ.
+  CacheConfig cfg = small_assoc(2);
+  cfg.replacement = ReplacementKind::Lru;
+  Cache c(cfg);
+  c.fill(0x000, FillInfo{});
+  (void)c.access(0x000, AccessType::Load);
+  c.fill(0x080, FillInfo{});
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, c.line_of(0x000));
+  EXPECT_TRUE(c.contains(0x080));
+}
+
+TEST(CacheReplacement, SrripHitPromotionProtectsTouchedLine) {
+  // Both lines insert at kRrpvLong; a demand hit promotes A to rrpv 0,
+  // so aging reaches the untouched B first.
+  CacheConfig cfg = small_assoc(2);
+  cfg.replacement = ReplacementKind::Srrip;
+  Cache c(cfg);
+  c.fill(0x000, FillInfo{});
+  c.fill(0x080, FillInfo{});
+  (void)c.access(0x000, AccessType::Load);
+  const auto ev = c.fill(0x100, FillInfo{});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, c.line_of(0x080));
+  EXPECT_TRUE(c.contains(0x000));
+}
+
+TEST(CacheReplacement, BrripSameSeedSameEvictions) {
+  // BRRIP consults the cache's own rng for insertion depth; two caches
+  // built alike must replay the same eviction sequence (determinism).
+  CacheConfig cfg = small_assoc(2);
+  cfg.replacement = ReplacementKind::Brrip;
+  Cache a(cfg, /*rng_seed=*/5);
+  Cache b(cfg, /*rng_seed=*/5);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Addr addr = (i * 0x80) % 0x1000;
+    const auto ea = a.fill(addr, FillInfo{});
+    const auto eb = b.fill(addr, FillInfo{});
+    ASSERT_EQ(ea.has_value(), eb.has_value()) << "fill " << i;
+    if (ea.has_value()) {
+      EXPECT_EQ(ea->line, eb->line) << "fill " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ppf::mem

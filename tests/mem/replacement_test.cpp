@@ -59,6 +59,92 @@ TEST(Replacement, RandomStaysInRangeAndVaries) {
   for (int c : counts) EXPECT_GT(c, 0);  // every way occasionally chosen
 }
 
+TEST(Replacement, SrripAlwaysInsertsLong) {
+  Xorshift rng(11);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(insertion_rrpv(ReplacementKind::Srrip, rng), kRrpvLong);
+  }
+}
+
+TEST(Replacement, BrripInsertsDistantWithRareLong) {
+  Xorshift rng(11);
+  int longs = 0;
+  constexpr int kDraws = 3200;  // expectation: kDraws/32 = 100 long
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint8_t r = insertion_rrpv(ReplacementKind::Brrip, rng);
+    ASSERT_TRUE(r == kRrpvLong || r == kRrpvMax);
+    if (r == kRrpvLong) ++longs;
+  }
+  EXPECT_GT(longs, 40);
+  EXPECT_LT(longs, 200);
+}
+
+TEST(Replacement, NonRripKindsInsertAtZero) {
+  Xorshift rng(11);
+  for (ReplacementKind k : {ReplacementKind::Lru, ReplacementKind::Fifo,
+                            ReplacementKind::Random, ReplacementKind::Lip}) {
+    EXPECT_EQ(insertion_rrpv(k, rng), 0u) << to_string(k);
+  }
+}
+
+TEST(Replacement, SrripEvictsDistantWayWithoutAging) {
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  const std::array<std::uint8_t, 4> rrpv = {1, 3, 2, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    ways[i].valid = true;
+    ways[i].rrpv = rrpv[i];
+  }
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Srrip, rng), 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ways[i].rrpv, rrpv[i]) << "way " << i << " aged needlessly";
+  }
+}
+
+TEST(Replacement, SrripAgesSetInPlaceUntilDistant) {
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  for (std::size_t i = 0; i < 4; ++i) ways[i].valid = true;
+  ways[0].rrpv = 1;
+  ways[1].rrpv = 2;
+  ways[2].rrpv = 1;
+  ways[3].rrpv = 0;
+  // One aging round lifts way 1 to kRrpvMax; the caller sees the aged
+  // values through the mutable span.
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Srrip, rng), 1u);
+  EXPECT_EQ(ways[0].rrpv, 2u);
+  EXPECT_EQ(ways[1].rrpv, 3u);
+  EXPECT_EQ(ways[2].rrpv, 2u);
+  EXPECT_EQ(ways[3].rrpv, 1u);
+}
+
+TEST(Replacement, RripVictimIgnoresRngState) {
+  // SRRIP victim choice must be a pure function of the set state —
+  // differently seeded rngs see the same victim (determinism contract).
+  std::array<WayState, 4> a{};
+  std::array<WayState, 4> b{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a[i].valid = b[i].valid = true;
+    a[i].rrpv = b[i].rrpv = static_cast<std::uint8_t>(i % 3);
+  }
+  Xorshift r1(1), r2(999);
+  EXPECT_EQ(choose_victim(a, ReplacementKind::Srrip, r1),
+            choose_victim(b, ReplacementKind::Srrip, r2));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i].rrpv, b[i].rrpv);
+}
+
+TEST(Replacement, LipVictimScanMatchesLru) {
+  // LIP differs only at insertion; the victim scan is the LRU search.
+  Xorshift rng(1);
+  std::array<WayState, 4> ways{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    ways[i].valid = true;
+    ways[i].last_use = 10 + i;
+  }
+  ways[2].last_use = 1;
+  EXPECT_EQ(choose_victim(ways, ReplacementKind::Lip, rng), 2u);
+}
+
 class ReplacementAllKinds : public ::testing::TestWithParam<ReplacementKind> {};
 
 TEST_P(ReplacementAllKinds, SingleWayIsAlwaysVictim) {
@@ -71,7 +157,10 @@ TEST_P(ReplacementAllKinds, SingleWayIsAlwaysVictim) {
 INSTANTIATE_TEST_SUITE_P(Kinds, ReplacementAllKinds,
                          ::testing::Values(ReplacementKind::Lru,
                                            ReplacementKind::Fifo,
-                                           ReplacementKind::Random));
+                                           ReplacementKind::Random,
+                                           ReplacementKind::Srrip,
+                                           ReplacementKind::Brrip,
+                                           ReplacementKind::Lip));
 
 }  // namespace
 }  // namespace ppf::mem

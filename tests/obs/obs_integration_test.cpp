@@ -28,7 +28,7 @@ sim::SimConfig small_config() {
   sim::SimConfig cfg = sim::SimConfig::paper_default();
   cfg.max_instructions = 120'000;
   cfg.warmup_instructions = 30'000;
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   cfg.obs.enabled = true;
   cfg.obs.sample_interval = 20'000;
   return cfg;
@@ -167,7 +167,7 @@ TEST(ObsIntegration, RunlabObservationsIdenticalAcrossWorkerCounts) {
   spec.base.max_instructions = 60'000;
   spec.base.warmup_instructions = 20'000;
   spec.benchmarks = {"mcf", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pc};
+  spec.filters = {"none", "pc"};
 
   const runlab::RunReport seq = runlab::run_sweep(spec, runlab::with_workers(1));
   const runlab::RunReport par = runlab::run_sweep(spec, runlab::with_workers(4));

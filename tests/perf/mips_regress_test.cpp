@@ -64,8 +64,8 @@ TEST(PerfRegress, ShortGridStaysWithinSlackOfCommittedBaseline) {
   spec.base.max_instructions = 200'000;
   spec.base.warmup_instructions = 100'000;
   spec.benchmarks = {"mcf", "gcc", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa,
-                  filter::FilterKind::Pc};
+  spec.filters = {"none", "pa",
+                  "pc"};
 
   runlab::RunOptions opts;
   opts.workers = 1;  // baseline is single-worker; compare like for like

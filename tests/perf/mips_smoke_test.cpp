@@ -25,8 +25,8 @@ TEST(PerfSmoke, BatchReportsPositiveMipsThroughHotPath) {
   spec.base.max_instructions = 60'000;
   spec.base.warmup_instructions = 20'000;
   spec.benchmarks = {"mcf", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa,
-                  filter::FilterKind::Pc};
+  spec.filters = {"none", "pa",
+                  "pc"};
 
   runlab::RunOptions opts;
   opts.workers = 2;

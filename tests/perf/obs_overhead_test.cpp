@@ -36,7 +36,7 @@ TEST(PerfSmoke, ObsOffCostsNothingObsOnStaysBounded) {
   sim::SimConfig base = sim::SimConfig::paper_default();
   base.max_instructions = 400'000;
   base.warmup_instructions = 0;
-  base.filter = filter::FilterKind::Pc;
+  base.filter = "pc";
 
   auto src = workload::make_benchmark("mcf", base.seed);
   const auto arena = workload::materialize(*src, base.max_instructions);

@@ -1,0 +1,152 @@
+#include "prefetch/pmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "mem/cache.hpp"
+
+namespace ppf::prefetch {
+namespace {
+
+mem::CacheConfig l1_cfg() {
+  mem::CacheConfig c;
+  c.size_bytes = 4096;
+  c.line_bytes = 32;
+  c.associativity = 2;
+  return c;
+}
+
+PmpConfig small_cfg() {
+  PmpConfig cfg;
+  cfg.region_lines = 8;
+  cfg.filter_entries = 4;
+  cfg.accum_entries = 1;  // every promotion displaces (and trains) the
+                          // previous region's footprint
+  cfg.degree_cap = 0;
+  return cfg;
+}
+
+/// Address of `offset` within 8-line region `region` (32B lines).
+Addr at(std::uint64_t region, unsigned offset) {
+  return (region * 8 + offset) * 32;
+}
+
+void touch(PmpPrefetcher& pmp, Addr addr, std::vector<PrefetchRequest>& out) {
+  mem::AccessResult r{};  // PMP keys off the address stream, not hit/miss
+  pmp.on_l1_demand(0x400000, addr, r, out);
+}
+
+TEST(Pmp, UntrainedRegionsEmitNothing) {
+  mem::Cache l1(l1_cfg());
+  PmpPrefetcher pmp(l1, small_cfg());
+  std::vector<PrefetchRequest> out;
+  // Votes start weakly negative: first touches of fresh regions allocate
+  // filter entries but replay no pattern.
+  touch(pmp, at(1, 0), out);
+  touch(pmp, at(2, 3), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Pmp, TrainedPatternReplaysOnFreshRegion) {
+  mem::Cache l1(l1_cfg());
+  PmpPrefetcher pmp(l1, small_cfg());
+  std::vector<PrefetchRequest> out;
+
+  // Region 1, anchor 0: footprint {0, 1, 3}. The second touch promotes
+  // the region to the accumulation table; the third merges into it.
+  touch(pmp, at(1, 0), out);
+  touch(pmp, at(1, 1), out);
+  touch(pmp, at(1, 3), out);
+  // Region 2's promotion displaces region 1 from the single accum slot,
+  // training anchor 0 with distances {1, 3}.
+  touch(pmp, at(2, 0), out);
+  touch(pmp, at(2, 1), out);
+  ASSERT_TRUE(out.empty());
+
+  // Fresh region, same anchor offset: the learned pattern replays.
+  touch(pmp, at(5, 0), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].line, l1.line_of(at(5, 1)));
+  EXPECT_EQ(out[1].line, l1.line_of(at(5, 3)));
+  for (const PrefetchRequest& r : out) {
+    EXPECT_EQ(r.source, PrefetchSource::RegionPattern);
+    EXPECT_EQ(r.trigger_pc, 0x400000u);
+  }
+}
+
+TEST(Pmp, PatternsAreAnchorRelative) {
+  mem::Cache l1(l1_cfg());
+  PmpPrefetcher pmp(l1, small_cfg());
+  std::vector<PrefetchRequest> out;
+  // Train anchor 2 with distance 1 ({2, 3} footprint)...
+  touch(pmp, at(1, 2), out);
+  touch(pmp, at(1, 3), out);
+  touch(pmp, at(2, 0), out);  // displace + train
+  touch(pmp, at(2, 1), out);
+  out.clear();
+  // ...then a fresh region entered at a *different* anchor stays silent:
+  // votes are per-anchor rows, not global.
+  touch(pmp, at(6, 5), out);
+  EXPECT_TRUE(out.empty());
+  // Entered at the trained anchor, the rotated distance fires.
+  touch(pmp, at(7, 2), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l1.line_of(at(7, 3)));
+}
+
+TEST(Pmp, DegreeCapBoundsReplay) {
+  mem::Cache l1(l1_cfg());
+  PmpConfig cfg = small_cfg();
+  cfg.degree_cap = 2;
+  PmpPrefetcher pmp(l1, cfg);
+  std::vector<PrefetchRequest> out;
+  // Dense footprint: anchor 0 plus distances 1..4.
+  for (unsigned off : {0u, 1u, 2u, 3u, 4u}) touch(pmp, at(1, off), out);
+  touch(pmp, at(2, 0), out);  // displace + train
+  touch(pmp, at(2, 1), out);
+  ASSERT_TRUE(out.empty());
+  touch(pmp, at(5, 0), out);
+  // Four distances vote positive but the cap keeps the closest two.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].line, l1.line_of(at(5, 1)));
+  EXPECT_EQ(out[1].line, l1.line_of(at(5, 2)));
+}
+
+TEST(Pmp, RepeatedAnchorTouchStaysInFilter) {
+  mem::Cache l1(l1_cfg());
+  PmpPrefetcher pmp(l1, small_cfg());
+  std::vector<PrefetchRequest> out;
+  // Hitting the same line again is still one distinct offset — no
+  // promotion, so the later second-offset touch does the promoting.
+  touch(pmp, at(1, 4), out);
+  touch(pmp, at(1, 4), out);
+  touch(pmp, at(1, 5), out);  // now promotes with footprint {4, 5}
+  touch(pmp, at(2, 0), out);  // displace + train anchor 4
+  touch(pmp, at(2, 1), out);
+  out.clear();
+  touch(pmp, at(6, 4), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, l1.line_of(at(6, 5)));
+}
+
+TEST(Pmp, RegisteredChecksHoldAfterTraffic) {
+  mem::Cache l1(l1_cfg());
+  PmpPrefetcher pmp(l1, small_cfg());
+  std::vector<PrefetchRequest> out;
+  for (unsigned i = 0; i < 64; ++i) touch(pmp, at(i % 7, i % 8), out);
+  check::CheckRegistry reg;
+  pmp.register_checks(reg, "l1");
+  std::vector<check::CheckFailure> failures;
+  reg.run(0, failures);
+  EXPECT_TRUE(failures.empty());
+}
+
+TEST(Pmp, NameMatchesRegistryKey) {
+  mem::Cache l1(l1_cfg());
+  EXPECT_STREQ(PmpPrefetcher(l1, small_cfg()).name(), "pmp");
+}
+
+}  // namespace
+}  // namespace ppf::prefetch

@@ -1,0 +1,171 @@
+#include "registry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace ppf::registry {
+namespace {
+
+std::vector<std::string> doc_keys(const std::vector<PolicyDoc>& docs) {
+  std::vector<std::string> keys;
+  for (const PolicyDoc& d : docs) keys.push_back(d.key);
+  return keys;
+}
+
+TEST(Registry, BuiltinFiltersRegisterInDocOrder) {
+  const std::vector<std::string> expected = {
+      "none", "pa", "pc", "static", "adaptive", "deadblock", "perceptron"};
+  EXPECT_EQ(filter_keys(), expected);
+}
+
+TEST(Registry, BuiltinPrefetchersRegisterInDocOrder) {
+  const std::vector<std::string> expected = {"nsp",    "sdp",          "stride",
+                                             "stream_buffer", "markov", "pmp"};
+  EXPECT_EQ(prefetcher_keys(), expected);
+}
+
+TEST(Registry, BuiltinReplacementsRegisterInDocOrder) {
+  const std::vector<std::string> expected = {"lru",   "fifo",  "random",
+                                             "srrip", "brrip", "lip"};
+  EXPECT_EQ(replacement_keys(), expected);
+}
+
+TEST(Registry, DocsMirrorKeysOneToOneWithHelpText) {
+  EXPECT_EQ(doc_keys(filter_docs()), filter_keys());
+  EXPECT_EQ(doc_keys(prefetcher_docs()), prefetcher_keys());
+  EXPECT_EQ(doc_keys(replacement_docs()), replacement_keys());
+  for (const auto& docs :
+       {filter_docs(), prefetcher_docs(), replacement_docs()}) {
+    for (const PolicyDoc& d : docs) {
+      EXPECT_FALSE(d.help.empty()) << "no help for '" << d.key << "'";
+    }
+  }
+}
+
+TEST(Registry, HasLooksUpWithoutInstantiating) {
+  EXPECT_TRUE(has_filter("perceptron"));
+  EXPECT_TRUE(has_prefetcher("pmp"));
+  EXPECT_TRUE(has_replacement("brrip"));
+  EXPECT_FALSE(has_filter("psychic"));
+  EXPECT_FALSE(has_prefetcher("warp"));
+  EXPECT_FALSE(has_replacement("mru"));
+}
+
+TEST(Registry, EveryFilterFactoryProducesItsKey) {
+  mem::CacheConfig cc;
+  cc.size_bytes = 1024;
+  cc.line_bytes = 32;
+  cc.associativity = 2;
+  const mem::Cache l1(cc);
+  FilterContext ctx;
+  ctx.l1 = &l1;  // cache-probing filters (deadblock) require it
+  for (const std::string& key : filter_keys()) {
+    const auto f = make_filter(key, ctx);
+    ASSERT_NE(f, nullptr) << key;
+    EXPECT_EQ(std::string(f->name()), key);
+  }
+}
+
+TEST(Registry, EveryPrefetcherFactoryBindsToTheHierarchy) {
+  mem::CacheConfig cc;
+  cc.size_bytes = 1024;
+  cc.line_bytes = 32;
+  cc.associativity = 2;
+  mem::Cache l1(cc);
+  cc.size_bytes = 4096;
+  mem::Cache l2(cc);
+  PrefetcherContext ctx;
+  ctx.l1d = &l1;
+  ctx.l2 = &l2;
+  for (const std::string& key : prefetcher_keys()) {
+    const auto p = make_prefetcher(key, ctx);
+    ASSERT_NE(p, nullptr) << key;
+    EXPECT_EQ(std::string(p->name()), key);
+  }
+}
+
+TEST(Registry, UnknownFilterNamesTheKeyAndValidValues) {
+  try {
+    (void)make_filter("psychic", FilterContext{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown filter 'psychic'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(valid_filter_values()), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, UnknownPrefetcherNamesTheKeyAndValidValues) {
+  try {
+    (void)make_prefetcher("warp", PrefetcherContext{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown prefetcher 'warp'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(valid_prefetcher_values()), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, ValidValueListsFollowRegistrationOrder) {
+  EXPECT_EQ(valid_filter_values(),
+            "none|pa|pc|static|adaptive|deadblock|perceptron");
+  EXPECT_EQ(valid_replacement_values(), "lru|fifo|random|srrip|brrip|lip");
+}
+
+TEST(Registry, ReplacementKeysRoundTripThroughTheEnum) {
+  for (const std::string& key : replacement_keys()) {
+    EXPECT_EQ(replacement_key(parse_replacement(key)), key);
+  }
+  EXPECT_EQ(parse_replacement("srrip"), mem::ReplacementKind::Srrip);
+  try {
+    (void)parse_replacement("mru");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown replacement policy 'mru'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(valid_replacement_values()), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, PrefetcherListParsesOrderAndToleratesEmptySegments) {
+  EXPECT_TRUE(parse_prefetcher_list("").empty());
+  const std::vector<std::string> expected = {"sdp", "nsp"};
+  EXPECT_EQ(parse_prefetcher_list("sdp,nsp"), expected);   // order kept
+  EXPECT_EQ(parse_prefetcher_list(",sdp,,nsp,"), expected);
+}
+
+TEST(Registry, PrefetcherListRejectsUnknownAndDuplicateNames) {
+  EXPECT_THROW((void)parse_prefetcher_list("nsp,warp"), std::invalid_argument);
+  EXPECT_THROW((void)parse_prefetcher_list("nsp,sdp,nsp"),
+               std::invalid_argument);
+}
+
+TEST(Registry, ReRegisteringAnExistingKeyThrows) {
+  // Keys are identities (memo signatures, snapshots key on them), so a
+  // collision is a programming error, not a silent override.
+  EXPECT_THROW(register_filter("pa", "imposter",
+                               [](const FilterContext&)
+                                   -> std::unique_ptr<filter::PollutionFilter> {
+                                 return nullptr;
+                               }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      register_prefetcher("nsp", "imposter",
+                          [](const PrefetcherContext&)
+                              -> std::unique_ptr<prefetch::Prefetcher> {
+                            return nullptr;
+                          }),
+      std::invalid_argument);
+  EXPECT_THROW(register_replacement("lru", "imposter",
+                                    mem::ReplacementKind::Lru),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppf::registry

@@ -27,7 +27,7 @@ Job cached_job(const std::string& bench, std::uint64_t seed,
   job.config.seed = seed;
   job.config.core.seed = seed;
   job.seed = seed;
-  job.filter_name = filter::to_string(job.config.filter);
+  job.filter_name = job.config.filter;
   return job;
 }
 

@@ -30,7 +30,7 @@ sim::SimConfig tiny_config() {
 TEST(SweepSpec, EmptyAxesCollapseToBase) {
   SweepSpec spec;
   spec.base = tiny_config();
-  spec.base.filter = filter::FilterKind::Pc;
+  spec.base.filter = "pc";
   spec.base.seed = 7;
   spec.benchmarks = {"mcf"};
   const std::vector<Job> jobs = spec.expand();
@@ -46,7 +46,7 @@ TEST(SweepSpec, ExpansionOrderIsVariantBenchmarkFilterSeed) {
   SweepSpec spec;
   spec.base = tiny_config();
   spec.benchmarks = {"mcf", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.filters = {"none", "pa"};
   spec.seeds = {1, 2};
   spec.variants = {{"v0", nullptr},
                    {"v1", [](sim::SimConfig& c) { c.nsp_degree = 1; }}};
@@ -237,7 +237,7 @@ TEST(Runner, ResultsComeBackInSubmissionOrderForAnyWorkerCount) {
   SweepSpec spec;
   spec.base = tiny_config();
   spec.benchmarks = {"mcf", "em3d", "bh"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.filters = {"none", "pa"};
   spec.seeds = {1, 2};
   const RunReport rep = run_sweep(spec, with_workers(8));
   ASSERT_EQ(rep.results.size(), 12u);
@@ -253,7 +253,7 @@ TEST(Runner, JsonIsByteIdenticalAcrossWorkerCounts) {
   SweepSpec spec;
   spec.base = tiny_config();
   spec.benchmarks = {"mcf", "em3d", "bh"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.filters = {"none", "pa"};
   spec.seeds = {1, 2};
   const std::string serial = to_json(run_sweep(spec, with_workers(1)));
   const std::string parallel = to_json(run_sweep(spec, with_workers(8)));
@@ -270,7 +270,7 @@ TEST(Runner, WarmupShareKeepsJsonByteIdenticalVersusColdPath) {
   spec.base = tiny_config();
   spec.base.warmup_instructions = 5'000;  // active: snapshots fire
   spec.benchmarks = {"mcf", "gzip"};
-  spec.filters = {filter::FilterKind::Pa, filter::FilterKind::Pc};
+  spec.filters = {"pa", "pc"};
   spec.seeds = {1, 2};
   // A window-length axis: the one sharing direction warmup_key allows.
   spec.variants = {
@@ -303,7 +303,7 @@ TEST(Runner, TraceCacheAloneKeepsJsonByteIdentical) {
   SweepSpec spec;
   spec.base = tiny_config();
   spec.benchmarks = {"em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.filters = {"none", "pa"};
   spec.seeds = {3};
 
   RunOptions cold = with_workers(1);
@@ -334,7 +334,7 @@ TEST(Runner, HeartbeatsTrackProgressAndEndComplete) {
   spec.base.max_instructions = 20'000;
   spec.base.warmup_instructions = 5'000;
   spec.benchmarks = {"mcf", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pc};
+  spec.filters = {"none", "pc"};
 
   std::vector<Heartbeat> beats;
   RunOptions opts = with_workers(2);
@@ -370,7 +370,7 @@ TEST(Runner, HeartbeatsDoNotPerturbResults) {
   SweepSpec spec;
   spec.base = tiny_config();
   spec.benchmarks = {"mcf", "em3d"};
-  spec.filters = {filter::FilterKind::None, filter::FilterKind::Pa};
+  spec.filters = {"none", "pa"};
 
   RunOptions with_hb = with_workers(4);
   with_hb.heartbeat_period_ms = 1.0;

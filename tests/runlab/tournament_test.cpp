@@ -1,0 +1,89 @@
+// Tournament contracts: full-grid coverage, the deterministic ranking
+// order, and byte-identical JSON across worker counts — the property the
+// CI tournament-smoke job pins end to end.
+#include "runlab/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/sim_config.hpp"
+
+namespace ppf::runlab {
+namespace {
+
+TournamentSpec small_spec() {
+  TournamentSpec spec;
+  spec.base = sim::SimConfig::paper_default();
+  spec.base.max_instructions = 40000;
+  spec.base.warmup_instructions = 10000;
+  spec.filters = {"none", "pa", "perceptron"};
+  spec.prefetchers = {"nsp", "pmp"};
+  spec.benchmarks = {"mcf", "gzip"};
+  return spec;
+}
+
+TEST(Tournament, CoversTheFullGridInRankedOrder) {
+  const TournamentSpec spec = small_spec();
+  const TournamentReport rep = run_tournament(spec, with_workers(2));
+  EXPECT_EQ(rep.job_count, 3u * 2u * 2u);
+  ASSERT_EQ(rep.entrants.size(), 3u * 2u);
+  for (const TournamentEntrant& e : rep.entrants) {
+    EXPECT_EQ(e.failed, 0u) << e.filter << "+" << e.prefetcher;
+    ASSERT_EQ(e.runs.size(), 2u);
+    EXPECT_EQ(e.runs[0].benchmark, "mcf");
+    EXPECT_EQ(e.runs[1].benchmark, "gzip");
+    EXPECT_GT(e.mean_ipc, 0.0);
+  }
+  // Fully-successful entrants are ranked by descending mean IPC.
+  for (std::size_t i = 1; i < rep.entrants.size(); ++i) {
+    EXPECT_GE(rep.entrants[i - 1].mean_ipc, rep.entrants[i].mean_ipc);
+  }
+}
+
+TEST(Tournament, JsonIsByteIdenticalAcrossWorkerCounts) {
+  const TournamentSpec spec = small_spec();
+  const std::string serial =
+      tournament_to_json(run_tournament(spec, with_workers(1)));
+  const std::string pooled =
+      tournament_to_json(run_tournament(spec, with_workers(8)));
+  EXPECT_EQ(serial, pooled);
+  EXPECT_NE(serial.find("\"schema\":\"ppf.tournament.v1\""),
+            std::string::npos);
+}
+
+TEST(Tournament, SignatureHookLabelsEveryRun) {
+  TournamentSpec spec = small_spec();
+  spec.filters = {"none"};
+  spec.benchmarks = {"mcf"};
+  spec.signature = [](const sim::SimConfig& cfg, const std::string& bench) {
+    return cfg.filter + ":" + bench;
+  };
+  const TournamentReport rep = run_tournament(spec, with_workers(1));
+  ASSERT_EQ(rep.entrants.size(), 2u);
+  for (const TournamentEntrant& e : rep.entrants) {
+    ASSERT_EQ(e.runs.size(), 1u);
+    EXPECT_EQ(e.runs[0].signature, "none:mcf");
+  }
+}
+
+TEST(Tournament, UnknownKeysAndEmptyAxesAreInvalid) {
+  TournamentSpec spec = small_spec();
+  spec.filters = {"bogus"};
+  try {
+    (void)run_tournament(spec, with_workers(1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown filter 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid:"), std::string::npos) << msg;
+  }
+  spec = small_spec();
+  spec.prefetchers.clear();
+  EXPECT_THROW((void)run_tournament(spec, with_workers(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppf::runlab

@@ -91,7 +91,7 @@ TEST(MakeJob, MatchesTheCliApplyOverridesPath) {
   machine.set("l1d_kb", "16");
   machine.set("history_entries", "8192");
   sim::apply_overrides(cfg, machine);
-  cfg.filter = sim::parse_filter_kind("pa");
+  cfg.filter = "pa";
 
   EXPECT_EQ(diff::config_signature(job.config, job.benchmark),
             diff::config_signature(cfg, "mcf"));

@@ -31,9 +31,9 @@ TEST(ConfigApply, BasicNumericOverrides) {
 TEST(ConfigApply, FilterSelection) {
   SimConfig cfg;
   apply_overrides(cfg, params({"filter=pc"}));
-  EXPECT_EQ(cfg.filter, filter::FilterKind::Pc);
+  EXPECT_EQ(cfg.filter, "pc");
   apply_overrides(cfg, params({"filter=deadblock"}));
-  EXPECT_EQ(cfg.filter, filter::FilterKind::DeadBlock);
+  EXPECT_EQ(cfg.filter, "deadblock");
   EXPECT_THROW(apply_overrides(cfg, params({"filter=bogus"})),
                std::invalid_argument);
 }
@@ -62,18 +62,45 @@ TEST(ConfigApply, HistoryTableKnobs) {
   EXPECT_EQ(cfg.filter_recovery_entries, 0u);
 }
 
-TEST(ConfigApply, PrefetcherToggles) {
+TEST(ConfigApply, PrefetcherListSelectsEngines) {
   SimConfig cfg;
-  apply_overrides(cfg, params({"nsp=0", "sdp=off", "stride=1",
-                               "stream_buffer=true", "markov=yes",
-                               "swpf=no", "nsp_degree=3"}));
-  EXPECT_FALSE(cfg.enable_nsp);
-  EXPECT_FALSE(cfg.enable_sdp);
-  EXPECT_TRUE(cfg.enable_stride);
-  EXPECT_TRUE(cfg.enable_stream_buffer);
-  EXPECT_TRUE(cfg.enable_markov);
+  apply_overrides(cfg, params({"prefetchers=stride,markov", "swpf=no",
+                               "nsp_degree=3"}));
+  EXPECT_EQ(cfg.prefetchers, (std::vector<std::string>{"stride", "markov"}));
+  EXPECT_FALSE(cfg.prefetcher_enabled("nsp"));
+  EXPECT_TRUE(cfg.prefetcher_enabled("stride"));
   EXPECT_FALSE(cfg.enable_sw_prefetch);
   EXPECT_EQ(cfg.nsp_degree, 3u);
+}
+
+TEST(ConfigApply, DeprecatedPrefetcherToggles) {
+  // The old per-engine booleans survive as aliases that edit the list.
+  SimConfig cfg;  // defaults to {"nsp", "sdp"}
+  apply_overrides(cfg, params({"nsp=0", "sdp=off", "stride=1",
+                               "stream_buffer=true", "markov=yes"}));
+  EXPECT_FALSE(cfg.prefetcher_enabled("nsp"));
+  EXPECT_FALSE(cfg.prefetcher_enabled("sdp"));
+  EXPECT_TRUE(cfg.prefetcher_enabled("stride"));
+  EXPECT_TRUE(cfg.prefetcher_enabled("stream_buffer"));
+  EXPECT_TRUE(cfg.prefetcher_enabled("markov"));
+}
+
+TEST(ConfigApply, UnknownPrefetcherAndFilterNameValidated) {
+  SimConfig cfg;
+  EXPECT_THROW(apply_overrides(cfg, params({"prefetchers=nsp,warp"})),
+               std::invalid_argument);
+  EXPECT_THROW(apply_overrides(cfg, params({"filter=psychic"})),
+               std::invalid_argument);
+  EXPECT_THROW(apply_overrides(cfg, params({"replacement=mru"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigApply, ReplacementAppliesToAllLevels) {
+  SimConfig cfg;
+  apply_overrides(cfg, params({"replacement=srrip"}));
+  EXPECT_EQ(cfg.l1d.replacement, mem::ReplacementKind::Srrip);
+  EXPECT_EQ(cfg.l1i.replacement, mem::ReplacementKind::Srrip);
+  EXPECT_EQ(cfg.l2.replacement, mem::ReplacementKind::Srrip);
 }
 
 TEST(ConfigApply, UnknownKeyFailsLoudly) {
@@ -111,6 +138,8 @@ TEST(ConfigApply, EveryDocumentedKeyIsAccepted) {
                  : d.key == "dep_prob"     ? "0.3"
                  : d.key == "l1d_ports"    ? "4"
                  : d.key == "history_entries" ? "4096"
+                 : d.key == "prefetchers"  ? "nsp,stride"
+                 : d.key == "replacement"  ? "srrip"
                  : bool_keys.count(d.key)  ? "1"
                                            : "8");
     EXPECT_NO_THROW(apply_overrides(cfg, p)) << d.key;
@@ -152,7 +181,7 @@ TEST(ConfigApply, FirstUnknownKeyAcceptsObsKnobsRejectsTypos) {
 
 TEST(ConfigApply, PrintConfigMentionsKeyFacts) {
   SimConfig cfg;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   std::ostringstream os;
   print_config(os, cfg);
   const std::string out = os.str();

@@ -52,7 +52,7 @@ TEST(Energy, FilterReducesMemorySystemEnergyOnPollutedWorkload) {
   cfg.max_instructions = 200'000;
   cfg.warmup_instructions = 100'000;
   const SimResult none = run_benchmark(cfg, "em3d");
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   const SimResult pc = run_benchmark(cfg, "em3d");
   // em3d's prefetches are ~2/3 bad: dropping them must save L1/L2 energy.
   EXPECT_LT(pc.energy.l1_nj + pc.energy.l2_nj,
@@ -66,7 +66,8 @@ TEST(Energy, NoPrefetchingMeansNoTableEnergy) {
   SimConfig cfg;
   cfg.max_instructions = 30'000;
   cfg.warmup_instructions = 0;
-  cfg.enable_nsp = cfg.enable_sdp = cfg.enable_sw_prefetch = false;
+  cfg.prefetchers.clear();
+  cfg.enable_sw_prefetch = false;
   const SimResult r = run_benchmark(cfg, "bh");
   EXPECT_DOUBLE_EQ(r.energy.table_nj, 0.0);
 }

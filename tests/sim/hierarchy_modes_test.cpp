@@ -11,8 +11,7 @@ namespace {
 
 SimConfig quiet_cfg() {
   SimConfig cfg;
-  cfg.enable_nsp = false;
-  cfg.enable_sdp = false;
+  cfg.prefetchers.clear();
   cfg.enable_sw_prefetch = false;
   return cfg;
 }

@@ -7,8 +7,7 @@ namespace {
 
 SimConfig quiet_cfg() {
   SimConfig cfg;  // Table 1 defaults
-  cfg.enable_nsp = false;
-  cfg.enable_sdp = false;
+  cfg.prefetchers.clear();
   cfg.enable_sw_prefetch = false;
   return cfg;
 }
@@ -108,7 +107,7 @@ TEST(MemoryHierarchy, ResidentLineSquashesPrefetch) {
 
 TEST(MemoryHierarchy, NspTriggersOnDemandMiss) {
   SimConfig cfg = quiet_cfg();
-  cfg.enable_nsp = true;
+  cfg.set_prefetcher("nsp", true);
   cfg.nsp_degree = 1;
   MemoryHierarchy mem(cfg);
   mem.begin_cycle(0);
@@ -121,7 +120,7 @@ TEST(MemoryHierarchy, NspTriggersOnDemandMiss) {
 TEST(MemoryHierarchy, FilterRejectionBlocksPrefetch) {
   SimConfig cfg = quiet_cfg();
   cfg.enable_sw_prefetch = true;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   MemoryHierarchy mem(cfg);
   // Train the PA entry for line of 0x2000 to "bad".
   mem.mutable_filter().feedback(filter::FilterFeedback{
@@ -137,7 +136,7 @@ TEST(MemoryHierarchy, FilterRejectionBlocksPrefetch) {
 TEST(MemoryHierarchy, EvictionFeedbackReachesTheFilter) {
   SimConfig cfg = quiet_cfg();
   cfg.enable_sw_prefetch = true;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   MemoryHierarchy mem(cfg);
   mem.begin_cycle(0);
   mem.software_prefetch(0, 0x400000, 0x2000);
@@ -155,7 +154,7 @@ TEST(MemoryHierarchy, EvictionFeedbackReachesTheFilter) {
 TEST(MemoryHierarchy, RecoveryRestoresWronglyFilteredStream) {
   SimConfig cfg = quiet_cfg();
   cfg.enable_sw_prefetch = true;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   MemoryHierarchy mem(cfg);
   const LineAddr line = mem.l1d().line_of(0x2000);
   mem.mutable_filter().feedback(
@@ -217,7 +216,7 @@ TEST(MemoryHierarchy, ExternalFilterIsUsedNotOwned) {
   filter::NullFilter external;
   SimConfig cfg = quiet_cfg();
   cfg.enable_sw_prefetch = true;
-  cfg.filter = filter::FilterKind::Pa;  // would normally build a PA filter
+  cfg.filter = "pa";  // would normally build a PA filter
   MemoryHierarchy mem(cfg, &external);
   EXPECT_STREQ(mem.filter().name(), "none");
   mem.begin_cycle(0);

@@ -55,7 +55,7 @@ TEST(Simulator, EveryIssuedPrefetchIsEventuallyClassified) {
 
 TEST(Simulator, DeterministicAcrossRuns) {
   SimConfig cfg = quick_cfg();
-  cfg.filter = filter::FilterKind::Pc;
+  cfg.filter = "pc";
   auto t1 = workload::make_benchmark("mcf", 7);
   auto t2 = workload::make_benchmark("mcf", 7);
   Simulator s1(cfg), s2(cfg);
@@ -72,10 +72,10 @@ TEST(Simulator, FilterNameReportsActiveScheme) {
   cfg.max_instructions = 20'000;
   cfg.warmup_instructions = 0;
   for (auto [kind, expect] :
-       {std::pair{filter::FilterKind::None, "none"},
-        {filter::FilterKind::Pa, "pa"},
-        {filter::FilterKind::Pc, "pc"},
-        {filter::FilterKind::Adaptive, "adaptive"}}) {
+       {std::pair{"none", "none"},
+        {"pa", "pa"},
+        {"pc", "pc"},
+        {"adaptive", "adaptive"}}) {
     cfg.filter = kind;
     auto trace = workload::make_benchmark("bh", 1);
     Simulator sim(cfg);
@@ -87,7 +87,7 @@ TEST(Simulator, ExternalFilterOverridesConfig) {
   SimConfig cfg = quick_cfg();
   cfg.max_instructions = 20'000;
   cfg.warmup_instructions = 0;
-  cfg.filter = filter::FilterKind::Pa;
+  cfg.filter = "pa";
   filter::NullFilter external;
   auto trace = workload::make_benchmark("bh", 1);
   Simulator sim(cfg);

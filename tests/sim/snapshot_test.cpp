@@ -22,7 +22,7 @@ std::shared_ptr<const workload::MaterializedTrace> arena_for(
   return workload::materialize(*src, records);
 }
 
-SimConfig quick_cfg(filter::FilterKind kind) {
+SimConfig quick_cfg(std::string kind) {
   SimConfig cfg;
   cfg.max_instructions = 60'000;
   cfg.warmup_instructions = 20'000;
@@ -31,7 +31,7 @@ SimConfig quick_cfg(filter::FilterKind kind) {
 }
 
 class SnapshotFilterTest
-    : public ::testing::TestWithParam<filter::FilterKind> {};
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SnapshotFilterTest, WarmPathMatchesColdPathExactly) {
   const SimConfig cfg = quick_cfg(GetParam());
@@ -47,16 +47,16 @@ TEST_P(SnapshotFilterTest, WarmPathMatchesColdPathExactly) {
   expect_identical(cold, warm);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFilterKinds, SnapshotFilterTest,
-                         ::testing::Values(filter::FilterKind::None,
-                                           filter::FilterKind::Pa,
-                                           filter::FilterKind::Pc,
-                                           filter::FilterKind::Static,
-                                           filter::FilterKind::Adaptive,
-                                           filter::FilterKind::DeadBlock));
+INSTANTIATE_TEST_SUITE_P(AllFilters, SnapshotFilterTest,
+                         ::testing::Values("none",
+                                           "pa",
+                                           "pc",
+                                           "static",
+                                           "adaptive",
+                                           "deadblock"));
 
 TEST(Snapshot, DataflowCoreMatchesColdPath) {
-  SimConfig cfg = quick_cfg(filter::FilterKind::Pa);
+  SimConfig cfg = quick_cfg("pa");
   cfg.core_model = CoreModel::Dataflow;
   const auto arena = arena_for("em3d", 3, 100'000);
 
@@ -71,7 +71,7 @@ TEST(Snapshot, DataflowCoreMatchesColdPath) {
 }
 
 TEST(Snapshot, OneSnapshotServesDifferentWindowLengths) {
-  const SimConfig base = quick_cfg(filter::FilterKind::Pc);
+  const SimConfig base = quick_cfg("pc");
   const auto arena = arena_for("gap", 11, 160'000);
   const auto snap = make_warmup_snapshot(base, arena);
   ASSERT_NE(snap, nullptr);
@@ -87,7 +87,7 @@ TEST(Snapshot, OneSnapshotServesDifferentWindowLengths) {
 }
 
 TEST(Snapshot, InactiveWarmupYieldsNoSnapshot) {
-  SimConfig cfg = quick_cfg(filter::FilterKind::Pa);
+  SimConfig cfg = quick_cfg("pa");
   const auto arena = arena_for("mcf", 1, 80'000);
 
   cfg.warmup_instructions = 0;
@@ -98,19 +98,19 @@ TEST(Snapshot, InactiveWarmupYieldsNoSnapshot) {
   EXPECT_EQ(make_warmup_snapshot(cfg, arena), nullptr);
 
   // Arena shorter than the warmup cannot reach the boundary.
-  cfg = quick_cfg(filter::FilterKind::Pa);
+  cfg = quick_cfg("pa");
   EXPECT_EQ(make_warmup_snapshot(cfg, arena_for("mcf", 1, 10'000)), nullptr);
 }
 
 TEST(Snapshot, ExternalFilterHierarchyRefusesToClone) {
-  const SimConfig cfg = quick_cfg(filter::FilterKind::None);
+  const SimConfig cfg = quick_cfg("none");
   filter::NullFilter external;
   MemoryHierarchy mem(cfg, &external);
   EXPECT_THROW(MemoryHierarchy copy(mem), std::runtime_error);
 }
 
 TEST(Snapshot, WarmupKeySeparatesWarmupRelevantConfigs) {
-  const SimConfig base = quick_cfg(filter::FilterKind::Pa);
+  const SimConfig base = quick_cfg("pa");
 
   SimConfig window_only = base;
   window_only.max_instructions *= 4;
@@ -118,7 +118,7 @@ TEST(Snapshot, WarmupKeySeparatesWarmupRelevantConfigs) {
   EXPECT_EQ(warmup_key(base), warmup_key(window_only));
 
   SimConfig other_filter = base;
-  other_filter.filter = filter::FilterKind::Pc;
+  other_filter.filter = "pc";
   EXPECT_NE(warmup_key(base), warmup_key(other_filter));
 
   SimConfig other_degree = base;

@@ -19,7 +19,7 @@ namespace {
 
 class TraceEquivalenceTest
     : public ::testing::TestWithParam<
-          std::tuple<std::string, filter::FilterKind>> {};
+          std::tuple<std::string, std::string>> {};
 
 TEST_P(TraceEquivalenceTest, MaterializedRunMatchesStreamingRun) {
   const auto& [bench, kind] = GetParam();
@@ -45,11 +45,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("bh", "em3d", "perimeter", "ijpeg",
                                          "fpppp", "gcc", "wave5", "gap",
                                          "gzip", "mcf"),
-                       ::testing::Values(filter::FilterKind::Pa,
-                                         filter::FilterKind::Pc)),
+                       ::testing::Values("pa",
+                                         "pc")),
     [](const auto& info) {
-      return std::get<0>(info.param) + "_" +
-             filter::to_string(std::get<1>(info.param));
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
     });
 
 }  // namespace

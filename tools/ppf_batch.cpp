@@ -24,6 +24,7 @@
 #include "common/config.hpp"
 #include "common/shutdown.hpp"
 #include "obs/export.hpp"
+#include "registry/registry.hpp"
 #include "runlab/runner.hpp"
 #include "runlab/sinks.hpp"
 #include "sim/config_apply.hpp"
@@ -38,7 +39,7 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [key=value ...]\n\n"
       << "sweep keys:\n"
       << "  bench=a,b,...   — benchmarks to run, or 'all' (default all)\n"
-      << "  filter=a,b,...  — filter kinds (default none,pa,pc)\n"
+      << "  filter=a,b,...  — filter registry keys (default none,pa,pc)\n"
       << "  seeds=N         — N seeds: base seed, base+1, ... (default 1)\n"
       << "  seed_list=a,b   — explicit seed values (overrides seeds=)\n"
       << "execution keys:\n"
@@ -171,15 +172,16 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  // Filter axis.
-  try {
-    for (const std::string& f :
-         split_list(params.get_string("filter", "none,pa,pc"))) {
-      spec.filters.push_back(sim::parse_filter_kind(f));
+  // Filter axis: every name must be a registered filter key so a typo
+  // fails here (exit 2, with the valid values) instead of mid-batch.
+  for (const std::string& f :
+       split_list(params.get_string("filter", "none,pa,pc"))) {
+    if (!registry::has_filter(f)) {
+      std::cerr << "unknown filter '" << f
+                << "' (valid: " << registry::valid_filter_values() << ")\n";
+      return usage(argv[0]);
     }
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n";
-    return usage(argv[0]);
+    spec.filters.push_back(f);
   }
 
   // Seed axis: explicit list wins over a count anchored at the base seed.
